@@ -1,0 +1,33 @@
+"""Ablation: the domain-distance term in the selection errors.
+
+DESIGN.md calls out the decision to penalise experts consulted outside
+their training envelope.  Without it, an out-of-domain expert whose
+*environment* numbers happen to extrapolate plausibly can win the
+selection contest while its *thread* advice is stale.
+"""
+
+from conftest import compare_variants, emit, format_variants, run_once
+
+from repro.core.policies import MixturePolicy
+from repro.core.training import default_experts
+
+
+def test_abl_domain_weight(benchmark):
+    bundle = default_experts()
+    variants = {
+        "domain weight 5 (shipped)": lambda: MixturePolicy(
+            bundle.experts, domain_weight=5.0,
+        ),
+        "domain weight 0": lambda: MixturePolicy(
+            bundle.experts, domain_weight=0.0,
+        ),
+        "domain weight 50": lambda: MixturePolicy(
+            bundle.experts, domain_weight=50.0,
+        ),
+    }
+    hmeans = run_once(benchmark, lambda: compare_variants(variants))
+    emit("abl_domain_weight",
+         format_variants("Ablation: domain-distance weight", hmeans))
+
+    shipped = hmeans["domain weight 5 (shipped)"]
+    assert shipped >= 0.95 * max(hmeans.values())

@@ -1,0 +1,26 @@
+"""Ablation: clipping expert inputs to the training envelope.
+
+DESIGN.md decision: linear experts are only trusted inside the region
+they saw data for; inputs are clipped to that envelope.  Without
+clipping, evaluation states beyond the training contention level are
+linearly extrapolated into nonsense thread counts.
+"""
+
+from conftest import compare_variants, emit, format_variants, run_once
+
+from repro.core.policies import MixturePolicy
+from repro.core.training import default_experts
+
+
+def test_abl_envelope_clipping(benchmark):
+    bundle = default_experts()
+    stripped = tuple(e.without_envelope() for e in bundle.experts)
+    variants = {
+        "clipped (shipped)": lambda: MixturePolicy(bundle.experts),
+        "unclipped": lambda: MixturePolicy(stripped),
+    }
+    hmeans = run_once(benchmark, lambda: compare_variants(variants))
+    emit("abl_envelope_clipping",
+         format_variants("Ablation: training-envelope clipping", hmeans))
+
+    assert hmeans["clipped (shipped)"] >= 0.95 * hmeans["unclipped"]

@@ -1,0 +1,50 @@
+"""Ablation: Section 5.3's online hyperplane adjustment.
+
+Compares the shipped selector (pretrained + online perceptron updates)
+against the same pretrained partition frozen at deployment, and against
+a blind even partition with no learning at all.
+"""
+
+from conftest import compare_variants, emit, format_variants, run_once
+
+from repro.core.features import NUM_FEATURES
+from repro.core.policies import MixturePolicy
+from repro.core.selector import FrozenEvenSelector
+from repro.core.training import (
+    default_experts,
+    pretrain_selector_state,
+    training_dataset,
+)
+from repro.experiments.runner import mixture_factory
+
+
+def test_abl_online_update(benchmark):
+    bundle = default_experts()
+    samples, _ = training_dataset()
+    state = pretrain_selector_state(bundle.experts, samples)
+    k = len(bundle.experts)
+
+    def frozen_pretrained():
+        selector = FrozenEvenSelector(num_experts=k, dim=NUM_FEATURES)
+        selector.load_state(state)
+        return MixturePolicy(bundle.experts, selector=selector)
+
+    def frozen_even():
+        return MixturePolicy(
+            bundle.experts,
+            selector=FrozenEvenSelector(num_experts=k, dim=NUM_FEATURES),
+        )
+
+    variants = {
+        "pretrained + online": mixture_factory(bundle),
+        "pretrained, frozen": frozen_pretrained,
+        "even, frozen": frozen_even,
+    }
+    hmeans = run_once(benchmark, lambda: compare_variants(variants))
+    emit("abl_online_update",
+         format_variants("Ablation: online hyperplane updates", hmeans))
+
+    # The shipped configuration must not lose to its frozen variants,
+    # and informed partitions must beat the blind even split.
+    assert hmeans["pretrained + online"] >= 0.97 * max(hmeans.values())
+    assert hmeans["pretrained + online"] >= 0.97 * hmeans["even, frozen"]

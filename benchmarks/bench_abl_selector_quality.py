@@ -1,0 +1,36 @@
+"""Ablation: quality of the expert-selection mechanism.
+
+DESIGN.md: is the environment-predictor proxy + learned hyperplanes
+actually better than cheaper selection strategies?  Compares the shipped
+selector (pretrained hyperplanes + online updates) against a recent-
+accuracy tracker (feature-blind), and uniform-random expert choice.
+"""
+
+from conftest import compare_variants, emit, format_variants, run_once
+
+from repro.core.features import NUM_FEATURES
+from repro.core.policies import MixturePolicy
+from repro.core.selector import AccuracyEMASelector, RandomSelector
+from repro.core.training import default_experts
+from repro.experiments.runner import mixture_factory
+
+
+def test_abl_selector_quality(benchmark):
+    bundle = default_experts()
+    k = len(bundle.experts)
+    variants = {
+        "hyperplanes (shipped)": mixture_factory(bundle),
+        "recent-accuracy (EMA)": lambda: MixturePolicy(
+            bundle.experts, selector=AccuracyEMASelector(k),
+        ),
+        "random expert": lambda: MixturePolicy(
+            bundle.experts, selector=RandomSelector(k, seed=5),
+        ),
+    }
+    hmeans = run_once(benchmark, lambda: compare_variants(variants))
+    emit("abl_selector_quality",
+         format_variants("Ablation: selector quality", hmeans))
+
+    shipped = hmeans["hyperplanes (shipped)"]
+    assert shipped >= 0.97 * max(hmeans.values())
+    assert shipped > hmeans["random expert"]

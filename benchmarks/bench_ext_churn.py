@@ -1,0 +1,20 @@
+"""Extension: mapping under job churn (arrivals/departures).
+
+The Figure 1 motivation is job churn; the paper's protocol approximates
+it with restarting workloads.  Here jobs arrive as a Poisson stream and
+run once.  Expected shape: the mixture still beats the OpenMP default
+when contention changes through arrivals.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_churn
+
+
+def test_ext_churn(benchmark):
+    result = run_once(benchmark, lambda: run_churn(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_churn", result.format())
+
+    assert result.speedups["mixture under churn"] > 1.0

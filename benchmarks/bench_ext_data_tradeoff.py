@@ -1,0 +1,26 @@
+"""Section 9 extension: number of experts vs training-data size.
+
+Expected shape: more data helps both model kinds; the 4-expert mixture
+on the full data is at least competitive with every smaller-data
+configuration.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_data_tradeoff
+
+
+def test_ext_data_tradeoff(benchmark):
+    result = run_once(benchmark, lambda: run_data_tradeoff(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_data_tradeoff", result.format())
+
+    speedups = result.speedups
+    full_mix = speedups.get("experts-4 @ 100%")
+    assert full_mix is not None
+    assert full_mix >= 0.95 * max(speedups.values())
+    # More data never hurts the monolithic model much either.
+    assert speedups["monolithic @ 100%"] >= 0.9 * speedups.get(
+        "monolithic @ 25%", 0.0,
+    )

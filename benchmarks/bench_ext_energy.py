@@ -1,0 +1,19 @@
+"""Extension: energy to solution.
+
+Spin-waiting burns active power without retiring work, so stopping
+over-threading must save energy, not just time.  Expected shape: the
+mixture's joules-per-work is below the OpenMP default's.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_energy
+
+
+def test_ext_energy(benchmark):
+    result = run_once(benchmark, lambda: run_energy(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_energy", result.format())
+
+    assert result.speedups["mixture energy saving"] > 1.0

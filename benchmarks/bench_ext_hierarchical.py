@@ -1,0 +1,40 @@
+"""Extension: hierarchical vs flat expert gating (HME, ref [18]).
+
+Expected shape: the two-level gate (platform group first, expert within
+the group second) is competitive with the flat hyperplane gate — the
+paper's related work motivates hierarchy as the natural way to scale to
+many experts.
+"""
+
+from conftest import compare_variants, emit, format_variants, run_once
+
+from repro.core.features import NUM_FEATURES
+from repro.core.hierarchical import build_hierarchical_selector
+from repro.core.policies import MixturePolicy
+from repro.core.training import default_experts
+from repro.experiments.runner import mixture_factory
+
+
+def test_ext_hierarchical(benchmark):
+    bundle = default_experts()
+
+    def hme():
+        return MixturePolicy(
+            bundle.experts,
+            selector=build_hierarchical_selector(
+                bundle, dim=NUM_FEATURES,
+            ),
+        )
+
+    variants = {
+        "flat gate (shipped)": mixture_factory(bundle),
+        "hierarchical gate (HME)": hme,
+    }
+    hmeans = run_once(benchmark, lambda: compare_variants(variants))
+    emit("ext_hierarchical",
+         format_variants("Extension: hierarchical expert gating", hmeans))
+
+    assert hmeans["hierarchical gate (HME)"] > 1.0
+    assert hmeans["hierarchical gate (HME)"] >= 0.85 * hmeans[
+        "flat gate (shipped)"
+    ]

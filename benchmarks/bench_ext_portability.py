@@ -1,0 +1,22 @@
+"""Section 9 extension: portability to an unseen platform.
+
+The experts were trained on 12- and 32-core machines; here they map
+programs on a 48-core machine.  Expected shape: the mixture still
+improves over the OpenMP default (the selector routes to the 32-core
+experts, whose envelope is closest), demonstrating graceful transfer
+rather than collapse.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_portability
+
+
+def test_ext_portability(benchmark):
+    result = run_once(benchmark, lambda: run_portability(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_portability", result.format())
+
+    value = result.speedups["mixture (12/32-core experts)"]
+    assert value > 1.0

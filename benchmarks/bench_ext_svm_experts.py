@@ -1,0 +1,28 @@
+"""Section 9 extension: SVM-style experts in the mixture.
+
+The paper's future work asks "whether other modeling techniques such as
+SVMs trained on the same data ... can be selected by a mixtures
+approach".  Expected shape: kernel experts are competitive with the
+linear ones, and the pooled mixture (selector choosing among both
+families) does not lose to either family alone.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_model_comparison
+
+
+def test_ext_svm_experts(benchmark):
+    result = run_once(benchmark, lambda: run_model_comparison(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_svm_experts", result.format())
+
+    speedups = result.speedups
+    assert speedups["linear experts (paper)"] > 1.0
+    assert speedups["kernel experts (SVM-style)"] > 0.9
+    # Pooling both families is at worst a small regression on either.
+    assert speedups["linear + kernel pooled"] >= 0.9 * max(
+        speedups["linear experts (paper)"],
+        speedups["kernel experts (SVM-style)"],
+    )

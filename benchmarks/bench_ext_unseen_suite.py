@@ -1,0 +1,19 @@
+"""Extension: a whole unseen suite (Rodinia-style kernels).
+
+Trained on NAS only, evaluated on graph traversal, stencils,
+wavefronts and clustering kernels.  Expected shape: the mixture still
+improves over the OpenMP default on the suite average.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.extensions import run_unseen_suite
+
+
+def test_ext_unseen_suite(benchmark):
+    result = run_once(benchmark, lambda: run_unseen_suite(
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("ext_unseen_suite", result.format())
+
+    assert result.speedups["mixture on rodinia"] > 1.05

@@ -1,0 +1,29 @@
+"""Figure 1: 50 hours of live-system activity (synthetic log)."""
+
+from conftest import emit, run_once
+
+from repro.machine.topology import HPC_SYSTEM
+from repro.workload.trace import FIFTY_HOURS, generate_live_trace
+
+
+def test_fig01_live_trace(benchmark):
+    trace = run_once(benchmark, lambda: generate_live_trace(seed=2015))
+
+    lines = ["== Figure 1: live HPC system activity =="]
+    lines.append(
+        f"{len(trace.times)} samples over "
+        f"{trace.times[-1] / 3600:.1f}h on {trace.system.hw_contexts} "
+        f"hardware contexts"
+    )
+    step = max(1, len(trace.times) // 20)
+    for index in range(0, len(trace.times), step):
+        n = trace.threads[index]
+        bar = "#" * max(1, int(50 * n / trace.system.hw_contexts))
+        lines.append(f"{trace.times[index] / 3600:6.1f}h {n:6d} {bar}")
+    emit("fig01", "\n".join(lines))
+
+    # Shape: 50 hours of highly dynamic activity on the 2912-core system.
+    assert trace.times[-1] >= 0.99 * FIFTY_HOURS
+    assert trace.system is HPC_SYSTEM
+    spread = max(trace.threads) - min(trace.threads)
+    assert spread > 0.3 * HPC_SYSTEM.hw_contexts

@@ -1,0 +1,26 @@
+"""Figure 2: thread selections over time, lu vs mg on 12 cores."""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.motivation import run_motivation
+
+
+def test_fig02_motivation_timeline(benchmark):
+    result = run_once(
+        benchmark, lambda: run_motivation(iterations_scale=BENCH_SCALE),
+    )
+
+    lines = ["== Figure 2: thread choices over time (lu vs mg) =="]
+    for policy, choices in result.thread_choices.items():
+        series = " ".join(
+            f"{t:.0f}s:{n}" for t, n in choices[:: max(1, len(choices) // 12)]
+        )
+        lines.append(f"{policy:10s} {series}")
+    emit("fig02", "\n".join(lines))
+
+    # Shape: every policy produces a decision stream; the mixture's
+    # choices vary over time (it reacts to the changing environment).
+    for policy, choices in result.thread_choices.items():
+        assert choices, policy
+    mixture_threads = {n for _, n in result.thread_choices["mixture"]}
+    assert len(mixture_threads) > 1

@@ -1,0 +1,26 @@
+"""Figure 3: motivation speedups (analytic vs single experts vs mixture).
+
+Paper shape: analytic improves over the OpenMP default but is
+outperformed by either expert; the mixture improves further still.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.motivation import run_motivation
+
+
+def test_fig03_motivation_speedup(benchmark):
+    result = run_once(
+        benchmark, lambda: run_motivation(iterations_scale=BENCH_SCALE),
+    )
+    emit("fig03", result.format())
+
+    speedups = result.speedups
+    # Shape: the mixture is the best policy and beats the analytic model.
+    assert speedups["mixture"] >= max(
+        speedups["analytic"], speedups["default"],
+    )
+    # And it is at least as good as the better single expert (within a
+    # small tolerance: per-run noise).
+    best_expert = max(speedups["expert-1"], speedups["expert-2"])
+    assert speedups["mixture"] >= 0.95 * best_expert

@@ -1,0 +1,29 @@
+"""Figure 6: per-expert feature impact (π)."""
+
+from conftest import emit, run_once
+
+from repro.core.features import FEATURE_NAMES
+from repro.experiments.tables import run_feature_impact
+
+
+def test_fig06_feature_impact(benchmark):
+    result = run_once(benchmark, run_feature_impact)
+    emit("fig06", result.format())
+
+    # Shape: each expert's impacts form a distribution (a pie chart),
+    # and importance *varies across experts* — "although all experts
+    # use the same features, they vary in importance across each
+    # expert."
+    for impacts in result.per_expert.values():
+        assert abs(sum(impacts.values()) - 1.0) < 1e-6
+        assert set(impacts) == set(FEATURE_NAMES)
+    top_features = {
+        max(impacts, key=impacts.get)
+        for impacts in result.per_expert.values()
+    }
+    assert len(result.per_expert) >= 3
+    # The environment features carry real weight on average.
+    env_mass = sum(
+        result.averaged[name] for name in FEATURE_NAMES[3:]
+    )
+    assert env_mass > 0.2

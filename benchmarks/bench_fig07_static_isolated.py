@@ -1,0 +1,30 @@
+"""Figure 7: isolated static system (Result 1).
+
+Paper shape: the mixture "improves performance with no overhead in a
+static system under isolation" — it never slows any program down and
+improves the irregular/memory-bound codes (mg, cg, art).
+"""
+
+from conftest import BENCH_SCALE, FULL_TARGETS, emit, run_once
+
+from repro.experiments.dynamic import run_static_isolated
+
+
+def test_fig07_static_isolated(benchmark, policies):
+    table = run_once(benchmark, lambda: run_static_isolated(
+        targets=FULL_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig07", table.format())
+
+    hmean = table.hmean()
+    # Shape: the mixture improves over the default on average...
+    assert hmean["mixture"] > 1.05
+    # ...and never slows any target down appreciably (Result 1).
+    for row in table.rows:
+        assert row.speedups["mixture"] > 0.9, row.target
+    # The memory-bound irregular codes benefit most.
+    by_target = {row.target: row.speedups["mixture"] for row in table.rows}
+    assert by_target["cg"] > 1.3
+    assert by_target["mg"] > 1.3
+    assert by_target["art"] > 1.2

@@ -1,0 +1,24 @@
+"""Figure 10: per-benchmark speedups, small workload / high frequency."""
+
+from conftest import BENCH_SCALE, MEDIUM_TARGETS, emit, run_once
+
+from repro.experiments.dynamic import run_dynamic_scenario
+from repro.experiments.scenarios import SMALL_HIGH
+
+
+def test_fig10_small_high(benchmark, policies):
+    table = run_once(benchmark, lambda: run_dynamic_scenario(
+        SMALL_HIGH, targets=MEDIUM_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE, seeds=(0,),
+    ))
+    emit("fig10", table.format())
+
+    hmean = table.hmean()
+    # Paper: 1.51x over default; "In all cases our approach achieves
+    # the best performance improvement."
+    assert hmean["mixture"] > 1.15
+    assert hmean["mixture"] >= max(
+        hmean["online"], hmean["analytic"],
+    )
+    for row in table.rows:
+        assert row.speedups["mixture"] > 0.85, row.target

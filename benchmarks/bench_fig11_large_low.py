@@ -1,0 +1,25 @@
+"""Figure 11: per-benchmark speedups, large workload / low frequency."""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.dynamic import run_dynamic_scenario
+from repro.experiments.scenarios import LARGE_LOW
+
+
+def test_fig11_large_low(benchmark, policies):
+    table = run_once(benchmark, lambda: run_dynamic_scenario(
+        LARGE_LOW, targets=SMALL_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE, seeds=(0,),
+    ))
+    emit("fig11", table.format())
+
+    hmean = table.hmean()
+    # Paper: mixture on top (1.74x over default there); under heavy
+    # contention our simulator's gains are narrower but the ordering
+    # against the reactive policies must hold.
+    assert hmean["mixture"] > 1.0
+    assert hmean["mixture"] >= 0.97 * max(
+        hmean["online"], hmean["analytic"],
+    )
+    for row in table.rows:
+        assert row.speedups["mixture"] > 0.8, row.target

@@ -1,0 +1,23 @@
+"""Figure 12: per-benchmark speedups, large workload / high frequency."""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.dynamic import run_dynamic_scenario
+from repro.experiments.scenarios import LARGE_HIGH
+
+
+def test_fig12_large_high(benchmark, policies):
+    table = run_once(benchmark, lambda: run_dynamic_scenario(
+        LARGE_HIGH, targets=SMALL_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE, seeds=(0,),
+    ))
+    emit("fig12", table.format())
+
+    hmean = table.hmean()
+    # Paper: 1.62x over default, beating online/offline/analytic.
+    assert hmean["mixture"] > 1.0
+    assert hmean["mixture"] >= 0.97 * max(
+        hmean["online"], hmean["analytic"],
+    )
+    for row in table.rows:
+        assert row.speedups["mixture"] > 0.8, row.target

@@ -1,0 +1,30 @@
+"""Figure 13a: impact on co-executing workloads (Result 3).
+
+Paper shape: the mixture never degrades the workloads and improves
+their performance (1.19x on average) — "a reduction in system-wide
+contention benefiting target and workload".
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.scenarios import LARGE_LOW, SMALL_LOW
+from repro.experiments.workload_impact import run_workload_impact
+
+
+def test_fig13a_workload_impact(benchmark, policies):
+    result = run_once(benchmark, lambda: run_workload_impact(
+        targets=SMALL_TARGETS, scenarios=(SMALL_LOW, LARGE_LOW),
+        policies=policies, iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig13a", result.format())
+
+    overall = result.overall()
+    # Shape: the mixture never slows the workload down...
+    assert overall["mixture"] >= 1.0
+    # ...and improves it, close to the best policy.
+    assert overall["mixture"] >= 0.9 * max(
+        v for k, v in overall.items() if k != "mixture"
+    )
+    # Per-target: no workload degradation under the mixture.
+    for target, gains in result.per_target.items():
+        assert gains["mixture"] > 0.95, target

@@ -1,0 +1,29 @@
+"""Figure 13b: both programs adaptive (Result 4).
+
+Paper shape: when both co-executing programs employ the same smart
+policy, the combined speedup grows with policy quality, and the
+mixture-mixture pairing is the best of all ("a win-win situation").
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.adaptive_pairs import run_adaptive_pairs
+
+PAIRS = (
+    ("lu", "mg"), ("cg", "ep"), ("bt", "is"),
+    ("art", "equake"), ("bodytrack", "freqmine"),
+)
+
+
+def test_fig13b_adaptive_pairs(benchmark, policies):
+    result = run_once(benchmark, lambda: run_adaptive_pairs(
+        pairs=PAIRS, policies=policies, iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig13b", result.format())
+
+    combined = result.combined()
+    # Shape: smart-smart pairings beat default-default, and the
+    # mixture pairing is the best combination.
+    assert combined["default"] == 1.0
+    assert combined["mixture"] > 1.5
+    assert combined["mixture"] >= 0.92 * max(combined.values())

@@ -1,0 +1,26 @@
+"""Figure 14a: the live-system case study (Result 5).
+
+The Figure 1 trace is replayed with a half-machine hardware-failure
+window.  Paper shape: mixture (1.61x) > analytic (1.43x) > offline
+(1.34x) > online (1.19x) over the default.
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.live_case_study import run_live_case_study
+
+
+def test_fig14a_live_case_study(benchmark, policies):
+    result = run_once(benchmark, lambda: run_live_case_study(
+        targets=SMALL_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig14a", result.format())
+
+    overall = result.overall()
+    # Shape: the mixture is the superior policy in the live replay.
+    assert overall["mixture"] > 1.05
+    assert overall["mixture"] >= 0.95 * max(
+        v for k, v in overall.items() if k != "mixture"
+    )
+    assert overall["mixture"] > overall["analytic"] * 0.97

@@ -1,0 +1,31 @@
+"""Figure 14b: affinity scheduling (Result 6).
+
+Paper shape: "All schemes show improvement with affinity scheduling but
+our approach gives the largest improvement" (mixture reaches 2.1x
+overall in the small-workload scenario).
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.affinity import run_affinity
+
+
+def test_fig14b_affinity(benchmark, policies):
+    result = run_once(benchmark, lambda: run_affinity(
+        targets=SMALL_TARGETS, policies=policies,
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig14b", result.format())
+
+    gains = result.improvement()
+    # Shape: affinity helps every policy...
+    for policy, gain in gains.items():
+        assert gain > 0.98, policy
+    # ...the combined mixture+affinity result is the best overall...
+    assert result.with_affinity["mixture"] >= 0.97 * max(
+        result.with_affinity.values()
+    )
+    # ...and it improves on the plain mixture.
+    assert result.with_affinity["mixture"] > (
+        result.without_affinity["mixture"]
+    )

@@ -1,0 +1,27 @@
+"""Figure 14c: monolithic aggregate model vs the mixture (Result 7).
+
+Paper shape: with the same total training data, the mixture gives a
+22% improvement over a single aggregate model — "the failure of the
+one size fits all approach".
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.generic_vs_experts import run_granularity
+
+
+def test_fig14c_monolithic_vs_mixture(benchmark):
+    result = run_once(benchmark, lambda: run_granularity(
+        targets=SMALL_TARGETS, granularities=(1, 4),
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig14c", result.format())
+
+    # Shape: the mixture at least matches the monolithic model
+    # trained on the same data (in this substrate the pooled linear
+    # model is a stronger baseline than the paper's; see
+    # EXPERIMENTS.md) while remaining extensible.
+    assert result.speedups["experts-4"] >= (
+        0.95 * result.speedups["monolithic"]
+    )
+    assert result.speedups["experts-4"] > 1.05

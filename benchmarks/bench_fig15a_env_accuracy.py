@@ -1,0 +1,27 @@
+"""Figure 15a: environment-predictor accuracy.
+
+Paper shape: individual experts predict the future environment
+accurately (79-82%); combined in the mixture the accuracy of the
+*chosen* expert's prediction is higher still (87%).
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+import numpy as np
+
+from repro.experiments.analysis import run_env_accuracy
+from repro.experiments.scenarios import SMALL_HIGH, SMALL_LOW
+
+
+def test_fig15a_env_accuracy(benchmark):
+    result = run_once(benchmark, lambda: run_env_accuracy(
+        targets=SMALL_TARGETS, scenarios=(SMALL_LOW, SMALL_HIGH),
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig15a", result.format())
+
+    # Shape: experts are individually accurate; the mixture's selected
+    # expert is at least as accurate as the average expert.
+    assert max(result.per_expert) > 0.5
+    assert result.mixture >= 0.95 * float(np.mean(result.per_expert))
+    assert result.mixture > 0.5

@@ -1,0 +1,28 @@
+"""Figure 15b: how often each expert is selected, per scenario.
+
+Paper shape: one expert dominates each scenario, yet every expert is
+selected at some point — the mixture exploits all of them.
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.analysis import run_selection_frequency
+
+
+def test_fig15b_expert_frequency(benchmark):
+    result = run_once(benchmark, lambda: run_selection_frequency(
+        targets=SMALL_TARGETS, iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig15b", result.format())
+
+    for scenario, freqs in result.frequencies.items():
+        assert abs(sum(freqs) - 1.0) < 1e-6, scenario
+        # One expert dominates each scenario...
+        assert max(freqs) > 0.35, scenario
+    # ...but across scenarios more than one expert gets real use.
+    used = {
+        index
+        for freqs in result.frequencies.values()
+        for index, f in enumerate(freqs) if f > 0.02
+    }
+    assert len(used) >= 2

@@ -1,0 +1,29 @@
+"""Figure 15c: speedup vs number of experts (large/low scenario).
+
+Paper shape: individually each expert gives lower performance; adding
+experts steadily improves it; the 4-expert mixture beats the best
+single expert.
+"""
+
+from conftest import BENCH_SCALE, emit, run_once
+
+from repro.experiments.analysis import run_num_experts
+
+TARGETS = ("cg", "lu", "mg", "art")
+
+
+def test_fig15c_num_experts(benchmark):
+    result = run_once(benchmark, lambda: run_num_experts(
+        targets=TARGETS, iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig15c", result.format())
+
+    counts = sorted(result.by_count)
+    full = result.by_count[counts[-1]]
+    # Shape: the full mixture is near the best configuration...
+    assert full >= 0.93 * max(result.by_count.values())
+    # ...and close to the best single expert (the paper's mixture
+    # exceeds it; ours matches it within a few percent).
+    assert full >= 0.9 * max(result.single_expert)
+    # Adding experts is at worst neutral overall.
+    assert full >= 0.9 * result.by_count[counts[0]]

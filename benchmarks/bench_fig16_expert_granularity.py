@@ -1,0 +1,26 @@
+"""Figure 16: finer expert granularity (monolithic vs 4 vs 8 experts).
+
+Paper shape: more experts help — 8 experts (1.63x) > 4 experts (1.55x)
+> monolithic, in the small-workload/low-frequency scenario.
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.generic_vs_experts import run_granularity
+
+
+def test_fig16_expert_granularity(benchmark):
+    result = run_once(benchmark, lambda: run_granularity(
+        targets=SMALL_TARGETS, granularities=(1, 4, 8),
+        iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig16", result.format())
+
+    speedups = result.speedups
+    # Shape: expert mixtures stay with the monolithic model...
+    assert speedups["experts-4"] >= 0.95 * speedups["monolithic"]
+    # ...and the finer 8-expert split is at least competitive with 4.
+    assert speedups["experts-8"] >= 0.93 * speedups["experts-4"]
+    assert max(
+        speedups["experts-8"], speedups["experts-4"],
+    ) >= 0.95 * speedups["monolithic"]

@@ -1,0 +1,36 @@
+"""Figure 17: thread-number distribution per expert and the mixture.
+
+Paper shape: the range of thread numbers varies across experts (their
+training environments differ), and the mixture draws on the whole
+range.
+"""
+
+from conftest import BENCH_SCALE, SMALL_TARGETS, emit, run_once
+
+from repro.experiments.analysis import run_thread_distribution
+
+
+def test_fig17_thread_distribution(benchmark):
+    result = run_once(benchmark, lambda: run_thread_distribution(
+        targets=SMALL_TARGETS, iterations_scale=BENCH_SCALE,
+    ))
+    emit("fig17", result.format())
+
+    def spread(hist):
+        return sum(1 for v in hist.values() if v > 0)
+
+    distributions = result.distributions
+    # Shape: experts differ in their predicted ranges.
+    expert_hists = {
+        k: v for k, v in distributions.items() if k != "mixture"
+    }
+    assert len(expert_hists) == 4
+    normalised = []
+    for hist in expert_hists.values():
+        total = sum(hist.values()) or 1
+        normalised.append(
+            tuple(round(v / total, 2) for v in hist.values())
+        )
+    assert len(set(normalised)) > 1  # not all experts identical
+    # The mixture uses more than one bucket.
+    assert spread(distributions["mixture"]) >= 2

@@ -1,0 +1,55 @@
+"""Decision-latency microbenchmarks.
+
+The paper's case for the mixture rests partly on overhead: it makes
+"instantaneous decisions" instead of the analytic model's exploratory
+runs.  These benchmarks time one `select()` call per policy — the cost
+a real runtime would pay at every parallel-region entry.  The mixture's
+decision must stay within the same order of magnitude as the trivial
+policies (microseconds, vs the milliseconds a region takes to run).
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.core.policies import (
+    AnalyticPolicy,
+    DefaultPolicy,
+    OnlineHillClimbPolicy,
+)
+from repro.experiments.runner import standard_policies
+from tests.core.test_policies import make_ctx
+
+
+def _time_select(benchmark, policy):
+    ctx = make_ctx()
+    policy.select(ctx)  # warm any lazy state
+    return benchmark(policy.select, ctx)
+
+
+def test_overhead_default(benchmark):
+    _time_select(benchmark, DefaultPolicy())
+
+
+def test_overhead_online(benchmark):
+    _time_select(benchmark, OnlineHillClimbPolicy())
+
+
+def test_overhead_analytic(benchmark):
+    _time_select(benchmark, AnalyticPolicy())
+
+
+def test_overhead_offline(benchmark, policies):
+    _time_select(benchmark, policies["offline"]())
+
+
+def test_overhead_mixture(benchmark, policies):
+    policy = policies["mixture"]()
+    ctx = make_ctx()
+    policy.select(ctx)
+    result = benchmark(policy.select, ctx)
+    # One mixture decision (score pending predictions, update the
+    # selector, pick an expert, predict) must stay far below a region's
+    # runtime (~100 ms simulated): well under a millisecond of wall
+    # time here.
+    assert benchmark.stats["mean"] < 1e-3

@@ -1,0 +1,30 @@
+"""Table 1: regression weights of each expert's (w, m) models."""
+
+from conftest import emit, run_once
+
+from repro.core.features import FEATURE_NAMES
+from repro.experiments.tables import run_expert_weights
+
+
+def test_tab01_expert_weights(benchmark):
+    table = run_once(benchmark, run_expert_weights)
+    emit("tab01", table.format())
+
+    bundle = table.bundle
+    # Shape: four experts from the 2x2 split, each with a full weight
+    # vector per model (Table 1's columns).
+    assert len(bundle.experts) == 4
+    provenances = {e.provenance for e in bundle.experts}
+    assert provenances == {
+        "scalable@twelve-core", "nonscalable@twelve-core",
+        "scalable@xeon-l7555", "nonscalable@xeon-l7555",
+    }
+    rows = table.rows()
+    assert len(rows) == len(FEATURE_NAMES) + 1  # + beta
+    # Experts differ: no two experts share identical thread weights.
+    import numpy as np
+
+    weights = [e.thread_model.weights for e in bundle.experts]
+    for i in range(len(weights)):
+        for j in range(i + 1, len(weights)):
+            assert not np.allclose(weights[i], weights[j])

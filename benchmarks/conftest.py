@@ -1,0 +1,87 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper figure/table at a reduced but
+faithful scale (full policy set, real workload sets, ~1/3-length
+programs), prints the result table, writes it under
+``benchmarks/results/`` (EXPERIMENTS.md is assembled from these), and
+asserts the paper's qualitative *shape* — who wins, roughly by how
+much — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Program-length scale for benchmark runs (full programs are ~3x).
+BENCH_SCALE = 0.3
+
+#: Target sets: the full evaluation list is used where affordable, a
+#: representative subset where a figure multiplies many dimensions.
+FULL_TARGETS = (
+    "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+    "ammp", "art", "equake", "blackscholes", "bodytrack", "freqmine",
+)
+MEDIUM_TARGETS = (
+    "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "art", "bodytrack",
+)
+SMALL_TARGETS = ("cg", "ep", "lu", "mg", "art", "bodytrack")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's table and save it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def policies():
+    """The five evaluated policies (trains/loads the experts once)."""
+    from repro.experiments.runner import standard_policies
+
+    return standard_policies()
+
+
+def compare_variants(variants, targets=SMALL_TARGETS,
+                     iterations_scale=BENCH_SCALE, seeds=(0,)):
+    """hmean speedups of mixture *variants* vs the OpenMP default.
+
+    ``variants`` maps label -> policy factory; a 'default' baseline is
+    added automatically.  Used by the ablation benchmarks.
+    """
+    from repro.core.policies import DefaultPolicy
+    from repro.experiments.runner import compare_policies
+    from repro.experiments.scenarios import SMALL_LOW
+    from repro.runtime.metrics import harmonic_mean
+
+    policies = {"default": DefaultPolicy, **variants}
+    collected = {name: [] for name in variants}
+    for target in targets:
+        comparison = compare_policies(
+            target, SMALL_LOW, policies,
+            seeds=seeds, iterations_scale=iterations_scale,
+        )
+        for name in variants:
+            collected[name].append(comparison.speedups[name])
+    return {
+        name: harmonic_mean(values)
+        for name, values in collected.items()
+    }
+
+
+def format_variants(title, hmeans):
+    lines = [f"== {title} =="]
+    lines.append(f"{'variant':28s}{'speedup':>9s}")
+    for name, value in hmeans.items():
+        lines.append(f"{name:28s}{value:9.2f}")
+    return "\n".join(lines)

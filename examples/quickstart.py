@@ -1,0 +1,68 @@
+"""Quickstart: map one program with the mixture of experts.
+
+Runs lu co-executing with mg on the simulated 32-core machine under a
+dynamically changing processor count, once with the OpenMP default and
+once with the mixture-of-experts policy, and prints the speedup.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CoExecutionEngine,
+    DefaultPolicy,
+    JobSpec,
+    MixturePolicy,
+    PeriodicAvailability,
+    SimMachine,
+    XEON_L7555,
+    default_experts,
+    get_program,
+)
+
+
+def run_with(policy):
+    machine = SimMachine(
+        topology=XEON_L7555,
+        availability=PeriodicAvailability(
+            max_processors=XEON_L7555.cores, seed=1,
+        ),
+    )
+    engine = CoExecutionEngine(
+        machine=machine,
+        jobs=[
+            JobSpec(program=get_program("lu"), policy=policy,
+                    job_id="target", is_target=True),
+            JobSpec(program=get_program("mg"), policy=DefaultPolicy(),
+                    job_id="workload", restart=True),
+        ],
+    )
+    return engine.run()
+
+
+def main():
+    print("training the experts (cached after the first run)...")
+    bundle = default_experts()
+    for expert in bundle.experts:
+        print(f"  {expert.name}: {expert.provenance} "
+              f"({bundle.samples_per_expert[expert.name]} samples)")
+
+    print("\nrunning lu + mg with the OpenMP default policy...")
+    baseline = run_with(DefaultPolicy())
+    print(f"  default:  lu finished in {baseline.target_time:7.1f}s")
+
+    print("running lu + mg with the mixture of experts...")
+    mixture_policy = MixturePolicy(bundle.experts)
+    smart = run_with(mixture_policy)
+    print(f"  mixture:  lu finished in {smart.target_time:7.1f}s")
+
+    speedup = baseline.target_time / smart.target_time
+    print(f"\nspeedup over the OpenMP default: {speedup:.2f}x")
+    counts = mixture_policy.selection_counts()
+    for index, count in enumerate(counts, start=1):
+        print(f"  expert E{index} selected {count} times")
+
+
+if __name__ == "__main__":
+    main()

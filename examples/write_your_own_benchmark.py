@@ -1,0 +1,106 @@
+"""Define a new benchmark program in the IR and map it.
+
+Programs in this library are not black boxes: they are written in a
+small compiler IR, and everything the runtime knows about them (static
+features, scaling behaviour, memory intensity) is *derived* from that
+IR.  This example writes a new program — a graph-analytics kernel with
+an irregular gather phase and a compute phase — and shows how the
+mixture handles it, despite it never appearing in training.
+
+Run with::
+
+    python examples/write_your_own_benchmark.py
+"""
+
+from repro import (
+    CoExecutionEngine,
+    DefaultPolicy,
+    IRBuilder,
+    JobSpec,
+    MixturePolicy,
+    PeriodicAvailability,
+    SimMachine,
+    XEON_L7555,
+    default_experts,
+    get_program,
+)
+from repro.compiler.ir import AccessPattern, Schedule
+from repro.compiler.passes import analyze_module
+from repro.programs.model import build_program
+
+
+def build_pagerank():
+    b = IRBuilder("pagerank")
+    with b.function("iterate"):
+        # Pull-based gather: irregular reads of neighbour ranks, each
+        # vertex writes only its own rank — no synchronisation needed.
+        with b.parallel_loop("gather", trip_count=20_000,
+                             access=AccessPattern.IRREGULAR,
+                             schedule=Schedule.DYNAMIC):
+            b.gep()
+            b.load()
+            b.gep()
+            b.load()
+            b.load()
+            b.fmul()
+            b.fadd()
+            b.fadd()
+            b.cmp()
+            b.cond_branch()
+            b.store()
+        # Apply + convergence check: dense update with a reduction.
+        with b.parallel_loop("apply", trip_count=12_000,
+                             reduction=True):
+            b.load()
+            b.fmul()
+            b.fadd()
+            b.store()
+            b.reduce()
+            b.barrier()
+    module = b.build()
+    return build_program(
+        name="pagerank", suite="custom", module=module,
+        iterations=80, work_per_iteration=3.0, serial_fraction=0.02,
+    )
+
+
+def main():
+    program = build_pagerank()
+    analysis = analyze_module(program.module)
+    print("derived properties of the new program:")
+    for region in program.regions:
+        scaling = region.scaling
+        print(f"  {region.loop_name:8s} memory={region.memory_intensity:.2f} "
+              f"sync={region.sync_intensity:.3f} "
+              f"peak-threads={scaling.peak_threads}")
+    print(f"  parallel fraction: {analysis.parallel_fraction:.3f}")
+
+    bundle = default_experts()
+    times = {}
+    for name, policy in (
+        ("default", DefaultPolicy()),
+        ("mixture", MixturePolicy(bundle.experts)),
+    ):
+        machine = SimMachine(
+            topology=XEON_L7555,
+            availability=PeriodicAvailability(max_processors=32, seed=3),
+        )
+        engine = CoExecutionEngine(
+            machine=machine,
+            jobs=[
+                JobSpec(program=program, policy=policy,
+                        job_id="target", is_target=True),
+                JobSpec(program=get_program("cg"), policy=DefaultPolicy(),
+                        job_id="workload", restart=True),
+            ],
+            max_time=7200.0,
+        )
+        times[name] = engine.run().target_time
+        print(f"{name:8s} pagerank finished in {times[name]:7.1f}s")
+
+    print(f"\nspeedup on a never-seen program: "
+          f"{times['default'] / times['mixture']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+"""Assemble EXPERIMENTS.md from the benchmark result tables.
+
+Run ``pytest benchmarks/ --benchmark-only`` first (it writes one text
+table per figure under ``benchmarks/results/``), then::
+
+    python scripts/build_experiments_md.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated on the
+simulated substrate (see DESIGN.md for what substitutes for what).
+Absolute numbers are not comparable — the substrate is a simulator, not
+the authors' Xeon testbed — so each entry records the paper's claim,
+our measured analogue, and whether the *shape* (who wins, roughly by
+what factor, where the crossovers fall) reproduces.
+
+All measured tables below are emitted verbatim by
+`pytest benchmarks/ --benchmark-only` (files in `benchmarks/results/`);
+the same assertions that gate the benchmarks encode the shape checks.
+Programs run at 0.3x their calibrated lengths in the benches; speedup
+ratios are length-invariant to within run-to-run noise.
+
+## Headline (paper abstract vs. measured)
+
+| quantity | paper | measured (fig08) | shape |
+|---|---|---|---|
+| mixture vs OpenMP default | 1.66x | {MIX:.2f}x | ✅ mixture >> default |
+| mixture vs online | 1.34x | {VS_ONLINE:.2f}x | ✅ mixture > online |
+| mixture vs offline | 1.25x | {VS_OFFLINE:.2f}x | ⚠️ mixture ≈ offline (see deviations) |
+| mixture vs analytic | 1.20x | {VS_ANALYTIC:.2f}x | ✅ mixture > analytic |
+
+## Known deviations (why, and where they matter)
+
+1. **Our "offline" baseline is stronger than the paper's.**  In this
+   substrate a single pooled linear model with per-program code-feature
+   offsets captures most of the specialisation the mixture provides,
+   because the simulated cost landscape around each optimum is flatter
+   than real hardware's.  Consequence: mixture ≈ offline ≈ monolithic
+   overall (within a few percent) instead of the paper's 1.22-1.25x
+   gaps (figures 8, 14c, 16).  The mixture still wins or ties every
+   scenario against online/analytic/default, never slows the target or
+   the workload appreciably, and keeps the architectural advantages
+   (extensibility, expert provenance) the paper argues for.
+2. **Policy-ordering transposition.**  The paper has analytic as the
+   strongest baseline (1.39x) above offline (1.33x); for us offline is
+   strongest and analytic sits near online.  The analytic policy's
+   exploration windows are expensive at our region granularity
+   (~10^2 regions/run vs the paper's ~10^4 loop entries).
+3. **Expert-selection frequency (fig15b)** concentrates on the two
+   32-core experts: the domain-distance gating (DESIGN.md §6.3) rightly
+   keeps 12-core experts out of most 32-core states.  The paper's
+   selector spread selections across all four.
+4. **ep-class programs** (ep, blackscholes, swaptions): under a
+   proportional-share scheduler, occupying every core is genuinely
+   optimal for synchronisation-free codes, so no policy can beat the
+   default there — all smart policies hover at ~1.0x where the paper
+   reports small gains.
+
+## Per-experiment record
+"""
+
+#: Experiment id -> (paper claim, shape verdict).
+COMMENTARY = {
+    "fig01": (
+        "50 h of highly dynamic activity on a 2912-core system",
+        "✅ synthetic log reproduces scale, burstiness and diurnal shape",
+    ),
+    "fig02": (
+        "policies react differently over time; mixture switches experts",
+        "✅ decision streams per policy; the mixture's choices vary with "
+        "the environment",
+    ),
+    "fig03": (
+        "either expert beats analytic; mixture best of all",
+        "✅ mixture >= best single expert >= analytic > default",
+    ),
+    "tab01": (
+        "per-expert (w, m) weights over the 10 features + β",
+        "✅ produced by actual training; four distinct experts from the "
+        "2x2 split",
+    ),
+    "fig06": (
+        "feature importance varies across experts",
+        "✅ per-expert π distributions differ; environment features "
+        "carry substantial weight",
+    ),
+    "fig07": (
+        "static/isolated: no overhead, improves mg/cg/art (1.11x avg)",
+        "✅ no benchmark below 0.9x; cg/mg/art improve 1.5-2x; hmean "
+        "exceeds the paper's 1.11x",
+    ),
+    "fig08": (
+        "mixture 1.66x > analytic 1.39x > offline 1.33x > online 1.23x",
+        "⚠️ mixture > online/analytic and ≈ offline (deviations 1-2)",
+    ),
+    "fig09": (
+        "small/low: mixture 1.5x over default, best everywhere",
+        "✅ mixture ~1.3-1.4x, top or tied-top per benchmark",
+    ),
+    "fig10": (
+        "small/high: mixture 1.51x, online hurts ft/sp/art",
+        "✅ same shape; online weakest of the adaptive policies",
+    ),
+    "fig11": (
+        "large/low: mixture 1.74x; bt/lu/cg/equake benefit most",
+        "⚠️ gains compress under extreme contention (~1.1x); cg/mg/art "
+        "still the best movers; mixture ties the best policy",
+    ),
+    "fig12": (
+        "large/high: mixture 1.62x",
+        "⚠️ same compression as fig11; ordering vs online/analytic holds",
+    ),
+    "fig13a": (
+        "mixture never degrades workloads; improves them 1.19x",
+        "✅ mixture workload gain ≥ 1.0 on every target, ~1.1-1.2x overall",
+    ),
+    "fig13b": (
+        "both-smart pairs: mixture-mixture best, 1.81x",
+        "✅ smart pairs stabilise the system; mixture pairing at/near "
+        "the top (our combined gains are larger than the paper's)",
+    ),
+    "fig14a": (
+        "live replay with failure: mixture 1.61x, superior to all",
+        "⚠️ all adaptive policies gain ~2x; mixture within noise of the "
+        "best",
+    ),
+    "fig14b": (
+        "affinity helps everyone, mixture most (2.1x total)",
+        "✅ affinity gain for every policy; mixture+affinity best overall",
+    ),
+    "fig14c": (
+        "mixture 1.22x over a monolithic model on the same data",
+        "⚠️ mixture ≈ monolithic here (deviation 1)",
+    ),
+    "fig15a": (
+        "experts 79-82% env-prediction accuracy; mixture 87%",
+        "✅ experts individually accurate; the mixture's chosen expert "
+        "at least as accurate as the average",
+    ),
+    "fig15b": (
+        "one expert dominates per scenario, but all get used",
+        "⚠️ dominance reproduces; usage concentrates on the two "
+        "platform-matched experts (deviation 3)",
+    ),
+    "fig15c": (
+        "adding experts steadily improves; 4 experts 1.22x over best "
+        "single",
+        "⚠️ full mixture ≈ best single expert; no catastrophic dip as "
+        "experts are added",
+    ),
+    "fig16": (
+        "8 experts (1.63x) > 4 experts (1.55x) > monolithic",
+        "⚠️ 8 ≈ 4 ≈ monolithic within a few percent (deviation 1)",
+    ),
+    "fig17": (
+        "experts prefer different thread ranges; mixture spans them",
+        "✅ per-expert distributions differ; mixture uses multiple "
+        "ranges",
+    ),
+    "abl_selector_quality": (
+        "(ours) hyperplane selection vs cheaper strategies",
+        "✅ shipped selector ≈ best; random selection collapses to ~1.0x",
+    ),
+    "abl_online_update": (
+        "(ours) value of Section 5.3's online updates",
+        "✅ pretrained+online ≥ frozen variants ≥ blind even partition",
+    ),
+    "abl_domain_weight": (
+        "(ours) domain-distance gating weight",
+        "✅ gating on (5-50) beats gating off (0)",
+    ),
+    "abl_envelope_clipping": (
+        "(ours) training-envelope clipping",
+        "✅ clipping beats raw linear extrapolation",
+    ),
+    "ext_svm_experts": (
+        "(Section 9 future work) SVM-style experts in the mixture",
+        "✅ kernel experts competitive; pooled mixture does not collapse",
+    ),
+    "ext_data_tradeoff": (
+        "(Section 9 future work) experts vs training-data size",
+        "✅ both model kinds degrade gracefully with less data",
+    ),
+    "ext_portability": (
+        "(Section 9 future work) unseen 48-core platform",
+        "✅ the 12/32-core experts transfer: clear gains over default",
+    ),
+    "ext_hierarchical": (
+        "(related work [18]) hierarchical vs flat expert gating",
+        "✅ the two-level gate is competitive with the flat gate",
+    ),
+    "ext_unseen_suite": (
+        "(extension) a whole suite never seen in training (Rodinia)",
+        "✅ the mixture's gains generalise to new kernel families",
+    ),
+    "ext_energy": (
+        "(extension, power motivation of [30]) energy to solution",
+        "✅ stopping over-threading saves energy, not just time",
+    ),
+    "ext_churn": (
+        "(extension) job churn: Poisson arrivals instead of fixed "
+        "restarting workloads",
+        "✅ the mixture's advantage survives contention that changes "
+        "through arrivals",
+    ),
+}
+
+
+def _headline() -> str:
+    """Fill the headline table from the measured fig08 overall row."""
+    path = RESULTS / "fig08.txt"
+    values = {}
+    if path.exists():
+        for line in path.read_text().splitlines():
+            if line.startswith("overall hmean"):
+                cells = line.split()
+                # scenario label is two words; policies follow the
+                # header order default/online/offline/analytic/mixture.
+                numbers = [float(v) for v in cells[2:]]
+                for name, value in zip(
+                    ("default", "online", "offline", "analytic",
+                     "mixture"), numbers,
+                ):
+                    values[name] = value
+    if not values:
+        return HEADER.replace("{MIX:.2f}", "?").replace(
+            "{VS_ONLINE:.2f}", "?").replace(
+            "{VS_OFFLINE:.2f}", "?").replace(
+            "{VS_ANALYTIC:.2f}", "?")
+    mixture = values["mixture"]
+    return HEADER.format(
+        MIX=mixture,
+        VS_ONLINE=mixture / values["online"],
+        VS_OFFLINE=mixture / values["offline"],
+        VS_ANALYTIC=mixture / values["analytic"],
+    )
+
+
+def main() -> None:
+    sections = [_headline()]
+    for name, (claim, verdict) in COMMENTARY.items():
+        sections.append(f"### {name}\n")
+        sections.append(f"*Paper:* {claim}\n")
+        sections.append(f"*Shape:* {verdict}\n")
+        path = RESULTS / f"{name}.txt"
+        if path.exists():
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```\n")
+        else:
+            sections.append(
+                "_(no saved table — run the benchmark suite first)_\n"
+            )
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("\n".join(sections))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""repro: mixture-of-experts runtime thread-count selection.
+
+A full reproduction of Emani & O'Boyle, "Celebrating Diversity: A
+Mixture of Experts Approach for Runtime Mapping in Dynamic Environments"
+(PLDI 2015), on a simulated multicore substrate.
+
+Quickstart::
+
+    from repro import (
+        SimMachine, XEON_L7555, PeriodicAvailability, JobSpec,
+        CoExecutionEngine, MixturePolicy, DefaultPolicy,
+        default_experts, get_program,
+    )
+
+    experts = default_experts()          # offline training (cached)
+    machine = SimMachine(
+        topology=XEON_L7555,
+        availability=PeriodicAvailability(max_processors=32, seed=1),
+    )
+    jobs = [
+        JobSpec(program=get_program("lu"),
+                policy=MixturePolicy(experts.experts), is_target=True),
+        JobSpec(program=get_program("mg"), policy=DefaultPolicy(),
+                job_id="workload", restart=True),
+    ]
+    result = CoExecutionEngine(machine, jobs).run()
+    print(result.target_time)
+"""
+
+from .compiler import IRBuilder, Module
+from .machine import (
+    CompactAffinity,
+    FailureWindow,
+    NoAffinity,
+    PeriodicAvailability,
+    ScatterAffinity,
+    SimMachine,
+    StaticAvailability,
+    Topology,
+    TraceAvailability,
+    TWELVE_CORE,
+    XEON_L7555,
+)
+from .programs import get as get_program
+from .programs import all_programs, ProgramModel
+from .workload import (
+    LiveTrace,
+    WorkloadSet,
+    generate_live_trace,
+    workload_sets,
+)
+from .runtime import (
+    CoExecutionEngine,
+    JobSpec,
+    SimulationResult,
+    TickTracer,
+    harmonic_mean,
+    speedup,
+)
+from . import reporting
+from .core import (
+    Expert,
+    ExpertBundle,
+    FEATURE_NAMES,
+    HyperplaneSelector,
+    TrainingConfig,
+    build_experts,
+    default_experts,
+)
+from .core.policies import (
+    AnalyticPolicy,
+    DefaultPolicy,
+    FixedPolicy,
+    MixturePolicy,
+    MonolithicPolicy,
+    OfflinePolicy,
+    OnlineHillClimbPolicy,
+    SingleExpertPolicy,
+    ThreadPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticPolicy",
+    "CoExecutionEngine",
+    "CompactAffinity",
+    "DefaultPolicy",
+    "Expert",
+    "ExpertBundle",
+    "FailureWindow",
+    "FEATURE_NAMES",
+    "FixedPolicy",
+    "HyperplaneSelector",
+    "IRBuilder",
+    "JobSpec",
+    "LiveTrace",
+    "MixturePolicy",
+    "Module",
+    "MonolithicPolicy",
+    "NoAffinity",
+    "OfflinePolicy",
+    "OnlineHillClimbPolicy",
+    "PeriodicAvailability",
+    "ProgramModel",
+    "ScatterAffinity",
+    "SimMachine",
+    "SimulationResult",
+    "SingleExpertPolicy",
+    "StaticAvailability",
+    "ThreadPolicy",
+    "TickTracer",
+    "Topology",
+    "TraceAvailability",
+    "TrainingConfig",
+    "TWELVE_CORE",
+    "WorkloadSet",
+    "XEON_L7555",
+    "all_programs",
+    "build_experts",
+    "default_experts",
+    "generate_live_trace",
+    "get_program",
+    "harmonic_mean",
+    "reporting",
+    "speedup",
+    "workload_sets",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Examples::
+
+    python -m repro fig8 --quick      # dynamic-environment summary
+    python -m repro tab1              # expert weights table
+    python -m repro fig15b            # expert selection frequency
+    python -m repro list              # all available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (
+    DYNAMIC_SCENARIOS,
+    EVALUATION_TARGETS,
+    LARGE_HIGH,
+    LARGE_LOW,
+    QUICK_TARGETS,
+    SMALL_HIGH,
+    SMALL_LOW,
+    run_adaptive_pairs,
+    run_affinity,
+    run_dynamic_scenario,
+    run_dynamic_summary,
+    run_env_accuracy,
+    run_expert_weights,
+    run_feature_impact,
+    run_granularity,
+    run_live_case_study,
+    run_motivation,
+    run_num_experts,
+    run_selection_frequency,
+    run_static_isolated,
+    run_thread_distribution,
+    run_workload_impact,
+)
+from .experiments.extensions import (
+    run_churn,
+    run_data_tradeoff,
+    run_energy,
+    run_model_comparison,
+    run_portability,
+    run_unseen_suite,
+)
+from .workload.trace import generate_live_trace
+
+
+def _fig1(quick: bool) -> str:
+    trace = generate_live_trace()
+    lines = ["== Figure 1: live system activity (synthetic log) =="]
+    lines.append(
+        f"{len(trace.times)} samples over "
+        f"{trace.times[-1] / 3600.0:.1f} hours on "
+        f"{trace.system.hw_contexts} hardware contexts"
+    )
+    step = max(1, len(trace.times) // 24)
+    for index in range(0, len(trace.times), step):
+        t = trace.times[index]
+        n = trace.threads[index]
+        bar = "#" * max(1, int(60 * n / trace.system.hw_contexts))
+        lines.append(f"{t / 3600.0:6.1f}h {n:6d} {bar}")
+    return "\n".join(lines)
+
+
+def _scale(quick: bool) -> float:
+    return 0.3 if quick else 1.0
+
+
+def _targets(quick: bool) -> Sequence[str]:
+    return QUICK_TARGETS if quick else EVALUATION_TARGETS
+
+
+#: Experiment registry: name -> (description, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("live-system activity trace",
+             lambda quick: _fig1(quick)),
+    "fig2": ("motivation timelines (lu vs mg)",
+             lambda quick: run_motivation(
+                 iterations_scale=_scale(quick)).format()),
+    "fig3": ("motivation speedups",
+             lambda quick: run_motivation(
+                 iterations_scale=_scale(quick)).format()),
+    "tab1": ("expert model weights",
+             lambda quick: run_expert_weights().format()),
+    "fig6": ("feature impact",
+             lambda quick: run_feature_impact().format()),
+    "fig7": ("isolated static system",
+             lambda quick: run_static_isolated(
+                 targets=_targets(quick),
+                 iterations_scale=_scale(quick)).format()),
+    "fig8": ("dynamic-environment summary",
+             lambda quick: run_dynamic_summary(
+                 targets=_targets(quick),
+                 iterations_scale=_scale(quick),
+                 seeds=(0,) if quick else (0, 1)).format()),
+    "fig9": ("small workload, low frequency",
+             lambda quick: run_dynamic_scenario(
+                 SMALL_LOW, targets=_targets(quick),
+                 iterations_scale=_scale(quick),
+                 seeds=(0,) if quick else (0, 1)).format()),
+    "fig10": ("small workload, high frequency",
+              lambda quick: run_dynamic_scenario(
+                  SMALL_HIGH, targets=_targets(quick),
+                  iterations_scale=_scale(quick),
+                  seeds=(0,) if quick else (0, 1)).format()),
+    "fig11": ("large workload, low frequency",
+              lambda quick: run_dynamic_scenario(
+                  LARGE_LOW, targets=_targets(quick),
+                  iterations_scale=_scale(quick),
+                  seeds=(0,) if quick else (0, 1)).format()),
+    "fig12": ("large workload, high frequency",
+              lambda quick: run_dynamic_scenario(
+                  LARGE_HIGH, targets=_targets(quick),
+                  iterations_scale=_scale(quick),
+                  seeds=(0,) if quick else (0, 1)).format()),
+    "fig13a": ("impact on workloads",
+               lambda quick: run_workload_impact(
+                   targets=_targets(quick),
+                   scenarios=DYNAMIC_SCENARIOS[:1 if quick else 4],
+                   iterations_scale=_scale(quick)).format()),
+    "fig13b": ("adaptive workload pairs",
+               lambda quick: run_adaptive_pairs(
+                   pairs=(("lu", "mg"), ("cg", "ep")),
+                   iterations_scale=_scale(quick)).format()),
+    "fig14a": ("live-system case study",
+               lambda quick: run_live_case_study(
+                   targets=_targets(quick),
+                   iterations_scale=_scale(quick)).format()),
+    "fig14b": ("affinity scheduling",
+               lambda quick: run_affinity(
+                   targets=_targets(quick),
+                   iterations_scale=_scale(quick)).format()),
+    "fig14c": ("monolithic vs mixture",
+               lambda quick: run_granularity(
+                   targets=_targets(quick), granularities=(1, 4),
+                   iterations_scale=_scale(quick)).format()),
+    "fig15a": ("environment predictor accuracy",
+               lambda quick: run_env_accuracy(
+                   targets=_targets(quick),
+                   scenarios=DYNAMIC_SCENARIOS[:1 if quick else 4],
+                   iterations_scale=_scale(quick)).format()),
+    "fig15b": ("expert selection frequency",
+               lambda quick: run_selection_frequency(
+                   targets=_targets(quick),
+                   iterations_scale=_scale(quick)).format()),
+    "fig15c": ("number of experts",
+               lambda quick: run_num_experts(
+                   targets=_targets(quick),
+                   iterations_scale=_scale(quick)).format()),
+    "fig16": ("expert granularity (1/4/8)",
+              lambda quick: run_granularity(
+                  targets=_targets(quick), granularities=(1, 4, 8),
+                  iterations_scale=_scale(quick)).format()),
+    "fig17": ("thread number distribution",
+              lambda quick: run_thread_distribution(
+                  targets=_targets(quick),
+                  iterations_scale=_scale(quick)).format()),
+    "ext-svm": ("Section 9: SVM-style experts",
+                lambda quick: run_model_comparison(
+                    iterations_scale=_scale(quick)).format()),
+    "ext-data": ("Section 9: experts vs training-data size",
+                 lambda quick: run_data_tradeoff(
+                     iterations_scale=_scale(quick)).format()),
+    "ext-port": ("Section 9: portability to a 48-core machine",
+                 lambda quick: run_portability(
+                     iterations_scale=_scale(quick)).format()),
+    "ext-churn": ("extension: mapping under job churn",
+                  lambda quick: run_churn(
+                      iterations_scale=_scale(quick)).format()),
+    "ext-rodinia": ("extension: unseen suite (Rodinia)",
+                    lambda quick: run_unseen_suite(
+                        iterations_scale=_scale(quick)).format()),
+    "ext-energy": ("extension: energy to solution",
+                   lambda quick: run_energy(
+                       iterations_scale=_scale(quick)).format()),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1..fig17, tab1) or 'list' / 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller target set and shorter programs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = (
+        list(EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; try 'list'"
+            )
+        description, runner = EXPERIMENTS[name]
+        started = time.time()
+        print(runner(args.quick))
+        print(f"[{name}: {description} — {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

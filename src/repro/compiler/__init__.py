@@ -1,0 +1,57 @@
+"""Mini compiler substrate: loop IR, builder, analysis passes, features.
+
+Stands in for the paper's LLVM-based static feature extraction
+(Section 5.2.2): benchmark programs are written as IR modules and every
+static code feature used by the predictive models is computed from the IR.
+"""
+
+from .ir import (
+    AccessPattern,
+    Function,
+    Instruction,
+    IRValidationError,
+    Module,
+    Opcode,
+    ParallelLoop,
+    Schedule,
+    format_module,
+)
+from .builder import IRBuilder, IRBuilderError
+from .passes import (
+    LoopAnalysis,
+    ModuleAnalysis,
+    PassManager,
+    analyze_loop,
+    analyze_module,
+)
+from .features import (
+    CODE_FEATURE_NAMES,
+    CodeFeatures,
+    extract_code_features,
+    extract_raw_loop_features,
+    raw_code_feature_names,
+)
+
+__all__ = [
+    "AccessPattern",
+    "CODE_FEATURE_NAMES",
+    "CodeFeatures",
+    "Function",
+    "IRBuilder",
+    "IRBuilderError",
+    "IRValidationError",
+    "Instruction",
+    "LoopAnalysis",
+    "Module",
+    "ModuleAnalysis",
+    "Opcode",
+    "ParallelLoop",
+    "PassManager",
+    "Schedule",
+    "analyze_loop",
+    "analyze_module",
+    "extract_code_features",
+    "extract_raw_loop_features",
+    "format_module",
+    "raw_code_feature_names",
+]

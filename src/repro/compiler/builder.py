@@ -1,0 +1,184 @@
+"""Fluent builder for constructing IR modules.
+
+Benchmark program definitions in :mod:`repro.programs` use this builder to
+write their kernels, e.g.::
+
+    b = IRBuilder("cg")
+    with b.function("conj_grad"):
+        with b.parallel_loop("spmv", trip_count=75000,
+                             access=AccessPattern.IRREGULAR):
+            b.load("row"); b.load("col"); b.load("x")
+            b.fmul(); b.fadd(); b.store("y")
+            b.barrier()
+    module = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Iterator, Optional
+
+from .ir import (
+    AccessPattern,
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+    ParallelLoop,
+    Schedule,
+)
+
+
+class IRBuilderError(RuntimeError):
+    """Raised on misuse of the builder (e.g. emitting outside a function)."""
+
+
+class IRBuilder:
+    """Incrementally constructs a :class:`~repro.compiler.ir.Module`."""
+
+    def __init__(self, module_name: str):
+        self._module = Module(name=module_name)
+        self._function: Optional[Function] = None
+        self._loop_stack: list[ParallelLoop] = []
+        self._value_counter = itertools.count()
+
+    # -- structure -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def function(self, name: str) -> Iterator[Function]:
+        """Open a function scope; instructions emitted inside belong to it."""
+        if self._function is not None:
+            raise IRBuilderError("functions cannot be nested")
+        self._function = Function(name=name)
+        try:
+            yield self._function
+        finally:
+            self._module.functions.append(self._function)
+            self._function = None
+
+    @contextlib.contextmanager
+    def parallel_loop(
+        self,
+        name: str,
+        trip_count: int = 1,
+        schedule: Schedule = Schedule.STATIC,
+        access: AccessPattern = AccessPattern.REGULAR,
+        reduction: bool = False,
+    ) -> Iterator[ParallelLoop]:
+        """Open a loop scope.
+
+        At top level inside a function this creates a parallel loop; nested
+        inside another loop it creates an inner (serial) loop whose counts
+        are weighted by ``trip_count``.
+        """
+        if self._function is None:
+            raise IRBuilderError("parallel_loop requires an open function")
+        loop = ParallelLoop(
+            name=name,
+            trip_count=trip_count,
+            schedule=schedule,
+            access_pattern=access,
+            has_reduction=reduction,
+        )
+        if self._loop_stack:
+            self._loop_stack[-1].nested.append(loop)
+        else:
+            self._function.loops.append(loop)
+        self._loop_stack.append(loop)
+        try:
+            yield loop
+        finally:
+            self._loop_stack.pop()
+
+    def build(self, validate: bool = True) -> Module:
+        """Finish construction and return the module."""
+        if self._function is not None:
+            raise IRBuilderError("build() called with an open function")
+        if validate:
+            self._module.validate()
+        return self._module
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, opcode: Opcode, *operands: str,
+             result: Optional[str] = None) -> Instruction:
+        """Emit one instruction into the innermost open scope."""
+        if self._function is None:
+            raise IRBuilderError("emit requires an open function")
+        inst = Instruction(opcode=opcode, operands=tuple(operands),
+                           result=result)
+        if self._loop_stack:
+            self._loop_stack[-1].body.append(inst)
+        else:
+            self._function.serial.append(inst)
+        return inst
+
+    def _fresh(self) -> str:
+        return f"%v{next(self._value_counter)}"
+
+    # Convenience emitters.  Each returns the emitted instruction; the
+    # result name is synthesised so modules stay printable.
+
+    def load(self, addr: str = "%mem") -> Instruction:
+        return self.emit(Opcode.LOAD, addr, result=self._fresh())
+
+    def store(self, addr: str = "%mem") -> Instruction:
+        return self.emit(Opcode.STORE, addr)
+
+    def gep(self, base: str = "%base") -> Instruction:
+        return self.emit(Opcode.GEP, base, result=self._fresh())
+
+    def add(self) -> Instruction:
+        return self.emit(Opcode.ADD, result=self._fresh())
+
+    def sub(self) -> Instruction:
+        return self.emit(Opcode.SUB, result=self._fresh())
+
+    def mul(self) -> Instruction:
+        return self.emit(Opcode.MUL, result=self._fresh())
+
+    def div(self) -> Instruction:
+        return self.emit(Opcode.DIV, result=self._fresh())
+
+    def fadd(self) -> Instruction:
+        return self.emit(Opcode.FADD, result=self._fresh())
+
+    def fsub(self) -> Instruction:
+        return self.emit(Opcode.FSUB, result=self._fresh())
+
+    def fmul(self) -> Instruction:
+        return self.emit(Opcode.FMUL, result=self._fresh())
+
+    def fdiv(self) -> Instruction:
+        return self.emit(Opcode.FDIV, result=self._fresh())
+
+    def fma(self) -> Instruction:
+        return self.emit(Opcode.FMA, result=self._fresh())
+
+    def sqrt(self) -> Instruction:
+        return self.emit(Opcode.SQRT, result=self._fresh())
+
+    def cmp(self) -> Instruction:
+        return self.emit(Opcode.CMP, result=self._fresh())
+
+    def branch(self) -> Instruction:
+        return self.emit(Opcode.BRANCH)
+
+    def cond_branch(self) -> Instruction:
+        return self.emit(Opcode.COND_BRANCH)
+
+    def call(self, callee: str = "f") -> Instruction:
+        return self.emit(Opcode.CALL, callee, result=self._fresh())
+
+    def barrier(self) -> Instruction:
+        return self.emit(Opcode.BARRIER)
+
+    def atomic(self) -> Instruction:
+        return self.emit(Opcode.ATOMIC)
+
+    def critical(self) -> Instruction:
+        return self.emit(Opcode.CRITICAL)
+
+    def reduce(self) -> Instruction:
+        return self.emit(Opcode.REDUCE)

@@ -1,0 +1,154 @@
+"""Static code feature extraction.
+
+The paper collects 134 raw features "comprising of many code (c) and
+environment (e) parameters available within our LLVM-based compiler and
+Linux", then selects 10 by information gain.  This module provides the
+*code* half: per-parallel-loop raw features computed from the IR, and the
+three canonical code features that survive selection:
+
+* ``f1`` load/store count, ``f2`` instructions, ``f3`` branches —
+  each **normalized to the total number of instructions in the program**
+  (Section 5.2.2).
+
+The environment half lives in :mod:`repro.sched.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .ir import Module, Opcode, ParallelLoop, Schedule, AccessPattern
+from .passes import LoopAnalysis, ModuleAnalysis, analyze_loop, analyze_module
+
+#: Names of the canonical code features (f^1..f^3 of Table 1).
+CODE_FEATURE_NAMES = ("load_store_count", "instructions", "branches")
+
+
+@dataclass(frozen=True)
+class CodeFeatures:
+    """The canonical 3 code features of a parallel loop.
+
+    All three are normalized to the total dynamic instruction count of the
+    enclosing program, so they are dimensionless and comparable across
+    programs (the example vectors in Section 5.4 have code entries around
+    0.01-0.2).
+    """
+
+    load_store_count: float
+    instructions: float
+    branches: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.load_store_count, self.instructions, self.branches)
+
+
+def extract_code_features(
+    module: Module, loop_name: str, analysis: ModuleAnalysis | None = None
+) -> CodeFeatures:
+    """Extract f1..f3 for one parallel loop of ``module``."""
+    if analysis is None:
+        analysis = analyze_module(module)
+    try:
+        loop = analysis.loops[loop_name]
+    except KeyError:
+        raise KeyError(
+            f"module {module.name!r} has no parallel loop {loop_name!r}"
+        ) from None
+    total = max(analysis.total_instructions, 1)
+    return CodeFeatures(
+        load_store_count=(loop.loads + loop.stores) / total,
+        instructions=loop.total / total,
+        branches=loop.branches / total,
+    )
+
+
+def extract_raw_loop_features(
+    module: Module, loop: ParallelLoop
+) -> Dict[str, float]:
+    """Extract the full raw static feature dictionary for one loop.
+
+    These are the code-side candidates that enter information-gain
+    selection (:mod:`repro.core.feature_selection`).  The union of these
+    with the raw environment counters reproduces the paper's 134-feature
+    candidate pool.
+    """
+    analysis = analyze_loop(loop)
+    mod_analysis = analyze_module(module)
+    total = max(analysis.total, 1)
+    prog_total = max(mod_analysis.total_instructions, 1)
+
+    features: Dict[str, float] = {
+        # The canonical three (program-normalized).
+        "code.load_store_count": (analysis.loads + analysis.stores) / prog_total,
+        "code.instructions": analysis.total / prog_total,
+        "code.branches": analysis.branches / prog_total,
+        # Absolute dynamic counts.
+        "code.raw.total": float(analysis.total),
+        "code.raw.loads": float(analysis.loads),
+        "code.raw.stores": float(analysis.stores),
+        "code.raw.memory_ops": float(analysis.memory_ops),
+        "code.raw.branches": float(analysis.branches),
+        "code.raw.float_ops": float(analysis.float_ops),
+        "code.raw.int_ops": float(analysis.int_ops),
+        "code.raw.sync_ops": float(analysis.sync_ops),
+        "code.raw.calls": float(analysis.calls),
+        # Intensities (loop-normalized).
+        "code.memory_intensity": analysis.memory_intensity,
+        "code.branch_intensity": analysis.branch_intensity,
+        "code.arithmetic_intensity": analysis.arithmetic_intensity,
+        "code.sync_intensity": analysis.sync_intensity,
+        "code.float_fraction": analysis.float_ops / total,
+        "code.int_fraction": analysis.int_ops / total,
+        "code.call_fraction": analysis.calls / total,
+        "code.load_fraction": analysis.loads / total,
+        "code.store_fraction": analysis.stores / total,
+        "code.load_store_ratio": (
+            analysis.loads / analysis.stores if analysis.stores else 0.0
+        ),
+        # Structure.
+        "code.trip_count": float(analysis.trip_count),
+        "code.loop_depth": float(analysis.depth),
+        "code.body_size": float(loop.weighted_count()),
+        "code.has_reduction": 1.0 if analysis.has_reduction else 0.0,
+        "code.schedule_static": 1.0 if analysis.schedule is Schedule.STATIC else 0.0,
+        "code.schedule_dynamic": 1.0 if analysis.schedule is Schedule.DYNAMIC else 0.0,
+        "code.schedule_guided": 1.0 if analysis.schedule is Schedule.GUIDED else 0.0,
+        "code.access_regular": (
+            1.0 if analysis.access_pattern is AccessPattern.REGULAR else 0.0
+        ),
+        "code.access_strided": (
+            1.0 if analysis.access_pattern is AccessPattern.STRIDED else 0.0
+        ),
+        "code.access_irregular": (
+            1.0 if analysis.access_pattern is AccessPattern.IRREGULAR else 0.0
+        ),
+        # Module-level context.
+        "code.module_parallel_fraction": mod_analysis.parallel_fraction,
+        "code.module_total": float(mod_analysis.total_instructions),
+        "code.module_serial": float(mod_analysis.serial_instructions),
+        "code.module_num_loops": float(len(mod_analysis.loops)),
+    }
+    # Per-opcode dynamic counts, one feature each — this is where most of
+    # the "many parameters" of the raw pool come from.
+    for opcode in Opcode:
+        features[f"code.opcount.{opcode.value}"] = float(
+            loop.dynamic_count(lambda i, op=opcode: i.opcode is op)
+        )
+    return features
+
+
+def raw_code_feature_names() -> list[str]:
+    """Names of all raw code features, in deterministic order."""
+    from .builder import IRBuilder  # local import to avoid cycle at import
+
+    builder = IRBuilder("probe")
+    with builder.function("f"):
+        with builder.parallel_loop("l", trip_count=2):
+            builder.load()
+            builder.store()
+            builder.fadd()
+            builder.branch()
+    module = builder.build()
+    loop = next(module.parallel_loops())
+    return sorted(extract_raw_loop_features(module, loop))

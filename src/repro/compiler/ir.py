@@ -1,0 +1,302 @@
+"""A miniature loop-oriented intermediate representation.
+
+The paper extracts static code features "available within our LLVM-based
+compiler".  We reproduce that pipeline with a small IR: benchmark programs
+are *written as IR modules* (see :mod:`repro.programs`), and every static
+code feature that reaches a predictive model is *computed* from the IR by
+analysis passes (:mod:`repro.compiler.passes`) and the feature extractor
+(:mod:`repro.compiler.features`), never hard-coded.
+
+The IR is deliberately simple: a :class:`Module` contains
+:class:`Function`'s, a function contains straight-line serial code and
+:class:`ParallelLoop`'s, and a loop body is a flat list of
+:class:`Instruction`'s plus optional nested loops.  This is the granularity
+the paper's feature set needs (load/store, instruction and branch counts at
+each parallel loop), with enough structure (nesting, schedules, access
+patterns) for the richer raw feature set of Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes, grouped loosely by LLVM's categories."""
+
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    GEP = "gep"  # address computation
+    PREFETCH = "prefetch"
+    # Integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    SHIFT = "shift"
+    BITOP = "bitop"
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMA = "fma"
+    SQRT = "sqrt"
+    # Control
+    BRANCH = "br"
+    COND_BRANCH = "condbr"
+    SWITCH = "switch"
+    CALL = "call"
+    RET = "ret"
+    PHI = "phi"
+    CMP = "cmp"
+    SELECT = "select"
+    # Parallel / synchronisation
+    BARRIER = "barrier"
+    ATOMIC = "atomic"
+    CRITICAL = "critical"
+    REDUCE = "reduce"
+
+
+#: Opcodes counted as memory operations by the extractor.
+MEMORY_OPCODES = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.GEP, Opcode.PREFETCH}
+)
+
+#: Opcodes counted as branches (f^3 in the paper).
+BRANCH_OPCODES = frozenset(
+    {Opcode.BRANCH, Opcode.COND_BRANCH, Opcode.SWITCH}
+)
+
+#: Opcodes counted as floating-point arithmetic.
+FLOAT_OPCODES = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FMA,
+     Opcode.SQRT}
+)
+
+#: Opcodes counted as integer arithmetic.
+INT_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+     Opcode.SHIFT, Opcode.BITOP}
+)
+
+#: Opcodes that synchronise threads.
+SYNC_OPCODES = frozenset(
+    {Opcode.BARRIER, Opcode.ATOMIC, Opcode.CRITICAL, Opcode.REDUCE}
+)
+
+
+class AccessPattern(enum.Enum):
+    """Dominant memory access pattern of a loop body.
+
+    ``IRREGULAR`` marks the indirect/gather-style accesses the paper calls
+    out for cg/mg/art ("irregular memory accesses and barriers").
+    """
+
+    REGULAR = "regular"
+    STRIDED = "strided"
+    IRREGULAR = "irregular"
+
+
+class Schedule(enum.Enum):
+    """OpenMP-style loop schedule."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One IR instruction.
+
+    Operands are opaque value names; the feature extractor only looks at
+    opcodes, so operands exist to make modules readable and printable.
+    """
+
+    opcode: Opcode
+    operands: Tuple[str, ...] = ()
+    result: Optional[str] = None
+
+    def __str__(self) -> str:
+        ops = ", ".join(self.operands)
+        if self.result is not None:
+            return f"{self.result} = {self.opcode.value} {ops}".rstrip()
+        return f"{self.opcode.value} {ops}".rstrip()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def is_sync(self) -> bool:
+        return self.opcode in SYNC_OPCODES
+
+
+@dataclass
+class ParallelLoop:
+    """A parallel loop (an ``omp parallel for`` region).
+
+    ``body`` holds the instructions of one iteration; ``trip_count`` is the
+    compiler's (static) iteration-count estimate.  ``nested`` holds inner
+    serial loops, whose instruction counts are weighted by their own trip
+    counts when totals are computed.
+    """
+
+    name: str
+    body: list[Instruction] = field(default_factory=list)
+    trip_count: int = 1
+    nested: list["ParallelLoop"] = field(default_factory=list)
+    schedule: Schedule = Schedule.STATIC
+    access_pattern: AccessPattern = AccessPattern.REGULAR
+    has_reduction: bool = False
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Yield all instructions, including nested loops', once each."""
+        yield from self.body
+        for inner in self.nested:
+            yield from inner.instructions()
+
+    def weighted_count(self, predicate=None) -> int:
+        """Count dynamic instruction executions for one outer iteration.
+
+        Nested loop bodies are multiplied by their trip counts.  With
+        ``predicate`` given, only matching instructions are counted.
+        """
+        count = sum(
+            1 for inst in self.body if predicate is None or predicate(inst)
+        )
+        for inner in self.nested:
+            count += inner.trip_count * inner.weighted_count(predicate)
+        return count
+
+    def dynamic_count(self, predicate=None) -> int:
+        """Count dynamic instruction executions across all iterations."""
+        return self.trip_count * self.weighted_count(predicate)
+
+    @property
+    def depth(self) -> int:
+        """Maximum loop-nest depth rooted at this loop."""
+        if not self.nested:
+            return 1
+        return 1 + max(inner.depth for inner in self.nested)
+
+    def validate(self) -> None:
+        """Raise :class:`IRValidationError` if the loop is malformed."""
+        if self.trip_count < 1:
+            raise IRValidationError(
+                f"loop {self.name!r}: trip_count must be >= 1, "
+                f"got {self.trip_count}"
+            )
+        if not self.body and not self.nested:
+            raise IRValidationError(f"loop {self.name!r} has an empty body")
+        for inner in self.nested:
+            inner.validate()
+
+
+@dataclass
+class Function:
+    """A function: serial preamble instructions plus parallel loops."""
+
+    name: str
+    serial: list[Instruction] = field(default_factory=list)
+    loops: list[ParallelLoop] = field(default_factory=list)
+
+    def instructions(self) -> Iterator[Instruction]:
+        yield from self.serial
+        for loop in self.loops:
+            yield from loop.instructions()
+
+    def validate(self) -> None:
+        for loop in self.loops:
+            loop.validate()
+
+
+@dataclass
+class Module:
+    """A whole program in IR form."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for function in self.functions:
+            yield from function.instructions()
+
+    def parallel_loops(self) -> Iterator[ParallelLoop]:
+        for function in self.functions:
+            yield from function.loops
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"module {self.name!r} has no function {name!r}")
+
+    def validate(self) -> None:
+        """Validate the whole module; raise on malformed IR."""
+        if not self.functions:
+            raise IRValidationError(f"module {self.name!r} has no functions")
+        seen: set[str] = set()
+        for function in self.functions:
+            if function.name in seen:
+                raise IRValidationError(
+                    f"module {self.name!r}: duplicate function "
+                    f"{function.name!r}"
+                )
+            seen.add(function.name)
+            function.validate()
+
+    def __str__(self) -> str:
+        return format_module(self)
+
+
+class IRValidationError(ValueError):
+    """Raised when a module violates IR structural invariants."""
+
+
+def format_module(module: Module) -> str:
+    """Pretty-print a module in a vaguely LLVM-ish textual form."""
+    lines = [f"module {module.name} {{"]
+    for function in module.functions:
+        lines.append(f"  func {function.name}() {{")
+        for inst in function.serial:
+            lines.append(f"    {inst}")
+        for loop in function.loops:
+            lines.extend(_format_loop(loop, indent=4))
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_loop(loop: ParallelLoop, indent: int) -> list[str]:
+    pad = " " * indent
+    header = (
+        f"{pad}parallel_loop {loop.name} "
+        f"[trip={loop.trip_count}, sched={loop.schedule.value}, "
+        f"access={loop.access_pattern.value}"
+        + (", reduction" if loop.has_reduction else "")
+        + "] {"
+    )
+    lines = [header]
+    for inst in loop.body:
+        lines.append(f"{pad}  {inst}")
+    for inner in loop.nested:
+        lines.extend(_format_loop(inner, indent + 2))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def count_instructions(
+    items: Sequence[Instruction], predicate=None
+) -> int:
+    """Count instructions in a flat sequence, optionally filtered."""
+    return sum(1 for inst in items if predicate is None or predicate(inst))

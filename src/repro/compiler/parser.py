@@ -1,0 +1,195 @@
+"""Textual IR parser: the inverse of :func:`repro.compiler.ir.format_module`.
+
+Lets benchmark kernels be written (or dumped, hand-edited and re-read)
+as text::
+
+    module saxpy {
+      func main() {
+        %v0 = call init
+        parallel_loop axpy [trip=1000, sched=static, access=regular] {
+          %v1 = load %x
+          %v2 = fmul
+          store %y
+        }
+      }
+    }
+
+The grammar is line-oriented: one instruction or structural token per
+line.  Loop headers carry the bracketed attribute list emitted by the
+printer; all attributes are optional and default to the dataclass
+defaults.  Parse errors carry line numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ir import (
+    AccessPattern,
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+    ParallelLoop,
+    Schedule,
+)
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR, with a line number."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_MODULE_RE = re.compile(r"^module\s+(\S+)\s*\{$")
+_FUNC_RE = re.compile(r"^func\s+(\S+?)\(\)\s*\{$")
+_LOOP_RE = re.compile(
+    r"^parallel_loop\s+(\S+)\s*(?:\[(.*)\])?\s*\{$"
+)
+_INST_RE = re.compile(
+    r"^(?:(%\S+)\s*=\s*)?([a-z_]+)\s*(.*)$"
+)
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+
+def _parse_loop_attrs(
+    raw: str, line_number: int
+) -> Tuple[int, Schedule, AccessPattern, bool]:
+    trip = 1
+    schedule = Schedule.STATIC
+    access = AccessPattern.REGULAR
+    reduction = False
+    for part in filter(None, (p.strip() for p in raw.split(","))):
+        if part == "reduction":
+            reduction = True
+            continue
+        if "=" not in part:
+            raise IRParseError(
+                line_number, f"malformed loop attribute {part!r}"
+            )
+        key, _, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        try:
+            if key == "trip":
+                trip = int(value)
+            elif key == "sched":
+                schedule = Schedule(value)
+            elif key == "access":
+                access = AccessPattern(value)
+            else:
+                raise IRParseError(
+                    line_number, f"unknown loop attribute {key!r}"
+                )
+        except ValueError as error:
+            if isinstance(error, IRParseError):
+                raise
+            raise IRParseError(
+                line_number, f"bad value for {key!r}: {value!r}"
+            ) from None
+    return trip, schedule, access, reduction
+
+
+def _parse_instruction(line: str, line_number: int) -> Instruction:
+    match = _INST_RE.match(line)
+    if not match:
+        raise IRParseError(line_number, f"malformed instruction {line!r}")
+    result, opcode_name, operand_text = match.groups()
+    opcode = _OPCODES_BY_NAME.get(opcode_name)
+    if opcode is None:
+        raise IRParseError(
+            line_number, f"unknown opcode {opcode_name!r}"
+        )
+    operands = tuple(
+        part.strip() for part in operand_text.split(",")
+        if part.strip()
+    ) if operand_text.strip() else ()
+    return Instruction(opcode=opcode, operands=operands, result=result)
+
+
+def parse_module(text: str, validate: bool = True) -> Module:
+    """Parse a textual module back into IR.
+
+    Round-trip property: ``parse_module(format_module(m))`` equals ``m``
+    structurally (checked by the test suite, including by hypothesis).
+    """
+    module: Optional[Module] = None
+    function: Optional[Function] = None
+    loop_stack: List[ParallelLoop] = []
+    closed = False
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if closed:
+            raise IRParseError(line_number, "content after module end")
+
+        if module is None:
+            match = _MODULE_RE.match(line)
+            if not match:
+                raise IRParseError(
+                    line_number, "expected 'module <name> {'"
+                )
+            module = Module(name=match.group(1))
+            continue
+
+        if line == "}":
+            if loop_stack:
+                loop_stack.pop()
+            elif function is not None:
+                module.functions.append(function)
+                function = None
+            else:
+                closed = True
+            continue
+
+        match = _FUNC_RE.match(line)
+        if match:
+            if function is not None:
+                raise IRParseError(line_number, "nested function")
+            function = Function(name=match.group(1))
+            continue
+
+        match = _LOOP_RE.match(line)
+        if match:
+            if function is None:
+                raise IRParseError(
+                    line_number, "parallel_loop outside a function"
+                )
+            name, attrs = match.group(1), match.group(2) or ""
+            trip, schedule, access, reduction = _parse_loop_attrs(
+                attrs, line_number,
+            )
+            loop = ParallelLoop(
+                name=name, trip_count=trip, schedule=schedule,
+                access_pattern=access, has_reduction=reduction,
+            )
+            if loop_stack:
+                loop_stack[-1].nested.append(loop)
+            else:
+                function.loops.append(loop)
+            loop_stack.append(loop)
+            continue
+
+        # Otherwise: an instruction.
+        if function is None:
+            raise IRParseError(
+                line_number, f"instruction outside a function: {line!r}"
+            )
+        inst = _parse_instruction(line, line_number)
+        if loop_stack:
+            loop_stack[-1].body.append(inst)
+        else:
+            function.serial.append(inst)
+
+    if module is None:
+        raise IRParseError(0, "empty input")
+    if not closed:
+        raise IRParseError(0, "unexpected end of input (missing '}')")
+    if validate:
+        module.validate()
+    return module

@@ -1,0 +1,154 @@
+"""Analysis passes over the IR.
+
+Mirrors the structure of a compiler pass pipeline: each pass consumes a
+:class:`~repro.compiler.ir.Module` (or a single loop) and produces a named
+analysis result.  The static feature extractor composes these passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable
+
+from .ir import (
+    AccessPattern,
+    BRANCH_OPCODES,
+    FLOAT_OPCODES,
+    INT_OPCODES,
+    MEMORY_OPCODES,
+    Module,
+    Opcode,
+    ParallelLoop,
+    Schedule,
+    SYNC_OPCODES,
+)
+
+
+@dataclass(frozen=True)
+class LoopAnalysis:
+    """Per-parallel-loop analysis summary (dynamic, trip-count weighted)."""
+
+    name: str
+    total: int
+    memory_ops: int
+    loads: int
+    stores: int
+    branches: int
+    float_ops: int
+    int_ops: int
+    sync_ops: int
+    calls: int
+    depth: int
+    trip_count: int
+    schedule: Schedule
+    access_pattern: AccessPattern
+    has_reduction: bool
+
+    @property
+    def memory_intensity(self) -> float:
+        """Fraction of dynamic instructions that touch memory."""
+        return self.memory_ops / self.total if self.total else 0.0
+
+    @property
+    def branch_intensity(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per memory operation (the roofline-model x axis)."""
+        if self.memory_ops == 0:
+            return float(self.float_ops)
+        return self.float_ops / self.memory_ops
+
+    @property
+    def sync_intensity(self) -> float:
+        return self.sync_ops / self.total if self.total else 0.0
+
+
+def analyze_loop(loop: ParallelLoop) -> LoopAnalysis:
+    """Run all per-loop analyses and bundle the results."""
+
+    def dyn(predicate: Callable) -> int:
+        return loop.dynamic_count(predicate)
+
+    total = loop.dynamic_count()
+    return LoopAnalysis(
+        name=loop.name,
+        total=total,
+        memory_ops=dyn(lambda i: i.opcode in MEMORY_OPCODES),
+        loads=dyn(lambda i: i.opcode is Opcode.LOAD),
+        stores=dyn(lambda i: i.opcode is Opcode.STORE),
+        branches=dyn(lambda i: i.opcode in BRANCH_OPCODES),
+        float_ops=dyn(lambda i: i.opcode in FLOAT_OPCODES),
+        int_ops=dyn(lambda i: i.opcode in INT_OPCODES),
+        sync_ops=dyn(lambda i: i.opcode in SYNC_OPCODES),
+        calls=dyn(lambda i: i.opcode is Opcode.CALL),
+        depth=loop.depth,
+        trip_count=loop.trip_count,
+        schedule=loop.schedule,
+        access_pattern=loop.access_pattern,
+        has_reduction=loop.has_reduction,
+    )
+
+
+@dataclass(frozen=True)
+class ModuleAnalysis:
+    """Whole-module analysis: totals plus per-loop summaries."""
+
+    name: str
+    total_instructions: int
+    serial_instructions: int
+    loops: Dict[str, LoopAnalysis]
+
+    @property
+    def parallel_instructions(self) -> int:
+        return sum(loop.total for loop in self.loops.values())
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Static estimate of Amdahl's parallel fraction."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.parallel_instructions / self.total_instructions
+
+
+def analyze_module(module: Module) -> ModuleAnalysis:
+    """Analyse every parallel loop plus the serial remainder."""
+    loops: Dict[str, LoopAnalysis] = {}
+    serial = 0
+    for function in module.functions:
+        serial += len(function.serial)
+        for loop in function.loops:
+            analysis = analyze_loop(loop)
+            if analysis.name in loops:
+                raise ValueError(
+                    f"module {module.name!r}: duplicate loop name "
+                    f"{analysis.name!r}"
+                )
+            loops[analysis.name] = analysis
+    total = serial + sum(a.total for a in loops.values())
+    return ModuleAnalysis(
+        name=module.name,
+        total_instructions=total,
+        serial_instructions=serial,
+        loops=loops,
+    )
+
+
+class PassManager:
+    """Caches module analyses, mimicking a compiler analysis manager."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, ModuleAnalysis] = {}
+
+    def get(self, module: Module) -> ModuleAnalysis:
+        key = id(module)
+        if key not in self._cache:
+            self._cache[key] = analyze_module(module)
+        return self._cache[key]
+
+    def invalidate(self, module: Module) -> None:
+        self._cache.pop(id(module), None)
+
+    def analyze_many(self, modules: Iterable[Module]) -> Dict[str, ModuleAnalysis]:
+        return {m.name: self.get(m) for m in modules}

@@ -1,0 +1,192 @@
+"""Feature selection and feature-impact analysis (Section 5.2.2, Fig 6).
+
+"During the training phase 134 features were collected, comprising of
+many code and environment parameters available within our LLVM-based
+compiler and Linux.  From these, 10 features were chosen that were found
+to be critical to the models based on the quality of information gain."
+
+:func:`build_candidate_pool` composes exactly 134 named candidates per
+observation: the raw static code features from the IR extractor, the raw
+environment counters from the stats sampler, their one-step lags, and
+code-environment interaction terms.  :func:`rank_by_information_gain`
+scores them against the best-thread label.
+
+Figure 6's *feature impact* π — "the drop in prediction accuracy of the
+model when this feature alone was removed from the feature-set" — is
+:func:`feature_impact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .features import FEATURE_NAMES, FeatureSample
+from .regression import accuracy_within, fit_least_squares
+
+#: The candidate-pool size the paper reports.
+CANDIDATE_POOL_SIZE = 134
+
+#: Canonical-code x environment interaction pairs in the pool.
+_INTERACTION_CODE = (
+    "code.load_store_count", "code.instructions", "code.branches",
+)
+_INTERACTION_ENV = (
+    "env.workload_threads", "env.processors", "env.runq_sz",
+    "env.ldavg_1", "env.cached_memory",
+)
+
+#: Environment x environment interaction pairs in the pool.
+_ENV_INTERACTIONS = (
+    ("env.processors", "env.ldavg_1"),
+    ("env.workload_threads", "env.processors"),
+    ("env.runq_sz", "env.cached_memory"),
+    ("env.ldavg_1", "env.pages_free_rate"),
+)
+
+
+def build_candidate_pool(
+    code_raw: Mapping[str, float],
+    env_raw: Mapping[str, float],
+    prev_env_raw: Mapping[str, float],
+) -> Dict[str, float]:
+    """Compose the 134-feature candidate pool for one observation."""
+    pool: Dict[str, float] = {}
+    pool.update(code_raw)
+    pool.update(env_raw)
+    for name in sorted(env_raw):
+        if name.endswith(".sq") or name.endswith(".log1p"):
+            continue
+        pool[f"{name}.lag1"] = float(prev_env_raw.get(name, 0.0))
+    for code_name in _INTERACTION_CODE:
+        for env_name in _INTERACTION_ENV:
+            pool[f"{code_name}*{env_name}"] = (
+                float(code_raw[code_name]) * float(env_raw[env_name])
+            )
+    for left, right in _ENV_INTERACTIONS:
+        pool[f"{left}*{right}"] = (
+            float(env_raw[left]) * float(env_raw[right])
+        )
+    if len(pool) != CANDIDATE_POOL_SIZE:
+        raise RuntimeError(
+            f"candidate pool has {len(pool)} features, expected "
+            f"{CANDIDATE_POOL_SIZE}; the raw extractors changed shape"
+        )
+    return pool
+
+
+def _discretize(values: np.ndarray, bins: int) -> np.ndarray:
+    """Equal-frequency discretisation for information-gain estimation."""
+    values = np.asarray(values, dtype=float)
+    if np.all(values == values[0]):
+        return np.zeros(len(values), dtype=int)
+    quantiles = np.quantile(values, np.linspace(0, 1, bins + 1)[1:-1])
+    return np.searchsorted(quantiles, values, side="right")
+
+
+def _entropy(labels: np.ndarray) -> float:
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def information_gain(
+    feature: np.ndarray, labels: np.ndarray, bins: int = 8
+) -> float:
+    """IG(label; discretised feature) in bits."""
+    feature = np.asarray(feature, dtype=float)
+    labels = np.asarray(labels)
+    if feature.shape != labels.shape:
+        raise ValueError("feature and labels must align")
+    if len(feature) == 0:
+        raise ValueError("empty dataset")
+    cells = _discretize(feature, bins)
+    base = _entropy(labels)
+    conditional = 0.0
+    for cell in np.unique(cells):
+        mask = cells == cell
+        conditional += mask.mean() * _entropy(labels[mask])
+    return max(0.0, base - conditional)
+
+
+@dataclass(frozen=True)
+class RankedFeature:
+    name: str
+    gain: float
+
+
+def rank_by_information_gain(
+    table: Mapping[str, np.ndarray],
+    labels: np.ndarray,
+    bins: int = 8,
+) -> List[RankedFeature]:
+    """All candidates, ranked by information gain (descending)."""
+    if not table:
+        raise ValueError("empty feature table")
+    ranked = [
+        RankedFeature(name=name,
+                      gain=information_gain(np.asarray(vals), labels, bins))
+        for name, vals in table.items()
+    ]
+    ranked.sort(key=lambda rf: (-rf.gain, rf.name))
+    return ranked
+
+
+def select_features(
+    table: Mapping[str, np.ndarray],
+    labels: np.ndarray,
+    k: int = 10,
+    bins: int = 8,
+) -> List[str]:
+    """Names of the top-k candidates by information gain."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ranked = rank_by_information_gain(table, labels, bins)
+    return [rf.name for rf in ranked[:k]]
+
+
+def feature_impact(
+    samples: Sequence[FeatureSample],
+    tolerance: float = 0.25,
+) -> Dict[str, float]:
+    """Figure 6's π per canonical feature for one expert's data.
+
+    Fits the thread model on all 10 features and on each 9-feature
+    subset; the impact of a feature is the accuracy drop its removal
+    causes, floored at zero and normalized to sum to 1.
+    """
+    samples = list(samples)
+    if len(samples) < len(FEATURE_NAMES) + 2:
+        raise ValueError("not enough samples to measure feature impact")
+    X = np.stack([s.features for s in samples])
+    y = np.array([s.best_threads for s in samples], dtype=float)
+    scorer = accuracy_within(tolerance)
+
+    def fitted_accuracy(matrix: np.ndarray) -> float:
+        model = fit_least_squares(matrix, y)
+        return scorer(model.predict(matrix), y)
+
+    full = fitted_accuracy(X)
+    drops = {}
+    for j, name in enumerate(FEATURE_NAMES):
+        reduced = np.delete(X, j, axis=1)
+        drops[name] = max(0.0, full - fitted_accuracy(reduced))
+    total = sum(drops.values())
+    if total <= 0:
+        # Degenerate (no feature matters): report a uniform pie.
+        return {name: 1.0 / len(FEATURE_NAMES) for name in FEATURE_NAMES}
+    return {name: drop / total for name, drop in drops.items()}
+
+
+def average_impact(
+    impacts: Sequence[Mapping[str, float]],
+) -> Dict[str, float]:
+    """π averaged across experts (the number under each pie chart)."""
+    if not impacts:
+        raise ValueError("no impacts to average")
+    result = {}
+    for name in FEATURE_NAMES:
+        result[name] = float(np.mean([imp[name] for imp in impacts]))
+    return result

@@ -1,0 +1,84 @@
+"""The paper's 10-dimensional feature vector (Table 1).
+
+``f = [c || e]``: three static code features from the compiler and seven
+environment features from the OS.  At loop *i* the vector is
+``f_i = (f_i^1, ..., f_i^10)``; code features are normalized to the total
+number of instructions in the program (done in
+:mod:`repro.compiler.features`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..compiler.features import CODE_FEATURE_NAMES, CodeFeatures
+from ..sched.stats import ENV_FEATURE_NAMES, EnvironmentSample, environment_norm
+
+#: All ten canonical feature names, Table 1 order (f^1..f^10).
+FEATURE_NAMES: tuple[str, ...] = CODE_FEATURE_NAMES + ENV_FEATURE_NAMES
+
+#: Dimensionality of the canonical feature space.
+NUM_FEATURES = len(FEATURE_NAMES)
+
+#: Index of the first environment feature (f^4) within the vector.
+ENV_OFFSET = len(CODE_FEATURE_NAMES)
+
+
+def make_feature_vector(
+    code: CodeFeatures, env: EnvironmentSample
+) -> np.ndarray:
+    """Assemble the 10-d feature vector for one loop entry."""
+    return np.concatenate(
+        [np.asarray(code.as_tuple(), dtype=float), env.as_vector()]
+    )
+
+
+def env_part(features: np.ndarray) -> np.ndarray:
+    """The environment slice (f^4..f^10) of a feature vector."""
+    features = np.asarray(features, dtype=float)
+    if features.shape[-1] != NUM_FEATURES:
+        raise ValueError(
+            f"expected {NUM_FEATURES}-d feature vector(s), "
+            f"got shape {features.shape}"
+        )
+    return features[..., ENV_OFFSET:]
+
+
+def env_norm_of(features: np.ndarray) -> float:
+    """‖e‖ of the environment embedded in a single feature vector."""
+    return environment_norm(env_part(features))
+
+
+@dataclass(frozen=True)
+class FeatureSample:
+    """One labelled observation used in training.
+
+    ``features`` is f_t, ``best_threads`` the thread count that maximised
+    speedup at t, ``speedup`` the speedup it achieved, and
+    ``next_env_norm`` the measured ‖e_{t+1}‖ — the target of the
+    environment predictor.
+    """
+
+    features: np.ndarray
+    best_threads: int
+    speedup: float
+    next_env_norm: float
+    program: str = ""
+    platform: str = ""
+
+    def __post_init__(self) -> None:
+        vec = np.asarray(self.features, dtype=float)
+        if vec.shape != (NUM_FEATURES,):
+            raise ValueError(
+                f"features must have shape ({NUM_FEATURES},), "
+                f"got {vec.shape}"
+            )
+        if self.best_threads < 1:
+            raise ValueError("best_threads must be >= 1")
+        if self.speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if self.next_env_norm < 0:
+            raise ValueError("next_env_norm cannot be negative")

@@ -1,0 +1,136 @@
+"""Hierarchical mixture of experts (Jordan & Jacobs, cited as [18]).
+
+The paper's related work points at hierarchical mixtures; this module
+provides a two-level gate compatible with the flat
+:class:`~repro.core.selector.HyperplaneSelector`:
+
+* a **top gate** routes the state to a *group* of experts (the natural
+  grouping here is the training platform: the 12-core experts vs the
+  32-core experts);
+* a per-group **inner gate** picks the expert within the group.
+
+Both levels are hyperplane perceptrons learning from the same
+last-timestep environment errors: the top gate is scored against the
+best error within each group, each inner gate against its own members'
+errors.  The benchmark ``bench_ext_hierarchical.py`` compares the flat
+and hierarchical gates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .selector import HyperplaneSelector, SelectorStats
+from .training import ExpertBundle
+
+
+class HierarchicalSelector:
+    """Two-level expert selector (an HME gate)."""
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        dim: int,
+        learning_rate: float = 0.5,
+        margin: float = 0.2,
+    ):
+        groups = [tuple(group) for group in groups]
+        if not groups or any(not group for group in groups):
+            raise ValueError("groups must be non-empty")
+        flat = [index for group in groups for index in group]
+        if sorted(flat) != list(range(len(flat))):
+            raise ValueError(
+                "groups must partition expert indices 0..K-1"
+            )
+        self._groups = groups
+        self._dim = dim
+        self._lr = learning_rate
+        self._margin = margin
+        self.reset()
+
+    def reset(self) -> None:
+        self._top = HyperplaneSelector(
+            num_experts=len(self._groups), dim=self._dim,
+            learning_rate=self._lr, margin=self._margin,
+        )
+        self._inner = [
+            HyperplaneSelector(
+                num_experts=len(group), dim=self._dim,
+                learning_rate=self._lr, margin=self._margin,
+            )
+            for group in self._groups
+        ]
+        self.stats = SelectorStats()
+
+    @property
+    def num_experts(self) -> int:
+        return sum(len(group) for group in self._groups)
+
+    @property
+    def groups(self) -> List[tuple]:
+        return list(self._groups)
+
+    def select(self, features: np.ndarray) -> int:
+        group_index = self._top.select(features)
+        local = self._inner[group_index].select(features)
+        choice = self._groups[group_index][local]
+        self.stats.selections.append(choice)
+        return choice
+
+    def update(self, features: np.ndarray,
+               errors: Sequence[float]) -> bool:
+        errors = list(errors)
+        if len(errors) != self.num_experts:
+            raise ValueError(
+                f"expected {self.num_experts} errors, got {len(errors)}"
+            )
+        # Top gate: each group is as good as its best member here.
+        group_errors = [
+            min(errors[index] for index in group)
+            for group in self._groups
+        ]
+        top_miss = self._top.update(features, group_errors)
+        # Inner gates: every group keeps learning its internal map
+        # (updates are cheap and all errors are already in hand).
+        inner_miss = False
+        for gate, group in zip(self._inner, self._groups):
+            if len(group) < 2:
+                continue
+            restricted = [errors[index] for index in group]
+            if gate.update(features, restricted):
+                inner_miss = True
+        self.stats.updates += 1
+        mispredicted = top_miss or inner_miss
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+
+def platform_groups(bundle: ExpertBundle) -> List[List[int]]:
+    """Group expert indices by their training platform.
+
+    Experts whose provenance carries no platform marker share one
+    group.
+    """
+    by_platform: dict = {}
+    for index, expert in enumerate(bundle.experts):
+        _, _, platform = expert.provenance.partition("@")
+        by_platform.setdefault(platform, []).append(index)
+    return list(by_platform.values())
+
+
+def build_hierarchical_selector(
+    bundle: ExpertBundle,
+    dim: int,
+    learning_rate: float = 0.5,
+    margin: float = 0.2,
+) -> HierarchicalSelector:
+    """An HME gate over a bundle, grouped by training platform."""
+    return HierarchicalSelector(
+        groups=platform_groups(bundle),
+        dim=dim,
+        learning_rate=learning_rate,
+        margin=margin,
+    )

@@ -1,0 +1,234 @@
+"""Nonlinear experts (the paper's Section 9 future work).
+
+"It will also investigate whether other modeling techniques such as
+SVMs trained on the same data ... can be selected by a mixtures
+approach."
+
+This module provides kernel-style experts via random Fourier features
+(Rahimi & Recht 2007): inputs are standardized, lifted through a random
+cosine feature map approximating an RBF kernel, and fitted with ridge
+regression — the same model family as a least-squares SVM with an RBF
+kernel.  A :class:`NonlinearExpert` is duck-type compatible with
+:class:`repro.core.expert.Expert` (same prediction interface, envelope
+clipping and domain distance), so linear and nonlinear experts can be
+mixed freely in one :class:`~repro.core.policies.mixture.MixturePolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .features import NUM_FEATURES, FeatureSample
+from .regression import fit_least_squares
+
+
+@dataclass(frozen=True)
+class RBFFeatureMap:
+    """Random Fourier features approximating a Gaussian kernel.
+
+    ``z(x) = sqrt(2/D) * cos(W x' + b)`` where ``x'`` is the
+    standardized input, ``W ~ N(0, gamma * I)`` and ``b ~ U[0, 2pi)``.
+    Deterministic given the seed.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+    weights: np.ndarray  # (num_features, input_dim)
+    offsets: np.ndarray  # (num_features,)
+
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        num_features: int = 120,
+        gamma: float = 0.5,
+        seed: int = 0,
+    ) -> "RBFFeatureMap":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise ValueError("need a 2-d sample matrix with >= 2 rows")
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        rng = np.random.default_rng(seed)
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        weights = rng.normal(
+            scale=np.sqrt(gamma), size=(num_features, X.shape[1]),
+        )
+        offsets = rng.uniform(0.0, 2.0 * np.pi, size=num_features)
+        return cls(mean=mean, std=std, weights=weights, offsets=offsets)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.offsets)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = (X - self.mean) / self.std
+        projected = Z @ self.weights.T + self.offsets
+        return np.sqrt(2.0 / self.num_features) * np.cos(projected)
+
+
+@dataclass(frozen=True)
+class NonlinearModel:
+    """Feature map + linear readout (a least-squares kernel machine)."""
+
+    feature_map: RBFFeatureMap
+    weights: np.ndarray
+    intercept: float
+
+    def predict_one(self, features: np.ndarray) -> float:
+        lifted = self.feature_map.transform(features)[0]
+        return float(lifted @ self.weights + self.intercept)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        lifted = self.feature_map.transform(X)
+        return lifted @ self.weights + self.intercept
+
+
+def fit_nonlinear(
+    X: np.ndarray,
+    y: np.ndarray,
+    num_features: int = 120,
+    gamma: float = 0.5,
+    ridge: float = 1.0,
+    seed: int = 0,
+) -> NonlinearModel:
+    """Fit an RBF-feature ridge model."""
+    feature_map = RBFFeatureMap.fit(
+        X, num_features=num_features, gamma=gamma, seed=seed,
+    )
+    lifted = feature_map.transform(X)
+    linear = fit_least_squares(lifted, y, ridge=ridge)
+    return NonlinearModel(
+        feature_map=feature_map,
+        weights=linear.weights,
+        intercept=linear.intercept,
+    )
+
+
+class NonlinearExpert:
+    """A kernel-machine expert, interchangeable with a linear Expert."""
+
+    def __init__(
+        self,
+        name: str,
+        thread_model: NonlinearModel,
+        env_model: NonlinearModel,
+        provenance: str = "",
+        feature_low: Optional[np.ndarray] = None,
+        feature_high: Optional[np.ndarray] = None,
+    ):
+        self.name = name
+        self.thread_model = thread_model
+        self.env_model = env_model
+        self.provenance = provenance
+        self.feature_low = feature_low
+        self.feature_high = feature_high
+
+    def _clip(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if self.feature_low is None or self.feature_high is None:
+            return features
+        return np.clip(features, self.feature_low, self.feature_high)
+
+    def predict_threads(self, features: np.ndarray,
+                        max_threads: int) -> int:
+        raw = self.thread_model.predict_one(self._clip(features))
+        return int(max(1, min(max_threads, round(raw))))
+
+    def predict_env_norm(self, features: np.ndarray) -> float:
+        return max(0.0, self.env_model.predict_one(self._clip(features)))
+
+    def env_error(self, features: np.ndarray,
+                  observed_norm: float) -> float:
+        return abs(self.predict_env_norm(features) - observed_norm)
+
+    def domain_distance(self, features: np.ndarray) -> float:
+        if self.feature_low is None or self.feature_high is None:
+            return 0.0
+        features = np.asarray(features, dtype=float)
+        width = np.maximum(self.feature_high - self.feature_low, 1e-9)
+        below = np.maximum(self.feature_low - features, 0.0)
+        above = np.maximum(features - self.feature_high, 0.0)
+        displacement = (below + above) / width
+        return float(np.sqrt(np.mean(displacement * displacement)))
+
+    def __repr__(self) -> str:
+        return f"<NonlinearExpert {self.name!r} ({self.provenance})>"
+
+
+def train_nonlinear_expert(
+    name: str,
+    samples: Sequence[FeatureSample],
+    provenance: str = "",
+    num_features: int = 120,
+    gamma: float = 0.5,
+    ridge: float = 1.0,
+    seed: int = 0,
+) -> NonlinearExpert:
+    """Fit a nonlinear expert's (w, m) pair on a training slice."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError(f"expert {name!r}: no training samples")
+    X = np.stack([s.features for s in samples])
+    if X.shape[1] != NUM_FEATURES:
+        raise ValueError("samples must use the canonical feature vector")
+    thread_targets = np.array([s.best_threads for s in samples], float)
+    env_targets = np.array([s.next_env_norm for s in samples], float)
+    return NonlinearExpert(
+        name=name,
+        thread_model=fit_nonlinear(
+            X, thread_targets, num_features=num_features,
+            gamma=gamma, ridge=ridge, seed=seed,
+        ),
+        env_model=fit_nonlinear(
+            X, env_targets, num_features=num_features,
+            gamma=gamma, ridge=ridge, seed=seed + 1,
+        ),
+        provenance=provenance,
+        feature_low=X.min(axis=0),
+        feature_high=X.max(axis=0),
+    )
+
+
+def build_nonlinear_experts(
+    config=None,
+    granularity: int = 4,
+    num_features: int = 120,
+    gamma: float = 0.5,
+    seed: int = 0,
+) -> tuple:
+    """Nonlinear counterparts of the default expert set.
+
+    Uses exactly the same training slices as the linear experts
+    ("trained on the same data", Section 9).
+    """
+    from .training import (
+        TrainingConfig,
+        partition_samples,
+        training_dataset,
+    )
+
+    if config is None:
+        config = TrainingConfig()
+    samples, scalability = training_dataset(config)
+    slices = partition_samples(samples, scalability, granularity)
+
+    experts = []
+    for index, key in enumerate(sorted(slices), start=1):
+        experts.append(train_nonlinear_expert(
+            name=f"N{index}",
+            samples=slices[key],
+            provenance=key,
+            num_features=num_features,
+            gamma=gamma,
+            seed=seed + index,
+        ))
+    return tuple(experts)

@@ -1,0 +1,136 @@
+"""JSON persistence for trained experts.
+
+Trained experts are small (two 10-weight linear models plus an
+envelope), so they serialize naturally to JSON — convenient for
+shipping a trained policy to another machine, versioning it, or
+inspecting the Table 1 weights outside Python.  The pickle-based disk
+cache in :mod:`repro.core.training` is an internal speed-up; this
+module is the *public* import/export format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from .expert import Expert
+from .features import FEATURE_NAMES
+from .regression import LinearModel
+from .training import ExpertBundle, ScalabilityRecord, TrainingConfig
+
+#: Format version written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def _model_to_dict(model: LinearModel) -> dict:
+    return {
+        "weights": [float(w) for w in model.weights],
+        "intercept": float(model.intercept),
+    }
+
+
+def _model_from_dict(data: dict) -> LinearModel:
+    return LinearModel(
+        weights=np.asarray(data["weights"], dtype=float),
+        intercept=float(data["intercept"]),
+        feature_names=FEATURE_NAMES,
+    )
+
+
+def expert_to_dict(expert: Expert) -> dict:
+    """Serialize one expert."""
+    return {
+        "name": expert.name,
+        "provenance": expert.provenance,
+        "thread_model": _model_to_dict(expert.thread_model),
+        "env_model": _model_to_dict(expert.env_model),
+        "feature_low": (
+            None if expert.feature_low is None
+            else [float(v) for v in expert.feature_low]
+        ),
+        "feature_high": (
+            None if expert.feature_high is None
+            else [float(v) for v in expert.feature_high]
+        ),
+    }
+
+
+def expert_from_dict(data: dict) -> Expert:
+    """Deserialize one expert."""
+    return Expert(
+        name=data["name"],
+        provenance=data.get("provenance", ""),
+        thread_model=_model_from_dict(data["thread_model"]),
+        env_model=_model_from_dict(data["env_model"]),
+        feature_low=(
+            None if data.get("feature_low") is None
+            else np.asarray(data["feature_low"], dtype=float)
+        ),
+        feature_high=(
+            None if data.get("feature_high") is None
+            else np.asarray(data["feature_high"], dtype=float)
+        ),
+    )
+
+
+def bundle_to_dict(bundle: ExpertBundle) -> dict:
+    """Serialize a whole bundle (experts + provenance)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "feature_names": list(FEATURE_NAMES),
+        "experts": [expert_to_dict(e) for e in bundle.experts],
+        "scalability": [asdict(r) for r in bundle.scalability],
+        "samples_per_expert": dict(bundle.samples_per_expert),
+        "config": asdict(bundle.config),
+    }
+
+
+def bundle_from_dict(data: dict) -> ExpertBundle:
+    """Deserialize a bundle."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if data.get("feature_names") != list(FEATURE_NAMES):
+        raise ValueError(
+            "bundle was trained with a different feature vector"
+        )
+    config_data = dict(data["config"])
+    # JSON turns tuples into lists; restore the hashable config.
+    for key, value in config_data.items():
+        if isinstance(value, list):
+            config_data[key] = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+    return ExpertBundle(
+        experts=tuple(
+            expert_from_dict(e) for e in data["experts"]
+        ),
+        scalability=tuple(
+            ScalabilityRecord(**r) for r in data["scalability"]
+        ),
+        samples_per_expert=dict(data["samples_per_expert"]),
+        config=TrainingConfig(**config_data),
+    )
+
+
+def save_bundle(bundle: ExpertBundle,
+                path: Union[str, Path]) -> Path:
+    """Write a bundle to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(bundle_to_dict(bundle), fh, indent=2)
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> ExpertBundle:
+    """Read a bundle from a JSON file."""
+    with open(path) as fh:
+        return bundle_from_dict(json.load(fh))

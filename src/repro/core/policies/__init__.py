@@ -1,0 +1,26 @@
+"""Thread-selection policies: the mixture and all evaluated baselines."""
+
+from .base import PolicyContext, RegionReport, ThreadPolicy
+from .default import DefaultPolicy
+from .fixed import FixedPolicy, RecordingPolicy, SelectionRecord
+from .online import OnlineHillClimbPolicy
+from .analytic import AnalyticPolicy
+from .offline import MonolithicPolicy, OfflinePolicy, SingleExpertPolicy
+from .mixture import ExpertDecision, MixturePolicy
+
+__all__ = [
+    "AnalyticPolicy",
+    "DefaultPolicy",
+    "ExpertDecision",
+    "FixedPolicy",
+    "MixturePolicy",
+    "MonolithicPolicy",
+    "OfflinePolicy",
+    "OnlineHillClimbPolicy",
+    "PolicyContext",
+    "RecordingPolicy",
+    "RegionReport",
+    "SelectionRecord",
+    "SingleExpertPolicy",
+    "ThreadPolicy",
+]

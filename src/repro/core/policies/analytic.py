@@ -1,0 +1,181 @@
+"""Analytic exploration + regression policy (the paper's "Analytic").
+
+Models Sridharan, Gupta & Sohi (PLDI'14), the paper's strongest
+baseline: "Based on observed instantaneous performance, it executes for
+fixed time intervals with two randomly chosen thread numbers.  The new
+thread number is then estimated using regression techniques."  It reacts
+to *workload* change quickly — the paper concedes "The analytic model
+performs well with workload change" — but pays an exploration delay at
+every change and "is unable to adjust to the changing hardware
+resources" between explorations (the Figure 2 discussion: the stale
+decision at t_0).
+
+Implementation: a state machine per run.  EXPLORE(n_a) -> EXPLORE(n_b)
+-> EXPLOIT(n*).  Exploiting fits a quadratic rate model
+``rate(n) = a*n + b*n^2`` through the recent (n, rate) measurements and
+maximises it over [1, P].  Re-exploration triggers when the observed
+rate deviates from the rate measured when n* was chosen (the
+"instantaneous performance" monitor), or after ``explore_period``
+seconds as a backstop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from .base import PolicyContext, RegionReport, ThreadPolicy
+
+
+class _Phase(enum.Enum):
+    EXPLORE_A = "explore-a"
+    EXPLORE_B = "explore-b"
+    EXPLOIT = "exploit"
+
+
+class AnalyticPolicy(ThreadPolicy):
+    """Reactive exploration with regression-based exploitation."""
+
+    name = "analytic"
+
+    def __init__(
+        self,
+        explore_window: float = 0.8,
+        explore_period: float = 15.0,
+        deviation: float = 0.25,
+        seed: int = 7,
+    ):
+        if explore_window <= 0 or explore_period <= 0:
+            raise ValueError("windows must be positive")
+        if not 0.0 < deviation < 1.0:
+            raise ValueError("deviation must be in (0, 1)")
+        self._explore_window = explore_window
+        self._explore_period = explore_period
+        self._deviation = deviation
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._phase = _Phase.EXPLORE_A
+        self._phase_started: Optional[float] = None
+        self._probe_threads: Tuple[int, int] = (0, 0)
+        self._measurements: Deque[Tuple[int, float]] = deque(maxlen=24)
+        self._loop_scale: dict = {}  # per-loop rate normaliser (EMA)
+        self._chosen: Optional[int] = None
+        self._chosen_rates: dict = {}  # per-loop reference rates
+        self._last_explore_end = 0.0
+
+    def _draw_probes(self, processors: int) -> Tuple[int, int]:
+        """Two random probe thread counts in [P/4, P].
+
+        The lower bound keeps exploration from single-thread probes
+        whose cost would never be paid back (the PLDI'14 system bounds
+        its search space the same way).
+        """
+        high = max(2, processors)
+        low = max(1, processors // 4)
+        if low >= high:
+            return high, max(1, high - 1)
+        a = int(self._rng.integers(low, high + 1))
+        b = int(self._rng.integers(low, high + 1))
+        while b == a:
+            b = int(self._rng.integers(low, high + 1))
+        return a, b
+
+    def _begin_exploration(self, ctx: PolicyContext) -> None:
+        self._probe_threads = self._draw_probes(ctx.available_processors)
+        self._phase = _Phase.EXPLORE_A
+        self._phase_started = ctx.time
+
+    def select(self, ctx: PolicyContext) -> int:
+        now = ctx.time
+        if self._phase_started is None:
+            self._begin_exploration(ctx)
+
+        if self._phase is _Phase.EXPLORE_A:
+            if now - self._phase_started >= self._explore_window:
+                self._phase = _Phase.EXPLORE_B
+                self._phase_started = now
+            else:
+                return ctx.clamp(self._probe_threads[0])
+        if self._phase is _Phase.EXPLORE_B:
+            if now - self._phase_started >= self._explore_window:
+                self._exploit(ctx, now)
+            else:
+                return ctx.clamp(self._probe_threads[1])
+        # EXPLOIT: backstop periodic re-exploration.
+        if now - self._last_explore_end >= self._explore_period:
+            self._begin_exploration(ctx)
+            return ctx.clamp(self._probe_threads[0])
+        if self._chosen is None:
+            self._chosen = max(1, ctx.available_processors // 2)
+        return ctx.clamp(self._chosen)
+
+    def _exploit(self, ctx: PolicyContext, now: float) -> None:
+        self._chosen = self._fit_and_choose(ctx)
+        self._chosen_rates = {}  # re-anchored from exploit reports
+        self._phase = _Phase.EXPLOIT
+        self._phase_started = now
+        self._last_explore_end = now
+
+    def observe(self, report: RegionReport) -> None:
+        # Rates from different loops are not directly comparable (each
+        # loop has its own intrinsic speed), so measurements are stored
+        # normalised by a per-loop running scale.
+        scale = self._loop_scale.get(report.loop_name)
+        if scale is None:
+            scale = report.rate if report.rate > 0 else 1.0
+        else:
+            scale = 0.9 * scale + 0.1 * report.rate
+        self._loop_scale[report.loop_name] = scale
+        if scale > 0:
+            self._measurements.append(
+                (report.threads, report.rate / scale)
+            )
+        if self._phase is _Phase.EXPLOIT and self._chosen is not None:
+            if report.threads != self._chosen:
+                return
+            # Rates are only comparable within the same loop: different
+            # regions of a program run at very different speeds.
+            reference = self._chosen_rates.get(report.loop_name)
+            if reference is None:
+                self._chosen_rates[report.loop_name] = report.rate
+                return
+            # The instantaneous-performance monitor: a big deviation
+            # from the rate we signed up for means the environment
+            # changed — schedule re-exploration by expiring the period.
+            low = (1.0 - self._deviation) * reference
+            high = (1.0 + self._deviation) * reference
+            if not low <= report.rate <= high:
+                self._last_explore_end = -float("inf")
+            else:
+                # Slowly track drift while stable.
+                self._chosen_rates[report.loop_name] = (
+                    0.8 * reference + 0.2 * report.rate
+                )
+
+    def _fit_and_choose(self, ctx: PolicyContext) -> int:
+        """Quadratic regression over the recent (n, rate) measurements.
+
+        rate(n) = a*n + b*n^2 (rate(0) = 0).  With concave measurements
+        the maximiser is interior; otherwise take the best measured n.
+        """
+        points = list(self._measurements)
+        processors = ctx.available_processors
+        distinct = {n for n, _ in points}
+        if len(distinct) < 2:
+            return max(1, processors // 2)
+        ns = np.array([n for n, _ in points], dtype=float)
+        rates = np.array([r for _, r in points], dtype=float)
+        design = np.stack([ns, ns * ns], axis=1)
+        coeffs, *_ = np.linalg.lstsq(design, rates, rcond=None)
+        a, b = float(coeffs[0]), float(coeffs[1])
+        if b >= 0:
+            best_measured = max(points, key=lambda p: p[1])[0]
+            return int(max(1, min(processors, best_measured)))
+        peak = -a / (2.0 * b)
+        return int(max(1, min(processors, round(peak))))

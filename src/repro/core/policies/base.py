@@ -1,0 +1,104 @@
+"""Thread-selection policy interface.
+
+A policy is consulted by the runtime at every parallel-region entry
+(:meth:`ThreadPolicy.select`) and informed when a region completes
+(:meth:`ThreadPolicy.observe`) — the latter is what reactive policies
+(online hill-climbing, the analytic model) feed on.  Policies carry
+mutable state; :meth:`ThreadPolicy.reset` returns them to their initial
+state so one policy object can be reused across runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...compiler.features import CodeFeatures
+from ...sched.stats import EnvironmentSample
+from ..features import make_feature_vector
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a policy may look at when selecting a thread count."""
+
+    time: float
+    loop_name: str
+    code: CodeFeatures
+    env: EnvironmentSample
+    available_processors: int
+    max_threads: int
+
+    def feature_vector(self) -> np.ndarray:
+        """The canonical 10-d feature vector f_t."""
+        return make_feature_vector(self.code, self.env)
+
+    def clamp(self, threads: float) -> int:
+        """Round and clamp a raw prediction to a legal thread count."""
+        return int(max(1, min(self.max_threads, round(threads))))
+
+    def snap_to_available(self, threads: int) -> int:
+        """Round near-full predictions up to the available processors.
+
+        Regression-based thread predictors systematically shrink their
+        top predictions toward the training mean (ridge bias), turning
+        "use the whole machine" into 29-of-32.  Whenever the prediction
+        is within 20% below the available processor count, the intent is
+        clearly the full set — use it.  On an (almost) idle machine the
+        snap is far more permissive: occupying free cores has no
+        contention victim, so anything above half the machine means
+        "take it all".  Predictions well below the threshold stay
+        untouched.
+        """
+        available = min(self.available_processors, self.max_threads)
+        idle = self.env.workload_threads < 2
+        threshold = 0.5 if idle else 0.8
+        if threads >= threshold * available:
+            return max(threads, available)
+        return threads
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """Measured outcome of one completed parallel region."""
+
+    time: float
+    loop_name: str
+    threads: int
+    elapsed: float
+    work: float
+
+    @property
+    def rate(self) -> float:
+        """Work units per second achieved (higher is better)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.work / self.elapsed
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over a single dedicated core for this region."""
+        return self.rate  # work is in core-seconds: rate 1.0 == 1 core
+
+
+class ThreadPolicy(abc.ABC):
+    """Base class for all thread-selection policies."""
+
+    #: Short name used in result tables ("default", "mixture", ...).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(self, ctx: PolicyContext) -> int:
+        """Thread count for the region about to start."""
+
+    def observe(self, report: RegionReport) -> None:
+        """Feedback after a region completes.  Default: ignore."""
+
+    def reset(self) -> None:
+        """Restore initial state.  Default: stateless, nothing to do."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

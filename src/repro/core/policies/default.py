@@ -1,0 +1,20 @@
+"""The OpenMP default policy (the paper's baseline).
+
+Section 6.3: "OpenMP default policy assigns a thread number equal to the
+current number of available processors."  It is environment-oblivious
+beyond the processor count — under co-execution it oversubscribes the
+machine, which is exactly the contention the smarter policies avoid.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyContext, ThreadPolicy
+
+
+class DefaultPolicy(ThreadPolicy):
+    """threads = number of currently available processors."""
+
+    name = "default"
+
+    def select(self, ctx: PolicyContext) -> int:
+        return ctx.clamp(ctx.available_processors)

@@ -1,0 +1,68 @@
+"""Fixed thread-count policy, and a recording wrapper.
+
+``FixedPolicy`` always requests the same thread count — it is how
+training runs sweep thread counts (Section 5.2.1), and how workload
+programs with a static configuration execute.
+
+``RecordingPolicy`` wraps any policy and logs the feature vector seen at
+every selection; the trainer replays best-thread runs under it to
+harvest (f_t, n*, ‖e_{t+1}‖) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .base import PolicyContext, RegionReport, ThreadPolicy
+
+
+class FixedPolicy(ThreadPolicy):
+    """Always select ``threads`` (clamped to the machine)."""
+
+    def __init__(self, threads: int):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+        self.name = f"fixed-{threads}"
+
+    def select(self, ctx: PolicyContext) -> int:
+        return ctx.clamp(self.threads)
+
+
+@dataclass
+class SelectionRecord:
+    """One logged consultation."""
+
+    time: float
+    loop_name: str
+    features: np.ndarray
+    threads: int
+
+
+class RecordingPolicy(ThreadPolicy):
+    """Wraps a policy, logging features and decisions at each select."""
+
+    def __init__(self, inner: ThreadPolicy):
+        self.inner = inner
+        self.name = f"recording({inner.name})"
+        self.records: List[SelectionRecord] = []
+
+    def select(self, ctx: PolicyContext) -> int:
+        threads = self.inner.select(ctx)
+        self.records.append(SelectionRecord(
+            time=ctx.time,
+            loop_name=ctx.loop_name,
+            features=ctx.feature_vector(),
+            threads=threads,
+        ))
+        return threads
+
+    def observe(self, report: RegionReport) -> None:
+        self.inner.observe(report)
+
+    def reset(self) -> None:
+        # Recorded history is the product of the run; keep it.
+        self.inner.reset()

@@ -1,0 +1,195 @@
+"""The Mixture of Experts policy — the paper's contribution.
+
+At every parallel-region entry (Section 4.2, Figure 4):
+
+1. The previous timestep's pending environment predictions are scored
+   against the environment just observed; the selector learns from the
+   per-expert errors ``a^k = |‖ê^k‖ - ‖e‖|`` (last-timestep data only,
+   Section 5.3).
+2. The selector M picks the expert for the current features.
+3. That expert's thread predictor supplies the thread count.
+
+The policy never tries thread counts out ("it does not try out different
+policies ... as this is too expensive"); adaptation comes entirely from
+the environment-prediction proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..expert import Expert
+from ..features import NUM_FEATURES
+from ..selector import ExpertSelector, HyperplaneSelector
+from .base import PolicyContext, ThreadPolicy
+
+
+@dataclass(frozen=True)
+class ExpertDecision:
+    """One mixture decision, kept for the Section 8 analyses."""
+
+    time: float
+    loop_name: str
+    expert_index: int
+    threads: int
+    #: Each expert's predicted ‖ê_{t+1}‖ at this decision.
+    predicted_norms: tuple[float, ...]
+    #: Each expert's thread prediction at this decision (what every
+    #: expert *would* have chosen — feeds the Figure 17 analysis).
+    predicted_threads: tuple[int, ...] = ()
+    #: Observed ‖e_t‖ when the *next* decision was made (None for the
+    #: final decision of a run).
+    observed_next_norm: Optional[float] = None
+
+
+@dataclass
+class _Pending:
+    features: np.ndarray
+    predicted_norms: tuple[float, ...]
+    decision_index: int
+
+
+class MixturePolicy(ThreadPolicy):
+    """Expert selector + expert pool, learning online."""
+
+    name = "mixture"
+
+    def __init__(
+        self,
+        experts: Sequence[Expert],
+        selector: Optional[ExpertSelector] = None,
+        domain_weight: float = 5.0,
+    ):
+        experts = tuple(experts)
+        if not experts:
+            raise ValueError("MixturePolicy needs at least one expert")
+        if domain_weight < 0:
+            raise ValueError("domain_weight must be non-negative")
+        self.experts = experts
+        #: Weight of the domain-distance term added to each expert's
+        #: environment error before the selector learns from it (see
+        #: :meth:`repro.core.expert.Expert.domain_distance`).
+        self.domain_weight = domain_weight
+        self._selector = selector or HyperplaneSelector(
+            num_experts=len(experts), dim=NUM_FEATURES
+        )
+        self.decisions: List[ExpertDecision] = []
+        self._pending: Optional[_Pending] = None
+
+    @property
+    def selector(self) -> ExpertSelector:
+        return self._selector
+
+    def reset(self) -> None:
+        self._selector.reset()
+        self.decisions = []
+        self._pending = None
+
+    def select(self, ctx: PolicyContext) -> int:
+        features = ctx.feature_vector()
+        observed_norm = ctx.env.norm
+
+        # 1. Score last timestep's predictions and train the selector.
+        # Errors combine environment-prediction accuracy with how far
+        # each expert's training domain is from the observed state.
+        # Experts that learn online (Section 4.1 retrofitting) receive
+        # the observation too.
+        if self._pending is not None:
+            for expert in self.experts:
+                record = getattr(expert, "record_observation", None)
+                if record is not None:
+                    record(self._pending.features, observed_norm)
+            errors = [
+                abs(predicted - observed_norm)
+                + self.domain_weight
+                * expert.domain_distance(self._pending.features)
+                for predicted, expert in zip(
+                    self._pending.predicted_norms, self.experts
+                )
+            ]
+            self._selector.update(self._pending.features, errors)
+            old = self.decisions[self._pending.decision_index]
+            self.decisions[self._pending.decision_index] = ExpertDecision(
+                time=old.time,
+                loop_name=old.loop_name,
+                expert_index=old.expert_index,
+                threads=old.threads,
+                predicted_norms=old.predicted_norms,
+                predicted_threads=old.predicted_threads,
+                observed_next_norm=observed_norm,
+            )
+
+        # 2. Select the expert for the current state.
+        choice = self._selector.select(features)
+        expert = self.experts[choice]
+
+        # 3. Its thread predictor makes the mapping decision.
+        threads = ctx.snap_to_available(
+            expert.predict_threads(features, ctx.max_threads)
+        )
+
+        predicted_norms = tuple(
+            e.predict_env_norm(features) for e in self.experts
+        )
+        predicted_threads = tuple(
+            e.predict_threads(features, ctx.max_threads)
+            for e in self.experts
+        )
+        self.decisions.append(ExpertDecision(
+            time=ctx.time,
+            loop_name=ctx.loop_name,
+            expert_index=choice,
+            threads=threads,
+            predicted_norms=predicted_norms,
+            predicted_threads=predicted_threads,
+        ))
+        self._pending = _Pending(
+            features=features,
+            predicted_norms=predicted_norms,
+            decision_index=len(self.decisions) - 1,
+        )
+        return threads
+
+    # -- analyses ---------------------------------------------------------
+
+    def selection_counts(self) -> List[int]:
+        """How often each expert was chosen (Figure 15b)."""
+        counts = [0] * len(self.experts)
+        for decision in self.decisions:
+            counts[decision.expert_index] += 1
+        return counts
+
+    def env_prediction_accuracies(
+        self, tolerance: float = 0.25
+    ) -> List[float]:
+        """Per-expert fraction of env predictions within ``tolerance``
+        (relative), over this run's scored decisions (Figure 15a)."""
+        scored = [d for d in self.decisions
+                  if d.observed_next_norm is not None]
+        if not scored:
+            return [0.0] * len(self.experts)
+        accuracies = []
+        for k in range(len(self.experts)):
+            hits = sum(
+                1 for d in scored
+                if abs(d.predicted_norms[k] - d.observed_next_norm)
+                <= tolerance * max(d.observed_next_norm, 1e-9)
+            )
+            accuracies.append(hits / len(scored))
+        return accuracies
+
+    def mixture_accuracy(self, tolerance: float = 0.25) -> float:
+        """Accuracy of the *chosen* expert's env prediction per step."""
+        scored = [d for d in self.decisions
+                  if d.observed_next_norm is not None]
+        if not scored:
+            return 0.0
+        hits = sum(
+            1 for d in scored
+            if abs(d.predicted_norms[d.expert_index] - d.observed_next_norm)
+            <= tolerance * max(d.observed_next_norm, 1e-9)
+        )
+        return hits / len(scored)

@@ -1,0 +1,56 @@
+"""Single offline-model policies: "Offline" baseline and the monolithic
+aggregate of Section 7.7.
+
+* :class:`OfflinePolicy` models Emani, Wang & O'Boyle (CGO'13): "a
+  machine learning heuristic predicts a thread number at runtime based
+  on an offline-trained model".  It predicts from the same features the
+  experts use, but with ONE model and no runtime adaptation — the paper
+  faults exactly this: "it is limited by its workload training and
+  cannot adapt to new environments."
+
+* :class:`MonolithicPolicy` is the Section 7.7 comparison: "a single
+  aggregate model with the same total training data" as the whole
+  mixture.  Structurally identical to OfflinePolicy; it exists as its
+  own named policy so the Figure 14(c) and 16 experiments read like the
+  paper.
+
+* :class:`SingleExpertPolicy` deploys one expert alone (the E1..E4 bars
+  of Figures 3 and 15(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..expert import Expert
+from ..features import FeatureSample
+from ..regression import fit_least_squares
+from .base import PolicyContext, ThreadPolicy
+
+
+class SingleExpertPolicy(ThreadPolicy):
+    """Always use one expert's thread predictor."""
+
+    def __init__(self, expert: Expert, name: str = ""):
+        self.expert = expert
+        self.name = name or expert.name
+
+    def select(self, ctx: PolicyContext) -> int:
+        threads = self.expert.predict_threads(
+            ctx.feature_vector(), ctx.max_threads
+        )
+        return ctx.snap_to_available(threads)
+
+
+class OfflinePolicy(SingleExpertPolicy):
+    """CGO'13-style single offline model over the pooled training data."""
+
+    def __init__(self, expert: Expert):
+        super().__init__(expert, name="offline")
+
+
+class MonolithicPolicy(SingleExpertPolicy):
+    """Section 7.7's 'one generic model' with the mixture's full data."""
+
+    def __init__(self, expert: Expert):
+        super().__init__(expert, name="monolithic")

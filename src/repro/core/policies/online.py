@@ -1,0 +1,86 @@
+"""Online hill-climbing policy (the paper's "Online" baseline).
+
+Section 6.3: "[Parcae, PLDI'12] is a robust adaptive scheme that employs
+hill-climbing technique to change the thread count at runtime based on
+execution time."  Section 2 adds the known weaknesses we reproduce:
+"there is a delay to reach the best thread number and may stick in local
+optimum."
+
+The climber compares the work rate achieved by recent regions against
+the rate before its last move; improvement keeps the direction, regress
+reverses it.  Rates are only comparable within the same loop, so state
+is tracked per loop name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .base import PolicyContext, RegionReport, ThreadPolicy
+
+
+@dataclass
+class _ClimbState:
+    threads: int
+    direction: int = 1
+    last_rate: Optional[float] = None
+    last_threads: Optional[int] = None
+
+
+class OnlineHillClimbPolicy(ThreadPolicy):
+    """Per-loop hill climbing on measured region rates."""
+
+    name = "online"
+
+    def __init__(self, step: int = 2, start_fraction: float = 0.5,
+                 tolerance: float = 0.02):
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        if not 0.0 < start_fraction <= 1.0:
+            raise ValueError("start_fraction must be in (0, 1]")
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self._step = step
+        self._start_fraction = start_fraction
+        self._tolerance = tolerance
+        self._states: Dict[str, _ClimbState] = {}
+        self._max_threads = 1
+
+    def reset(self) -> None:
+        self._states = {}
+
+    def _state_for(self, ctx: PolicyContext) -> _ClimbState:
+        state = self._states.get(ctx.loop_name)
+        if state is None:
+            start = max(1, int(round(
+                ctx.available_processors * self._start_fraction
+            )))
+            state = _ClimbState(threads=ctx.clamp(start))
+            self._states[ctx.loop_name] = state
+        return state
+
+    def select(self, ctx: PolicyContext) -> int:
+        self._max_threads = ctx.max_threads
+        state = self._state_for(ctx)
+        return ctx.clamp(state.threads)
+
+    def observe(self, report: RegionReport) -> None:
+        state = self._states.get(report.loop_name)
+        if state is None:
+            return
+        rate = report.rate
+        if state.last_rate is not None and state.last_threads is not None:
+            if rate < state.last_rate * (1.0 - self._tolerance):
+                # Got worse since the last move: reverse.
+                state.direction = -state.direction
+        state.last_rate = rate
+        state.last_threads = report.threads
+        proposal = state.threads + state.direction * self._step
+        if proposal < 1:
+            proposal = 1
+            state.direction = 1
+        elif proposal > self._max_threads:
+            proposal = self._max_threads
+            state.direction = -1
+        state.threads = proposal

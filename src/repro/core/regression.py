@@ -1,0 +1,170 @@
+"""Least-squares linear regression (Section 5.2.3).
+
+"We use a linear regression technique employing standard least squares
+to build two models that fit the training data. ... Learning a model for
+this data is simply finding the best linear fit to the data i.e.
+determining weights for each selected feature (w1 f1 + ... + wn fn + β)."
+
+A tiny ridge term keeps the normal equations well-posed when features are
+collinear (e.g. a training set where the processor count never changes);
+with informative data its effect is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted linear model ``y = w·f + beta``."""
+
+    weights: np.ndarray
+    intercept: float
+    feature_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "weights", np.asarray(self.weights, dtype=float)
+        )
+        if self.weights.ndim != 1:
+            raise ValueError("weights must be a 1-d vector")
+        if self.feature_names and len(self.feature_names) != len(self.weights):
+            raise ValueError("feature_names length must match weights")
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict for one vector (returns scalar) or a matrix of rows."""
+        features = np.asarray(features, dtype=float)
+        result = features @ self.weights + self.intercept
+        return result
+
+    def predict_one(self, features: np.ndarray) -> float:
+        features = np.asarray(features, dtype=float)
+        if features.shape != self.weights.shape:
+            raise ValueError(
+                f"expected feature vector of shape {self.weights.shape}, "
+                f"got {features.shape}"
+            )
+        return float(features @ self.weights + self.intercept)
+
+    @property
+    def dim(self) -> int:
+        return len(self.weights)
+
+
+def fit_least_squares(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Sequence[str] = (),
+    ridge: float = 1e-6,
+    standardize: bool = False,
+) -> LinearModel:
+    """Fit ``y = w·x + beta`` by (ridge-stabilised) least squares.
+
+    With ``standardize=True`` the regression is solved in z-scored
+    feature space and the weights folded back to raw space, so a single
+    ``ridge`` strength penalises every feature equally regardless of its
+    units.  This matters for the experts: the code features are two
+    orders of magnitude smaller than the environment features, and an
+    unregularised fit turns them into per-program dummy variables that
+    extrapolate catastrophically to unseen programs.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be a 2-d matrix of feature rows")
+    if y.shape != (X.shape[0],):
+        raise ValueError(
+            f"y must have shape ({X.shape[0]},), got {y.shape}"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit a model on zero samples")
+    if ridge < 0:
+        raise ValueError("ridge must be non-negative")
+
+    if standardize:
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        Z = (X - mean) / std
+        model = fit_least_squares(
+            Z, y, feature_names=feature_names, ridge=ridge,
+            standardize=False,
+        )
+        raw_weights = model.weights / std
+        raw_intercept = model.intercept - float(raw_weights @ mean)
+        return LinearModel(
+            weights=raw_weights,
+            intercept=raw_intercept,
+            feature_names=tuple(feature_names),
+        )
+
+    n, d = X.shape
+    augmented = np.hstack([X, np.ones((n, 1))])
+    gram = augmented.T @ augmented
+    if ridge:
+        penalty = ridge * np.eye(d + 1)
+        penalty[-1, -1] = 0.0  # never penalise the intercept
+        gram = gram + penalty
+    solution = np.linalg.solve(gram, augmented.T @ y)
+    return LinearModel(
+        weights=solution[:-1],
+        intercept=float(solution[-1]),
+        feature_names=tuple(feature_names),
+    )
+
+
+def leave_one_group_out(
+    X: np.ndarray,
+    y: np.ndarray,
+    groups: Sequence[str],
+    scorer: Callable[[np.ndarray, np.ndarray], float],
+    ridge: float = 1e-6,
+) -> Dict[str, float]:
+    """Leave-one-group-out cross validation (Section 5.2.3).
+
+    "if we are trying to predict the number of threads for program bt,
+    we ensure that bt is not part of the training set" — groups are
+    program names.  Returns the held-out score per group.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    groups = list(groups)
+    if len(groups) != X.shape[0]:
+        raise ValueError("groups length must match number of rows")
+    unique = sorted(set(groups))
+    if len(unique) < 2:
+        raise ValueError("need at least two groups for LOGO-CV")
+    scores: Dict[str, float] = {}
+    group_arr = np.asarray(groups)
+    for held_out in unique:
+        mask = group_arr == held_out
+        model = fit_least_squares(X[~mask], y[~mask], ridge=ridge)
+        predictions = model.predict(X[mask])
+        scores[held_out] = scorer(predictions, y[mask])
+    return scores
+
+
+def accuracy_within(
+    tolerance: float,
+) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Scorer: fraction of predictions within a relative tolerance."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+
+    def scorer(predicted: np.ndarray, actual: np.ndarray) -> float:
+        predicted = np.asarray(predicted, dtype=float)
+        actual = np.asarray(actual, dtype=float)
+        denom = np.maximum(np.abs(actual), 1e-9)
+        return float(np.mean(np.abs(predicted - actual) / denom <= tolerance))
+
+    return scorer
+
+
+def mean_absolute_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    return float(np.mean(np.abs(predicted - actual)))

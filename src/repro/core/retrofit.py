@@ -1,0 +1,135 @@
+"""Online retrofitting of environment predictors (Section 4.1).
+
+"It is more challenging for hand-crafted or ad-hoc experts as a new
+environment predictor would need to be created.  Alternatively, we
+could online, periodically select an expert (with no environment
+predictor) and see how it affects the environment and record the
+result, slowly building an environment predictor automatically over
+time."
+
+:class:`RetrofitExpert` wraps any thread-selection rule (a plain
+function over the feature vector) as a mixture-compatible expert whose
+environment model starts as *persistence* (predict no change) and is
+re-fitted by ridge regression as observations accumulate.  The
+:class:`~repro.core.policies.mixture.MixturePolicy` feeds observations
+to every expert exposing ``record_observation``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .features import NUM_FEATURES, env_norm_of
+from .regression import LinearModel, fit_least_squares
+
+#: A thread-selection rule: (feature vector, max threads) -> threads.
+ThreadRule = Callable[[np.ndarray, int], int]
+
+
+class RetrofitExpert:
+    """A hand-crafted expert that learns its own environment model."""
+
+    def __init__(
+        self,
+        name: str,
+        thread_rule: ThreadRule,
+        provenance: str = "hand-crafted (retrofit)",
+        refit_every: int = 25,
+        max_observations: int = 2000,
+        ridge: float = 1.0,
+    ):
+        if refit_every < 2:
+            raise ValueError("refit_every must be >= 2")
+        if max_observations < refit_every:
+            raise ValueError("max_observations must cover one refit")
+        self.name = name
+        self.provenance = provenance
+        self._rule = thread_rule
+        self._refit_every = refit_every
+        self._max_observations = max_observations
+        self._ridge = ridge
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self.env_model: Optional[LinearModel] = None
+        self.feature_low: Optional[np.ndarray] = None
+        self.feature_high: Optional[np.ndarray] = None
+
+    # -- the Expert duck-type interface -----------------------------------
+
+    def predict_threads(self, features: np.ndarray,
+                        max_threads: int) -> int:
+        raw = self._rule(np.asarray(features, dtype=float), max_threads)
+        return int(max(1, min(max_threads, round(raw))))
+
+    def predict_env_norm(self, features: np.ndarray) -> float:
+        """Fitted model if available, else persistence (no change)."""
+        features = np.asarray(features, dtype=float)
+        if self.env_model is None:
+            return max(0.0, env_norm_of(features))
+        if self.feature_low is not None:
+            features = np.clip(
+                features, self.feature_low, self.feature_high,
+            )
+        return max(0.0, self.env_model.predict_one(features))
+
+    def env_error(self, features: np.ndarray,
+                  observed_norm: float) -> float:
+        return abs(self.predict_env_norm(features) - observed_norm)
+
+    def domain_distance(self, features: np.ndarray) -> float:
+        """Unfitted experts claim the whole space (no penalty)."""
+        if self.feature_low is None or self.feature_high is None:
+            return 0.0
+        features = np.asarray(features, dtype=float)
+        width = np.maximum(self.feature_high - self.feature_low, 1e-9)
+        below = np.maximum(self.feature_low - features, 0.0)
+        above = np.maximum(features - self.feature_high, 0.0)
+        displacement = (below + above) / width
+        return float(np.sqrt(np.mean(displacement * displacement)))
+
+    # -- online learning ---------------------------------------------------
+
+    @property
+    def observations(self) -> int:
+        return len(self._y)
+
+    @property
+    def fitted(self) -> bool:
+        return self.env_model is not None
+
+    def record_observation(self, features: np.ndarray,
+                           next_env_norm: float) -> None:
+        """One (f_t, ‖e_{t+1}‖) pair; refit periodically."""
+        features = np.asarray(features, dtype=float)
+        if features.shape != (NUM_FEATURES,):
+            raise ValueError(
+                f"expected ({NUM_FEATURES},) features, got "
+                f"{features.shape}"
+            )
+        if next_env_norm < 0:
+            raise ValueError("next_env_norm cannot be negative")
+        self._X.append(features)
+        self._y.append(float(next_env_norm))
+        if len(self._y) > self._max_observations:
+            self._X.pop(0)
+            self._y.pop(0)
+        if len(self._y) % self._refit_every == 0:
+            self._refit()
+
+    def _refit(self) -> None:
+        X = np.stack(self._X)
+        y = np.asarray(self._y)
+        self.env_model = fit_least_squares(
+            X, y, ridge=self._ridge, standardize=True,
+        )
+        self.feature_low = X.min(axis=0)
+        self.feature_high = X.max(axis=0)
+
+    def __repr__(self) -> str:
+        state = (
+            f"fitted on {self.observations} obs" if self.fitted
+            else f"persistence prior ({self.observations} obs)"
+        )
+        return f"<RetrofitExpert {self.name!r}: {state}>"

@@ -1,0 +1,109 @@
+"""Adaptive workloads: both programs are smart (Figure 13b, Result 4).
+
+"Here we study the combined execution time when one program co-executes
+with another and both can adapt i.e. execute using different scheduling
+policies. ... The baseline of 1.0 is the performance when each program
+employs the default policy."
+
+Each pair (A, B) runs to completion (no restarts); the combined speedup
+is the harmonic mean of each program's speedup over the both-default
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..machine.machine import SimMachine
+from ..machine.topology import XEON_L7555
+from ..programs import registry
+from ..core.training import scale_program
+from ..runtime.engine import CoExecutionEngine, JobSpec
+from ..runtime.metrics import harmonic_mean
+from .runner import PolicyFactory, standard_policies
+from .scenarios import Scenario, SMALL_LOW
+
+#: Default program pairs (distinct scaling characters).
+DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("lu", "mg"), ("cg", "ep"), ("bt", "is"), ("ft", "sp"),
+    ("art", "equake"), ("bodytrack", "freqmine"),
+)
+
+
+@dataclass
+class AdaptivePairsResult:
+    """Figure 13b: combined speedup when both programs use a policy."""
+
+    #: policy -> per-pair combined speedups.
+    per_pair: Dict[str, List[float]]
+
+    def combined(self) -> Dict[str, float]:
+        return {
+            policy: harmonic_mean(values)
+            for policy, values in self.per_pair.items()
+        }
+
+    def format(self) -> str:
+        lines = ["== Figure 13b: both programs adaptive =="]
+        lines.append(f"{'policy':12s}{'combined speedup':>17s}")
+        for policy, value in self.combined().items():
+            lines.append(f"{policy:12s}{value:17.2f}")
+        return "\n".join(lines)
+
+
+def _run_pair(
+    names: Tuple[str, str],
+    factory: PolicyFactory,
+    scenario: Scenario,
+    seed: int,
+    iterations_scale: float,
+) -> Dict[str, float]:
+    """Run a pair, both using ``factory``'s policy; per-program times."""
+    machine = SimMachine(
+        topology=XEON_L7555,
+        availability=scenario.availability(XEON_L7555, seed=seed),
+    )
+    jobs = []
+    for index, name in enumerate(names):
+        program = registry.get(name)
+        if iterations_scale != 1.0:
+            program = scale_program(program, iterations_scale)
+        jobs.append(JobSpec(
+            program=program,
+            policy=factory(),
+            job_id=f"p{index}-{name}",
+        ))
+    engine = CoExecutionEngine(machine=machine, jobs=jobs, max_time=7200.0)
+    result = engine.run()
+    if result.timed_out:
+        raise RuntimeError(f"pair run timed out: {names}")
+    return dict(result.job_times)
+
+
+def run_adaptive_pairs(
+    pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    scenario: Scenario = SMALL_LOW,
+    iterations_scale: float = 1.0,
+    seed: int = 0,
+) -> AdaptivePairsResult:
+    """Figure 13b: every policy employed by both programs of each pair."""
+    if policies is None:
+        policies = standard_policies()
+    if "default" not in policies:
+        raise ValueError("policies must include 'default' for the baseline")
+    per_pair: Dict[str, List[float]] = {name: [] for name in policies}
+    for pair in pairs:
+        baseline = _run_pair(
+            pair, policies["default"], scenario, seed, iterations_scale,
+        )
+        for name, factory in policies.items():
+            times = _run_pair(
+                pair, factory, scenario, seed, iterations_scale,
+            )
+            speedups = [
+                baseline[job_id] / times[job_id] for job_id in times
+            ]
+            per_pair[name].append(harmonic_mean(speedups))
+    return AdaptivePairsResult(per_pair=per_pair)

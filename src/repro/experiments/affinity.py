@@ -1,0 +1,91 @@
+"""Thread affinity (Figure 14b, Result 6 / Section 7.6).
+
+"Here we combine affinity scheduling with each of the thread selection
+policies ... in the small workload scenario ... All schemes show
+improvement with affinity scheduling but our approach gives the largest
+improvement."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..machine.affinity import CompactAffinity, NoAffinity
+from ..runtime.metrics import harmonic_mean
+from .runner import PolicyFactory, compare_policies, standard_policies
+from .scenarios import EVALUATION_TARGETS, SMALL_LOW, Scenario
+
+
+@dataclass
+class AffinityResult:
+    """Figure 14b: per-policy speedups with and without affinity."""
+
+    without_affinity: Dict[str, float]
+    with_affinity: Dict[str, float]
+
+    def improvement(self) -> Dict[str, float]:
+        """Relative gain each policy gets from affinity scheduling."""
+        return {
+            policy: self.with_affinity[policy] / self.without_affinity[policy]
+            for policy in self.without_affinity
+        }
+
+    def format(self) -> str:
+        lines = ["== Figure 14b: affinity scheduling =="]
+        lines.append(
+            f"{'policy':12s}{'no-affinity':>12s}{'affinity':>10s}"
+            f"{'gain':>7s}"
+        )
+        gains = self.improvement()
+        for policy in self.without_affinity:
+            lines.append(
+                f"{policy:12s}{self.without_affinity[policy]:12.2f}"
+                f"{self.with_affinity[policy]:10.2f}{gains[policy]:7.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_affinity(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    scenario: Scenario = SMALL_LOW,
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> AffinityResult:
+    """Run the small-workload scenario with and without affinity.
+
+    Speedups in *both* columns are measured against the no-affinity
+    OpenMP default, so the with-affinity column shows the combined
+    effect (the paper's 2.1x overall number for the mixture).
+    """
+    if policies is None:
+        policies = standard_policies()
+    compact = CompactAffinity()
+
+    plain: Dict[str, list] = {name: [] for name in policies}
+    pinned: Dict[str, list] = {name: [] for name in policies}
+    for target in targets:
+        base = compare_policies(
+            target, scenario, policies,
+            seeds=seeds, iterations_scale=iterations_scale,
+        )
+        bound = compare_policies(
+            target, scenario, policies,
+            seeds=seeds, iterations_scale=iterations_scale,
+            target_affinity=compact,
+        )
+        # Rebase the affinity run onto the *no-affinity* default time.
+        for name in policies:
+            plain[name].append(base.speedups[name])
+            pinned[name].append(
+                base.times["default"] / bound.times[name]
+            )
+    return AffinityResult(
+        without_affinity={
+            name: harmonic_mean(vals) for name, vals in plain.items()
+        },
+        with_affinity={
+            name: harmonic_mean(vals) for name, vals in pinned.items()
+        },
+    )

@@ -1,0 +1,296 @@
+"""Section 8 analyses: environment-predictor accuracy (Figure 15a),
+expert-selection frequency (Figure 15b), number of experts
+(Figure 15c), and the thread-number distribution (Figure 17).
+
+All of these interrogate the mixture policy's decision log, which
+records every expert's environment prediction at every decision plus
+the subsequently-observed environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.policies import MixturePolicy
+from ..core.training import TrainingConfig, default_experts
+from ..runtime.metrics import harmonic_mean
+from .runner import (
+    PolicyFactory,
+    compare_policies,
+    mixture_factory,
+    run_target,
+    standard_policies,
+)
+from .scenarios import (
+    DYNAMIC_SCENARIOS,
+    EVALUATION_TARGETS,
+    LARGE_LOW,
+    Scenario,
+)
+from ..workload.spec import workload_sets
+
+
+def _mixture_runs(
+    targets: Sequence[str],
+    scenario: Scenario,
+    config: TrainingConfig,
+    iterations_scale: float,
+    seed: int,
+    num_experts: Optional[int] = None,
+) -> List[MixturePolicy]:
+    """Run the mixture on each target; return the used policy objects."""
+    bundle = default_experts(config)
+    experts = bundle.experts
+    if num_experts is not None:
+        experts = experts[:num_experts]
+    factory = mixture_factory(
+        type(bundle)(
+            experts=experts,
+            scalability=bundle.scalability,
+            samples_per_expert=bundle.samples_per_expert,
+            config=bundle.config,
+        ),
+        config,
+    )
+    sets = workload_sets(scenario.workload_size or "small")
+    policies = []
+    for target in targets:
+        policy = factory()
+        run_target(
+            target, policy, scenario,
+            workload_set=sets[0], seed=seed,
+            iterations_scale=iterations_scale, max_time=7200.0,
+        )
+        policies.append(policy)
+    return policies
+
+
+@dataclass
+class AccuracyResult:
+    """Figure 15a: environment-predictor accuracy."""
+
+    per_expert: List[float]
+    mixture: float
+
+    def format(self) -> str:
+        lines = ["== Figure 15a: environment predictor accuracy =="]
+        for index, value in enumerate(self.per_expert, start=1):
+            lines.append(f"expert {index}: {value:5.1%}")
+        lines.append(f"mixture : {self.mixture:5.1%}")
+        return "\n".join(lines)
+
+
+def run_env_accuracy(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    scenarios: Sequence[Scenario] = DYNAMIC_SCENARIOS,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    tolerance: float = 0.25,
+    seed: int = 0,
+) -> AccuracyResult:
+    """Accuracy of each expert's (and the mixture's) env predictions."""
+    per_expert_acc: List[List[float]] = []
+    mixture_acc: List[float] = []
+    for scenario in scenarios:
+        for policy in _mixture_runs(
+            targets, scenario, config, iterations_scale, seed,
+        ):
+            accs = policy.env_prediction_accuracies(tolerance)
+            if any(accs):
+                per_expert_acc.append(accs)
+                mixture_acc.append(policy.mixture_accuracy(tolerance))
+    if not per_expert_acc:
+        raise RuntimeError("no scored mixture decisions recorded")
+    matrix = np.array(per_expert_acc)
+    return AccuracyResult(
+        per_expert=[float(v) for v in matrix.mean(axis=0)],
+        mixture=float(np.mean(mixture_acc)),
+    )
+
+
+@dataclass
+class SelectionFrequencyResult:
+    """Figure 15b: how often each expert is chosen, per scenario."""
+
+    #: scenario name -> normalised selection frequency per expert.
+    frequencies: Dict[str, List[float]]
+
+    def format(self) -> str:
+        lines = ["== Figure 15b: expert selection frequency =="]
+        for scenario, freqs in self.frequencies.items():
+            row = " ".join(f"E{i + 1}={f:5.1%}" for i, f in enumerate(freqs))
+            lines.append(f"{scenario:12s} {row}")
+        return "\n".join(lines)
+
+
+def run_selection_frequency(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    scenarios: Sequence[Scenario] = DYNAMIC_SCENARIOS,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seed: int = 0,
+) -> SelectionFrequencyResult:
+    """Distribution of expert selections in each scenario."""
+    frequencies: Dict[str, List[float]] = {}
+    for scenario in scenarios:
+        counts = None
+        for policy in _mixture_runs(
+            targets, scenario, config, iterations_scale, seed,
+        ):
+            these = np.array(policy.selection_counts(), dtype=float)
+            counts = these if counts is None else counts + these
+        total = counts.sum()
+        frequencies[scenario.name] = [
+            float(c / total) if total else 0.0 for c in counts
+        ]
+    return SelectionFrequencyResult(frequencies=frequencies)
+
+
+@dataclass
+class NumExpertsResult:
+    """Figure 15c: speedup vs the number of experts in the mixture."""
+
+    #: Single-expert speedups (E1..E4 deployed alone).
+    single_expert: List[float]
+    #: hmean speedup of mixtures of the first k experts, k=1..K.
+    by_count: Dict[int, float]
+
+    def format(self) -> str:
+        lines = ["== Figure 15c: number of experts =="]
+        for index, value in enumerate(self.single_expert, start=1):
+            lines.append(f"expert {index} alone: {value:5.2f}")
+        for count, value in self.by_count.items():
+            lines.append(f"mixture of {count}: {value:5.2f}")
+        return "\n".join(lines)
+
+
+def run_num_experts(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    scenario: Scenario = LARGE_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> NumExpertsResult:
+    """Figure 15c, in the paper's large-workload/low-frequency setting.
+
+    Mixtures of k experts add experts starting from the scenario's most
+    relevant one (the paper's Section 8.3 analysis starts from the
+    experts "most accurate here", E3/E4 in this scenario): the subsets
+    are E4; E4+E3; E4+E3+E2; all four.
+    """
+    from ..core.policies import SingleExpertPolicy
+    from ..core.training import ExpertBundle
+
+    bundle = default_experts(config)
+    ordered = tuple(reversed(bundle.experts))
+    policies: Dict[str, PolicyFactory] = {
+        "default": standard_policies(config)["default"],
+    }
+    for index, expert in enumerate(bundle.experts, start=1):
+        policies[f"single-{index}"] = (
+            lambda e=expert: SingleExpertPolicy(e, name=e.name)
+        )
+    for count in range(1, len(ordered) + 1):
+        sub = ExpertBundle(
+            experts=ordered[:count],
+            scalability=bundle.scalability,
+            samples_per_expert=bundle.samples_per_expert,
+            config=bundle.config,
+        )
+        policies[f"mixture-{count}"] = mixture_factory(sub, config)
+
+    collected: Dict[str, list] = {
+        name: [] for name in policies if name != "default"
+    }
+    for target in targets:
+        comparison = compare_policies(
+            target, scenario, policies,
+            seeds=seeds, iterations_scale=iterations_scale,
+        )
+        for name in collected:
+            collected[name].append(comparison.speedups[name])
+    hmeans = {
+        name: harmonic_mean(values)
+        for name, values in collected.items()
+    }
+    return NumExpertsResult(
+        single_expert=[
+            hmeans[f"single-{i}"]
+            for i in range(1, len(bundle.experts) + 1)
+        ],
+        by_count={
+            count: hmeans[f"mixture-{count}"]
+            for count in range(1, len(bundle.experts) + 1)
+        },
+    )
+
+
+@dataclass
+class ThreadDistributionResult:
+    """Figure 17: thread numbers predicted by each expert & mixture."""
+
+    #: label -> histogram over thread-count buckets.
+    distributions: Dict[str, Dict[str, int]]
+    buckets: Tuple[Tuple[int, int], ...]
+
+    def format(self) -> str:
+        lines = ["== Figure 17: thread number distribution =="]
+        header = f"{'policy':12s}" + "".join(
+            f"{f'{lo}-{hi}':>9s}" for lo, hi in self.buckets
+        )
+        lines.append(header)
+        for label, hist in self.distributions.items():
+            lines.append(
+                f"{label:12s}" + "".join(
+                    f"{hist[f'{lo}-{hi}']:9d}" for lo, hi in self.buckets
+                )
+            )
+        return "\n".join(lines)
+
+
+#: Thread-count buckets used by Figure 17's histogram.
+DEFAULT_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 4), (5, 8), (9, 16), (17, 24), (25, 32),
+)
+
+
+def run_thread_distribution(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    scenario: Scenario = LARGE_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seed: int = 0,
+    buckets: Tuple[Tuple[int, int], ...] = DEFAULT_BUCKETS,
+) -> ThreadDistributionResult:
+    """Histogram the thread choices of each expert and of the mixture."""
+    bundle = default_experts(config)
+
+    def bucket_of(threads: int) -> str:
+        for lo, hi in buckets:
+            if lo <= threads <= hi:
+                return f"{lo}-{hi}"
+        lo, hi = buckets[-1]
+        return f"{lo}-{hi}"
+
+    distributions: Dict[str, Dict[str, int]] = {}
+    mixture_hist = {f"{lo}-{hi}": 0 for lo, hi in buckets}
+    expert_hists = [
+        {f"{lo}-{hi}": 0 for lo, hi in buckets}
+        for _ in bundle.experts
+    ]
+    for policy in _mixture_runs(
+        targets, scenario, config, iterations_scale, seed,
+    ):
+        for decision in policy.decisions:
+            mixture_hist[bucket_of(decision.threads)] += 1
+            for index, threads in enumerate(decision.predicted_threads):
+                expert_hists[index][bucket_of(threads)] += 1
+    for index, hist in enumerate(expert_hists, start=1):
+        distributions[f"E{index}"] = hist
+    distributions["mixture"] = mixture_hist
+    return ThreadDistributionResult(
+        distributions=distributions, buckets=buckets,
+    )

@@ -1,0 +1,329 @@
+"""Extensions from the paper's Section 9 future work.
+
+* :func:`run_model_comparison` — "whether other modeling techniques
+  such as SVMs trained on the same data ... can be selected by a
+  mixtures approach": mixtures of linear experts, of kernel-machine
+  experts, and of both pooled together.
+* :func:`run_data_tradeoff` — "the trade-off in number of experts vs
+  training data size": monolithic vs 4-expert models fitted on
+  subsampled fractions of the training data.
+* :func:`run_portability` — "evaluate on alternative hardware
+  platforms": deploy the experts (trained on the 12- and 32-core
+  machines) on a 48-core machine they have never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.nonlinear import build_nonlinear_experts
+from ..core.policies import DefaultPolicy, MixturePolicy, MonolithicPolicy
+from ..core.training import (
+    ExpertBundle,
+    TrainingConfig,
+    build_experts,
+    default_experts,
+    train_expert,
+    training_dataset,
+)
+from ..machine.topology import Topology
+from ..runtime.metrics import harmonic_mean
+from .runner import (
+    PolicyFactory,
+    compare_policies,
+    mixture_factory,
+)
+from .scenarios import SMALL_LOW, Scenario
+
+#: Section 9 portability target: a 48-core machine neither expert was
+#: trained on (4 sockets x 12 cores, generous memory system).
+OPTERON_48 = Topology(
+    name="opteron-48",
+    sockets=4,
+    cores_per_socket=12,
+    freq_ghz=2.2,
+    llc_mb=48.0,
+    ram_gb=128.0,
+    mem_bandwidth_gbs=85.0,
+)
+
+
+@dataclass
+class VariantResult:
+    """hmean speedups of labelled policy variants vs the default."""
+
+    title: str
+    speedups: Dict[str, float]
+
+    def format(self) -> str:
+        lines = [f"== {self.title} =="]
+        lines.append(f"{'variant':30s}{'speedup':>9s}")
+        for label, value in self.speedups.items():
+            lines.append(f"{label:30s}{value:9.2f}")
+        return "\n".join(lines)
+
+
+def _evaluate_variants(
+    title: str,
+    variants: Dict[str, PolicyFactory],
+    targets: Sequence[str],
+    scenario: Scenario,
+    iterations_scale: float,
+    seeds: Sequence[int],
+    topology=None,
+) -> VariantResult:
+    policies: Dict[str, PolicyFactory] = {
+        "default": DefaultPolicy, **variants,
+    }
+    collected: Dict[str, List[float]] = {name: [] for name in variants}
+    kwargs = {} if topology is None else {"topology": topology}
+    for target in targets:
+        comparison = compare_policies(
+            target, scenario, policies,
+            seeds=seeds, iterations_scale=iterations_scale, **kwargs,
+        )
+        for name in variants:
+            collected[name].append(comparison.speedups[name])
+    return VariantResult(
+        title=title,
+        speedups={
+            name: harmonic_mean(values)
+            for name, values in collected.items()
+        },
+    )
+
+
+def run_model_comparison(
+    targets: Sequence[str] = ("cg", "ep", "lu", "mg", "art"),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> VariantResult:
+    """Linear vs kernel-machine experts, same data, same selector."""
+    linear = default_experts(config)
+    nonlinear = build_nonlinear_experts(config)
+    pooled = tuple(linear.experts) + tuple(nonlinear)
+    variants = {
+        "linear experts (paper)": mixture_factory(linear, config),
+        "kernel experts (SVM-style)": (
+            lambda: MixturePolicy(nonlinear)
+        ),
+        "linear + kernel pooled": (
+            lambda: MixturePolicy(pooled)
+        ),
+    }
+    return _evaluate_variants(
+        "Extension: expert model families (Section 9)",
+        variants, targets, scenario, iterations_scale, seeds,
+    )
+
+
+def run_data_tradeoff(
+    targets: Sequence[str] = ("cg", "ep", "lu", "mg"),
+    fractions: Sequence[float] = (0.25, 0.5, 1.0),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+    subsample_seed: int = 13,
+) -> VariantResult:
+    """Experts vs monolithic across training-data sizes.
+
+    Each fraction subsamples the shared training set once (uniformly at
+    random, fixed seed) and fits both a monolithic model and the
+    4-expert mixture on that subsample.
+    """
+    samples, scalability = training_dataset(config)
+    rng = np.random.default_rng(subsample_seed)
+    variants: Dict[str, PolicyFactory] = {}
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fractions must be in (0, 1]")
+        count = max(60, int(round(fraction * len(samples))))
+        index = rng.choice(len(samples), size=min(count, len(samples)),
+                           replace=False)
+        subset = [samples[i] for i in index]
+        mono = train_expert("mono", subset, provenance="monolithic")
+        try:
+            bundle = build_experts(
+                config, granularity=4,
+                samples=subset, scalability=scalability,
+            )
+            variants[f"experts-4 @ {fraction:.0%}"] = mixture_factory(
+                bundle, config,
+            )
+        except RuntimeError:
+            pass  # too little data for every slice at tiny fractions
+        variants[f"monolithic @ {fraction:.0%}"] = (
+            lambda e=mono: MonolithicPolicy(e)
+        )
+    return _evaluate_variants(
+        "Extension: experts vs training-data size (Section 9)",
+        variants, targets, scenario, iterations_scale, seeds,
+    )
+
+
+def run_energy(
+    targets: Sequence[str] = ("cg", "lu", "mg", "bodytrack"),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seed: int = 0,
+) -> VariantResult:
+    """Energy-to-solution per policy (the power motivation, ref [30]).
+
+    Busy-wait synchronisation burns active power without retiring work,
+    so a policy that stops over-threading should reduce the energy a
+    program costs — measured here as joules per unit of target work,
+    normalised to the OpenMP default (>1 means energy *saved*).
+    """
+    from ..machine.power import PowerModel, energy_to_solution
+    from ..machine.topology import XEON_L7555
+    from ..programs import registry
+    from ..core.training import scale_program
+    from ..workload.spec import workload_sets
+    from .runner import run_target
+
+    bundle = default_experts(config)
+    model = PowerModel(topology=XEON_L7555)
+    policies: Dict[str, PolicyFactory] = {
+        "default": DefaultPolicy,
+        "mixture": mixture_factory(bundle, config),
+    }
+    workload = workload_sets(scenario.workload_size or "small")[0]
+
+    savings: List[float] = []
+    for target_name in targets:
+        target = registry.get(target_name)
+        if iterations_scale != 1.0:
+            target = scale_program(target, iterations_scale)
+        per_policy = {}
+        for name, factory in policies.items():
+            outcome = run_target(
+                target_name, factory(), scenario,
+                workload_set=workload, seed=seed,
+                iterations_scale=iterations_scale, max_time=7200.0,
+            )
+            per_policy[name] = energy_to_solution(
+                outcome.result, model, "target", target.total_work,
+            )
+        savings.append(per_policy["default"] / per_policy["mixture"])
+    return VariantResult(
+        title="Extension: energy to solution (power motivation)",
+        speedups={
+            "mixture energy saving": harmonic_mean(savings),
+        },
+    )
+
+
+def run_unseen_suite(
+    targets: Sequence[str] = (
+        "kmeans", "bfs", "hotspot", "lud", "nw", "srad",
+        "streamcluster", "backprop",
+    ),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> VariantResult:
+    """The mixture on a whole suite it never trained on (Rodinia).
+
+    The paper evaluates on SpecOMP and Parsec programs absent from the
+    NAS-only training set; this pushes the same generality question to
+    a third unseen suite with different kernel characters (graph
+    traversal, stencils, wavefronts).
+    """
+    bundle = default_experts(config)
+    variants = {
+        "mixture on rodinia": mixture_factory(bundle, config),
+    }
+    return _evaluate_variants(
+        "Extension: unseen suite (Rodinia)",
+        variants, targets, scenario, iterations_scale, seeds,
+    )
+
+
+def run_churn(
+    targets: Sequence[str] = ("cg", "lu", "mg", "bodytrack"),
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    arrival_rate: float = 0.05,
+    horizon: float = 250.0,
+    seed: int = 0,
+) -> VariantResult:
+    """Mapping under job churn: workloads arrive and depart.
+
+    Beyond the paper's fixed restarting workloads, jobs here arrive as
+    a Poisson stream and run once — the shape of the Figure 1 log.
+    The mixture must hold its advantage when contention changes through
+    *arrivals* rather than thread-count variation alone.
+    """
+    from ..machine.machine import SimMachine
+    from ..machine.topology import XEON_L7555
+    from ..programs import registry
+    from ..runtime.engine import CoExecutionEngine, JobSpec
+    from ..workload.arrivals import arrival_jobs, generate_arrivals
+    from ..core.training import scale_program
+
+    bundle = default_experts(config)
+    policies: Dict[str, PolicyFactory] = {
+        "default": DefaultPolicy,
+        "mixture": mixture_factory(bundle, config),
+    }
+    arrivals = generate_arrivals(
+        pool=("is", "cg", "ft", "bt", "ammp"),
+        rate=arrival_rate, horizon=horizon, seed=seed,
+    )
+
+    collected: Dict[str, List[float]] = {"mixture": []}
+    for target_name in targets:
+        target = registry.get(target_name)
+        if iterations_scale != 1.0:
+            target = scale_program(target, iterations_scale)
+        times = {}
+        for name, factory in policies.items():
+            machine = SimMachine(topology=XEON_L7555)
+            jobs = [JobSpec(program=target, policy=factory(),
+                            job_id="target", is_target=True)]
+            jobs.extend(arrival_jobs(arrivals, DefaultPolicy))
+            engine = CoExecutionEngine(
+                machine=machine, jobs=jobs, max_time=7200.0,
+            )
+            result = engine.run()
+            if result.target_time is None:
+                raise RuntimeError(
+                    f"churn run timed out: {target_name}/{name}"
+                )
+            times[name] = result.target_time
+        collected["mixture"].append(times["default"] / times["mixture"])
+    return VariantResult(
+        title="Extension: mapping under job churn",
+        speedups={
+            "mixture under churn": harmonic_mean(collected["mixture"]),
+        },
+    )
+
+
+def run_portability(
+    targets: Sequence[str] = ("cg", "ep", "lu", "mg", "art"),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+    topology: Topology = OPTERON_48,
+) -> VariantResult:
+    """The trained mixture on a platform it never saw (Section 9)."""
+    bundle = default_experts(config)
+    variants = {
+        "mixture (12/32-core experts)": mixture_factory(bundle, config),
+    }
+    return _evaluate_variants(
+        f"Extension: portability to {topology.name} "
+        f"({topology.cores} cores)",
+        variants, targets, scenario, iterations_scale, seeds,
+        topology=topology,
+    )

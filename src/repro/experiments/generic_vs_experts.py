@@ -1,0 +1,83 @@
+"""Monolithic model vs mixture (Figure 14c, Result 7) and expert
+granularity (Figure 16, Section 8.4).
+
+Figure 14c: "we evaluate the performance of the mixture of experts
+policy comparing it against a single aggregate model with the same
+total training data."
+
+Figure 16: monolithic vs 4 experts vs 8 experts (the finer split), in
+the small-workload / low-frequency scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.policies import MonolithicPolicy
+from ..core.training import TrainingConfig, default_experts
+from ..runtime.metrics import harmonic_mean
+from .runner import (
+    PolicyFactory,
+    compare_policies,
+    mixture_factory,
+    standard_policies,
+)
+from .scenarios import EVALUATION_TARGETS, SMALL_LOW, Scenario
+
+
+@dataclass
+class GranularityResult:
+    """Speedups of models of increasing granularity (Figs 14c, 16)."""
+
+    #: label ("monolithic", "experts-4", "experts-8") -> hmean speedup.
+    speedups: Dict[str, float]
+
+    def format(self) -> str:
+        lines = ["== Figures 14c / 16: model granularity =="]
+        lines.append(f"{'model':14s}{'speedup':>9s}")
+        for label, value in self.speedups.items():
+            lines.append(f"{label:14s}{value:9.2f}")
+        return "\n".join(lines)
+
+
+def run_granularity(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    granularities: Sequence[int] = (1, 4, 8),
+    scenario: Scenario = SMALL_LOW,
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> GranularityResult:
+    """Compare models built from the same data at each granularity.
+
+    Granularity 1 is the Section 7.7 monolithic aggregate; 4 is the
+    paper's expert set; 8 the finer split of Section 8.4.
+    """
+    policies: Dict[str, PolicyFactory] = {
+        "default": standard_policies(config)["default"],
+    }
+    for granularity in granularities:
+        bundle = default_experts(config, granularity=granularity)
+        if granularity == 1:
+            expert = bundle.experts[0]
+            policies["monolithic"] = (
+                lambda e=expert: MonolithicPolicy(e)
+            )
+        else:
+            label = f"experts-{granularity}"
+            policies[label] = mixture_factory(bundle, config)
+
+    results: Dict[str, list] = {
+        name: [] for name in policies if name != "default"
+    }
+    for target in targets:
+        comparison = compare_policies(
+            target, scenario, policies,
+            seeds=seeds, iterations_scale=iterations_scale,
+        )
+        for name in results:
+            results[name].append(comparison.speedups[name])
+    return GranularityResult(speedups={
+        name: harmonic_mean(values) for name, values in results.items()
+    })

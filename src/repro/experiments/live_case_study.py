@@ -1,0 +1,153 @@
+"""Real-world case study (Figure 14a, Result 5 / Section 7.5).
+
+The Figure 1 live pattern is replayed on the Table 2 platform: workload
+thread demand is scaled down in proportion to the machine size, and a
+hardware failure removes half the processors for two (scaled) hours.
+The workload itself is driven by a synthetic "trace player" program
+whose thread counts follow the scaled demand.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.policies.base import PolicyContext, ThreadPolicy
+from ..core.training import scale_program
+from ..machine.availability import FailureWindow, StaticAvailability
+from ..machine.machine import SimMachine
+from ..machine.topology import XEON_L7555
+from ..programs import registry
+from ..runtime.engine import CoExecutionEngine, JobSpec
+from ..runtime.metrics import harmonic_mean
+from ..workload.trace import LiveTrace, generate_live_trace
+from .runner import PolicyFactory, standard_policies
+from .scenarios import EVALUATION_TARGETS
+
+#: The case study compresses the 50 h trace into this many simulated
+#: seconds, so target programs experience the full demand shape.
+DEFAULT_REPLAY_DURATION = 400.0
+
+
+class TracePlayerPolicy(ThreadPolicy):
+    """Thread counts follow a (time, threads) schedule.
+
+    Drives the workload program of the case study: its parallelism is
+    whatever the scaled-down live trace says the system demand was.
+    """
+
+    name = "trace-player"
+
+    def __init__(self, schedule: Sequence[Tuple[float, int]]):
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        self._times = [t for t, _ in schedule]
+        self._threads = [n for _, n in schedule]
+
+    def select(self, ctx: PolicyContext) -> int:
+        index = bisect.bisect_right(self._times, ctx.time) - 1
+        if index < 0:
+            index = 0
+        return ctx.clamp(max(1, self._threads[index]))
+
+
+@dataclass
+class LiveCaseStudyResult:
+    """Figure 14a: speedups in the replayed live scenario."""
+
+    speedups: Dict[str, Dict[str, float]]  # target -> policy -> speedup
+
+    def overall(self) -> Dict[str, float]:
+        policies = next(iter(self.speedups.values())).keys()
+        return {
+            policy: harmonic_mean([
+                per_policy[policy]
+                for per_policy in self.speedups.values()
+            ])
+            for policy in policies
+        }
+
+    def format(self) -> str:
+        lines = ["== Figure 14a: live-system case study =="]
+        overall = self.overall()
+        lines.append(f"{'policy':12s}{'speedup':>9s}")
+        for policy, value in overall.items():
+            lines.append(f"{policy:12s}{value:9.2f}")
+        return "\n".join(lines)
+
+
+def scaled_schedule(
+    trace: LiveTrace,
+    replay_duration: float,
+    max_processors: int,
+) -> List[Tuple[float, int]]:
+    """Scale the live trace down in threads *and* time."""
+    scaled = trace.scale_down(max_processors)
+    if not scaled:
+        raise ValueError("empty trace")
+    t_end = scaled[-1][0] or 1.0
+    return [
+        (time / t_end * replay_duration, threads)
+        for time, threads in scaled
+    ]
+
+
+def run_live_case_study(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    iterations_scale: float = 1.0,
+    replay_duration: float = DEFAULT_REPLAY_DURATION,
+    seed: int = 2015,
+) -> LiveCaseStudyResult:
+    """Figure 14a: all policies under the replayed live pattern."""
+    if policies is None:
+        policies = standard_policies()
+    trace = generate_live_trace(seed=seed)
+    schedule = scaled_schedule(
+        trace, replay_duration, XEON_L7555.cores,
+    )
+    # "there was a hardware failure such that half of the processors
+    # were unavailable for 2 hours" — 2/50ths of the replay window.
+    failure_start = 0.55 * replay_duration
+    failure_end = failure_start + replay_duration * (2.0 / 50.0) * 5.0
+    availability = FailureWindow(
+        base=StaticAvailability(XEON_L7555.cores),
+        start=failure_start,
+        end=failure_end,
+    )
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    for target_name in targets:
+        target = registry.get(target_name)
+        if iterations_scale != 1.0:
+            target = scale_program(target, iterations_scale)
+        workload = registry.get("mg")
+        if iterations_scale != 1.0:
+            workload = scale_program(workload, iterations_scale)
+        times = {}
+        for name, factory in policies.items():
+            machine = SimMachine(
+                topology=XEON_L7555, availability=availability,
+            )
+            engine = CoExecutionEngine(
+                machine=machine,
+                jobs=[
+                    JobSpec(program=target, policy=factory(),
+                            job_id="target", is_target=True),
+                    JobSpec(program=workload,
+                            policy=TracePlayerPolicy(schedule),
+                            job_id="trace-player", restart=True),
+                ],
+                max_time=7200.0,
+            )
+            result = engine.run()
+            if result.target_time is None:
+                raise RuntimeError(
+                    f"case-study run timed out: {target_name}/{name}"
+                )
+            times[name] = result.target_time
+        speedups[target_name] = {
+            name: times["default"] / t for name, t in times.items()
+        }
+    return LiveCaseStudyResult(speedups=speedups)

@@ -1,0 +1,137 @@
+"""The Section 3 motivation study (Figures 1-3).
+
+lu co-executes with mg on the 12-core machine, replaying the workload
+pattern around the 175,000th second of the live trace (Figure 1).  Four
+policies are compared: the analytic model, each of two individual
+experts, and the mixture of those two experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.policies import (
+    AnalyticPolicy,
+    DefaultPolicy,
+    MixturePolicy,
+    SingleExpertPolicy,
+)
+from ..core.training import TrainingConfig, default_experts
+from ..machine.availability import TraceAvailability
+from ..machine.machine import SimMachine
+from ..machine.topology import TWELVE_CORE
+from ..programs import registry
+from ..runtime.engine import CoExecutionEngine, JobSpec, TimelinePoint
+from ..workload.trace import generate_live_trace
+
+#: Centre of the zoom window in the live trace, seconds (Figure 1).
+ZOOM_POINT = 175_000.0
+
+
+@dataclass
+class MotivationResult:
+    """Timelines and speedups for the motivation figures."""
+
+    #: Figure 1: the (time, threads) live-system series.
+    live_trace_points: int
+    #: Figure 2: per-policy decision timelines.
+    timelines: Dict[str, List[TimelinePoint]]
+    thread_choices: Dict[str, List[Tuple[float, int]]]
+    #: Figure 3: speedups over the OpenMP default.
+    speedups: Dict[str, float]
+
+    def format(self) -> str:
+        lines = ["== Motivation (Figures 1-3): lu vs mg on 12 cores =="]
+        lines.append(f"live trace: {self.live_trace_points} samples")
+        lines.append(f"{'policy':12s}{'speedup':>9s}")
+        for name, value in self.speedups.items():
+            lines.append(f"{name:12s}{value:9.2f}")
+        return "\n".join(lines)
+
+
+def _zoom_availability(seed: int) -> TraceAvailability:
+    """Availability on the 12-core machine derived from the trace zoom.
+
+    The live demand is scaled down to the 12-core machine; processor
+    availability mirrors the big system's free capacity.
+    """
+    trace = generate_live_trace(seed=seed)
+    window = trace.window(ZOOM_POINT - 600.0, ZOOM_POINT + 600.0)
+    capacity = window.system.hw_contexts
+    points = []
+    for time, threads in zip(window.times, window.threads):
+        free_fraction = 1.0 - threads / capacity
+        processors = max(3, int(round(
+            TWELVE_CORE.cores * (0.25 + 0.75 * free_fraction)
+        )))
+        points.append((time - window.times[0], min(processors, 12)))
+    return TraceAvailability.from_pairs(points)
+
+
+def run_motivation(
+    config: TrainingConfig = TrainingConfig(),
+    iterations_scale: float = 1.0,
+    seed: int = 2015,
+) -> MotivationResult:
+    """Run the Figures 2/3 comparison."""
+    from .runner import run_target  # local import to avoid cycle
+    from ..core.training import scale_program
+
+    bundle = default_experts(config)
+    # The motivation study uses two experts (E^1, E^2); we take the two
+    # 12-core experts, whose training platform matches the machine.
+    twelve = [e for e in bundle.experts
+              if TWELVE_CORE.name in e.provenance] or list(bundle.experts)
+    expert_1, expert_2 = twelve[0], (twelve + list(bundle.experts))[1]
+
+    availability = _zoom_availability(seed)
+    machine = SimMachine(topology=TWELVE_CORE, availability=availability)
+
+    policies = {
+        "default": DefaultPolicy(),
+        "analytic": AnalyticPolicy(),
+        "expert-1": SingleExpertPolicy(expert_1, name="expert-1"),
+        "expert-2": SingleExpertPolicy(expert_2, name="expert-2"),
+        "mixture": MixturePolicy((expert_1, expert_2)),
+    }
+
+    target = registry.get("lu")
+    workload = registry.get("mg")
+    if iterations_scale != 1.0:
+        target = scale_program(target, iterations_scale)
+        workload = scale_program(workload, iterations_scale)
+
+    timelines: Dict[str, List[TimelinePoint]] = {}
+    thread_choices: Dict[str, List[Tuple[float, int]]] = {}
+    times: Dict[str, float] = {}
+    for name, policy in policies.items():
+        engine = CoExecutionEngine(
+            machine=machine,
+            jobs=[
+                JobSpec(program=target, policy=policy,
+                        job_id="target", is_target=True),
+                JobSpec(program=workload, policy=DefaultPolicy(),
+                        job_id="workload", restart=True),
+            ],
+            max_time=7200.0,
+        )
+        result = engine.run()
+        if result.target_time is None:
+            raise RuntimeError(f"motivation run timed out for {name}")
+        times[name] = result.target_time
+        timelines[name] = result.timeline
+        thread_choices[name] = [
+            (s.time, s.threads) for s in result.target_selections()
+        ]
+
+    trace = generate_live_trace(seed=seed)
+    return MotivationResult(
+        live_trace_points=len(trace.times),
+        timelines=timelines,
+        thread_choices=thread_choices,
+        speedups={
+            name: times["default"] / t
+            for name, t in times.items()
+        },
+    )

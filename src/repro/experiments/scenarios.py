@@ -1,0 +1,80 @@
+"""Experimental scenarios (Section 6.4).
+
+Four dynamic scenarios — {small, large} workload x {low, high} frequency
+of hardware change — plus the isolated static setting of Section 7.1.
+The evaluation platform is the Table 2 machine (32-core Xeon L7555).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..machine.availability import (
+    AvailabilitySchedule,
+    HIGH_FREQUENCY_PERIOD,
+    LOW_FREQUENCY_PERIOD,
+    PeriodicAvailability,
+    StaticAvailability,
+)
+from ..machine.topology import Topology, XEON_L7555
+
+#: Benchmarks used as evaluation *targets* in the per-benchmark figures.
+#: NAS C codes plus SpecOMP and Parsec programs never seen in training.
+EVALUATION_TARGETS: Tuple[str, ...] = (
+    "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+    "ammp", "art", "equake",
+    "blackscholes", "bodytrack", "freqmine",
+)
+
+#: Smaller target set for quick sanity runs and unit tests.
+QUICK_TARGETS: Tuple[str, ...] = ("lu", "cg", "ep", "mg")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation setting."""
+
+    name: str
+    workload_size: Optional[str]  # "small" | "large" | None (isolated)
+    hw_change: str  # "static" | "low" | "high"
+
+    def __post_init__(self) -> None:
+        if self.workload_size not in (None, "small", "large"):
+            raise ValueError(
+                f"bad workload_size {self.workload_size!r}"
+            )
+        if self.hw_change not in ("static", "low", "high"):
+            raise ValueError(f"bad hw_change {self.hw_change!r}")
+
+    def availability(
+        self, topology: Topology = XEON_L7555, seed: int = 0
+    ) -> AvailabilitySchedule:
+        """The processor-availability schedule for this scenario."""
+        if self.hw_change == "static":
+            return StaticAvailability(topology.cores)
+        period = (
+            LOW_FREQUENCY_PERIOD if self.hw_change == "low"
+            else HIGH_FREQUENCY_PERIOD
+        )
+        return PeriodicAvailability(
+            max_processors=topology.cores, period=period, seed=seed,
+        )
+
+
+#: Section 7.1: isolated and static.
+STATIC_ISOLATED = Scenario("static-isolated", None, "static")
+
+#: Section 7.2: the four dynamic scenarios of Figures 8-12.
+SMALL_LOW = Scenario("small-low", "small", "low")
+SMALL_HIGH = Scenario("small-high", "small", "high")
+LARGE_LOW = Scenario("large-low", "large", "low")
+LARGE_HIGH = Scenario("large-high", "large", "high")
+
+DYNAMIC_SCENARIOS: Tuple[Scenario, ...] = (
+    SMALL_LOW, SMALL_HIGH, LARGE_LOW, LARGE_HIGH,
+)
+
+ALL_SCENARIOS: Tuple[Scenario, ...] = (
+    (STATIC_ISOLATED,) + DYNAMIC_SCENARIOS
+)

@@ -1,0 +1,121 @@
+"""Table 1 (expert model weights) and Figure 6 (feature impact).
+
+Table 1 lists, per expert, the weights of the thread predictor ``w`` and
+the environment predictor ``m`` over the 10 selected features plus the
+regression constant β.  Figure 6 shows each feature's *impact* π — the
+drop in model accuracy when that feature alone is removed — as one pie
+chart per expert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.feature_selection import average_impact, feature_impact
+from ..core.features import FEATURE_NAMES, FeatureSample
+from ..core.training import (
+    ExpertBundle,
+    TrainingConfig,
+    default_experts,
+    partition_samples,
+    training_dataset,
+)
+
+
+@dataclass
+class ExpertWeightsTable:
+    """Table 1: per-expert (w, m) weights and intercepts."""
+
+    bundle: ExpertBundle
+
+    def rows(self) -> List[dict]:
+        """One row per feature, with w/m weights for every expert."""
+        out = []
+        for index, name in enumerate(FEATURE_NAMES):
+            row = {"feature": f"f^{index + 1}", "description": name}
+            for expert in self.bundle.experts:
+                row[f"{expert.name}.w"] = float(
+                    expert.thread_model.weights[index]
+                )
+                row[f"{expert.name}.m"] = float(
+                    expert.env_model.weights[index]
+                )
+            out.append(row)
+        beta = {"feature": "β", "description": "regression constant"}
+        for expert in self.bundle.experts:
+            beta[f"{expert.name}.w"] = expert.thread_model.intercept
+            beta[f"{expert.name}.m"] = expert.env_model.intercept
+        out.append(beta)
+        return out
+
+    def format(self) -> str:
+        experts = self.bundle.experts
+        lines = ["== Table 1: model weights per expert =="]
+        header = f"{'feature':22s}" + "".join(
+            f"{expert.name + '.w':>10s}{expert.name + '.m':>10s}"
+            for expert in experts
+        )
+        lines.append(header)
+        for row in self.rows():
+            cells = "".join(
+                f"{row[f'{e.name}.w']:10.3f}{row[f'{e.name}.m']:10.3f}"
+                for e in experts
+            )
+            lines.append(f"{row['description']:22s}" + cells)
+        return "\n".join(lines)
+
+
+def run_expert_weights(
+    config: TrainingConfig = TrainingConfig(),
+) -> ExpertWeightsTable:
+    """Produce the Table 1 analogue from the trained experts."""
+    return ExpertWeightsTable(bundle=default_experts(config))
+
+
+@dataclass
+class FeatureImpactResult:
+    """Figure 6: π per feature, per expert, plus the overall average."""
+
+    per_expert: Dict[str, Dict[str, float]]
+    averaged: Dict[str, float]
+
+    def format(self) -> str:
+        lines = ["== Figure 6: feature impact (π) =="]
+        experts = list(self.per_expert)
+        header = f"{'feature':22s}" + "".join(
+            f"{name:>8s}" for name in experts
+        ) + f"{'avg':>8s}"
+        lines.append(header)
+        for feature in FEATURE_NAMES:
+            cells = "".join(
+                f"{self.per_expert[e][feature]:8.3f}" for e in experts
+            )
+            lines.append(
+                f"{feature:22s}{cells}{self.averaged[feature]:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_feature_impact(
+    config: TrainingConfig = TrainingConfig(),
+    tolerance: float = 0.25,
+) -> FeatureImpactResult:
+    """Leave-one-feature-out accuracy drops for each expert's data."""
+    samples, scalability = training_dataset(config)
+    slices = partition_samples(samples, scalability, granularity=4)
+    bundle = default_experts(config)
+    provenance_to_name = {
+        expert.provenance: expert.name for expert in bundle.experts
+    }
+    per_expert: Dict[str, Dict[str, float]] = {}
+    for provenance, slice_samples in slices.items():
+        name = provenance_to_name.get(provenance, provenance)
+        per_expert[name] = feature_impact(slice_samples, tolerance)
+    ordered = {
+        name: per_expert[name] for name in sorted(per_expert)
+    }
+    return FeatureImpactResult(
+        per_expert=ordered,
+        averaged=average_impact(list(ordered.values())),
+    )

@@ -1,0 +1,69 @@
+"""Impact on co-executing workloads (Figure 13a, Result 3).
+
+"Any optimization scheme improving the target program performance
+should ideally exert minimal impact on the co-executing workloads."
+Workload performance is measured as aggregate workload throughput
+(core-seconds of retired work per second) relative to the run where the
+target used the OpenMP default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..runtime.metrics import harmonic_mean
+from .runner import PolicyFactory, compare_policies, standard_policies
+from .scenarios import DYNAMIC_SCENARIOS, EVALUATION_TARGETS, Scenario
+
+
+@dataclass
+class WorkloadImpactResult:
+    """Figure 13a: workload throughput gain per policy."""
+
+    #: target -> policy -> workload throughput relative to default.
+    per_target: Dict[str, Dict[str, float]]
+
+    def overall(self) -> Dict[str, float]:
+        policies = next(iter(self.per_target.values())).keys()
+        return {
+            policy: harmonic_mean([
+                gains[policy] for gains in self.per_target.values()
+            ])
+            for policy in policies
+        }
+
+    def format(self) -> str:
+        overall = self.overall()
+        lines = ["== Figure 13a: impact on external workloads =="]
+        lines.append(f"{'policy':12s}{'workload gain':>14s}")
+        for policy, gain in overall.items():
+            lines.append(f"{policy:12s}{gain:14.2f}")
+        return "\n".join(lines)
+
+
+def run_workload_impact(
+    targets: Sequence[str] = EVALUATION_TARGETS,
+    scenarios: Sequence[Scenario] = DYNAMIC_SCENARIOS,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    iterations_scale: float = 1.0,
+    seeds: Sequence[int] = (0,),
+) -> WorkloadImpactResult:
+    """Measure workload throughput under each target policy."""
+    if policies is None:
+        policies = standard_policies()
+    per_target: Dict[str, Dict[str, float]] = {}
+    for target in targets:
+        gains_across: Dict[str, list] = {name: [] for name in policies}
+        for scenario in scenarios:
+            comparison = compare_policies(
+                target, scenario, policies,
+                seeds=seeds, iterations_scale=iterations_scale,
+            )
+            for name, gain in comparison.workload_gains.items():
+                gains_across[name].append(gain)
+        per_target[target] = {
+            name: harmonic_mean(values)
+            for name, values in gains_across.items()
+        }
+    return WorkloadImpactResult(per_target=per_target)

@@ -1,0 +1,45 @@
+"""Simulated hardware: topologies, availability schedules, affinity."""
+
+from .topology import (
+    HPC_SYSTEM,
+    TRAINING_PLATFORMS,
+    TWELVE_CORE,
+    Topology,
+    XEON_L7555,
+)
+from .availability import (
+    AvailabilitySchedule,
+    FailureWindow,
+    HIGH_FREQUENCY_PERIOD,
+    LOW_FREQUENCY_PERIOD,
+    PeriodicAvailability,
+    StaticAvailability,
+    TraceAvailability,
+)
+from .affinity import (
+    AffinityPolicy,
+    CompactAffinity,
+    NoAffinity,
+    ScatterAffinity,
+)
+from .machine import SimMachine
+
+__all__ = [
+    "AffinityPolicy",
+    "AvailabilitySchedule",
+    "CompactAffinity",
+    "FailureWindow",
+    "HIGH_FREQUENCY_PERIOD",
+    "HPC_SYSTEM",
+    "LOW_FREQUENCY_PERIOD",
+    "NoAffinity",
+    "PeriodicAvailability",
+    "ScatterAffinity",
+    "SimMachine",
+    "StaticAvailability",
+    "Topology",
+    "TraceAvailability",
+    "TRAINING_PLATFORMS",
+    "TWELVE_CORE",
+    "XEON_L7555",
+]

@@ -1,0 +1,97 @@
+"""Thread-to-core affinity policies.
+
+Section 7.6: "Associating threads to cores via affinity scheduling can
+improve performance as it may reduce memory traffic."  In the simulator
+an affinity policy determines how a job's threads spread over sockets;
+the resulting *locality factor* scales the memory-contention penalty in
+:mod:`repro.sched.scheduler` — compactly-placed threads share an LLC and
+generate less cross-socket traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from .topology import Topology
+
+
+class AffinityPolicy(Protocol):
+    """Computes how well-localised ``threads`` threads are on ``topology``."""
+
+    name: str
+
+    def locality(self, threads: int, topology: Topology) -> float:
+        """Locality factor in (0, 1]; 1.0 means perfectly local placement."""
+        ...
+
+
+def _sockets_spanned(threads: int, topology: Topology,
+                     compact: bool) -> int:
+    """Sockets touched by a placement of ``threads`` threads."""
+    if threads <= 0:
+        return 1
+    if compact:
+        # Fill sockets one at a time.
+        return min(
+            topology.sockets,
+            max(1, math.ceil(threads / topology.cores_per_socket)),
+        )
+    # OS default scatters threads across all sockets for balance.
+    return min(topology.sockets, max(1, threads))
+
+
+@dataclass(frozen=True)
+class NoAffinity:
+    """Default OS placement: threads scatter across sockets.
+
+    Locality degrades with every extra socket spanned: remote-socket
+    traffic crosses the interconnect and misses the local LLC.
+    """
+
+    name: str = "none"
+    cross_socket_penalty: float = 0.15
+
+    def locality(self, threads: int, topology: Topology) -> float:
+        spanned = _sockets_spanned(threads, topology, compact=False)
+        return 1.0 / (1.0 + self.cross_socket_penalty * (spanned - 1))
+
+
+@dataclass(frozen=True)
+class CompactAffinity:
+    """Pin threads socket-by-socket (``OMP_PROC_BIND=close`` style).
+
+    Spans the minimum number of sockets, and pinned threads additionally
+    avoid migration costs, giving a small bonus even within one socket.
+    """
+
+    name: str = "compact"
+    cross_socket_penalty: float = 0.15
+    pinning_bonus: float = 0.08
+
+    def locality(self, threads: int, topology: Topology) -> float:
+        spanned = _sockets_spanned(threads, topology, compact=True)
+        base = 1.0 / (1.0 + self.cross_socket_penalty * (spanned - 1))
+        return min(1.0, base * (1.0 + self.pinning_bonus))
+
+
+@dataclass(frozen=True)
+class ScatterAffinity:
+    """Pin threads round-robin across sockets (``spread`` style).
+
+    Maximises aggregate LLC and bandwidth for few threads, but pays the
+    full cross-socket cost once thread counts grow.
+    """
+
+    name: str = "scatter"
+    cross_socket_penalty: float = 0.15
+    bandwidth_bonus: float = 0.05
+
+    def locality(self, threads: int, topology: Topology) -> float:
+        spanned = _sockets_spanned(threads, topology, compact=False)
+        base = 1.0 / (1.0 + self.cross_socket_penalty * (spanned - 1))
+        if threads <= topology.sockets:
+            # Each thread gets a whole socket's LLC slice to itself.
+            return min(1.0, base * (1.0 + self.bandwidth_bonus * threads))
+        return base

@@ -1,0 +1,143 @@
+"""Processor-availability schedules.
+
+Section 6.4 ("Hardware"): the number of available processors is varied
+during program execution, at *low* frequency (a change every 20 s) or
+*high* frequency (every 10 s), due to "hardware failures, assigning
+more/less cores for other high/low priority jobs, turning them off for
+saving power".  Section 7.5 additionally simulates a hardware failure that
+removes half the processors for two hours.
+
+A schedule maps simulated time to the number of processors currently
+available; the scheduler (:mod:`repro.sched`) treats unavailable cores as
+nonexistent for that tick.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, Tuple
+
+import numpy as np
+
+#: Section 6.4 change periods, in simulated seconds.
+LOW_FREQUENCY_PERIOD = 20.0
+HIGH_FREQUENCY_PERIOD = 10.0
+
+
+class AvailabilitySchedule(Protocol):
+    """Maps simulated time to an available-processor count."""
+
+    def available(self, time: float) -> int:
+        """Number of processors available at simulated ``time``."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticAvailability:
+    """All ``processors`` available at all times (the static scenario)."""
+
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+
+    def available(self, time: float) -> int:
+        return self.processors
+
+
+@dataclass
+class PeriodicAvailability:
+    """Availability re-drawn every ``period`` seconds (Section 6.4).
+
+    At each period boundary a new count is drawn uniformly from
+    ``[min_processors, max_processors]``.  Draws are deterministic given
+    the seed and depend only on the period index, so querying out of order
+    or repeatedly gives identical answers.
+    """
+
+    max_processors: int
+    period: float = LOW_FREQUENCY_PERIOD
+    min_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_processors < 1:
+            raise ValueError("need at least one processor")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in (0, 1]")
+
+    @property
+    def min_processors(self) -> int:
+        return max(1, int(round(self.max_processors * self.min_fraction)))
+
+    def available(self, time: float) -> int:
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        index = int(time // self.period)
+        if index == 0:
+            # Programs start with the full machine; changes begin after the
+            # first period, matching the paper's timelines.
+            return self.max_processors
+        rng = np.random.default_rng([self.seed, index])
+        return int(rng.integers(self.min_processors,
+                                self.max_processors + 1))
+
+
+@dataclass(frozen=True)
+class TraceAvailability:
+    """Availability read from an explicit ``(time, count)`` step trace."""
+
+    points: Tuple[Tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("trace must contain at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise ValueError("trace times must be non-decreasing")
+        if any(count < 1 for _, count in self.points):
+            raise ValueError("trace counts must be >= 1")
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[float, int]]
+    ) -> "TraceAvailability":
+        return cls(points=tuple((float(t), int(c)) for t, c in pairs))
+
+    def available(self, time: float) -> int:
+        times = [t for t, _ in self.points]
+        index = bisect.bisect_right(times, time) - 1
+        if index < 0:
+            index = 0
+        return self.points[index][1]
+
+
+@dataclass(frozen=True)
+class FailureWindow:
+    """Wraps a schedule, removing a fraction of processors in a window.
+
+    Models the Section 7.5 case study: "there was a hardware failure such
+    that half of the processors were unavailable for 2 hours".
+    """
+
+    base: AvailabilitySchedule
+    start: float
+    end: float
+    surviving_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("failure window must have positive length")
+        if not 0.0 < self.surviving_fraction <= 1.0:
+            raise ValueError("surviving_fraction must be in (0, 1]")
+
+    def available(self, time: float) -> int:
+        count = self.base.available(time)
+        if self.start <= time < self.end:
+            return max(1, int(math.floor(count * self.surviving_fraction)))
+        return count

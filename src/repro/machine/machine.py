@@ -1,0 +1,44 @@
+"""The simulated machine: topology + availability + affinity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .affinity import AffinityPolicy, NoAffinity
+from .availability import AvailabilitySchedule, StaticAvailability
+from .topology import Topology
+
+
+@dataclass
+class SimMachine:
+    """A machine instance as seen by the scheduler and the policies.
+
+    The availability schedule may grant fewer processors than the topology
+    has (never more); affinity sets the default placement policy for jobs
+    that do not override it.
+    """
+
+    topology: Topology
+    availability: AvailabilitySchedule = None  # type: ignore[assignment]
+    affinity: AffinityPolicy = field(default_factory=NoAffinity)
+
+    def __post_init__(self) -> None:
+        if self.availability is None:
+            self.availability = StaticAvailability(self.topology.cores)
+
+    def available(self, time: float) -> int:
+        """Processors available at ``time``, clamped to the topology."""
+        count = self.availability.available(time)
+        return max(1, min(count, self.topology.cores))
+
+    def locality(self, threads: int) -> float:
+        """Locality factor of the machine's affinity policy."""
+        return self.affinity.locality(threads, self.topology)
+
+    def with_affinity(self, affinity: AffinityPolicy) -> "SimMachine":
+        """A copy of this machine using a different affinity policy."""
+        return SimMachine(
+            topology=self.topology,
+            availability=self.availability,
+            affinity=affinity,
+        )

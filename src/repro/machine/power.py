@@ -1,0 +1,106 @@
+"""Machine power model and run energy accounting.
+
+The paper motivates hardware variation partly by power ("turning them
+off for saving power") and its feedback-threading ancestor [30] is
+explicitly power-aware.  This model makes the energy consequences of
+thread selection measurable:
+
+* a core consumes ``active_watts`` while running a thread (spinning
+  included — busy-wait burns the same power as useful work, which is
+  exactly why over-threading is expensive);
+* every *available* core consumes ``idle_watts`` whether used or not;
+* unavailable (offlined) cores consume nothing.
+
+The engine's per-job CPU accounting (``SimulationResult.cpu_time``)
+provides active core-seconds; the machine's availability schedule
+provides the idle baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """First-order CPU power model for a topology."""
+
+    topology: Topology
+    #: Watts per core while executing (active power).
+    active_watts: float = 8.0
+    #: Watts per powered-on core while idle (static + idle clocking).
+    idle_watts: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.active_watts <= 0 or self.idle_watts < 0:
+            raise ValueError("power figures must be positive")
+        if self.idle_watts > self.active_watts:
+            raise ValueError("idle power cannot exceed active power")
+
+    def energy_joules(
+        self,
+        active_core_seconds: float,
+        duration: float,
+        mean_available: float,
+    ) -> float:
+        """Total energy of a run.
+
+        ``active_core_seconds`` is the sum of granted CPU time across
+        jobs; ``mean_available`` the average powered-on core count.
+        """
+        if active_core_seconds < 0 or duration < 0:
+            raise ValueError("times cannot be negative")
+        if mean_available < 0:
+            raise ValueError("mean_available cannot be negative")
+        powered = mean_available * duration
+        # ``mean_available`` usually comes from coarse timeline samples,
+        # so allow a small sampling error before declaring the inputs
+        # inconsistent; within the tolerance, clamp.
+        if active_core_seconds > 1.05 * powered + 1e-6:
+            raise ValueError(
+                "more active core-seconds than powered core-seconds"
+            )
+        active = min(active_core_seconds, powered)
+        dynamic = (self.active_watts - self.idle_watts)
+        return dynamic * active + self.idle_watts * powered
+
+    def run_energy(self, result, mean_available: float) -> float:
+        """Energy of a :class:`~repro.runtime.engine.SimulationResult`."""
+        active = sum(result.cpu_time.values())
+        return self.energy_joules(
+            active_core_seconds=active,
+            duration=result.duration,
+            mean_available=mean_available,
+        )
+
+
+def mean_availability(result) -> float:
+    """Average powered-on core count over a run's timeline."""
+    if not result.timeline:
+        raise ValueError("result has no timeline samples")
+    return sum(p.available for p in result.timeline) / len(
+        result.timeline
+    )
+
+
+def energy_to_solution(
+    result,
+    model: PowerModel,
+    job_id: str,
+    work_done: float,
+) -> float:
+    """Joules per unit of useful work for one job.
+
+    The headline energy metric: a policy that stops threads from
+    spinning retires the same work with fewer active core-seconds.
+    """
+    if work_done <= 0:
+        raise ValueError("work_done must be positive")
+    available = mean_availability(result)
+    cpu = result.cpu_time.get(job_id, 0.0)
+    share = cpu / max(sum(result.cpu_time.values()), 1e-12)
+    total = model.run_energy(result, available)
+    return share * total / work_done

@@ -1,0 +1,95 @@
+"""Hardware topology descriptions.
+
+Reproduces the platforms of the paper: the 32-core Xeon L7555 evaluation
+machine (Table 2), the 12-core machine used for the motivation study and as
+one of the two expert-training platforms (Sections 3, 5.1), and the large
+HPC system whose activity log motivates Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A shared-memory machine topology.
+
+    ``llc_mb`` and ``mem_bandwidth_gbs`` parameterise the contention model
+    in :mod:`repro.sched.scheduler`: more co-running memory-intensive
+    threads than the LLC/bandwidth can absorb slows everyone down.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt: int = 1
+    freq_ghz: float = 2.0
+    llc_mb: float = 16.0
+    ram_gb: float = 32.0
+    mem_bandwidth_gbs: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.smt < 1:
+            raise ValueError(f"degenerate topology: {self}")
+
+    @property
+    def cores(self) -> int:
+        """Physical cores."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hw_contexts(self) -> int:
+        """Hardware thread contexts (cores × SMT ways)."""
+        return self.cores * self.smt
+
+    def socket_of(self, core: int) -> int:
+        """Socket index owning physical core ``core``."""
+        if not 0 <= core < self.cores:
+            raise ValueError(
+                f"core {core} out of range for {self.name} "
+                f"({self.cores} cores)"
+            )
+        return core // self.cores_per_socket
+
+
+#: Table 2 evaluation platform: 32-core Intel Xeon L7555 @ 1.87 GHz,
+#: 4 one-socket nodes with 8 cores each, 64 GB RAM, 24 MB shared LLC.
+XEON_L7555 = Topology(
+    name="xeon-l7555",
+    sockets=4,
+    cores_per_socket=8,
+    freq_ghz=1.87,
+    llc_mb=24.0,
+    ram_gb=64.0,
+    mem_bandwidth_gbs=60.0,
+)
+
+#: The 12-core machine of the motivation study (Section 3) and the first
+#: expert-training platform (Section 5.1).
+TWELVE_CORE = Topology(
+    name="twelve-core",
+    sockets=2,
+    cores_per_socket=6,
+    freq_ghz=2.4,
+    llc_mb=12.0,
+    ram_gb=24.0,
+    mem_bandwidth_gbs=30.0,
+)
+
+#: The live HPC system behind Figure 1: 2912 cores, 5824 hardware
+#: contexts (2-way SMT), 24 GB RAM per node (we record the headline
+#: figures; only the demand *shape* matters downstream).
+HPC_SYSTEM = Topology(
+    name="hpc-live",
+    sockets=364,
+    cores_per_socket=8,
+    smt=2,
+    freq_ghz=2.6,
+    llc_mb=20.0,
+    ram_gb=24.0,
+    mem_bandwidth_gbs=50.0,
+)
+
+#: Platforms experts are trained on (Section 5.1): 12-core and 32-core.
+TRAINING_PLATFORMS = (TWELVE_CORE, XEON_L7555)

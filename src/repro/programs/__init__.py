@@ -1,0 +1,34 @@
+"""Benchmark program models: NAS, SpecOMP and Parsec analogues."""
+
+from .model import (
+    ProgramInstance,
+    ProgramModel,
+    Region,
+    build_program,
+)
+from .scaling import AmdahlScaling, ScalingModel, USLScaling, derive_scaling
+from .registry import (
+    ALIASES,
+    all_programs,
+    canonical_name,
+    get,
+    names,
+    suite,
+)
+
+__all__ = [
+    "ALIASES",
+    "AmdahlScaling",
+    "ProgramInstance",
+    "ProgramModel",
+    "Region",
+    "ScalingModel",
+    "USLScaling",
+    "all_programs",
+    "build_program",
+    "canonical_name",
+    "derive_scaling",
+    "get",
+    "names",
+    "suite",
+]

@@ -1,0 +1,118 @@
+"""Shared helpers for writing benchmark kernels in IR.
+
+Each benchmark module in :mod:`repro.programs.nas` / ``spec`` / ``parsec``
+describes its parallel loops with an *instruction mix* — how many loads,
+stores, float ops, branches, and synchronisation ops one iteration of the
+loop body executes.  The mixes are chosen to match the published
+characterisation of each code (compute- vs memory-bound, irregular
+accesses, barrier frequency), and everything downstream (features,
+scaling parameters, contention) is derived from them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compiler.builder import IRBuilder
+from ..compiler.ir import AccessPattern, Schedule
+
+
+def emit_mix(
+    b: IRBuilder,
+    loads: int = 0,
+    stores: int = 0,
+    fadds: int = 0,
+    fmuls: int = 0,
+    fdivs: int = 0,
+    sqrts: int = 0,
+    adds: int = 0,
+    muls: int = 0,
+    cmps: int = 0,
+    branches: int = 0,
+    calls: int = 0,
+    geps: int = 0,
+    atomics: int = 0,
+    criticals: int = 0,
+    barriers: int = 0,
+    reduces: int = 0,
+) -> None:
+    """Emit one loop-body iteration with the given instruction mix."""
+    for _ in range(geps):
+        b.gep()
+    for _ in range(loads):
+        b.load()
+    for _ in range(adds):
+        b.add()
+    for _ in range(muls):
+        b.mul()
+    for _ in range(fadds):
+        b.fadd()
+    for _ in range(fmuls):
+        b.fmul()
+    for _ in range(fdivs):
+        b.fdiv()
+    for _ in range(sqrts):
+        b.sqrt()
+    for _ in range(cmps):
+        b.cmp()
+    for _ in range(branches):
+        b.cond_branch()
+    for _ in range(calls):
+        b.call()
+    for _ in range(stores):
+        b.store()
+    for _ in range(atomics):
+        b.atomic()
+    for _ in range(criticals):
+        b.critical()
+    for _ in range(reduces):
+        b.reduce()
+    for _ in range(barriers):
+        b.barrier()
+
+
+def parallel_region(
+    b: IRBuilder,
+    name: str,
+    trip_count: int,
+    access: AccessPattern = AccessPattern.REGULAR,
+    schedule: Schedule = Schedule.STATIC,
+    reduction: bool = False,
+    **mix: int,
+):
+    """Context manager emitting a parallel loop with a body mix."""
+
+    class _Region:
+        def __enter__(self):
+            self._cm = b.parallel_loop(
+                name,
+                trip_count=trip_count,
+                schedule=schedule,
+                access=access,
+                reduction=reduction,
+            )
+            loop = self._cm.__enter__()
+            emit_mix(b, **mix)
+            return loop
+
+        def __exit__(self, *exc):
+            return self._cm.__exit__(*exc)
+
+    return _Region()
+
+
+def simple_region(
+    b: IRBuilder,
+    name: str,
+    trip_count: int,
+    access: AccessPattern = AccessPattern.REGULAR,
+    schedule: Schedule = Schedule.STATIC,
+    reduction: bool = False,
+    **mix: int,
+) -> None:
+    """Emit a complete parallel loop (no nested structure)."""
+    with parallel_region(
+        b, name, trip_count, access=access, schedule=schedule,
+        reduction=reduction, **mix
+    ):
+        pass

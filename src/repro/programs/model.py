@@ -1,0 +1,239 @@
+"""Program models: IR modules plus execution structure.
+
+A :class:`ProgramModel` is the static description of a benchmark — its IR
+module, its parallel regions (one per parallel loop, cycled for a number
+of outer iterations, as the NAS codes do), and the serial work between
+regions.  A :class:`ProgramInstance` is one running execution with
+progress state; the runtime engine advances it tick by tick.
+
+Work is measured in *core-seconds*: one work unit is one second of one
+core at full efficiency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional
+
+from ..compiler.ir import Module
+from ..compiler.passes import LoopAnalysis, analyze_module
+from .scaling import ScalingModel, USLScaling, derive_scaling
+
+
+@dataclass(frozen=True)
+class Region:
+    """One parallel region (a parallel loop execution)."""
+
+    loop_name: str
+    work: float  # core-seconds per execution of this region
+    analysis: LoopAnalysis
+    scaling: ScalingModel
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError(
+                f"region {self.loop_name!r}: work must be positive"
+            )
+
+    @property
+    def memory_intensity(self) -> float:
+        return self.analysis.memory_intensity
+
+    @property
+    def sync_intensity(self) -> float:
+        return self.analysis.sync_intensity
+
+
+@dataclass(frozen=True)
+class ProgramModel:
+    """Static description of a benchmark program."""
+
+    name: str
+    suite: str
+    module: Module
+    regions: tuple[Region, ...]
+    iterations: int
+    serial_work_per_iteration: float  # core-seconds of serial glue
+    scalable_hint: Optional[bool] = None  # filled by the training split
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError(f"program {self.name!r} has no regions")
+        if self.iterations < 1:
+            raise ValueError(f"program {self.name!r}: iterations must be >= 1")
+        if self.serial_work_per_iteration < 0:
+            raise ValueError(
+                f"program {self.name!r}: serial work cannot be negative"
+            )
+
+    @property
+    def total_work(self) -> float:
+        """Total core-seconds of work across the whole execution."""
+        per_iter = sum(r.work for r in self.regions)
+        return self.iterations * (
+            per_iter + self.serial_work_per_iteration
+        )
+
+    def serial_time(self) -> float:
+        """Execution time with one thread on one dedicated core."""
+        return self.total_work
+
+    def region(self, loop_name: str) -> Region:
+        for region in self.regions:
+            if region.loop_name == loop_name:
+                return region
+        raise KeyError(
+            f"program {self.name!r} has no region {loop_name!r}"
+        )
+
+    def instantiate(self, job_id: Optional[str] = None) -> "ProgramInstance":
+        return ProgramInstance(model=self, job_id=job_id or self.name)
+
+
+def build_program(
+    name: str,
+    suite: str,
+    module: Module,
+    iterations: int,
+    work_per_iteration: float,
+    serial_fraction: float = 0.02,
+) -> ProgramModel:
+    """Construct a :class:`ProgramModel` from an IR module.
+
+    ``work_per_iteration`` core-seconds are distributed over the module's
+    parallel loops proportionally to their dynamic instruction counts —
+    the work literally follows the code.  ``serial_fraction`` of each
+    iteration is serial glue (I/O, convergence checks).
+    """
+    if not 0.0 <= serial_fraction < 1.0:
+        raise ValueError("serial_fraction must be in [0, 1)")
+    analysis = analyze_module(module)
+    loops = list(analysis.loops.values())
+    if not loops:
+        raise ValueError(f"module {module.name!r} has no parallel loops")
+    total_insts = sum(loop.total for loop in loops)
+    parallel_work = work_per_iteration * (1.0 - serial_fraction)
+    regions = tuple(
+        Region(
+            loop_name=loop.name,
+            work=parallel_work * loop.total / total_insts,
+            analysis=loop,
+            scaling=derive_scaling(loop),
+        )
+        for loop in loops
+    )
+    return ProgramModel(
+        name=name,
+        suite=suite,
+        module=module,
+        regions=regions,
+        iterations=iterations,
+        serial_work_per_iteration=work_per_iteration * serial_fraction,
+    )
+
+
+@dataclass
+class ProgramInstance:
+    """A running execution of a program, with progress state.
+
+    The execution alternates: serial glue of iteration i, then each
+    region of iteration i in order, then iteration i+1, ...  The engine
+    asks :meth:`phase` what is running, advances it with
+    :meth:`advance`, and is told when a region boundary is crossed (the
+    moment a thread-selection policy is consulted).
+    """
+
+    model: ProgramModel
+    job_id: str
+    iteration: int = 0
+    region_index: int = -1  # -1 means "in serial glue"
+    remaining: float = field(init=False)
+    finished: bool = False
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        self.remaining = self._phase_work()
+
+    def _phase_work(self) -> float:
+        if self.region_index < 0:
+            work = self.model.serial_work_per_iteration
+            if work > 0:
+                return work
+            # No serial glue: fall through to the first region.
+            self.region_index = 0
+        return self.model.regions[self.region_index].work
+
+    @property
+    def in_serial(self) -> bool:
+        return self.region_index < 0
+
+    @property
+    def current_region(self) -> Optional[Region]:
+        if self.in_serial or self.finished:
+            return None
+        return self.model.regions[self.region_index]
+
+    @property
+    def at_region_boundary(self) -> bool:
+        """True when a new parallel region is about to start."""
+        return not self.finished and not self.in_serial and (
+            self.remaining == self.model.regions[self.region_index].work
+        )
+
+    def advance(self, work_done: float) -> bool:
+        """Consume ``work_done`` core-seconds; return True on boundary.
+
+        Returns True when this call crossed into a *new parallel region*
+        (the policy must be consulted before the next tick).  Any surplus
+        work beyond the current phase is discarded — with a 0.1 s tick and
+        multi-second regions the truncation error is far below run-to-run
+        variance.
+        """
+        if self.finished:
+            raise RuntimeError(f"program {self.job_id!r} already finished")
+        if work_done < 0:
+            raise ValueError("work_done cannot be negative")
+        self.remaining -= work_done
+        if self.remaining > 1e-12:
+            return False
+        # Phase complete: move to the next one.
+        last_region = len(self.model.regions) - 1
+        if self.region_index == last_region:
+            self.iteration += 1
+            if self.iteration >= self.model.iterations:
+                self.finished = True
+                self.remaining = 0.0
+                return False
+            self.region_index = -1
+        else:
+            self.region_index += 1
+        self.remaining = self._phase_work()
+        return not self.in_serial
+
+    def progress_fraction(self) -> float:
+        """Fraction of total work completed, in [0, 1]."""
+        per_iter = (
+            sum(r.work for r in self.model.regions)
+            + self.model.serial_work_per_iteration
+        )
+        done = self.iteration * per_iter
+        if not self.finished:
+            if self.in_serial:
+                done += self.model.serial_work_per_iteration - self.remaining
+            else:
+                done += self.model.serial_work_per_iteration
+                done += sum(
+                    r.work for r in self.model.regions[: self.region_index]
+                )
+                done += self.model.regions[self.region_index].work - self.remaining
+        else:
+            return 1.0
+        return min(1.0, done / self.model.total_work)
+
+    def restart(self) -> None:
+        """Reset to the beginning (workload programs re-run repeatedly)."""
+        self.iteration = 0
+        self.region_index = -1
+        self.finished = False
+        self.remaining = self._phase_work()

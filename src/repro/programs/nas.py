@@ -1,0 +1,238 @@
+"""NAS Parallel Benchmarks (OpenMP C translations), as program models.
+
+The instruction mixes encode the published character of each code:
+
+* ``ep``  — embarrassingly parallel pseudo-random number generation:
+  almost pure floating point, no barriers, scales near-linearly.
+* ``cg``  — conjugate gradient with sparse matrix-vector products:
+  irregular gather-heavy memory accesses, a barrier per iteration;
+  the paper singles it out as a code that slows down when over-threaded.
+* ``mg``  — multigrid: memory-bound stencils over shrinking grids with
+  frequent barriers; also called out by the paper.
+* ``is``  — integer bucket sort: memory and atomic heavy, little FP.
+* ``ft``  — 3-D FFT: strided memory, bandwidth-hungry but regular.
+* ``bt``, ``sp``, ``lu`` — CFD pseudo-apps: multiple solver regions per
+  timestep, moderate memory intensity, good but sub-linear scaling.
+
+Work figures are core-seconds calibrated to class-B-like serial times,
+scaled down so whole co-execution experiments simulate in seconds.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import IRBuilder
+from ..compiler.ir import AccessPattern, Module, Schedule
+from ._kernels import simple_region
+from .model import ProgramModel, build_program
+
+SUITE = "nas"
+
+
+def _bt_module() -> Module:
+    b = IRBuilder("bt")
+    with b.function("adi"):
+        simple_region(
+            b, "compute_rhs", trip_count=4000,
+            loads=10, stores=4, fadds=20, fmuls=24, geps=3, branches=1,
+        )
+        simple_region(
+            b, "x_solve", trip_count=2500,
+            loads=10, stores=6, fadds=12, fmuls=14, fdivs=2, geps=3,
+            branches=1, barriers=1,
+        )
+        simple_region(
+            b, "y_solve", trip_count=2500,
+            loads=10, stores=6, fadds=12, fmuls=14, fdivs=2, geps=3,
+            branches=1, barriers=1,
+        )
+        simple_region(
+            b, "z_solve", trip_count=2500,
+            loads=10, stores=6, fadds=12, fmuls=14, fdivs=2, geps=3,
+            branches=1, barriers=1,
+        )
+        simple_region(
+            b, "add", trip_count=3000,
+            loads=5, stores=3, fadds=12, fmuls=4, geps=2,
+        )
+    return b.build()
+
+
+def _cg_module() -> Module:
+    b = IRBuilder("cg")
+    with b.function("conj_grad"):
+        simple_region(
+            b, "spmv", trip_count=9000,
+            access=AccessPattern.IRREGULAR,
+            loads=15, stores=2, fadds=6, fmuls=6, geps=8, branches=2,
+            barriers=1,
+        )
+        simple_region(
+            b, "dot_product", trip_count=5000,
+            access=AccessPattern.REGULAR, reduction=True,
+            loads=4, fadds=2, fmuls=2, reduces=1, barriers=1,
+        )
+        simple_region(
+            b, "axpy", trip_count=5000,
+            loads=5, stores=2, fadds=2, fmuls=2, geps=1, barriers=1,
+        )
+    return b.build()
+
+
+def _ep_module() -> Module:
+    b = IRBuilder("ep")
+    with b.function("embar"):
+        simple_region(
+            b, "random_pairs", trip_count=60000,
+            loads=1, fadds=10, fmuls=14, sqrts=2, cmps=3, branches=3,
+            adds=4, muls=4, reduction=True,
+        )
+    return b.build()
+
+
+def _ft_module() -> Module:
+    b = IRBuilder("ft")
+    with b.function("fft3d"):
+        simple_region(
+            b, "cffts1", trip_count=5000,
+            access=AccessPattern.STRIDED,
+            loads=10, stores=8, fadds=10, fmuls=10, geps=4, branches=1,
+        )
+        simple_region(
+            b, "cffts2", trip_count=5000,
+            access=AccessPattern.STRIDED,
+            loads=10, stores=8, fadds=10, fmuls=10, geps=4, branches=1,
+            barriers=1,
+        )
+        simple_region(
+            b, "evolve", trip_count=4000,
+            loads=6, stores=4, fadds=4, fmuls=6, geps=2,
+        )
+    return b.build()
+
+
+def _is_module() -> Module:
+    b = IRBuilder("is")
+    with b.function("rank"):
+        simple_region(
+            b, "bucket_count", trip_count=12000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=8, stores=4, adds=5, geps=6, cmps=2, branches=2,
+            atomics=2, barriers=1,
+        )
+        simple_region(
+            b, "key_scatter", trip_count=10000,
+            access=AccessPattern.IRREGULAR,
+            loads=7, stores=6, adds=4, geps=6, branches=1, barriers=1,
+        )
+    return b.build()
+
+
+def _lu_module() -> Module:
+    b = IRBuilder("lu")
+    with b.function("ssor"):
+        simple_region(
+            b, "jacld", trip_count=3500,
+            loads=12, stores=6, fadds=14, fmuls=16, fdivs=1, geps=3,
+            branches=1,
+        )
+        simple_region(
+            b, "blts", trip_count=3000,
+            access=AccessPattern.STRIDED,
+            loads=10, stores=5, fadds=10, fmuls=12, geps=3, branches=2,
+            barriers=1,
+        )
+        simple_region(
+            b, "buts", trip_count=3000,
+            access=AccessPattern.STRIDED,
+            loads=10, stores=5, fadds=10, fmuls=12, geps=3, branches=2,
+            barriers=1,
+        )
+        simple_region(
+            b, "rhs_update", trip_count=3500,
+            loads=8, stores=4, fadds=8, fmuls=8, geps=2,
+        )
+    return b.build()
+
+
+def _mg_module() -> Module:
+    b = IRBuilder("mg")
+    with b.function("mg3p"):
+        simple_region(
+            b, "resid", trip_count=8000,
+            access=AccessPattern.STRIDED,
+            loads=14, stores=3, fadds=10, fmuls=6, geps=6, branches=1,
+            barriers=1,
+        )
+        simple_region(
+            b, "psinv", trip_count=7000,
+            access=AccessPattern.STRIDED,
+            loads=13, stores=3, fadds=9, fmuls=6, geps=6, branches=1,
+            barriers=1,
+        )
+        simple_region(
+            b, "interp", trip_count=5000,
+            access=AccessPattern.IRREGULAR,
+            loads=10, stores=5, fadds=6, fmuls=3, geps=7, branches=2,
+            barriers=1,
+        )
+    return b.build()
+
+
+def _sp_module() -> Module:
+    b = IRBuilder("sp")
+    with b.function("adi"):
+        simple_region(
+            b, "compute_rhs", trip_count=4500,
+            loads=9, stores=4, fadds=18, fmuls=20, geps=2, branches=1,
+        )
+        simple_region(
+            b, "txinvr", trip_count=3000,
+            loads=7, stores=4, fadds=12, fmuls=16, fdivs=1, geps=2,
+        )
+        simple_region(
+            b, "x_solve", trip_count=2800,
+            access=AccessPattern.STRIDED,
+            loads=9, stores=5, fadds=10, fmuls=12, fdivs=2, geps=3,
+            branches=1, barriers=1,
+        )
+        simple_region(
+            b, "z_solve", trip_count=2800,
+            access=AccessPattern.STRIDED,
+            loads=9, stores=5, fadds=10, fmuls=12, fdivs=2, geps=3,
+            branches=1, barriers=1,
+        )
+    return b.build()
+
+
+def _build(name: str, module: Module, iterations: int,
+           work_per_iteration: float, serial_fraction: float) -> ProgramModel:
+    return build_program(
+        name=name,
+        suite=SUITE,
+        module=module,
+        iterations=iterations,
+        work_per_iteration=work_per_iteration,
+        serial_fraction=serial_fraction,
+    )
+
+
+def programs() -> list[ProgramModel]:
+    """All NAS program models."""
+    return [
+        _build("bt", _bt_module(), iterations=96,
+               work_per_iteration=3.5, serial_fraction=0.02),
+        _build("cg", _cg_module(), iterations=90,
+               work_per_iteration=2.7, serial_fraction=0.03),
+        _build("ep", _ep_module(), iterations=160,
+               work_per_iteration=2.0, serial_fraction=0.005),
+        _build("ft", _ft_module(), iterations=72,
+               work_per_iteration=4.0, serial_fraction=0.03),
+        _build("is", _is_module(), iterations=66,
+               work_per_iteration=3.0, serial_fraction=0.04),
+        _build("lu", _lu_module(), iterations=104,
+               work_per_iteration=3.25, serial_fraction=0.02),
+        _build("mg", _mg_module(), iterations=84,
+               work_per_iteration=3.3, serial_fraction=0.03),
+        _build("sp", _sp_module(), iterations=96,
+               work_per_iteration=3.25, serial_fraction=0.02),
+    ]

@@ -1,0 +1,132 @@
+"""Parsec benchmarks (emerging-workload suite, largest inputs).
+
+* ``blackscholes`` (bscholes) — option pricing by Black-Scholes PDE:
+  pure floating point per option, embarrassingly parallel.
+* ``bodytrack`` (btrack) — computer-vision body tracking: particle
+  filter stages separated by barriers, moderate memory traffic.
+* ``freqmine`` (fmine) — FP-growth frequent itemset mining: pointer
+  chasing over the FP-tree, irregular and memory-bound.
+* ``fluidanimate`` — SPH fluid simulation: fine-grained locking on grid
+  cells, synchronisation heavy.
+* ``swaptions`` — Monte-Carlo swaption pricing: compute-bound,
+  near-perfect scaling.
+* ``canneal`` — cache-aggressive simulated annealing for chip routing:
+  random-access memory-bound with atomic swap attempts.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import IRBuilder
+from ..compiler.ir import AccessPattern, Module, Schedule
+from ._kernels import simple_region
+from .model import ProgramModel, build_program
+
+SUITE = "parsec"
+
+
+def _blackscholes_module() -> Module:
+    b = IRBuilder("blackscholes")
+    with b.function("bs_thread"):
+        simple_region(
+            b, "price_options", trip_count=80000,
+            loads=3, stores=1, fadds=12, fmuls=16, fdivs=3, sqrts=2,
+            cmps=2, branches=2,
+        )
+    return b.build()
+
+
+def _bodytrack_module() -> Module:
+    b = IRBuilder("bodytrack")
+    with b.function("particle_filter"):
+        simple_region(
+            b, "edge_detect", trip_count=10000,
+            access=AccessPattern.STRIDED,
+            loads=9, stores=4, fadds=8, fmuls=8, geps=3, cmps=2,
+            branches=2, barriers=1,
+        )
+        simple_region(
+            b, "particle_weights", trip_count=7000,
+            schedule=Schedule.DYNAMIC,
+            loads=7, stores=2, fadds=9, fmuls=10, fdivs=1, geps=2,
+            cmps=2, branches=2, barriers=1,
+        )
+    return b.build()
+
+
+def _freqmine_module() -> Module:
+    b = IRBuilder("freqmine")
+    with b.function("fp_growth"):
+        simple_region(
+            b, "tree_build", trip_count=12000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=11, stores=5, adds=5, geps=9, cmps=4, branches=4,
+            atomics=1,
+        )
+        simple_region(
+            b, "pattern_mine", trip_count=15000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=12, stores=3, adds=6, geps=9, cmps=5, branches=5,
+        )
+    return b.build()
+
+
+def _fluidanimate_module() -> Module:
+    b = IRBuilder("fluidanimate")
+    with b.function("advance_frame"):
+        simple_region(
+            b, "compute_forces", trip_count=14000,
+            loads=8, stores=3, fadds=10, fmuls=12, sqrts=1, geps=4,
+            cmps=2, branches=2, criticals=2, barriers=1,
+        )
+        simple_region(
+            b, "advance_particles", trip_count=9000,
+            loads=6, stores=4, fadds=8, fmuls=6, geps=2, barriers=1,
+        )
+    return b.build()
+
+
+def _swaptions_module() -> Module:
+    b = IRBuilder("swaptions")
+    with b.function("hjm_simulation"):
+        simple_region(
+            b, "mc_paths", trip_count=50000,
+            loads=4, stores=2, fadds=14, fmuls=16, fdivs=2, sqrts=2,
+            cmps=1, branches=1,
+        )
+    return b.build()
+
+
+def _canneal_module() -> Module:
+    b = IRBuilder("canneal")
+    with b.function("anneal"):
+        simple_region(
+            b, "swap_elements", trip_count=20000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=12, stores=4, adds=4, geps=10, cmps=4, branches=4,
+            atomics=2,
+        )
+    return b.build()
+
+
+def programs() -> list[ProgramModel]:
+    """All Parsec program models."""
+    return [
+        build_program("blackscholes", SUITE, _blackscholes_module(),
+                      iterations=160, work_per_iteration=1.6,
+                      serial_fraction=0.01),
+        build_program("bodytrack", SUITE, _bodytrack_module(),
+                      iterations=80, work_per_iteration=3.0,
+                      serial_fraction=0.03),
+        build_program("freqmine", SUITE, _freqmine_module(),
+                      iterations=70, work_per_iteration=3.2,
+                      serial_fraction=0.03),
+        build_program("fluidanimate", SUITE, _fluidanimate_module(),
+                      iterations=72, work_per_iteration=3.0,
+                      serial_fraction=0.02),
+        build_program("swaptions", SUITE, _swaptions_module(),
+                      iterations=150, work_per_iteration=1.8,
+                      serial_fraction=0.01),
+        build_program("canneal", SUITE, _canneal_module(),
+                      iterations=128, work_per_iteration=1.5,
+                      serial_fraction=0.04),
+    ]

@@ -1,0 +1,69 @@
+"""Benchmark registry: lookup by name, suite, or paper alias."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from . import nas, parsec, rodinia, spec
+from .model import ProgramModel
+
+#: Short names the paper's figures use for some Parsec programs.
+ALIASES = {
+    "bscholes": "blackscholes",
+    "btrack": "bodytrack",
+    "fmine": "freqmine",
+    "fanimate": "fluidanimate",
+    # The small workload set lists "fft"; NAS's FFT code is ft.
+    "fft": "ft",
+}
+
+
+@lru_cache(maxsize=None)
+def _catalog() -> Dict[str, ProgramModel]:
+    catalog: Dict[str, ProgramModel] = {}
+    for suite_programs in (nas.programs(), spec.programs(),
+                           parsec.programs(), rodinia.programs()):
+        for program in suite_programs:
+            if program.name in catalog:
+                raise ValueError(
+                    f"duplicate benchmark name {program.name!r}"
+                )
+            catalog[program.name] = program
+    return catalog
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a paper alias to the canonical benchmark name."""
+    return ALIASES.get(name, name)
+
+
+def get(name: str) -> ProgramModel:
+    """Look up a program model by name or paper alias."""
+    catalog = _catalog()
+    resolved = canonical_name(name)
+    try:
+        return catalog[resolved]
+    except KeyError:
+        known = ", ".join(sorted(catalog))
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {known}"
+        ) from None
+
+
+def all_programs() -> List[ProgramModel]:
+    """Every benchmark, across all suites."""
+    return list(_catalog().values())
+
+
+def suite(suite_name: str) -> List[ProgramModel]:
+    """All benchmarks of one suite ('nas', 'spec', 'parsec')."""
+    programs = [p for p in _catalog().values() if p.suite == suite_name]
+    if not programs:
+        raise KeyError(f"unknown suite {suite_name!r}")
+    return programs
+
+
+def names() -> List[str]:
+    """All canonical benchmark names, sorted."""
+    return sorted(_catalog())

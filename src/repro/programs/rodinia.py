@@ -1,0 +1,172 @@
+"""Rodinia-style benchmarks (a fourth, evaluation-only suite).
+
+The paper evaluates on programs from suites never used in training
+(SpecOMP, Parsec); this suite pushes the same generality test further
+with the OpenMP ports of classic Rodinia kernels.  Characters follow
+the published Rodinia characterisation:
+
+* ``kmeans``        — distance computation dominates: compute-heavy
+  with a reduction per iteration; scales well.
+* ``bfs``           — frontier expansion: pointer chasing, highly
+  irregular, atomics on the visited set; scales poorly.
+* ``hotspot``       — structured 2-D stencil: bandwidth-bound but
+  regular, barrier per time step.
+* ``lud``           — dense LU decomposition: compute-bound inner
+  kernels with barrier-separated phases.
+* ``nw``            — Needleman-Wunsch wavefront: short dependent
+  phases, synchronisation-limited.
+* ``srad``          — speckle-reducing anisotropic diffusion: two
+  stencil sweeps plus a reduction; moderate memory intensity.
+* ``streamcluster`` — online clustering: memory-bound scans with
+  atomics; poor scaling beyond a few cores.
+* ``backprop``      — neural-network training: dense matrix work,
+  compute-bound layers with a barrier between them.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import IRBuilder
+from ..compiler.ir import AccessPattern, Module, Schedule
+from ._kernels import simple_region
+from .model import ProgramModel, build_program
+
+SUITE = "rodinia"
+
+
+def _kmeans_module() -> Module:
+    b = IRBuilder("kmeans")
+    with b.function("cluster"):
+        simple_region(
+            b, "distance", trip_count=30_000,
+            loads=4, fadds=12, fmuls=14, cmps=3, branches=2,
+            reduction=True,
+        )
+        simple_region(
+            b, "recenter", trip_count=6_000,
+            loads=5, stores=3, fadds=6, fdivs=1, geps=2, reduces=1,
+            barriers=1, reduction=True,
+        )
+    return b.build()
+
+
+def _bfs_module() -> Module:
+    b = IRBuilder("bfs")
+    with b.function("traverse"):
+        simple_region(
+            b, "frontier", trip_count=18_000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=10, stores=3, geps=9, cmps=4, branches=4,
+            atomics=2, barriers=1,
+        )
+    return b.build()
+
+
+def _hotspot_module() -> Module:
+    b = IRBuilder("hotspot")
+    with b.function("step"):
+        simple_region(
+            b, "stencil", trip_count=16_000,
+            access=AccessPattern.STRIDED,
+            loads=11, stores=2, fadds=9, fmuls=7, geps=4, branches=1,
+            barriers=1,
+        )
+    return b.build()
+
+
+def _lud_module() -> Module:
+    b = IRBuilder("lud")
+    with b.function("decompose"):
+        simple_region(
+            b, "diagonal", trip_count=4_000,
+            loads=6, stores=3, fadds=8, fmuls=10, fdivs=2, geps=2,
+            barriers=1,
+        )
+        simple_region(
+            b, "perimeter", trip_count=6_000,
+            loads=7, stores=3, fadds=10, fmuls=12, geps=2, barriers=1,
+        )
+        simple_region(
+            b, "internal", trip_count=9_000,
+            loads=6, stores=2, fadds=12, fmuls=14, geps=2,
+        )
+    return b.build()
+
+
+def _nw_module() -> Module:
+    b = IRBuilder("nw")
+    with b.function("wavefront"):
+        simple_region(
+            b, "diagonal_sweep", trip_count=10_000,
+            access=AccessPattern.STRIDED,
+            loads=8, stores=3, adds=4, cmps=4, branches=3, geps=4,
+            barriers=2,
+        )
+    return b.build()
+
+
+def _srad_module() -> Module:
+    b = IRBuilder("srad")
+    with b.function("diffuse"):
+        simple_region(
+            b, "gradient", trip_count=12_000,
+            access=AccessPattern.STRIDED,
+            loads=10, stores=2, fadds=8, fmuls=8, fdivs=1, geps=4,
+            reduction=True, reduces=1,
+        )
+        simple_region(
+            b, "update", trip_count=12_000,
+            access=AccessPattern.STRIDED,
+            loads=8, stores=3, fadds=7, fmuls=7, geps=4, barriers=1,
+        )
+    return b.build()
+
+
+def _streamcluster_module() -> Module:
+    b = IRBuilder("streamcluster")
+    with b.function("pgain"):
+        simple_region(
+            b, "assign", trip_count=20_000,
+            access=AccessPattern.IRREGULAR, schedule=Schedule.DYNAMIC,
+            loads=12, stores=3, fadds=6, fmuls=6, geps=8, cmps=3,
+            branches=3, atomics=1, barriers=1,
+        )
+    return b.build()
+
+
+def _backprop_module() -> Module:
+    b = IRBuilder("backprop")
+    with b.function("train"):
+        simple_region(
+            b, "forward", trip_count=14_000,
+            loads=5, stores=2, fadds=12, fmuls=14, geps=2, barriers=1,
+        )
+        simple_region(
+            b, "backward", trip_count=12_000,
+            loads=6, stores=3, fadds=10, fmuls=12, geps=2, barriers=1,
+        )
+    return b.build()
+
+
+def programs() -> list[ProgramModel]:
+    """All Rodinia program models."""
+    return [
+        build_program("kmeans", SUITE, _kmeans_module(), iterations=72,
+                      work_per_iteration=3.6, serial_fraction=0.02),
+        build_program("bfs", SUITE, _bfs_module(), iterations=80,
+                      work_per_iteration=2.4, serial_fraction=0.04),
+        build_program("hotspot", SUITE, _hotspot_module(),
+                      iterations=90, work_per_iteration=2.8,
+                      serial_fraction=0.02),
+        build_program("lud", SUITE, _lud_module(), iterations=70,
+                      work_per_iteration=3.4, serial_fraction=0.02),
+        build_program("nw", SUITE, _nw_module(), iterations=84,
+                      work_per_iteration=2.2, serial_fraction=0.03),
+        build_program("srad", SUITE, _srad_module(), iterations=76,
+                      work_per_iteration=3.0, serial_fraction=0.02),
+        build_program("streamcluster", SUITE, _streamcluster_module(),
+                      iterations=72, work_per_iteration=2.6,
+                      serial_fraction=0.04),
+        build_program("backprop", SUITE, _backprop_module(),
+                      iterations=68, work_per_iteration=3.2,
+                      serial_fraction=0.02),
+    ]

@@ -1,0 +1,83 @@
+"""SpecOMP benchmarks (the C-language subset the paper evaluates).
+
+* ``ammp``   — molecular dynamics: compute-heavy force loops with a
+  critical section for neighbour-list updates; decent scaling.
+* ``art``    — adaptive resonance theory image recognition: small
+  working set per neuron but irregular, memory-bound scans; the paper
+  groups it with cg/mg as a code hurt by over-threading.
+* ``equake`` — earthquake ground-motion: sparse matrix-vector kernels,
+  memory-bound but regular enough to scale moderately.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import IRBuilder
+from ..compiler.ir import AccessPattern, Module, Schedule
+from ._kernels import simple_region
+from .model import ProgramModel, build_program
+
+SUITE = "spec"
+
+
+def _ammp_module() -> Module:
+    b = IRBuilder("ammp")
+    with b.function("mm_fv_update_nonbon"):
+        simple_region(
+            b, "force_loop", trip_count=24000,
+            schedule=Schedule.GUIDED,
+            loads=8, stores=3, fadds=14, fmuls=18, fdivs=2, sqrts=2,
+            geps=3, cmps=2, branches=2,
+        )
+        simple_region(
+            b, "neighbour_update", trip_count=5000,
+            access=AccessPattern.IRREGULAR,
+            loads=6, stores=2, adds=4, geps=4, cmps=3, branches=3,
+            criticals=1,
+        )
+    return b.build()
+
+
+def _art_module() -> Module:
+    b = IRBuilder("art")
+    with b.function("match"):
+        simple_region(
+            b, "f1_layer_scan", trip_count=16000,
+            access=AccessPattern.IRREGULAR,
+            loads=13, stores=2, fadds=6, fmuls=5, geps=7, cmps=3,
+            branches=3, barriers=1,
+        )
+        simple_region(
+            b, "y_winner", trip_count=9000,
+            access=AccessPattern.IRREGULAR, reduction=True,
+            loads=8, fadds=3, fmuls=2, cmps=3, branches=2, geps=4,
+            reduces=1, barriers=1,
+        )
+    return b.build()
+
+
+def _equake_module() -> Module:
+    b = IRBuilder("equake")
+    with b.function("smvp"):
+        simple_region(
+            b, "sparse_mv", trip_count=14000,
+            access=AccessPattern.IRREGULAR,
+            loads=11, stores=3, fadds=7, fmuls=7, geps=6, branches=1,
+            barriers=1,
+        )
+        simple_region(
+            b, "time_integration", trip_count=9000,
+            loads=7, stores=4, fadds=8, fmuls=8, geps=2,
+        )
+    return b.build()
+
+
+def programs() -> list[ProgramModel]:
+    """All SpecOMP program models."""
+    return [
+        build_program("ammp", SUITE, _ammp_module(), iterations=70,
+                      work_per_iteration=4.4, serial_fraction=0.02),
+        build_program("art", SUITE, _art_module(), iterations=80,
+                      work_per_iteration=2.75, serial_fraction=0.03),
+        build_program("equake", SUITE, _equake_module(), iterations=72,
+                      work_per_iteration=3.5, serial_fraction=0.03),
+    ]

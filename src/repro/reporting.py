@@ -1,0 +1,135 @@
+"""Plain-text reporting: tables and ASCII charts.
+
+The paper's figures are bar charts and timelines; this repository
+renders them as text.  These helpers are what the experiment drivers,
+the CLI and the examples share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+    min_width: int = 8,
+) -> str:
+    """A right-aligned text table (first column left-aligned)."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(min_width, len(header),
+            *(len(row[i]) for row in text_rows)) if text_rows
+        else max(min_width, len(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+
+    def fmt(row: Sequence[str]) -> str:
+        first = row[0].ljust(widths[0])
+        rest = "".join(
+            value.rjust(widths[i] + 2)
+            for i, value in enumerate(row) if i > 0
+        )
+        return first + rest
+
+    lines.append(fmt(list(headers)))
+    for row in text_rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    baseline: Optional[float] = None,
+    unit: str = "x",
+) -> str:
+    """Horizontal ASCII bars, one per labelled value.
+
+    With ``baseline`` given, a marker ``|`` is drawn at that value's
+    position (e.g. the 1.0x default line of the speedup figures).
+    """
+    if not values:
+        raise ValueError("values must not be empty")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = max(0, int(round(width * value / peak)))
+        bar = "#" * filled
+        if baseline is not None and 0 < baseline <= peak:
+            marker = int(round(width * baseline / peak))
+            padded = list(bar.ljust(width))
+            if 0 <= marker < width and padded[marker] == " ":
+                padded[marker] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(
+            f"{label.ljust(label_width)} "
+            f"{value:6.2f}{unit} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line trend of a series (resampled to ``width`` buckets)."""
+    ticks = " .:-=+*#%@"
+    values = list(values)
+    if not values:
+        raise ValueError("values must not be empty")
+    if width < 1:
+        raise ValueError("width must be positive")
+    # Resample by bucket means.
+    buckets: List[float] = []
+    per_bucket = max(1, len(values) // width)
+    for start in range(0, len(values), per_bucket):
+        chunk = values[start:start + per_bucket]
+        buckets.append(sum(chunk) / len(chunk))
+    buckets = buckets[:width]
+    low, high = min(buckets), max(buckets)
+    span = high - low
+    if span <= 0:
+        return ticks[len(ticks) // 2] * len(buckets)
+    out = []
+    for value in buckets:
+        index = int((value - low) / span * (len(ticks) - 1))
+        out.append(ticks[index])
+    return "".join(out)
+
+
+def timeline_chart(
+    points: Sequence[tuple],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Render (time, value) points as a labelled sparkline with range."""
+    points = list(points)
+    if not points:
+        raise ValueError("points must not be empty")
+    values = [value for _, value in points]
+    spark = sparkline(values, width=width)
+    lo, hi = min(values), max(values)
+    t0, t1 = points[0][0], points[-1][0]
+    prefix = f"{label} " if label else ""
+    return (
+        f"{prefix}[{t0:.0f}s..{t1:.0f}s] "
+        f"min={lo:.1f} max={hi:.1f}  {spark}"
+    )

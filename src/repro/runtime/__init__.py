@@ -1,0 +1,32 @@
+"""The co-execution runtime: engine and metrics."""
+
+from .engine import (
+    CoExecutionEngine,
+    JobSpec,
+    Selection,
+    SimulationResult,
+    TimelinePoint,
+)
+from .tracing import TickRecord, TickTracer
+from .metrics import (
+    geometric_mean,
+    harmonic_mean,
+    median,
+    speedup,
+    speedups_over_baseline,
+)
+
+__all__ = [
+    "CoExecutionEngine",
+    "JobSpec",
+    "Selection",
+    "SimulationResult",
+    "TickRecord",
+    "TickTracer",
+    "TimelinePoint",
+    "geometric_mean",
+    "harmonic_mean",
+    "median",
+    "speedup",
+    "speedups_over_baseline",
+]

@@ -1,0 +1,508 @@
+"""The discrete-time co-execution engine.
+
+Runs one *target* program together with workload programs on a simulated
+machine.  Matches the paper's experimental protocol (Section 6):
+
+* target and workloads start together;
+* workload programs restart when they finish, so contention persists
+  until the target completes ("each program runs until the other
+  finishes");
+* every job consults its thread-selection policy at each parallel-region
+  entry, observing the environment through the OS statistics sampler;
+* completed regions are reported back to the policy (reactive policies
+  feed on these observations).
+
+The engine advances in fixed ticks of ``dt`` simulated seconds.  Policy
+consultations see statistics from the *previous* tick — exactly the one-
+sample lag a real runtime reading ``/proc`` would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.features import CodeFeatures, extract_code_features
+from ..compiler.passes import analyze_module
+from ..core.policies.base import PolicyContext, RegionReport, ThreadPolicy
+from ..machine.affinity import AffinityPolicy
+from ..machine.machine import SimMachine
+from ..programs.model import ProgramInstance, ProgramModel, Region
+from ..sched.scheduler import JobDemand, ProportionalShareScheduler
+from ..sched.stats import SystemStatsSampler
+
+#: Memory intensity attributed to serial glue (I/O, convergence checks).
+SERIAL_MEMORY_INTENSITY = 0.05
+
+#: Spin-waiting waste at synchronisation points.  OpenMP barriers busy-
+#: wait by default: on an oversubscribed machine a thread that reaches a
+#: barrier spins — consuming its CPU share — until the last descheduled
+#: peer arrives.  The wasted fraction grows with the number of threads
+#: (more peers to wait for) and with the oversubscription ratio (each
+#: peer's turnaround is that much longer).  This is the physical reason
+#: "spawning many threads slows down the program" for barrier-heavy
+#: codes under load, while costing nothing on an idle machine (r = 1).
+SPIN_WASTE_COEFF = 6.0
+
+#: Upper bound on the fraction of granted CPU lost to spinning.  Real
+#: runtimes eventually yield (passive waiting, sched_yield in the spin
+#: loop), so waste saturates instead of starving the job completely.
+MAX_SPIN_WASTE = 0.8
+
+
+@dataclass
+class JobSpec:
+    """One program to run: model + policy + role.
+
+    ``start_time`` delays the job's arrival: it consumes no resources
+    and is invisible to the statistics until then (job churn — new work
+    arriving mid-run — is how real shared systems behave, Figure 1).
+    """
+
+    program: ProgramModel
+    policy: ThreadPolicy
+    job_id: str = ""
+    is_target: bool = False
+    restart: bool = False
+    affinity: Optional[AffinityPolicy] = None
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            self.job_id = self.program.name
+        if self.start_time < 0:
+            raise ValueError(
+                f"job {self.job_id!r}: start_time cannot be negative"
+            )
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Periodic sample of system state (feeds the Figure 2 plots)."""
+
+    time: float
+    available: int
+    target_threads: int
+    workload_threads: int
+    env_norm: float
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One policy decision at a region entry."""
+
+    time: float
+    job_id: str
+    loop_name: str
+    threads: int
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one co-execution run."""
+
+    target_id: Optional[str]
+    target_time: Optional[float]
+    duration: float
+    job_times: Dict[str, float]
+    workload_runs: Dict[str, int]
+    workload_work: Dict[str, float]
+    #: CPU-seconds each job consumed (granted processor time).  Useful
+    #: work retired is in ``workload_work`` / per-program totals; the
+    #: ratio is the job's efficiency (spinning and contention burn CPU
+    #: without retiring work).
+    cpu_time: Dict[str, float] = field(default_factory=dict)
+    timeline: List[TimelinePoint] = field(default_factory=list)
+    selections: List[Selection] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def workload_throughput(self) -> float:
+        """Aggregate workload core-seconds retired per simulated second."""
+        if self.duration <= 0:
+            return 0.0
+        return sum(self.workload_work.values()) / self.duration
+
+    def target_selections(self) -> List[Selection]:
+        return [s for s in self.selections
+                if s.job_id == self.target_id]
+
+    def efficiency(self, job_id: str, work_done: float) -> float:
+        """Useful work per CPU-second for one job (0 when unknown)."""
+        cpu = self.cpu_time.get(job_id, 0.0)
+        if cpu <= 0:
+            return 0.0
+        return work_done / cpu
+
+
+class _JobState:
+    """Mutable per-job runtime bookkeeping."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.instance: ProgramInstance = spec.program.instantiate(
+            job_id=spec.job_id
+        )
+        self.threads = 1
+        self.consult_pending = False
+        self.region_elapsed = 0.0
+        self.completed_runs = 0
+        self.run_counted = False
+        self.work_done = 0.0
+        self.cpu_time = 0.0
+        self.finish_time: Optional[float] = None
+        analysis = analyze_module(spec.program.module)
+        self.code_features: Dict[str, CodeFeatures] = {
+            loop_name: extract_code_features(
+                spec.program.module, loop_name, analysis
+            )
+            for loop_name in analysis.loops
+        }
+
+    started = False
+
+    @property
+    def active(self) -> bool:
+        return self.started and not self.instance.finished
+
+    @property
+    def region(self) -> Optional[Region]:
+        return self.instance.current_region
+
+
+class CoExecutionEngine:
+    """Runs a set of jobs on a machine until the target finishes."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        jobs: Sequence[JobSpec],
+        dt: float = 0.1,
+        max_time: float = 3600.0,
+        timeline_period: float = 1.0,
+        tracer=None,
+    ):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if max_time <= 0:
+            raise ValueError("max_time must be positive")
+        ids = [spec.job_id for spec in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate job ids: {ids}")
+        targets = [spec for spec in jobs if spec.is_target]
+        if len(targets) > 1:
+            raise ValueError("at most one target job is supported")
+        self._machine = machine
+        self._specs = list(jobs)
+        self._dt = dt
+        self._max_time = max_time
+        self._timeline_period = timeline_period
+        self._scheduler = ProportionalShareScheduler(machine.topology)
+        self._target_id = targets[0].job_id if targets else None
+        self._tracer = tracer
+
+    def run(self) -> SimulationResult:
+        """Execute the co-execution scenario and collect results."""
+        dt = self._dt
+        states = {spec.job_id: _JobState(spec) for spec in self._specs}
+        for state in states.values():
+            state.spec.policy.reset()
+            state.started = state.spec.start_time <= 0.0
+            state.consult_pending = state.started
+        stats = SystemStatsSampler(self._machine.topology)
+        stats.prime(float(len(states)))
+
+        timeline: List[TimelinePoint] = []
+        selections: List[Selection] = []
+        time = 0.0
+        next_timeline = 0.0
+        timed_out = False
+
+        # Priming tick so the first consultation has statistics to read.
+        available = self._machine.available(time)
+        demands = self._demands(states)
+        allocation = self._scheduler.allocate(demands, available)
+        stats.update(time, 0.0, demands, allocation)
+
+        while True:
+            available = self._machine.available(time)
+
+            # 0. Job arrivals.
+            for state in states.values():
+                if not state.started and state.spec.start_time <= time:
+                    state.started = True
+                    state.consult_pending = True
+
+            # 1. Policy consultations (using last tick's statistics).
+            for state in states.values():
+                if state.active and state.consult_pending:
+                    self._consult(state, stats, available, time, selections)
+
+            # 2. Schedule this tick.
+            demands = self._demands(states)
+            allocation = self._scheduler.allocate(demands, available)
+            stats.update(time, dt, demands, allocation)
+            if self._tracer is not None:
+                self._tracer.record(time, available, demands, allocation)
+
+            # 3. Timeline sampling.
+            if timeline is not None and time >= next_timeline:
+                timeline.append(self._timeline_point(
+                    time, available, states, stats
+                ))
+                next_timeline += self._timeline_period
+
+            # 4. Advance every job by one tick.  Phase boundaries inside
+            # the tick are handled exactly (work conservation), with
+            # policies consulted the moment a region is entered.  CPU
+            # time is charged at tick granularity: what the scheduler
+            # granted is what the job occupied (spinning included).
+            for state in states.values():
+                if not state.active:
+                    continue
+                state.cpu_time += (
+                    allocation.allocations[state.spec.job_id].granted_cpus
+                    * dt
+                )
+                self._advance(
+                    state, allocation, dt, time, stats, available,
+                    selections,
+                )
+
+            time += dt
+
+            # 5. Handle completions (finish times were recorded exactly
+            # by _advance; here we count the run and restart workloads).
+            for state in states.values():
+                if state.instance.finished and not state.run_counted:
+                    state.run_counted = True
+                    if state.finish_time is None:
+                        state.finish_time = time
+                    state.completed_runs += 1
+                    if state.spec.restart and not self._target_done(states):
+                        state.instance.restart()
+                        state.finish_time = None
+                        state.run_counted = False
+                        state.consult_pending = True
+                        state.threads = 1
+                        state.region_elapsed = 0.0
+
+            if self._target_done(states):
+                break
+            if self._target_id is None and all(
+                s.started and s.instance.finished
+                for s in states.values()
+            ):
+                break
+            if time >= self._max_time:
+                timed_out = True
+                break
+
+        job_times = {
+            job_id: (state.finish_time if state.finish_time is not None
+                     else time)
+            for job_id, state in states.items()
+        }
+        target_time = (
+            job_times[self._target_id]
+            if self._target_id is not None and not timed_out
+            else (None if self._target_id is not None else None)
+        )
+        return SimulationResult(
+            target_id=self._target_id,
+            target_time=target_time,
+            duration=time,
+            job_times=job_times,
+            workload_runs={
+                job_id: state.completed_runs
+                for job_id, state in states.items()
+                if job_id != self._target_id
+            },
+            workload_work={
+                job_id: state.work_done
+                for job_id, state in states.items()
+                if job_id != self._target_id
+            },
+            cpu_time={
+                job_id: state.cpu_time
+                for job_id, state in states.items()
+            },
+            timeline=timeline,
+            selections=selections,
+            timed_out=timed_out,
+        )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _target_done(self, states: Dict[str, "_JobState"]) -> bool:
+        if self._target_id is None:
+            return False
+        return states[self._target_id].instance.finished
+
+    def _consult(
+        self,
+        state: _JobState,
+        stats: SystemStatsSampler,
+        available: int,
+        time: float,
+        selections: List[Selection],
+    ) -> None:
+        region = state.region
+        if region is None:
+            # Still in serial glue; consult when the region actually starts.
+            return
+        env = stats.sample(perspective_job_id=state.spec.job_id)
+        ctx = PolicyContext(
+            time=time,
+            loop_name=region.loop_name,
+            code=state.code_features[region.loop_name],
+            env=env,
+            available_processors=available,
+            max_threads=self._machine.topology.cores,
+        )
+        threads = state.spec.policy.select(ctx)
+        if not 1 <= threads <= self._machine.topology.cores:
+            raise ValueError(
+                f"policy {state.spec.policy.name!r} selected illegal "
+                f"thread count {threads}"
+            )
+        state.threads = threads
+        state.consult_pending = False
+        state.region_elapsed = 0.0
+        selections.append(Selection(
+            time=time,
+            job_id=state.spec.job_id,
+            loop_name=region.loop_name,
+            threads=threads,
+        ))
+
+    def _demands(self, states: Dict[str, "_JobState"]) -> List[JobDemand]:
+        demands = []
+        for state in states.values():
+            if not state.active:
+                continue
+            region = state.region
+            affinity = state.spec.affinity or self._machine.affinity
+            if region is None:
+                demands.append(JobDemand(
+                    job_id=state.spec.job_id,
+                    threads=1,
+                    memory_intensity=SERIAL_MEMORY_INTENSITY,
+                    locality=1.0,
+                ))
+            else:
+                threads = state.threads
+                demands.append(JobDemand(
+                    job_id=state.spec.job_id,
+                    threads=threads,
+                    memory_intensity=region.memory_intensity,
+                    locality=affinity.locality(
+                        threads, self._machine.topology
+                    ),
+                ))
+        return demands
+
+    def _rate(
+        self, state: _JobState, alloc, region: Optional[Region],
+        share: float,
+    ) -> float:
+        """Progress rate (core-seconds of work per second) right now.
+
+        ``share`` is the per-thread CPU fraction granted by this tick's
+        allocation; it stays fixed within the tick even if the job's
+        thread count changes at a mid-tick region entry (the scheduler
+        only re-divides the machine on the next tick).
+        """
+        if region is None:
+            return min(1.0, share) * alloc.switch_factor
+        efficiency = region.scaling.efficiency(state.threads)
+        granted = max(share * state.threads, 1e-9)
+        oversub = max(0.0, state.threads / granted - 1.0)
+        spin = (
+            SPIN_WASTE_COEFF * region.sync_intensity
+            * state.threads * oversub
+        )
+        spin_factor = (1.0 - MAX_SPIN_WASTE) + (
+            MAX_SPIN_WASTE / (1.0 + spin)
+        )
+        return (
+            granted * alloc.switch_factor * alloc.memory_factor
+            * efficiency * spin_factor
+        )
+
+    def _advance(
+        self,
+        state: _JobState,
+        allocation,
+        dt: float,
+        time: float,
+        stats: SystemStatsSampler,
+        available: int,
+        selections: List[Selection],
+    ) -> None:
+        alloc = allocation.allocations[state.spec.job_id]
+        share = alloc.granted_cpus / max(alloc.threads, 1)
+        remaining_dt = dt
+        while remaining_dt > 1e-12 and state.active:
+            region = state.region
+            rate = self._rate(state, alloc, region, share)
+            if rate <= 1e-12:
+                break
+            time_to_finish = state.instance.remaining / rate
+            if time_to_finish > remaining_dt:
+                # Phase outlives the tick: consume the rest of the tick.
+                work = rate * remaining_dt
+                state.instance.advance(work)
+                state.work_done += work
+                if region is not None:
+                    state.region_elapsed += remaining_dt
+                return
+            # Phase completes inside the tick.
+            work = state.instance.remaining
+            state.work_done += work
+            if region is not None:
+                state.region_elapsed += time_to_finish
+            state.instance.advance(work)
+            remaining_dt -= time_to_finish
+            now = time + (dt - remaining_dt)
+            if state.instance.finished and state.finish_time is None:
+                state.finish_time = now
+            if region is not None:
+                state.spec.policy.observe(RegionReport(
+                    time=now,
+                    loop_name=region.loop_name,
+                    threads=state.threads,
+                    elapsed=max(state.region_elapsed, 1e-9),
+                    work=region.work,
+                ))
+                state.region_elapsed = 0.0
+            new_region = state.region
+            if new_region is not None and new_region is not region:
+                # Entering a parallel region: consult the policy now.
+                self._consult(state, stats, available, now, selections)
+
+    def _timeline_point(
+        self,
+        time: float,
+        available: int,
+        states: Dict[str, "_JobState"],
+        stats: SystemStatsSampler,
+    ) -> TimelinePoint:
+        target_threads = 0
+        workload_threads = 0
+        for state in states.values():
+            if not state.active:
+                continue
+            threads = 1 if state.region is None else state.threads
+            if state.spec.job_id == self._target_id:
+                target_threads = threads
+            else:
+                workload_threads += threads
+        env_norm = stats.sample(self._target_id).norm
+        return TimelinePoint(
+            time=time,
+            available=available,
+            target_threads=target_threads,
+            workload_threads=workload_threads,
+            env_norm=env_norm,
+        )

@@ -1,0 +1,60 @@
+"""Result metrics.
+
+The paper reports speedups over the OpenMP-default baseline and averages
+with the harmonic mean "to avoid outliers" (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; the paper's 'hmean' average."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for sanity cross-checks)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (the paper quotes a 1.54x median alongside the mean)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def speedup(baseline_time: float, policy_time: float) -> float:
+    """Speedup of a policy run over the baseline run."""
+    if baseline_time <= 0 or policy_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / policy_time
+
+
+def speedups_over_baseline(
+    times: Mapping[str, float], baseline: str
+) -> Dict[str, float]:
+    """Per-policy speedups relative to ``times[baseline]``."""
+    if baseline not in times:
+        raise KeyError(f"baseline {baseline!r} missing from times")
+    base = times[baseline]
+    return {name: speedup(base, t) for name, t in times.items()}

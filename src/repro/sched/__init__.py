@@ -1,0 +1,34 @@
+"""Simulated OS scheduler: CPU sharing, load accounting, memory stats."""
+
+from .loadavg import FIVE_MINUTES, LoadAverage, LoadAverages, ONE_MINUTE
+from .memory import PageCacheModel
+from .runqueue import RunQueueStats
+from .scheduler import (
+    Allocation,
+    JobDemand,
+    ProportionalShareScheduler,
+    TickAllocation,
+)
+from .stats import (
+    ENV_FEATURE_NAMES,
+    EnvironmentSample,
+    SystemStatsSampler,
+    environment_norm,
+)
+
+__all__ = [
+    "Allocation",
+    "ENV_FEATURE_NAMES",
+    "EnvironmentSample",
+    "FIVE_MINUTES",
+    "JobDemand",
+    "LoadAverage",
+    "LoadAverages",
+    "ONE_MINUTE",
+    "PageCacheModel",
+    "ProportionalShareScheduler",
+    "RunQueueStats",
+    "SystemStatsSampler",
+    "TickAllocation",
+    "environment_norm",
+]

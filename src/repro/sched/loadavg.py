@@ -1,0 +1,69 @@
+"""Linux-style exponentially-damped load averages.
+
+The paper's environment features f^7 and f^8 are ``ldavg-1`` and
+``ldavg-5`` as reported by ``sar``.  Linux computes these as exponentially
+damped moving averages of the number of runnable (plus, in real Linux,
+uninterruptible) tasks.  We reproduce the continuous-time form: for a
+window of ``period`` seconds and a tick of ``dt`` seconds,
+
+    load <- load * exp(-dt/period) + active * (1 - exp(-dt/period))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+ONE_MINUTE = 60.0
+FIVE_MINUTES = 300.0
+
+
+@dataclass
+class LoadAverage:
+    """One damped average over a fixed window."""
+
+    period: float
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def update(self, active: float, dt: float) -> float:
+        """Advance the average by ``dt`` seconds of ``active`` load."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if active < 0:
+            raise ValueError("active load cannot be negative")
+        decay = math.exp(-dt / self.period)
+        self.value = self.value * decay + active * (1.0 - decay)
+        return self.value
+
+
+@dataclass
+class LoadAverages:
+    """The (ldavg-1, ldavg-5) pair the feature vector uses."""
+
+    one: LoadAverage = field(
+        default_factory=lambda: LoadAverage(ONE_MINUTE)
+    )
+    five: LoadAverage = field(
+        default_factory=lambda: LoadAverage(FIVE_MINUTES)
+    )
+
+    def update(self, active: float, dt: float) -> None:
+        self.one.update(active, dt)
+        self.five.update(active, dt)
+
+    @property
+    def ldavg_1(self) -> float:
+        return self.one.value
+
+    @property
+    def ldavg_5(self) -> float:
+        return self.five.value
+
+    def prime(self, active: float) -> None:
+        """Jump both averages to ``active`` (steady-state warm start)."""
+        self.one.value = active
+        self.five.value = active

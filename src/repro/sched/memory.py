@@ -1,0 +1,69 @@
+"""Page-cache and memory-reclaim model.
+
+Provides features f^9 (cached memory) and f^10 (pages-free-list rate,
+``sar -B pgfree/s``-style).  The model is first-order: the page cache
+relaxes toward the memory-intensive working set of the running jobs, and
+page-free (reclaim) activity rises with memory pressure and with cache
+churn from streaming, memory-bound jobs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class PageCacheModel:
+    """Evolves cached-memory and page-free-rate over simulated time."""
+
+    ram_gb: float
+    #: GB of working set one fully-memory-intensive thread touches.
+    working_set_per_thread_gb: float = 0.35
+    #: Cache relaxation time constant, seconds.
+    time_constant: float = 8.0
+    #: Baseline OS page churn, kilo-pages/s.
+    baseline_free_rate: float = 0.4
+    #: Kilo-pages/s of churn per unit of memory traffic.
+    churn_per_traffic: float = 0.25
+
+    cached_gb: float = 0.0
+    pages_free_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ram_gb <= 0:
+            raise ValueError("ram_gb must be positive")
+        if self.cached_gb == 0.0:
+            # Idle systems keep a modest warm cache.
+            self.cached_gb = 0.1 * self.ram_gb
+        self.pages_free_rate = self.baseline_free_rate
+
+    def update(self, memory_traffic: float, dt: float) -> None:
+        """Advance the model by ``dt`` seconds.
+
+        ``memory_traffic`` is the aggregate memory-intensity-weighted
+        thread count from the scheduler (unitless traffic units).
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if memory_traffic < 0:
+            raise ValueError("memory_traffic cannot be negative")
+        target = min(
+            0.9 * self.ram_gb,
+            0.1 * self.ram_gb
+            + self.working_set_per_thread_gb * memory_traffic,
+        )
+        decay = math.exp(-dt / self.time_constant)
+        self.cached_gb = self.cached_gb * decay + target * (1.0 - decay)
+
+        pressure = self.cached_gb / self.ram_gb
+        reclaim = 4.0 * max(0.0, pressure - 0.7)
+        self.pages_free_rate = (
+            self.baseline_free_rate
+            + self.churn_per_traffic * memory_traffic
+            + reclaim
+        )
+
+    @property
+    def cached_fraction(self) -> float:
+        return self.cached_gb / self.ram_gb

@@ -1,0 +1,44 @@
+"""Run-queue accounting (``sar -q`` semantics).
+
+``runq-sz`` (feature f^6) is the number of runnable tasks in the run
+queue.  We follow ``sar``: every thread that wants CPU is runnable,
+whether it is currently on a core or waiting for one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunQueueStats:
+    """Snapshot of scheduler queue state for one tick."""
+
+    runnable: int
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.runnable < 0:
+            raise ValueError("runnable count cannot be negative")
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+
+    @property
+    def runq_sz(self) -> int:
+        """Runnable tasks (the ``sar`` run-queue size)."""
+        return self.runnable
+
+    @property
+    def waiting(self) -> int:
+        """Runnable tasks not currently on a core."""
+        return max(0, self.runnable - self.processors)
+
+    @property
+    def oversubscription(self) -> float:
+        """Demand per processor; > 1 means the machine is oversubscribed."""
+        return self.runnable / self.processors
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of processors with a runnable task."""
+        return min(1.0, self.runnable / self.processors)

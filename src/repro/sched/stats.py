@@ -1,0 +1,222 @@
+"""System-statistics sampling: the environment features.
+
+Produces the environment half of the paper's feature vector
+(Section 5.2.2, Table 1):
+
+====  =======================  ==============================
+f^4   workload threads         threads of co-running jobs
+f^5   processors               currently available processors
+f^6   runq-sz                  runnable tasks (``sar -q``)
+f^7   ldavg-1                  1-minute load average
+f^8   ldavg-5                  5-minute load average
+f^9   cached memory            page cache, GB
+f^10  pages free list rate     ``pgfree/s``-style churn, kpages/s
+====  =======================  ==============================
+
+The paper "use[s] *environment* to describe dynamic workloads/hardware
+resources" — the world *external* to the program being mapped.  Samples
+are therefore taken from a perspective: the observer's own threads are
+excluded from the run-queue length and subtracted from the load
+averages (per-job load averages are tracked alongside the system-wide
+ones).  This matters for the mixture-of-experts proxy: if the
+environment included the observer's own threads, an expert would score
+well merely by being in control (its own thread choice dominating the
+signal it is judged on), and the selector would reward incumbency
+instead of insight.
+
+"In this paper, the environment is formalized as the norm of the runtime
+features in this feature set (f^4 to f^10)."  We use the RMS norm
+(L2 / sqrt(dim)) so the magnitude is comparable to individual features.
+
+The sampler also exposes a *raw* environment feature dictionary — the
+candidate pool the information-gain selection draws from, together with
+the raw code features of :mod:`repro.compiler.features`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..machine.topology import Topology
+from .loadavg import LoadAverages
+from .memory import PageCacheModel
+from .runqueue import RunQueueStats
+from .scheduler import JobDemand, TickAllocation
+
+#: Canonical environment feature names, order matching Table 1 (f^4..f^10).
+ENV_FEATURE_NAMES = (
+    "workload_threads",
+    "processors",
+    "runq_sz",
+    "ldavg_1",
+    "ldavg_5",
+    "cached_memory",
+    "pages_free_rate",
+)
+
+
+def environment_norm(vector: Sequence[float]) -> float:
+    """RMS norm of an environment vector (see module docstring)."""
+    arr = np.asarray(vector, dtype=float)
+    if arr.size == 0:
+        raise ValueError("environment vector is empty")
+    return float(np.sqrt(np.mean(arr * arr)))
+
+
+@dataclass(frozen=True)
+class EnvironmentSample:
+    """One observation of the environment, from one job's perspective."""
+
+    time: float
+    workload_threads: float
+    processors: float
+    runq_sz: float
+    ldavg_1: float
+    ldavg_5: float
+    cached_memory: float
+    pages_free_rate: float
+    raw: Dict[str, float] = field(default_factory=dict, compare=False)
+
+    def as_vector(self) -> np.ndarray:
+        """The 7-dimensional environment vector e (order of Table 1)."""
+        return np.array(
+            [
+                self.workload_threads,
+                self.processors,
+                self.runq_sz,
+                self.ldavg_1,
+                self.ldavg_5,
+                self.cached_memory,
+                self.pages_free_rate,
+            ],
+            dtype=float,
+        )
+
+    @property
+    def norm(self) -> float:
+        """The scalar ‖e‖ the expert selector compares against."""
+        return environment_norm(self.as_vector())
+
+
+class SystemStatsSampler:
+    """Accumulates OS statistics across ticks and produces samples.
+
+    Usage: call :meth:`update` once per scheduler tick with the demands
+    and the tick allocation, then :meth:`sample` from the perspective of
+    any job.  The perspective job's own threads are excluded from the
+    run queue and subtracted from the load averages (see module
+    docstring).
+    """
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._loadavg = LoadAverages()
+        self._job_loadavg: Dict[str, LoadAverages] = {}
+        self._memory = PageCacheModel(ram_gb=topology.ram_gb)
+        self._time = 0.0
+        self._last_threads: Dict[str, int] = {}
+        self._last_runqueue: Optional[RunQueueStats] = None
+        self._last_saturation = 0.0
+        self._last_traffic = 0.0
+        self._ticks = 0
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def prime(self, active_load: float) -> None:
+        """Warm-start the system load averages (systems are rarely cold)."""
+        self._loadavg.prime(active_load)
+
+    def update(
+        self,
+        time: float,
+        dt: float,
+        demands: Sequence[JobDemand],
+        allocation: TickAllocation,
+    ) -> None:
+        """Advance all statistics by one tick."""
+        self._time = time
+        self._last_threads = {d.job_id: d.threads for d in demands}
+        self._last_runqueue = allocation.runqueue
+        self._last_saturation = allocation.bandwidth_saturation
+        self._last_traffic = allocation.memory_traffic
+        self._loadavg.update(float(allocation.runqueue.runnable), dt)
+        for demand in demands:
+            tracker = self._job_loadavg.get(demand.job_id)
+            if tracker is None:
+                tracker = LoadAverages()
+                self._job_loadavg[demand.job_id] = tracker
+            tracker.update(float(demand.threads), dt)
+        self._memory.update(allocation.memory_traffic, dt)
+        self._ticks += 1
+
+    def sample(
+        self, perspective_job_id: Optional[str] = None
+    ) -> EnvironmentSample:
+        """Current environment from ``perspective_job_id``'s viewpoint."""
+        if self._last_runqueue is None:
+            raise RuntimeError("sample() before the first update()")
+        own = self._last_threads.get(perspective_job_id, 0)
+        total = sum(self._last_threads.values())
+        own_load = self._job_loadavg.get(perspective_job_id)
+        own_ld1 = own_load.ldavg_1 if own_load is not None else 0.0
+        own_ld5 = own_load.ldavg_5 if own_load is not None else 0.0
+        runqueue = self._last_runqueue
+        external = max(0, total - own)
+        return EnvironmentSample(
+            time=self._time,
+            workload_threads=float(external),
+            processors=float(runqueue.processors),
+            runq_sz=float(max(0, runqueue.runq_sz - own)),
+            ldavg_1=max(0.0, self._loadavg.ldavg_1 - own_ld1),
+            ldavg_5=max(0.0, self._loadavg.ldavg_5 - own_ld5),
+            cached_memory=self._memory.cached_gb,
+            pages_free_rate=self._memory.pages_free_rate,
+            raw=self._raw_features(external, own, runqueue),
+        )
+
+    def _raw_features(
+        self, workload_threads: int, own: int, runqueue: RunQueueStats
+    ) -> Dict[str, float]:
+        """The raw environment candidate pool (env side of the 134)."""
+        utilization = runqueue.utilization
+        oversub = runqueue.oversubscription
+        raw = {
+            "env.workload_threads": float(workload_threads),
+            "env.processors": float(runqueue.processors),
+            "env.runq_sz": float(max(0, runqueue.runq_sz - own)),
+            "env.ldavg_1": max(0.0, self._loadavg.ldavg_1 - own),
+            "env.ldavg_5": self._loadavg.ldavg_5,
+            "env.cached_memory": self._memory.cached_gb,
+            "env.pages_free_rate": self._memory.pages_free_rate,
+            "env.runq_sz_total": float(runqueue.runq_sz),
+            "env.own_threads": float(own),
+            "env.waiting_tasks": float(runqueue.waiting),
+            "env.utilization": utilization,
+            "env.idle_pct": 100.0 * (1.0 - utilization),
+            "env.oversubscription": oversub,
+            "env.bandwidth_saturation": self._last_saturation,
+            "env.memory_traffic": self._last_traffic,
+            "env.cached_fraction": self._memory.cached_fraction,
+            "env.free_memory": self._topology.ram_gb - self._memory.cached_gb,
+            "env.total_cores": float(self._topology.cores),
+            "env.offline_cores": float(
+                self._topology.cores - runqueue.processors
+            ),
+            "env.ctx_switch_rate": 1000.0 * max(0.0, oversub - 1.0),
+            "env.load_trend": self._loadavg.ldavg_1 - self._loadavg.ldavg_5,
+            "env.threads_per_core": (
+                float(runqueue.runq_sz) / runqueue.processors
+            ),
+        }
+        # Simple nonlinear expansions, as a profiler exporting derived
+        # counters would provide.
+        for name in ("env.ldavg_1", "env.runq_sz", "env.workload_threads"):
+            raw[f"{name}.sq"] = raw[name] ** 2
+            raw[f"{name}.log1p"] = math.log1p(max(0.0, raw[name]))
+        return raw

@@ -1,0 +1,21 @@
+"""Workload configurations and live-system traces."""
+
+from .spec import (
+    LARGE_WORKLOADS,
+    SMALL_WORKLOADS,
+    WORKLOAD_SETS,
+    WorkloadSet,
+    workload_sets,
+)
+from .trace import FIFTY_HOURS, LiveTrace, generate_live_trace
+
+__all__ = [
+    "FIFTY_HOURS",
+    "LARGE_WORKLOADS",
+    "LiveTrace",
+    "SMALL_WORKLOADS",
+    "WORKLOAD_SETS",
+    "WorkloadSet",
+    "generate_live_trace",
+    "workload_sets",
+]

@@ -1,0 +1,96 @@
+"""Workload churn: jobs arriving over time (Figure 1's reality).
+
+The paper's evaluation keeps a fixed workload set that restarts until
+the target finishes.  Real shared systems — the Figure 1 log — see jobs
+*arrive and depart*.  This module generates Poisson job arrivals from a
+benchmark pool so experiments can study mapping under churn
+(:func:`repro.experiments.extensions` uses it; the engine supports it
+through :class:`~repro.runtime.engine.JobSpec` ``start_time``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policies.base import ThreadPolicy
+from ..programs import registry
+from ..programs.model import ProgramModel
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One arriving job: which program, when, how big."""
+
+    program: str
+    start_time: float
+    iterations_scale: float
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError("start_time cannot be negative")
+        if self.iterations_scale <= 0:
+            raise ValueError("iterations_scale must be positive")
+
+
+def generate_arrivals(
+    pool: Sequence[str],
+    rate: float,
+    horizon: float,
+    seed: int = 0,
+    size_range: tuple = (0.2, 0.6),
+) -> List[Arrival]:
+    """Poisson arrivals over ``[0, horizon)`` from a benchmark pool.
+
+    ``rate`` is arrivals per simulated second; each arrival picks a
+    program uniformly from the pool and a length scale uniformly from
+    ``size_range`` (short-to-medium jobs dominate real queues).
+    """
+    if not pool:
+        raise ValueError("pool must not be empty")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    low, high = size_range
+    if not 0.0 < low <= high:
+        raise ValueError("bad size_range")
+    for name in pool:
+        registry.get(name)  # fail fast on unknown benchmarks
+
+    rng = np.random.default_rng(seed)
+    arrivals: List[Arrival] = []
+    time = float(rng.exponential(1.0 / rate))
+    while time < horizon:
+        arrivals.append(Arrival(
+            program=str(rng.choice(list(pool))),
+            start_time=time,
+            iterations_scale=float(rng.uniform(low, high)),
+        ))
+        time += float(rng.exponential(1.0 / rate))
+    return arrivals
+
+
+def arrival_jobs(
+    arrivals: Sequence[Arrival],
+    policy_factory: Callable[[], ThreadPolicy],
+    id_prefix: str = "arr",
+):
+    """Materialise arrivals into engine job specs (one-shot, no restart)."""
+    from ..core.training import scale_program
+    from ..runtime.engine import JobSpec
+
+    jobs = []
+    for index, arrival in enumerate(arrivals):
+        program = scale_program(
+            registry.get(arrival.program), arrival.iterations_scale,
+        )
+        jobs.append(JobSpec(
+            program=program,
+            policy=policy_factory(),
+            job_id=f"{id_prefix}{index}-{arrival.program}",
+            start_time=arrival.start_time,
+        ))
+    return jobs

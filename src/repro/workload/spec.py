@@ -1,0 +1,67 @@
+"""Workload configurations (Table 3 of the paper).
+
+A *workload set* is the list of benchmark programs co-executing with the
+target.  Two sizes are evaluated, each with two concrete benchmark sets;
+"All results are averaged over these different benchmark sets."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..programs import canonical_name, get
+from ..programs.model import ProgramModel
+
+
+@dataclass(frozen=True)
+class WorkloadSet:
+    """One concrete set of co-executing workload programs."""
+
+    name: str
+    size: str  # "small" | "large"
+    program_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.size not in ("small", "large"):
+            raise ValueError(f"unknown workload size {self.size!r}")
+        if not self.program_names:
+            raise ValueError(f"workload set {self.name!r} is empty")
+
+    def programs(self) -> List[ProgramModel]:
+        """Resolve to program models (paper aliases accepted)."""
+        return [get(name) for name in self.program_names]
+
+    @property
+    def canonical_names(self) -> Tuple[str, ...]:
+        return tuple(canonical_name(n) for n in self.program_names)
+
+
+#: Table 3: workload benchmarks.  Aliases (fft, bscholes, fmine) are
+#: resolved by the program registry.
+SMALL_WORKLOADS = (
+    WorkloadSet("small-i", "small", ("is", "cg")),
+    WorkloadSet("small-ii", "small", ("ammp", "fft")),
+)
+
+LARGE_WORKLOADS = (
+    WorkloadSet("large-i", "large",
+                ("bt", "sp", "equake", "is", "cg", "art")),
+    WorkloadSet("large-ii", "large",
+                ("bscholes", "lu", "bt", "sp", "fmine", "art", "mg")),
+)
+
+WORKLOAD_SETS = {
+    "small": SMALL_WORKLOADS,
+    "large": LARGE_WORKLOADS,
+}
+
+
+def workload_sets(size: str) -> Tuple[WorkloadSet, ...]:
+    """The Table 3 sets for one workload size."""
+    try:
+        return WORKLOAD_SETS[size]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload size {size!r}; expected 'small' or 'large'"
+        ) from None

@@ -1,0 +1,137 @@
+"""Live-system activity traces (Figure 1 and Section 7.5).
+
+Figure 1 shows "real workload behavior derived from a log over a period
+of 50 hours activity in a high performance computing system (2912 cores,
+5824 H/W contexts, 24GB RAM)".  We generate a synthetic trace with the
+same structural features:
+
+* a diurnal base load (two day/night cycles over 50 h);
+* Poisson job arrivals with log-normal sizes and durations (bursts);
+* occasional large spikes (batch-queue drains);
+* optionally, a hardware-failure window during which half the
+  processors disappear (the Section 7.5 case study).
+
+Section 7.5's scale-down rule — "the number of workload threads was
+scaled down in proportion with the maximum number of processors" —
+is :meth:`LiveTrace.scale_down`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.availability import TraceAvailability
+from ..machine.topology import HPC_SYSTEM, Topology
+
+#: 50 hours, in seconds.
+FIFTY_HOURS = 50 * 3600.0
+
+
+@dataclass(frozen=True)
+class LiveTrace:
+    """A (time, active threads) demand trace on a large system."""
+
+    times: Tuple[float, ...]
+    threads: Tuple[int, ...]
+    system: Topology = HPC_SYSTEM
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.threads):
+            raise ValueError("times and threads must have equal length")
+        if not self.times:
+            raise ValueError("trace is empty")
+
+    def window(self, start: float, end: float) -> "LiveTrace":
+        """The sub-trace with start <= time < end."""
+        pairs = [
+            (t, n) for t, n in zip(self.times, self.threads)
+            if start <= t < end
+        ]
+        if not pairs:
+            raise ValueError(f"window [{start}, {end}) is empty")
+        times, threads = zip(*pairs)
+        return LiveTrace(times=times, threads=threads, system=self.system)
+
+    def scale_down(self, max_processors: int) -> List[Tuple[float, int]]:
+        """Scale thread demand to a smaller machine (Section 7.5 rule).
+
+        Threads are scaled in proportion to the ratio of the small
+        machine's processors to the large system's hardware contexts,
+        clamped to at least one thread whenever the big system is busy.
+        """
+        if max_processors < 1:
+            raise ValueError("max_processors must be >= 1")
+        ratio = max_processors / self.system.hw_contexts
+        scaled = []
+        for time, threads in zip(self.times, self.threads):
+            small = int(round(threads * ratio))
+            if threads > 0:
+                small = max(1, small)
+            scaled.append((time, min(small, 4 * max_processors)))
+        return scaled
+
+    def availability_from_failure(
+        self, max_processors: int, failure_start: float,
+        failure_end: float
+    ) -> TraceAvailability:
+        """Availability schedule for the scaled-down case study."""
+        points = []
+        step = max(1.0, (self.times[-1] - self.times[0]) / 2000.0)
+        t = self.times[0]
+        while t <= self.times[-1]:
+            count = max_processors
+            if failure_start <= t < failure_end:
+                count = max(1, max_processors // 2)
+            points.append((t - self.times[0], count))
+            t += step
+        return TraceAvailability.from_pairs(points)
+
+
+def generate_live_trace(
+    seed: int = 2015,
+    duration: float = FIFTY_HOURS,
+    sample_period: float = 60.0,
+    system: Topology = HPC_SYSTEM,
+) -> LiveTrace:
+    """Generate the Figure 1 style synthetic activity log."""
+    rng = np.random.default_rng(seed)
+    n_samples = int(duration // sample_period) + 1
+    times = np.arange(n_samples) * sample_period
+
+    capacity = system.hw_contexts
+    # Diurnal base: busier during the "day" halves of each 24 h cycle.
+    phase = 2.0 * math.pi * times / (24 * 3600.0)
+    base = 0.25 * capacity * (1.0 + 0.6 * np.sin(phase - math.pi / 2))
+
+    # Poisson batch-job arrivals layered on top.
+    demand = np.zeros(n_samples)
+    arrival_rate = 1.0 / 600.0  # one job every ~10 minutes
+    expected_jobs = duration * arrival_rate
+    n_jobs = rng.poisson(expected_jobs)
+    starts = rng.uniform(0.0, duration, size=n_jobs)
+    sizes = np.minimum(
+        rng.lognormal(mean=4.0, sigma=1.2, size=n_jobs), 0.4 * capacity
+    )
+    durations = rng.lognormal(mean=7.5, sigma=1.0, size=n_jobs)
+    for start, size, job_duration in zip(starts, sizes, durations):
+        lo = int(start // sample_period)
+        hi = min(n_samples, int((start + job_duration) // sample_period) + 1)
+        demand[lo:hi] += size
+
+    # Rare queue-drain spikes.
+    n_spikes = rng.poisson(6)
+    for _ in range(n_spikes):
+        at = int(rng.uniform(0, n_samples))
+        width = int(rng.uniform(5, 40))
+        demand[at:at + width] += rng.uniform(0.2, 0.5) * capacity
+
+    total = np.clip(base + demand, 0, capacity).astype(int)
+    return LiveTrace(
+        times=tuple(float(t) for t in times),
+        threads=tuple(int(v) for v in total),
+        system=system,
+    )

@@ -1,0 +1,148 @@
+"""IRBuilder construction and misuse errors."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder, IRBuilderError
+from repro.compiler.ir import AccessPattern, Opcode, Schedule
+
+
+class TestStructure:
+    def test_simple_module(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            b.call("init")
+            with b.parallel_loop("l", trip_count=4):
+                b.load()
+                b.fadd()
+                b.store()
+        module = b.build()
+        assert module.name == "m"
+        func = module.function("f")
+        assert len(func.serial) == 1
+        assert func.loops[0].trip_count == 4
+        assert len(func.loops[0].body) == 3
+
+    def test_nested_loops(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("outer", trip_count=2):
+                b.fadd()
+                with b.parallel_loop("inner", trip_count=8):
+                    b.load()
+        module = b.build()
+        outer = module.function("f").loops[0]
+        assert len(module.function("f").loops) == 1
+        assert outer.nested[0].name == "inner"
+        assert outer.nested[0].trip_count == 8
+
+    def test_loop_attributes(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop(
+                "l", trip_count=3, schedule=Schedule.DYNAMIC,
+                access=AccessPattern.IRREGULAR, reduction=True,
+            ):
+                b.reduce()
+        loop = b.build().function("f").loops[0]
+        assert loop.schedule is Schedule.DYNAMIC
+        assert loop.access_pattern is AccessPattern.IRREGULAR
+        assert loop.has_reduction
+
+    def test_multiple_functions(self):
+        b = IRBuilder("m")
+        for name in ("f", "g"):
+            with b.function(name):
+                with b.parallel_loop("loop_" + name):
+                    b.fadd()
+        module = b.build()
+        assert [f.name for f in module.functions] == ["f", "g"]
+
+
+class TestErrors:
+    def test_nested_functions_rejected(self):
+        b = IRBuilder("m")
+        with pytest.raises(IRBuilderError, match="nested"):
+            with b.function("f"):
+                with b.function("g"):
+                    pass
+
+    def test_loop_outside_function_rejected(self):
+        b = IRBuilder("m")
+        with pytest.raises(IRBuilderError, match="open function"):
+            with b.parallel_loop("l"):
+                pass
+
+    def test_emit_outside_function_rejected(self):
+        b = IRBuilder("m")
+        with pytest.raises(IRBuilderError, match="open function"):
+            b.fadd()
+
+    def test_build_validates(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("empty"):
+                pass  # no instructions
+        with pytest.raises(Exception):
+            b.build()
+
+    def test_build_can_skip_validation(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("empty"):
+                pass
+        module = b.build(validate=False)
+        assert module.name == "m"
+
+
+class TestEmitters:
+    OPCODES = {
+        "load": Opcode.LOAD,
+        "store": Opcode.STORE,
+        "gep": Opcode.GEP,
+        "add": Opcode.ADD,
+        "sub": Opcode.SUB,
+        "mul": Opcode.MUL,
+        "div": Opcode.DIV,
+        "fadd": Opcode.FADD,
+        "fsub": Opcode.FSUB,
+        "fmul": Opcode.FMUL,
+        "fdiv": Opcode.FDIV,
+        "fma": Opcode.FMA,
+        "sqrt": Opcode.SQRT,
+        "cmp": Opcode.CMP,
+        "branch": Opcode.BRANCH,
+        "cond_branch": Opcode.COND_BRANCH,
+        "call": Opcode.CALL,
+        "barrier": Opcode.BARRIER,
+        "atomic": Opcode.ATOMIC,
+        "critical": Opcode.CRITICAL,
+        "reduce": Opcode.REDUCE,
+    }
+
+    @pytest.mark.parametrize("method,opcode", sorted(
+        OPCODES.items(), key=lambda kv: kv[0]
+    ))
+    def test_emitter_opcode(self, method, opcode):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l"):
+                getattr(b, method)()
+        loop = b.build().function("f").loops[0]
+        assert loop.body[0].opcode is opcode
+
+    def test_value_names_are_fresh(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l"):
+                first = b.load()
+                second = b.load()
+        assert first.result != second.result
+
+    def test_serial_emission(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            b.call("setup")
+            with b.parallel_loop("l"):
+                b.fadd()
+        func = b.build().function("f")
+        assert func.serial[0].opcode is Opcode.CALL

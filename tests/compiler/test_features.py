@@ -1,0 +1,114 @@
+"""Static feature extraction."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.features import (
+    CODE_FEATURE_NAMES,
+    extract_code_features,
+    extract_raw_loop_features,
+    raw_code_feature_names,
+)
+from repro.compiler.passes import analyze_module
+
+
+def build_module():
+    b = IRBuilder("m")
+    with b.function("f"):
+        b.call("init")
+        with b.parallel_loop("a", trip_count=10):
+            b.load()
+            b.store()
+            b.fadd()
+            b.cond_branch()
+        with b.parallel_loop("b", trip_count=5):
+            b.fmul()
+            b.fmul()
+    return b.build()
+
+
+class TestCanonicalFeatures:
+    def test_names(self):
+        assert CODE_FEATURE_NAMES == (
+            "load_store_count", "instructions", "branches",
+        )
+
+    def test_normalized_to_program_total(self):
+        module = build_module()
+        # Program total: 1 serial + 4*10 + 2*5 = 51.
+        features = extract_code_features(module, "a")
+        assert features.load_store_count == pytest.approx(20 / 51)
+        assert features.instructions == pytest.approx(40 / 51)
+        assert features.branches == pytest.approx(10 / 51)
+
+    def test_second_loop(self):
+        module = build_module()
+        features = extract_code_features(module, "b")
+        assert features.load_store_count == 0.0
+        assert features.instructions == pytest.approx(10 / 51)
+        assert features.branches == 0.0
+
+    def test_unknown_loop(self):
+        with pytest.raises(KeyError, match="no parallel loop"):
+            extract_code_features(build_module(), "nope")
+
+    def test_accepts_precomputed_analysis(self):
+        module = build_module()
+        analysis = analyze_module(module)
+        features = extract_code_features(module, "a", analysis)
+        assert features.instructions > 0
+
+    def test_as_tuple(self):
+        features = extract_code_features(build_module(), "a")
+        assert len(features.as_tuple()) == 3
+
+
+class TestRawFeatures:
+    def raw(self):
+        module = build_module()
+        loop = module.function("f").loops[0]
+        return extract_raw_loop_features(module, loop)
+
+    def test_contains_canonical(self):
+        raw = self.raw()
+        assert "code.load_store_count" in raw
+        assert "code.instructions" in raw
+        assert "code.branches" in raw
+
+    def test_per_opcode_counts(self):
+        raw = self.raw()
+        assert raw["code.opcount.load"] == 10.0
+        assert raw["code.opcount.fadd"] == 10.0
+        assert raw["code.opcount.barrier"] == 0.0
+
+    def test_structure_features(self):
+        raw = self.raw()
+        assert raw["code.trip_count"] == 10.0
+        assert raw["code.loop_depth"] == 1.0
+        assert raw["code.access_regular"] == 1.0
+        assert raw["code.schedule_static"] == 1.0
+
+    def test_intensities_in_range(self):
+        raw = self.raw()
+        for key in ("code.memory_intensity", "code.branch_intensity",
+                    "code.sync_intensity", "code.float_fraction"):
+            assert 0.0 <= raw[key] <= 1.0
+
+    def test_all_values_are_floats(self):
+        for value in self.raw().values():
+            assert isinstance(value, float)
+
+
+class TestRawFeatureNames:
+    def test_deterministic(self):
+        assert raw_code_feature_names() == raw_code_feature_names()
+
+    def test_sorted(self):
+        names = raw_code_feature_names()
+        assert names == sorted(names)
+
+    def test_matches_extractor_keys(self):
+        module = build_module()
+        loop = module.function("f").loops[0]
+        raw = extract_raw_loop_features(module, loop)
+        assert sorted(raw) == raw_code_feature_names()

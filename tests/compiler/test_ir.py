@@ -1,0 +1,189 @@
+"""IR structure, counting, validation and printing."""
+
+import pytest
+
+from repro.compiler.ir import (
+    AccessPattern,
+    BRANCH_OPCODES,
+    FLOAT_OPCODES,
+    Function,
+    Instruction,
+    IRValidationError,
+    MEMORY_OPCODES,
+    Module,
+    Opcode,
+    ParallelLoop,
+    Schedule,
+    SYNC_OPCODES,
+    count_instructions,
+    format_module,
+)
+
+
+def make_loop(name="loop", trip=10, body=None, nested=None):
+    return ParallelLoop(
+        name=name,
+        trip_count=trip,
+        body=body if body is not None else [Instruction(Opcode.FADD)],
+        nested=nested or [],
+    )
+
+
+class TestInstruction:
+    def test_str_with_result(self):
+        inst = Instruction(Opcode.LOAD, ("%a",), result="%v0")
+        assert str(inst) == "%v0 = load %a"
+
+    def test_str_without_result(self):
+        inst = Instruction(Opcode.STORE, ("%a",))
+        assert str(inst) == "store %a"
+
+    def test_is_memory(self):
+        assert Instruction(Opcode.LOAD).is_memory
+        assert Instruction(Opcode.GEP).is_memory
+        assert not Instruction(Opcode.FADD).is_memory
+
+    def test_is_branch(self):
+        assert Instruction(Opcode.COND_BRANCH).is_branch
+        assert not Instruction(Opcode.CMP).is_branch
+
+    def test_is_sync(self):
+        assert Instruction(Opcode.BARRIER).is_sync
+        assert Instruction(Opcode.ATOMIC).is_sync
+        assert not Instruction(Opcode.CALL).is_sync
+
+    def test_frozen(self):
+        inst = Instruction(Opcode.ADD)
+        with pytest.raises(AttributeError):
+            inst.opcode = Opcode.SUB
+
+
+class TestOpcodeGroups:
+    def test_groups_are_disjoint(self):
+        assert not (MEMORY_OPCODES & BRANCH_OPCODES)
+        assert not (MEMORY_OPCODES & SYNC_OPCODES)
+        assert not (FLOAT_OPCODES & SYNC_OPCODES)
+
+    def test_groups_cover_known_opcodes(self):
+        assert Opcode.LOAD in MEMORY_OPCODES
+        assert Opcode.SWITCH in BRANCH_OPCODES
+        assert Opcode.REDUCE in SYNC_OPCODES
+        assert Opcode.SQRT in FLOAT_OPCODES
+
+
+class TestParallelLoop:
+    def test_weighted_count_flat(self):
+        loop = make_loop(body=[Instruction(Opcode.FADD)] * 3)
+        assert loop.weighted_count() == 3
+
+    def test_weighted_count_nested(self):
+        inner = make_loop("inner", trip=5,
+                          body=[Instruction(Opcode.LOAD)] * 2)
+        outer = make_loop("outer", trip=10,
+                          body=[Instruction(Opcode.FADD)],
+                          nested=[inner])
+        # 1 own + 5*2 nested per outer iteration.
+        assert outer.weighted_count() == 11
+
+    def test_dynamic_count_multiplies_trip(self):
+        loop = make_loop(trip=7, body=[Instruction(Opcode.FADD)] * 2)
+        assert loop.dynamic_count() == 14
+
+    def test_dynamic_count_with_predicate(self):
+        loop = make_loop(trip=3, body=[
+            Instruction(Opcode.LOAD), Instruction(Opcode.FADD),
+        ])
+        assert loop.dynamic_count(lambda i: i.is_memory) == 3
+
+    def test_depth(self):
+        inner = make_loop("i")
+        middle = make_loop("m", nested=[inner])
+        outer = make_loop("o", nested=[middle])
+        assert outer.depth == 3
+        assert inner.depth == 1
+
+    def test_validate_rejects_zero_trip(self):
+        loop = make_loop(trip=0)
+        with pytest.raises(IRValidationError, match="trip_count"):
+            loop.validate()
+
+    def test_validate_rejects_empty_body(self):
+        loop = ParallelLoop(name="empty", trip_count=1)
+        with pytest.raises(IRValidationError, match="empty body"):
+            loop.validate()
+
+    def test_validate_recurses(self):
+        bad_inner = make_loop("inner", trip=0)
+        outer = make_loop("outer", nested=[bad_inner])
+        with pytest.raises(IRValidationError):
+            outer.validate()
+
+    def test_instructions_iterates_nested(self):
+        inner = make_loop("inner", body=[Instruction(Opcode.LOAD)])
+        outer = make_loop("outer", body=[Instruction(Opcode.FADD)],
+                          nested=[inner])
+        opcodes = [inst.opcode for inst in outer.instructions()]
+        assert opcodes == [Opcode.FADD, Opcode.LOAD]
+
+
+class TestModule:
+    def make_module(self):
+        func = Function(
+            name="main",
+            serial=[Instruction(Opcode.CALL, ("init",))],
+            loops=[make_loop("l1"), make_loop("l2")],
+        )
+        return Module(name="m", functions=[func])
+
+    def test_parallel_loops(self):
+        module = self.make_module()
+        assert [l.name for l in module.parallel_loops()] == ["l1", "l2"]
+
+    def test_function_lookup(self):
+        module = self.make_module()
+        assert module.function("main").name == "main"
+        with pytest.raises(KeyError):
+            module.function("nope")
+
+    def test_validate_ok(self):
+        self.make_module().validate()
+
+    def test_validate_rejects_empty_module(self):
+        with pytest.raises(IRValidationError, match="no functions"):
+            Module(name="empty").validate()
+
+    def test_validate_rejects_duplicate_functions(self):
+        func = Function(name="f", loops=[make_loop()])
+        module = Module(name="m", functions=[func, Function(
+            name="f", loops=[make_loop("other")],
+        )])
+        with pytest.raises(IRValidationError, match="duplicate"):
+            module.validate()
+
+    def test_format_contains_structure(self):
+        text = format_module(self.make_module())
+        assert "module m {" in text
+        assert "parallel_loop l1" in text
+        assert "func main()" in text
+
+    def test_str_matches_format(self):
+        module = self.make_module()
+        assert str(module) == format_module(module)
+
+
+class TestCountInstructions:
+    def test_plain(self):
+        insts = [Instruction(Opcode.LOAD), Instruction(Opcode.FADD)]
+        assert count_instructions(insts) == 2
+
+    def test_predicate(self):
+        insts = [Instruction(Opcode.LOAD), Instruction(Opcode.FADD)]
+        assert count_instructions(insts, lambda i: i.is_memory) == 1
+
+
+class TestEnums:
+    def test_access_pattern_values(self):
+        assert AccessPattern("irregular") is AccessPattern.IRREGULAR
+
+    def test_schedule_values(self):
+        assert Schedule("dynamic") is Schedule.DYNAMIC

@@ -1,0 +1,156 @@
+"""Textual IR parsing and print/parse round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import (
+    AccessPattern,
+    Instruction,
+    Opcode,
+    Schedule,
+    format_module,
+)
+from repro.compiler.parser import IRParseError, parse_module
+from repro.programs import all_programs
+
+SAMPLE = """
+module saxpy {
+  func main() {
+    %v0 = call init
+    parallel_loop axpy [trip=1000, sched=dynamic, access=strided] {
+      %v1 = load %x
+      %v2 = fmul
+      store %y
+    }
+  }
+}
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        module = parse_module(SAMPLE)
+        assert module.name == "saxpy"
+        func = module.function("main")
+        assert func.serial[0].opcode is Opcode.CALL
+        loop = func.loops[0]
+        assert loop.name == "axpy"
+        assert loop.trip_count == 1000
+        assert loop.schedule is Schedule.DYNAMIC
+        assert loop.access_pattern is AccessPattern.STRIDED
+
+    def test_instruction_details(self):
+        module = parse_module(SAMPLE)
+        body = module.function("main").loops[0].body
+        assert body[0] == Instruction(Opcode.LOAD, ("%x",), "%v1")
+        assert body[2] == Instruction(Opcode.STORE, ("%y",))
+
+    def test_reduction_flag(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l [trip=2, reduction] {
+              reduce
+            }
+          }
+        }
+        """
+        loop = parse_module(text).function("f").loops[0]
+        assert loop.has_reduction
+
+    def test_nested_loops(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop outer [trip=4] {
+              fadd
+              parallel_loop inner [trip=8] {
+                load %a
+              }
+            }
+          }
+        }
+        """
+        outer = parse_module(text).function("f").loops[0]
+        assert outer.nested[0].trip_count == 8
+        assert outer.nested[0].body[0].opcode is Opcode.LOAD
+
+    def test_comments_and_blank_lines(self):
+        text = SAMPLE.replace(
+            "%v2 = fmul", "# a comment\n\n      %v2 = fmul",
+        )
+        assert parse_module(text).name == "saxpy"
+
+    def test_defaults_without_attrs(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l {
+              fadd
+            }
+          }
+        }
+        """
+        loop = parse_module(text).function("f").loops[0]
+        assert loop.trip_count == 1
+        assert loop.schedule is Schedule.STATIC
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,message", [
+        ("", "empty input"),
+        ("module m {", "unexpected end"),
+        ("func f() {\n}", "expected 'module"),
+        ("module m {\n  func f() {\n    zzz_bad_opcode\n  }\n}\n",
+         "unknown opcode"),
+        ("module m {\n  func f() {\n    parallel_loop l [zoom=3] {\n"
+         "      fadd\n    }\n  }\n}", "unknown loop attribute"),
+        ("module m {\n  func f() {\n    parallel_loop l [trip=x] {\n"
+         "      fadd\n    }\n  }\n}", "bad value"),
+        ("module m {\n}\nextra\n", "after module end"),
+        ("module m {\n  load %a\n}\n", "outside a function"),
+    ])
+    def test_parse_errors(self, text, message):
+        with pytest.raises(IRParseError, match=message):
+            parse_module(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_module("module m {\n  bogus!\n}")
+        except IRParseError as error:
+            assert error.line_number == 2
+        else:
+            pytest.fail("expected IRParseError")
+
+
+class TestRoundTrip:
+    def test_all_benchmark_modules_round_trip(self):
+        for program in all_programs():
+            text = format_module(program.module)
+            parsed = parse_module(text)
+            assert format_module(parsed) == text
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_modules_round_trip(self, data):
+        b = IRBuilder("fuzz")
+        emitters = ["load", "store", "fadd", "fmul", "cond_branch",
+                    "barrier", "atomic", "call", "cmp", "gep"]
+        n_loops = data.draw(st.integers(min_value=1, max_value=3))
+        with b.function("f"):
+            for _ in range(data.draw(st.integers(0, 3))):
+                b.call("setup")
+            for index in range(n_loops):
+                trip = data.draw(st.integers(1, 10_000))
+                schedule = data.draw(st.sampled_from(list(Schedule)))
+                access = data.draw(st.sampled_from(list(AccessPattern)))
+                reduction = data.draw(st.booleans())
+                with b.parallel_loop(f"l{index}", trip_count=trip,
+                                     schedule=schedule, access=access,
+                                     reduction=reduction):
+                    for _ in range(data.draw(st.integers(1, 8))):
+                        getattr(b, data.draw(st.sampled_from(emitters)))()
+        module = b.build()
+        text = format_module(module)
+        assert format_module(parse_module(text)) == text

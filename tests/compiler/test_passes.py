@@ -1,0 +1,136 @@
+"""Analysis pass results."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import AccessPattern, Schedule
+from repro.compiler.passes import (
+    PassManager,
+    analyze_loop,
+    analyze_module,
+)
+
+
+def build_module():
+    b = IRBuilder("m")
+    with b.function("f"):
+        b.call("init")
+        b.call("read_input")
+        with b.parallel_loop("hot", trip_count=10,
+                             access=AccessPattern.IRREGULAR,
+                             schedule=Schedule.DYNAMIC):
+            b.load()
+            b.load()
+            b.gep()
+            b.fadd()
+            b.fmul()
+            b.cond_branch()
+            b.store()
+            b.barrier()
+        with b.parallel_loop("cold", trip_count=2, reduction=True):
+            b.add()
+            b.reduce()
+    return b.build()
+
+
+class TestLoopAnalysis:
+    def analysis(self):
+        module = build_module()
+        return analyze_loop(module.function("f").loops[0])
+
+    def test_totals(self):
+        a = self.analysis()
+        assert a.total == 8 * 10
+        assert a.trip_count == 10
+
+    def test_memory_counts(self):
+        a = self.analysis()
+        assert a.loads == 20
+        assert a.stores == 10
+        assert a.memory_ops == 40  # loads + stores + gep
+
+    def test_branches_and_float(self):
+        a = self.analysis()
+        assert a.branches == 10
+        assert a.float_ops == 20
+
+    def test_sync(self):
+        a = self.analysis()
+        assert a.sync_ops == 10
+
+    def test_intensities(self):
+        a = self.analysis()
+        assert a.memory_intensity == pytest.approx(40 / 80)
+        assert a.branch_intensity == pytest.approx(10 / 80)
+        assert a.sync_intensity == pytest.approx(10 / 80)
+        assert a.arithmetic_intensity == pytest.approx(20 / 40)
+
+    def test_flags(self):
+        a = self.analysis()
+        assert a.access_pattern is AccessPattern.IRREGULAR
+        assert a.schedule is Schedule.DYNAMIC
+        assert not a.has_reduction
+
+    def test_zero_total_loop_intensities(self):
+        from repro.compiler.ir import ParallelLoop
+        from repro.compiler.passes import LoopAnalysis
+        a = LoopAnalysis(
+            name="x", total=0, memory_ops=0, loads=0, stores=0,
+            branches=0, float_ops=0, int_ops=0, sync_ops=0, calls=0,
+            depth=1, trip_count=1, schedule=Schedule.STATIC,
+            access_pattern=AccessPattern.REGULAR, has_reduction=False,
+        )
+        assert a.memory_intensity == 0.0
+        assert a.branch_intensity == 0.0
+
+
+class TestModuleAnalysis:
+    def test_serial_count(self):
+        analysis = analyze_module(build_module())
+        assert analysis.serial_instructions == 2
+
+    def test_total(self):
+        analysis = analyze_module(build_module())
+        assert analysis.total_instructions == 2 + 80 + 4
+
+    def test_parallel_fraction(self):
+        analysis = analyze_module(build_module())
+        assert analysis.parallel_fraction == pytest.approx(84 / 86)
+
+    def test_loops_indexed_by_name(self):
+        analysis = analyze_module(build_module())
+        assert set(analysis.loops) == {"hot", "cold"}
+
+    def test_duplicate_loop_names_rejected(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("same"):
+                b.fadd()
+        with b.function("g"):
+            with b.parallel_loop("same"):
+                b.fadd()
+        module = b.build()
+        with pytest.raises(ValueError, match="duplicate loop name"):
+            analyze_module(module)
+
+
+class TestPassManager:
+    def test_caches_by_identity(self):
+        module = build_module()
+        manager = PassManager()
+        first = manager.get(module)
+        assert manager.get(module) is first
+
+    def test_invalidate(self):
+        module = build_module()
+        manager = PassManager()
+        first = manager.get(module)
+        manager.invalidate(module)
+        assert manager.get(module) is not first
+
+    def test_analyze_many(self):
+        modules = [build_module(), build_module()]
+        modules[1].name = "other"
+        manager = PassManager()
+        result = manager.analyze_many(modules)
+        assert set(result) == {"m", "other"}

@@ -1,0 +1,160 @@
+"""Experts: the (w, m) model pair."""
+
+import numpy as np
+import pytest
+
+from repro.core.expert import Expert, train_expert
+from repro.core.features import NUM_FEATURES, FeatureSample
+from repro.core.regression import LinearModel
+
+
+def make_samples(n=60, seed=0):
+    """Synthetic samples with learnable structure: the best thread
+    count follows the processors feature, the next environment norm
+    follows the workload feature."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(n):
+        features = np.zeros(NUM_FEATURES)
+        features[0:3] = rng.uniform(0.0, 0.3, size=3)  # code
+        features[3] = rng.uniform(0, 64)  # workload threads
+        features[4] = rng.integers(4, 33)  # processors
+        features[5] = features[3] + rng.uniform(0, 4)  # runq
+        features[6] = features[3] * 0.9
+        features[7] = features[3] * 0.8
+        features[8] = rng.uniform(4, 20)
+        features[9] = rng.uniform(0.3, 2.0)
+        best = int(max(1, round(features[4] * 0.75)))
+        norm = 0.4 * features[3] + 5.0
+        samples.append(FeatureSample(
+            features=features, best_threads=best, speedup=2.0,
+            next_env_norm=norm, program="synthetic", platform="test",
+        ))
+    return samples
+
+
+@pytest.fixture(scope="module")
+def expert():
+    return train_expert("E-test", make_samples(), provenance="synthetic")
+
+
+class TestTrainExpert:
+    def test_learns_thread_relationship(self, expert):
+        features = make_samples(n=10, seed=99)
+        errors = []
+        for sample in features:
+            predicted = expert.predict_threads(sample.features, 32)
+            errors.append(abs(predicted - sample.best_threads))
+        assert np.mean(errors) < 3.0
+
+    def test_learns_env_relationship(self, expert):
+        for sample in make_samples(n=10, seed=123):
+            predicted = expert.predict_env_norm(sample.features)
+            assert predicted == pytest.approx(
+                sample.next_env_norm, rel=0.25,
+            )
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="no training samples"):
+            train_expert("E", [])
+
+    def test_provenance_kept(self, expert):
+        assert expert.provenance == "synthetic"
+
+    def test_envelope_recorded(self, expert):
+        assert expert.feature_low is not None
+        assert np.all(expert.feature_low <= expert.feature_high)
+
+
+class TestPredictionClamping:
+    def test_thread_clamped_to_range(self, expert):
+        features = make_samples(n=1)[0].features
+        assert 1 <= expert.predict_threads(features, 32) <= 32
+        assert expert.predict_threads(features, 2) <= 2
+
+    def test_env_norm_non_negative(self, expert):
+        crazy = np.full(NUM_FEATURES, -1e6)
+        assert expert.predict_env_norm(crazy) >= 0.0
+
+
+class TestEnvelope:
+    def test_clipping_bounds_extrapolation(self, expert):
+        inside = make_samples(n=1)[0].features
+        outside = inside.copy()
+        outside[3] = 10_000.0  # absurd workload count
+        clipped = expert.predict_threads(outside, 32)
+        edge = inside.copy()
+        edge[3] = expert.feature_high[3]
+        assert clipped == expert.predict_threads(edge, 32)
+
+    def test_without_envelope_extrapolates(self, expert):
+        raw = expert.without_envelope()
+        assert raw.feature_low is None
+        outside = make_samples(n=1)[0].features.copy()
+        outside[3] = 1000.0
+        # Unclipped prediction differs from the clipped one.
+        assert (raw.predict_env_norm(outside)
+                != expert.predict_env_norm(outside))
+
+    def test_with_envelope_margin(self, expert):
+        widened = expert.with_envelope_margin(0.5)
+        width = expert.feature_high - expert.feature_low
+        assert widened.feature_low == pytest.approx(
+            expert.feature_low - 0.5 * width
+        )
+        assert widened.feature_high == pytest.approx(
+            expert.feature_high + 0.5 * width
+        )
+
+    def test_with_envelope_margin_validation(self, expert):
+        with pytest.raises(ValueError):
+            expert.with_envelope_margin(-0.1)
+
+    def test_margin_on_unbounded_expert_is_noop(self, expert):
+        raw = expert.without_envelope()
+        assert raw.with_envelope_margin(0.5) is raw
+
+
+class TestDomainDistance:
+    def test_zero_inside(self, expert):
+        inside = make_samples(n=1)[0].features
+        assert expert.domain_distance(inside) == 0.0
+
+    def test_grows_with_displacement(self, expert):
+        inside = make_samples(n=1)[0].features
+        near = inside.copy()
+        near[4] = expert.feature_high[4] + 1.0
+        far = inside.copy()
+        far[4] = expert.feature_high[4] + 100.0
+        assert 0 < expert.domain_distance(near) < expert.domain_distance(far)
+
+    def test_unbounded_expert_has_zero_distance(self, expert):
+        raw = expert.without_envelope()
+        anything = np.full(NUM_FEATURES, 1e9)
+        assert raw.domain_distance(anything) == 0.0
+
+
+class TestEnvError:
+    def test_env_error(self, expert):
+        sample = make_samples(n=1)[0]
+        predicted = expert.predict_env_norm(sample.features)
+        assert expert.env_error(sample.features, predicted) == 0.0
+        assert expert.env_error(
+            sample.features, predicted + 2.0
+        ) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_wrong_dimension_rejected(self):
+        bad = LinearModel(weights=np.zeros(3), intercept=0.0)
+        good = LinearModel(weights=np.zeros(NUM_FEATURES), intercept=0.0)
+        with pytest.raises(ValueError, match="thread model"):
+            Expert(name="x", thread_model=bad, env_model=good)
+        with pytest.raises(ValueError, match="environment model"):
+            Expert(name="x", thread_model=good, env_model=bad)
+
+    def test_bad_envelope_shape(self):
+        good = LinearModel(weights=np.zeros(NUM_FEATURES), intercept=0.0)
+        with pytest.raises(ValueError, match="envelope"):
+            Expert(name="x", thread_model=good, env_model=good,
+                   feature_low=np.zeros(3), feature_high=np.zeros(3))

@@ -1,0 +1,152 @@
+"""Information-gain feature selection and feature impact."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.features import extract_raw_loop_features
+from repro.core.feature_selection import (
+    CANDIDATE_POOL_SIZE,
+    average_impact,
+    build_candidate_pool,
+    feature_impact,
+    information_gain,
+    rank_by_information_gain,
+    select_features,
+)
+from repro.core.features import FEATURE_NAMES
+from repro.machine.topology import XEON_L7555
+from repro.sched.scheduler import JobDemand, ProportionalShareScheduler
+from repro.sched.stats import SystemStatsSampler
+
+
+def env_raw(threads=8):
+    sched = ProportionalShareScheduler(XEON_L7555)
+    sampler = SystemStatsSampler(XEON_L7555)
+    demands = [JobDemand("a", threads)]
+    allocation = sched.allocate(demands, 32)
+    sampler.update(0.0, 0.1, demands, allocation)
+    return sampler.sample("a").raw
+
+
+def code_raw():
+    b = IRBuilder("m")
+    with b.function("f"):
+        with b.parallel_loop("l", trip_count=10):
+            b.load()
+            b.fadd()
+            b.cond_branch()
+            b.store()
+    module = b.build()
+    return extract_raw_loop_features(module, module.function("f").loops[0])
+
+
+class TestCandidatePool:
+    def test_exactly_134_features(self):
+        """Section 5.2.2: '134 features were collected'."""
+        pool = build_candidate_pool(code_raw(), env_raw(), env_raw(4))
+        assert len(pool) == CANDIDATE_POOL_SIZE == 134
+
+    def test_contains_lags_and_interactions(self):
+        pool = build_candidate_pool(code_raw(), env_raw(), env_raw(4))
+        assert "env.runq_sz.lag1" in pool
+        assert "code.instructions*env.ldavg_1" in pool
+
+    def test_lag_values_come_from_previous(self):
+        prev = env_raw(4)
+        pool = build_candidate_pool(code_raw(), env_raw(16), prev)
+        assert pool["env.workload_threads.lag1"] == prev[
+            "env.workload_threads"
+        ]
+
+
+class TestInformationGain:
+    def test_informative_feature_has_positive_gain(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=400)
+        feature = labels * 10.0 + rng.normal(scale=0.1, size=400)
+        assert information_gain(feature, labels) > 0.5
+
+    def test_random_feature_has_low_gain(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=400)
+        noise = rng.normal(size=400)
+        assert information_gain(noise, labels) < 0.2
+
+    def test_constant_feature_zero_gain(self):
+        labels = np.array([0, 1] * 50)
+        assert information_gain(np.ones(100), labels) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            information_gain(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            information_gain(np.zeros(0), np.zeros(0))
+
+
+class TestRanking:
+    def table(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(1, 5, size=300)
+        return {
+            "signal": labels * 2.0 + rng.normal(scale=0.05, size=300),
+            "noise": rng.normal(size=300),
+            "half": labels + rng.normal(scale=3.0, size=300),
+        }, labels
+
+    def test_rank_order(self):
+        table, labels = self.table()
+        ranked = rank_by_information_gain(table, labels)
+        assert ranked[0].name == "signal"
+        assert ranked[-1].name == "noise"
+
+    def test_select_top_k(self):
+        table, labels = self.table()
+        assert select_features(table, labels, k=1) == ["signal"]
+        assert len(select_features(table, labels, k=2)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_by_information_gain({}, np.zeros(3))
+        table, labels = self.table()
+        with pytest.raises(ValueError):
+            select_features(table, labels, k=0)
+
+
+class TestFeatureImpact:
+    def make_samples(self, n=80):
+        from repro.core.features import FeatureSample
+
+        rng = np.random.default_rng(3)
+        samples = []
+        for _ in range(n):
+            features = rng.uniform(0.1, 1.0, size=10)
+            features[4] = rng.integers(4, 33)  # processors drive labels
+            best = int(max(1, features[4] // 2))
+            samples.append(FeatureSample(
+                features=features, best_threads=best, speedup=1.5,
+                next_env_norm=3.0,
+            ))
+        return samples
+
+    def test_sums_to_one(self):
+        impact = feature_impact(self.make_samples())
+        assert sum(impact.values()) == pytest.approx(1.0)
+
+    def test_driving_feature_dominates(self):
+        impact = feature_impact(self.make_samples())
+        assert impact["processors"] == max(impact.values())
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            feature_impact(self.make_samples(n=5))
+
+    def test_average_impact(self):
+        impacts = [feature_impact(self.make_samples())] * 2
+        averaged = average_impact(impacts)
+        assert set(averaged) == set(FEATURE_NAMES)
+        assert sum(averaged.values()) == pytest.approx(1.0)
+
+    def test_average_impact_empty(self):
+        with pytest.raises(ValueError):
+            average_impact([])

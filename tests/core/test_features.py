@@ -1,0 +1,104 @@
+"""Canonical feature vector assembly."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.features import CodeFeatures
+from repro.core.features import (
+    ENV_OFFSET,
+    FEATURE_NAMES,
+    FeatureSample,
+    NUM_FEATURES,
+    env_norm_of,
+    env_part,
+    make_feature_vector,
+)
+from repro.sched.stats import EnvironmentSample, environment_norm
+
+
+def sample_env():
+    return EnvironmentSample(
+        time=0.0, workload_threads=4, processors=8, runq_sz=16,
+        ldavg_1=4.76, ldavg_5=2.17, cached_memory=1.11,
+        pages_free_rate=1.65,
+    )
+
+
+class TestVector:
+    def test_dimension_is_ten(self):
+        assert NUM_FEATURES == 10
+        assert len(FEATURE_NAMES) == 10
+        assert ENV_OFFSET == 3
+
+    def test_table_1_order(self):
+        assert FEATURE_NAMES == (
+            "load_store_count", "instructions", "branches",
+            "workload_threads", "processors", "runq_sz",
+            "ldavg_1", "ldavg_5", "cached_memory", "pages_free_rate",
+        )
+
+    def test_assembly_matches_section_5_4_example(self):
+        """The Section 5.4 example vector f_1."""
+        code = CodeFeatures(0.032, 0.026, 0.2)
+        vec = make_feature_vector(code, sample_env())
+        assert vec.tolist() == pytest.approx(
+            [0.032, 0.026, 0.2, 4, 8, 16, 4.76, 2.17, 1.11, 1.65]
+        )
+
+    def test_env_part(self):
+        code = CodeFeatures(0.1, 0.2, 0.3)
+        vec = make_feature_vector(code, sample_env())
+        assert env_part(vec).tolist() == [4, 8, 16, 4.76, 2.17, 1.11, 1.65]
+
+    def test_env_part_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            env_part(np.zeros(7))
+
+    def test_env_norm_of(self):
+        code = CodeFeatures(0.1, 0.2, 0.3)
+        env = sample_env()
+        vec = make_feature_vector(code, env)
+        assert env_norm_of(vec) == pytest.approx(env.norm)
+
+    def test_env_norm_matches_rms(self):
+        env = sample_env()
+        assert env.norm == pytest.approx(
+            environment_norm(env.as_vector())
+        )
+
+
+class TestFeatureSample:
+    def good(self, **overrides):
+        kwargs = dict(
+            features=np.arange(10, dtype=float),
+            best_threads=8,
+            speedup=2.0,
+            next_env_norm=5.0,
+        )
+        kwargs.update(overrides)
+        return FeatureSample(**kwargs)
+
+    def test_valid(self):
+        sample = self.good()
+        assert sample.best_threads == 8
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            self.good(features=np.zeros(7))
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            self.good(best_threads=0)
+
+    def test_bad_speedup(self):
+        with pytest.raises(ValueError):
+            self.good(speedup=0.0)
+
+    def test_bad_norm(self):
+        with pytest.raises(ValueError):
+            self.good(next_env_norm=-1.0)
+
+    def test_metadata(self):
+        sample = self.good()
+        assert sample.program == ""
+        assert sample.platform == ""

@@ -1,0 +1,104 @@
+"""Hierarchical mixture-of-experts gate."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import (
+    HierarchicalSelector,
+    build_hierarchical_selector,
+    platform_groups,
+)
+from tests.core.test_selector import DIM, errors_for, regime_point
+
+
+class TestStructure:
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalSelector(groups=[], dim=DIM)
+        with pytest.raises(ValueError):
+            HierarchicalSelector(groups=[[0], []], dim=DIM)
+        with pytest.raises(ValueError):
+            HierarchicalSelector(groups=[[0, 1], [1]], dim=DIM)
+        with pytest.raises(ValueError):
+            HierarchicalSelector(groups=[[0, 2]], dim=DIM)
+
+    def test_num_experts(self):
+        selector = HierarchicalSelector(groups=[[0, 1], [2, 3]], dim=DIM)
+        assert selector.num_experts == 4
+
+    def test_error_count_check(self):
+        selector = HierarchicalSelector(groups=[[0, 1], [2]], dim=DIM)
+        with pytest.raises(ValueError):
+            selector.update(np.zeros(DIM), [1.0, 2.0])
+
+
+class TestLearning:
+    def test_selection_in_range(self):
+        selector = HierarchicalSelector(groups=[[0, 1], [2, 3]], dim=DIM)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            choice = selector.select(rng.normal(size=DIM))
+            assert 0 <= choice < 4
+
+    def test_learns_group_routing(self):
+        """Regime 0 favours group 0's experts; regime 1 group 1's."""
+        selector = HierarchicalSelector(groups=[[0, 1], [2, 3]], dim=DIM)
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            best = 0 if regime == 0 else 2
+            errors = [5.0] * 4
+            errors[best] = 1.0
+            selector.update(x, errors)
+        correct = 0
+        for _ in range(100):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            choice = selector.select(x)
+            if choice in ((0, 1) if regime == 0 else (2, 3)):
+                correct += 1
+        assert correct >= 80
+
+    def test_inner_gate_separates_within_group(self):
+        selector = HierarchicalSelector(groups=[[0, 1]], dim=DIM)
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            selector.update(x, errors_for(regime))
+        correct = sum(
+            1 for _ in range(100)
+            if selector.select(
+                regime_point(rng, r := int(rng.integers(2)))
+            ) == r
+        )
+        assert correct >= 80
+
+    def test_reset(self):
+        selector = HierarchicalSelector(groups=[[0, 1], [2]], dim=DIM)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            selector.update(regime_point(rng, 1), [5.0, 5.0, 1.0])
+        selector.reset()
+        assert selector.stats.updates == 0
+
+
+class TestBundleHelpers:
+    def test_platform_groups(self, tiny_bundle):
+        groups = platform_groups(tiny_bundle)
+        flat = sorted(i for group in groups for i in group)
+        assert flat == list(range(len(tiny_bundle.experts)))
+
+    def test_build_and_use_with_mixture(self, tiny_bundle):
+        from repro.core.features import NUM_FEATURES
+        from repro.core.policies import MixturePolicy
+        from tests.core.test_policies import make_ctx
+
+        selector = build_hierarchical_selector(
+            tiny_bundle, dim=NUM_FEATURES,
+        )
+        policy = MixturePolicy(tiny_bundle.experts, selector=selector)
+        for t in range(10):
+            n = policy.select(make_ctx(time=float(t)))
+            assert 1 <= n <= 32

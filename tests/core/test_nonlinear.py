@@ -1,0 +1,134 @@
+"""Nonlinear (kernel-machine) experts."""
+
+import numpy as np
+import pytest
+
+from repro.core.nonlinear import (
+    NonlinearExpert,
+    RBFFeatureMap,
+    build_nonlinear_experts,
+    fit_nonlinear,
+    train_nonlinear_expert,
+)
+from tests.core.test_expert import make_samples
+
+
+class TestRBFFeatureMap:
+    def data(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(50, 4))
+
+    def test_shape(self):
+        fmap = RBFFeatureMap.fit(self.data(), num_features=32)
+        lifted = fmap.transform(self.data())
+        assert lifted.shape == (50, 32)
+
+    def test_deterministic(self):
+        X = self.data()
+        a = RBFFeatureMap.fit(X, seed=3).transform(X)
+        b = RBFFeatureMap.fit(X, seed=3).transform(X)
+        assert np.allclose(a, b)
+
+    def test_seed_changes_features(self):
+        X = self.data()
+        a = RBFFeatureMap.fit(X, seed=3).transform(X)
+        b = RBFFeatureMap.fit(X, seed=4).transform(X)
+        assert not np.allclose(a, b)
+
+    def test_bounded(self):
+        X = self.data()
+        fmap = RBFFeatureMap.fit(X, num_features=64)
+        lifted = fmap.transform(X * 100)
+        bound = np.sqrt(2.0 / 64)
+        assert np.all(np.abs(lifted) <= bound + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBFFeatureMap.fit(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            RBFFeatureMap.fit(np.zeros((5, 3)), num_features=0)
+        with pytest.raises(ValueError):
+            RBFFeatureMap.fit(np.zeros((5, 3)), gamma=0.0)
+
+
+class TestFitNonlinear:
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = fit_nonlinear(X, y, num_features=300, gamma=1.0,
+                              ridge=1e-3)
+        predictions = model.predict(X)
+        residual = np.mean((predictions - y) ** 2)
+        assert residual < 0.05
+
+    def test_beats_linear_on_curved_target(self):
+        from repro.core.regression import fit_least_squares
+
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = X[:, 0] ** 2
+        nonlinear = fit_nonlinear(X, y, num_features=200, ridge=1e-3)
+        linear = fit_least_squares(X, y)
+        nl_err = np.mean((nonlinear.predict(X) - y) ** 2)
+        lin_err = np.mean((linear.predict(X) - y) ** 2)
+        assert nl_err < lin_err / 5
+
+
+class TestNonlinearExpert:
+    @pytest.fixture(scope="class")
+    def expert(self):
+        return train_nonlinear_expert(
+            "N-test", make_samples(), provenance="synthetic",
+        )
+
+    def test_predictions_in_range(self, expert):
+        for sample in make_samples(n=10, seed=9):
+            n = expert.predict_threads(sample.features, 32)
+            assert 1 <= n <= 32
+            assert expert.predict_env_norm(sample.features) >= 0.0
+
+    def test_learns_env_relationship(self, expert):
+        errors = [
+            abs(expert.predict_env_norm(s.features) - s.next_env_norm)
+            for s in make_samples(n=20, seed=11)
+        ]
+        assert np.mean(errors) < 5.0
+
+    def test_domain_distance(self, expert):
+        inside = make_samples(n=1)[0].features
+        assert expert.domain_distance(inside) == 0.0
+        outside = inside.copy()
+        outside[4] = 1e6
+        assert expert.domain_distance(outside) > 0.0
+
+    def test_duck_type_compatible_with_mixture(self, expert):
+        from repro.core.policies import MixturePolicy
+        from tests.core.test_policies import make_ctx
+
+        policy = MixturePolicy((expert, expert))
+        n = policy.select(make_ctx())
+        assert 1 <= n <= 32
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            train_nonlinear_expert("N", [])
+
+
+class TestBuildNonlinearExperts:
+    def test_same_slices_as_linear(self, tiny_config, tiny_bundle):
+        experts = build_nonlinear_experts(tiny_config)
+        assert len(experts) == len(tiny_bundle.experts)
+        assert {e.provenance for e in experts} == {
+            e.provenance for e in tiny_bundle.experts
+        }
+
+    def test_experts_predict(self, tiny_config):
+        from tests.core.test_policies import make_ctx
+
+        experts = build_nonlinear_experts(tiny_config)
+        ctx = make_ctx()
+        for expert in experts:
+            assert 1 <= expert.predict_threads(
+                ctx.feature_vector(), 32,
+            ) <= 32

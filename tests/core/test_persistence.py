@@ -1,0 +1,97 @@
+"""JSON expert persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    bundle_from_dict,
+    bundle_to_dict,
+    expert_from_dict,
+    expert_to_dict,
+    load_bundle,
+    save_bundle,
+)
+from tests.core.test_expert import make_samples
+from repro.core.expert import train_expert
+
+
+class TestExpertRoundTrip:
+    def test_predictions_preserved(self):
+        expert = train_expert("E-x", make_samples(), provenance="p")
+        clone = expert_from_dict(expert_to_dict(expert))
+        for sample in make_samples(n=10, seed=7):
+            assert clone.predict_threads(
+                sample.features, 32,
+            ) == expert.predict_threads(sample.features, 32)
+            assert clone.predict_env_norm(
+                sample.features,
+            ) == pytest.approx(expert.predict_env_norm(sample.features))
+
+    def test_envelope_preserved(self):
+        expert = train_expert("E-x", make_samples())
+        clone = expert_from_dict(expert_to_dict(expert))
+        assert np.allclose(clone.feature_low, expert.feature_low)
+        assert np.allclose(clone.feature_high, expert.feature_high)
+
+    def test_unbounded_expert(self):
+        expert = train_expert("E-x", make_samples()).without_envelope()
+        clone = expert_from_dict(expert_to_dict(expert))
+        assert clone.feature_low is None
+
+
+class TestBundleRoundTrip:
+    def test_file_round_trip(self, tiny_bundle, tmp_path):
+        path = save_bundle(tiny_bundle, tmp_path / "bundle.json")
+        loaded = load_bundle(path)
+        assert len(loaded.experts) == len(tiny_bundle.experts)
+        assert loaded.config == tiny_bundle.config
+        assert loaded.samples_per_expert == tiny_bundle.samples_per_expert
+        for original, clone in zip(tiny_bundle.experts, loaded.experts):
+            assert clone.name == original.name
+            assert clone.provenance == original.provenance
+            assert np.allclose(
+                clone.thread_model.weights,
+                original.thread_model.weights,
+            )
+
+    def test_scalability_preserved(self, tiny_bundle, tmp_path):
+        path = save_bundle(tiny_bundle, tmp_path / "b.json")
+        loaded = load_bundle(path)
+        for record in loaded.scalability:
+            original = tiny_bundle.scalability_of(
+                record.program, record.platform,
+            )
+            assert record.speedup_at_p == pytest.approx(
+                original.speedup_at_p,
+            )
+
+    def test_loaded_bundle_is_usable(self, tiny_bundle, tmp_path):
+        from repro.core.policies import MixturePolicy
+        from tests.core.test_policies import make_ctx
+
+        loaded = load_bundle(save_bundle(tiny_bundle, tmp_path / "b.json"))
+        policy = MixturePolicy(loaded.experts)
+        assert 1 <= policy.select(make_ctx()) <= 32
+
+    def test_json_is_human_readable(self, tiny_bundle, tmp_path):
+        path = save_bundle(tiny_bundle, tmp_path / "b.json")
+        data = json.loads(path.read_text())
+        assert data["format_version"] == FORMAT_VERSION
+        assert data["feature_names"][0] == "load_store_count"
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, tiny_bundle):
+        data = bundle_to_dict(tiny_bundle)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            bundle_from_dict(data)
+
+    def test_feature_mismatch_rejected(self, tiny_bundle):
+        data = bundle_to_dict(tiny_bundle)
+        data["feature_names"] = ["other"]
+        with pytest.raises(ValueError, match="feature vector"):
+            bundle_from_dict(data)

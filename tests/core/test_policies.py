@@ -1,0 +1,276 @@
+"""Thread-selection policies (unit level)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.features import CodeFeatures
+from repro.core.policies import (
+    AnalyticPolicy,
+    DefaultPolicy,
+    FixedPolicy,
+    MixturePolicy,
+    MonolithicPolicy,
+    OfflinePolicy,
+    OnlineHillClimbPolicy,
+    RecordingPolicy,
+    SingleExpertPolicy,
+)
+from repro.core.policies.base import PolicyContext, RegionReport
+from repro.sched.stats import EnvironmentSample
+
+
+def make_ctx(time=0.0, loop="loop", available=32, workload=8.0,
+             max_threads=32):
+    env = EnvironmentSample(
+        time=time, workload_threads=workload, processors=available,
+        runq_sz=workload, ldavg_1=workload, ldavg_5=workload,
+        cached_memory=8.0, pages_free_rate=1.0,
+    )
+    return PolicyContext(
+        time=time,
+        loop_name=loop,
+        code=CodeFeatures(0.1, 0.3, 0.05),
+        env=env,
+        available_processors=available,
+        max_threads=max_threads,
+    )
+
+
+def report(time, loop="loop", threads=8, elapsed=1.0, work=8.0):
+    return RegionReport(time=time, loop_name=loop, threads=threads,
+                        elapsed=elapsed, work=work)
+
+
+class TestPolicyContext:
+    def test_feature_vector(self):
+        vec = make_ctx().feature_vector()
+        assert vec.shape == (10,)
+        assert vec[4] == 32.0
+
+    def test_clamp(self):
+        ctx = make_ctx(max_threads=16)
+        assert ctx.clamp(100) == 16
+        assert ctx.clamp(-5) == 1
+        assert ctx.clamp(7.6) == 8
+
+    def test_snap_to_available(self):
+        ctx = make_ctx(available=32)
+        assert ctx.snap_to_available(29) == 32
+        assert ctx.snap_to_available(8) == 8
+        low = make_ctx(available=8)
+        assert low.snap_to_available(7) == 8
+        assert low.snap_to_available(20) == 20  # above is untouched
+
+
+class TestDefaultPolicy:
+    def test_matches_available(self):
+        policy = DefaultPolicy()
+        assert policy.select(make_ctx(available=20)) == 20
+        assert policy.select(make_ctx(available=32)) == 32
+
+    def test_clamped_to_max(self):
+        assert DefaultPolicy().select(
+            make_ctx(available=32, max_threads=16)
+        ) == 16
+
+
+class TestFixedPolicy:
+    def test_fixed(self):
+        assert FixedPolicy(6).select(make_ctx()) == 6
+
+    def test_clamped(self):
+        assert FixedPolicy(64).select(make_ctx(max_threads=32)) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPolicy(0)
+
+
+class TestRecordingPolicy:
+    def test_records_features_and_choice(self):
+        recorder = RecordingPolicy(FixedPolicy(4))
+        recorder.select(make_ctx(time=1.0))
+        recorder.select(make_ctx(time=2.0))
+        assert len(recorder.records) == 2
+        assert recorder.records[0].threads == 4
+        assert recorder.records[0].features.shape == (10,)
+
+    def test_reset_keeps_records(self):
+        recorder = RecordingPolicy(FixedPolicy(4))
+        recorder.select(make_ctx())
+        recorder.reset()
+        assert len(recorder.records) == 1
+
+
+class TestOnlineHillClimb:
+    def test_starts_at_fraction(self):
+        policy = OnlineHillClimbPolicy(start_fraction=0.5)
+        assert policy.select(make_ctx(available=32)) == 16
+
+    def test_climbs_on_improvement(self):
+        policy = OnlineHillClimbPolicy(step=2)
+        first = policy.select(make_ctx())
+        policy.observe(report(1.0, threads=first, elapsed=1.0))
+        second = policy.select(make_ctx(time=1.0))
+        assert second == first + 2
+
+    def test_reverses_on_regression(self):
+        policy = OnlineHillClimbPolicy(step=2)
+        n0 = policy.select(make_ctx())
+        policy.observe(report(1.0, threads=n0, elapsed=1.0, work=8.0))
+        n1 = policy.select(make_ctx(time=1.0))
+        # Much slower now: direction should flip on the next move.
+        policy.observe(report(2.0, threads=n1, elapsed=4.0, work=8.0))
+        n2 = policy.select(make_ctx(time=2.0))
+        assert n2 < n1
+
+    def test_per_loop_state(self):
+        policy = OnlineHillClimbPolicy()
+        a = policy.select(make_ctx(loop="a"))
+        policy.observe(report(1.0, loop="a", threads=a))
+        again_a = policy.select(make_ctx(loop="a", time=1.0))
+        b = policy.select(make_ctx(loop="b", time=1.0))
+        assert again_a != a or b == a  # "b" starts fresh
+        assert b == 16
+
+    def test_stays_in_bounds(self):
+        policy = OnlineHillClimbPolicy(step=8)
+        n = policy.select(make_ctx())
+        for t in range(1, 30):
+            policy.observe(report(float(t), threads=n, elapsed=1.0))
+            n = policy.select(make_ctx(time=float(t)))
+            assert 1 <= n <= 32
+
+    def test_reset(self):
+        policy = OnlineHillClimbPolicy()
+        policy.select(make_ctx())
+        policy.reset()
+        assert policy.select(make_ctx()) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineHillClimbPolicy(step=0)
+        with pytest.raises(ValueError):
+            OnlineHillClimbPolicy(start_fraction=0.0)
+        with pytest.raises(ValueError):
+            OnlineHillClimbPolicy(tolerance=-1.0)
+
+
+class TestAnalyticPolicy:
+    def test_explores_then_exploits(self):
+        policy = AnalyticPolicy(explore_window=1.0, explore_period=50.0)
+        probe_a = policy.select(make_ctx(time=0.0))
+        # Feed it measurements during exploration.
+        policy.observe(report(0.5, threads=probe_a, elapsed=1.0,
+                              work=probe_a * 0.9))
+        probe_b = policy.select(make_ctx(time=1.1))
+        policy.observe(report(1.5, threads=probe_b, elapsed=1.0,
+                              work=probe_b * 0.7))
+        chosen = policy.select(make_ctx(time=2.3))
+        assert 1 <= chosen <= 32
+
+    def test_probes_differ(self):
+        policy = AnalyticPolicy(explore_window=1.0)
+        a = policy.select(make_ctx(time=0.0))
+        b = policy.select(make_ctx(time=1.5))
+        assert a != b
+
+    def test_probes_bounded_below(self):
+        policy = AnalyticPolicy(seed=3)
+        for trial in range(20):
+            policy.reset()
+            probe = policy.select(make_ctx(time=0.0, available=32))
+            assert probe >= 8  # P/4 lower bound
+
+    def test_periodic_reexploration(self):
+        policy = AnalyticPolicy(explore_window=0.5, explore_period=5.0)
+        # Walk it into exploit.
+        for t, n in ((0.0, None), (0.6, None), (1.2, None)):
+            chosen = policy.select(make_ctx(time=t))
+            policy.observe(report(t + 0.1, threads=chosen))
+        exploit = policy.select(make_ctx(time=2.0))
+        # After the period it probes again (may differ from exploit n).
+        later = policy.select(make_ctx(time=30.0))
+        assert 1 <= later <= 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticPolicy(explore_window=0.0)
+        with pytest.raises(ValueError):
+            AnalyticPolicy(deviation=1.5)
+
+    def test_reset(self):
+        policy = AnalyticPolicy()
+        policy.select(make_ctx(time=0.0))
+        policy.reset()
+        assert policy._phase_started is None
+
+
+class TestModelPolicies:
+    def test_single_expert_policy(self, tiny_bundle):
+        expert = tiny_bundle.experts[0]
+        policy = SingleExpertPolicy(expert)
+        n = policy.select(make_ctx())
+        assert 1 <= n <= 32
+        assert policy.name == expert.name
+
+    def test_offline_and_monolithic_names(self, tiny_mono):
+        expert = tiny_mono.experts[0]
+        assert OfflinePolicy(expert).name == "offline"
+        assert MonolithicPolicy(expert).name == "monolithic"
+
+
+class TestMixturePolicy:
+    def test_decisions_logged(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        policy.select(make_ctx(time=0.0))
+        policy.select(make_ctx(time=1.0))
+        assert len(policy.decisions) == 2
+        first = policy.decisions[0]
+        assert first.observed_next_norm is not None  # scored by 2nd call
+        assert policy.decisions[1].observed_next_norm is None
+        assert len(first.predicted_norms) == len(tiny_bundle.experts)
+        assert len(first.predicted_threads) == len(tiny_bundle.experts)
+
+    def test_selection_counts(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        for t in range(10):
+            policy.select(make_ctx(time=float(t)))
+        counts = policy.selection_counts()
+        assert sum(counts) == 10
+
+    def test_accuracies_in_unit_interval(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        for t in range(20):
+            policy.select(make_ctx(time=float(t),
+                                   workload=8.0 + (t % 5)))
+        for value in policy.env_prediction_accuracies():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= policy.mixture_accuracy() <= 1.0
+
+    def test_reset_clears_state(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        policy.select(make_ctx())
+        policy.reset()
+        assert policy.decisions == []
+
+    def test_thread_choice_in_range(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        for workload in (0.0, 16.0, 64.0, 200.0):
+            n = policy.select(make_ctx(workload=workload))
+            assert 1 <= n <= 32
+
+    def test_empty_experts_rejected(self):
+        with pytest.raises(ValueError):
+            MixturePolicy(())
+
+    def test_negative_domain_weight_rejected(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            MixturePolicy(tiny_bundle.experts, domain_weight=-1.0)
+
+    def test_no_accuracy_without_decisions(self, tiny_bundle):
+        policy = MixturePolicy(tiny_bundle.experts)
+        assert policy.mixture_accuracy() == 0.0
+        assert policy.env_prediction_accuracies() == (
+            [0.0] * len(tiny_bundle.experts)
+        )

@@ -1,0 +1,145 @@
+"""Least-squares regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regression import (
+    LinearModel,
+    accuracy_within,
+    fit_least_squares,
+    leave_one_group_out,
+    mean_absolute_error,
+)
+
+
+def linear_data(weights, intercept, n=50, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, len(weights)))
+    y = X @ np.asarray(weights) + intercept
+    if noise:
+        y = y + rng.normal(scale=noise, size=n)
+    return X, y
+
+
+class TestLinearModel:
+    def test_predict_one(self):
+        model = LinearModel(weights=np.array([2.0, -1.0]), intercept=0.5)
+        assert model.predict_one(np.array([1.0, 1.0])) == pytest.approx(1.5)
+
+    def test_predict_matrix(self):
+        model = LinearModel(weights=np.array([1.0]), intercept=0.0)
+        out = model.predict(np.array([[1.0], [2.0]]))
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_predict_one_shape_check(self):
+        model = LinearModel(weights=np.array([1.0, 2.0]), intercept=0.0)
+        with pytest.raises(ValueError):
+            model.predict_one(np.zeros(3))
+
+    def test_feature_names_length_check(self):
+        with pytest.raises(ValueError):
+            LinearModel(weights=np.array([1.0]), intercept=0.0,
+                        feature_names=("a", "b"))
+
+    def test_dim(self):
+        assert LinearModel(np.zeros(4), 0.0).dim == 4
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        X, y = linear_data([3.0, -2.0, 0.5], intercept=1.0)
+        model = fit_least_squares(X, y)
+        assert model.weights == pytest.approx([3.0, -2.0, 0.5], abs=1e-6)
+        assert model.intercept == pytest.approx(1.0, abs=1e-6)
+
+    def test_standardized_recovery(self):
+        X, y = linear_data([3.0, -2.0], intercept=1.0)
+        model = fit_least_squares(X, y, standardize=True, ridge=1e-9)
+        assert model.weights == pytest.approx([3.0, -2.0], abs=1e-5)
+        assert model.intercept == pytest.approx(1.0, abs=1e-5)
+
+    def test_ridge_shrinks(self):
+        X, y = linear_data([5.0], intercept=0.0, n=20)
+        loose = fit_least_squares(X, y, ridge=0.0)
+        tight = fit_least_squares(X, y, ridge=100.0, standardize=True)
+        assert abs(tight.weights[0]) < abs(loose.weights[0])
+
+    def test_standardize_handles_constant_feature(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        y = 2.0 * X[:, 1]
+        model = fit_least_squares(X, y, standardize=True)
+        assert model.predict_one(np.array([1.0, 5.0])) == pytest.approx(
+            10.0, rel=1e-3,
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_least_squares(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            fit_least_squares(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            fit_least_squares(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            fit_least_squares(np.zeros((5, 2)), np.zeros(5), ridge=-1.0)
+
+    @given(
+        weights=st.lists(st.floats(min_value=-5, max_value=5),
+                         min_size=1, max_size=4),
+        intercept=st.floats(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_recovery(self, weights, intercept):
+        X, y = linear_data(weights, intercept, n=40)
+        model = fit_least_squares(X, y)
+        predictions = model.predict(X)
+        assert mean_absolute_error(predictions, y) < 1e-6
+
+
+class TestLeaveOneGroupOut:
+    def test_scores_per_group(self):
+        X, y = linear_data([2.0], intercept=0.0, n=30)
+        groups = ["a"] * 10 + ["b"] * 10 + ["c"] * 10
+        scores = leave_one_group_out(
+            X, y, groups, scorer=accuracy_within(0.5),
+        )
+        assert set(scores) == {"a", "b", "c"}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_generalizes_on_clean_data(self):
+        X, y = linear_data([1.5, -0.5], intercept=2.0, n=60)
+        groups = (["a"] * 20) + (["b"] * 20) + (["c"] * 20)
+        scores = leave_one_group_out(
+            X, y, groups, scorer=accuracy_within(0.25),
+        )
+        assert min(scores.values()) > 0.9
+
+    def test_needs_two_groups(self):
+        X, y = linear_data([1.0], 0.0, n=10)
+        with pytest.raises(ValueError):
+            leave_one_group_out(X, y, ["a"] * 10,
+                                scorer=accuracy_within(0.1))
+
+    def test_group_length_check(self):
+        X, y = linear_data([1.0], 0.0, n=10)
+        with pytest.raises(ValueError):
+            leave_one_group_out(X, y, ["a"] * 9,
+                                scorer=accuracy_within(0.1))
+
+
+class TestScorers:
+    def test_accuracy_within(self):
+        scorer = accuracy_within(0.1)
+        predicted = np.array([1.0, 2.0, 10.0])
+        actual = np.array([1.05, 2.0, 5.0])
+        assert scorer(predicted, actual) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_within(0.0)
+
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 3.0]), np.array([2.0, 1.0])
+        ) == pytest.approx(1.5)

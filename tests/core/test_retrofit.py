@@ -1,0 +1,125 @@
+"""Online retrofitting of environment predictors (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import NUM_FEATURES, env_norm_of
+from repro.core.retrofit import RetrofitExpert
+from tests.core.test_expert import make_samples
+
+
+def fair_share(features, max_threads):
+    return max(1, round(features[4] - features[3] / 2.0))
+
+
+@pytest.fixture
+def expert():
+    return RetrofitExpert("E-hand", fair_share, refit_every=20)
+
+
+class TestThreadRule:
+    def test_rule_applied_and_clamped(self, expert):
+        features = np.zeros(NUM_FEATURES)
+        features[4] = 16  # processors
+        features[3] = 8  # workload
+        assert expert.predict_threads(features, 32) == 12
+        assert expert.predict_threads(features, 4) == 4
+        features[3] = 1000
+        assert expert.predict_threads(features, 32) == 1
+
+
+class TestPersistencePrior:
+    def test_predicts_no_change_before_fit(self, expert):
+        sample = make_samples(n=1)[0]
+        assert not expert.fitted
+        assert expert.predict_env_norm(sample.features) == pytest.approx(
+            env_norm_of(sample.features)
+        )
+
+    def test_no_domain_penalty_before_fit(self, expert):
+        assert expert.domain_distance(np.full(NUM_FEATURES, 1e9)) == 0.0
+
+
+class TestOnlineLearning:
+    def test_fits_after_enough_observations(self, expert):
+        for sample in make_samples(n=40):
+            expert.record_observation(
+                sample.features, sample.next_env_norm,
+            )
+        assert expert.fitted
+        assert expert.observations == 40
+
+    def test_fitted_model_beats_persistence(self, expert):
+        train = make_samples(n=200, seed=1)
+        for sample in train:
+            expert.record_observation(
+                sample.features, sample.next_env_norm,
+            )
+        test = make_samples(n=40, seed=2)
+        fitted_err = np.mean([
+            expert.env_error(s.features, s.next_env_norm) for s in test
+        ])
+        persistence_err = np.mean([
+            abs(env_norm_of(s.features) - s.next_env_norm)
+            for s in test
+        ])
+        assert fitted_err < persistence_err
+
+    def test_observation_window_bounded(self):
+        expert = RetrofitExpert("E", fair_share, refit_every=10,
+                                max_observations=30)
+        for sample in make_samples(n=100):
+            expert.record_observation(
+                sample.features, sample.next_env_norm,
+            )
+        assert expert.observations == 30
+
+    def test_observation_validation(self, expert):
+        with pytest.raises(ValueError):
+            expert.record_observation(np.zeros(3), 1.0)
+        with pytest.raises(ValueError):
+            expert.record_observation(np.zeros(NUM_FEATURES), -1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RetrofitExpert("E", fair_share, refit_every=1)
+        with pytest.raises(ValueError):
+            RetrofitExpert("E", fair_share, refit_every=10,
+                           max_observations=5)
+
+    def test_repr_reflects_state(self, expert):
+        assert "persistence" in repr(expert)
+        for sample in make_samples(n=20):
+            expert.record_observation(
+                sample.features, sample.next_env_norm,
+            )
+        assert "fitted" in repr(expert)
+
+
+class TestMixtureIntegration:
+    def test_mixture_feeds_observations(self, tiny_bundle):
+        from repro.core.policies import MixturePolicy
+        from tests.core.test_policies import make_ctx
+
+        retrofit = RetrofitExpert("E-hand", fair_share, refit_every=5)
+        policy = MixturePolicy(tiny_bundle.experts + (retrofit,))
+        for t in range(12):
+            policy.select(make_ctx(time=float(t), workload=8.0 + t))
+        assert retrofit.observations == 11  # every scored decision
+        assert retrofit.fitted
+
+    def test_end_to_end_run(self, tiny_bundle):
+        from repro.core.policies import MixturePolicy
+        from repro.experiments.runner import run_target
+        from repro.experiments.scenarios import SMALL_LOW
+        from repro.workload.spec import workload_sets
+
+        retrofit = RetrofitExpert("E-hand", fair_share, refit_every=10)
+        policy = MixturePolicy(tiny_bundle.experts + (retrofit,))
+        outcome = run_target(
+            "cg", policy, SMALL_LOW,
+            workload_set=workload_sets("small")[0],
+            iterations_scale=0.08,
+        )
+        assert outcome.target_time > 0
+        assert retrofit.observations > 10

@@ -1,0 +1,209 @@
+"""Expert selectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selector import (
+    AccuracyEMASelector,
+    FrozenEvenSelector,
+    HyperplaneSelector,
+    RandomSelector,
+)
+
+DIM = 10
+
+
+def regime_point(rng, regime):
+    """Two linearly-separable regimes along feature 4."""
+    x = rng.normal(size=DIM)
+    x[4] = 30.0 + rng.normal() if regime else 5.0 + rng.normal()
+    return x
+
+
+def errors_for(regime, num_experts=2):
+    """Expert ``regime`` is accurate in its regime, others are not."""
+    errors = [5.0] * num_experts
+    errors[regime] = 1.0
+    return errors
+
+
+class TestHyperplaneSelector:
+    def test_learns_separable_regimes(self):
+        rng = np.random.default_rng(0)
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        for _ in range(300):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            selector.update(x, errors_for(regime))
+        correct = 0
+        for _ in range(100):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            if selector.select(x) == regime:
+                correct += 1
+        assert correct >= 85
+
+    def test_initial_partition_even(self):
+        selector = HyperplaneSelector(num_experts=4, dim=DIM)
+        x = np.zeros(DIM)
+        picks = [selector.select(x) for _ in range(8)]
+        assert sorted(set(picks)) == [0, 1, 2, 3]
+
+    def test_margin_suppresses_noise_updates(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM,
+                                      margin=0.2)
+        rng = np.random.default_rng(1)
+        x = regime_point(rng, 0)
+        selector.update(x, [1.0, 5.0])
+        before = selector.hyperplanes.copy()
+        # Near-tie: 4.9 vs 5.0 is inside the 20% margin.
+        selector.update(x, [5.0, 4.9])
+        assert np.allclose(selector.hyperplanes, before)
+
+    def test_stats_track_mispredictions(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            regime = int(rng.integers(2))
+            selector.update(regime_point(rng, regime),
+                            errors_for(regime))
+        assert selector.stats.updates == 50
+        assert 0.0 <= selector.stats.misprediction_rate <= 1.0
+
+    def test_selection_counts(self):
+        selector = HyperplaneSelector(num_experts=3, dim=DIM)
+        for _ in range(6):
+            selector.select(np.zeros(DIM))
+        counts = selector.stats.selection_counts(3)
+        assert sum(counts) == 6
+
+    def test_reset_restores_even_partition(self):
+        rng = np.random.default_rng(3)
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        for _ in range(100):
+            selector.update(regime_point(rng, 1), errors_for(1))
+        selector.reset()
+        assert np.allclose(selector.hyperplanes, 0.0)
+
+    def test_state_roundtrip(self):
+        rng = np.random.default_rng(4)
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        for _ in range(200):
+            regime = int(rng.integers(2))
+            selector.update(regime_point(rng, regime),
+                            errors_for(regime))
+        state = selector.export_state()
+
+        clone = HyperplaneSelector(num_experts=2, dim=DIM)
+        clone.load_state(state)
+        for _ in range(20):
+            regime = int(rng.integers(2))
+            x = regime_point(rng, regime)
+            assert clone.select(x) == selector.select(x)
+
+    def test_reset_returns_to_loaded_state(self):
+        rng = np.random.default_rng(5)
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        for _ in range(200):
+            regime = int(rng.integers(2))
+            selector.update(regime_point(rng, regime),
+                            errors_for(regime))
+        state = selector.export_state()
+        clone = HyperplaneSelector(num_experts=2, dim=DIM)
+        clone.load_state(state)
+        planes = clone.hyperplanes.copy()
+        # Corrupt with adversarial updates, then reset.
+        for _ in range(50):
+            clone.update(regime_point(rng, 0), errors_for(1))
+        clone.reset()
+        assert np.allclose(clone.hyperplanes, planes)
+
+    def test_load_state_shape_check(self):
+        selector = HyperplaneSelector(num_experts=3, dim=DIM)
+        other = HyperplaneSelector(num_experts=2, dim=DIM)
+        with pytest.raises(ValueError):
+            selector.load_state(other.export_state())
+
+    def test_update_error_count_check(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        with pytest.raises(ValueError):
+            selector.update(np.zeros(DIM), [1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_experts=0, dim=DIM),
+        dict(num_experts=2, dim=0),
+        dict(num_experts=2, dim=DIM, learning_rate=0.0),
+        dict(num_experts=2, dim=DIM, margin=-0.1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HyperplaneSelector(**kwargs)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_selection_always_in_range(self, num_experts):
+        selector = HyperplaneSelector(num_experts=num_experts, dim=DIM)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            choice = selector.select(rng.normal(size=DIM))
+            assert 0 <= choice < num_experts
+
+
+class TestFrozenEvenSelector:
+    def test_never_moves_hyperplanes(self):
+        selector = FrozenEvenSelector(num_experts=2, dim=DIM)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            selector.update(regime_point(rng, 1), errors_for(1))
+        assert np.allclose(selector.hyperplanes, 0.0)
+
+    def test_still_counts_mispredictions(self):
+        selector = FrozenEvenSelector(num_experts=2, dim=DIM)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            selector.update(regime_point(rng, 1), errors_for(1))
+        assert selector.stats.updates == 50
+
+
+class TestAccuracyEMASelector:
+    def test_tracks_recently_accurate_expert(self):
+        selector = AccuracyEMASelector(num_experts=2)
+        for _ in range(20):
+            selector.update(np.zeros(DIM), [5.0, 1.0])
+        assert selector.select(np.zeros(DIM)) == 1
+
+    def test_switches_on_regime_change(self):
+        selector = AccuracyEMASelector(num_experts=2, decay=0.5)
+        for _ in range(10):
+            selector.update(np.zeros(DIM), [1.0, 5.0])
+        assert selector.select(np.zeros(DIM)) == 0
+        for _ in range(10):
+            selector.update(np.zeros(DIM), [5.0, 1.0])
+        assert selector.select(np.zeros(DIM)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyEMASelector(num_experts=2, decay=1.5)
+        selector = AccuracyEMASelector(num_experts=2)
+        with pytest.raises(ValueError):
+            selector.update(np.zeros(DIM), [1.0])
+
+
+class TestRandomSelector:
+    def test_uniformish(self):
+        selector = RandomSelector(num_experts=4, seed=1)
+        picks = [selector.select(np.zeros(DIM)) for _ in range(400)]
+        counts = [picks.count(k) for k in range(4)]
+        assert min(counts) > 50
+
+    def test_update_never_reports_misprediction(self):
+        selector = RandomSelector(num_experts=2)
+        assert selector.update(np.zeros(DIM), [1.0, 2.0]) is False
+
+    def test_reset_reseeds(self):
+        selector = RandomSelector(num_experts=4, seed=9)
+        first = [selector.select(np.zeros(DIM)) for _ in range(10)]
+        selector.reset()
+        again = [selector.select(np.zeros(DIM)) for _ in range(10)]
+        assert first == again

@@ -1,0 +1,206 @@
+"""Figure-driver smoke tests (miniature configurations).
+
+Each driver is run on a tiny expert bundle with very small programs.
+These tests check structure, bookkeeping, and formatting — the paper-
+shape assertions live in the benchmarks, which run at full size.
+"""
+
+import pytest
+
+from repro.core.policies import DefaultPolicy, MixturePolicy
+from repro.experiments.adaptive_pairs import run_adaptive_pairs
+from repro.experiments.affinity import run_affinity
+from repro.experiments.analysis import (
+    run_env_accuracy,
+    run_num_experts,
+    run_selection_frequency,
+    run_thread_distribution,
+)
+from repro.experiments.dynamic import (
+    run_dynamic_summary,
+    run_static_isolated,
+)
+from repro.experiments.generic_vs_experts import run_granularity
+from repro.experiments.live_case_study import (
+    TracePlayerPolicy,
+    run_live_case_study,
+    scaled_schedule,
+)
+from repro.experiments.motivation import run_motivation
+from repro.experiments.scenarios import DYNAMIC_SCENARIOS, SMALL_LOW
+from repro.experiments.tables import run_expert_weights, run_feature_impact
+from repro.experiments.workload_impact import run_workload_impact
+
+SCALE = 0.08
+TARGETS = ("cg", "ep")
+
+
+@pytest.fixture(scope="module")
+def tiny_policies(tiny_bundle):
+    return {
+        "default": DefaultPolicy,
+        "mixture": lambda: MixturePolicy(tiny_bundle.experts),
+    }
+
+
+class TestMotivation:
+    def test_runs_and_formats(self, tiny_config):
+        result = run_motivation(tiny_config, iterations_scale=SCALE)
+        assert set(result.speedups) == {
+            "default", "analytic", "expert-1", "expert-2", "mixture",
+        }
+        assert result.speedups["default"] == pytest.approx(1.0)
+        assert result.live_trace_points > 1000
+        assert all(result.thread_choices.values())
+        assert "Motivation" in result.format()
+
+
+class TestDynamic:
+    def test_static_isolated(self, tiny_policies):
+        table = run_static_isolated(
+            targets=TARGETS, policies=tiny_policies,
+            iterations_scale=SCALE,
+        )
+        assert table.scenario == "static-isolated"
+        assert len(table.rows) == 2
+
+    def test_summary(self, tiny_policies):
+        summary = run_dynamic_summary(
+            targets=("cg",), policies=tiny_policies,
+            iterations_scale=SCALE, seeds=(0,),
+            scenarios=DYNAMIC_SCENARIOS[:2],
+        )
+        overall = summary.overall()
+        assert overall["default"] == pytest.approx(1.0)
+        assert "overall hmean" in summary.format()
+        assert set(summary.tables) == {"small-low", "small-high"}
+        assert summary.overall_median()["default"] == pytest.approx(1.0)
+
+
+class TestWorkloadImpact:
+    def test_gains_positive(self, tiny_policies):
+        result = run_workload_impact(
+            targets=("cg",), scenarios=DYNAMIC_SCENARIOS[:1],
+            policies=tiny_policies, iterations_scale=SCALE,
+        )
+        overall = result.overall()
+        assert overall["default"] == pytest.approx(1.0)
+        assert all(v > 0 for v in overall.values())
+        assert "13a" in result.format()
+
+
+class TestAdaptivePairs:
+    def test_combined_speedups(self, tiny_policies):
+        result = run_adaptive_pairs(
+            pairs=(("cg", "ep"),), policies=tiny_policies,
+            iterations_scale=SCALE,
+        )
+        combined = result.combined()
+        assert combined["default"] == pytest.approx(1.0)
+        assert combined["mixture"] > 0
+        assert "13b" in result.format()
+
+
+class TestLiveCaseStudy:
+    def test_runs(self, tiny_policies):
+        result = run_live_case_study(
+            targets=("cg",), policies=tiny_policies,
+            iterations_scale=SCALE, replay_duration=120.0,
+        )
+        overall = result.overall()
+        assert overall["default"] == pytest.approx(1.0)
+        assert "14a" in result.format()
+
+    def test_trace_player_follows_schedule(self):
+        from tests.core.test_policies import make_ctx
+
+        player = TracePlayerPolicy([(0.0, 4), (10.0, 12)])
+        assert player.select(make_ctx(time=5.0)) == 4
+        assert player.select(make_ctx(time=15.0)) == 12
+
+    def test_scaled_schedule_duration(self):
+        from repro.workload.trace import generate_live_trace
+
+        schedule = scaled_schedule(
+            generate_live_trace(seed=1), 100.0, 32,
+        )
+        assert schedule[-1][0] == pytest.approx(100.0)
+        assert schedule[0][0] == pytest.approx(0.0)
+
+
+class TestAffinity:
+    def test_affinity_columns(self, tiny_policies):
+        result = run_affinity(
+            targets=("cg",), policies=tiny_policies,
+            iterations_scale=SCALE,
+        )
+        assert set(result.without_affinity) == set(tiny_policies)
+        gains = result.improvement()
+        assert all(v > 0 for v in gains.values())
+        assert "14b" in result.format()
+
+
+class TestGranularity:
+    def test_monolithic_vs_mixture(self, tiny_config):
+        result = run_granularity(
+            targets=("cg",), granularities=(1, 4),
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        assert "monolithic" in result.speedups
+        assert "experts-4" in result.speedups
+        assert "granularity" in result.format()
+
+
+class TestAnalyses:
+    def test_env_accuracy(self, tiny_config):
+        result = run_env_accuracy(
+            targets=("cg",), scenarios=(SMALL_LOW,),
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        assert all(0.0 <= v <= 1.0 for v in result.per_expert)
+        assert 0.0 <= result.mixture <= 1.0
+        assert "15a" in result.format()
+
+    def test_selection_frequency(self, tiny_config):
+        result = run_selection_frequency(
+            targets=("cg",), scenarios=(SMALL_LOW,),
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        freqs = result.frequencies["small-low"]
+        assert sum(freqs) == pytest.approx(1.0)
+        assert "15b" in result.format()
+
+    def test_num_experts(self, tiny_config):
+        result = run_num_experts(
+            targets=("cg",), scenario=SMALL_LOW,
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        assert len(result.by_count) >= 2
+        assert all(v > 0 for v in result.single_expert)
+        assert "15c" in result.format()
+
+    def test_thread_distribution(self, tiny_config):
+        result = run_thread_distribution(
+            targets=("cg",), scenario=SMALL_LOW,
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        assert "mixture" in result.distributions
+        total = sum(result.distributions["mixture"].values())
+        assert total > 0
+        assert "17" in result.format()
+
+
+class TestTables:
+    def test_expert_weights(self, tiny_config):
+        table = run_expert_weights(tiny_config)
+        rows = table.rows()
+        assert rows[-1]["feature"] == "β"
+        assert len(rows) == 11
+        assert "Table 1" in table.format()
+
+    def test_feature_impact(self, tiny_config):
+        result = run_feature_impact(tiny_config)
+        for impacts in result.per_expert.values():
+            assert sum(impacts.values()) == pytest.approx(1.0)
+        assert sum(result.averaged.values()) == pytest.approx(1.0)
+        assert "Figure 6" in result.format()

@@ -1,0 +1,60 @@
+"""Section 9 extension experiments (miniature configurations)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    OPTERON_48,
+    run_data_tradeoff,
+    run_model_comparison,
+    run_portability,
+)
+
+SCALE = 0.08
+TARGETS = ("cg", "ep")
+
+
+class TestModelComparison:
+    def test_runs(self, tiny_config):
+        result = run_model_comparison(
+            targets=TARGETS, config=tiny_config,
+            iterations_scale=SCALE,
+        )
+        assert "linear experts (paper)" in result.speedups
+        assert "kernel experts (SVM-style)" in result.speedups
+        assert "linear + kernel pooled" in result.speedups
+        assert all(v > 0 for v in result.speedups.values())
+        assert "Section 9" in result.format()
+
+
+class TestDataTradeoff:
+    def test_runs(self, tiny_config):
+        result = run_data_tradeoff(
+            targets=TARGETS, fractions=(0.5, 1.0),
+            config=tiny_config, iterations_scale=SCALE,
+        )
+        assert "monolithic @ 100%" in result.speedups
+        assert any(
+            label.startswith("experts-4") for label in result.speedups
+        )
+
+    def test_fraction_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_data_tradeoff(
+                targets=TARGETS, fractions=(0.0,),
+                config=tiny_config, iterations_scale=SCALE,
+            )
+
+
+class TestPortability:
+    def test_opteron_topology(self):
+        assert OPTERON_48.cores == 48
+        assert OPTERON_48.name == "opteron-48"
+
+    def test_runs_on_unseen_platform(self, tiny_config):
+        result = run_portability(
+            targets=TARGETS, config=tiny_config,
+            iterations_scale=SCALE,
+        )
+        value = result.speedups["mixture (12/32-core experts)"]
+        assert value > 0
+        assert "opteron-48" in result.title

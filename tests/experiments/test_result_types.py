@@ -1,0 +1,121 @@
+"""Result dataclasses: aggregation and formatting."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    AccuracyResult,
+    NumExpertsResult,
+    SelectionFrequencyResult,
+    ThreadDistributionResult,
+    DEFAULT_BUCKETS,
+)
+from repro.experiments.dynamic import DynamicSummary
+from repro.experiments.extensions import VariantResult
+from repro.experiments.runner import PolicyComparison, ScenarioTable
+from repro.experiments.workload_impact import WorkloadImpactResult
+
+
+def comparison(target, speedups):
+    return PolicyComparison(
+        target=target,
+        scenario="test",
+        speedups=speedups,
+        times={k: 100.0 / v for k, v in speedups.items()},
+        workload_gains={k: 1.0 for k in speedups},
+    )
+
+
+class TestScenarioTable:
+    def table(self):
+        return ScenarioTable(scenario="test", rows=[
+            comparison("cg", {"default": 1.0, "mixture": 2.0}),
+            comparison("ep", {"default": 1.0, "mixture": 1.0}),
+        ])
+
+    def test_hmean(self):
+        hm = self.table().hmean()
+        assert hm["default"] == pytest.approx(1.0)
+        assert hm["mixture"] == pytest.approx(4.0 / 3.0)
+
+    def test_policies(self):
+        assert self.table().policies() == ["default", "mixture"]
+
+    def test_workload_hmean(self):
+        assert self.table().workload_hmean()["mixture"] == 1.0
+
+    def test_format_includes_rows_and_hmean(self):
+        text = self.table().format()
+        assert "cg" in text and "ep" in text and "hmean" in text
+
+
+class TestDynamicSummary:
+    def summary(self):
+        return DynamicSummary(tables={
+            "a": ScenarioTable("a", [
+                comparison("cg", {"default": 1.0, "mixture": 2.0}),
+            ]),
+            "b": ScenarioTable("b", [
+                comparison("cg", {"default": 1.0, "mixture": 4.0}),
+            ]),
+        })
+
+    def test_overall_hmean(self):
+        overall = self.summary().overall()
+        assert overall["mixture"] == pytest.approx(8.0 / 3.0)
+
+    def test_overall_median(self):
+        assert self.summary().overall_median()["mixture"] == 3.0
+
+    def test_scenario_hmeans(self):
+        per = self.summary().scenario_hmeans()
+        assert per["a"]["mixture"] == 2.0
+        assert per["b"]["mixture"] == 4.0
+
+
+class TestAnalysisResults:
+    def test_accuracy_format(self):
+        result = AccuracyResult(per_expert=[0.8, 0.82], mixture=0.87)
+        text = result.format()
+        assert "expert 1: 80.0%" in text
+        assert "87.0%" in text
+
+    def test_selection_frequency_format(self):
+        result = SelectionFrequencyResult(
+            frequencies={"small-low": [0.6, 0.4]},
+        )
+        assert "E1=60.0%" in result.format()
+
+    def test_num_experts_format(self):
+        result = NumExpertsResult(
+            single_expert=[1.1, 1.2],
+            by_count={1: 1.1, 2: 1.3},
+        )
+        text = result.format()
+        assert "mixture of 2:  1.30" in text
+
+    def test_thread_distribution_format(self):
+        hist = {f"{lo}-{hi}": 1 for lo, hi in DEFAULT_BUCKETS}
+        result = ThreadDistributionResult(
+            distributions={"E1": hist, "mixture": hist},
+            buckets=DEFAULT_BUCKETS,
+        )
+        text = result.format()
+        assert "1-4" in text and "25-32" in text
+
+
+class TestVariantAndImpact:
+    def test_variant_result_format(self):
+        result = VariantResult(
+            title="T", speedups={"a": 1.5, "b": 0.9},
+        )
+        text = result.format()
+        assert "== T ==" in text
+        assert "1.50" in text
+
+    def test_workload_impact_overall(self):
+        result = WorkloadImpactResult(per_target={
+            "cg": {"default": 1.0, "mixture": 1.2},
+            "ep": {"default": 1.0, "mixture": 1.1},
+        })
+        overall = result.overall()
+        assert 1.1 < overall["mixture"] < 1.2

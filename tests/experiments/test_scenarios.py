@@ -1,0 +1,69 @@
+"""Scenario definitions."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    DYNAMIC_SCENARIOS,
+    EVALUATION_TARGETS,
+    Scenario,
+    SMALL_HIGH,
+    SMALL_LOW,
+    STATIC_ISOLATED,
+)
+from repro.machine.availability import (
+    PeriodicAvailability,
+    StaticAvailability,
+)
+from repro.machine.topology import XEON_L7555
+
+
+class TestScenario:
+    def test_four_dynamic_scenarios(self):
+        names = {s.name for s in DYNAMIC_SCENARIOS}
+        assert names == {
+            "small-low", "small-high", "large-low", "large-high",
+        }
+
+    def test_all_includes_static(self):
+        assert STATIC_ISOLATED in ALL_SCENARIOS
+        assert len(ALL_SCENARIOS) == 5
+
+    def test_static_availability(self):
+        schedule = STATIC_ISOLATED.availability(XEON_L7555)
+        assert isinstance(schedule, StaticAvailability)
+        assert schedule.available(1e4) == 32
+
+    def test_low_frequency_period(self):
+        schedule = SMALL_LOW.availability(XEON_L7555, seed=1)
+        assert isinstance(schedule, PeriodicAvailability)
+        assert schedule.period == 20.0
+
+    def test_high_frequency_period(self):
+        schedule = SMALL_HIGH.availability(XEON_L7555, seed=1)
+        assert schedule.period == 10.0
+
+    def test_seed_flows_through(self):
+        a = SMALL_LOW.availability(XEON_L7555, seed=1)
+        b = SMALL_LOW.availability(XEON_L7555, seed=2)
+        times = [20.0 * k for k in range(1, 20)]
+        assert [a.available(t) for t in times] != [
+            b.available(t) for t in times
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("bad", "medium", "low")
+        with pytest.raises(ValueError):
+            Scenario("bad", "small", "sometimes")
+
+    def test_evaluation_targets_resolve(self):
+        from repro.programs import registry
+
+        for name in EVALUATION_TARGETS:
+            registry.get(name)
+
+    def test_evaluation_includes_unseen_programs(self):
+        """SpecOMP and Parsec programs are evaluation-only."""
+        assert "art" in EVALUATION_TARGETS
+        assert "blackscholes" in EVALUATION_TARGETS

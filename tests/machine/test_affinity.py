@@ -1,0 +1,89 @@
+"""Affinity policies and locality factors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.affinity import (
+    CompactAffinity,
+    NoAffinity,
+    ScatterAffinity,
+)
+from repro.machine.machine import SimMachine
+from repro.machine.topology import XEON_L7555
+
+
+POLICIES = [NoAffinity(), CompactAffinity(), ScatterAffinity()]
+
+
+class TestLocalityRange:
+    @pytest.mark.parametrize("policy", POLICIES,
+                             ids=lambda p: p.name)
+    @pytest.mark.parametrize("threads", [1, 2, 8, 16, 32])
+    def test_in_unit_interval(self, policy, threads):
+        value = policy.locality(threads, XEON_L7555)
+        assert 0.0 < value <= 1.0
+
+    @given(st.integers(min_value=0, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_no_affinity_bounds(self, threads):
+        value = NoAffinity().locality(threads, XEON_L7555)
+        assert 0.0 < value <= 1.0
+
+
+class TestCompactBeatsDefault:
+    @pytest.mark.parametrize("threads", [8, 16, 24, 32])
+    def test_compact_at_least_as_local(self, threads):
+        compact = CompactAffinity().locality(threads, XEON_L7555)
+        scattered = NoAffinity().locality(threads, XEON_L7555)
+        assert compact >= scattered
+
+    def test_compact_single_socket_is_best(self):
+        # 8 threads fit one socket exactly.
+        compact = CompactAffinity().locality(8, XEON_L7555)
+        assert compact > NoAffinity().locality(8, XEON_L7555)
+
+    def test_compact_monotone_decreasing(self):
+        compact = CompactAffinity()
+        values = [compact.locality(n, XEON_L7555)
+                  for n in (1, 8, 16, 24, 32)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestScatter:
+    def test_few_threads_get_bandwidth_bonus(self):
+        scatter = ScatterAffinity().locality(2, XEON_L7555)
+        plain = NoAffinity().locality(2, XEON_L7555)
+        assert scatter >= plain
+
+    def test_many_threads_no_bonus(self):
+        scatter = ScatterAffinity().locality(32, XEON_L7555)
+        plain = NoAffinity().locality(32, XEON_L7555)
+        assert scatter == pytest.approx(plain)
+
+
+class TestSimMachine:
+    def test_default_availability_is_full(self):
+        machine = SimMachine(topology=XEON_L7555)
+        assert machine.available(0.0) == 32
+
+    def test_available_clamped_to_topology(self):
+        from repro.machine.availability import StaticAvailability
+
+        machine = SimMachine(
+            topology=XEON_L7555,
+            availability=StaticAvailability(1000),
+        )
+        assert machine.available(0.0) == 32
+
+    def test_with_affinity(self):
+        machine = SimMachine(topology=XEON_L7555)
+        pinned = machine.with_affinity(CompactAffinity())
+        assert pinned.affinity.name == "compact"
+        assert machine.affinity.name == "none"
+        assert pinned.topology is machine.topology
+
+    def test_locality_delegates(self):
+        machine = SimMachine(topology=XEON_L7555,
+                             affinity=CompactAffinity())
+        expected = CompactAffinity().locality(16, XEON_L7555)
+        assert machine.locality(16) == pytest.approx(expected)

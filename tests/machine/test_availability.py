@@ -1,0 +1,146 @@
+"""Availability schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.availability import (
+    FailureWindow,
+    HIGH_FREQUENCY_PERIOD,
+    LOW_FREQUENCY_PERIOD,
+    PeriodicAvailability,
+    StaticAvailability,
+    TraceAvailability,
+)
+
+
+class TestStatic:
+    def test_constant(self):
+        schedule = StaticAvailability(8)
+        assert schedule.available(0.0) == 8
+        assert schedule.available(1e6) == 8
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            StaticAvailability(0)
+
+
+class TestPeriodic:
+    def test_paper_periods(self):
+        assert LOW_FREQUENCY_PERIOD == 20.0
+        assert HIGH_FREQUENCY_PERIOD == 10.0
+
+    def test_first_period_full_machine(self):
+        schedule = PeriodicAvailability(max_processors=32, seed=1)
+        assert schedule.available(0.0) == 32
+        assert schedule.available(19.9) == 32
+
+    def test_deterministic(self):
+        a = PeriodicAvailability(max_processors=32, seed=7)
+        b = PeriodicAvailability(max_processors=32, seed=7)
+        times = [0.0, 25.0, 47.0, 123.0, 999.0]
+        assert [a.available(t) for t in times] == [
+            b.available(t) for t in times
+        ]
+
+    def test_order_independent(self):
+        schedule = PeriodicAvailability(max_processors=32, seed=3)
+        late = schedule.available(500.0)
+        schedule.available(20.0)
+        assert schedule.available(500.0) == late
+
+    def test_constant_within_period(self):
+        schedule = PeriodicAvailability(max_processors=32, seed=3,
+                                        period=20.0)
+        assert schedule.available(20.0) == schedule.available(39.9)
+
+    def test_seed_changes_draws(self):
+        times = [20.0 * k for k in range(1, 30)]
+        a = [PeriodicAvailability(32, seed=1).available(t) for t in times]
+        b = [PeriodicAvailability(32, seed=2).available(t) for t in times]
+        assert a != b
+
+    @given(st.floats(min_value=0.0, max_value=1e5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, time, seed):
+        schedule = PeriodicAvailability(max_processors=32, seed=seed)
+        value = schedule.available(time)
+        assert schedule.min_processors <= value <= 32
+
+    def test_min_fraction(self):
+        schedule = PeriodicAvailability(max_processors=32,
+                                        min_fraction=0.25)
+        assert schedule.min_processors == 8
+
+    def test_negative_time_rejected(self):
+        schedule = PeriodicAvailability(max_processors=4)
+        with pytest.raises(ValueError):
+            schedule.available(-1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_processors=0),
+        dict(max_processors=4, period=0.0),
+        dict(max_processors=4, min_fraction=0.0),
+        dict(max_processors=4, min_fraction=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PeriodicAvailability(**kwargs)
+
+
+class TestTrace:
+    def test_step_lookup(self):
+        schedule = TraceAvailability.from_pairs(
+            [(0.0, 4), (10.0, 8), (20.0, 2)]
+        )
+        assert schedule.available(0.0) == 4
+        assert schedule.available(9.99) == 4
+        assert schedule.available(10.0) == 8
+        assert schedule.available(25.0) == 2
+
+    def test_before_first_point(self):
+        schedule = TraceAvailability.from_pairs([(5.0, 4)])
+        assert schedule.available(0.0) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceAvailability(points=())
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceAvailability.from_pairs([(10.0, 4), (0.0, 8)])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            TraceAvailability.from_pairs([(0.0, 0)])
+
+
+class TestFailureWindow:
+    def test_halves_processors_in_window(self):
+        schedule = FailureWindow(
+            base=StaticAvailability(32), start=10.0, end=20.0,
+        )
+        assert schedule.available(5.0) == 32
+        assert schedule.available(10.0) == 16
+        assert schedule.available(19.9) == 16
+        assert schedule.available(20.0) == 32
+
+    def test_custom_fraction(self):
+        schedule = FailureWindow(
+            base=StaticAvailability(32), start=0.0, end=1.0,
+            surviving_fraction=0.25,
+        )
+        assert schedule.available(0.5) == 8
+
+    def test_never_below_one(self):
+        schedule = FailureWindow(
+            base=StaticAvailability(1), start=0.0, end=1.0,
+        )
+        assert schedule.available(0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureWindow(base=StaticAvailability(4), start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            FailureWindow(base=StaticAvailability(4), start=0.0,
+                          end=1.0, surviving_fraction=0.0)

@@ -1,0 +1,94 @@
+"""Power model and energy accounting."""
+
+import pytest
+
+from repro.core.policies import DefaultPolicy, FixedPolicy
+from repro.machine.machine import SimMachine
+from repro.machine.power import (
+    PowerModel,
+    energy_to_solution,
+    mean_availability,
+)
+from repro.machine.topology import XEON_L7555
+from repro.runtime.engine import CoExecutionEngine, JobSpec
+from tests.runtime.test_engine import tiny_program
+
+
+def run(policy, workload=True):
+    jobs = [JobSpec(program=tiny_program("t", iterations=12, work=2.0,
+                                         loads=4),
+                    policy=policy, job_id="target", is_target=True)]
+    if workload:
+        jobs.append(JobSpec(
+            program=tiny_program("w", iterations=8, work=2.0, loads=4),
+            policy=DefaultPolicy(), job_id="w", restart=True,
+        ))
+    machine = SimMachine(topology=XEON_L7555)
+    return CoExecutionEngine(machine, jobs).run()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(topology=XEON_L7555)
+
+
+class TestPowerModel:
+    def test_energy_components(self, model):
+        # 10 active core-seconds on a 32-core machine for 5 s.
+        energy = model.energy_joules(
+            active_core_seconds=10.0, duration=5.0, mean_available=32,
+        )
+        expected = (8.0 - 2.5) * 10.0 + 2.5 * 32 * 5.0
+        assert energy == pytest.approx(expected)
+
+    def test_idle_machine_still_draws(self, model):
+        energy = model.energy_joules(0.0, 10.0, 32)
+        assert energy == pytest.approx(2.5 * 320)
+
+    def test_offlined_cores_save_energy(self, model):
+        full = model.energy_joules(10.0, 5.0, 32)
+        half = model.energy_joules(10.0, 5.0, 16)
+        assert half < full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(topology=XEON_L7555, active_watts=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(topology=XEON_L7555, idle_watts=10.0,
+                       active_watts=5.0)
+        model = PowerModel(topology=XEON_L7555)
+        with pytest.raises(ValueError):
+            model.energy_joules(-1.0, 1.0, 32)
+        with pytest.raises(ValueError):
+            model.energy_joules(1000.0, 1.0, 1)
+
+
+class TestRunEnergy:
+    def test_run_energy_positive(self, model):
+        result = run(FixedPolicy(8))
+        energy = model.run_energy(result, mean_availability(result))
+        assert energy > 0
+
+    def test_fewer_threads_use_less_energy_under_load(self, model):
+        """Over-threading burns power for the same work."""
+        greedy = run(FixedPolicy(32))
+        frugal = run(FixedPolicy(8))
+        target_work = tiny_program(
+            "t", iterations=12, work=2.0, loads=4,
+        ).total_work
+        greedy_ets = energy_to_solution(
+            greedy, model, "target", target_work,
+        )
+        frugal_ets = energy_to_solution(
+            frugal, model, "target", target_work,
+        )
+        assert frugal_ets < greedy_ets
+
+    def test_energy_to_solution_validation(self, model):
+        result = run(FixedPolicy(4), workload=False)
+        with pytest.raises(ValueError):
+            energy_to_solution(result, model, "target", 0.0)
+
+    def test_mean_availability(self):
+        result = run(FixedPolicy(4), workload=False)
+        assert mean_availability(result) == pytest.approx(32.0)

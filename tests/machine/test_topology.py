@@ -1,0 +1,72 @@
+"""Topology definitions and invariants."""
+
+import pytest
+
+from repro.machine.topology import (
+    HPC_SYSTEM,
+    TRAINING_PLATFORMS,
+    TWELVE_CORE,
+    Topology,
+    XEON_L7555,
+)
+
+
+class TestTopology:
+    def test_core_count(self):
+        t = Topology(name="t", sockets=2, cores_per_socket=4)
+        assert t.cores == 8
+
+    def test_hw_contexts_with_smt(self):
+        t = Topology(name="t", sockets=2, cores_per_socket=4, smt=2)
+        assert t.hw_contexts == 16
+
+    def test_socket_of(self):
+        t = Topology(name="t", sockets=2, cores_per_socket=4)
+        assert t.socket_of(0) == 0
+        assert t.socket_of(3) == 0
+        assert t.socket_of(4) == 1
+        assert t.socket_of(7) == 1
+
+    def test_socket_of_out_of_range(self):
+        t = Topology(name="t", sockets=1, cores_per_socket=2)
+        with pytest.raises(ValueError, match="out of range"):
+            t.socket_of(2)
+        with pytest.raises(ValueError):
+            t.socket_of(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sockets=0, cores_per_socket=4),
+        dict(sockets=2, cores_per_socket=0),
+        dict(sockets=2, cores_per_socket=4, smt=0),
+    ])
+    def test_degenerate_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="degenerate"):
+            Topology(name="bad", **kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            XEON_L7555.sockets = 1
+
+
+class TestPaperPlatforms:
+    def test_xeon_matches_table_2(self):
+        """Table 2: 32-core Xeon L7555, 4 sockets x 8 cores, 64 GB,
+        24 MB LLC, 1.87 GHz."""
+        assert XEON_L7555.cores == 32
+        assert XEON_L7555.sockets == 4
+        assert XEON_L7555.cores_per_socket == 8
+        assert XEON_L7555.ram_gb == 64.0
+        assert XEON_L7555.llc_mb == 24.0
+        assert XEON_L7555.freq_ghz == 1.87
+
+    def test_twelve_core(self):
+        assert TWELVE_CORE.cores == 12
+
+    def test_hpc_system_matches_figure_1(self):
+        """Figure 1: 2912 cores, 5824 hardware contexts, 24 GB RAM."""
+        assert HPC_SYSTEM.cores == 2912
+        assert HPC_SYSTEM.hw_contexts == 5824
+        assert HPC_SYSTEM.ram_gb == 24.0
+
+    def test_training_platforms(self):
+        assert TRAINING_PLATFORMS == (TWELVE_CORE, XEON_L7555)

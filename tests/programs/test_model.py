@@ -1,0 +1,148 @@
+"""Program models and execution instances."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.programs.model import ProgramModel, build_program
+
+
+def module_two_loops():
+    b = IRBuilder("m")
+    with b.function("f"):
+        with b.parallel_loop("big", trip_count=30):
+            b.fadd()
+        with b.parallel_loop("small", trip_count=10):
+            b.fadd()
+    return b.build()
+
+
+def program(iterations=3, work=10.0, serial_fraction=0.1):
+    return build_program(
+        name="prog", suite="test", module=module_two_loops(),
+        iterations=iterations, work_per_iteration=work,
+        serial_fraction=serial_fraction,
+    )
+
+
+class TestBuildProgram:
+    def test_work_distributed_by_instruction_count(self):
+        p = program()
+        big = p.region("big")
+        small = p.region("small")
+        assert big.work == pytest.approx(9.0 * 30 / 40)
+        assert small.work == pytest.approx(9.0 * 10 / 40)
+
+    def test_serial_fraction(self):
+        p = program()
+        assert p.serial_work_per_iteration == pytest.approx(1.0)
+
+    def test_total_work(self):
+        p = program()
+        assert p.total_work == pytest.approx(30.0)
+        assert p.serial_time() == pytest.approx(30.0)
+
+    def test_region_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            program().region("nope")
+
+    def test_no_loops_rejected(self):
+        b = IRBuilder("empty")
+        with b.function("f"):
+            b.call("main")
+        with pytest.raises(ValueError, match="no parallel loops"):
+            build_program("p", "t", b.build(), 1, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_program("p", "t", module_two_loops(), 0, 1.0)
+        with pytest.raises(ValueError):
+            build_program("p", "t", module_two_loops(), 1, 1.0,
+                          serial_fraction=1.0)
+
+
+class TestProgramInstance:
+    def test_starts_in_serial_glue(self):
+        inst = program().instantiate()
+        assert inst.in_serial
+        assert inst.current_region is None
+
+    def test_skips_serial_when_none(self):
+        inst = program(serial_fraction=0.0).instantiate()
+        assert not inst.in_serial
+        assert inst.current_region.loop_name == "big"
+
+    def test_advance_through_one_iteration(self):
+        p = program()
+        inst = p.instantiate()
+        entered = inst.advance(p.serial_work_per_iteration)
+        assert entered  # first region begins
+        assert inst.current_region.loop_name == "big"
+        entered = inst.advance(p.region("big").work)
+        assert entered
+        assert inst.current_region.loop_name == "small"
+
+    def test_iterations_cycle(self):
+        p = program(iterations=2)
+        inst = p.instantiate()
+        # Walk exactly one iteration: serial glue + both regions.
+        for _ in range(1 + len(p.regions)):
+            inst.advance(inst.remaining)
+        assert inst.iteration == 1
+        assert inst.in_serial
+        assert not inst.finished
+
+    def test_finishes(self):
+        p = program(iterations=2)
+        inst = p.instantiate()
+        inst.advance(p.total_work + 1.0)
+        # advance() consumes only the current phase; walk to the end.
+        steps = 0
+        while not inst.finished and steps < 100:
+            inst.advance(max(inst.remaining, 1e-9))
+            steps += 1
+        assert inst.finished
+        assert inst.progress_fraction() == 1.0
+
+    def test_advance_after_finish_rejected(self):
+        p = program(iterations=1)
+        inst = p.instantiate()
+        while not inst.finished:
+            inst.advance(inst.remaining)
+        with pytest.raises(RuntimeError):
+            inst.advance(1.0)
+
+    def test_negative_work_rejected(self):
+        inst = program().instantiate()
+        with pytest.raises(ValueError):
+            inst.advance(-1.0)
+
+    def test_progress_fraction_monotone(self):
+        p = program()
+        inst = p.instantiate()
+        seen = [inst.progress_fraction()]
+        while not inst.finished:
+            inst.advance(inst.remaining)
+            seen.append(inst.progress_fraction())
+        assert seen == sorted(seen)
+        assert seen[0] == pytest.approx(0.0)
+        assert seen[-1] == 1.0
+
+    def test_restart(self):
+        p = program(iterations=1)
+        inst = p.instantiate()
+        while not inst.finished:
+            inst.advance(inst.remaining)
+        inst.restart()
+        assert not inst.finished
+        assert inst.iteration == 0
+        assert inst.progress_fraction() == pytest.approx(0.0)
+
+    def test_job_id_defaults_to_program_name(self):
+        assert program().instantiate().job_id == "prog"
+        assert program().instantiate("custom").job_id == "custom"
+
+    def test_partial_advance_no_boundary(self):
+        p = program()
+        inst = p.instantiate()
+        assert not inst.advance(p.serial_work_per_iteration / 2)
+        assert inst.in_serial

@@ -1,0 +1,124 @@
+"""Scaling laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import AccessPattern
+from repro.compiler.passes import analyze_loop
+from repro.programs.scaling import AmdahlScaling, USLScaling, derive_scaling
+
+
+class TestAmdahl:
+    def test_no_serial_fraction_is_linear(self):
+        law = AmdahlScaling(serial_fraction=0.0)
+        assert law.speedup(8) == pytest.approx(8.0)
+
+    def test_limit(self):
+        law = AmdahlScaling(serial_fraction=0.25)
+        assert law.speedup(10_000) == pytest.approx(4.0, rel=1e-3)
+
+    def test_efficiency(self):
+        law = AmdahlScaling(serial_fraction=0.1)
+        assert law.efficiency(4) == pytest.approx(law.speedup(4) / 4)
+
+    def test_single_thread(self):
+        assert AmdahlScaling(0.5).speedup(1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmdahlScaling(serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            AmdahlScaling(0.1).speedup(0)
+
+
+class TestUSL:
+    def test_reduces_to_amdahl_without_kappa(self):
+        usl = USLScaling(sigma=0.1, kappa=0.0)
+        amdahl = AmdahlScaling(serial_fraction=0.1)
+        for n in (1, 2, 8, 32):
+            assert usl.speedup(n) == pytest.approx(amdahl.speedup(n))
+
+    def test_retrograde_beyond_peak(self):
+        usl = USLScaling(sigma=0.05, kappa=0.01)
+        peak = usl.peak_threads
+        assert usl.speedup(peak) > usl.speedup(4 * peak)
+
+    def test_peak_formula(self):
+        usl = USLScaling(sigma=0.1, kappa=0.001)
+        expected = round(((1 - 0.1) / 0.001) ** 0.5)
+        assert usl.peak_threads == expected
+
+    def test_peak_unbounded_without_kappa(self):
+        assert USLScaling(sigma=0.1, kappa=0.0).peak_threads >= 10 ** 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            USLScaling(sigma=-0.1, kappa=0.0)
+        with pytest.raises(ValueError):
+            USLScaling(0.1, 0.001).speedup(0)
+
+    @given(st.floats(min_value=0.0, max_value=0.5),
+           st.floats(min_value=0.0, max_value=0.05),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, sigma, kappa, n):
+        usl = USLScaling(sigma=sigma, kappa=kappa)
+        speedup = usl.speedup(n)
+        assert 0.0 < speedup <= n + 1e-9
+        assert usl.speedup(1) == pytest.approx(1.0)
+        assert 0.0 < usl.efficiency(n) <= 1.0 + 1e-9
+
+
+def loop_with(access=AccessPattern.REGULAR, loads=2, barriers=0,
+              reduction=False):
+    b = IRBuilder("m")
+    with b.function("f"):
+        with b.parallel_loop("l", trip_count=100, access=access,
+                             reduction=reduction):
+            for _ in range(loads):
+                b.load()
+            for _ in range(10):
+                b.fmul()
+            for _ in range(barriers):
+                b.barrier()
+    return b.build().function("f").loops[0]
+
+
+class TestDeriveScaling:
+    def test_memory_bound_has_higher_sigma(self):
+        light = derive_scaling(analyze_loop(loop_with(loads=1)))
+        heavy = derive_scaling(analyze_loop(loop_with(loads=10)))
+        assert heavy.sigma > light.sigma
+
+    def test_barriers_raise_kappa(self):
+        none = derive_scaling(analyze_loop(loop_with(barriers=0)))
+        barriered = derive_scaling(analyze_loop(loop_with(barriers=2)))
+        assert barriered.kappa > none.kappa
+
+    def test_irregular_access_penalised(self):
+        regular = derive_scaling(analyze_loop(loop_with()))
+        irregular = derive_scaling(analyze_loop(
+            loop_with(access=AccessPattern.IRREGULAR)
+        ))
+        assert irregular.sigma > regular.sigma
+        assert irregular.kappa > regular.kappa
+
+    def test_strided_midway(self):
+        regular = derive_scaling(analyze_loop(loop_with()))
+        strided = derive_scaling(analyze_loop(
+            loop_with(access=AccessPattern.STRIDED)
+        ))
+        irregular = derive_scaling(analyze_loop(
+            loop_with(access=AccessPattern.IRREGULAR)
+        ))
+        assert regular.sigma < strided.sigma < irregular.sigma
+
+    def test_reduction_raises_kappa(self):
+        plain = derive_scaling(analyze_loop(loop_with()))
+        reduced = derive_scaling(analyze_loop(loop_with(reduction=True)))
+        assert reduced.kappa > plain.kappa
+
+    def test_compute_bound_scales_past_32(self):
+        law = derive_scaling(analyze_loop(loop_with(loads=0)))
+        assert law.peak_threads > 32

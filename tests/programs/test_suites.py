@@ -1,0 +1,121 @@
+"""Benchmark suite definitions and the registry."""
+
+import pytest
+
+from repro.compiler.ir import AccessPattern
+from repro.programs import registry
+from repro.programs.registry import ALIASES, all_programs, canonical_name
+
+
+class TestRegistry:
+    def test_all_suites_present(self):
+        suites = {p.suite for p in all_programs()}
+        assert suites == {"nas", "spec", "parsec", "rodinia"}
+
+    def test_nas_has_the_eight_codes(self):
+        names = {p.name for p in registry.suite("nas")}
+        assert names == {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}
+
+    def test_spec_c_codes(self):
+        names = {p.name for p in registry.suite("spec")}
+        assert names == {"ammp", "art", "equake"}
+
+    def test_parsec_names(self):
+        names = {p.name for p in registry.suite("parsec")}
+        assert {"blackscholes", "bodytrack", "freqmine"} <= names
+
+    def test_aliases_resolve(self):
+        assert registry.get("bscholes").name == "blackscholes"
+        assert registry.get("btrack").name == "bodytrack"
+        assert registry.get("fmine").name == "freqmine"
+        assert registry.get("fft").name == "ft"
+
+    def test_canonical_name_passthrough(self):
+        assert canonical_name("lu") == "lu"
+        assert canonical_name("fmine") == "freqmine"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            registry.get("doom")
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            registry.suite("dwarfs")
+
+    def test_names_sorted_and_complete(self):
+        names = registry.names()
+        assert names == sorted(names)
+        assert len(names) == len(all_programs())
+
+    def test_aliases_point_at_real_programs(self):
+        for target in ALIASES.values():
+            registry.get(target)
+
+
+class TestProgramCharacter:
+    """The instruction mixes must encode each code's published nature."""
+
+    def test_ep_is_compute_bound(self):
+        ep = registry.get("ep")
+        assert ep.regions[0].memory_intensity < 0.1
+        assert ep.regions[0].sync_intensity == 0.0
+
+    def test_cg_is_memory_bound_and_irregular(self):
+        cg = registry.get("cg")
+        spmv = cg.region("spmv")
+        assert spmv.memory_intensity > 0.4
+        assert spmv.analysis.access_pattern is AccessPattern.IRREGULAR
+        assert spmv.sync_intensity > 0.0  # barriers
+
+    def test_blackscholes_scales_like_ep(self):
+        bs = registry.get("blackscholes")
+        assert bs.regions[0].memory_intensity < 0.15
+        assert bs.regions[0].scaling.peak_threads > 32
+
+    def test_cg_peaks_below_machine_size(self):
+        cg = registry.get("cg")
+        assert cg.region("spmv").scaling.peak_threads < 32
+
+    def test_canneal_is_irregular(self):
+        canneal = registry.get("canneal")
+        assert (canneal.regions[0].analysis.access_pattern
+                is AccessPattern.IRREGULAR)
+
+    def test_rodinia_suite(self):
+        names = {p.name for p in registry.suite("rodinia")}
+        assert names == {
+            "kmeans", "bfs", "hotspot", "lud", "nw", "srad",
+            "streamcluster", "backprop",
+        }
+
+    def test_bfs_is_irregular_and_sync_heavy(self):
+        bfs = registry.get("bfs")
+        frontier = bfs.regions[0]
+        assert frontier.analysis.access_pattern is AccessPattern.IRREGULAR
+        assert frontier.sync_intensity > 0.0
+
+    def test_kmeans_is_compute_bound(self):
+        kmeans = registry.get("kmeans")
+        assert kmeans.region("distance").memory_intensity < 0.2
+
+    def test_every_program_has_positive_work(self):
+        for program in all_programs():
+            assert program.total_work > 0
+            for region in program.regions:
+                assert region.work > 0
+
+    def test_serial_times_in_calibrated_band(self):
+        """Work budgets stay in the 100-400 core-second band."""
+        for program in all_programs():
+            assert 100.0 <= program.serial_time() <= 400.0, program.name
+
+    def test_region_count_band(self):
+        for program in all_programs():
+            assert 1 <= len(program.regions) <= 6
+
+    def test_enough_mapping_decisions(self):
+        """Every program must offer enough region entries for online
+        adaptation (the mixture needs a decision stream)."""
+        for program in all_programs():
+            decisions = program.iterations * len(program.regions)
+            assert decisions >= 60, program.name

@@ -1,0 +1,300 @@
+"""The co-execution engine."""
+
+import pytest
+
+from repro.compiler.builder import IRBuilder
+from repro.core.policies import DefaultPolicy, FixedPolicy
+from repro.core.policies.base import PolicyContext, RegionReport, ThreadPolicy
+from repro.machine.availability import StaticAvailability
+from repro.machine.machine import SimMachine
+from repro.machine.topology import XEON_L7555
+from repro.programs.model import build_program
+from repro.runtime.engine import CoExecutionEngine, JobSpec
+
+
+def tiny_program(name="tiny", iterations=5, work=2.0,
+                 serial_fraction=0.1, loads=0):
+    b = IRBuilder(name)
+    with b.function("f"):
+        with b.parallel_loop("loop", trip_count=100):
+            for _ in range(loads):
+                b.load()
+            b.fadd()
+            b.fmul()
+    return build_program(
+        name=name, suite="test", module=b.build(),
+        iterations=iterations, work_per_iteration=work,
+        serial_fraction=serial_fraction,
+    )
+
+
+def machine(cores_available=None):
+    availability = (
+        StaticAvailability(cores_available) if cores_available else None
+    )
+    return SimMachine(topology=XEON_L7555, availability=availability)
+
+
+def run(jobs, m=None, **kwargs):
+    engine = CoExecutionEngine(m or machine(), jobs, **kwargs)
+    return engine.run()
+
+
+class TestBasicExecution:
+    def test_single_thread_run_time_matches_work(self):
+        program = tiny_program(iterations=4, work=2.0)
+        result = run([JobSpec(program=program, policy=FixedPolicy(1),
+                              is_target=True)])
+        # 8 core-seconds of work on one thread of an idle machine.
+        assert result.target_time == pytest.approx(
+            program.total_work, rel=0.05,
+        )
+
+    def test_parallel_run_is_faster(self):
+        program = tiny_program(iterations=6, work=4.0)
+        t1 = run([JobSpec(program=program, policy=FixedPolicy(1),
+                          is_target=True)]).target_time
+        t8 = run([JobSpec(program=program, policy=FixedPolicy(8),
+                          is_target=True)]).target_time
+        assert t8 < t1 / 4
+
+    def test_availability_limits_speed(self):
+        program = tiny_program(iterations=6, work=4.0)
+        full = run([JobSpec(program=program, policy=FixedPolicy(16),
+                            is_target=True)], machine(32)).target_time
+        constrained = run(
+            [JobSpec(program=program, policy=FixedPolicy(16),
+                     is_target=True)],
+            machine(4),
+        ).target_time
+        assert constrained > 2 * full
+
+    def test_exact_finish_time(self):
+        program = tiny_program(iterations=2, work=1.0,
+                               serial_fraction=0.0)
+        result = run([JobSpec(program=program, policy=FixedPolicy(2),
+                              is_target=True)])
+        # Sub-tick precision: not quantised to multiples of dt.
+        assert result.target_time == pytest.approx(
+            program.total_work / 2.0, rel=0.02,
+        )
+
+
+class TestWorkConservation:
+    def test_many_short_regions(self):
+        """Regions much shorter than the tick must not lose work."""
+        fine = tiny_program("fine", iterations=200, work=0.05,
+                            serial_fraction=0.0)
+        result = run([JobSpec(program=fine, policy=FixedPolicy(4),
+                              is_target=True)])
+        # 10 core-seconds at ~4 effective cores (minus efficiency).
+        expected = fine.total_work / 4.0
+        assert result.target_time == pytest.approx(expected, rel=0.15)
+
+    def test_selections_once_per_region(self):
+        program = tiny_program(iterations=10, serial_fraction=0.1)
+        result = run([JobSpec(program=program, policy=FixedPolicy(4),
+                              is_target=True)])
+        assert len(result.target_selections()) == 10
+
+
+class TestWorkloadJobs:
+    def test_workload_restarts_until_target_finishes(self):
+        target = tiny_program("target", iterations=40, work=4.0)
+        workload = tiny_program("workload", iterations=4, work=0.5)
+        result = run([
+            JobSpec(program=target, policy=FixedPolicy(8),
+                    is_target=True),
+            JobSpec(program=workload, policy=FixedPolicy(8),
+                    job_id="w", restart=True),
+        ])
+        assert result.workload_runs["w"] >= 2
+        assert result.workload_work["w"] > 0
+
+    def test_workload_throughput(self):
+        target = tiny_program("target", iterations=20, work=4.0)
+        workload = tiny_program("workload", iterations=5, work=1.0)
+        result = run([
+            JobSpec(program=target, policy=FixedPolicy(8),
+                    is_target=True),
+            JobSpec(program=workload, policy=FixedPolicy(4),
+                    job_id="w", restart=True),
+        ])
+        assert result.workload_throughput > 0
+
+    def test_contention_slows_target(self):
+        target = tiny_program("target", iterations=10, work=4.0, loads=6)
+        alone = run([JobSpec(program=target, policy=FixedPolicy(16),
+                             is_target=True)]).target_time
+        noisy = run([
+            JobSpec(program=target, policy=FixedPolicy(16),
+                    is_target=True),
+            JobSpec(program=tiny_program("noise", iterations=50,
+                                         work=8.0, loads=6),
+                    policy=FixedPolicy(32), job_id="noise",
+                    restart=True),
+        ]).target_time
+        assert noisy > alone
+
+
+class TestPolicyInteraction:
+    def test_policy_consulted_with_context(self):
+        seen = []
+
+        class Spy(ThreadPolicy):
+            name = "spy"
+
+            def select(self, ctx: PolicyContext) -> int:
+                seen.append(ctx)
+                return 4
+
+        program = tiny_program(iterations=5)
+        run([JobSpec(program=program, policy=Spy(), is_target=True)])
+        assert len(seen) == 5
+        ctx = seen[0]
+        assert ctx.loop_name == "loop"
+        assert ctx.max_threads == 32
+        assert ctx.available_processors == 32
+        assert ctx.env.processors == 32
+
+    def test_region_reports_delivered(self):
+        reports = []
+
+        class Listener(FixedPolicy):
+            def observe(self, report: RegionReport) -> None:
+                reports.append(report)
+
+        program = tiny_program(iterations=6)
+        run([JobSpec(program=program, policy=Listener(4),
+                     is_target=True)])
+        assert len(reports) == 6
+        assert all(r.threads == 4 for r in reports)
+        assert all(r.elapsed > 0 and r.work > 0 for r in reports)
+        assert all(r.rate > 0 for r in reports)
+
+    def test_illegal_thread_count_rejected(self):
+        class Bad(ThreadPolicy):
+            name = "bad"
+
+            def select(self, ctx):
+                return 0
+
+        with pytest.raises(ValueError, match="illegal"):
+            run([JobSpec(program=tiny_program(), policy=Bad(),
+                         is_target=True)])
+
+    def test_policy_reset_called(self):
+        class Resettable(FixedPolicy):
+            def __init__(self):
+                super().__init__(2)
+                self.resets = 0
+
+            def reset(self):
+                self.resets += 1
+
+        policy = Resettable()
+        run([JobSpec(program=tiny_program(), policy=policy,
+                     is_target=True)])
+        assert policy.resets == 1
+
+
+class TestResultBookkeeping:
+    def test_timeline_recorded(self):
+        program = tiny_program(iterations=20, work=4.0)
+        result = run([JobSpec(program=program, policy=FixedPolicy(8),
+                              is_target=True)])
+        assert len(result.timeline) >= 2
+        assert all(p.available == 32 for p in result.timeline)
+        # The target runs its regions with 8 threads (serial-glue
+        # samples show 1, so at least some points must show 8).
+        assert any(p.target_threads == 8 for p in result.timeline)
+
+    def test_timed_out_flag(self):
+        program = tiny_program(iterations=50, work=10.0)
+        result = run(
+            [JobSpec(program=program, policy=FixedPolicy(1),
+                     is_target=True)],
+            max_time=5.0,
+        )
+        assert result.timed_out
+        assert result.target_time is None
+
+    def test_no_target_runs_all_to_completion(self):
+        result = run([
+            JobSpec(program=tiny_program("a", iterations=4),
+                    policy=FixedPolicy(4), job_id="a"),
+            JobSpec(program=tiny_program("b", iterations=6),
+                    policy=FixedPolicy(4), job_id="b"),
+        ])
+        assert result.target_id is None
+        assert set(result.job_times) == {"a", "b"}
+        assert all(t > 0 for t in result.job_times.values())
+
+
+class TestValidation:
+    def test_duplicate_job_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CoExecutionEngine(machine(), [
+                JobSpec(program=tiny_program(), policy=FixedPolicy(1),
+                        job_id="x"),
+                JobSpec(program=tiny_program("other"),
+                        policy=FixedPolicy(1), job_id="x"),
+            ])
+
+    def test_two_targets_rejected(self):
+        with pytest.raises(ValueError, match="at most one target"):
+            CoExecutionEngine(machine(), [
+                JobSpec(program=tiny_program("a"), policy=FixedPolicy(1),
+                        job_id="a", is_target=True),
+                JobSpec(program=tiny_program("b"), policy=FixedPolicy(1),
+                        job_id="b", is_target=True),
+            ])
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            CoExecutionEngine(machine(), [], dt=0.0)
+
+    def test_bad_max_time(self):
+        with pytest.raises(ValueError):
+            CoExecutionEngine(machine(), [], max_time=-1.0)
+
+
+class TestCpuAccounting:
+    def test_cpu_time_recorded(self):
+        program = tiny_program(iterations=10, work=2.0)
+        result = run([JobSpec(program=program, policy=FixedPolicy(8),
+                              is_target=True)])
+        cpu = result.cpu_time["tiny"]
+        assert cpu > 0
+
+    def test_efficiency_at_most_one_isolated(self):
+        """On an idle machine nothing spins: work ~= cpu time."""
+        program = tiny_program(iterations=10, work=2.0,
+                               serial_fraction=0.0)
+        result = run([JobSpec(program=program, policy=FixedPolicy(8),
+                              is_target=True)])
+        efficiency = result.efficiency("tiny", program.total_work)
+        assert 0.0 < efficiency <= 1.05
+
+    def test_contention_lowers_efficiency(self):
+        target = tiny_program("target", iterations=10, work=2.0,
+                              loads=6)
+        alone = run([JobSpec(program=target, policy=FixedPolicy(16),
+                             is_target=True)])
+        crowded = run([
+            JobSpec(program=target, policy=FixedPolicy(16),
+                    is_target=True),
+            JobSpec(program=tiny_program("noise", iterations=60,
+                                         work=6.0, loads=6),
+                    policy=FixedPolicy(32), job_id="noise",
+                    restart=True),
+        ])
+        eff_alone = alone.efficiency("target", target.total_work)
+        eff_crowded = crowded.efficiency("target", target.total_work)
+        assert eff_crowded < eff_alone
+
+    def test_unknown_job_efficiency_zero(self):
+        program = tiny_program(iterations=4)
+        result = run([JobSpec(program=program, policy=FixedPolicy(2),
+                              is_target=True)])
+        assert result.efficiency("ghost", 1.0) == 0.0

@@ -1,0 +1,200 @@
+"""Cross-module integration invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import (
+    AnalyticPolicy,
+    DefaultPolicy,
+    FixedPolicy,
+    MixturePolicy,
+    OfflinePolicy,
+    OnlineHillClimbPolicy,
+)
+from repro.core.policies.base import RegionReport, ThreadPolicy
+from repro.machine.availability import PeriodicAvailability
+from repro.machine.machine import SimMachine
+from repro.machine.topology import TWELVE_CORE, XEON_L7555
+from repro.programs import registry
+from repro.core.training import scale_program
+from repro.runtime.engine import CoExecutionEngine, JobSpec
+from tests.runtime.test_engine import tiny_program
+
+SCALE = 0.08
+
+
+def run_benchmark(name, policy, workload=None, seed=0, topology=None,
+                  dynamic=False):
+    topology = topology or XEON_L7555
+    availability = (
+        PeriodicAvailability(max_processors=topology.cores, seed=seed)
+        if dynamic else None
+    )
+    machine = SimMachine(topology=topology, availability=availability)
+    jobs = [JobSpec(
+        program=scale_program(registry.get(name), SCALE),
+        policy=policy, job_id="target", is_target=True,
+    )]
+    if workload:
+        jobs.append(JobSpec(
+            program=scale_program(registry.get(workload), SCALE),
+            policy=DefaultPolicy(), job_id="w", restart=True,
+        ))
+    return CoExecutionEngine(machine, jobs, max_time=7200.0).run()
+
+
+class TestWorkConservation:
+    """The engine must retire exactly each program's defined work."""
+
+    @pytest.mark.parametrize("threads", [1, 3, 8, 32])
+    def test_region_reports_cover_all_parallel_work(self, threads):
+        reports = []
+
+        class Listener(FixedPolicy):
+            def observe(self, report: RegionReport) -> None:
+                reports.append(report)
+
+        program = tiny_program(iterations=12, work=2.0,
+                               serial_fraction=0.1)
+        machine = SimMachine(topology=XEON_L7555)
+        CoExecutionEngine(machine, [
+            JobSpec(program=program, policy=Listener(threads),
+                    job_id="t", is_target=True),
+        ]).run()
+        reported = sum(r.work for r in reports)
+        parallel = sum(
+            r.work for r in program.regions
+        ) * program.iterations
+        assert reported == pytest.approx(parallel, rel=1e-6)
+
+    def test_rates_are_physical(self):
+        """No region may retire work faster than the whole machine."""
+        reports = []
+
+        class Listener(FixedPolicy):
+            def observe(self, report: RegionReport) -> None:
+                reports.append(report)
+
+        run_benchmark("ep", Listener(32))
+        for report in reports:
+            assert report.rate <= XEON_L7555.cores + 1e-6
+
+
+class TestDeterminism:
+    POLICIES = [
+        ("default", DefaultPolicy),
+        ("online", OnlineHillClimbPolicy),
+        ("analytic", AnalyticPolicy),
+    ]
+
+    @pytest.mark.parametrize("name,factory", POLICIES,
+                             ids=[p[0] for p in POLICIES])
+    def test_repeat_runs_identical(self, name, factory):
+        a = run_benchmark("cg", factory(), workload="is", seed=4,
+                          dynamic=True)
+        b = run_benchmark("cg", factory(), workload="is", seed=4,
+                          dynamic=True)
+        assert a.target_time == b.target_time
+        assert a.workload_work == b.workload_work
+
+    def test_mixture_deterministic(self, tiny_bundle):
+        times = [
+            run_benchmark("cg", MixturePolicy(tiny_bundle.experts),
+                          workload="is", seed=4,
+                          dynamic=True).target_time
+            for _ in range(2)
+        ]
+        assert times[0] == times[1]
+
+
+class TestAllPoliciesOnAllBenchmarks:
+    """Every policy must produce legal decisions on every program."""
+
+    def policies(self, tiny_bundle, tiny_mono):
+        return [
+            DefaultPolicy(),
+            OnlineHillClimbPolicy(),
+            AnalyticPolicy(),
+            OfflinePolicy(tiny_mono.experts[0]),
+            MixturePolicy(tiny_bundle.experts),
+        ]
+
+    @pytest.mark.parametrize("benchmark_name", [
+        "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+        "ammp", "art", "equake",
+        "blackscholes", "bodytrack", "freqmine",
+        "fluidanimate", "swaptions", "canneal",
+    ])
+    def test_benchmark_runs_under_every_policy(
+        self, benchmark_name, tiny_bundle, tiny_mono,
+    ):
+        for policy in self.policies(tiny_bundle, tiny_mono):
+            result = run_benchmark(benchmark_name, policy)
+            assert result.target_time is not None
+            assert result.target_time > 0
+            for selection in result.target_selections():
+                assert 1 <= selection.threads <= 32
+
+    def test_twelve_core_platform(self, tiny_bundle):
+        result = run_benchmark(
+            "cg", MixturePolicy(tiny_bundle.experts),
+            topology=TWELVE_CORE,
+        )
+        for selection in result.target_selections():
+            assert 1 <= selection.threads <= 12
+
+
+class TestSmartBeatsDumbWhereItShould:
+    """Sanity: under load, fewer threads beat the default for the
+    irregular memory-bound codes — the effect the paper exploits."""
+
+    def test_cg_under_load_prefers_fewer_threads(self):
+        default_time = run_benchmark(
+            "cg", DefaultPolicy(), workload="is",
+        ).target_time
+        small_time = run_benchmark(
+            "cg", FixedPolicy(6), workload="is",
+        ).target_time
+        assert small_time < default_time
+
+    def test_ep_grabs_the_machine(self):
+        default_time = run_benchmark(
+            "ep", DefaultPolicy(), workload="is",
+        ).target_time
+        tiny_time = run_benchmark(
+            "ep", FixedPolicy(2), workload="is",
+        ).target_time
+        assert default_time < tiny_time
+
+
+class TestEngineProperties:
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=2, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_any_fixed_policy_terminates(self, threads, iterations):
+        program = tiny_program(
+            "fuzz", iterations=iterations, work=1.0,
+        )
+        machine = SimMachine(topology=XEON_L7555)
+        result = CoExecutionEngine(machine, [
+            JobSpec(program=program, policy=FixedPolicy(threads),
+                    job_id="t", is_target=True),
+        ]).run()
+        assert result.target_time is not None
+        assert not result.timed_out
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_availability_never_crashes(self, seed):
+        machine = SimMachine(
+            topology=XEON_L7555,
+            availability=PeriodicAvailability(
+                max_processors=32, period=5.0, seed=seed,
+            ),
+        )
+        result = CoExecutionEngine(machine, [
+            JobSpec(program=tiny_program("fuzz", iterations=6),
+                    policy=DefaultPolicy(), job_id="t",
+                    is_target=True),
+        ]).run()
+        assert result.target_time is not None

@@ -1,0 +1,85 @@
+"""Result metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.metrics import (
+    geometric_mean,
+    harmonic_mean,
+    median,
+    speedup,
+    speedups_over_baseline,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=12,
+)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_single(self):
+        assert harmonic_mean([3.5]) == 3.5
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(positive_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+    @given(positive_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_below_geometric_mean(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 5.0)
+        with pytest.raises(ValueError):
+            speedup(5.0, 0.0)
+
+    def test_over_baseline(self):
+        result = speedups_over_baseline(
+            {"default": 10.0, "mixture": 5.0}, baseline="default",
+        )
+        assert result == {"default": 1.0, "mixture": 2.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedups_over_baseline({"a": 1.0}, baseline="default")

@@ -1,0 +1,88 @@
+"""Engine tick tracing."""
+
+import csv
+
+import pytest
+
+from repro.core.policies import FixedPolicy
+from repro.machine.machine import SimMachine
+from repro.machine.topology import XEON_L7555
+from repro.runtime.engine import CoExecutionEngine, JobSpec
+from repro.runtime.tracing import TickRecord, TickTracer
+from tests.runtime.test_engine import tiny_program
+
+
+def traced_run(period=0.0, workload=True):
+    tracer = TickTracer(period=period)
+    jobs = [JobSpec(program=tiny_program("t", iterations=10, work=2.0),
+                    policy=FixedPolicy(8), job_id="target",
+                    is_target=True)]
+    if workload:
+        jobs.append(JobSpec(
+            program=tiny_program("w", iterations=5, work=1.0),
+            policy=FixedPolicy(4), job_id="w", restart=True,
+        ))
+    machine = SimMachine(topology=XEON_L7555)
+    CoExecutionEngine(machine, jobs, tracer=tracer).run()
+    return tracer
+
+
+class TestTickTracer:
+    def test_records_every_tick(self):
+        tracer = traced_run()
+        assert len(tracer.rows) > 10
+        first = tracer.rows[0]
+        assert first.available == 32
+        assert set(first.threads) == {"target", "w"}
+
+    def test_subsampling(self):
+        dense = traced_run(period=0.0)
+        sparse = traced_run(period=1.0)
+        assert len(sparse.rows) < len(dense.rows) / 3
+
+    def test_series(self):
+        tracer = traced_run()
+        series = tracer.series("target")
+        assert len(series) == len(tracer.rows)
+        assert any(threads == 8 for _, threads, _ in series)
+        assert all(granted <= 8 + 1e-9 for _, _, granted in series)
+
+    def test_job_ids(self):
+        tracer = traced_run()
+        assert tracer.job_ids() == ["target", "w"]
+
+    def test_utilisation_bounds(self):
+        tracer = traced_run()
+        assert 0.0 < tracer.utilisation() <= 1.0
+
+    def test_oversubscription_property(self):
+        record = TickRecord(
+            time=0.0, available=16, total_demand=48,
+            bandwidth_saturation=0.5, threads={}, granted={},
+        )
+        assert record.oversubscription == 3.0
+
+    def test_clear(self):
+        tracer = traced_run()
+        tracer.clear()
+        assert tracer.rows == []
+
+    def test_to_csv(self, tmp_path):
+        tracer = traced_run()
+        path = tracer.to_csv(tmp_path / "trace.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:4] == [
+            "time", "available", "total_demand", "saturation",
+        ]
+        assert "target.threads" in rows[0]
+        assert len(rows) == len(tracer.rows) + 1
+
+    def test_engine_without_tracer_unaffected(self):
+        machine = SimMachine(topology=XEON_L7555)
+        result = CoExecutionEngine(machine, [
+            JobSpec(program=tiny_program("t", iterations=4),
+                    policy=FixedPolicy(4), job_id="t",
+                    is_target=True),
+        ]).run()
+        assert result.target_time is not None

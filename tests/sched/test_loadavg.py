@@ -1,0 +1,75 @@
+"""Load-average dynamics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.loadavg import (
+    FIVE_MINUTES,
+    LoadAverage,
+    LoadAverages,
+    ONE_MINUTE,
+)
+
+
+class TestLoadAverage:
+    def test_converges_to_constant_load(self):
+        avg = LoadAverage(period=ONE_MINUTE)
+        for _ in range(10_000):
+            avg.update(active=4.0, dt=0.1)
+        assert avg.value == pytest.approx(4.0, rel=1e-3)
+
+    def test_single_step_decay(self):
+        avg = LoadAverage(period=60.0, value=10.0)
+        avg.update(active=0.0, dt=60.0)
+        assert avg.value == pytest.approx(10.0 * math.exp(-1.0))
+
+    def test_zero_dt_is_identity(self):
+        avg = LoadAverage(period=60.0, value=3.0)
+        avg.update(active=100.0, dt=0.0)
+        assert avg.value == 3.0
+
+    def test_shorter_period_reacts_faster(self):
+        fast = LoadAverage(period=ONE_MINUTE)
+        slow = LoadAverage(period=FIVE_MINUTES)
+        for _ in range(100):
+            fast.update(8.0, 0.1)
+            slow.update(8.0, 0.1)
+        assert fast.value > slow.value
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.001, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_value_bounded_by_active(self, active, dt):
+        avg = LoadAverage(period=60.0)
+        for _ in range(50):
+            avg.update(active, dt)
+        assert 0.0 <= avg.value <= active + 1e-9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            LoadAverage(period=0.0)
+        avg = LoadAverage(period=60.0)
+        with pytest.raises(ValueError):
+            avg.update(active=-1.0, dt=0.1)
+        with pytest.raises(ValueError):
+            avg.update(active=1.0, dt=-0.1)
+
+
+class TestLoadAverages:
+    def test_updates_both(self):
+        pair = LoadAverages()
+        pair.update(active=6.0, dt=30.0)
+        assert pair.ldavg_1 > pair.ldavg_5 > 0.0
+
+    def test_prime(self):
+        pair = LoadAverages()
+        pair.prime(12.0)
+        assert pair.ldavg_1 == 12.0
+        assert pair.ldavg_5 == 12.0
+
+    def test_periods(self):
+        pair = LoadAverages()
+        assert pair.one.period == 60.0
+        assert pair.five.period == 300.0

@@ -1,0 +1,53 @@
+"""Page-cache model."""
+
+import pytest
+
+from repro.sched.memory import PageCacheModel
+
+
+class TestPageCacheModel:
+    def test_initial_warm_cache(self):
+        model = PageCacheModel(ram_gb=64.0)
+        assert model.cached_gb == pytest.approx(6.4)
+
+    def test_relaxes_toward_working_set(self):
+        model = PageCacheModel(ram_gb=64.0)
+        for _ in range(1000):
+            model.update(memory_traffic=20.0, dt=0.1)
+        expected = 0.1 * 64.0 + 0.35 * 20.0
+        assert model.cached_gb == pytest.approx(expected, rel=0.02)
+
+    def test_cache_capped_below_ram(self):
+        model = PageCacheModel(ram_gb=16.0)
+        for _ in range(5000):
+            model.update(memory_traffic=1000.0, dt=0.1)
+        assert model.cached_gb <= 0.9 * 16.0 + 1e-6
+
+    def test_free_rate_tracks_traffic(self):
+        model = PageCacheModel(ram_gb=64.0)
+        model.update(memory_traffic=0.0, dt=0.1)
+        idle = model.pages_free_rate
+        model.update(memory_traffic=30.0, dt=0.1)
+        assert model.pages_free_rate > idle
+
+    def test_reclaim_under_pressure(self):
+        model = PageCacheModel(ram_gb=16.0)
+        for _ in range(5000):
+            model.update(memory_traffic=200.0, dt=0.1)
+        pressured = model.pages_free_rate
+        relaxed = PageCacheModel(ram_gb=16.0)
+        relaxed.update(memory_traffic=200.0, dt=0.1)
+        assert pressured > relaxed.pages_free_rate
+
+    def test_cached_fraction(self):
+        model = PageCacheModel(ram_gb=64.0)
+        assert model.cached_fraction == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageCacheModel(ram_gb=0.0)
+        model = PageCacheModel(ram_gb=8.0)
+        with pytest.raises(ValueError):
+            model.update(memory_traffic=-1.0, dt=0.1)
+        with pytest.raises(ValueError):
+            model.update(memory_traffic=1.0, dt=-0.1)

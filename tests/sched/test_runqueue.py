@@ -1,0 +1,38 @@
+"""Run-queue statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.runqueue import RunQueueStats
+
+
+class TestRunQueueStats:
+    def test_runq_sz_counts_all_runnable(self):
+        stats = RunQueueStats(runnable=48, processors=32)
+        assert stats.runq_sz == 48
+
+    def test_waiting(self):
+        assert RunQueueStats(48, 32).waiting == 16
+        assert RunQueueStats(8, 32).waiting == 0
+
+    def test_oversubscription(self):
+        assert RunQueueStats(64, 32).oversubscription == 2.0
+
+    def test_utilization_caps_at_one(self):
+        assert RunQueueStats(64, 32).utilization == 1.0
+        assert RunQueueStats(16, 32).utilization == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunQueueStats(runnable=-1, processors=4)
+        with pytest.raises(ValueError):
+            RunQueueStats(runnable=4, processors=0)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, runnable, processors):
+        stats = RunQueueStats(runnable, processors)
+        assert stats.waiting == max(0, runnable - processors)
+        assert 0.0 <= stats.utilization <= 1.0
+        assert stats.oversubscription >= 0.0

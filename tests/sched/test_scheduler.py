@@ -1,0 +1,141 @@
+"""Proportional-share scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.topology import XEON_L7555
+from repro.sched.scheduler import JobDemand, ProportionalShareScheduler
+
+
+def scheduler():
+    return ProportionalShareScheduler(XEON_L7555)
+
+
+class TestJobDemand:
+    def test_traffic(self):
+        demand = JobDemand("a", threads=10, memory_intensity=0.5)
+        assert demand.traffic == pytest.approx(5.0)
+
+    def test_traffic_scaled_by_locality(self):
+        local = JobDemand("a", threads=10, memory_intensity=0.5,
+                          locality=1.0)
+        remote = JobDemand("a", threads=10, memory_intensity=0.5,
+                           locality=0.5)
+        assert remote.traffic == pytest.approx(2 * local.traffic)
+
+    def test_zero_threads(self):
+        assert JobDemand("a", threads=0).traffic == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threads=-1),
+        dict(threads=1, memory_intensity=1.5),
+        dict(threads=1, memory_intensity=-0.1),
+        dict(threads=1, locality=0.0),
+        dict(threads=1, locality=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            JobDemand("a", **kwargs)
+
+
+class TestAllocation:
+    def test_undersubscribed_full_grant(self):
+        tick = scheduler().allocate(
+            [JobDemand("a", 8), JobDemand("b", 8)], available=32,
+        )
+        assert tick.allocations["a"].granted_cpus == pytest.approx(8.0)
+        assert tick.allocations["a"].switch_factor == 1.0
+
+    def test_oversubscribed_proportional(self):
+        tick = scheduler().allocate(
+            [JobDemand("a", 48), JobDemand("b", 16)], available=32,
+        )
+        assert tick.allocations["a"].granted_cpus == pytest.approx(24.0)
+        assert tick.allocations["b"].granted_cpus == pytest.approx(8.0)
+
+    def test_grants_sum_to_available_when_oversubscribed(self):
+        tick = scheduler().allocate(
+            [JobDemand("a", 40), JobDemand("b", 25), JobDemand("c", 7)],
+            available=20,
+        )
+        total = sum(a.granted_cpus for a in tick.allocations.values())
+        assert total == pytest.approx(20.0)
+
+    def test_switch_factor_degrades_with_overload(self):
+        light = scheduler().allocate([JobDemand("a", 32)], 32)
+        heavy = scheduler().allocate([JobDemand("a", 96)], 32)
+        assert light.allocations["a"].switch_factor == 1.0
+        assert heavy.allocations["a"].switch_factor < 1.0
+
+    def test_memory_factor_only_under_saturation(self):
+        sched = scheduler()
+        light = sched.allocate(
+            [JobDemand("a", 4, memory_intensity=0.5)], 32,
+        )
+        assert light.allocations["a"].memory_factor == 1.0
+        heavy = sched.allocate(
+            [JobDemand("a", 32, memory_intensity=1.0),
+             JobDemand("b", 32, memory_intensity=1.0)], 32,
+        )
+        assert heavy.allocations["a"].memory_factor < 1.0
+
+    def test_memory_factor_spares_compute_bound(self):
+        tick = scheduler().allocate(
+            [JobDemand("mem", 32, memory_intensity=1.0),
+             JobDemand("cpu", 32, memory_intensity=0.0)], 32,
+        )
+        assert tick.allocations["cpu"].memory_factor == 1.0
+        assert tick.allocations["mem"].memory_factor < 1.0
+
+    def test_effective_cpus_combines_factors(self):
+        tick = scheduler().allocate(
+            [JobDemand("a", 64, memory_intensity=1.0),
+             JobDemand("b", 64, memory_intensity=1.0)], 32,
+        )
+        alloc = tick.allocations["a"]
+        assert alloc.effective_cpus == pytest.approx(
+            alloc.granted_cpus * alloc.switch_factor
+            * alloc.memory_factor
+        )
+
+    def test_runqueue_reports_demand(self):
+        tick = scheduler().allocate(
+            [JobDemand("a", 48), JobDemand("b", 16)], 32,
+        )
+        assert tick.runqueue.runq_sz == 64
+        assert tick.runqueue.processors == 32
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            scheduler().allocate(
+                [JobDemand("a", 4), JobDemand("a", 4)], 32,
+            )
+
+    def test_available_bounds(self):
+        with pytest.raises(ValueError):
+            scheduler().allocate([JobDemand("a", 4)], 0)
+        with pytest.raises(ValueError, match="exceeds topology"):
+            scheduler().allocate([JobDemand("a", 4)], 64)
+
+    def test_empty_demands(self):
+        tick = scheduler().allocate([], 32)
+        assert tick.runqueue.runq_sz == 0
+        assert tick.memory_traffic == 0.0
+
+    @given(
+        threads=st.lists(st.integers(min_value=0, max_value=64),
+                         min_size=1, max_size=6),
+        available=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grant_invariants(self, threads, available):
+        demands = [
+            JobDemand(f"j{i}", n, memory_intensity=0.3)
+            for i, n in enumerate(threads)
+        ]
+        tick = scheduler().allocate(demands, available)
+        for demand in demands:
+            alloc = tick.allocations[demand.job_id]
+            assert 0.0 <= alloc.granted_cpus <= demand.threads + 1e-9
+            assert 0.0 < alloc.switch_factor <= 1.0
+            assert 0.0 < alloc.memory_factor <= 1.0

@@ -1,0 +1,138 @@
+"""Environment sampling and the external-perspective rule."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import XEON_L7555
+from repro.sched.scheduler import JobDemand, ProportionalShareScheduler
+from repro.sched.stats import (
+    ENV_FEATURE_NAMES,
+    EnvironmentSample,
+    SystemStatsSampler,
+    environment_norm,
+)
+
+
+def run_ticks(sampler, demands, ticks=5, dt=0.1):
+    sched = ProportionalShareScheduler(XEON_L7555)
+    time = 0.0
+    for _ in range(ticks):
+        allocation = sched.allocate(demands, 32)
+        sampler.update(time, dt, demands, allocation)
+        time += dt
+    return sampler
+
+
+class TestEnvironmentNorm:
+    def test_rms(self):
+        assert environment_norm([3.0, 4.0]) == pytest.approx(
+            np.sqrt((9 + 16) / 2)
+        )
+
+    def test_zero_vector(self):
+        assert environment_norm([0.0, 0.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            environment_norm([])
+
+    def test_scale_invariant_in_dim(self):
+        # RMS of a constant vector equals the constant, any dimension.
+        assert environment_norm([5.0] * 3) == pytest.approx(5.0)
+        assert environment_norm([5.0] * 7) == pytest.approx(5.0)
+
+
+class TestEnvironmentSample:
+    def sample(self):
+        return EnvironmentSample(
+            time=1.0, workload_threads=10, processors=32, runq_sz=12,
+            ldavg_1=11.0, ldavg_5=9.0, cached_memory=8.0,
+            pages_free_rate=1.0,
+        )
+
+    def test_vector_order_matches_table_1(self):
+        vec = self.sample().as_vector()
+        assert vec.tolist() == [10, 32, 12, 11.0, 9.0, 8.0, 1.0]
+        assert len(ENV_FEATURE_NAMES) == 7
+
+    def test_norm(self):
+        sample = self.sample()
+        assert sample.norm == pytest.approx(
+            environment_norm(sample.as_vector())
+        )
+
+
+class TestSystemStatsSampler:
+    def test_sample_before_update_rejected(self):
+        sampler = SystemStatsSampler(XEON_L7555)
+        with pytest.raises(RuntimeError):
+            sampler.sample()
+
+    def test_own_threads_excluded(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555),
+            [JobDemand("me", 8), JobDemand("other", 20)],
+        )
+        mine = sampler.sample("me")
+        assert mine.workload_threads == 20
+        assert mine.runq_sz == 20
+        neutral = sampler.sample(None)
+        assert neutral.workload_threads == 28
+        assert neutral.runq_sz == 28
+
+    def test_load_average_excludes_own_history(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555),
+            [JobDemand("me", 16), JobDemand("other", 16)],
+            ticks=3000,
+        )
+        mine = sampler.sample("me")
+        # Converged: total ldavg-1 ~ 32, own ~ 16 -> external ~ 16.
+        assert mine.ldavg_1 == pytest.approx(16.0, rel=0.1)
+
+    def test_prime_warm_starts(self):
+        sampler = SystemStatsSampler(XEON_L7555)
+        sampler.prime(10.0)
+        run_ticks(sampler, [JobDemand("a", 4)], ticks=1)
+        assert sampler.sample(None).ldavg_5 > 9.0
+
+    def test_memory_features_progress(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555),
+            [JobDemand("a", 32, memory_intensity=1.0)],
+            ticks=500,
+        )
+        sample = sampler.sample(None)
+        assert sample.cached_memory > 0.1 * XEON_L7555.ram_gb
+        assert sample.pages_free_rate > 0.0
+
+    def test_raw_pool_contains_canonical_and_extras(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555), [JobDemand("a", 8)],
+        )
+        raw = sampler.sample("a").raw
+        for name in ("env.workload_threads", "env.processors",
+                     "env.runq_sz", "env.ldavg_1", "env.ldavg_5",
+                     "env.cached_memory", "env.pages_free_rate",
+                     "env.oversubscription", "env.runq_sz_total",
+                     "env.own_threads"):
+            assert name in raw
+
+    def test_raw_nonlinear_expansions(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555), [JobDemand("a", 8)],
+        )
+        raw = sampler.sample(None).raw
+        assert raw["env.runq_sz.sq"] == pytest.approx(
+            raw["env.runq_sz"] ** 2
+        )
+        assert raw["env.runq_sz.log1p"] == pytest.approx(
+            np.log1p(raw["env.runq_sz"])
+        )
+
+    def test_unknown_perspective_treated_as_external(self):
+        sampler = run_ticks(
+            SystemStatsSampler(XEON_L7555), [JobDemand("a", 8)],
+        )
+        sample = sampler.sample("ghost")
+        assert sample.workload_threads == 8

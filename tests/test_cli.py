@@ -1,0 +1,53 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_every_figure_present(self):
+        expected = {
+            "fig1", "fig2", "fig3", "tab1", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b",
+            "fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
+            "fig16", "fig17", "ext-svm", "ext-data", "ext-port",
+            "ext-churn", "ext-rodinia", "ext-energy",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_descriptions_non_empty(self):
+        for description, runner in EXPERIMENTS.values():
+            assert description
+            assert callable(runner)
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "tab1" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "hardware contexts" in out
+
+
+class TestPackageEntryPoints:
+    def test_module_has_main(self):
+        import repro.__main__  # noqa: F401
+
+    def test_public_api_imports(self):
+        import repro
+
+        assert repro.__version__
+        assert len(repro.__all__) > 30
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,58 @@
+"""The example scripts must at least import and expose main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = load(path)
+        assert callable(getattr(module, "main", None)), path.stem
+        assert module.__doc__, f"{path.stem} needs a docstring"
+
+    def test_quickstart_mentions_public_api(self):
+        source = (EXAMPLES[0].parent / "quickstart.py").read_text()
+        assert "default_experts" in source
+        assert "MixturePolicy" in source
+
+    def test_custom_expert_builds(self, tiny_config):
+        """The hand-crafted expert of the example fits and predicts."""
+        module = load(EXAMPLES[0].parent / "custom_expert.py")
+        import repro.core.training as training
+
+        # Point the example's trainer at the tiny dataset for speed.
+        samples, _ = training.training_dataset(tiny_config)
+        original = training.training_dataset
+        training.training_dataset = lambda *a, **k: (samples, [])
+        try:
+            expert = module.build_fair_share_expert()
+        finally:
+            training.training_dataset = original
+        assert expert.name == "E5-fair-share"
+        assert expert.predict_threads(samples[0].features, 32) >= 1
+
+    def test_pagerank_module_is_valid_ir(self):
+        module = load(EXAMPLES[0].parent / "write_your_own_benchmark.py")
+        program = module.build_pagerank()
+        program.module.validate()
+        assert {r.loop_name for r in program.regions} == {
+            "gather", "apply",
+        }

@@ -1,0 +1,89 @@
+"""Text reporting helpers."""
+
+import pytest
+
+from repro.reporting import (
+    bar_chart,
+    render_table,
+    sparkline,
+    timeline_chart,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "speedup"],
+            [["cg", 1.5], ["blackscholes", 0.98]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in lines[1]
+        assert "0.98" in lines[2]
+        # columns align: all lines same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_format(self):
+        text = render_table(["a", "b"], [["x", 1.23456]],
+                            float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", 1]])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({"big": 2.0, "small": 1.0}, width=40)
+        big, small = text.splitlines()
+        assert big.count("#") > small.count("#")
+
+    def test_baseline_marker(self):
+        text = bar_chart({"a": 2.0, "b": 0.5}, width=40, baseline=1.0)
+        assert "|" in text.splitlines()[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=5)
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) <= 50
+
+    def test_monotone_series_ramps(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], width=10)
+        assert line[0] != line[-1]
+
+    def test_constant_series(self):
+        line = sparkline([5.0] * 20, width=10)
+        assert len(set(line)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestTimelineChart:
+    def test_contains_range(self):
+        text = timeline_chart(
+            [(0.0, 4.0), (10.0, 8.0), (20.0, 2.0)], label="threads",
+        )
+        assert "threads" in text
+        assert "min=2.0" in text
+        assert "max=8.0" in text
+        assert "[0s..20s]" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timeline_chart([])

@@ -1,0 +1,123 @@
+"""Workload churn: arrivals and delayed job starts."""
+
+import pytest
+
+from repro.core.policies import DefaultPolicy, FixedPolicy
+from repro.machine.machine import SimMachine
+from repro.machine.topology import XEON_L7555
+from repro.runtime.engine import CoExecutionEngine, JobSpec
+from repro.workload.arrivals import (
+    Arrival,
+    arrival_jobs,
+    generate_arrivals,
+)
+from tests.runtime.test_engine import tiny_program
+
+
+class TestGenerateArrivals:
+    def test_within_horizon(self):
+        arrivals = generate_arrivals(("cg", "ep"), rate=0.1,
+                                     horizon=200.0, seed=1)
+        assert arrivals
+        assert all(0 <= a.start_time < 200.0 for a in arrivals)
+
+    def test_rate_scales_count(self):
+        sparse = generate_arrivals(("cg",), rate=0.02, horizon=500.0,
+                                   seed=2)
+        dense = generate_arrivals(("cg",), rate=0.2, horizon=500.0,
+                                  seed=2)
+        assert len(dense) > 2 * len(sparse)
+
+    def test_deterministic(self):
+        a = generate_arrivals(("cg", "ep"), 0.1, 100.0, seed=5)
+        b = generate_arrivals(("cg", "ep"), 0.1, 100.0, seed=5)
+        assert a == b
+
+    def test_pool_respected(self):
+        arrivals = generate_arrivals(("is",), 0.1, 300.0, seed=3)
+        assert {a.program for a in arrivals} == {"is"}
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(pool=(), rate=0.1, horizon=10.0),
+        dict(pool=("cg",), rate=0.0, horizon=10.0),
+        dict(pool=("cg",), rate=0.1, horizon=0.0),
+        dict(pool=("cg",), rate=0.1, horizon=10.0,
+             size_range=(0.0, 0.5)),
+        dict(pool=("nope",), rate=0.1, horizon=10.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, KeyError)):
+            generate_arrivals(**kwargs)
+
+    def test_arrival_validation(self):
+        with pytest.raises(ValueError):
+            Arrival(program="cg", start_time=-1.0, iterations_scale=0.5)
+        with pytest.raises(ValueError):
+            Arrival(program="cg", start_time=0.0, iterations_scale=0.0)
+
+
+class TestArrivalJobs:
+    def test_materialises_jobs(self):
+        arrivals = [Arrival("cg", 5.0, 0.3), Arrival("ep", 9.0, 0.4)]
+        jobs = arrival_jobs(arrivals, DefaultPolicy)
+        assert [j.start_time for j in jobs] == [5.0, 9.0]
+        assert jobs[0].job_id.endswith("cg")
+        assert not jobs[0].restart
+
+    def test_distinct_policies(self):
+        arrivals = [Arrival("cg", 1.0, 0.3)] * 2
+        jobs = arrival_jobs(arrivals, DefaultPolicy)
+        assert jobs[0].policy is not jobs[1].policy
+
+
+class TestDelayedStart:
+    def test_late_job_invisible_until_start(self):
+        target = tiny_program("target", iterations=30, work=2.0)
+        late = tiny_program("late", iterations=10, work=2.0)
+        machine = SimMachine(topology=XEON_L7555)
+        engine = CoExecutionEngine(machine, [
+            JobSpec(program=target, policy=FixedPolicy(8),
+                    job_id="target", is_target=True),
+            JobSpec(program=late, policy=FixedPolicy(8), job_id="late",
+                    start_time=5.0),
+        ])
+        result = engine.run()
+        early = [p for p in result.timeline if p.time < 4.5]
+        late_points = [p for p in result.timeline if p.time > 6.0]
+        assert all(p.workload_threads == 0 for p in early)
+        assert any(p.workload_threads > 0 for p in late_points)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(program=tiny_program(), policy=FixedPolicy(1),
+                    start_time=-1.0)
+
+    def test_no_target_waits_for_late_job(self):
+        a = tiny_program("a", iterations=4, work=1.0)
+        b = tiny_program("b", iterations=4, work=1.0)
+        machine = SimMachine(topology=XEON_L7555)
+        engine = CoExecutionEngine(machine, [
+            JobSpec(program=a, policy=FixedPolicy(4), job_id="a"),
+            JobSpec(program=b, policy=FixedPolicy(4), job_id="b",
+                    start_time=10.0),
+        ])
+        result = engine.run()
+        assert result.job_times["b"] > 10.0
+
+    def test_late_arrival_slows_target(self):
+        target = tiny_program("target", iterations=40, work=3.0,
+                              loads=4)
+        machine = SimMachine(topology=XEON_L7555)
+        alone = CoExecutionEngine(machine, [
+            JobSpec(program=target, policy=FixedPolicy(16),
+                    job_id="target", is_target=True),
+        ]).run().target_time
+        noisy = CoExecutionEngine(machine, [
+            JobSpec(program=target, policy=FixedPolicy(16),
+                    job_id="target", is_target=True),
+            JobSpec(program=tiny_program("burst", iterations=30,
+                                         work=4.0, loads=4),
+                    policy=FixedPolicy(32), job_id="burst",
+                    start_time=2.0),
+        ]).run().target_time
+        assert noisy > alone

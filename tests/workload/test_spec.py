@@ -1,0 +1,46 @@
+"""Table 3 workload sets."""
+
+import pytest
+
+from repro.workload.spec import (
+    LARGE_WORKLOADS,
+    SMALL_WORKLOADS,
+    WorkloadSet,
+    workload_sets,
+)
+
+
+class TestTable3:
+    def test_small_sets(self):
+        assert SMALL_WORKLOADS[0].program_names == ("is", "cg")
+        assert SMALL_WORKLOADS[1].program_names == ("ammp", "fft")
+
+    def test_large_sets(self):
+        assert LARGE_WORKLOADS[0].program_names == (
+            "bt", "sp", "equake", "is", "cg", "art",
+        )
+        assert LARGE_WORKLOADS[1].program_names == (
+            "bscholes", "lu", "bt", "sp", "fmine", "art", "mg",
+        )
+
+    def test_all_programs_resolve(self):
+        for sets in (SMALL_WORKLOADS, LARGE_WORKLOADS):
+            for workload in sets:
+                programs = workload.programs()
+                assert len(programs) == len(workload.program_names)
+
+    def test_canonical_names(self):
+        assert LARGE_WORKLOADS[1].canonical_names[0] == "blackscholes"
+        assert SMALL_WORKLOADS[1].canonical_names[1] == "ft"
+
+    def test_lookup(self):
+        assert workload_sets("small") is SMALL_WORKLOADS
+        assert workload_sets("large") is LARGE_WORKLOADS
+        with pytest.raises(KeyError):
+            workload_sets("huge")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            WorkloadSet("x", "medium", ("is",))
+        with pytest.raises(ValueError, match="empty"):
+            WorkloadSet("x", "small", ())

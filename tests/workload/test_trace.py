@@ -1,0 +1,97 @@
+"""Live-system trace generation (Figure 1)."""
+
+import pytest
+
+from repro.machine.topology import HPC_SYSTEM
+from repro.workload.trace import (
+    FIFTY_HOURS,
+    LiveTrace,
+    generate_live_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_live_trace(seed=11)
+
+
+class TestGeneration:
+    def test_duration(self, trace):
+        assert trace.times[-1] == pytest.approx(FIFTY_HOURS, rel=0.01)
+
+    def test_bounded_by_capacity(self, trace):
+        capacity = HPC_SYSTEM.hw_contexts
+        assert all(0 <= n <= capacity for n in trace.threads)
+
+    def test_deterministic(self):
+        a = generate_live_trace(seed=3)
+        b = generate_live_trace(seed=3)
+        assert a.threads == b.threads
+
+    def test_seed_matters(self):
+        a = generate_live_trace(seed=3)
+        b = generate_live_trace(seed=4)
+        assert a.threads != b.threads
+
+    def test_is_dynamic(self, trace):
+        """Figure 1 shows "highly dynamic system activity"."""
+        values = set(trace.threads)
+        assert len(values) > 50
+        assert max(values) > 4 * min(values) + 1
+
+    def test_diurnal_structure(self, trace):
+        """Day halves should be busier than night halves on average."""
+        import numpy as np
+        threads = np.array(trace.threads, dtype=float)
+        assert threads.std() > 0.05 * HPC_SYSTEM.hw_contexts
+
+
+class TestWindow:
+    def test_window_bounds(self, trace):
+        window = trace.window(1000.0, 5000.0)
+        assert all(1000.0 <= t < 5000.0 for t in window.times)
+
+    def test_empty_window_rejected(self, trace):
+        with pytest.raises(ValueError, match="empty"):
+            trace.window(-100.0, -50.0)
+
+
+class TestScaleDown:
+    def test_proportional(self, trace):
+        scaled = trace.scale_down(max_processors=32)
+        ratio = 32 / HPC_SYSTEM.hw_contexts
+        for (time, small), big in zip(scaled, trace.threads):
+            if big == 0:
+                assert small == 0
+            else:
+                assert small >= 1
+                assert small <= max(1, round(big * ratio)) + 128
+
+    def test_cap(self, trace):
+        scaled = trace.scale_down(max_processors=8)
+        assert max(n for _, n in scaled) <= 32  # 4x cap
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            trace.scale_down(0)
+
+
+class TestFailureAvailability:
+    def test_failure_window_halves(self, trace):
+        schedule = trace.availability_from_failure(
+            max_processors=32,
+            failure_start=trace.times[0] + 1000.0,
+            failure_end=trace.times[0] + 3000.0,
+        )
+        assert schedule.available(500.0) == 32
+        assert schedule.available(2000.0) == 16
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LiveTrace(times=(0.0, 1.0), threads=(1,))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            LiveTrace(times=(), threads=())
