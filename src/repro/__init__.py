@@ -27,7 +27,7 @@ Quickstart::
     print(result.target_time)
 """
 
-from .compiler import IRBuilder, Module
+from .compiler import Diagnostic, IRBuilder, Module, Severity, lint_module
 from .machine import (
     CompactAffinity,
     FailureWindow,
@@ -86,6 +86,7 @@ __all__ = [
     "CoExecutionEngine",
     "CompactAffinity",
     "DefaultPolicy",
+    "Diagnostic",
     "Expert",
     "ExpertBundle",
     "FailureWindow",
@@ -104,6 +105,7 @@ __all__ = [
     "PeriodicAvailability",
     "ProgramModel",
     "ScatterAffinity",
+    "Severity",
     "SimMachine",
     "SimulationResult",
     "SingleExpertPolicy",
@@ -122,6 +124,7 @@ __all__ = [
     "generate_live_trace",
     "get_program",
     "harmonic_mean",
+    "lint_module",
     "reporting",
     "speedup",
     "workload_sets",

@@ -6,14 +6,18 @@ Examples::
     python -m repro tab1              # expert weights table
     python -m repro fig15b            # expert selection frequency
     python -m repro list              # all available experiments
+    python -m repro lint              # lint every benchmark's IR
+    python -m repro lint cg mg --format json
+    python -m repro lint --strict     # CI gate: warnings fail too
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .experiments import (
     DYNAMIC_SCENARIOS,
@@ -181,14 +185,147 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _parse_rule_codes(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Flatten repeated / comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    codes: List[str] = []
+    for value in values:
+        codes.extend(c.strip() for c in value.split(",") if c.strip())
+    return codes or None
+
+
+def _resolve_lint_targets(parser: argparse.ArgumentParser,
+                          targets: Sequence[str]):
+    """Resolve lint targets to an ordered ``{label: module}`` mapping.
+
+    A target is a registered program name (or paper alias), a suite
+    name (``nas``, ``spec``, ``parsec``, ``rodinia``), or a path to a
+    textual-IR file.  No targets means the entire benchmark registry —
+    the CI gate.  Files are parsed without validation so structural
+    problems surface as R000 diagnostics instead of a crash.
+    """
+    from .compiler.parser import IRParseError, parse_module
+    from .programs import registry
+
+    modules: Dict[str, object] = {}
+
+    def add(label: str, module) -> None:
+        if label in modules:
+            parser.error(f"duplicate lint target {label!r}")
+        modules[label] = module
+
+    if not targets:
+        for program in registry.all_programs():
+            add(program.name, program.module)
+        return modules
+
+    suite_names = set(registry.suites())
+    for target in targets:
+        if os.path.sep in target or os.path.isfile(target):
+            try:
+                with open(target, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as error:
+                parser.error(f"cannot read {target!r}: {error}")
+            try:
+                module = parse_module(text, validate=False)
+            except IRParseError as error:
+                parser.error(f"{target}: {error}")
+            add(target, module)
+        elif target in suite_names:
+            for program in registry.suite(target):
+                add(program.name, program.module)
+        else:
+            try:
+                program = registry.get(target)
+            except KeyError as error:
+                parser.error(str(error.args[0]))
+            add(program.name, program.module)
+    return modules
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro lint``: run the IR static analysis and report findings."""
+    from .compiler.analysis import (
+        Linter,
+        all_rules,
+        is_failure,
+        render_diagnostics_json,
+        render_diagnostics_text,
+    )
+
+    rule_lines = "\n".join(
+        f"  {r.code}  {r.name:26s} [{r.severity.value}] {r.summary}"
+        for r in all_rules()
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis (lint) over benchmark IR modules.",
+        epilog=f"rules:\n{rule_lines}",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="program name, paper alias, suite name (nas/spec/parsec/"
+             "rodinia), or a textual-IR file; default: every "
+             "registered benchmark",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="promote warnings to failures (info never fails)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="CODES",
+        help="run only these rule codes (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="CODES",
+        help="skip these rule codes (comma-separated, repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        linter = Linter(
+            select=_parse_rule_codes(args.select),
+            ignore=_parse_rule_codes(args.ignore),
+        )
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+
+    modules = _resolve_lint_targets(parser, args.targets)
+    results = {
+        label: linter.lint(module) for label, module in modules.items()
+    }
+    if args.format == "json":
+        print(render_diagnostics_json(results, strict=args.strict))
+    else:
+        print(render_diagnostics_text(results, strict=args.strict))
+    failed = any(
+        is_failure(diagnostics, strict=args.strict)
+        for diagnostics in results.values()
+    )
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the paper's figures and tables.",
+        description="Regenerate the paper's figures and tables, or lint "
+                    "the benchmark IR ('repro lint --help').",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig1..fig17, tab1) or 'list' / 'all'",
+        help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
+             "'lint' subcommand",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -199,6 +336,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
+        print(f"{'lint':8s} static IR diagnostics over the benchmark "
+              f"registry ('repro lint --help')")
         return 0
 
     names = (

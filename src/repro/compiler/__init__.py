@@ -31,16 +31,31 @@ from .features import (
     extract_raw_loop_features,
     raw_code_feature_names,
 )
+from .analysis import (
+    Diagnostic,
+    IRLintError,
+    Linter,
+    LintRule,
+    Location,
+    Severity,
+    all_rules,
+    lint_module,
+)
 
 __all__ = [
     "AccessPattern",
     "CODE_FEATURE_NAMES",
     "CodeFeatures",
+    "Diagnostic",
     "Function",
     "IRBuilder",
     "IRBuilderError",
+    "IRLintError",
     "IRValidationError",
     "Instruction",
+    "LintRule",
+    "Linter",
+    "Location",
     "LoopAnalysis",
     "Module",
     "ModuleAnalysis",
@@ -48,10 +63,13 @@ __all__ = [
     "ParallelLoop",
     "PassManager",
     "Schedule",
+    "Severity",
+    "all_rules",
     "analyze_loop",
     "analyze_module",
     "extract_code_features",
     "extract_raw_loop_features",
     "format_module",
+    "lint_module",
     "raw_code_feature_names",
 ]

@@ -1,0 +1,62 @@
+"""Static analysis over the compiler IR: lint rules and diagnostics.
+
+The feature-extraction pipeline (Section 5.2.2 of the paper) consumes
+IR modules wholesale; this package is the safety net in front of it.
+It follows the shape of a compiler diagnostics framework:
+
+* :class:`Diagnostic` / :class:`Severity` / :class:`Location` — one
+  finding of one rule, down to module/function/loop/instruction;
+* :mod:`~repro.compiler.analysis.rules` — the built-in rule set
+  (R001..R010): data races in parallel loops, reduction consistency,
+  virtual-register def/use, barrier placement, degenerate loops,
+  schedule/access consistency, feature-extraction sanity;
+* :class:`Linter` / :func:`lint_module` — composes rule passes;
+* ``repro lint`` (:mod:`repro.cli`) — the command-line surface, also
+  run over the whole benchmark registry in CI.
+
+See ``docs/static_analysis.md`` for the rule catalogue with offending
+IR examples and fixes.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    IRLintError,
+    Location,
+    Severity,
+    is_failure,
+    max_severity,
+)
+from .linter import (
+    Linter,
+    VALIDATION_CODE,
+    analyze_module,
+    lint_module,
+    summarize,
+)
+from .rules import LintRule, all_rules, get_rule, is_shared_operand
+from .report import (
+    diagnostics_payload,
+    render_diagnostics_json,
+    render_diagnostics_text,
+)
+
+__all__ = [
+    "Diagnostic",
+    "IRLintError",
+    "LintRule",
+    "Linter",
+    "Location",
+    "Severity",
+    "VALIDATION_CODE",
+    "all_rules",
+    "analyze_module",
+    "diagnostics_payload",
+    "get_rule",
+    "is_failure",
+    "is_shared_operand",
+    "lint_module",
+    "max_severity",
+    "render_diagnostics_json",
+    "render_diagnostics_text",
+    "summarize",
+]

@@ -1,0 +1,169 @@
+"""Diagnostic model for the IR static-analysis framework.
+
+A :class:`Diagnostic` is one finding of one lint rule: a stable rule
+code (``R001``...), a :class:`Severity`, a human-readable message and a
+:class:`Location` that points as deep into the IR as the rule can see —
+module, function, (possibly nested) loop, instruction index.
+
+Severities follow the usual compiler convention:
+
+* ``error``   — the IR is wrong; feature extraction or parallel
+  execution semantics would be corrupted (races, undefined values,
+  division by zero in normalization).
+* ``warning`` — the IR is suspicious and probably not what the
+  benchmark author meant (undeclared reductions, degenerate loops,
+  barriers in hot inner loops).
+* ``info``    — stylistic or advisory observations (unused virtual
+  registers, schedule hints).  Never affects exit codes, even under
+  ``--strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..ir import IRValidationError
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where in the IR a diagnostic points.
+
+    ``loop`` is a dotted path for nested loops (``outer.inner``);
+    ``instruction`` is the index into the owning instruction list.
+    Every field after ``module`` is optional: module-level findings
+    (e.g. "no parallel loops") leave the rest unset.
+    """
+
+    module: str
+    function: Optional[str] = None
+    loop: Optional[str] = None
+    instruction: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.module]
+        if self.function is not None:
+            parts.append(self.function)
+        if self.loop is not None:
+            parts.append(self.loop)
+        text = ":".join(parts)
+        if self.instruction is not None:
+            text += f"#{self.instruction}"
+        return text
+
+    def sort_key(self) -> tuple:
+        return (
+            self.module,
+            self.function or "",
+            self.loop or "",
+            -1 if self.instruction is None else self.instruction,
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one location."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Location
+
+    def __str__(self) -> str:
+        return (
+            f"{self.location}: {self.code} "
+            f"{self.severity.value}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by ``repro lint --format json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "module": self.location.module,
+            "function": self.location.function,
+            "loop": self.location.loop,
+            "instruction": self.location.instruction,
+        }
+
+    def sort_key(self) -> tuple:
+        return (-self.severity.rank, *self.location.sort_key(), self.code)
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or None for a clean result."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def is_failure(
+    diagnostics: Sequence[Diagnostic], strict: bool = False
+) -> bool:
+    """Whether a lint result should fail a gate.
+
+    Errors always fail; ``strict`` promotes warnings to failures.
+    Info diagnostics never fail.
+    """
+    worst = max_severity(diagnostics)
+    if worst is None:
+        return False
+    if strict:
+        return worst >= Severity.WARNING
+    return worst >= Severity.ERROR
+
+
+class IRLintError(IRValidationError):
+    """Raised by the opt-in lint hooks when a module has lint errors.
+
+    Subclasses :class:`~repro.compiler.ir.IRValidationError` so callers
+    that already guard module construction with that exception keep
+    working when they turn linting on.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics
+                  if d.severity is Severity.ERROR]
+        summary = "; ".join(str(d) for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; ... ({len(errors) - 3} more)"
+        super().__init__(f"module failed lint: {summary}")

@@ -1,0 +1,129 @@
+"""The :class:`Linter`: composes rule passes into one diagnostics run.
+
+Library entry points::
+
+    from repro.compiler.analysis import lint_module
+
+    diagnostics = lint_module(module)            # all rules
+    diagnostics = lint_module(module, select={"R001"})
+    diagnostics = lint_module(module, ignore={"R005"})
+
+Structural validation runs first: a module that fails
+:meth:`~repro.compiler.ir.Module.validate` produces a single ``R000``
+error diagnostic (rules assume a structurally valid module and are
+skipped).  ``R000`` is therefore a pseudo-code: it cannot be selected
+or ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..ir import IRValidationError, Module
+from .diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    is_failure,
+    max_severity,
+)
+from .rules import LintRule, all_rules, get_rule
+
+#: Pseudo rule code for structural validation failures.
+VALIDATION_CODE = "R000"
+
+
+class Linter:
+    """Runs a (sub)set of the registered rules over modules."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        """Restrict the rule set.
+
+        ``select`` keeps only the listed rule codes; ``ignore`` drops
+        the listed codes afterwards.  Unknown codes raise ``KeyError``
+        immediately, so typos fail loudly rather than silently linting
+        with the wrong rule set.
+        """
+        rules = all_rules()
+        if select is not None:
+            selected = {get_rule(code).code for code in select}
+            rules = [r for r in rules if r.code in selected]
+        if ignore is not None:
+            ignored = {get_rule(code).code for code in ignore}
+            rules = [r for r in rules if r.code not in ignored]
+        self.rules: List[LintRule] = rules
+
+    def lint(self, module: Module) -> List[Diagnostic]:
+        """All diagnostics for one module, worst severity first."""
+        try:
+            module.validate()
+        except IRValidationError as error:
+            return [Diagnostic(
+                code=VALIDATION_CODE,
+                severity=Severity.ERROR,
+                message=f"structural validation failed: {error}",
+                location=Location(module.name),
+            )]
+        diagnostics: List[Diagnostic] = []
+        for lint_rule in self.rules:
+            diagnostics.extend(lint_rule.check(module))
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics
+
+    def lint_many(
+        self, modules: Iterable[Module]
+    ) -> Dict[str, List[Diagnostic]]:
+        """Lint several modules; mapping preserves input order."""
+        return {m.name: self.lint(m) for m in modules}
+
+
+def lint_module(
+    module: Module,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one module with the full (or a restricted) rule set."""
+    return Linter(select=select, ignore=ignore).lint(module)
+
+
+#: Issue-facing alias: "analyze_module(module) -> list[Diagnostic]".
+#: Distinct from :func:`repro.compiler.passes.analyze_module`, which
+#: computes instruction-count analyses; import from this package
+#: explicitly when you want diagnostics.
+analyze_module = lint_module
+
+
+def summarize(
+    results: Mapping[str, List[Diagnostic]], strict: bool = False
+) -> Dict[str, int]:
+    """Severity counts plus the gate verdict over a multi-module run."""
+    flat = [d for diagnostics in results.values() for d in diagnostics]
+    return {
+        "modules": len(results),
+        "errors": sum(
+            1 for d in flat if d.severity is Severity.ERROR
+        ),
+        "warnings": sum(
+            1 for d in flat if d.severity is Severity.WARNING
+        ),
+        "infos": sum(1 for d in flat if d.severity is Severity.INFO),
+        "failed": sum(
+            1 for diagnostics in results.values()
+            if is_failure(diagnostics, strict=strict)
+        ),
+    }
+
+
+__all__ = [
+    "Linter",
+    "VALIDATION_CODE",
+    "analyze_module",
+    "is_failure",
+    "lint_module",
+    "max_severity",
+    "summarize",
+]

@@ -1,0 +1,74 @@
+"""Rendering lint results as text or JSON.
+
+Follows the conventions of :mod:`repro.reporting`: text output is a
+stream of ``location: code severity: message`` lines plus a
+:func:`~repro.reporting.render_table` summary; JSON output goes through
+:func:`~repro.reporting.render_json` so every CLI surface serialises
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ...reporting import render_json, render_table
+from .diagnostics import Diagnostic, Severity
+from .linter import is_failure, summarize
+
+
+def render_diagnostics_text(
+    results: Mapping[str, List[Diagnostic]], strict: bool = False
+) -> str:
+    """Human-readable lint report: one line per finding, then a table."""
+    lines: List[str] = []
+    for name, diagnostics in results.items():
+        for diagnostic in diagnostics:
+            lines.append(str(diagnostic))
+    summary = summarize(results, strict=strict)
+    rows = []
+    for name, diagnostics in sorted(results.items()):
+        errors = sum(1 for d in diagnostics
+                     if d.severity is Severity.ERROR)
+        warnings = sum(1 for d in diagnostics
+                       if d.severity is Severity.WARNING)
+        infos = sum(1 for d in diagnostics
+                    if d.severity is Severity.INFO)
+        verdict = "FAIL" if is_failure(diagnostics, strict=strict) else "ok"
+        rows.append((name, errors, warnings, infos, verdict))
+    if lines:
+        lines.append("")
+    lines.append(render_table(
+        headers=("module", "errors", "warnings", "infos", "verdict"),
+        rows=rows,
+    ))
+    lines.append(
+        f"{summary['modules']} module(s): {summary['errors']} error(s), "
+        f"{summary['warnings']} warning(s), {summary['infos']} info(s)"
+        + (" [strict]" if strict else "")
+    )
+    return "\n".join(lines)
+
+
+def diagnostics_payload(
+    results: Mapping[str, List[Diagnostic]], strict: bool = False
+) -> Dict[str, object]:
+    """JSON-ready payload for a multi-module lint run."""
+    return {
+        "strict": strict,
+        "modules": [
+            {
+                "module": name,
+                "failed": is_failure(diagnostics, strict=strict),
+                "diagnostics": [d.as_dict() for d in diagnostics],
+            }
+            for name, diagnostics in results.items()
+        ],
+        "summary": summarize(results, strict=strict),
+    }
+
+
+def render_diagnostics_json(
+    results: Mapping[str, List[Diagnostic]], strict: bool = False
+) -> str:
+    """The JSON report (``repro lint --format json``)."""
+    return render_json(diagnostics_payload(results, strict=strict))

@@ -1,0 +1,417 @@
+"""The built-in lint rule set (R001..R010).
+
+Each rule is a generator ``(module) -> Iterator[Diagnostic]`` registered
+with the :func:`rule` decorator.  Rules never mutate the module and are
+independent of each other; the :class:`~repro.compiler.analysis.linter.
+Linter` composes them.
+
+Operand convention
+------------------
+
+The IR carries opaque operand names.  The rules interpret them with the
+convention used throughout :mod:`repro.programs` and documented in
+``docs/static_analysis.md``:
+
+* operands starting with ``%`` are **thread-private**: virtual registers
+  (``%v0``) or per-iteration memory handles (``%mem``, the builder's
+  default address, which models a distinct element per iteration);
+* any other operand (``sum``, ``@hist``) names a **shared** memory
+  location — the *same* location in every iteration of a parallel loop.
+
+A ``store`` to a shared location from inside a parallel loop is a
+write-write data race unless it is protected (see :func:`_racy_stores`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..ir import (
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+    ParallelLoop,
+    AccessPattern,
+    Schedule,
+    SYNC_OPCODES,
+)
+from ..passes import analyze_module
+from .diagnostics import Diagnostic, Location, Severity
+
+RuleCheck = Callable[[Module], Iterator[Diagnostic]]
+
+#: Operands matching this are virtual registers subject to def/use rules.
+VREG_RE = re.compile(r"^%v\d+$")
+
+#: Opcodes that protect the shared-memory update that follows them.
+PROTECTING_OPCODES = frozenset({Opcode.ATOMIC, Opcode.CRITICAL})
+
+
+def is_shared_operand(operand: str) -> bool:
+    """Whether an operand names a shared memory location (see module doc)."""
+    return not operand.startswith("%")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: stable code, default severity, checker."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    check: RuleCheck
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def rule(code: str, name: str, severity: Severity, summary: str):
+    """Register a checker function as a lint rule."""
+
+    def decorator(check: RuleCheck) -> RuleCheck:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code!r}")
+        _REGISTRY[code] = LintRule(
+            code=code, name=name, severity=severity, summary=summary,
+            check=check,
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> List[LintRule]:
+    """Every registered rule, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> LintRule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {known}"
+        ) from None
+
+
+def _walk_loops(
+    function: Function,
+) -> Iterator[Tuple[ParallelLoop, str, ParallelLoop, int]]:
+    """Yield ``(loop, dotted_path, top_level_loop, depth)`` for all loops."""
+
+    def walk(loop: ParallelLoop, prefix: str, top: ParallelLoop,
+             depth: int) -> Iterator[Tuple[ParallelLoop, str, ParallelLoop, int]]:
+        path = f"{prefix}.{loop.name}" if prefix else loop.name
+        yield loop, path, top, depth
+        for inner in loop.nested:
+            yield from walk(inner, path, top, depth + 1)
+
+    for loop in function.loops:
+        yield from walk(loop, "", loop, 1)
+
+
+def _diag(registered_code: str, message: str, location: Location,
+          severity: Optional[Severity] = None) -> Diagnostic:
+    registered = _REGISTRY[registered_code]
+    return Diagnostic(
+        code=registered.code,
+        severity=severity or registered.severity,
+        message=message,
+        location=location,
+    )
+
+
+# ---------------------------------------------------------------------------
+# R001 — parallel-loop data races
+# ---------------------------------------------------------------------------
+
+def _region_has_reduce(loop: ParallelLoop) -> bool:
+    return any(i.opcode is Opcode.REDUCE for i in loop.instructions())
+
+
+@rule(
+    "R001", "racy-store", Severity.ERROR,
+    "store to a shared location in a parallel loop without "
+    "atomic/critical/reduction protection",
+)
+def _racy_stores(module: Module) -> Iterator[Diagnostic]:
+    """Detect unprotected stores to shared locations in parallel loops.
+
+    A store to a shared operand (see module docstring) is protected if
+
+    * the instruction immediately before it is ``atomic`` or
+      ``critical`` (modelling ``#pragma omp atomic`` / a critical
+      section around the update), or
+    * the enclosing top-level loop is declared ``reduction`` *and* the
+      region contains a ``reduce`` instruction (the update is the
+      combine step of a declared reduction).
+
+    The loop's declared :class:`AccessPattern` is reported alongside:
+    an irregular loop scattering into shared data is the classic race
+    the paper's cg/mg/art codes must avoid.
+    """
+    for function in module.functions:
+        for loop, path, top, _depth in _walk_loops(function):
+            reduction_protected = (
+                top.has_reduction and _region_has_reduce(top)
+            )
+            for index, inst in enumerate(loop.body):
+                if inst.opcode is not Opcode.STORE:
+                    continue
+                shared = [op for op in inst.operands
+                          if is_shared_operand(op)]
+                if not shared:
+                    continue
+                if reduction_protected:
+                    continue
+                if (index > 0
+                        and loop.body[index - 1].opcode
+                        in PROTECTING_OPCODES):
+                    continue
+                yield _diag(
+                    "R001",
+                    f"store to shared location "
+                    f"{', '.join(repr(s) for s in shared)} in parallel "
+                    f"loop {top.name!r} "
+                    f"(access={top.access_pattern.value}) is a "
+                    f"write-write race: every iteration writes the same "
+                    f"location with no atomic/critical/reduction "
+                    f"protection",
+                    Location(module.name, function.name, path, index),
+                )
+
+
+# ---------------------------------------------------------------------------
+# R002 / R003 — reduction consistency
+# ---------------------------------------------------------------------------
+
+@rule(
+    "R002", "undeclared-reduction", Severity.WARNING,
+    "reduce instruction in a loop not declared as a reduction",
+)
+def _undeclared_reduction(module: Module) -> Iterator[Diagnostic]:
+    for function in module.functions:
+        for loop, path, top, _depth in _walk_loops(function):
+            if top.has_reduction:
+                continue
+            for index, inst in enumerate(loop.body):
+                if inst.opcode is Opcode.REDUCE:
+                    yield _diag(
+                        "R002",
+                        f"loop {top.name!r} executes a reduce "
+                        f"instruction but is not declared "
+                        f"[reduction]; feature extraction and the "
+                        f"scaling model will treat it as "
+                        f"reduction-free",
+                        Location(module.name, function.name, path, index),
+                    )
+
+
+@rule(
+    "R003", "unrealized-reduction", Severity.INFO,
+    "loop declared as a reduction contains no combining instruction",
+)
+def _unrealized_reduction(module: Module) -> Iterator[Diagnostic]:
+    for function in module.functions:
+        for loop in function.loops:
+            if not loop.has_reduction:
+                continue
+            ops = {i.opcode for i in loop.instructions()}
+            if not (ops & {Opcode.REDUCE, Opcode.ATOMIC, Opcode.CRITICAL}):
+                yield _diag(
+                    "R003",
+                    f"loop {loop.name!r} is declared [reduction] but "
+                    f"contains no reduce/atomic/critical instruction; "
+                    f"the combine step is implicit",
+                    Location(module.name, function.name, loop.name),
+                )
+
+
+# ---------------------------------------------------------------------------
+# R004 / R005 — virtual-register def/use
+# ---------------------------------------------------------------------------
+
+def _scopes(function: Function):
+    """Yield ``(loop_path_or_None, instruction_list)`` in program order."""
+    yield None, function.serial
+    for loop, path, _top, _depth in _walk_loops(function):
+        yield path, loop.body
+
+
+@rule(
+    "R004", "use-before-def", Severity.ERROR,
+    "virtual register used before (or without) a definition",
+)
+def _use_before_def(module: Module) -> Iterator[Diagnostic]:
+    """Virtual registers (``%v<n>``) must be defined before use.
+
+    Scopes are scanned in program order: serial code, then each loop
+    region.  Operands that are not ``%v``-registers (memory handles
+    like ``%mem``, symbols, callees) are exempt.
+    """
+    for function in module.functions:
+        defined: set = set()
+        for path, body in _scopes(function):
+            for index, inst in enumerate(body):
+                for operand in inst.operands:
+                    if VREG_RE.match(operand) and operand not in defined:
+                        yield _diag(
+                            "R004",
+                            f"virtual register {operand} used before "
+                            f"definition",
+                            Location(module.name, function.name, path,
+                                     index),
+                        )
+                if inst.result is not None:
+                    defined.add(inst.result)
+
+
+@rule(
+    "R005", "unused-register", Severity.INFO,
+    "virtual registers defined but never read",
+)
+def _unused_registers(module: Module) -> Iterator[Diagnostic]:
+    """Report dead ``%``-results, aggregated per scope.
+
+    The IR builder synthesises result names for printability, so dead
+    registers are pervasive and advisory only — one info diagnostic
+    per scope, carrying the count.
+    """
+    for function in module.functions:
+        used = {
+            op for inst in function.instructions() for op in inst.operands
+        }
+        for path, body in _scopes(function):
+            dead = [inst.result for inst in body
+                    if inst.result is not None and inst.result not in used]
+            if not dead:
+                continue
+            preview = ", ".join(dead[:3])
+            if len(dead) > 3:
+                preview += ", ..."
+            where = f"loop {path!r}" if path else "serial code"
+            yield _diag(
+                "R005",
+                f"{len(dead)} virtual register(s) defined but never "
+                f"read in {where}: {preview}",
+                Location(module.name, function.name, path),
+            )
+
+
+# ---------------------------------------------------------------------------
+# R006 — barriers in hot inner loops
+# ---------------------------------------------------------------------------
+
+@rule(
+    "R006", "barrier-in-inner-loop", Severity.WARNING,
+    "barrier inside a nested loop synchronises once per inner iteration",
+)
+def _barrier_in_inner_loop(module: Module) -> Iterator[Diagnostic]:
+    for function in module.functions:
+        for loop, path, top, depth in _walk_loops(function):
+            if depth == 1 or loop.trip_count <= 1:
+                continue
+            for index, inst in enumerate(loop.body):
+                if inst.opcode is Opcode.BARRIER:
+                    yield _diag(
+                        "R006",
+                        f"barrier inside nested loop {path!r} "
+                        f"(trip={loop.trip_count}) synchronises "
+                        f"{loop.trip_count}x per iteration of "
+                        f"{top.name!r}; hoist it to the parallel loop "
+                        f"body",
+                        Location(module.name, function.name, path, index),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R007 — degenerate loops
+# ---------------------------------------------------------------------------
+
+@rule(
+    "R007", "degenerate-loop", Severity.WARNING,
+    "parallel loop with no exploitable parallelism or no computation",
+)
+def _degenerate_loops(module: Module) -> Iterator[Diagnostic]:
+    for function in module.functions:
+        for loop in function.loops:
+            if loop.trip_count == 1:
+                yield _diag(
+                    "R007",
+                    f"parallel loop {loop.name!r} has trip_count=1; a "
+                    f"single iteration cannot be distributed over "
+                    f"threads",
+                    Location(module.name, function.name, loop.name),
+                )
+            instructions = list(loop.instructions())
+            if instructions and all(
+                i.opcode in SYNC_OPCODES for i in instructions
+            ):
+                yield _diag(
+                    "R007",
+                    f"parallel loop {loop.name!r} contains only "
+                    f"synchronisation instructions; it synchronises "
+                    f"without computing",
+                    Location(module.name, function.name, loop.name),
+                )
+
+
+# ---------------------------------------------------------------------------
+# R008 — schedule / access-pattern consistency
+# ---------------------------------------------------------------------------
+
+@rule(
+    "R008", "static-irregular-schedule", Severity.INFO,
+    "irregular access with a static schedule is prone to load imbalance",
+)
+def _schedule_access(module: Module) -> Iterator[Diagnostic]:
+    for function in module.functions:
+        for loop in function.loops:
+            if (loop.access_pattern is AccessPattern.IRREGULAR
+                    and loop.schedule is Schedule.STATIC):
+                yield _diag(
+                    "R008",
+                    f"loop {loop.name!r} declares irregular accesses "
+                    f"with a static schedule; iteration costs will "
+                    f"vary, consider sched=dynamic or sched=guided",
+                    Location(module.name, function.name, loop.name),
+                )
+
+
+# ---------------------------------------------------------------------------
+# R009 / R010 — feature-extraction sanity
+# ---------------------------------------------------------------------------
+
+@rule(
+    "R009", "empty-module", Severity.ERROR,
+    "module with zero dynamic instructions breaks feature normalization",
+)
+def _empty_module(module: Module) -> Iterator[Diagnostic]:
+    analysis = analyze_module(module)
+    if analysis.total_instructions == 0:
+        yield _diag(
+            "R009",
+            f"module {module.name!r} has a total dynamic instruction "
+            f"count of zero; the f1..f3 code features are normalized "
+            f"by this total and would be meaningless",
+            Location(module.name),
+        )
+
+
+@rule(
+    "R010", "no-parallel-loops", Severity.WARNING,
+    "module has no parallel loops to extract features from",
+)
+def _no_parallel_loops(module: Module) -> Iterator[Diagnostic]:
+    if not any(True for _ in module.parallel_loops()):
+        yield _diag(
+            "R010",
+            f"module {module.name!r} has no parallel loops; there is "
+            f"nothing for the thread-selection models to map",
+            Location(module.name),
+        )

@@ -91,12 +91,24 @@ class IRBuilder:
         finally:
             self._loop_stack.pop()
 
-    def build(self, validate: bool = True) -> Module:
-        """Finish construction and return the module."""
+    def build(self, validate: bool = True, lint: bool = False) -> Module:
+        """Finish construction and return the module.
+
+        With ``lint=True`` the static-analysis rules of
+        :mod:`repro.compiler.analysis` also run and any error-severity
+        diagnostic (e.g. a racy store, rule R001) raises
+        :class:`~repro.compiler.analysis.IRLintError`.
+        """
         if self._function is not None:
             raise IRBuilderError("build() called with an open function")
         if validate:
             self._module.validate()
+        if lint:
+            from .analysis import IRLintError, Severity, lint_module
+
+            diagnostics = lint_module(self._module)
+            if any(d.severity is Severity.ERROR for d in diagnostics):
+                raise IRLintError(diagnostics)
         return self._module
 
     # -- emission --------------------------------------------------------

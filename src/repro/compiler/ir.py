@@ -246,6 +246,21 @@ class Module:
         if not self.functions:
             raise IRValidationError(f"module {self.name!r} has no functions")
         seen: set[str] = set()
+        loop_names: set[str] = set()
+
+        def check_loop_names(loop: "ParallelLoop") -> None:
+            # Loops are resolved by name module-wide (analysis passes,
+            # extract_code_features), so names must be unique across
+            # functions and nesting levels, not just within one list.
+            if loop.name in loop_names:
+                raise IRValidationError(
+                    f"module {self.name!r}: duplicate parallel loop "
+                    f"{loop.name!r}"
+                )
+            loop_names.add(loop.name)
+            for inner in loop.nested:
+                check_loop_names(inner)
+
         for function in self.functions:
             if function.name in seen:
                 raise IRValidationError(
@@ -254,6 +269,8 @@ class Module:
                 )
             seen.add(function.name)
             function.validate()
+            for loop in function.loops:
+                check_loop_names(loop)
 
     def __str__(self) -> str:
         return format_module(self)

@@ -110,11 +110,18 @@ def _parse_instruction(line: str, line_number: int) -> Instruction:
     return Instruction(opcode=opcode, operands=operands, result=result)
 
 
-def parse_module(text: str, validate: bool = True) -> Module:
+def parse_module(
+    text: str, validate: bool = True, lint: bool = False
+) -> Module:
     """Parse a textual module back into IR.
 
     Round-trip property: ``parse_module(format_module(m))`` equals ``m``
     structurally (checked by the test suite, including by hypothesis).
+
+    With ``lint=True`` the static-analysis rules of
+    :mod:`repro.compiler.analysis` run on the parsed module and any
+    error-severity diagnostic raises
+    :class:`~repro.compiler.analysis.IRLintError`.
     """
     module: Optional[Module] = None
     function: Optional[Function] = None
@@ -192,4 +199,10 @@ def parse_module(text: str, validate: bool = True) -> Module:
         raise IRParseError(0, "unexpected end of input (missing '}')")
     if validate:
         module.validate()
+    if lint:
+        from .analysis import IRLintError, Severity, lint_module
+
+        diagnostics = lint_module(module)
+        if any(d.severity is Severity.ERROR for d in diagnostics):
+            raise IRLintError(diagnostics)
     return module

@@ -14,6 +14,7 @@ from .registry import (
     get,
     names,
     suite,
+    suites,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "get",
     "names",
     "suite",
+    "suites",
 ]

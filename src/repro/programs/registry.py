@@ -57,11 +57,16 @@ def all_programs() -> List[ProgramModel]:
 
 
 def suite(suite_name: str) -> List[ProgramModel]:
-    """All benchmarks of one suite ('nas', 'spec', 'parsec')."""
+    """All benchmarks of one suite ('nas', 'spec', 'parsec', 'rodinia')."""
     programs = [p for p in _catalog().values() if p.suite == suite_name]
     if not programs:
         raise KeyError(f"unknown suite {suite_name!r}")
     return programs
+
+
+def suites() -> List[str]:
+    """All suite names with at least one benchmark, sorted."""
+    return sorted({p.suite for p in _catalog().values()})
 
 
 def names() -> List[str]:

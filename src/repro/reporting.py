@@ -7,7 +7,18 @@ the CLI and the examples share.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_json(payload: object) -> str:
+    """Serialise a report payload as JSON.
+
+    The one JSON convention shared by every CLI surface (``repro lint
+    --format json`` and friends): two-space indent, sorted keys, no
+    trailing whitespace — so output is stable, diffable and greppable.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_table(

@@ -1,0 +1,558 @@
+"""The IR lint framework: diagnostics, rules, linter, hooks, registry gate.
+
+The registry gate at the bottom is the contract the CI workflow
+enforces with ``repro lint --strict``: every benchmark program lints
+clean of errors and warnings, and its info-level diagnostics match the
+documented baseline in ``tests/compiler/data/registry_lint_baseline.
+json``.  Regenerate the baseline (after auditing the diff!) with::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.programs import all_programs
+    from repro.compiler.analysis import lint_module
+    baseline = {
+        p.name: sorted(f"{d.code} {d.location}"
+                       for d in lint_module(p.module))
+        for p in all_programs()
+    }
+    with open("tests/compiler/data/registry_lint_baseline.json", "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    EOF
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.compiler.analysis import (
+    Diagnostic,
+    IRLintError,
+    Linter,
+    Location,
+    Severity,
+    VALIDATION_CODE,
+    all_rules,
+    diagnostics_payload,
+    is_failure,
+    is_shared_operand,
+    lint_module,
+    max_severity,
+    render_diagnostics_json,
+    render_diagnostics_text,
+)
+from repro.compiler.analysis import analyze_module as lint_analyze_module
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import AccessPattern, Module, Schedule
+from repro.compiler.parser import parse_module
+from repro.programs import all_programs
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "data" / "registry_lint_baseline.json"
+)
+
+RACY_TEXT = """
+module racy {
+  func main() {
+    parallel_loop accumulate [trip=1000, access=irregular] {
+      %v0 = load %data
+      %v1 = fmul %v0
+      store sum
+    }
+  }
+}
+"""
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def only(diagnostics, code):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING
+        assert not Severity.ERROR < Severity.INFO
+
+    def test_max_severity(self):
+        loc = Location("m")
+        diags = [
+            Diagnostic("R005", Severity.INFO, "x", loc),
+            Diagnostic("R002", Severity.WARNING, "y", loc),
+        ]
+        assert max_severity(diags) is Severity.WARNING
+        assert max_severity([]) is None
+
+    def test_is_failure(self):
+        loc = Location("m")
+        warning = [Diagnostic("R002", Severity.WARNING, "y", loc)]
+        info = [Diagnostic("R005", Severity.INFO, "x", loc)]
+        error = [Diagnostic("R001", Severity.ERROR, "z", loc)]
+        assert not is_failure(warning)
+        assert is_failure(warning, strict=True)
+        assert not is_failure(info, strict=True)
+        assert is_failure(error)
+
+
+class TestLocation:
+    def test_str_full(self):
+        loc = Location("m", "f", "outer.inner", 3)
+        assert str(loc) == "m:f:outer.inner#3"
+
+    def test_str_module_only(self):
+        assert str(Location("m")) == "m"
+
+    def test_diagnostic_str_has_code_and_severity(self):
+        diag = Diagnostic(
+            "R001", Severity.ERROR, "boom", Location("m", "f", "l", 0),
+        )
+        text = str(diag)
+        assert "R001" in text and "error" in text and "m:f:l#0" in text
+
+
+class TestRuleRegistry:
+    def test_expected_rule_codes(self):
+        assert [r.code for r in all_rules()] == [
+            "R001", "R002", "R003", "R004", "R005",
+            "R006", "R007", "R008", "R009", "R010",
+        ]
+
+    def test_rules_have_summaries_and_names(self):
+        for rule in all_rules():
+            assert rule.summary
+            assert rule.name
+            assert isinstance(rule.severity, Severity)
+
+    def test_shared_operand_convention(self):
+        assert is_shared_operand("sum")
+        assert is_shared_operand("@hist")
+        assert not is_shared_operand("%mem")
+        assert not is_shared_operand("%v0")
+
+
+class TestR001RacyStore:
+    def test_unprotected_shared_store_is_error(self):
+        diags = only(lint_module(parse_module(RACY_TEXT)), "R001")
+        assert len(diags) == 1
+        diag = diags[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.location.loop == "accumulate"
+        assert diag.location.instruction == 2
+        assert "'sum'" in diag.message
+        assert "irregular" in diag.message
+
+    def test_private_store_is_clean(self):
+        b = IRBuilder("clean")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10):
+                b.load()
+                b.store()  # default '%mem' is thread-private
+        assert not only(lint_module(b.build()), "R001")
+
+    def test_atomic_immediately_before_protects(self):
+        text = RACY_TEXT.replace("store sum", "atomic\n      store sum")
+        assert not only(lint_module(parse_module(text)), "R001")
+
+    def test_critical_immediately_before_protects(self):
+        text = RACY_TEXT.replace("store sum", "critical\n      store sum")
+        assert not only(lint_module(parse_module(text)), "R001")
+
+    def test_declared_reduction_with_reduce_protects(self):
+        b = IRBuilder("red")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10, reduction=True):
+                b.load()
+                b.fadd()
+                b.reduce()
+                b.store("sum")
+        assert not only(lint_module(b.build()), "R001")
+
+    def test_declared_reduction_without_reduce_does_not_protect(self):
+        b = IRBuilder("red")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10, reduction=True):
+                b.fadd()
+                b.store("sum")
+        assert only(lint_module(b.build()), "R001")
+
+    def test_fires_in_nested_loop_with_path(self):
+        b = IRBuilder("nest")
+        with b.function("f"):
+            with b.parallel_loop("outer", trip_count=10):
+                b.fadd()
+                with b.parallel_loop("inner", trip_count=5):
+                    b.store("acc")
+        diags = only(lint_module(b.build()), "R001")
+        assert diags and diags[0].location.loop == "outer.inner"
+
+
+class TestR002R003Reductions:
+    def test_reduce_without_declaration_warns(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10):
+                b.fadd()
+                b.reduce()
+        diags = only(lint_module(b.build()), "R002")
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_declared_reduction_without_combine_is_info(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10, reduction=True):
+                b.fadd()
+        diags = only(lint_module(b.build()), "R003")
+        assert diags and diags[0].severity is Severity.INFO
+
+    def test_consistent_reduction_is_clean(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10, reduction=True):
+                b.fadd()
+                b.reduce()
+        assert not codes(lint_module(b.build())) & {"R002", "R003"}
+
+
+class TestR004R005Registers:
+    def test_use_before_def_is_error(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l [trip=2] {
+              %v1 = fadd %v0
+            }
+          }
+        }
+        """
+        diags = only(lint_module(parse_module(text)), "R004")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "%v0" in diags[0].message
+
+    def test_def_then_use_is_clean(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l [trip=2] {
+              %v0 = load %a
+              %v1 = fadd %v0
+              store %v1
+            }
+          }
+        }
+        """
+        diags = lint_module(parse_module(text))
+        assert not codes(diags) & {"R004", "R005"}
+
+    def test_serial_def_visible_in_loop(self):
+        text = """
+        module m {
+          func f() {
+            %v0 = call init
+            parallel_loop l [trip=2] {
+              %v1 = fadd %v0
+              store %v1
+            }
+          }
+        }
+        """
+        assert not only(lint_module(parse_module(text)), "R004")
+
+    def test_non_vreg_operands_exempt(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l [trip=2] {
+              %v0 = load %mem
+              store %v0
+            }
+          }
+        }
+        """
+        assert not only(lint_module(parse_module(text)), "R004")
+
+    def test_unused_registers_aggregate_per_loop(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=2):
+                for _ in range(5):
+                    b.load()
+        diags = only(lint_module(b.build()), "R005")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.INFO
+        assert "5 virtual register(s)" in diags[0].message
+
+
+class TestR006BarrierPlacement:
+    def test_barrier_in_hot_inner_loop_warns(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("outer", trip_count=100):
+                b.fadd()
+                with b.parallel_loop("inner", trip_count=64):
+                    b.load()
+                    b.barrier()
+        diags = only(lint_module(b.build()), "R006")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.WARNING
+        assert diags[0].location.loop == "outer.inner"
+
+    def test_barrier_in_parallel_loop_body_is_fine(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100):
+                b.fadd()
+                b.barrier()
+        assert not only(lint_module(b.build()), "R006")
+
+    def test_single_trip_inner_loop_is_fine(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("outer", trip_count=100):
+                b.fadd()
+                with b.parallel_loop("inner", trip_count=1):
+                    b.load()
+                    b.barrier()
+        assert not only(lint_module(b.build()), "R006")
+
+
+class TestR007DegenerateLoops:
+    def test_trip_one_parallel_loop_warns(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=1):
+                b.fadd()
+        diags = only(lint_module(b.build()), "R007")
+        assert diags and "trip_count=1" in diags[0].message
+
+    def test_sync_only_body_warns(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100):
+                b.barrier()
+                b.atomic()
+        diags = only(lint_module(b.build()), "R007")
+        assert diags and "synchronisation" in diags[0].message
+
+    def test_normal_loop_is_clean(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100):
+                b.load()
+                b.barrier()
+        assert not only(lint_module(b.build()), "R007")
+
+
+class TestR008ScheduleAccess:
+    def test_static_irregular_is_info(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100,
+                                 access=AccessPattern.IRREGULAR):
+                b.load()
+        diags = only(lint_module(b.build()), "R008")
+        assert diags and diags[0].severity is Severity.INFO
+
+    def test_dynamic_irregular_is_clean(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100,
+                                 access=AccessPattern.IRREGULAR,
+                                 schedule=Schedule.DYNAMIC):
+                b.load()
+        assert not only(lint_module(b.build()), "R008")
+
+
+class TestR009R010ModuleSanity:
+    def test_no_parallel_loops_warns(self):
+        text = """
+        module m {
+          func f() {
+            %v0 = call init
+          }
+        }
+        """
+        diags = only(lint_module(parse_module(text)), "R010")
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_zero_instructions_is_error(self):
+        from repro.compiler.ir import Function
+
+        module = Module(name="void", functions=[Function(name="f")])
+        diags = lint_module(module)
+        assert "R009" in codes(diags)
+        assert any(d.severity is Severity.ERROR for d in only(diags, "R009"))
+
+    def test_normal_module_is_clean(self):
+        b = IRBuilder("m")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=100):
+                b.load()
+        assert not codes(lint_module(b.build())) & {"R009", "R010"}
+
+
+class TestLinter:
+    def test_select_restricts_rules(self):
+        module = parse_module(RACY_TEXT)
+        diags = lint_module(module, select={"R001"})
+        assert codes(diags) == {"R001"}
+
+    def test_ignore_drops_rules(self):
+        module = parse_module(RACY_TEXT)
+        diags = lint_module(module, ignore={"R001", "R005", "R008"})
+        assert not codes(diags) & {"R001", "R005", "R008"}
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError, match="R999"):
+            Linter(select={"R999"})
+        with pytest.raises(KeyError, match="R999"):
+            Linter(ignore={"R999"})
+
+    def test_diagnostics_sorted_worst_first(self):
+        diags = lint_module(parse_module(RACY_TEXT))
+        ranks = [d.severity.rank for d in diags]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_invalid_module_yields_r000(self):
+        module = Module(name="empty")  # no functions: fails validate()
+        diags = lint_module(module)
+        assert len(diags) == 1
+        assert diags[0].code == VALIDATION_CODE
+        assert diags[0].severity is Severity.ERROR
+
+    def test_analyze_module_alias_returns_diagnostics(self):
+        diags = lint_analyze_module(parse_module(RACY_TEXT))
+        assert diags and all(isinstance(d, Diagnostic) for d in diags)
+
+    def test_lint_many_preserves_order(self):
+        b1 = IRBuilder("b1")
+        with b1.function("f"):
+            with b1.parallel_loop("l1", trip_count=2):
+                b1.fadd()
+        b2 = IRBuilder("b2")
+        with b2.function("f"):
+            with b2.parallel_loop("l2", trip_count=2):
+                b2.fadd()
+        results = Linter().lint_many([b2.build(), b1.build()])
+        assert list(results) == ["b2", "b1"]
+
+
+class TestHooks:
+    def test_parse_module_lint_flag_raises(self):
+        with pytest.raises(IRLintError, match="R001"):
+            parse_module(RACY_TEXT, lint=True)
+
+    def test_parse_module_lint_flag_passes_clean(self):
+        text = """
+        module m {
+          func f() {
+            parallel_loop l [trip=2] {
+              %v0 = load %a
+              store %v0
+            }
+          }
+        }
+        """
+        assert parse_module(text, lint=True).name == "m"
+
+    def test_builder_lint_flag_raises(self):
+        b = IRBuilder("racy")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10):
+                b.fadd()
+                b.store("sum")
+        with pytest.raises(IRLintError, match="R001"):
+            b.build(lint=True)
+
+    def test_builder_lint_flag_passes_clean(self):
+        b = IRBuilder("ok")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10):
+                b.load()
+                b.store()
+        assert b.build(lint=True).name == "ok"
+
+    def test_lint_error_carries_diagnostics(self):
+        try:
+            parse_module(RACY_TEXT, lint=True)
+        except IRLintError as error:
+            assert any(d.code == "R001" for d in error.diagnostics)
+        else:
+            pytest.fail("expected IRLintError")
+
+    def test_lint_error_is_validation_error(self):
+        from repro.compiler.ir import IRValidationError
+
+        with pytest.raises(IRValidationError):
+            parse_module(RACY_TEXT, lint=True)
+
+
+class TestReporting:
+    def make_results(self):
+        return {"racy": lint_module(parse_module(RACY_TEXT))}
+
+    def test_text_report_has_lines_and_summary(self):
+        text = render_diagnostics_text(self.make_results())
+        assert "racy:main:accumulate#2: R001 error:" in text
+        assert "verdict" in text and "FAIL" in text
+        assert "1 module(s)" in text
+
+    def test_json_report_round_trips(self):
+        payload = json.loads(render_diagnostics_json(self.make_results()))
+        assert payload["summary"]["errors"] == 1
+        [entry] = payload["modules"]
+        assert entry["module"] == "racy"
+        assert entry["failed"] is True
+        racy = [d for d in entry["diagnostics"] if d["code"] == "R001"]
+        assert racy[0]["severity"] == "error"
+        assert racy[0]["loop"] == "accumulate"
+        assert racy[0]["instruction"] == 2
+
+    def test_payload_strict_promotes_warnings(self):
+        b = IRBuilder("warny")
+        with b.function("f"):
+            with b.parallel_loop("l", trip_count=10):
+                b.fadd()
+                b.reduce()  # R002 warning
+        results = {"warny": lint_module(b.build())}
+        assert diagnostics_payload(results)["summary"]["failed"] == 0
+        strict = diagnostics_payload(results, strict=True)
+        assert strict["summary"]["failed"] == 1
+
+
+class TestRegistryGate:
+    """Every benchmark in the registry must stay lint-clean (the CI gate)."""
+
+    def test_no_errors_or_warnings_anywhere(self):
+        for program in all_programs():
+            diags = lint_module(program.module)
+            noisy = [d for d in diags
+                     if d.severity is not Severity.INFO]
+            assert not noisy, (
+                f"{program.name} has non-info diagnostics: "
+                f"{[str(d) for d in noisy]}"
+            )
+
+    def test_info_diagnostics_match_documented_baseline(self):
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        actual = {
+            p.name: sorted(
+                f"{d.code} {d.location}" for d in lint_module(p.module)
+            )
+            for p in all_programs()
+        }
+        assert actual == baseline, (
+            "registry lint output drifted from the documented baseline; "
+            "audit the diff and regenerate (see module docstring)"
+        )
+
+    def test_strict_gate_passes(self):
+        for program in all_programs():
+            assert not is_failure(
+                lint_module(program.module), strict=True
+            ), program.name

@@ -160,6 +160,33 @@ class TestModule:
         with pytest.raises(IRValidationError, match="duplicate"):
             module.validate()
 
+    def test_validate_rejects_duplicate_loops_in_function(self):
+        # Loops are resolved by name module-wide (extract_code_features),
+        # so two loops named 'l' must be rejected, like duplicate funcs.
+        func = Function(name="f", loops=[make_loop("l"), make_loop("l")])
+        module = Module(name="m", functions=[func])
+        with pytest.raises(IRValidationError,
+                           match="duplicate parallel loop 'l'"):
+            module.validate()
+
+    def test_validate_rejects_duplicate_loops_across_functions(self):
+        module = Module(name="m", functions=[
+            Function(name="f", loops=[make_loop("l")]),
+            Function(name="g", loops=[make_loop("l")]),
+        ])
+        with pytest.raises(IRValidationError,
+                           match="duplicate parallel loop"):
+            module.validate()
+
+    def test_validate_rejects_nested_loop_shadowing_top_level(self):
+        inner = make_loop("l")
+        module = Module(name="m", functions=[Function(name="f", loops=[
+            make_loop("l", nested=[inner]),
+        ])])
+        with pytest.raises(IRValidationError,
+                           match="duplicate parallel loop"):
+            module.validate()
+
     def test_format_contains_structure(self):
         text = format_module(self.make_module())
         assert "module m {" in text

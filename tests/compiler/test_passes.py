@@ -102,6 +102,8 @@ class TestModuleAnalysis:
         assert set(analysis.loops) == {"hot", "cold"}
 
     def test_duplicate_loop_names_rejected(self):
+        from repro.compiler.ir import IRValidationError
+
         b = IRBuilder("m")
         with b.function("f"):
             with b.parallel_loop("same"):
@@ -109,7 +111,13 @@ class TestModuleAnalysis:
         with b.function("g"):
             with b.parallel_loop("same"):
                 b.fadd()
-        module = b.build()
+        # Validation now catches this at build time...
+        with pytest.raises(IRValidationError,
+                           match="duplicate parallel loop"):
+            b.build()
+        # ...and analyze_module still defends itself when validation
+        # is skipped.
+        module = b.build(validate=False)
         with pytest.raises(ValueError, match="duplicate loop name"):
             analyze_module(module)
 

@@ -1,8 +1,21 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, lint_main, main
+
+RACY_TEXT = """
+module racy {
+  func main() {
+    parallel_loop accumulate [trip=1000, access=irregular] {
+      %v0 = load %data
+      store sum
+    }
+  }
+}
+"""
 
 
 class TestRegistry:
@@ -29,6 +42,11 @@ class TestMain:
         assert "fig8" in out
         assert "tab1" in out
 
+    def test_list_mentions_lint(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
@@ -38,6 +56,113 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 1" in out
         assert "hardware contexts" in out
+
+
+class TestLint:
+    @pytest.fixture
+    def racy_file(self, tmp_path):
+        path = tmp_path / "racy.ir"
+        path.write_text(RACY_TEXT)
+        return str(path)
+
+    def test_registry_is_clean_under_strict(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_single_program_by_name(self, capsys):
+        assert lint_main(["cg"]) == 0
+        out = capsys.readouterr().out
+        assert "cg" in out and "verdict" in out
+
+    def test_paper_alias_resolves(self, capsys):
+        assert lint_main(["bscholes"]) == 0
+        assert "blackscholes" in capsys.readouterr().out
+
+    def test_suite_name_expands(self, capsys):
+        assert lint_main(["nas"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bt", "cg", "ep", "ft", "lu", "mg", "sp"):
+            assert name in out
+
+    def test_racy_file_fails_with_location(self, racy_file, capsys):
+        assert lint_main([racy_file]) == 1
+        out = capsys.readouterr().out
+        assert "R001 error:" in out
+        assert "racy:main:accumulate#1" in out
+        assert "FAIL" in out
+
+    def test_racy_file_json_format(self, racy_file, capsys):
+        assert lint_main([racy_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        [entry] = payload["modules"]
+        assert entry["failed"] is True
+        racy = [d for d in entry["diagnostics"] if d["code"] == "R001"]
+        assert racy[0]["severity"] == "error"
+        assert racy[0]["loop"] == "accumulate"
+        assert racy[0]["instruction"] == 1
+
+    def test_ignore_silences_rule(self, racy_file, capsys):
+        assert lint_main([racy_file, "--ignore", "R001"]) == 0
+        assert "R001" not in capsys.readouterr().out
+
+    def test_select_runs_one_rule(self, racy_file, capsys):
+        assert lint_main([racy_file, "--select", "R005,R008"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" not in out
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        # R002 (undeclared reduction) is a warning: passes by default,
+        # fails under --strict.
+        path = tmp_path / "warny.ir"
+        path.write_text(
+            "module warny {\n"
+            "  func f() {\n"
+            "    parallel_loop l [trip=10] {\n"
+            "      fadd\n"
+            "      reduce\n"
+            "    }\n"
+            "  }\n"
+            "}\n"
+        )
+        assert lint_main([str(path)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(path), "--strict"]) == 1
+        assert "R002 warning:" in capsys.readouterr().out
+
+    def test_invalid_ir_file_reports_r000(self, tmp_path, capsys):
+        # Two loops named 'l': parses, but fails structural validation.
+        path = tmp_path / "dup.ir"
+        path.write_text(
+            "module dup {\n"
+            "  func f() {\n"
+            "    parallel_loop l [trip=2] {\n"
+            "      fadd\n"
+            "    }\n"
+            "    parallel_loop l [trip=2] {\n"
+            "      fmul\n"
+            "    }\n"
+            "  }\n"
+            "}\n"
+        )
+        assert lint_main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "R000 error:" in out
+        assert "duplicate parallel loop 'l'" in out
+
+    def test_unknown_target_errors(self):
+        with pytest.raises(SystemExit):
+            lint_main(["nosuchprogram"])
+
+    def test_unknown_rule_code_errors(self):
+        with pytest.raises(SystemExit):
+            lint_main(["cg", "--select", "R999"])
+
+    def test_main_dispatches_lint(self, capsys):
+        assert main(["lint", "cg"]) == 0
+        assert "cg" in capsys.readouterr().out
 
 
 class TestPackageEntryPoints:
