@@ -10,6 +10,9 @@ much — rather than absolute numbers.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from pathlib import Path
 
 import pytest
@@ -42,6 +45,59 @@ def emit(name: str, text: str) -> None:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: Wall-clock timing ledger, written to ``results/bench_timings.json``.
+#: Keys are test node ids, optionally suffixed ``@$REPRO_TIMING_TAG`` so
+#: cold-cache and warm-cache passes of the same benchmark can be
+#: recorded side by side.
+TIMINGS_PATH = RESULTS_DIR / "bench_timings.json"
+_TIMINGS: dict = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record each benchmark's wall-clock time and simulation counts.
+
+    ``runs_executed``/``cache_hits`` are deltas of the process-wide
+    :data:`repro.exec.STATS` counters, so an entry shows not just how
+    long a benchmark took but how many simulations it actually ran
+    versus replayed from the run cache.
+    """
+    from repro.exec import STATS, resolve_jobs
+
+    before = STATS.snapshot()
+    started = time.perf_counter()
+    yield
+    duration = time.perf_counter() - started
+    after = STATS.snapshot()
+    key = item.nodeid
+    tag = os.environ.get("REPRO_TIMING_TAG", "").strip()
+    if tag:
+        key = f"{key}@{tag}"
+    _TIMINGS[key] = {
+        "duration_s": round(duration, 4),
+        "runs_executed": after["executed"] - before["executed"],
+        "cache_hits": after["cache_hits"] - before["cache_hits"],
+        "jobs": resolve_jobs(),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's timings into the on-disk ledger."""
+    if not _TIMINGS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if TIMINGS_PATH.exists():
+        try:
+            merged = json.loads(TIMINGS_PATH.read_text())
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_TIMINGS)
+    TIMINGS_PATH.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -331,7 +331,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true",
         help="smaller target set and shorter programs",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run simulations over N worker processes (default: "
+             "$REPRO_JOBS, else serial)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        # Experiment drivers read REPRO_JOBS through
+        # repro.exec.resolve_jobs, so one env var reaches all of them.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():

@@ -124,10 +124,57 @@ class ScalabilityRecord:
         return self.speedup_at_p >= self.processors / 4.0
 
 
+def _scalability_request(
+    name: str, platform: Topology, threads: int, config: TrainingConfig
+):
+    """One isolated static run of the scalability measurement."""
+    from ..exec import PolicySpec, RunRequest
+
+    return RunRequest(
+        target=name,
+        policy=PolicySpec.fixed(threads),
+        scenario=None,
+        topology=platform,
+        iterations_scale=config.iterations_scale,
+        dt=config.dt,
+        processors=platform.cores,
+    )
+
+
 def measure_scalability(
-    program: ProgramModel, platform: Topology, config: TrainingConfig
+    program: ProgramModel,
+    platform: Topology,
+    config: TrainingConfig,
+    executor=None,
 ) -> ScalabilityRecord:
     """Isolated static runs at 1 and P threads -> speedup at P."""
+    from ..exec import Executor
+
+    try:
+        registered = registry.get(program.name) is program
+    except KeyError:
+        registered = False
+    if not registered:
+        # Ad-hoc program models cannot be named in a RunRequest; run
+        # them directly (serial, unmemoised) with identical physics.
+        return _measure_scalability_direct(program, platform, config)
+    if executor is None:
+        executor = Executor()
+    summaries = executor.run([
+        _scalability_request(program.name, platform, threads, config)
+        for threads in (1, platform.cores)
+    ])
+    return ScalabilityRecord(
+        program=program.name,
+        platform=platform.name,
+        speedup_at_p=summaries[0].target_time / summaries[1].target_time,
+        processors=platform.cores,
+    )
+
+
+def _measure_scalability_direct(
+    program: ProgramModel, platform: Topology, config: TrainingConfig
+) -> ScalabilityRecord:
     scaled = scale_program(program, config.iterations_scale)
     times = {}
     for threads in (1, platform.cores):
@@ -157,47 +204,76 @@ def measure_scalability(
     )
 
 
-def _run_with_threads(
-    target: ProgramModel,
-    workload: Sequence[ProgramModel],
+def measure_scalability_grid(
+    config: TrainingConfig, executor=None
+) -> List[ScalabilityRecord]:
+    """Scalability of every training target on every platform, batched
+    through one executor call so the runs parallelise together."""
+    from ..exec import Executor
+
+    if executor is None:
+        executor = Executor()
+    grid = [
+        (name, platform)
+        for platform in config.platforms()
+        for name in config.target_names
+    ]
+    summaries = executor.run([
+        _scalability_request(name, platform, threads, config)
+        for name, platform in grid
+        for threads in (1, platform.cores)
+    ])
+    records = []
+    for index, (name, platform) in enumerate(grid):
+        serial, parallel = summaries[2 * index], summaries[2 * index + 1]
+        records.append(ScalabilityRecord(
+            program=name,
+            platform=platform.name,
+            speedup_at_p=serial.target_time / parallel.target_time,
+            processors=platform.cores,
+        ))
+    return records
+
+
+def _training_request(
+    target_name: str,
+    workload_names: Tuple[str, ...],
     platform: Topology,
     workload_threads: int,
     target_threads: int,
     config: TrainingConfig,
     processors: int,
-) -> Tuple[float, RecordingPolicy]:
-    """One training run at a fixed processor level."""
-    machine = SimMachine(
-        topology=platform,
-        availability=StaticAvailability(processors),
-    )
-    CoExecutionEngine, JobSpec = _engine()
-    recorder = RecordingPolicy(FixedPolicy(target_threads))
-    jobs = [
-        JobSpec(program=scale_program(target, config.iterations_scale),
-                policy=recorder, job_id="target", is_target=True),
-    ]
-    for index, program in enumerate(workload):
-        jobs.append(JobSpec(
-            program=scale_program(program, config.iterations_scale),
-            policy=FixedPolicy(workload_threads),
-            job_id=f"workload{index}", restart=True,
-        ))
-    engine = CoExecutionEngine(
-        machine=machine, jobs=jobs, dt=config.dt, max_time=7200.0,
-    )
-    result = engine.run()
-    if result.target_time is None:
-        names = "+".join(p.name for p in workload)
-        raise RuntimeError(
-            f"training run timed out: {target.name} vs {names} on "
-            f"{platform.name} (n={target_threads}, wn={workload_threads})"
+):
+    """One training run at a fixed processor level, as a request.
+
+    ``record=True`` wraps the fixed target policy in a
+    :class:`RecordingPolicy` so the harvested feature vectors come back
+    in the run summary.
+    """
+    from ..exec import PolicySpec, RunRequest, WorkloadSpec
+
+    workload = None
+    if workload_names:
+        workload = WorkloadSpec(
+            program_names=tuple(workload_names),
+            policy=PolicySpec.fixed(workload_threads),
         )
-    return result.target_time, recorder
+    return RunRequest(
+        target=target_name,
+        policy=PolicySpec.fixed(target_threads),
+        scenario=None,
+        workload=workload,
+        topology=platform,
+        iterations_scale=config.iterations_scale,
+        dt=config.dt,
+        max_time=7200.0,
+        processors=processors,
+        record=True,
+    )
 
 
 def harvest_samples(
-    recorder: RecordingPolicy,
+    records: Sequence,
     best_threads: int,
     speedup: float,
     program: str,
@@ -206,10 +282,12 @@ def harvest_samples(
 ) -> List[FeatureSample]:
     """Turn a recorded best-n run into labelled training samples.
 
-    Consecutive selection records give (f_t, ‖e_{t+1}‖) pairs; each is
-    labelled with the run's best thread count and achieved speedup.
+    ``records`` is the selection log of the best run — any sequence of
+    objects with ``features`` (array-like feature vectors).  Consecutive
+    records give (f_t, ‖e_{t+1}‖) pairs; each is labelled with the run's
+    best thread count and achieved speedup.
     """
-    records = recorder.records
+    records = list(records)
     if len(records) < 2:
         return []
     pairs = list(zip(records[:-1], records[1:]))
@@ -219,34 +297,34 @@ def harvest_samples(
     samples = []
     for current, nxt in pairs:
         samples.append(FeatureSample(
-            features=current.features,
+            features=np.asarray(current.features, dtype=float),
             best_threads=best_threads,
             speedup=speedup,
-            next_env_norm=env_norm_of(nxt.features),
+            next_env_norm=env_norm_of(
+                np.asarray(nxt.features, dtype=float)
+            ),
             program=program,
             platform=platform,
         ))
     return samples
 
 
-def generate_training_data(
-    config: TrainingConfig = TrainingConfig(),
-) -> List[FeatureSample]:
-    """Run the full Section 5.2.1 protocol; returns labelled samples."""
-    samples: List[FeatureSample] = []
+def _training_grid(
+    config: TrainingConfig,
+) -> List[Tuple[str, Topology, Tuple[str, ...], int, int, List[int]]]:
+    """The Section 5.2.1 sweep as a flat list of run configurations."""
     workload_options: List[Tuple[str, ...]] = [
         (name,) for name in config.workload_names
     ] + [tuple(bundle) for bundle in config.workload_bundles]
+    grid = []
     for platform in config.platforms():
         for target_name in config.target_names:
-            target = registry.get(target_name)
             for workload_names in workload_options:
                 # A single workload program must differ from the target;
                 # inside multi-program bundles a copy of the target may
                 # co-run (as the Table 3 large sets do in evaluation).
                 if len(workload_names) == 1 and target_name in workload_names:
                     continue
-                workload = [registry.get(n) for n in workload_names]
                 # An empty workload is one isolated run; sweeping the
                 # (meaningless) workload thread count would duplicate it.
                 fractions = (
@@ -258,27 +336,63 @@ def generate_training_data(
                         processors = max(1, int(round(
                             platform.cores * level
                         )))
-                        candidates = thread_candidates(platform.cores)
-                        runs = {}
-                        for n in candidates:
-                            time, recorder = _run_with_threads(
-                                target, workload, platform, wn, n,
-                                config, processors,
-                            )
-                            runs[n] = (time, recorder)
-                        best_n = min(runs, key=lambda n: runs[n][0])
-                        best_time, best_recorder = runs[best_n]
-                        serial = scale_program(
-                            target, config.iterations_scale
-                        ).serial_time()
-                        samples.extend(harvest_samples(
-                            best_recorder,
-                            best_threads=best_n,
-                            speedup=serial / best_time,
-                            program=target_name,
-                            platform=platform.name,
-                            max_samples=config.max_samples_per_run,
+                        grid.append((
+                            target_name, platform, workload_names, wn,
+                            processors, thread_candidates(platform.cores),
                         ))
+    return grid
+
+
+def generate_training_data(
+    config: TrainingConfig = TrainingConfig(),
+    executor=None,
+    jobs: int = None,
+) -> List[FeatureSample]:
+    """Run the full Section 5.2.1 protocol; returns labelled samples.
+
+    The sweep — platforms x targets x workloads x thread counts x
+    availability levels — is one flat batch of independent runs, fanned
+    out through :class:`repro.exec.Executor` (``jobs``/``REPRO_JOBS``
+    control parallelism; results are identical at any worker count).
+    """
+    from ..exec import Executor
+
+    if executor is None:
+        executor = Executor(jobs=jobs)
+    grid = _training_grid(config)
+    requests = [
+        _training_request(
+            target_name, workload_names, platform, wn, n, config,
+            processors,
+        )
+        for target_name, platform, workload_names, wn, processors,
+            candidates in grid
+        for n in candidates
+    ]
+    summaries = executor.run(requests)
+
+    samples: List[FeatureSample] = []
+    cursor = 0
+    for target_name, platform, workload_names, wn, processors, \
+            candidates in grid:
+        runs = summaries[cursor:cursor + len(candidates)]
+        cursor += len(candidates)
+        best_index = min(
+            range(len(candidates)), key=lambda i: runs[i].target_time
+        )
+        best_n = candidates[best_index]
+        best = runs[best_index]
+        serial = scale_program(
+            registry.get(target_name), config.iterations_scale
+        ).serial_time()
+        samples.extend(harvest_samples(
+            best.records,
+            best_threads=best_n,
+            speedup=serial / best.target_time,
+            program=target_name,
+            platform=platform.name,
+            max_samples=config.max_samples_per_run,
+        ))
     if not samples:
         raise RuntimeError("training produced no samples")
     return samples
@@ -377,11 +491,7 @@ def build_experts(
     if samples is None:
         samples = generate_training_data(config)
     if scalability is None:
-        scalability = [
-            measure_scalability(registry.get(name), platform, config)
-            for platform in config.platforms()
-            for name in config.target_names
-        ]
+        scalability = measure_scalability_grid(config)
     slices = partition_samples(samples, scalability, granularity)
     if not slices:
         raise RuntimeError("no expert slice had enough training samples")
@@ -440,6 +550,11 @@ def _simulator_fingerprint() -> str:
         round(sched.traffic_capacity, 6),
     )
     return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+def simulator_fingerprint() -> str:
+    """Public alias of the calibration fingerprint (run-cache keys)."""
+    return _simulator_fingerprint()
 
 
 def _cache_path(config: TrainingConfig, granularity: int) -> Path:
@@ -547,11 +662,7 @@ def training_dataset(
                 _DATA_CACHE[config] = pickle.load(fh)
         else:
             samples = generate_training_data(config)
-            scalability = [
-                measure_scalability(registry.get(name), platform, config)
-                for platform in config.platforms()
-                for name in config.target_names
-            ]
+            scalability = measure_scalability_grid(config)
             _DATA_CACHE[config] = (samples, scalability)
             if use_disk_cache:
                 path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,35 @@
+"""Parallel experiment execution layer.
+
+``repro.exec`` turns the evaluation harness's embarrassing parallelism
+into wall-clock speed: every simulation is described by a picklable
+:class:`RunRequest`, executed by an :class:`Executor` over a process
+pool (or serially, bit-identically), and memoised on disk through a
+content-addressed :class:`RunCache`.  See ``docs/performance.md``.
+"""
+
+from .cache import RunCache, cache_enabled, default_cache_root
+from .executor import STATS, ExecutionStats, Executor, resolve_jobs
+from .request import (
+    PolicySpec,
+    RecordedSelection,
+    RunRequest,
+    RunSummary,
+    WorkloadSpec,
+    execute_request,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "Executor",
+    "PolicySpec",
+    "RecordedSelection",
+    "RunCache",
+    "RunRequest",
+    "RunSummary",
+    "STATS",
+    "WorkloadSpec",
+    "cache_enabled",
+    "default_cache_root",
+    "execute_request",
+    "resolve_jobs",
+]

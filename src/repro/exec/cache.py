@@ -1,0 +1,108 @@
+"""Content-addressed run memoisation.
+
+Completed :class:`~repro.exec.request.RunSummary` objects are stored one
+file per run fingerprint under ``$REPRO_CACHE_DIR/runs`` (default
+``~/.cache/repro/runs``), next to the expert-bundle cache of
+:mod:`repro.core.training`.  Because the fingerprint covers the full run
+configuration *and* the simulator calibration constants, a hit is always
+safe to replay — re-running a figure after an unrelated change is a pure
+cache read.
+
+The cache is tolerant by construction: a corrupted, truncated or
+unreadable entry is treated as a miss (and deleted best-effort), never
+an error.  Writes are atomic (temp file + ``os.replace``) so a crashed
+or killed run can corrupt at most its own in-flight entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .request import RunSummary
+
+#: On-disk entry format version; bump to orphan all existing entries.
+CACHE_ENTRY_VERSION = 1
+
+_DISABLE_VALUES = ("0", "no", "off", "false")
+
+
+def cache_enabled() -> bool:
+    """Run memoisation is on unless ``REPRO_RUN_CACHE`` disables it."""
+    return os.environ.get(
+        "REPRO_RUN_CACHE", "1"
+    ).strip().lower() not in _DISABLE_VALUES
+
+
+def default_cache_root() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(root) if root else Path.home() / ".cache" / "repro"
+    return base / "runs"
+
+
+class RunCache:
+    """Fingerprint-keyed store of :class:`RunSummary` objects."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def get(self, fingerprint: str) -> Optional[RunSummary]:
+        """The cached summary, or ``None`` on miss/corruption."""
+        path = self.path(fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted/truncated/alien entry: drop it and recompute.
+            self._discard(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != CACHE_ENTRY_VERSION
+            or not isinstance(entry.get("summary"), RunSummary)
+        ):
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["summary"]
+
+    def put(self, fingerprint: str, summary: RunSummary) -> None:
+        """Store ``summary``; failures are silent (cache is best-effort)."""
+        path = self.path(fingerprint)
+        entry = {"version": CACHE_ENTRY_VERSION, "summary": summary}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=4)
+                os.replace(tmp, path)
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

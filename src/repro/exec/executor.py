@@ -1,0 +1,174 @@
+"""Parallel experiment execution with run memoisation.
+
+Every paper figure is a grid of *independent* co-execution simulations,
+so the evaluation harness is embarrassingly parallel across runs.  The
+:class:`Executor` fans a list of :class:`~repro.exec.request.RunRequest`
+objects out over a ``ProcessPoolExecutor`` and returns summaries **in
+request order**, falling back to in-process serial execution whenever
+``jobs == 1``, a request cannot be serialised, or the platform refuses
+to give us a worker pool (sandboxes without ``/dev/shm``, missing
+``fork`` …).  Each simulation is deterministic given its request, so
+serial and parallel execution return identical summaries.
+
+Requests are memoised through :class:`~repro.exec.cache.RunCache` keyed
+on :meth:`RunRequest.fingerprint`; cache hits never reach the pool.
+
+Concurrency is picked from, in order: the ``jobs`` argument, the
+``REPRO_JOBS`` environment variable, and a serial default of 1.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from .cache import RunCache, cache_enabled
+from .request import RunRequest, RunSummary, execute_request
+
+#: Exceptions that mean "the pool is unusable", not "the run failed".
+#: Application errors (timeouts, bad policies) propagate unchanged.
+_POOL_ERRORS: tuple = (OSError, ImportError)
+try:  # pragma: no cover - import layout is version-dependent
+    from concurrent.futures.process import BrokenProcessPool
+
+    _POOL_ERRORS = _POOL_ERRORS + (BrokenProcessPool,)
+except ImportError:  # pragma: no cover
+    pass
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count resolution: argument > ``REPRO_JOBS`` > 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_JOBS={env!r}", stacklevel=2
+            )
+    return 1
+
+
+@dataclass
+class ExecutionStats:
+    """Process-wide run counters (read by the benchmark timing harness)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+
+    def snapshot(self) -> dict:
+        return {"executed": self.executed, "cache_hits": self.cache_hits}
+
+
+#: Global counters across all executors in this process.
+STATS = ExecutionStats()
+
+
+def _execute_blob(blob: bytes) -> RunSummary:
+    """Worker entry point: deserialise one request and run it."""
+    import cloudpickle
+
+    request = cloudpickle.loads(blob)
+    return execute_request(request)
+
+
+@dataclass
+class Executor:
+    """Runs request batches, parallel when asked, memoised when possible.
+
+    ``cache`` may be a :class:`RunCache`, ``None`` (no memoisation), or
+    the default sentinel which honours ``REPRO_RUN_CACHE`` /
+    ``REPRO_CACHE_DIR``.
+    """
+
+    jobs: Optional[int] = None
+    cache: Union[RunCache, None, str] = "default"
+    _warned: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.jobs = resolve_jobs(self.jobs)
+        if self.cache == "default":
+            self.cache = RunCache() if cache_enabled() else None
+
+    def run(self, requests: Sequence[RunRequest]) -> List[RunSummary]:
+        """Execute ``requests``; summaries come back in request order."""
+        requests = list(requests)
+        results: List[Optional[RunSummary]] = [None] * len(requests)
+        fingerprints: List[Optional[str]] = [None] * len(requests)
+        pending: List[int] = []
+        for index, request in enumerate(requests):
+            cached = None
+            if self.cache is not None:
+                fingerprints[index] = request.fingerprint()
+                if fingerprints[index] is not None:
+                    cached = self.cache.get(fingerprints[index])
+            if cached is not None:
+                results[index] = cached
+                STATS.cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            to_run = [requests[i] for i in pending]
+            if self.jobs > 1 and len(to_run) > 1:
+                summaries = self._run_parallel(to_run)
+            else:
+                summaries = [execute_request(r) for r in to_run]
+            for index, summary in zip(pending, summaries):
+                results[index] = summary
+                STATS.executed += 1
+                if self.cache is not None and fingerprints[index]:
+                    self.cache.put(fingerprints[index], summary)
+        return results  # type: ignore[return-value]
+
+    # -- internals --------------------------------------------------------
+
+    def _run_parallel(
+        self, requests: List[RunRequest]
+    ) -> List[RunSummary]:
+        blobs = self._serialise(requests)
+        if blobs is None:
+            return [execute_request(r) for r in requests]
+        try:
+            return self._map_pool(blobs)
+        except _POOL_ERRORS as error:
+            self._warn_serial(f"worker pool unavailable ({error!r})")
+            return [execute_request(r) for r in requests]
+
+    def _serialise(
+        self, requests: List[RunRequest]
+    ) -> Optional[List[bytes]]:
+        try:
+            import cloudpickle
+
+            return [cloudpickle.dumps(r, protocol=4) for r in requests]
+        except Exception as error:
+            self._warn_serial(f"requests not serialisable ({error!r})")
+            return None
+
+    def _map_pool(self, blobs: List[bytes]) -> List[RunSummary]:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+        workers = min(self.jobs, len(blobs))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(_execute_blob, blob) for blob in blobs]
+            return [future.result() for future in futures]
+
+    def _warn_serial(self, reason: str) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"repro.exec: falling back to serial execution: {reason}",
+                stacklevel=3,
+            )

@@ -1,0 +1,316 @@
+"""Run requests: the full configuration of one co-execution simulation.
+
+A :class:`RunRequest` captures everything a single simulated run depends
+on — target program, policy factory spec, scenario, workload set, seed,
+topology, iteration scale, tick size, time limit — as a picklable value.
+That buys two things at once:
+
+* **parallelism** — requests can be shipped to worker processes and
+  executed concurrently (:mod:`repro.exec.executor`), because every run
+  is independent given its request;
+* **memoisation** — a request has a content fingerprint
+  (:meth:`RunRequest.fingerprint`) combining its own configuration with
+  the simulator calibration fingerprint from
+  :func:`repro.core.training.simulator_fingerprint`, so completed runs
+  can be cached on disk and replayed instantly
+  (:mod:`repro.exec.cache`).
+
+The result of executing a request is a slim :class:`RunSummary` — the
+headline numbers plus the selection log, *not* the full tick timeline —
+small enough to cache by the thousand and to send back over a pipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+#: Bump whenever the semantics of executing a request change in a way
+#: the simulator calibration fingerprint does not capture (e.g. job
+#: naming, summary contents).  Part of every run fingerprint.
+RUN_FORMAT_VERSION = 1
+
+
+def _stable_token(factory: Callable) -> Optional[str]:
+    """Content digest of a policy factory, or ``None`` if unpicklable.
+
+    cloudpickle serialises closures by value (code + captured cells), so
+    the digest changes whenever the factory's behaviour-defining state
+    changes — e.g. a retrained selector — and run-cache entries keyed on
+    it go stale exactly when they should.
+    """
+    blob: Optional[bytes] = None
+    try:
+        import cloudpickle
+
+        blob = cloudpickle.dumps(factory, protocol=4)
+    except Exception:
+        try:
+            blob = pickle.dumps(factory, protocol=4)
+        except Exception:
+            return None
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable recipe for building fresh :class:`ThreadPolicy` objects.
+
+    ``factory`` is invoked once per run (in the worker process for
+    parallel execution); ``token`` is the content digest used in run
+    fingerprints.  A spec with ``token=None`` still executes but is
+    never memoised.
+    """
+
+    label: str
+    factory: Callable = field(compare=False, repr=False)
+    token: Optional[str] = None
+
+    @classmethod
+    def of(cls, factory: Callable, label: str = "") -> "PolicySpec":
+        if isinstance(factory, PolicySpec):
+            return factory if not label or factory.label == label else cls(
+                label=label, factory=factory.factory, token=factory.token,
+            )
+        return cls(
+            label=label or getattr(factory, "__name__", "policy"),
+            factory=factory,
+            token=_stable_token(factory),
+        )
+
+    @classmethod
+    def fixed(cls, threads: int) -> "PolicySpec":
+        """Spec for a :class:`FixedPolicy` with a stable token."""
+        from ..core.policies.fixed import FixedPolicy
+        from functools import partial
+
+        return cls(
+            label=f"fixed-{threads}",
+            factory=partial(FixedPolicy, threads),
+            token=f"fixed:{threads}",
+        )
+
+    def build(self):
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The co-running workload half of a request.
+
+    ``program_names`` resolve through the program registry in the
+    executing process; every workload job restarts until the target
+    finishes (the paper's protocol) and runs a fresh policy built from
+    ``policy``.
+    """
+
+    program_names: Tuple[str, ...]
+    policy: PolicySpec
+    name: str = ""
+
+    @classmethod
+    def from_set(cls, workload_set, policy: PolicySpec) -> "WorkloadSpec":
+        """Adapt a :class:`repro.workload.spec.WorkloadSet`."""
+        return cls(
+            program_names=tuple(workload_set.program_names),
+            policy=policy,
+            name=workload_set.name,
+        )
+
+    def fingerprint_parts(self) -> tuple:
+        return (self.program_names, self.policy.token)
+
+
+@dataclass(frozen=True)
+class RecordedSelection:
+    """One recorded consultation of the target policy (``record`` runs).
+
+    The feature vector is stored as a plain tuple so summaries compare
+    and pickle deterministically; :mod:`repro.core.training` converts
+    back to an array when harvesting samples.
+    """
+
+    time: float
+    loop_name: str
+    features: Tuple[float, ...]
+    threads: int
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Slim outcome of one run: headline numbers + the selection log.
+
+    Deliberately excludes the tick timeline and the policy object —
+    experiments that interrogate those (Figure 2 timelines, the mixture
+    decision-log analyses) keep using
+    :func:`repro.experiments.runner.run_target` directly.
+    """
+
+    target: str
+    policy: str
+    target_time: float
+    workload_throughput: float
+    duration: float
+    workload_runs: Tuple[Tuple[str, int], ...]
+    selections: tuple
+    records: Tuple[RecordedSelection, ...] = ()
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Full configuration of one co-execution simulation.
+
+    ``scenario`` is any object with ``name`` and
+    ``availability(topology, seed=...)`` (duck-typed to avoid importing
+    the experiments layer); ``None`` means a static machine, optionally
+    restricted to ``processors`` cores — the training-run setting.
+    ``record`` wraps the target policy in a
+    :class:`~repro.core.policies.fixed.RecordingPolicy` and returns the
+    recorded feature vectors in the summary.
+    """
+
+    target: str
+    policy: PolicySpec
+    scenario: Optional[object] = None
+    workload: Optional[WorkloadSpec] = None
+    seed: int = 0
+    topology: Optional[object] = None  # Topology; None = XEON_L7555
+    iterations_scale: float = 1.0
+    dt: float = 0.1
+    max_time: float = 3600.0
+    processors: Optional[int] = None
+    target_affinity: Optional[object] = None
+    workload_affinity: Optional[object] = None
+    record: bool = False
+
+    def resolved_topology(self):
+        if self.topology is not None:
+            return self.topology
+        from ..machine.topology import XEON_L7555
+
+        return XEON_L7555
+
+    def fingerprint(self) -> Optional[str]:
+        """Content hash of this request, or ``None`` if unfingerprintable.
+
+        Includes the simulator calibration fingerprint so cached results
+        are never replayed after the simulated physics change, and the
+        policy/workload factory tokens so retrained or reconfigured
+        policies miss the cache.
+        """
+        from ..core.training import simulator_fingerprint
+
+        if self.policy.token is None:
+            return None
+        if self.workload is not None and self.workload.policy.token is None:
+            return None
+        parts = (
+            RUN_FORMAT_VERSION,
+            self.target,
+            self.policy.token,
+            repr(self.scenario),
+            self.workload.fingerprint_parts() if self.workload else None,
+            self.seed,
+            repr(self.resolved_topology()),
+            self.iterations_scale,
+            self.dt,
+            self.max_time,
+            self.processors,
+            repr(self.target_affinity),
+            repr(self.workload_affinity),
+            self.record,
+            simulator_fingerprint(),
+        )
+        return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def _availability(request: RunRequest, topology):
+    from ..machine.availability import StaticAvailability
+
+    if request.scenario is not None:
+        return request.scenario.availability(topology, seed=request.seed)
+    return StaticAvailability(request.processors or topology.cores)
+
+
+def execute_request(request: RunRequest) -> RunSummary:
+    """Run one simulation described by ``request`` in this process.
+
+    Deterministic: the same request always yields an identical summary,
+    which is what makes both memoisation and the serial/parallel
+    equivalence guarantee of :class:`repro.exec.executor.Executor` hold.
+    """
+    from ..core.policies.fixed import RecordingPolicy
+    from ..core.training import scale_program
+    from ..machine.machine import SimMachine
+    from ..programs import registry
+    from ..runtime.engine import CoExecutionEngine, JobSpec
+
+    topology = request.resolved_topology()
+    target = registry.get(request.target)
+    if request.iterations_scale != 1.0:
+        target = scale_program(target, request.iterations_scale)
+    machine = SimMachine(
+        topology=topology,
+        availability=_availability(request, topology),
+    )
+    policy = request.policy.build()
+    recorder: Optional[RecordingPolicy] = None
+    if request.record:
+        recorder = RecordingPolicy(policy)
+        policy = recorder
+    jobs = [JobSpec(
+        program=target,
+        policy=policy,
+        job_id="target",
+        is_target=True,
+        affinity=request.target_affinity,
+    )]
+    if request.workload is not None:
+        for index, name in enumerate(request.workload.program_names):
+            program = registry.get(name)
+            if request.iterations_scale != 1.0:
+                program = scale_program(program, request.iterations_scale)
+            jobs.append(JobSpec(
+                program=program,
+                policy=request.workload.policy.build(),
+                job_id=f"w{index}-{program.name}",
+                restart=True,
+                affinity=request.workload_affinity,
+            ))
+    engine = CoExecutionEngine(
+        machine=machine, jobs=jobs,
+        dt=request.dt, max_time=request.max_time,
+    )
+    result = engine.run()
+    if result.target_time is None:
+        scenario = getattr(request.scenario, "name", "static")
+        raise RuntimeError(
+            f"run timed out: {request.target} / {request.policy.label} / "
+            f"{scenario} (seed={request.seed})"
+        )
+    records: Tuple[RecordedSelection, ...] = ()
+    if recorder is not None:
+        records = tuple(
+            RecordedSelection(
+                time=rec.time,
+                loop_name=rec.loop_name,
+                features=tuple(float(v) for v in rec.features),
+                threads=rec.threads,
+            )
+            for rec in recorder.records
+        )
+    return RunSummary(
+        target=request.target,
+        policy=getattr(
+            recorder.inner if recorder is not None else policy,
+            "name", request.policy.label,
+        ),
+        target_time=result.target_time,
+        workload_throughput=result.workload_throughput,
+        duration=result.duration,
+        workload_runs=tuple(result.workload_runs.items()),
+        selections=tuple(result.selections),
+        records=records,
+    )

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.training import TrainingConfig
 from ..runtime.metrics import harmonic_mean, median
+from ..exec import Executor, resolve_jobs
 from .runner import (
     PolicyFactory,
     ScenarioTable,
@@ -32,13 +33,18 @@ def run_static_isolated(
     policies: Optional[Dict[str, PolicyFactory]] = None,
     iterations_scale: float = 1.0,
     seeds: Sequence[int] = (0,),
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
 ) -> ScenarioTable:
     """Figure 7: isolated static system."""
     if policies is None:
         policies = standard_policies()
+    if executor is None:
+        executor = Executor(jobs=resolve_jobs(jobs))
     return evaluate_scenario(
         STATIC_ISOLATED, targets, policies,
         seeds=seeds, iterations_scale=iterations_scale,
+        executor=executor,
     )
 
 
@@ -48,13 +54,18 @@ def run_dynamic_scenario(
     policies: Optional[Dict[str, PolicyFactory]] = None,
     iterations_scale: float = 1.0,
     seeds: Sequence[int] = (0, 1),
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
 ) -> ScenarioTable:
     """One of Figures 9-12."""
     if policies is None:
         policies = standard_policies()
+    if executor is None:
+        executor = Executor(jobs=resolve_jobs(jobs))
     return evaluate_scenario(
         scenario, targets, policies,
         seeds=seeds, iterations_scale=iterations_scale,
+        executor=executor,
     )
 
 
@@ -122,14 +133,23 @@ def run_dynamic_summary(
     iterations_scale: float = 1.0,
     seeds: Sequence[int] = (0, 1),
     scenarios: Sequence[Scenario] = DYNAMIC_SCENARIOS,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
 ) -> DynamicSummary:
-    """Figure 8 (and the underlying Figures 9-12 tables)."""
+    """Figure 8 (and the underlying Figures 9-12 tables).
+
+    All scenarios share one executor, so the run cache and the worker
+    pool persist across the four tables.
+    """
     if policies is None:
         policies = standard_policies()
+    if executor is None:
+        executor = Executor(jobs=resolve_jobs(jobs))
     tables = {
         scenario.name: run_dynamic_scenario(
             scenario, targets, policies,
             iterations_scale=iterations_scale, seeds=seeds,
+            executor=executor,
         )
         for scenario in scenarios
     }

@@ -31,6 +31,14 @@ from ..core.training import (
     scale_program,
     training_dataset,
 )
+from ..exec import (
+    Executor,
+    PolicySpec,
+    RunRequest,
+    RunSummary,
+    WorkloadSpec,
+    resolve_jobs,
+)
 from ..machine.affinity import AffinityPolicy
 from ..machine.machine import SimMachine
 from ..machine.topology import Topology, XEON_L7555
@@ -120,13 +128,19 @@ def standard_policies(
 
 @dataclass
 class RunOutcome:
-    """One co-execution run's headline numbers."""
+    """One co-execution run's headline numbers.
+
+    ``result`` carries the full tick timeline only when the run executed
+    in-process through :func:`run_target`; outcomes assembled from the
+    parallel/memoised executor path hold the slim summary numbers and
+    ``result=None``.
+    """
 
     target: str
     policy: str
     target_time: float
     workload_throughput: float
-    result: SimulationResult
+    result: Optional[SimulationResult] = None
 
 
 def run_target(
@@ -206,43 +220,69 @@ class PolicyComparison:
     outcomes: Dict[str, List[RunOutcome]] = field(default_factory=dict)
 
 
-def compare_policies(
+def _scenario_sets(scenario: Scenario) -> Tuple[Optional[WorkloadSet], ...]:
+    if scenario.workload_size is None:
+        return (None,)
+    return workload_sets(scenario.workload_size)
+
+
+def _comparison_requests(
     target_name: str,
     scenario: Scenario,
-    policies: Dict[str, PolicyFactory],
-    seeds: Sequence[int] = (0, 1),
-    topology: Topology = XEON_L7555,
-    iterations_scale: float = 1.0,
-    target_affinity: Optional[AffinityPolicy] = None,
-    workload_affinity: Optional[AffinityPolicy] = None,
-    max_time: float = 3600.0,
-) -> PolicyComparison:
-    """Evaluate all policies on one target in one scenario."""
-    if "default" not in policies:
-        raise ValueError("policies must include the 'default' baseline")
-    sets: Tuple[Optional[WorkloadSet], ...]
-    if scenario.workload_size is None:
-        sets = (None,)
-    else:
-        sets = workload_sets(scenario.workload_size)
-
-    outcomes: Dict[str, List[RunOutcome]] = {name: [] for name in policies}
-    for workload_set in sets:
+    specs: Dict[str, PolicySpec],
+    seeds: Sequence[int],
+    topology: Topology,
+    iterations_scale: float,
+    target_affinity: Optional[AffinityPolicy],
+    workload_affinity: Optional[AffinityPolicy],
+    max_time: float,
+) -> List[RunRequest]:
+    """The request batch for one comparison, in sets x seeds x policies
+    order (the same workload/seed configuration for every policy, per the
+    paper's protocol)."""
+    workload_policy = PolicySpec.of(DefaultPolicy, label="default")
+    requests: List[RunRequest] = []
+    for workload_set in _scenario_sets(scenario):
+        workload = (
+            WorkloadSpec.from_set(workload_set, workload_policy)
+            if workload_set is not None else None
+        )
         for seed in seeds:
-            for name, factory in policies.items():
-                outcomes[name].append(run_target(
-                    target_name,
-                    factory(),
-                    scenario,
-                    workload_set=workload_set,
+            for spec in specs.values():
+                requests.append(RunRequest(
+                    target=target_name,
+                    policy=spec,
+                    scenario=scenario,
+                    workload=workload,
                     seed=seed,
                     topology=topology,
                     iterations_scale=iterations_scale,
+                    max_time=max_time,
                     target_affinity=target_affinity,
                     workload_affinity=workload_affinity,
-                    max_time=max_time,
                 ))
+    return requests
 
+
+def _assemble_comparison(
+    target_name: str,
+    scenario: Scenario,
+    policy_names: Sequence[str],
+    summaries: Sequence[RunSummary],
+) -> PolicyComparison:
+    """Fold one comparison's summaries (sets x seeds x policies order)
+    back into the per-policy outcome lists and figure statistics."""
+    outcomes: Dict[str, List[RunOutcome]] = {name: [] for name in policy_names}
+    for index, summary in enumerate(summaries):
+        name = policy_names[index % len(policy_names)]
+        outcomes[name].append(RunOutcome(
+            target=target_name,
+            policy=summary.policy,
+            target_time=summary.target_time,
+            workload_throughput=summary.workload_throughput,
+        ))
+
+    policies = policy_names
     configs = range(len(outcomes["default"]))
     speedups = {}
     times = {}
@@ -273,6 +313,44 @@ def compare_policies(
         times=times,
         workload_gains=workload_gains,
         outcomes=outcomes,
+    )
+
+
+def compare_policies(
+    target_name: str,
+    scenario: Scenario,
+    policies: Dict[str, PolicyFactory],
+    seeds: Sequence[int] = (0, 1),
+    topology: Topology = XEON_L7555,
+    iterations_scale: float = 1.0,
+    target_affinity: Optional[AffinityPolicy] = None,
+    workload_affinity: Optional[AffinityPolicy] = None,
+    max_time: float = 3600.0,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
+) -> PolicyComparison:
+    """Evaluate all policies on one target in one scenario.
+
+    Runs go through the :mod:`repro.exec` layer: batched over the
+    executor's worker pool (``jobs``/``REPRO_JOBS``; default serial) and
+    memoised on disk, while keeping the paper's protocol — identical
+    workload sets, seeds and availability schedules across policies.
+    """
+    if "default" not in policies:
+        raise ValueError("policies must include the 'default' baseline")
+    if executor is None:
+        executor = Executor(jobs=resolve_jobs(jobs))
+    specs = {
+        name: PolicySpec.of(factory, label=name)
+        for name, factory in policies.items()
+    }
+    requests = _comparison_requests(
+        target_name, scenario, specs, seeds, topology,
+        iterations_scale, target_affinity, workload_affinity, max_time,
+    )
+    summaries = executor.run(requests)
+    return _assemble_comparison(
+        target_name, scenario, list(specs), summaries,
     )
 
 
@@ -326,19 +404,37 @@ def evaluate_scenario(
     seeds: Sequence[int] = (0, 1),
     iterations_scale: float = 1.0,
     topology: Topology = XEON_L7555,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
 ) -> ScenarioTable:
-    """One full per-benchmark figure (Figures 7, 9-12)."""
+    """One full per-benchmark figure (Figures 7, 9-12).
+
+    All targets' runs are submitted as a single batch so the worker pool
+    stays saturated across row boundaries.
+    """
     if policies is None:
         policies = standard_policies()
+    if "default" not in policies:
+        raise ValueError("policies must include the 'default' baseline")
+    if executor is None:
+        executor = Executor(jobs=resolve_jobs(jobs))
+    specs = {
+        name: PolicySpec.of(factory, label=name)
+        for name, factory in policies.items()
+    }
+    requests: List[RunRequest] = []
+    for target in targets:
+        requests.extend(_comparison_requests(
+            target, scenario, specs, seeds, topology,
+            iterations_scale, None, None, 3600.0,
+        ))
+    summaries = executor.run(requests)
+    chunk = len(_scenario_sets(scenario)) * len(seeds) * len(specs)
     rows = [
-        compare_policies(
-            target,
-            scenario,
-            policies,
-            seeds=seeds,
-            iterations_scale=iterations_scale,
-            topology=topology,
+        _assemble_comparison(
+            target, scenario, list(specs),
+            summaries[i * chunk:(i + 1) * chunk],
         )
-        for target in targets
+        for i, target in enumerate(targets)
     ]
     return ScenarioTable(scenario=scenario.name, rows=rows)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Protocol, Sequence, Tuple
 
 import numpy as np
@@ -83,9 +84,20 @@ class PeriodicAvailability:
             # Programs start with the full machine; changes begin after the
             # first period, matching the paper's timelines.
             return self.max_processors
-        rng = np.random.default_rng([self.seed, index])
-        return int(rng.integers(self.min_processors,
-                                self.max_processors + 1))
+        return _periodic_draw(
+            self.seed, index, self.min_processors, self.max_processors
+        )
+
+
+@lru_cache(maxsize=65536)
+def _periodic_draw(
+    seed: int, index: int, min_processors: int, max_processors: int
+) -> int:
+    """Memoised per-period draw: the engine queries availability every
+    tick (hundreds of queries per period), but the draw depends only on
+    (seed, period index, bounds)."""
+    rng = np.random.default_rng([seed, index])
+    return int(rng.integers(min_processors, max_processors + 1))
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ sample lag a real runtime reading ``/proc`` would have.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -135,6 +136,30 @@ class SimulationResult:
         return work_done / cpu
 
 
+#: Per-module memo of static analysis + code features, keyed by module
+#: identity.  Static analysis depends only on the IR, which is immutable
+#: in practice and shared across every scaled copy of a program
+#: (``scale_program`` only replaces the iteration count), so a grid of
+#: runs pays the analysis cost once per program instead of once per job
+#: per run.  Entries are evicted when their module is garbage collected.
+_CODE_FEATURE_MEMO: Dict[int, Dict[str, CodeFeatures]] = {}
+
+
+def module_code_features(module) -> Dict[str, CodeFeatures]:
+    """Code features of every parallel loop in ``module``, memoised."""
+    key = id(module)
+    cached = _CODE_FEATURE_MEMO.get(key)
+    if cached is None:
+        analysis = analyze_module(module)
+        cached = {
+            loop_name: extract_code_features(module, loop_name, analysis)
+            for loop_name in analysis.loops
+        }
+        _CODE_FEATURE_MEMO[key] = cached
+        weakref.finalize(module, _CODE_FEATURE_MEMO.pop, key, None)
+    return cached
+
+
 class _JobState:
     """Mutable per-job runtime bookkeeping."""
 
@@ -151,13 +176,12 @@ class _JobState:
         self.work_done = 0.0
         self.cpu_time = 0.0
         self.finish_time: Optional[float] = None
-        analysis = analyze_module(spec.program.module)
-        self.code_features: Dict[str, CodeFeatures] = {
-            loop_name: extract_code_features(
-                spec.program.module, loop_name, analysis
-            )
-            for loop_name in analysis.loops
-        }
+        self.code_features: Dict[str, CodeFeatures] = (
+            module_code_features(spec.program.module)
+        )
+        #: Reusable demand per (loop_name, threads) phase; demands are
+        #: immutable and identical across revisits of the same phase.
+        self._demand_memo: Dict[tuple, JobDemand] = {}
 
     started = False
 
@@ -217,11 +241,24 @@ class CoExecutionEngine:
         time = 0.0
         next_timeline = 0.0
         timed_out = False
+        # Tick allocations are pure functions of (demands, available);
+        # co-execution spends long stretches in the same demand mix, so
+        # memoising them skips most scheduler work.  Demands hash by
+        # value, so reused demand objects and rebuilt equals both hit.
+        alloc_memo: Dict[tuple, object] = {}
+
+        def allocate(demands: List[JobDemand], available: int):
+            key = (available, tuple(demands))
+            allocation = alloc_memo.get(key)
+            if allocation is None:
+                allocation = self._scheduler.allocate(demands, available)
+                alloc_memo[key] = allocation
+            return allocation
 
         # Priming tick so the first consultation has statistics to read.
         available = self._machine.available(time)
         demands = self._demands(states)
-        allocation = self._scheduler.allocate(demands, available)
+        allocation = allocate(demands, available)
         stats.update(time, 0.0, demands, allocation)
 
         while True:
@@ -240,13 +277,13 @@ class CoExecutionEngine:
 
             # 2. Schedule this tick.
             demands = self._demands(states)
-            allocation = self._scheduler.allocate(demands, available)
+            allocation = allocate(demands, available)
             stats.update(time, dt, demands, allocation)
             if self._tracer is not None:
                 self._tracer.record(time, available, demands, allocation)
 
             # 3. Timeline sampling.
-            if timeline is not None and time >= next_timeline:
+            if time >= next_timeline:
                 timeline.append(self._timeline_point(
                     time, available, states, stats
                 ))
@@ -306,7 +343,7 @@ class CoExecutionEngine:
         target_time = (
             job_times[self._target_id]
             if self._target_id is not None and not timed_out
-            else (None if self._target_id is not None else None)
+            else None
         )
         return SimulationResult(
             target_id=self._target_id,
@@ -382,24 +419,37 @@ class CoExecutionEngine:
             if not state.active:
                 continue
             region = state.region
-            affinity = state.spec.affinity or self._machine.affinity
-            if region is None:
-                demands.append(JobDemand(
-                    job_id=state.spec.job_id,
-                    threads=1,
-                    memory_intensity=SERIAL_MEMORY_INTENSITY,
-                    locality=1.0,
-                ))
-            else:
-                threads = state.threads
-                demands.append(JobDemand(
-                    job_id=state.spec.job_id,
-                    threads=threads,
-                    memory_intensity=region.memory_intensity,
-                    locality=affinity.locality(
-                        threads, self._machine.topology
-                    ),
-                ))
+            # Jobs spend many consecutive ticks in the same phase with
+            # the same thread count; reuse the (immutable) demand built
+            # the first time that phase/thread pair was seen instead of
+            # re-running affinity locality and demand validation.
+            key = (
+                (None, 1) if region is None
+                else (region.loop_name, state.threads)
+            )
+            demand = state._demand_memo.get(key)
+            if demand is None:
+                if region is None:
+                    demand = JobDemand(
+                        job_id=state.spec.job_id,
+                        threads=1,
+                        memory_intensity=SERIAL_MEMORY_INTENSITY,
+                        locality=1.0,
+                    )
+                else:
+                    affinity = (
+                        state.spec.affinity or self._machine.affinity
+                    )
+                    demand = JobDemand(
+                        job_id=state.spec.job_id,
+                        threads=state.threads,
+                        memory_intensity=region.memory_intensity,
+                        locality=affinity.locality(
+                            state.threads, self._machine.topology
+                        ),
+                    )
+                state._demand_memo[key] = demand
+            demands.append(demand)
         return demands
 
     def _rate(
@@ -498,7 +548,7 @@ class CoExecutionEngine:
                 target_threads = threads
             else:
                 workload_threads += threads
-        env_norm = stats.sample(self._target_id).norm
+        env_norm = stats.sample_norm(self._target_id)
         return TimelinePoint(
             time=time,
             available=available,

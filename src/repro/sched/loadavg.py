@@ -24,6 +24,14 @@ class LoadAverage:
 
     period: float
     value: float = 0.0
+    # Decay memo: the engine ticks with a fixed dt, so the exp() is the
+    # same every update; recompute only when dt changes.
+    _decay_dt: float = field(
+        default=-1.0, init=False, repr=False, compare=False
+    )
+    _decay: float = field(
+        default=1.0, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -35,7 +43,10 @@ class LoadAverage:
             raise ValueError("dt must be non-negative")
         if active < 0:
             raise ValueError("active load cannot be negative")
-        decay = math.exp(-dt / self.period)
+        if dt != self._decay_dt:
+            self._decay_dt = dt
+            self._decay = math.exp(-dt / self.period)
+        decay = self._decay
         self.value = self.value * decay + active * (1.0 - decay)
         return self.value
 

@@ -64,7 +64,11 @@ def environment_norm(vector: Sequence[float]) -> float:
     arr = np.asarray(vector, dtype=float)
     if arr.size == 0:
         raise ValueError("environment vector is empty")
-    return float(np.sqrt(np.mean(arr * arr)))
+    # ndarray.mean() is the same reduction np.mean dispatches to, and
+    # IEEE-754 sqrt is correctly rounded in both math and numpy, so
+    # this is bit-identical to sqrt(mean(...)) while skipping two
+    # dispatch layers — this runs on every tick sample.
+    return math.sqrt(float((arr * arr).mean()))
 
 
 @dataclass(frozen=True)
@@ -179,6 +183,34 @@ class SystemStatsSampler:
             pages_free_rate=self._memory.pages_free_rate,
             raw=self._raw_features(external, own, runqueue),
         )
+
+    def sample_norm(
+        self, perspective_job_id: Optional[str] = None
+    ) -> float:
+        """``sample(...).norm`` without building the full sample.
+
+        Timeline bookkeeping only needs the scalar ‖e‖ once per
+        timeline period; this computes exactly the seven values
+        :meth:`sample` would put in the vector (same expressions, same
+        order) and skips the raw-feature dictionary.
+        """
+        if self._last_runqueue is None:
+            raise RuntimeError("sample() before the first update()")
+        own = self._last_threads.get(perspective_job_id, 0)
+        total = sum(self._last_threads.values())
+        own_load = self._job_loadavg.get(perspective_job_id)
+        own_ld1 = own_load.ldavg_1 if own_load is not None else 0.0
+        own_ld5 = own_load.ldavg_5 if own_load is not None else 0.0
+        runqueue = self._last_runqueue
+        return environment_norm((
+            float(max(0, total - own)),
+            float(runqueue.processors),
+            float(max(0, runqueue.runq_sz - own)),
+            max(0.0, self._loadavg.ldavg_1 - own_ld1),
+            max(0.0, self._loadavg.ldavg_5 - own_ld5),
+            self._memory.cached_gb,
+            self._memory.pages_free_rate,
+        ))
 
     def _raw_features(
         self, workload_threads: int, own: int, runqueue: RunQueueStats

@@ -1,0 +1,125 @@
+"""Run-cache behaviour: hits, misses, invalidation, corruption."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exec import (
+    Executor,
+    PolicySpec,
+    RunCache,
+    RunRequest,
+    cache_enabled,
+    default_cache_root,
+    execute_request,
+)
+from repro.exec.cache import CACHE_ENTRY_VERSION
+
+SCALE = 0.05
+
+
+def tiny_request(**overrides) -> RunRequest:
+    base = dict(
+        target="cg",
+        policy=PolicySpec.fixed(8),
+        iterations_scale=SCALE,
+    )
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+@pytest.fixture
+def cache(tmp_path) -> RunCache:
+    return RunCache(root=tmp_path / "runs")
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, cache):
+        request = tiny_request()
+        fingerprint = request.fingerprint()
+        assert cache.get(fingerprint) is None
+        summary = execute_request(request)
+        cache.put(fingerprint, summary)
+        assert cache.get(fingerprint) == summary
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_corrupted_entry_is_a_miss(self, cache):
+        request = tiny_request()
+        fingerprint = request.fingerprint()
+        cache.put(fingerprint, execute_request(request))
+        cache.path(fingerprint).write_bytes(b"not a pickle")
+        assert cache.get(fingerprint) is None
+        # The broken file was discarded, not left to fail forever.
+        assert not cache.path(fingerprint).exists()
+
+    def test_wrong_version_is_a_miss(self, cache):
+        request = tiny_request()
+        fingerprint = request.fingerprint()
+        entry = {
+            "version": CACHE_ENTRY_VERSION + 1,
+            "summary": execute_request(request),
+        }
+        path = cache.path(fingerprint)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(entry))
+        assert cache.get(fingerprint) is None
+
+    def test_cache_dir_env_redirect(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_root() == tmp_path / "elsewhere" / "runs"
+
+    def test_cache_enabled_env(self, monkeypatch):
+        assert cache_enabled()
+        for value in ("0", "no", "off", "FALSE"):
+            monkeypatch.setenv("REPRO_RUN_CACHE", value)
+            assert not cache_enabled()
+        monkeypatch.setenv("REPRO_RUN_CACHE", "1")
+        assert cache_enabled()
+
+
+class TestExecutorMemoisation:
+    def test_second_run_is_a_replay(self, cache):
+        executor = Executor(jobs=1, cache=cache)
+        requests = [tiny_request(seed=s) for s in (0, 1)]
+        first = executor.run(requests)
+        second = executor.run(requests)
+        assert first == second
+        assert cache.stores == 2
+        assert cache.hits == 2
+
+    def test_physics_change_invalidates(self, cache, monkeypatch):
+        executor = Executor(jobs=1, cache=cache)
+        request = tiny_request()
+        executor.run([request])
+        monkeypatch.setattr(
+            "repro.core.training.simulator_fingerprint",
+            lambda: "recalibrated",
+        )
+        executor.run([request])
+        # The new fingerprint missed the old entry and stored a new one.
+        assert cache.hits == 0
+        assert cache.stores == 2
+
+    def test_untokened_requests_still_execute(self, cache):
+        class Hostile:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+            def __call__(self):
+                from repro.core.policies.fixed import FixedPolicy
+
+                return FixedPolicy(8)
+
+        spec = PolicySpec.of(Hostile(), label="hostile")
+        assert spec.token is None
+        executor = Executor(jobs=1, cache=cache)
+        summaries = executor.run([tiny_request(policy=spec)])
+        assert summaries[0].target_time > 0
+        assert cache.stores == 0
+
+    def test_cache_none_disables_memoisation(self):
+        executor = Executor(jobs=1, cache=None)
+        request = tiny_request()
+        assert executor.run([request]) == executor.run([request])

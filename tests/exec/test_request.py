@@ -1,0 +1,156 @@
+"""RunRequest construction, fingerprints and in-process execution."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import DefaultPolicy
+from repro.exec import PolicySpec, RunRequest, WorkloadSpec, execute_request
+from repro.experiments.scenarios import SMALL_LOW
+from repro.workload.spec import workload_sets
+
+SCALE = 0.05
+
+
+def tiny_request(**overrides) -> RunRequest:
+    base = dict(
+        target="cg",
+        policy=PolicySpec.fixed(8),
+        iterations_scale=SCALE,
+    )
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+class TestPolicySpec:
+    def test_fixed_has_stable_token(self):
+        assert PolicySpec.fixed(8).token == "fixed:8"
+        assert PolicySpec.fixed(8) == PolicySpec.fixed(8)
+        assert PolicySpec.fixed(8).token != PolicySpec.fixed(4).token
+
+    def test_of_derives_label_and_token(self):
+        spec = PolicySpec.of(DefaultPolicy)
+        assert spec.label == "DefaultPolicy"
+        assert spec.token is not None
+
+    def test_of_passes_specs_through(self):
+        spec = PolicySpec.fixed(8)
+        assert PolicySpec.of(spec) is spec
+        relabelled = PolicySpec.of(spec, label="baseline")
+        assert relabelled.label == "baseline"
+        assert relabelled.token == spec.token
+
+    def test_of_token_is_deterministic(self):
+        assert (
+            PolicySpec.of(DefaultPolicy).token
+            == PolicySpec.of(DefaultPolicy).token
+        )
+
+    def test_unpicklable_factory_gets_no_token(self):
+        spec = PolicySpec.of(lambda: DefaultPolicy(), label="local")
+        # cloudpickle serialises lambdas, so the token exists ...
+        assert spec.token is not None
+        # ... but a genuinely unpicklable object falls back to None.
+        class Hostile:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+            def __call__(self):  # pragma: no cover - never built
+                return DefaultPolicy()
+
+        assert PolicySpec.of(Hostile(), label="hostile").token is None
+
+    def test_build_returns_fresh_instances(self):
+        spec = PolicySpec.of(DefaultPolicy)
+        assert spec.build() is not spec.build()
+
+
+class TestFingerprint:
+    def test_stable_for_equal_requests(self):
+        assert tiny_request().fingerprint() == tiny_request().fingerprint()
+
+    def test_sensitive_to_every_field(self):
+        base = tiny_request().fingerprint()
+        variants = [
+            tiny_request(target="ep"),
+            tiny_request(policy=PolicySpec.fixed(4)),
+            tiny_request(seed=1),
+            tiny_request(iterations_scale=SCALE * 2),
+            tiny_request(dt=0.2),
+            tiny_request(max_time=1800.0),
+            tiny_request(processors=8),
+            tiny_request(record=True),
+            tiny_request(scenario=SMALL_LOW),
+            tiny_request(workload=WorkloadSpec.from_set(
+                workload_sets("small")[0], PolicySpec.fixed(4),
+            )),
+        ]
+        prints = [v.fingerprint() for v in variants]
+        assert base not in prints
+        assert len(set(prints)) == len(prints)
+
+    def test_untokened_policy_is_unfingerprintable(self):
+        spec = dataclasses.replace(PolicySpec.fixed(8), token=None)
+        assert tiny_request(policy=spec).fingerprint() is None
+
+    def test_simulator_fingerprint_included(self, monkeypatch):
+        before = tiny_request().fingerprint()
+        monkeypatch.setattr(
+            "repro.core.training.simulator_fingerprint", lambda: "other",
+        )
+        assert tiny_request().fingerprint() != before
+
+
+class TestExecuteRequest:
+    def test_isolated_static_run(self):
+        summary = execute_request(tiny_request())
+        assert summary.target == "cg"
+        assert summary.policy == "fixed-8"
+        assert summary.target_time > 0
+        assert summary.workload_throughput == 0.0
+        assert summary.records == ()
+
+    def test_scenario_with_workload(self):
+        request = tiny_request(
+            scenario=SMALL_LOW,
+            workload=WorkloadSpec.from_set(
+                workload_sets("small")[0],
+                PolicySpec.of(DefaultPolicy, label="default"),
+            ),
+        )
+        summary = execute_request(request)
+        assert summary.workload_throughput > 0
+        assert len(summary.workload_runs) == 2
+
+    def test_matches_run_target(self):
+        """The request path reproduces run_target bit-for-bit."""
+        from repro.core.policies.fixed import FixedPolicy
+        from repro.experiments.runner import run_target
+
+        workload_set = workload_sets("small")[0]
+        outcome = run_target(
+            "cg", FixedPolicy(8), SMALL_LOW,
+            workload_set=workload_set, seed=3, iterations_scale=SCALE,
+        )
+        summary = execute_request(tiny_request(
+            scenario=SMALL_LOW,
+            workload=WorkloadSpec.from_set(
+                workload_set, PolicySpec.of(DefaultPolicy, label="default"),
+            ),
+            seed=3,
+        ))
+        assert summary.target_time == outcome.target_time
+        assert summary.workload_throughput == outcome.workload_throughput
+
+    def test_record_collects_selections(self):
+        summary = execute_request(tiny_request(record=True))
+        assert summary.records
+        record = summary.records[0]
+        assert record.threads == 8
+        assert isinstance(record.features, tuple)
+
+    def test_timeout_raises(self):
+        with pytest.raises(RuntimeError, match="timed out"):
+            execute_request(tiny_request(max_time=0.5))
