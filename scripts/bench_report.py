@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Roll the benchmark timing ledger into ``BENCH_summary.json``.
+
+The benchmark conftest appends one ledger entry per benchmark test run
+(``benchmarks/results/bench_timings.json``), keyed by pytest nodeid
+plus an optional ``@<tag>`` suffix (``REPRO_TIMING_TAG``, e.g. ``cold``
+vs ``warm`` cache passes).  This script groups those entries per figure
+and writes a repo-root ``BENCH_summary.json`` with the headline numbers
+a reader (or CI artifact diff) wants: wall clock, simulation runs
+executed, and run-cache hits per variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_LEDGER = REPO_ROOT / "benchmarks" / "results" / "bench_timings.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_summary.json"
+
+
+def figure_name(nodeid: str) -> str:
+    """``benchmarks/bench_fig08_x.py::test_y`` -> ``fig08_x``."""
+    path = nodeid.split("::", 1)[0]
+    stem = Path(path).stem
+    if stem.startswith("bench_"):
+        stem = stem[len("bench_"):]
+    return stem
+
+
+def split_tag(key: str) -> tuple:
+    """Split ``nodeid@tag`` into (nodeid, tag); tag defaults to 'run'."""
+    if "@" in key:
+        nodeid, tag = key.rsplit("@", 1)
+        return nodeid, tag
+    return key, "run"
+
+
+def summarise(ledger: dict) -> dict:
+    figures: dict = {}
+    for key in sorted(ledger):
+        entry = ledger[key]
+        nodeid, tag = split_tag(key)
+        variants = figures.setdefault(figure_name(nodeid), {})
+        variants[tag] = {
+            "wall_s": round(float(entry.get("duration_s", 0.0)), 4),
+            "runs_executed": int(entry.get("runs_executed", 0)),
+            "cache_hits": int(entry.get("cache_hits", 0)),
+            "jobs": entry.get("jobs"),
+        }
+    totals = {
+        "figures": len(figures),
+        "entries": len(ledger),
+        "wall_s": round(sum(
+            float(e.get("duration_s", 0.0)) for e in ledger.values()
+        ), 4),
+        "runs_executed": sum(
+            int(e.get("runs_executed", 0)) for e in ledger.values()
+        ),
+        "cache_hits": sum(
+            int(e.get("cache_hits", 0)) for e in ledger.values()
+        ),
+    }
+    return {"totals": totals, "figures": figures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarise the benchmark timing ledger into "
+                    "BENCH_summary.json.",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=DEFAULT_LEDGER,
+        help="timing ledger to read "
+             "(default: benchmarks/results/bench_timings.json)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="summary to write (default: BENCH_summary.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with args.ledger.open() as handle:
+            ledger = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: ledger not found: {args.ledger}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed ledger {args.ledger}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    summary = summarise(ledger)
+    args.output.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                           + "\n")
+    totals = summary["totals"]
+    print(
+        f"wrote {args.output}: {totals['figures']} figures, "
+        f"{totals['entries']} entries, {totals['wall_s']:.1f}s wall, "
+        f"{totals['runs_executed']} runs executed, "
+        f"{totals['cache_hits']} cache hits"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Gate benchmark wall-clock against the checked-in baseline.
+
+Compares the freshly produced timing ledger
+(``benchmarks/results/bench_timings.json``, written by the benchmark
+suite's conftest hooks) against the committed baseline
+(``benchmarks/baseline_timings.json``) and fails when either
+
+* an entry's wall clock regressed by more than ``--max-regression``
+  (default 25%), or
+* an entry's ``runs_executed`` count changed at all — the simulation
+  work a figure performs is deterministic, so any change means the
+  experiment itself changed and the baseline must be re-recorded
+  deliberately.
+
+Entries are keyed by pytest nodeid, optionally suffixed ``@<tag>``
+(``REPRO_TIMING_TAG``); an entry recorded under a different worker
+count (``jobs``) is checked for run counts only, since wall clock is
+not comparable across parallelism levels.
+
+Exit status: 0 clean, 1 regression found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_timings.json"
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "bench_timings.json"
+
+#: Wall clocks below this are timer noise; never fail on them.
+MIN_COMPARABLE_SECONDS = 0.5
+
+
+def load_ledger(path: Path) -> dict:
+    try:
+        with path.open() as handle:
+            ledger = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: ledger not found: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed ledger {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(ledger, dict):
+        print(f"error: ledger {path} is not an object", file=sys.stderr)
+        raise SystemExit(2)
+    return ledger
+
+
+def compare(
+    baseline: dict, current: dict, max_regression: float
+) -> list:
+    """Compare ledgers; returns a list of failure strings."""
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        base = baseline[key]
+        now = current.get(key)
+        if now is None:
+            # The current run did not exercise this entry (e.g. a
+            # partial benchmark invocation); absence is not a
+            # regression, so report and move on.
+            print(f"  skip  {key}: no current entry")
+            continue
+        compared += 1
+
+        base_runs = base.get("runs_executed")
+        now_runs = now.get("runs_executed")
+        if base_runs != now_runs:
+            failures.append(
+                f"{key}: runs_executed changed "
+                f"{base_runs} -> {now_runs} (deterministic work drifted; "
+                f"re-record the baseline if intentional)"
+            )
+            continue
+
+        base_wall = float(base.get("duration_s", 0.0))
+        now_wall = float(now.get("duration_s", 0.0))
+        if base.get("jobs") != now.get("jobs"):
+            print(
+                f"  note  {key}: jobs {base.get('jobs')} -> "
+                f"{now.get('jobs')}; wall clock not compared"
+            )
+            continue
+        if base_wall < MIN_COMPARABLE_SECONDS:
+            print(f"  skip  {key}: baseline {base_wall:.3f}s below "
+                  f"noise floor")
+            continue
+        ratio = (now_wall - base_wall) / base_wall
+        status = "ok" if ratio <= max_regression else "FAIL"
+        print(
+            f"  {status:4s}  {key}: {base_wall:.2f}s -> {now_wall:.2f}s "
+            f"({ratio:+.1%})"
+        )
+        if ratio > max_regression:
+            failures.append(
+                f"{key}: wall clock regressed {ratio:+.1%} "
+                f"({base_wall:.2f}s -> {now_wall:.2f}s; "
+                f"limit {max_regression:.0%})"
+            )
+    if compared == 0:
+        failures.append(
+            "no baseline entry had a current counterpart — the bench "
+            "run produced nothing comparable"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark timings regress vs the "
+                    "checked-in baseline.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline ledger "
+             "(default: benchmarks/baseline_timings.json)",
+    )
+    parser.add_argument(
+        "--current", type=Path, default=DEFAULT_CURRENT,
+        help="freshly produced ledger "
+             "(default: benchmarks/results/bench_timings.json)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional wall-clock increase (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        parser.error("--max-regression must be non-negative")
+
+    baseline = load_ledger(args.baseline)
+    current = load_ledger(args.current)
+    print(f"bench regression gate: {len(baseline)} baseline entries, "
+          f"limit {args.max_regression:.0%}")
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("clean: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

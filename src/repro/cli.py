@@ -9,6 +9,9 @@ Examples::
     python -m repro lint              # lint every benchmark's IR
     python -m repro lint cg mg --format json
     python -m repro lint --strict     # CI gate: warnings fail too
+    python -m repro profile           # cProfile one simulation run
+    python -m repro profile mg --scenario large-high --top 40
+    python -m repro profile --stepping fixed --output run.pstats
 """
 
 from __future__ import annotations
@@ -312,10 +315,118 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     return 1 if failed else 0
 
 
+def profile_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro profile``: cProfile one simulation run.
+
+    Executes a single :class:`~repro.exec.request.RunRequest` (the unit
+    every experiment fans out over) under :mod:`cProfile` and prints the
+    top functions by cumulative time — the first stop when the engine's
+    wall clock regresses.
+    """
+    import cProfile
+    import pstats
+
+    from .core.policies import DefaultPolicy
+    from .exec.request import PolicySpec, RunRequest, WorkloadSpec
+    from .experiments.scenarios import ALL_SCENARIOS
+    from .runtime.engine import STEPPING_MODES
+    from .workload.spec import workload_sets
+
+    scenarios = {s.name: s for s in ALL_SCENARIOS}
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile one co-execution simulation with cProfile.",
+    )
+    parser.add_argument(
+        "target", nargs="?", default="cg",
+        help="target benchmark to simulate (default: cg)",
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(scenarios), default="small-low",
+        help="evaluation scenario (default: small-low)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, metavar="N",
+        help="fixed thread policy for the target (default: 8)",
+    )
+    parser.add_argument(
+        "--stepping", choices=STEPPING_MODES, default="event",
+        help="engine stepping mode (default: event)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed (default: 0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.3, metavar="FRACTION",
+        help="iterations scale of the simulated programs (default: 0.3)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="functions to print, by cumulative time (default: 25)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also dump raw pstats data to FILE (snakeviz-compatible)",
+    )
+    args = parser.parse_args(argv)
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+    if args.top < 1:
+        parser.error("--top must be >= 1")
+    if not 0.0 < args.scale <= 1.0:
+        parser.error("--scale must be in (0, 1]")
+
+    scenario = scenarios[args.scenario]
+    workload = None
+    if scenario.workload_size is not None:
+        workload = WorkloadSpec.from_set(
+            workload_sets(scenario.workload_size)[0],
+            PolicySpec.of(DefaultPolicy, "default"),
+        )
+    request = RunRequest(
+        target=args.target,
+        policy=PolicySpec.fixed(args.threads),
+        scenario=scenario,
+        workload=workload,
+        seed=args.seed,
+        iterations_scale=args.scale,
+        stepping=args.stepping,
+    )
+
+    from .exec.request import execute_request
+
+    # Warm the process-global memos (program registry, code features,
+    # expert bundles) outside the profile so the report shows steady-
+    # state engine cost, not one-time setup.
+    execute_request(request)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    summary = execute_request(request)
+    profiler.disable()
+
+    print(
+        f"profiled {args.target} / fixed-{args.threads} / "
+        f"{scenario.name} (seed={args.seed}, scale={args.scale}, "
+        f"stepping={args.stepping}): target_time="
+        f"{summary.target_time:.2f}s simulated"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    stats.print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,7 +436,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
-             "'lint' subcommand",
+             "'lint' / 'profile' subcommands",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -350,6 +461,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:8s} {description}")
         print(f"{'lint':8s} static IR diagnostics over the benchmark "
               f"registry ('repro lint --help')")
+        print(f"{'profile':8s} cProfile one simulation run "
+              f"('repro profile --help')")
         return 0
 
     names = (

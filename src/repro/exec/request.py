@@ -30,7 +30,9 @@ from typing import Callable, Dict, Optional, Tuple
 #: Bump whenever the semantics of executing a request change in a way
 #: the simulator calibration fingerprint does not capture (e.g. job
 #: naming, summary contents).  Part of every run fingerprint.
-RUN_FORMAT_VERSION = 1
+#: Version 2: requests gained the ``stepping`` mode and summaries are
+#: produced without timeline sampling (they never stored timelines).
+RUN_FORMAT_VERSION = 2
 
 
 def _stable_token(factory: Callable) -> Optional[str]:
@@ -184,6 +186,19 @@ class RunRequest:
     target_affinity: Optional[object] = None
     workload_affinity: Optional[object] = None
     record: bool = False
+    #: Engine stepping mode: ``"event"`` (event-driven fast-forward) or
+    #: ``"fixed"`` (the per-tick reference).  Part of the fingerprint, so
+    #: runs from different modes never share cache entries.
+    stepping: str = "event"
+
+    def __post_init__(self) -> None:
+        from ..runtime.engine import STEPPING_MODES
+
+        if self.stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"unknown stepping mode {self.stepping!r}; "
+                f"expected one of {STEPPING_MODES}"
+            )
 
     def resolved_topology(self):
         if self.topology is not None:
@@ -221,6 +236,7 @@ class RunRequest:
             repr(self.target_affinity),
             repr(self.workload_affinity),
             self.record,
+            self.stepping,
             simulator_fingerprint(),
         )
         return hashlib.sha256(repr(parts).encode()).hexdigest()
@@ -279,9 +295,15 @@ def execute_request(request: RunRequest) -> RunSummary:
                 restart=True,
                 affinity=request.workload_affinity,
             ))
+    # RunSummary never stores the timeline, and timeline sampling is
+    # read-only physics-wise, so it is disabled outright — in event mode
+    # the sampling grid would otherwise cap every fast-forward span at
+    # one timeline period.
     engine = CoExecutionEngine(
         machine=machine, jobs=jobs,
         dt=request.dt, max_time=request.max_time,
+        timeline_period=None,
+        stepping=request.stepping,
     )
     result = engine.run()
     if result.target_time is None:

@@ -207,6 +207,7 @@ def run_energy(
                 target_name, factory(), scenario,
                 workload_set=workload, seed=seed,
                 iterations_scale=iterations_scale, max_time=7200.0,
+                timeline_period=1.0,
             )
             per_policy[name] = energy_to_solution(
                 outcome.result, model, "target", target.total_work,

@@ -156,8 +156,15 @@ def run_target(
     workload_policy_factory: PolicyFactory = DefaultPolicy,
     dt: float = 0.1,
     max_time: float = 3600.0,
+    stepping: str = "event",
+    timeline_period: Optional[float] = None,
 ) -> RunOutcome:
-    """Run one target under one policy in one scenario."""
+    """Run one target under one policy in one scenario.
+
+    ``timeline_period`` defaults to ``None`` (no timeline sampling),
+    matching the executor's request path bit-for-bit; pass a period when
+    the caller consumes ``result.timeline`` (e.g. the energy model).
+    """
     target = registry.get(target_name)
     if iterations_scale != 1.0:
         target = scale_program(target, iterations_scale)
@@ -185,6 +192,7 @@ def run_target(
             ))
     engine = CoExecutionEngine(
         machine=machine, jobs=jobs, dt=dt, max_time=max_time,
+        stepping=stepping, timeline_period=timeline_period,
     )
     result = engine.run()
     if result.target_time is None:
@@ -236,6 +244,7 @@ def _comparison_requests(
     target_affinity: Optional[AffinityPolicy],
     workload_affinity: Optional[AffinityPolicy],
     max_time: float,
+    stepping: str = "event",
 ) -> List[RunRequest]:
     """The request batch for one comparison, in sets x seeds x policies
     order (the same workload/seed configuration for every policy, per the
@@ -260,6 +269,7 @@ def _comparison_requests(
                     max_time=max_time,
                     target_affinity=target_affinity,
                     workload_affinity=workload_affinity,
+                    stepping=stepping,
                 ))
     return requests
 
@@ -328,6 +338,7 @@ def compare_policies(
     max_time: float = 3600.0,
     executor: Optional[Executor] = None,
     jobs: Optional[int] = None,
+    stepping: str = "event",
 ) -> PolicyComparison:
     """Evaluate all policies on one target in one scenario.
 
@@ -347,6 +358,7 @@ def compare_policies(
     requests = _comparison_requests(
         target_name, scenario, specs, seeds, topology,
         iterations_scale, target_affinity, workload_affinity, max_time,
+        stepping=stepping,
     )
     summaries = executor.run(requests)
     return _assemble_comparison(
@@ -406,6 +418,7 @@ def evaluate_scenario(
     topology: Topology = XEON_L7555,
     executor: Optional[Executor] = None,
     jobs: Optional[int] = None,
+    stepping: str = "event",
 ) -> ScenarioTable:
     """One full per-benchmark figure (Figures 7, 9-12).
 
@@ -427,6 +440,7 @@ def evaluate_scenario(
         requests.extend(_comparison_requests(
             target, scenario, specs, seeds, topology,
             iterations_scale, None, None, 3600.0,
+            stepping=stepping,
         ))
     summaries = executor.run(requests)
     chunk = len(_scenario_sets(scenario)) * len(seeds) * len(specs)

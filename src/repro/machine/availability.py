@@ -34,6 +34,18 @@ class AvailabilitySchedule(Protocol):
         """Number of processors available at simulated ``time``."""
         ...
 
+    def next_change(self, time: float) -> float:
+        """Earliest instant strictly after ``time`` where the count *may*
+        differ from ``available(time)``; ``math.inf`` if it never can.
+
+        The event-driven engine uses this to bound how far it may advance
+        without re-querying availability.  Returning a boundary where the
+        count happens to stay the same is allowed (the engine just takes
+        a no-op step there); returning a time *later* than an actual
+        change is not.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class StaticAvailability:
@@ -47,6 +59,9 @@ class StaticAvailability:
 
     def available(self, time: float) -> int:
         return self.processors
+
+    def next_change(self, time: float) -> float:
+        return math.inf
 
 
 @dataclass
@@ -88,6 +103,12 @@ class PeriodicAvailability:
             self.seed, index, self.min_processors, self.max_processors
         )
 
+    def next_change(self, time: float) -> float:
+        """The next period boundary (every boundary is a fresh draw)."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        return (math.floor(time / self.period) + 1) * self.period
+
 
 @lru_cache(maxsize=65536)
 def _periodic_draw(
@@ -128,6 +149,13 @@ class TraceAvailability:
             index = 0
         return self.points[index][1]
 
+    def next_change(self, time: float) -> float:
+        times = [t for t, _ in self.points]
+        index = bisect.bisect_right(times, time)
+        if index >= len(times):
+            return math.inf
+        return times[index]
+
 
 @dataclass(frozen=True)
 class FailureWindow:
@@ -153,3 +181,25 @@ class FailureWindow:
         if self.start <= time < self.end:
             return max(1, int(math.floor(count * self.surviving_fraction)))
         return count
+
+    def next_change(self, time: float) -> float:
+        candidates = [next_availability_change(self.base, time)]
+        for edge in (self.start, self.end):
+            if edge > time:
+                candidates.append(edge)
+        return min(candidates)
+
+
+def next_availability_change(
+    schedule: AvailabilitySchedule, time: float
+) -> float:
+    """``schedule.next_change(time)``, or ``0.0`` when unsupported.
+
+    Schedules that do not implement the event-horizon protocol report a
+    horizon of "now", which makes the event-driven engine fall back to
+    per-tick availability queries — always correct, just not fast.
+    """
+    probe = getattr(schedule, "next_change", None)
+    if probe is None:
+        return 0.0
+    return probe(time)

@@ -31,6 +31,17 @@ class SimMachine:
         count = self.availability.available(time)
         return max(1, min(count, self.topology.cores))
 
+    def next_change(self, time: float) -> float:
+        """Earliest instant after ``time`` where availability may change.
+
+        ``0.0`` (i.e. "no horizon") when the schedule does not implement
+        the event protocol — see
+        :func:`repro.machine.availability.next_availability_change`.
+        """
+        from .availability import next_availability_change
+
+        return next_availability_change(self.availability, time)
+
     def locality(self, threads: int) -> float:
         """Locality factor of the machine's affinity policy."""
         return self.affinity.locality(threads, self.topology)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Iterator, List, Optional
 
 from ..compiler.ir import Module
@@ -36,11 +37,13 @@ class Region:
                 f"region {self.loop_name!r}: work must be positive"
             )
 
-    @property
+    # Cached: read once per rate computation on the engine's hot path,
+    # and the underlying analysis values never change.
+    @cached_property
     def memory_intensity(self) -> float:
         return self.analysis.memory_intensity
 
-    @property
+    @cached_property
     def sync_intensity(self) -> float:
         return self.analysis.sync_intensity
 
@@ -170,7 +173,9 @@ class ProgramInstance:
 
     @property
     def current_region(self) -> Optional[Region]:
-        if self.in_serial or self.finished:
+        # Flat checks (no chained property hops): this is read several
+        # times per job per engine tick.
+        if self.region_index < 0 or self.finished:
             return None
         return self.model.regions[self.region_index]
 

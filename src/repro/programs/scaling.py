@@ -75,7 +75,20 @@ class USLScaling:
                     + self.kappa * n * (n - 1.0))
 
     def efficiency(self, threads: int) -> float:
-        return self.speedup(threads) / threads
+        # Memoised per instance: the engine evaluates this once per job
+        # per tick with thread counts from a handful of values, and the
+        # result is a pure function of (sigma, kappa, threads).  Scaling
+        # objects are shared through the program registry, so the memo
+        # also persists across runs in one process.
+        cache = self.__dict__.get("_efficiency_memo")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_efficiency_memo", cache)
+        value = cache.get(threads)
+        if value is None:
+            value = self.speedup(threads) / threads
+            cache[threads] = value
+        return value
 
     @property
     def peak_threads(self) -> int:

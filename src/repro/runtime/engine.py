@@ -12,9 +12,25 @@ machine.  Matches the paper's experimental protocol (Section 6):
 * completed regions are reported back to the policy (reactive policies
   feed on these observations).
 
-The engine advances in fixed ticks of ``dt`` simulated seconds.  Policy
-consultations see statistics from the *previous* tick — exactly the one-
-sample lag a real runtime reading ``/proc`` would have.
+The engine advances on a fixed tick grid of ``dt`` simulated seconds.
+Policy consultations see statistics from the *previous* tick — exactly
+the one-sample lag a real runtime reading ``/proc`` would have.
+
+Two stepping modes share that tick-grid semantics:
+
+* ``stepping="fixed"`` — the reference implementation: one loop
+  iteration per tick, every statistic updated incrementally.
+* ``stepping="event"`` (default) — event-driven: between *events*
+  (phase completions, availability transitions, job arrivals, timeline
+  samples) the system's dynamics are piecewise-constant, so the engine
+  computes the next event horizon and advances all jobs across the
+  whole span at once — closed-form exponential decay for the OS
+  statistics (:meth:`repro.sched.stats.SystemStatsSampler.advance_span`)
+  and vectorized work accrual (:mod:`repro.runtime.kernels`).  Event
+  ticks themselves run through the identical per-tick code path, so
+  selection logs match the fixed-tick reference decision for decision
+  and all statistics agree to floating-point accumulation order
+  (``tests/runtime/test_stepping.py`` proves this over every scenario).
 """
 
 from __future__ import annotations
@@ -22,6 +38,8 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import math
 
 from ..compiler.features import CodeFeatures, extract_code_features
 from ..compiler.passes import analyze_module
@@ -31,6 +49,11 @@ from ..machine.machine import SimMachine
 from ..programs.model import ProgramInstance, ProgramModel, Region
 from ..sched.scheduler import JobDemand, ProportionalShareScheduler
 from ..sched.stats import SystemStatsSampler
+from ..workload.arrivals import next_start_time
+from . import kernels
+
+#: Supported stepping modes (see module docstring).
+STEPPING_MODES = ("event", "fixed")
 
 #: Memory intensity attributed to serial glue (I/O, convergence checks).
 SERIAL_MEMORY_INTENSITY = 0.05
@@ -49,6 +72,29 @@ SPIN_WASTE_COEFF = 6.0
 #: runtimes eventually yield (passive waiting, sched_yield in the spin
 #: loop), so waste saturates instead of starving the job completely.
 MAX_SPIN_WASTE = 0.8
+
+#: Precomputed ``1 - MAX_SPIN_WASTE`` (hot-path constant folding).
+_SPIN_BASE = 1.0 - MAX_SPIN_WASTE
+
+#: Largest active-job count for which a fast-forward span is applied
+#: with scalar Python instead of the NumPy kernels: below this the
+#: array gather in :func:`repro.runtime.kernels.build_span_state` costs
+#: more than the vectorization saves.  Both paths compute the same
+#: products in the same order, so results are bit-identical.
+SCALAR_SPAN_MAX = 12
+
+
+def _grid_horizon(limit: float, time: float, dt: float) -> float:
+    """Whole ticks from ``time`` that stay safely short of ``limit``.
+
+    Conservative by one tick: the ``- 1`` absorbs float rounding in the
+    ``(limit - time) / dt`` division so a span never swallows the tick
+    at which a grid predicate (``time >= limit``-style) would first
+    fire.  The event tick itself then runs through the per-tick path.
+    """
+    if math.isinf(limit):
+        return math.inf
+    return max(0.0, math.floor((limit - time) / dt) - 1.0)
 
 
 @dataclass
@@ -182,16 +228,37 @@ class _JobState:
         #: Reusable demand per (loop_name, threads) phase; demands are
         #: immutable and identical across revisits of the same phase.
         self._demand_memo: Dict[tuple, JobDemand] = {}
+        #: Mirror of ``instance.current_region``, refreshed at every
+        #: phase transition (advance, restart) so hot-path readers skip
+        #: the property chain.
+        self.region: Optional[Region] = self.instance.current_region
+        #: Progress rate from this job's latest ``_rate`` evaluation
+        #: this tick; valid for the span pre-pass whenever the tick
+        #: ended clean (no phase change ⇒ the last evaluation used
+        #: exactly the pre-pass inputs).
+        self._tick_rate = 0.0
+        #: ``_rate`` memo: the rate is a pure function of (allocation,
+        #: region, threads) — ``share`` derives from the allocation —
+        #: and those recur identically across long stretches of ticks
+        #: (allocations are memoised objects), so three identity checks
+        #: replace the arithmetic.
+        self._rc_alloc: object = None
+        self._rc_region: Optional[Region] = None
+        self._rc_threads = -1
+        self._rc_value = 0.0
+        #: Second memo slot (the previous entry): within one tick the
+        #: rate is queried for the serial region and the active parallel
+        #: region alternately, so two slots make both queries hit.
+        self._rc2_alloc: object = None
+        self._rc2_region: Optional[Region] = None
+        self._rc2_threads = -1
+        self._rc2_value = 0.0
 
     started = False
 
     @property
     def active(self) -> bool:
         return self.started and not self.instance.finished
-
-    @property
-    def region(self) -> Optional[Region]:
-        return self.instance.current_region
 
 
 class CoExecutionEngine:
@@ -203,13 +270,21 @@ class CoExecutionEngine:
         jobs: Sequence[JobSpec],
         dt: float = 0.1,
         max_time: float = 3600.0,
-        timeline_period: float = 1.0,
+        timeline_period: Optional[float] = 1.0,
         tracer=None,
+        stepping: str = "event",
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
         if max_time <= 0:
             raise ValueError("max_time must be positive")
+        if timeline_period is not None and timeline_period <= 0:
+            raise ValueError("timeline_period must be positive or None")
+        if stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"unknown stepping mode {stepping!r}; "
+                f"expected one of {STEPPING_MODES}"
+            )
         ids = [spec.job_id for spec in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate job ids: {ids}")
@@ -224,9 +299,24 @@ class CoExecutionEngine:
         self._scheduler = ProportionalShareScheduler(machine.topology)
         self._target_id = targets[0].job_id if targets else None
         self._tracer = tracer
+        self._stepping = stepping
+        self._dirty = True
 
     def run(self) -> SimulationResult:
         """Execute the co-execution scenario and collect results."""
+        return self._run_loop(event=self._stepping == "event")
+
+    def _run_loop(self, event: bool) -> SimulationResult:
+        """The tick loop; ``event=True`` adds event-free fast-forwards.
+
+        Every tick that *executes* runs the identical code path in both
+        modes — arrivals, consults, scheduling, statistics, advance,
+        completions.  Event mode merely replaces runs of ticks in which
+        provably nothing decision-relevant happens (no phase completes,
+        availability and demands hold, no arrival, no timeline sample)
+        with one closed-form span update, so both modes make the same
+        decisions at the same simulated times.
+        """
         dt = self._dt
         states = {spec.job_id: _JobState(spec) for spec in self._specs}
         for state in states.values():
@@ -239,8 +329,23 @@ class CoExecutionEngine:
         timeline: List[TimelinePoint] = []
         selections: List[Selection] = []
         time = 0.0
-        next_timeline = 0.0
+        # ``timeline_period=None`` disables sampling entirely (the
+        # executor does this: RunSummary discards the timeline, and
+        # sampling would otherwise cap event-mode spans at one period).
+        next_timeline = (
+            0.0 if self._timeline_period is not None else math.inf
+        )
         timed_out = False
+        # The tracer needs one record per tick, which fast-forwarding
+        # would elide; fall back to per-tick stepping under a tracer.
+        fast_forward = event and self._tracer is None
+        # Demand-dirty flag: set by arrivals, consults, phase boundaries
+        # and restarts — the only operations that can change the demand
+        # mix.  While it stays clear, the previous tick's demands and
+        # allocation are provably still current, which both licenses the
+        # event-mode fast-forward and lets event mode skip rebuilding
+        # and re-hashing them every tick.
+        self._dirty = True
         # Tick allocations are pure functions of (demands, available);
         # co-execution spends long stretches in the same demand mix, so
         # memoising them skips most scheduler work.  Demands hash by
@@ -256,28 +361,65 @@ class CoExecutionEngine:
             return allocation
 
         # Priming tick so the first consultation has statistics to read.
+        all_states = list(states.values())
         available = self._machine.available(time)
-        demands = self._demands(states)
+        active = [s for s in all_states if s.active]
+        demands = self._demands(active)
         allocation = allocate(demands, available)
         stats.update(time, 0.0, demands, allocation)
 
+        last_available = available
+        # Availability probe memo (event mode): the schedule is constant
+        # until ``avail_next``, so most ticks replace the probe with one
+        # float compare.  ``-inf`` forces the first real probe.
+        avail_next = -math.inf
+        # After a failed span attempt, every later attempt must fail too
+        # until some event shifts a horizon (on event-free ticks all of
+        # them shrink monotonically), so the arithmetic is skipped until
+        # the dirty flag, an availability edge or a timeline sample
+        # reopens the window.
+        span_blocked = False
+
         while True:
-            available = self._machine.available(time)
+            if event:
+                if time >= avail_next:
+                    available = self._machine.available(time)
+                    avail_next = self._machine.next_change(time)
+                    span_blocked = False
+            else:
+                available = self._machine.available(time)
 
             # 0. Job arrivals.
-            for state in states.values():
+            for state in all_states:
                 if not state.started and state.spec.start_time <= time:
                     state.started = True
                     state.consult_pending = True
+                    self._dirty = True
+
+            # The tick's active set: arrivals are in; only _advance can
+            # deactivate a job, and it re-checks per job.
+            active = [
+                s for s in all_states
+                if s.started and not s.instance.finished
+            ]
 
             # 1. Policy consultations (using last tick's statistics).
-            for state in states.values():
-                if state.active and state.consult_pending:
+            for state in active:
+                if state.consult_pending:
                     self._consult(state, stats, available, time, selections)
 
-            # 2. Schedule this tick.
-            demands = self._demands(states)
-            allocation = allocate(demands, available)
+            # 2. Schedule this tick.  When nothing demand-relevant
+            # happened since the last tick and availability held, the
+            # previous allocation is still exact — event mode skips the
+            # rebuild + memo hash; fixed mode always recomputes (it is
+            # the reference implementation).
+            if event and not self._dirty and available == last_available:
+                pass  # `demands` and `allocation` carry over unchanged.
+            else:
+                demands = self._demands(active)
+                allocation = allocate(demands, available)
+            last_available = available
+            self._dirty = False
             stats.update(time, dt, demands, allocation)
             if self._tracer is not None:
                 self._tracer.record(time, available, demands, allocation)
@@ -288,22 +430,18 @@ class CoExecutionEngine:
                     time, available, states, stats
                 ))
                 next_timeline += self._timeline_period
+                span_blocked = False
 
             # 4. Advance every job by one tick.  Phase boundaries inside
             # the tick are handled exactly (work conservation), with
             # policies consulted the moment a region is entered.  CPU
             # time is charged at tick granularity: what the scheduler
             # granted is what the job occupied (spinning included).
-            for state in states.values():
-                if not state.active:
-                    continue
-                state.cpu_time += (
-                    allocation.allocations[state.spec.job_id].granted_cpus
-                    * dt
-                )
+            allocs = allocation.allocations
+            for state in active:
                 self._advance(
-                    state, allocation, dt, time, stats, available,
-                    selections,
+                    state, allocs[state.spec.job_id], dt, time, stats,
+                    available, selections,
                 )
 
             time += dt
@@ -318,11 +456,13 @@ class CoExecutionEngine:
                     state.completed_runs += 1
                     if state.spec.restart and not self._target_done(states):
                         state.instance.restart()
+                        state.region = state.instance.current_region
                         state.finish_time = None
                         state.run_counted = False
                         state.consult_pending = True
                         state.threads = 1
                         state.region_elapsed = 0.0
+                        self._dirty = True
 
             if self._target_done(states):
                 break
@@ -334,6 +474,101 @@ class CoExecutionEngine:
             if time >= self._max_time:
                 timed_out = True
                 break
+
+            # 6. Event-driven fast-forward: if nothing decision-relevant
+            # can happen for a while, advance the whole event-free span
+            # in closed form (see module docstring).  The span reuses
+            # this tick's allocation, which the clear dirty flag proves
+            # the next tick would recompute identically; every other
+            # event source becomes a horizon on the span length.
+            if not fast_forward:
+                continue
+            if self._dirty:
+                span_blocked = False
+                continue
+            if span_blocked:
+                continue
+            # Cheap scalar pre-pass: the earliest phase completion in
+            # tick units.  A clean tick means no phase changed, so every
+            # active job's final ``_rate`` evaluation this tick (cached
+            # in ``_tick_rate``) used exactly the current (region,
+            # threads, allocation) — no recomputation, and no job can
+            # have finished (``active`` needs no re-filtering).  The
+            # rows double as the span working set.
+            min_ticks = math.inf
+            span_rows = []
+            allocs = allocation.allocations
+            for state in active:
+                instance = state.instance
+                rate = state._tick_rate
+                span_rows.append(
+                    (state, instance, allocs[state.spec.job_id], rate,
+                     state.region is None)
+                )
+                if rate > kernels.RATE_EPSILON:
+                    ticks_left = instance.remaining / (rate * dt)
+                    if ticks_left < min_ticks:
+                        min_ticks = ticks_left
+            if math.isinf(min_ticks):
+                horizon = math.inf
+            else:
+                horizon = max(
+                    0.0,
+                    math.ceil(min_ticks - kernels.HORIZON_FUZZ) - 1.0,
+                )
+            if horizon >= 1:
+                # `time` already points at the *next* tick; the last
+                # executed tick was one dt ago, which is what the
+                # arrival probe measures against.  ``avail_next`` is the
+                # first instant the cached availability stops holding.
+                t_last = time - dt
+                horizon = min(
+                    horizon,
+                    _grid_horizon(avail_next, time, dt),
+                    _grid_horizon(
+                        next_start_time(
+                            [s.spec.start_time for s in all_states
+                             if not s.started],
+                            t_last,
+                        ),
+                        time, dt,
+                    ),
+                    _grid_horizon(next_timeline, time, dt),
+                    _grid_horizon(self._max_time, time, dt),
+                )
+            if horizon < 1:
+                span_blocked = True
+                continue
+            ticks = int(horizon)
+            if len(span_rows) <= SCALAR_SPAN_MAX:
+                # Few jobs: the NumPy gather costs more than it saves,
+                # and the pre-pass already holds every rate.  The math
+                # below is element-for-element the same as apply_span
+                # (same products, same order), so both paths produce
+                # bit-identical state.
+                elapsed = ticks * dt
+                for state, instance, alloc, rate, serial in span_rows:
+                    work = rate * elapsed
+                    state.work_done += work
+                    state.cpu_time += alloc.granted_cpus * elapsed
+                    instance.remaining -= work
+                    if not serial:
+                        state.region_elapsed += elapsed
+            else:
+                span = kernels.build_span_state(
+                    [row[0] for row in span_rows],
+                    allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE,
+                )
+                kernels.apply_span(span, ticks, dt)
+            # Accumulate `time` tick by tick: span ticks must leave the
+            # float trajectory bit-identical to fixed stepping, or grid
+            # predicates (availability periods, arrival comparisons)
+            # could flip on later ticks.
+            last_tick = time
+            for _ in range(ticks):
+                last_tick = time
+                time += dt
+            stats.advance_span(last_tick, dt, ticks)
 
         job_times = {
             job_id: (state.finish_time if state.finish_time is not None
@@ -406,6 +641,7 @@ class CoExecutionEngine:
         state.threads = threads
         state.consult_pending = False
         state.region_elapsed = 0.0
+        self._dirty = True
         selections.append(Selection(
             time=time,
             job_id=state.spec.job_id,
@@ -413,11 +649,10 @@ class CoExecutionEngine:
             threads=threads,
         ))
 
-    def _demands(self, states: Dict[str, "_JobState"]) -> List[JobDemand]:
+    def _demands(self, active: List["_JobState"]) -> List[JobDemand]:
+        """Demands for the tick's active set (a pre-filtered list)."""
         demands = []
-        for state in states.values():
-            if not state.active:
-                continue
+        for state in active:
             region = state.region
             # Jobs spend many consecutive ticks in the same phase with
             # the same thread count; reuse the (immutable) demand built
@@ -463,59 +698,111 @@ class CoExecutionEngine:
         thread count changes at a mid-tick region entry (the scheduler
         only re-divides the machine on the next tick).
         """
+        state_threads = state.threads
+        if (
+            alloc is state._rc_alloc
+            and region is state._rc_region
+            and state_threads == state._rc_threads
+        ):
+            return state._rc_value
+        if (
+            alloc is state._rc2_alloc
+            and region is state._rc2_region
+            and state_threads == state._rc2_threads
+        ):
+            return state._rc2_value
+        rate = self._rate_uncached(state, alloc, region, share)
+        # Two slots, newest first: a tick typically alternates between
+        # the serial region and one parallel region under the same
+        # allocation, so a single slot would thrash on every call.
+        state._rc2_alloc = state._rc_alloc
+        state._rc2_region = state._rc_region
+        state._rc2_threads = state._rc_threads
+        state._rc2_value = state._rc_value
+        state._rc_alloc = alloc
+        state._rc_region = region
+        state._rc_threads = state_threads
+        state._rc_value = rate
+        return rate
+
+    def _rate_uncached(
+        self, state: _JobState, alloc, region: Optional[Region],
+        share: float,
+    ) -> float:
         if region is None:
-            return min(1.0, share) * alloc.switch_factor
-        efficiency = region.scaling.efficiency(state.threads)
-        granted = max(share * state.threads, 1e-9)
-        oversub = max(0.0, state.threads / granted - 1.0)
-        spin = (
-            SPIN_WASTE_COEFF * region.sync_intensity
-            * state.threads * oversub
-        )
-        spin_factor = (1.0 - MAX_SPIN_WASTE) + (
-            MAX_SPIN_WASTE / (1.0 + spin)
-        )
+            if share < 1.0:
+                return share * alloc.switch_factor
+            return alloc.switch_factor
+        threads = state.threads
+        granted = share * threads
+        if granted < 1e-9:
+            granted = 1e-9
+        oversub = threads / granted - 1.0
+        if oversub > 0.0:
+            spin = (
+                SPIN_WASTE_COEFF * region.sync_intensity
+                * threads * oversub
+            )
+            spin_factor = _SPIN_BASE + MAX_SPIN_WASTE / (1.0 + spin)
+        else:
+            # No oversubscription: the formula collapses to exactly 1.0
+            # ((1 - w) + w/(1 + 0) is exact in IEEE for w = 0.8).
+            spin_factor = 1.0
         return (
             granted * alloc.switch_factor * alloc.memory_factor
-            * efficiency * spin_factor
+            * region.scaling.efficiency(threads) * spin_factor
         )
 
     def _advance(
         self,
         state: _JobState,
-        allocation,
+        alloc,
         dt: float,
         time: float,
         stats: SystemStatsSampler,
         available: int,
         selections: List[Selection],
     ) -> None:
-        alloc = allocation.allocations[state.spec.job_id]
-        share = alloc.granted_cpus / max(alloc.threads, 1)
+        # CPU time is charged at tick granularity: what the scheduler
+        # granted is what the job occupied (spinning included).
+        state.cpu_time += alloc.granted_cpus * dt
+        share = alloc.thread_share
+        instance = state.instance
         remaining_dt = dt
-        while remaining_dt > 1e-12 and state.active:
+        while remaining_dt > 1e-12 and not instance.finished:
             region = state.region
             rate = self._rate(state, alloc, region, share)
+            state._tick_rate = rate
             if rate <= 1e-12:
                 break
-            time_to_finish = state.instance.remaining / rate
+            time_to_finish = instance.remaining / rate
             if time_to_finish > remaining_dt:
                 # Phase outlives the tick: consume the rest of the tick.
                 work = rate * remaining_dt
-                state.instance.advance(work)
+                # Inlined ProgramInstance.advance for its hot common
+                # case; the full call handles the borderline where the
+                # division-compare above and the subtraction disagree
+                # about crossing the phase boundary.
+                if instance.remaining - work > 1e-12:
+                    instance.remaining -= work
+                else:
+                    instance.advance(work)
+                    state.region = instance.current_region
                 state.work_done += work
                 if region is not None:
                     state.region_elapsed += remaining_dt
                 return
             # Phase completes inside the tick.
-            work = state.instance.remaining
+            self._dirty = True
+            work = instance.remaining
             state.work_done += work
             if region is not None:
                 state.region_elapsed += time_to_finish
-            state.instance.advance(work)
+            instance.advance(work)
+            state.region = instance.current_region
             remaining_dt -= time_to_finish
             now = time + (dt - remaining_dt)
-            if state.instance.finished and state.finish_time is None:
+            if instance.finished and state.finish_time is None:
                 state.finish_time = now
             if region is not None:
                 state.spec.policy.observe(RegionReport(

@@ -64,6 +64,41 @@ class PageCacheModel:
             + reclaim
         )
 
+    def advance(self, memory_traffic: float, dt: float, ticks: int) -> None:
+        """Closed form for ``ticks`` consecutive :meth:`update` calls.
+
+        With constant traffic the cache target is fixed, so the
+        relaxation telescopes to a single exponential over ``ticks*dt``
+        seconds; ``pages_free_rate`` depends only on the final cache
+        level and the (constant) traffic, exactly as the last iterated
+        update would leave it.
+        """
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        if ticks == 0:
+            return
+        if ticks == 1:
+            return self.update(memory_traffic, dt)
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if memory_traffic < 0:
+            raise ValueError("memory_traffic cannot be negative")
+        target = min(
+            0.9 * self.ram_gb,
+            0.1 * self.ram_gb
+            + self.working_set_per_thread_gb * memory_traffic,
+        )
+        decay = math.exp(-dt / self.time_constant) ** ticks
+        self.cached_gb = self.cached_gb * decay + target * (1.0 - decay)
+
+        pressure = self.cached_gb / self.ram_gb
+        reclaim = 4.0 * max(0.0, pressure - 0.7)
+        self.pages_free_rate = (
+            self.baseline_free_rate
+            + self.churn_per_traffic * memory_traffic
+            + reclaim
+        )
+
     @property
     def cached_fraction(self) -> float:
         return self.cached_gb / self.ram_gb

@@ -21,6 +21,7 @@ is program-agnostic, exactly like a real OS.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Mapping, Sequence
 
 from ..machine.topology import Topology
@@ -47,13 +48,28 @@ class JobDemand:
             raise ValueError(
                 f"job {self.job_id!r}: locality must be in (0, 1]"
             )
+        # Precompute the derived values the scheduler and the engine's
+        # allocation memo read on every tick.  Demands are immutable and
+        # reused across many ticks (the engine memoises them per
+        # phase/thread pair), so both are computed exactly once.
+        object.__setattr__(
+            self, "_traffic",
+            0.0 if self.threads == 0
+            else self.threads * self.memory_intensity / self.locality,
+        )
+        object.__setattr__(
+            self, "_hash",
+            hash((self.job_id, self.threads,
+                  self.memory_intensity, self.locality)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def traffic(self) -> float:
         """Memory traffic units this job generates when fully scheduled."""
-        if self.threads == 0:
-            return 0.0
-        return self.threads * self.memory_intensity / self.locality
+        return self._traffic
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,16 @@ class Allocation:
     def effective_cpus(self) -> float:
         """Granted CPU after switch and memory slowdowns."""
         return self.granted_cpus * self.switch_factor * self.memory_factor
+
+    @cached_property
+    def thread_share(self) -> float:
+        """Per-thread CPU fraction, ``granted_cpus / max(threads, 1)``.
+
+        A ``cached_property`` (non-data descriptor) so the scheduler can
+        pre-fill it at construction time; the engine reads it once per
+        job per tick.
+        """
+        return self.granted_cpus / max(self.threads, 1)
 
 
 @dataclass(frozen=True)
@@ -126,11 +152,15 @@ class ProportionalShareScheduler:
                 f"available={available} exceeds topology cores "
                 f"{self.topology.cores}"
             )
-        ids = [d.job_id for d in demands]
-        if len(set(ids)) != len(ids):
-            raise ValueError(f"duplicate job ids in demands: {ids}")
+        if len({d.job_id for d in demands}) != len(demands):
+            raise ValueError(
+                f"duplicate job ids in demands: "
+                f"{[d.job_id for d in demands]}"
+            )
 
-        total_demand = sum(d.threads for d in demands)
+        total_demand = 0
+        for d in demands:
+            total_demand += d.threads
         runqueue = RunQueueStats(runnable=total_demand, processors=available)
 
         share = 1.0 if total_demand <= available else available / total_demand
@@ -138,22 +168,35 @@ class ProportionalShareScheduler:
         switch_factor = 1.0 / (1.0 + self.switch_overhead * overload)
 
         # Memory traffic is generated by *scheduled* thread-time.
-        traffic = sum(d.traffic * share for d in demands)
+        traffic = 0.0
+        for d in demands:
+            traffic += d.traffic * share
         saturation = traffic / self.traffic_capacity
         excess = max(0.0, saturation - 1.0)
 
+        memory_overhead = self.memory_overhead
         allocations: Dict[str, Allocation] = {}
         for demand in demands:
-            memory_factor = 1.0 / (
-                1.0 + self.memory_overhead * demand.memory_intensity * excess
-            )
-            allocations[demand.job_id] = Allocation(
+            # Allocations are built on every scheduling tick; bypassing
+            # the frozen-dataclass __init__ (one object.__setattr__ per
+            # field) in favour of a direct __dict__ fill is a measurable
+            # win.  Field set and semantics are unchanged — Allocation
+            # has no __post_init__.
+            threads = demand.threads
+            granted = threads * share
+            alloc = object.__new__(Allocation)
+            alloc.__dict__.update(
                 job_id=demand.job_id,
-                threads=demand.threads,
-                granted_cpus=demand.threads * share,
+                threads=threads,
+                granted_cpus=granted,
                 switch_factor=switch_factor,
-                memory_factor=memory_factor,
+                memory_factor=1.0 / (
+                    1.0 + memory_overhead
+                    * demand.memory_intensity * excess
+                ),
+                thread_share=granted / (threads if threads >= 1 else 1),
             )
+            allocations[demand.job_id] = alloc
         return TickAllocation(
             allocations=allocations,
             runqueue=runqueue,

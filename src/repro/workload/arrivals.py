@@ -73,6 +73,17 @@ def generate_arrivals(
     return arrivals
 
 
+def next_start_time(start_times: Sequence[float], time: float) -> float:
+    """Earliest pending arrival strictly after ``time`` (inf if none).
+
+    The event-driven engine treats the next job arrival as an event
+    horizon: jobs with ``start_time <= time`` have already arrived, so
+    only strictly-future start times bound how far a span may advance.
+    """
+    pending = [s for s in start_times if s > time]
+    return min(pending) if pending else float("inf")
+
+
 def arrival_jobs(
     arrivals: Sequence[Arrival],
     policy_factory: Callable[[], ThreadPolicy],

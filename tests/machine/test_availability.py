@@ -1,5 +1,7 @@
 """Availability schedules."""
 
+import math
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -10,6 +12,7 @@ from repro.machine.availability import (
     PeriodicAvailability,
     StaticAvailability,
     TraceAvailability,
+    next_availability_change,
 )
 
 
@@ -144,3 +147,63 @@ class TestFailureWindow:
         with pytest.raises(ValueError):
             FailureWindow(base=StaticAvailability(4), start=0.0,
                           end=1.0, surviving_fraction=0.0)
+
+
+class TestNextChange:
+    """The event-horizon protocol the event-driven engine fast-forwards
+    on: `next_change(t)` is the first instant availability may differ."""
+
+    def test_static_never_changes(self):
+        assert StaticAvailability(8).next_change(0.0) == math.inf
+        assert StaticAvailability(8).next_change(1e6) == math.inf
+
+    def test_periodic_next_boundary(self):
+        schedule = PeriodicAvailability(max_processors=32, seed=1)
+        assert schedule.next_change(0.0) == 20.0
+        assert schedule.next_change(19.99) == 20.0
+        assert schedule.next_change(20.0) == 40.0
+        assert schedule.next_change(45.0) == 60.0
+
+    def test_periodic_holds_between_boundaries(self):
+        schedule = PeriodicAvailability(max_processors=32, seed=5)
+        time = 123.4
+        horizon = schedule.next_change(time)
+        count = schedule.available(time)
+        assert schedule.available(horizon - 1e-9) == count
+
+    def test_trace_next_point(self):
+        schedule = TraceAvailability.from_pairs(
+            [(0.0, 32), (10.0, 16), (25.0, 32)]
+        )
+        assert schedule.next_change(0.0) == 10.0
+        assert schedule.next_change(10.0) == 25.0
+        assert schedule.next_change(24.9) == 25.0
+        assert schedule.next_change(25.0) == math.inf
+
+    def test_failure_window_edges(self):
+        schedule = FailureWindow(
+            base=StaticAvailability(32), start=10.0, end=20.0,
+        )
+        assert schedule.next_change(0.0) == 10.0
+        assert schedule.next_change(10.0) == 20.0
+        assert schedule.next_change(20.0) == math.inf
+
+    def test_failure_window_combines_base_boundaries(self):
+        schedule = FailureWindow(
+            base=PeriodicAvailability(max_processors=32, seed=1),
+            start=30.0, end=50.0,
+        )
+        # Period boundary (20) before the failure start (30).
+        assert schedule.next_change(5.0) == 20.0
+        # Failure start before the next period boundary (40).
+        assert schedule.next_change(25.0) == 30.0
+
+    def test_fallback_for_schedules_without_protocol(self):
+        class Legacy:
+            def available(self, time):
+                return 4
+
+        assert next_availability_change(Legacy(), 7.0) == 0.0
+        assert next_availability_change(StaticAvailability(4), 7.0) == (
+            math.inf
+        )

@@ -73,3 +73,65 @@ class TestLoadAverages:
         pair = LoadAverages()
         assert pair.one.period == 60.0
         assert pair.five.period == 300.0
+
+
+class TestAdvance:
+    def test_matches_iterated_updates(self):
+        span = LoadAverage(period=ONE_MINUTE)
+        ticks = LoadAverage(period=ONE_MINUTE)
+        # Warm both to a non-trivial starting value first.
+        for avg in (span, ticks):
+            avg.update(2.0, 0.1)
+        span.advance(7.0, 0.1, 64)
+        for _ in range(64):
+            ticks.update(7.0, 0.1)
+        assert abs(span.value - ticks.value) < 1e-12
+
+    def test_zero_ticks_is_identity(self):
+        avg = LoadAverage(period=ONE_MINUTE)
+        avg.update(3.0, 0.1)
+        before = avg.value
+        assert avg.advance(9.0, 0.1, 0) == before
+        assert avg.value == before
+
+    def test_one_tick_is_exactly_update(self):
+        a = LoadAverage(period=FIVE_MINUTES)
+        b = LoadAverage(period=FIVE_MINUTES)
+        a.advance(4.0, 0.1, 1)
+        b.update(4.0, 0.1)
+        assert a.value == b.value
+
+    def test_dt_change_refreshes_decay(self):
+        span = LoadAverage(period=ONE_MINUTE)
+        ticks = LoadAverage(period=ONE_MINUTE)
+        for avg in (span, ticks):
+            avg.update(2.0, 0.1)  # memoise decay for dt=0.1
+        span.advance(5.0, 0.5, 32)  # different dt: memo must refresh
+        for _ in range(32):
+            ticks.update(5.0, 0.5)
+        assert abs(span.value - ticks.value) < 1e-12
+
+    def test_rejects_bad_inputs(self):
+        avg = LoadAverage(period=ONE_MINUTE)
+        with pytest.raises(ValueError):
+            avg.advance(1.0, 0.1, -1)
+        with pytest.raises(ValueError):
+            avg.advance(-1.0, 0.1, 5)
+        with pytest.raises(ValueError):
+            avg.advance(1.0, -0.1, 5)
+
+    def test_converges_to_active(self):
+        avg = LoadAverage(period=ONE_MINUTE)
+        avg.advance(6.0, 0.1, 100_000)
+        assert avg.value == pytest.approx(6.0)
+
+    def test_pair_advance_matches_iterated_pair_updates(self):
+        span = LoadAverages()
+        ticks = LoadAverages()
+        for pair in (span, ticks):
+            pair.update(2.0, 0.1)
+        span.advance(8.0, 0.1, 50)
+        for _ in range(50):
+            ticks.update(8.0, 0.1)
+        assert abs(span.ldavg_1 - ticks.ldavg_1) < 1e-12
+        assert abs(span.ldavg_5 - ticks.ldavg_5) < 1e-12

@@ -51,3 +51,50 @@ class TestPageCacheModel:
             model.update(memory_traffic=-1.0, dt=0.1)
         with pytest.raises(ValueError):
             model.update(memory_traffic=1.0, dt=-0.1)
+
+
+class TestAdvance:
+    def test_matches_iterated_updates(self):
+        span = PageCacheModel(ram_gb=64.0)
+        ticks = PageCacheModel(ram_gb=64.0)
+        for model in (span, ticks):
+            model.update(memory_traffic=10.0, dt=0.1)
+        span.advance(memory_traffic=25.0, dt=0.1, ticks=64)
+        for _ in range(64):
+            ticks.update(memory_traffic=25.0, dt=0.1)
+        assert abs(span.cached_gb - ticks.cached_gb) < 1e-9
+        assert abs(span.pages_free_rate - ticks.pages_free_rate) < 1e-9
+
+    def test_zero_ticks_is_identity(self):
+        model = PageCacheModel(ram_gb=16.0)
+        model.update(memory_traffic=5.0, dt=0.1)
+        cached, rate = model.cached_gb, model.pages_free_rate
+        model.advance(memory_traffic=100.0, dt=0.1, ticks=0)
+        assert model.cached_gb == cached
+        assert model.pages_free_rate == rate
+
+    def test_one_tick_is_exactly_update(self):
+        a = PageCacheModel(ram_gb=16.0)
+        b = PageCacheModel(ram_gb=16.0)
+        a.advance(memory_traffic=12.0, dt=0.1, ticks=1)
+        b.update(memory_traffic=12.0, dt=0.1)
+        assert a.cached_gb == b.cached_gb
+        assert a.pages_free_rate == b.pages_free_rate
+
+    def test_free_rate_reflects_final_cache_level(self):
+        # A long pressured span must land in the reclaim regime exactly
+        # as the last iterated update would.
+        model = PageCacheModel(ram_gb=16.0)
+        model.advance(memory_traffic=200.0, dt=0.1, ticks=5000)
+        relaxed = PageCacheModel(ram_gb=16.0)
+        relaxed.update(memory_traffic=200.0, dt=0.1)
+        assert model.pages_free_rate > relaxed.pages_free_rate
+
+    def test_rejects_bad_inputs(self):
+        model = PageCacheModel(ram_gb=8.0)
+        with pytest.raises(ValueError):
+            model.advance(memory_traffic=1.0, dt=0.1, ticks=-1)
+        with pytest.raises(ValueError):
+            model.advance(memory_traffic=-1.0, dt=0.1, ticks=5)
+        with pytest.raises(ValueError):
+            model.advance(memory_traffic=1.0, dt=-0.1, ticks=5)

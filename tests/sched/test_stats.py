@@ -136,3 +136,83 @@ class TestSystemStatsSampler:
         )
         sample = sampler.sample("ghost")
         assert sample.workload_threads == 8
+
+
+class TestAdvanceSpan:
+    """Closed-form span advancement vs iterated per-tick updates."""
+
+    def samplers(self, demands, warm_ticks=5, dt=0.1):
+        span = SystemStatsSampler(XEON_L7555)
+        ticks = SystemStatsSampler(XEON_L7555)
+        sched = ProportionalShareScheduler(XEON_L7555)
+        allocation = sched.allocate(demands, 32)
+        time = 0.0
+        for _ in range(warm_ticks):
+            span.update(time, dt, demands, allocation)
+            ticks.update(time, dt, demands, allocation)
+            time += dt
+        return span, ticks, allocation, time
+
+    def assert_samples_agree(self, span, ticks, perspective):
+        a = span.sample(perspective)
+        b = ticks.sample(perspective)
+        assert a.ldavg_1 == pytest.approx(b.ldavg_1, rel=1e-9)
+        assert a.ldavg_5 == pytest.approx(b.ldavg_5, rel=1e-9)
+        assert a.cached_memory == pytest.approx(b.cached_memory, rel=1e-9)
+        assert a.pages_free_rate == pytest.approx(
+            b.pages_free_rate, rel=1e-9
+        )
+        assert a.runq_sz == b.runq_sz
+        assert a.workload_threads == b.workload_threads
+
+    def test_span_matches_iterated_updates(self):
+        demands = [
+            JobDemand("me", 8, memory_intensity=0.5),
+            JobDemand("other", 20, memory_intensity=0.2),
+        ]
+        span, ticks, allocation, time = self.samplers(demands)
+        dt, n = 0.1, 64
+        last = time + (n - 1) * dt
+        span.advance_span(last, dt, n)
+        for _ in range(n):
+            ticks.update(time, dt, demands, allocation)
+            time += dt
+        for perspective in ("me", "other", None):
+            self.assert_samples_agree(span, ticks, perspective)
+        assert span.time == pytest.approx(ticks.time)
+
+    def test_span_with_changed_dt_delegates_correctly(self):
+        # A dt different from the memoised decay takes the slow path;
+        # results must still match iterated updates at the new dt.
+        demands = [JobDemand("a", 16)]
+        span, ticks, allocation, time = self.samplers(demands, dt=0.1)
+        dt, n = 0.5, 32
+        span.advance_span(time + (n - 1) * dt, dt, n)
+        for _ in range(n):
+            ticks.update(time, dt, demands, allocation)
+            time += dt
+        self.assert_samples_agree(span, ticks, "a")
+        self.assert_samples_agree(span, ticks, None)
+
+    def test_single_tick_span_is_exactly_one_update(self):
+        demands = [JobDemand("a", 8, memory_intensity=0.3)]
+        span, ticks, allocation, time = self.samplers(demands)
+        span.advance_span(time, 0.1, 1)
+        ticks.update(time, 0.1, demands, allocation)
+        a = span.sample("a")
+        b = ticks.sample("a")
+        assert a.ldavg_1 == b.ldavg_1
+        assert a.ldavg_5 == b.ldavg_5
+        assert a.cached_memory == b.cached_memory
+
+    def test_long_span_converges_like_iterated(self):
+        demands = [JobDemand("a", 24, memory_intensity=1.0)]
+        span, _, _, time = self.samplers(demands)
+        span.advance_span(time + 9999 * 0.1, 0.1, 10_000)
+        sample = span.sample(None)
+        # ldavg-1 converges to the runnable count; the cache relaxes to
+        # its target level (0.1 * ram + working set of the traffic).
+        assert sample.ldavg_1 == pytest.approx(24.0, rel=1e-3)
+        assert sample.cached_memory == pytest.approx(
+            0.1 * XEON_L7555.ram_gb + 0.35 * 24.0, rel=1e-3
+        )

@@ -1,0 +1,164 @@
+"""Unit tests for the benchmark-ledger scripts.
+
+`scripts/check_bench_regression.py` gates CI on wall-clock and
+run-count drift; `scripts/bench_report.py` rolls the ledger into
+`BENCH_summary.json`.  Both are plain scripts (not part of the `repro`
+package), so they are imported straight off the `scripts/` directory.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def load_script(name):
+    spec = importlib.util.spec_from_file_location(
+        name, SCRIPTS / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check = load_script("check_bench_regression")
+report = load_script("bench_report")
+
+
+def entry(duration_s, runs=240, hits=0, jobs=1):
+    return {
+        "duration_s": duration_s,
+        "runs_executed": runs,
+        "cache_hits": hits,
+        "jobs": jobs,
+    }
+
+
+class TestCompare:
+    def test_identical_ledgers_are_clean(self):
+        ledger = {"b.py::t": entry(10.0), "b.py::t@cold": entry(12.0)}
+        assert check.compare(ledger, dict(ledger), 0.25) == []
+
+    def test_small_slowdown_within_limit(self):
+        baseline = {"b.py::t": entry(10.0)}
+        current = {"b.py::t": entry(12.0)}
+        assert check.compare(baseline, current, 0.25) == []
+
+    def test_wall_clock_regression_fails(self):
+        baseline = {"b.py::t": entry(10.0)}
+        current = {"b.py::t": entry(13.0)}
+        failures = check.compare(baseline, current, 0.25)
+        assert len(failures) == 1
+        assert "wall clock regressed" in failures[0]
+
+    def test_speedup_is_clean(self):
+        baseline = {"b.py::t": entry(10.0)}
+        current = {"b.py::t": entry(3.0)}
+        assert check.compare(baseline, current, 0.25) == []
+
+    def test_run_count_change_fails_even_when_faster(self):
+        baseline = {"b.py::t": entry(10.0, runs=240)}
+        current = {"b.py::t": entry(5.0, runs=120)}
+        failures = check.compare(baseline, current, 0.25)
+        assert len(failures) == 1
+        assert "runs_executed changed" in failures[0]
+
+    def test_run_count_checked_before_jobs_mismatch(self):
+        # A warm entry re-recorded under a different worker count must
+        # still fail if the deterministic run count drifted.
+        baseline = {"b.py::t@warm": entry(0.2, runs=0, hits=240, jobs=4)}
+        current = {"b.py::t@warm": entry(0.2, runs=96, hits=144, jobs=1)}
+        failures = check.compare(baseline, current, 0.25)
+        assert len(failures) == 1
+        assert "runs_executed changed" in failures[0]
+
+    def test_jobs_mismatch_skips_wall_clock(self):
+        baseline = {"b.py::t": entry(10.0, jobs=4)}
+        current = {"b.py::t": entry(50.0, jobs=1)}
+        assert check.compare(baseline, current, 0.25) == []
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        baseline = {"b.py::t@warm": entry(0.2, runs=0, hits=240)}
+        current = {"b.py::t@warm": entry(0.45, runs=0, hits=240)}
+        assert check.compare(baseline, current, 0.25) == []
+
+    def test_missing_current_entry_is_not_a_failure(self):
+        baseline = {"a.py::t": entry(10.0), "b.py::t": entry(10.0)}
+        current = {"a.py::t": entry(10.0)}
+        assert check.compare(baseline, current, 0.25) == []
+
+    def test_nothing_comparable_fails(self):
+        baseline = {"a.py::t": entry(10.0)}
+        assert check.compare(baseline, {}, 0.25) != []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps({"b.py::t": entry(10.0)}))
+        current.write_text(json.dumps({"b.py::t": entry(10.0)}))
+        argv = ["--baseline", str(baseline), "--current", str(current)]
+        assert check.main(argv) == 0
+        current.write_text(json.dumps({"b.py::t": entry(99.0)}))
+        assert check.main(argv) == 1
+        with pytest.raises(SystemExit) as exc:
+            check.main(["--baseline", str(tmp_path / "missing.json"),
+                        "--current", str(current)])
+        assert exc.value.code == 2
+
+
+class TestReport:
+    def test_figure_name_strips_path_and_prefix(self):
+        assert report.figure_name(
+            "benchmarks/bench_fig08_dynamic_summary.py::test_summary"
+        ) == "fig08_dynamic_summary"
+        assert report.figure_name("benchmarks/other.py::t") == "other"
+
+    def test_split_tag(self):
+        assert report.split_tag("b.py::t@cold") == ("b.py::t", "cold")
+        assert report.split_tag("b.py::t") == ("b.py::t", "run")
+
+    def test_summarise_groups_by_figure_and_tag(self):
+        ledger = {
+            "benchmarks/bench_fig08_x.py::t": entry(14.4178),
+            "benchmarks/bench_fig08_x.py::t@cold": entry(16.7, jobs=4),
+            "benchmarks/bench_fig08_x.py::t@warm": entry(
+                0.22, runs=0, hits=240, jobs=4
+            ),
+        }
+        summary = report.summarise(ledger)
+        variants = summary["figures"]["fig08_x"]
+        assert set(variants) == {"run", "cold", "warm"}
+        assert variants["run"]["wall_s"] == 14.4178
+        assert variants["warm"]["cache_hits"] == 240
+        assert variants["warm"]["runs_executed"] == 0
+        totals = summary["totals"]
+        assert totals["figures"] == 1
+        assert totals["entries"] == 3
+        assert totals["runs_executed"] == 480
+        assert totals["cache_hits"] == 240
+
+    def test_summarise_empty_ledger(self):
+        summary = report.summarise({})
+        assert summary["totals"]["entries"] == 0
+        assert summary["figures"] == {}
+
+    def test_main_writes_summary(self, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        output = tmp_path / "summary.json"
+        ledger.write_text(json.dumps(
+            {"benchmarks/bench_fig08_x.py::t": entry(10.0)}
+        ))
+        assert report.main(
+            ["--ledger", str(ledger), "--output", str(output)]
+        ) == 0
+        written = json.loads(output.read_text())
+        assert written["totals"]["entries"] == 1
+        assert report.main(
+            ["--ledger", str(tmp_path / "none.json"),
+             "--output", str(output)]
+        ) == 2

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, lint_main, main
+from repro.cli import EXPERIMENTS, lint_main, main, profile_main
 
 RACY_TEXT = """
 module racy {
@@ -163,6 +163,41 @@ class TestLint:
     def test_main_dispatches_lint(self, capsys):
         assert main(["lint", "cg"]) == 0
         assert "cg" in capsys.readouterr().out
+
+
+class TestProfile:
+    ARGS = ["--scenario", "static-isolated", "--scale", "0.1", "--top", "5"]
+
+    def test_profiles_one_run(self, capsys):
+        assert profile_main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "_run_loop" in out
+        assert "stepping=event" in out
+
+    def test_output_writes_pstats(self, tmp_path, capsys):
+        import pstats
+
+        dump = tmp_path / "run.pstats"
+        assert profile_main(self.ARGS + ["--output", str(dump)]) == 0
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_fixed_stepping_mode(self, capsys):
+        assert profile_main(self.ARGS + ["--stepping", "fixed"]) == 0
+        assert "stepping=fixed" in capsys.readouterr().out
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            profile_main(["--threads", "0"])
+        with pytest.raises(SystemExit):
+            profile_main(["--scale", "0"])
+        with pytest.raises(SystemExit):
+            profile_main(["--stepping", "warp"])
+
+    def test_main_dispatches_profile(self, capsys):
+        assert main(["profile"] + self.ARGS) == 0
+        assert "profiled" in capsys.readouterr().out
 
 
 class TestPackageEntryPoints:
