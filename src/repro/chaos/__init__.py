@@ -1,0 +1,49 @@
+"""Chaos injection for the simulated environment.
+
+The paper's claim is that a mixture-of-experts mapper survives
+*hostile, changing environments*; this package makes the environments
+genuinely hostile.  It composes deterministic fault injectors onto any
+evaluation scenario:
+
+* **availability faults** (:mod:`repro.chaos.availability`) — collapse
+  (most processors gone for a window, building on
+  :class:`~repro.machine.availability.FailureWindow`) and flapping
+  (capacity oscillating on a duty cycle);
+* **workload faults** (:mod:`repro.chaos.workload`) — burst storms of
+  one-shot jobs arriving in waves instead of the steady co-runner mix;
+* **sensor faults** (:mod:`repro.chaos.sensors`) — the environment
+  *readings* go bad (NaN, stale, clipped, noisy) while the machine
+  itself behaves, exercising the policy-hardening guarantees.
+
+Everything is deterministic given its seed: a chaos run is bit-for-bit
+reproducible, serial or parallel, and every availability injector
+implements the ``next_change`` event-horizon protocol so event-driven
+stepping stays exact.  See ``docs/robustness.md``.
+"""
+
+from .availability import (
+    AvailabilityFlap,
+    CollapseInjector,
+    FlapInjector,
+)
+from .scenario import ChaosScenario
+from .sensors import (
+    SENSOR_FAULT_MODES,
+    SensorFaultPolicy,
+    SensorFaultSpec,
+    sensor_fault_factory,
+)
+from .workload import BurstStormInjector, storm_workload
+
+__all__ = [
+    "AvailabilityFlap",
+    "BurstStormInjector",
+    "ChaosScenario",
+    "CollapseInjector",
+    "FlapInjector",
+    "SENSOR_FAULT_MODES",
+    "SensorFaultPolicy",
+    "SensorFaultSpec",
+    "sensor_fault_factory",
+    "storm_workload",
+]

@@ -1,0 +1,146 @@
+"""Availability fault injectors: collapse and flapping.
+
+Both injectors wrap an existing
+:class:`~repro.machine.availability.AvailabilitySchedule` and implement
+the full schedule protocol themselves — including ``next_change``, so
+the event-driven engine's fast-forward horizons stay *exact* under
+injected faults (returning a later-than-actual change would let the
+engine coast through a fault edge; these never do).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.availability import (
+    AvailabilitySchedule,
+    FailureWindow,
+    next_availability_change,
+)
+
+
+@dataclass(frozen=True)
+class AvailabilityFlap:
+    """Capacity oscillating on a duty cycle: repeated partial outages.
+
+    From ``start`` onward, each ``period`` opens with a degraded phase
+    of length ``duty * period`` during which only
+    ``floor(count * surviving_fraction)`` (>= 1) of the base schedule's
+    processors survive; the rest of the period is healthy.  This is the
+    flapping cousin of the one-shot
+    :class:`~repro.machine.availability.FailureWindow` — a machine
+    whose capacity keeps dropping out and coming back.
+    """
+
+    base: AvailabilitySchedule
+    period: float
+    surviving_fraction: float = 0.5
+    start: float = 0.0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.surviving_fraction <= 1.0:
+            raise ValueError("surviving_fraction must be in (0, 1]")
+        if self.start < 0:
+            raise ValueError("start cannot be negative")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+
+    def _degraded(self, time: float) -> bool:
+        if time < self.start:
+            return False
+        return (time - self.start) % self.period < self.duty * self.period
+
+    def available(self, time: float) -> int:
+        count = self.base.available(time)
+        if self._degraded(time):
+            return max(
+                1, int(math.floor(count * self.surviving_fraction))
+            )
+        return count
+
+    def next_change(self, time: float) -> float:
+        """Next base change or flap edge, whichever comes first."""
+        candidates = [next_availability_change(self.base, time)]
+        candidates.append(self._next_edge(time))
+        return min(candidates)
+
+    def _next_edge(self, time: float) -> float:
+        """The first flap edge (degrade or recover) strictly after
+        ``time``."""
+        if time < self.start:
+            return self.start
+        relative = time - self.start
+        cycle = math.floor(relative / self.period)
+        position = relative - cycle * self.period
+        degrade_end = self.duty * self.period
+        if position < degrade_end:
+            return self.start + cycle * self.period + degrade_end
+        return self.start + (cycle + 1) * self.period
+
+
+@dataclass(frozen=True)
+class CollapseInjector:
+    """Inject a one-shot availability collapse.
+
+    A harsher :class:`~repro.machine.availability.FailureWindow`: for
+    ``[start, end)`` only ``surviving_fraction`` of the processors
+    remain (default one in eight — a rack losing most of its boards,
+    not the paper's gentle half-machine failure).
+    """
+
+    start: float
+    end: float
+    surviving_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        # Reuse FailureWindow's validation semantics eagerly, so a bad
+        # injector fails at construction, not mid-grid in a worker.
+        if self.end <= self.start:
+            raise ValueError("collapse window must have positive length")
+        if not 0.0 < self.surviving_fraction <= 1.0:
+            raise ValueError("surviving_fraction must be in (0, 1]")
+
+    def apply(
+        self, schedule: AvailabilitySchedule
+    ) -> AvailabilitySchedule:
+        return FailureWindow(
+            base=schedule,
+            start=self.start,
+            end=self.end,
+            surviving_fraction=self.surviving_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class FlapInjector:
+    """Inject capacity flapping (see :class:`AvailabilityFlap`)."""
+
+    period: float = 6.0
+    surviving_fraction: float = 0.5
+    start: float = 0.0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.surviving_fraction <= 1.0:
+            raise ValueError("surviving_fraction must be in (0, 1]")
+        if self.start < 0:
+            raise ValueError("start cannot be negative")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+
+    def apply(
+        self, schedule: AvailabilitySchedule
+    ) -> AvailabilitySchedule:
+        return AvailabilityFlap(
+            base=schedule,
+            period=self.period,
+            surviving_fraction=self.surviving_fraction,
+            start=self.start,
+            duty=self.duty,
+        )

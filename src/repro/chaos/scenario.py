@@ -1,0 +1,61 @@
+"""Compose fault injectors onto any evaluation scenario.
+
+A :class:`ChaosScenario` wraps a base
+:class:`~repro.experiments.scenarios.Scenario` (or anything
+scenario-shaped: ``name`` + ``availability(topology, seed=...)``) and
+threads its availability schedule through a tuple of injectors.  It is
+a frozen dataclass of frozen dataclasses, so its ``repr`` is
+deterministic — which is exactly what
+:meth:`repro.exec.request.RunRequest.fingerprint` hashes, meaning chaos
+runs memoise and resume like any other run, and two grids with
+different injector parameters can never collide in the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..machine.availability import AvailabilitySchedule
+from ..machine.topology import Topology, XEON_L7555
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A scenario with availability fault injectors layered on top.
+
+    Injectors apply left to right: the first wraps the base schedule,
+    the second wraps the first's output, and so on — so a collapse
+    inside a flap and a flap inside a collapse are both expressible
+    and distinct.
+    """
+
+    base: object
+    injectors: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        for injector in self.injectors:
+            if not callable(getattr(injector, "apply", None)):
+                raise TypeError(
+                    f"injector {injector!r} has no apply(schedule) method"
+                )
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}+chaos"
+
+    @property
+    def workload_size(self) -> Optional[str]:
+        return getattr(self.base, "workload_size", None)
+
+    @property
+    def hw_change(self) -> str:
+        return getattr(self.base, "hw_change", "static")
+
+    def availability(
+        self, topology: Topology = XEON_L7555, seed: int = 0
+    ) -> AvailabilitySchedule:
+        schedule = self.base.availability(topology, seed=seed)
+        for injector in self.injectors:
+            schedule = injector.apply(schedule)
+        return schedule

@@ -1,0 +1,149 @@
+"""Environment-sensor fault injection.
+
+The machine behaves; the *readings* lie.  A
+:class:`SensorFaultPolicy` wraps any thread policy and corrupts the
+:class:`~repro.sched.stats.EnvironmentSample` it is consulted with —
+NaN readings, stale (previous-sample) readings, clipped (saturated)
+readings, or multiplicative noise — before delegating to the wrapped
+policy.  This exercises the hardening contract end to end: the policy
+under test must keep emitting positive, finite thread counts (the
+engine raises on anything else) and fall back to the documented safe
+default when its inputs are garbage.
+
+Faults are deterministic: each consultation draws from
+``np.random.default_rng([seed, consult_index])``, so a fixed spec gives
+a bit-identical fault sequence on every run — serial, parallel, or
+replayed from cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.policies.base import PolicyContext, RegionReport, ThreadPolicy
+from ..sched.stats import ENV_FEATURE_NAMES, EnvironmentSample
+
+#: Supported fault modes.
+SENSOR_FAULT_MODES: Tuple[str, ...] = ("nan", "stale", "clip", "noise")
+
+
+@dataclass(frozen=True)
+class SensorFaultSpec:
+    """What goes wrong with the sensors, how often, and to which fields.
+
+    ``rate`` is the per-consultation fault probability; ``fields``
+    names the affected environment features (default: all seven).
+    ``magnitude`` parameterises the mode: the saturation ceiling for
+    ``clip``, the relative standard deviation for ``noise`` (unused by
+    ``nan`` and ``stale``).
+    """
+
+    mode: str
+    rate: float = 0.25
+    seed: int = 0
+    fields: Tuple[str, ...] = ENV_FEATURE_NAMES
+    magnitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in SENSOR_FAULT_MODES:
+            raise ValueError(
+                f"unknown sensor fault mode {self.mode!r}; expected one "
+                f"of {SENSOR_FAULT_MODES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        unknown = set(self.fields) - set(ENV_FEATURE_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown environment fields {sorted(unknown)}; expected "
+                f"a subset of {ENV_FEATURE_NAMES}"
+            )
+        if not self.fields:
+            raise ValueError("fields cannot be empty")
+        if self.magnitude < 0:
+            raise ValueError("magnitude cannot be negative")
+
+
+class SensorFaultPolicy(ThreadPolicy):
+    """Wraps a policy, corrupting its environment readings."""
+
+    def __init__(self, inner: ThreadPolicy, spec: SensorFaultSpec):
+        self.inner = inner
+        self.spec = spec
+        self.name = f"{inner.name}~{spec.mode}"
+        self._consults = 0
+        self._previous: Optional[EnvironmentSample] = None
+
+    #: Delegated so the run summary's fallback accounting sees through
+    #: the wrapper.
+    @property
+    def fallback_count(self) -> int:
+        return int(getattr(self.inner, "fallback_count", 0) or 0)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._consults = 0
+        self._previous = None
+
+    def observe(self, report: RegionReport) -> None:
+        self.inner.observe(report)
+
+    def select(self, ctx: PolicyContext) -> int:
+        env = ctx.env
+        faulty = self._corrupt(env)
+        # The *clean* sample is what a later "stale" fault replays: a
+        # stuck sensor repeats the last real reading, not a prior lie.
+        self._previous = env
+        if faulty is not env:
+            ctx = dataclasses.replace(ctx, env=faulty)
+        return self.inner.select(ctx)
+
+    # -- fault synthesis --------------------------------------------------
+
+    def _corrupt(self, env: EnvironmentSample) -> EnvironmentSample:
+        spec = self.spec
+        rng = np.random.default_rng([spec.seed, self._consults])
+        self._consults += 1
+        if rng.random() >= spec.rate:
+            return env
+        if spec.mode == "nan":
+            changes = {field: float("nan") for field in spec.fields}
+        elif spec.mode == "stale":
+            if self._previous is None:
+                return env
+            changes = {
+                field: getattr(self._previous, field)
+                for field in spec.fields
+            }
+        elif spec.mode == "clip":
+            changes = {
+                field: min(getattr(env, field), spec.magnitude)
+                for field in spec.fields
+            }
+        else:  # noise
+            changes = {}
+            for field in spec.fields:
+                value = getattr(env, field)
+                scale = 1.0 + spec.magnitude * rng.standard_normal()
+                changes[field] = max(0.0, value * scale)
+        return dataclasses.replace(env, **changes)
+
+
+def sensor_fault_factory(inner_factory, spec: SensorFaultSpec):
+    """A picklable policy factory wrapping ``inner_factory``'s policies.
+
+    Suitable for :meth:`repro.exec.request.PolicySpec.of`: cloudpickle
+    serialises the closure by value, so the fault spec participates in
+    the policy token and differently-faulted runs never share cache
+    entries.
+    """
+
+    def make() -> SensorFaultPolicy:
+        return SensorFaultPolicy(inner_factory(), spec)
+
+    make.__name__ = f"sensor_fault[{spec.mode}]"
+    return make

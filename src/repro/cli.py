@@ -447,6 +447,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run simulations over N worker processes (default: "
              "$REPRO_JOBS, else serial)",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry each failed/crashed simulation up to N times "
+             "(default: $REPRO_MAX_RETRIES, else 2)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any single simulation exceeding SECONDS of "
+             "wall clock (pool execution only; default: "
+             "$REPRO_RUN_TIMEOUT, else unlimited)",
+    )
+    parser.add_argument(
+        "--resume", nargs="?", const="repro-checkpoint.pkl",
+        default=None, metavar="FILE",
+        help="checkpoint completed runs to FILE (default "
+             "repro-checkpoint.pkl) and resume from it after an "
+             "interrupted grid (also: $REPRO_CHECKPOINT)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -455,6 +473,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Experiment drivers read REPRO_JOBS through
         # repro.exec.resolve_jobs, so one env var reaches all of them.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.max_retries is not None:
+        if args.max_retries < 0:
+            parser.error("--max-retries cannot be negative")
+        # The fault-tolerance knobs travel the same way: executors
+        # resolve them from the environment (repro.exec.fault).
+        os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
+    if args.run_timeout is not None:
+        if args.run_timeout <= 0:
+            parser.error("--run-timeout must be positive")
+        os.environ["REPRO_RUN_TIMEOUT"] = str(args.run_timeout)
+    if args.resume is not None:
+        os.environ["REPRO_CHECKPOINT"] = args.resume
 
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():

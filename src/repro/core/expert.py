@@ -14,6 +14,7 @@ accuracy as a proxy for w's quality.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -62,14 +63,26 @@ class Expert:
 
     def _clip(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=float)
+        if not np.isfinite(features).all():
+            # Degenerate input (faulty sensor, chaos injection): NaN in
+            # one dimension would make the dot product NaN.  Zero the
+            # bad entries — "no signal" — before trusting the model.
+            features = np.where(np.isfinite(features), features, 0.0)
         if self.feature_low is None or self.feature_high is None:
             return features
         return np.clip(features, self.feature_low, self.feature_high)
 
     def predict_threads(self, features: np.ndarray,
                         max_threads: int) -> int:
-        """w(f): the thread count, clamped to [1, max_threads]."""
+        """w(f): the thread count, clamped to [1, max_threads].
+
+        Never NaN and never below 1: a non-finite model output (only
+        possible if the model itself carries non-finite weights)
+        degrades to the minimal safe count of one thread.
+        """
         raw = self.thread_model.predict_one(self._clip(features))
+        if not math.isfinite(raw):
+            return 1
         return int(max(1, min(max_threads, round(raw))))
 
     def predict_env_norm(self, features: np.ndarray) -> float:
@@ -84,6 +97,8 @@ class Expert:
         stale.
         """
         raw = self.env_model.predict_one(self._clip(features))
+        if not math.isfinite(raw):
+            return 0.0
         return max(0.0, raw)
 
     def env_error(self, features: np.ndarray,

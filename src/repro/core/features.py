@@ -36,6 +36,25 @@ def make_feature_vector(
     )
 
 
+def sanitize_features(
+    features: np.ndarray,
+) -> tuple[np.ndarray, bool]:
+    """``(clean, was_degenerate)``: non-finite entries replaced by 0.0.
+
+    Faulty environment sensors (chaos injection, a real ``/proc`` read
+    racing a counter reset) can leave NaN/inf in the vector; a linear
+    model fed one NaN returns NaN for everything downstream.  Zero is
+    the canonical "no signal" value here — features are normalised and
+    the selector z-scores them, so a zeroed dimension simply stops
+    discriminating instead of poisoning the whole prediction.
+    """
+    features = np.asarray(features, dtype=float)
+    mask = np.isfinite(features)
+    if mask.all():
+        return features, False
+    return np.where(mask, features, 0.0), True
+
+
 def env_part(features: np.ndarray) -> np.ndarray:
     """The environment slice (f^4..f^10) of a feature vector."""
     features = np.asarray(features, dtype=float)

@@ -18,6 +18,7 @@ and hierarchical gates.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 import numpy as np
@@ -86,6 +87,11 @@ class HierarchicalSelector:
             raise ValueError(
                 f"expected {self.num_experts} errors, got {len(errors)}"
             )
+        # Degenerate scoring (NaN observation): learn nothing.  A NaN
+        # here would propagate through min() into the top gate's group
+        # errors and silently corrupt both levels.
+        if not all(math.isfinite(float(e)) for e in errors):
+            return False
         # Top gate: each group is as good as its best member here.
         group_errors = [
             min(errors[index] for index in group)

@@ -16,13 +16,14 @@ the environment-prediction proxy.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..expert import Expert
-from ..features import NUM_FEATURES
+from ..features import NUM_FEATURES, sanitize_features
 from ..selector import ExpertSelector, HyperplaneSelector
 from .base import PolicyContext, ThreadPolicy
 
@@ -78,6 +79,10 @@ class MixturePolicy(ThreadPolicy):
         )
         self.decisions: List[ExpertDecision] = []
         self._pending: Optional[_Pending] = None
+        #: Times the policy refused to trust degenerate inputs and fell
+        #: back to the safe default thread count (surfaced as
+        #: ``RunSummary.policy_fallbacks``).
+        self.fallback_count = 0
 
     @property
     def selector(self) -> ExpertSelector:
@@ -87,10 +92,17 @@ class MixturePolicy(ThreadPolicy):
         self._selector.reset()
         self.decisions = []
         self._pending = None
+        self.fallback_count = 0
 
     def select(self, ctx: PolicyContext) -> int:
-        features = ctx.feature_vector()
+        features, degenerate = sanitize_features(ctx.feature_vector())
         observed_norm = ctx.env.norm
+        if not math.isfinite(observed_norm):
+            # A NaN/inf observation cannot score anything; discard the
+            # pending predictions rather than learn from garbage (the
+            # paper's last-timestep-only protocol makes this a plain
+            # skip, not a backlog).
+            self._pending = None
 
         # 1. Score last timestep's predictions and train the selector.
         # Errors combine environment-prediction accuracy with how far
@@ -121,6 +133,16 @@ class MixturePolicy(ThreadPolicy):
                 predicted_threads=old.predicted_threads,
                 observed_next_norm=observed_norm,
             )
+
+        if degenerate:
+            # Safe fallback (see docs/robustness.md): with corrupted
+            # features there is no basis for expertise — behave like
+            # the OpenMP default of one thread per available processor,
+            # learn nothing, and leave no pending prediction to score
+            # against the next (possibly also corrupt) observation.
+            self.fallback_count += 1
+            self._pending = None
+            return ctx.clamp(ctx.available_processors)
 
         # 2. Select the expert for the current state.
         choice = self._selector.select(features)

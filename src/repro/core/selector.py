@@ -25,10 +25,20 @@ uniform-random choice).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
+
+
+def _finite_features(features: np.ndarray) -> np.ndarray:
+    """Float view of ``features`` with non-finite entries zeroed."""
+    features = np.asarray(features, dtype=float)
+    mask = np.isfinite(features)
+    if mask.all():
+        return features
+    return np.where(mask, features, 0.0)
 
 
 class ExpertSelector(Protocol):
@@ -216,7 +226,7 @@ class HyperplaneSelector:
         return choice
 
     def select(self, features: np.ndarray) -> int:
-        features = np.asarray(features, dtype=float)
+        features = _finite_features(features)
         x = self._normalizer.normalize(features)
         choice = self._choose(x)
         self.stats.selections.append(choice)
@@ -224,13 +234,23 @@ class HyperplaneSelector:
 
     def update(self, features: np.ndarray,
                errors: Sequence[float]) -> bool:
-        """Perceptron update toward the most-accurate expert."""
+        """Perceptron update toward the most-accurate expert.
+
+        Non-finite errors (a NaN observation propagated into the
+        scoring) make the update a no-op: one poisoned timestep must
+        not corrupt the learned partition, and ``argmin`` over NaN is
+        meaningless anyway.  Non-finite feature entries are zeroed
+        before they can reach the running normaliser — a single NaN
+        observed by Welford's accumulator would stay NaN forever.
+        """
         errors = list(errors)
         if len(errors) != self._num_experts:
             raise ValueError(
                 f"expected {self._num_experts} errors, got {len(errors)}"
             )
-        features = np.asarray(features, dtype=float)
+        if not all(math.isfinite(float(e)) for e in errors):
+            return False
+        features = _finite_features(features)
         self._normalizer.observe(features)
         x = self._normalizer.normalize(features)
         predicted = self._choose(x)
@@ -262,7 +282,9 @@ class FrozenEvenSelector(HyperplaneSelector):
     def update(self, features: np.ndarray,
                errors: Sequence[float]) -> bool:
         errors = list(errors)
-        features = np.asarray(features, dtype=float)
+        if not all(math.isfinite(float(e)) for e in errors):
+            return False
+        features = _finite_features(features)
         self._normalizer.observe(features)
         x = self._normalizer.normalize(features)
         predicted = self._choose(x)
@@ -307,6 +329,8 @@ class AccuracyEMASelector:
             raise ValueError(
                 f"expected {self._num_experts} errors, got {errors.shape}"
             )
+        if not np.isfinite(errors).all():
+            return False
         predicted = int(np.argmin(self._ema)) if self._seen else 0
         if self._seen:
             self._ema = self._decay * self._ema + (1 - self._decay) * errors

@@ -9,9 +9,13 @@ safe to replay — re-running a figure after an unrelated change is a pure
 cache read.
 
 The cache is tolerant by construction: a corrupted, truncated or
-unreadable entry is treated as a miss (and deleted best-effort), never
-an error.  Writes are atomic (temp file + ``os.replace``) so a crashed
-or killed run can corrupt at most its own in-flight entry.
+unreadable entry is treated as a miss, never an error.  The offending
+file is *quarantined* — moved aside into ``<root>/quarantine/`` with a
+one-time warning naming it — so the bad bytes survive for post-mortem
+while the run is transparently recomputed.  Entries from an older
+format version are simply deleted (expected churn, not corruption).
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+run can corrupt at most its own in-flight entry.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -51,9 +56,14 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+        self._warned_quarantine = False
 
     def path(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def get(self, fingerprint: str) -> Optional[RunSummary]:
         """The cached summary, or ``None`` on miss/corruption."""
@@ -65,15 +75,21 @@ class RunCache:
             self.misses += 1
             return None
         except Exception:
-            # Corrupted/truncated/alien entry: drop it and recompute.
-            self._discard(path)
+            # Corrupted/truncated/unreadable entry: move it aside for
+            # post-mortem and recompute.
+            self._quarantine(path)
             self.misses += 1
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("version") != CACHE_ENTRY_VERSION
-            or not isinstance(entry.get("summary"), RunSummary)
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("summary"), RunSummary
         ):
+            # Alien payload under our name: keep the evidence.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if entry.get("version") != CACHE_ENTRY_VERSION:
+            # Well-formed entry from another format version: routine
+            # churn after an upgrade, delete silently.
             self._discard(path)
             self.misses += 1
             return None
@@ -99,6 +115,25 @@ class RunCache:
         except OSError:
             return
         self.stores += 1
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``quarantine/``; delete as a last
+        resort so a bad entry can never be read twice."""
+        target = self.quarantine_dir() / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            self._discard(path)
+            return
+        self.quarantined += 1
+        if not self._warned_quarantine:
+            self._warned_quarantine = True
+            warnings.warn(
+                f"repro.exec: corrupt run-cache entry quarantined to "
+                f"{target}; the run will be recomputed",
+                stacklevel=4,
+            )
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -32,7 +33,10 @@ from typing import Callable, Dict, Optional, Tuple
 #: naming, summary contents).  Part of every run fingerprint.
 #: Version 2: requests gained the ``stepping`` mode and summaries are
 #: produced without timeline sampling (they never stored timelines).
-RUN_FORMAT_VERSION = 2
+#: Version 3: workload specs carry ``start_times``/``restart`` (burst
+#: storms) and summaries carry ``policy_fallbacks``; old entries lack
+#: the new fields, so their fingerprints must never hit.
+RUN_FORMAT_VERSION = 3
 
 
 def _stable_token(factory: Callable) -> Optional[str]:
@@ -56,6 +60,31 @@ def _stable_token(factory: Callable) -> Optional[str]:
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+#: (label, factory-name) pairs already warned about — one warning per
+#: distinct unpicklable factory, not one per request.
+_WARNED_UNTOKENED: set = set()
+
+
+def _warn_untokened(label: str, factory: Callable) -> None:
+    """Tell the user their runs silently skip memoisation, once."""
+    name = (
+        getattr(factory, "__qualname__", None)
+        or getattr(factory, "__name__", None)
+        or repr(factory)
+    )
+    key = (label, name)
+    if key in _WARNED_UNTOKENED:
+        return
+    _WARNED_UNTOKENED.add(key)
+    warnings.warn(
+        f"repro.exec: policy factory {name!r} (label {label!r}) cannot "
+        f"be pickled, so runs built from it get no content fingerprint "
+        f"— they will execute but never be memoised (no run cache, no "
+        f"checkpoint resume)",
+        stacklevel=3,
+    )
+
+
 @dataclass(frozen=True)
 class PolicySpec:
     """A picklable recipe for building fresh :class:`ThreadPolicy` objects.
@@ -76,10 +105,14 @@ class PolicySpec:
             return factory if not label or factory.label == label else cls(
                 label=label, factory=factory.factory, token=factory.token,
             )
+        resolved_label = label or getattr(factory, "__name__", "policy")
+        token = _stable_token(factory)
+        if token is None:
+            _warn_untokened(resolved_label, factory)
         return cls(
-            label=label or getattr(factory, "__name__", "policy"),
+            label=resolved_label,
             factory=factory,
-            token=_stable_token(factory),
+            token=token,
         )
 
     @classmethod
@@ -103,14 +136,19 @@ class WorkloadSpec:
     """The co-running workload half of a request.
 
     ``program_names`` resolve through the program registry in the
-    executing process; every workload job restarts until the target
-    finishes (the paper's protocol) and runs a fresh policy built from
-    ``policy``.
+    executing process; by default every workload job restarts until the
+    target finishes (the paper's protocol) and runs a fresh policy
+    built from ``policy``.  ``start_times`` staggers job arrivals (one
+    entry per program, missing entries arrive at 0.0) and ``restart``
+    can be disabled so a job runs once and leaves — together these
+    express burst-storm workloads (:mod:`repro.chaos.workload`).
     """
 
     program_names: Tuple[str, ...]
     policy: PolicySpec
     name: str = ""
+    start_times: Tuple[float, ...] = ()
+    restart: bool = True
 
     @classmethod
     def from_set(cls, workload_set, policy: PolicySpec) -> "WorkloadSpec":
@@ -122,7 +160,12 @@ class WorkloadSpec:
         )
 
     def fingerprint_parts(self) -> tuple:
-        return (self.program_names, self.policy.token)
+        return (
+            self.program_names,
+            self.policy.token,
+            self.start_times,
+            self.restart,
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +201,11 @@ class RunSummary:
     workload_runs: Tuple[Tuple[str, int], ...]
     selections: tuple
     records: Tuple[RecordedSelection, ...] = ()
+    #: Times the target policy hit its degraded-input safe fallback
+    #: (NaN/degenerate features — see ``docs/robustness.md``).  Zero on
+    #: healthy runs; non-zero makes chaos-induced degradation visible
+    #: without digging through selection logs.
+    policy_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -284,6 +332,7 @@ def execute_request(request: RunRequest) -> RunSummary:
         affinity=request.target_affinity,
     )]
     if request.workload is not None:
+        starts = request.workload.start_times
         for index, name in enumerate(request.workload.program_names):
             program = registry.get(name)
             if request.iterations_scale != 1.0:
@@ -292,7 +341,8 @@ def execute_request(request: RunRequest) -> RunSummary:
                 program=program,
                 policy=request.workload.policy.build(),
                 job_id=f"w{index}-{program.name}",
-                restart=True,
+                restart=request.workload.restart,
+                start_time=starts[index] if index < len(starts) else 0.0,
                 affinity=request.workload_affinity,
             ))
     # RunSummary never stores the timeline, and timeline sampling is
@@ -312,6 +362,7 @@ def execute_request(request: RunRequest) -> RunSummary:
             f"run timed out: {request.target} / {request.policy.label} / "
             f"{scenario} (seed={request.seed})"
         )
+    base_policy = recorder.inner if recorder is not None else policy
     records: Tuple[RecordedSelection, ...] = ()
     if recorder is not None:
         records = tuple(
@@ -325,14 +376,14 @@ def execute_request(request: RunRequest) -> RunSummary:
         )
     return RunSummary(
         target=request.target,
-        policy=getattr(
-            recorder.inner if recorder is not None else policy,
-            "name", request.policy.label,
-        ),
+        policy=getattr(base_policy, "name", request.policy.label),
         target_time=result.target_time,
         workload_throughput=result.workload_throughput,
         duration=result.duration,
         workload_runs=tuple(result.workload_runs.items()),
         selections=tuple(result.selections),
         records=records,
+        policy_fallbacks=int(
+            getattr(base_policy, "fallback_count", 0) or 0
+        ),
     )

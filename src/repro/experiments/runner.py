@@ -33,6 +33,7 @@ from ..core.training import (
 )
 from ..exec import (
     Executor,
+    FailureReport,
     PolicySpec,
     RunRequest,
     RunSummary,
@@ -226,6 +227,10 @@ class PolicyComparison:
     workload_gains: Dict[str, float]
     #: Raw per-configuration outcomes, keyed by policy name.
     outcomes: Dict[str, List[RunOutcome]] = field(default_factory=dict)
+    #: Fault-tolerance account of the executor invocation that produced
+    #: this comparison (retries, pool rebuilds, quarantines …); ``None``
+    #: for comparisons assembled outside the executor path.
+    failure_report: Optional[FailureReport] = None
 
 
 def _scenario_sets(scenario: Scenario) -> Tuple[Optional[WorkloadSet], ...]:
@@ -361,9 +366,11 @@ def compare_policies(
         stepping=stepping,
     )
     summaries = executor.run(requests)
-    return _assemble_comparison(
+    comparison = _assemble_comparison(
         target_name, scenario, list(specs), summaries,
     )
+    comparison.failure_report = executor.last_report
+    return comparison
 
 
 @dataclass
@@ -372,6 +379,10 @@ class ScenarioTable:
 
     scenario: str
     rows: List[PolicyComparison]
+    #: Fault-tolerance account of the whole batch (see
+    #: :class:`repro.exec.FailureReport`); ``None`` outside the
+    #: executor path.
+    failure_report: Optional[FailureReport] = None
 
     def policies(self) -> List[str]:
         return list(self.rows[0].speedups) if self.rows else []
@@ -406,6 +417,10 @@ class ScenarioTable:
         lines.append(
             f"{'hmean':14s}" + "".join(f"{hm[n]:11.2f}" for n in names)
         )
+        if self.failure_report is not None and not (
+            self.failure_report.clean
+        ):
+            lines.append(f"[faults: {self.failure_report.summary()}]")
         return "\n".join(lines)
 
 
@@ -451,4 +466,8 @@ def evaluate_scenario(
         )
         for i, target in enumerate(targets)
     ]
-    return ScenarioTable(scenario=scenario.name, rows=rows)
+    return ScenarioTable(
+        scenario=scenario.name,
+        rows=rows,
+        failure_report=executor.last_report,
+    )

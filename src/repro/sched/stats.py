@@ -123,6 +123,15 @@ class EnvironmentSample:
         """The scalar ‖e‖ the expert selector compares against."""
         return environment_norm(self.as_vector())
 
+    def is_finite(self) -> bool:
+        """Whether every environment reading is a finite number.
+
+        False for samples corrupted by sensor faults (NaN/inf
+        injection, :mod:`repro.chaos.sensors`); the policy hardening
+        treats such samples as unobservable rather than learnable.
+        """
+        return bool(np.isfinite(self.as_vector()).all())
+
 
 class SystemStatsSampler:
     """Accumulates OS statistics across ticks and produces samples.

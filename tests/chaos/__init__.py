@@ -1,0 +1,1 @@
+"""Chaos-injection harness tests."""

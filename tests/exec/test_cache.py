@@ -50,9 +50,29 @@ class TestRunCache:
         fingerprint = request.fingerprint()
         cache.put(fingerprint, execute_request(request))
         cache.path(fingerprint).write_bytes(b"not a pickle")
-        assert cache.get(fingerprint) is None
-        # The broken file was discarded, not left to fail forever.
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert cache.get(fingerprint) is None
+        # The broken file was moved aside (not left to fail forever,
+        # not silently destroyed) and the move was counted.
         assert not cache.path(fingerprint).exists()
+        quarantined = list(cache.quarantine_dir().iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"not a pickle"
+        assert cache.quarantined == 1
+
+    def test_quarantine_warns_once(self, cache):
+        requests = [tiny_request(seed=s) for s in (0, 1)]
+        for request in requests:
+            cache.put(request.fingerprint(), execute_request(request))
+            cache.path(request.fingerprint()).write_bytes(b"garbage")
+        with pytest.warns(UserWarning, match="quarantined") as caught:
+            for request in requests:
+                assert cache.get(request.fingerprint()) is None
+        messages = [
+            w for w in caught if "quarantined" in str(w.message)
+        ]
+        assert len(messages) == 1
+        assert cache.quarantined == 2
 
     def test_wrong_version_is_a_miss(self, cache):
         request = tiny_request()
@@ -112,7 +132,8 @@ class TestExecutorMemoisation:
 
                 return FixedPolicy(8)
 
-        spec = PolicySpec.of(Hostile(), label="hostile")
+        with pytest.warns(UserWarning, match="cannot be pickled"):
+            spec = PolicySpec.of(Hostile(), label="hostile")
         assert spec.token is None
         executor = Executor(jobs=1, cache=cache)
         summaries = executor.run([tiny_request(policy=spec)])

@@ -60,7 +60,14 @@ class TestPolicySpec:
             def __call__(self):  # pragma: no cover - never built
                 return DefaultPolicy()
 
-        assert PolicySpec.of(Hostile(), label="hostile").token is None
+        hostile = Hostile()
+        with pytest.warns(UserWarning, match="cannot be pickled") as caught:
+            assert PolicySpec.of(hostile, label="hostile").token is None
+            # Warned once per distinct factory, not once per request.
+            PolicySpec.of(hostile, label="hostile")
+        assert len(
+            [w for w in caught if "cannot be pickled" in str(w.message)]
+        ) == 1
 
     def test_build_returns_fresh_instances(self):
         spec = PolicySpec.of(DefaultPolicy)

@@ -207,3 +207,55 @@ class TestNextChange:
         assert next_availability_change(StaticAvailability(4), 7.0) == (
             math.inf
         )
+
+
+class TestEdgeCases:
+    """Boundary behaviour the fault injectors lean on: window edges are
+    half-open ``[start, end)``, horizons are *strictly* after ``t``, and
+    queries past the last breakpoint are stable."""
+
+    def test_zero_width_window_rejected(self):
+        with pytest.raises(ValueError, match="positive length"):
+            FailureWindow(base=StaticAvailability(8), start=3.0, end=3.0)
+        with pytest.raises(ValueError, match="positive length"):
+            FailureWindow(base=StaticAvailability(8), start=3.0, end=2.0)
+
+    def test_change_exactly_on_tick_boundary(self):
+        # A trace change landing exactly on a dt=0.1 tick: the new count
+        # applies *at* the breakpoint (closed left edge), and the horizon
+        # queried from the tick just before is exactly the breakpoint.
+        schedule = TraceAvailability.from_pairs([(0.0, 8), (1.5, 2)])
+        assert schedule.available(1.5 - 0.1) == 8
+        assert schedule.available(1.5) == 2
+        assert schedule.next_change(1.4) == 1.5
+        # Queried exactly at the breakpoint the change is already in
+        # effect, so the horizon must not re-report it.
+        assert schedule.next_change(1.5) == math.inf
+
+    def test_failure_window_tick_boundary(self):
+        schedule = FailureWindow(
+            base=StaticAvailability(32), start=1.0, end=2.0,
+        )
+        assert schedule.available(1.0) == 16
+        assert schedule.available(2.0) == 32
+        assert schedule.next_change(1.0) == 2.0
+        assert schedule.next_change(2.0) == math.inf
+
+    def test_trace_next_change_at_and_after_last_breakpoint(self):
+        schedule = TraceAvailability.from_pairs(
+            [(0.0, 4), (10.0, 8), (30.0, 2)]
+        )
+        assert schedule.next_change(29.999) == 30.0
+        assert schedule.next_change(30.0) == math.inf
+        assert schedule.next_change(1e9) == math.inf
+        # Availability stays at the final count forever.
+        assert schedule.available(30.0) == 2
+        assert schedule.available(1e9) == 2
+
+    def test_horizon_is_strictly_in_the_future(self):
+        # next_change(t) == t would spin the event-driven engine.
+        schedule = TraceAvailability.from_pairs(
+            [(0.0, 4), (5.0, 8), (9.0, 2)]
+        )
+        for t in (0.0, 4.999, 5.0, 8.9, 9.0, 100.0):
+            assert schedule.next_change(t) > t
