@@ -1,0 +1,95 @@
+"""Serving-latency microbenchmarks: what does crash-safety cost?
+
+The serving runtime journals every selector operation and periodically
+snapshots full state so a restart loses nothing.  That durability is
+paid on the decision path (one flushed journal line per request), so it
+has to be cheap relative to the decision itself: the gate here is that
+journaling adds at most 20% to p99 decision latency (plus a small
+absolute floor to absorb timer noise on shared CI machines).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.core.training import default_experts
+from repro.runtime.metrics import percentile
+from repro.serve import (
+    PolicyServer,
+    ServeConfig,
+    SoakSpec,
+    build_policy,
+    make_request,
+    tiny_training_config,
+)
+
+REQUESTS = 1_000
+SPEC = SoakSpec(requests=REQUESTS)
+
+#: Allowed journaling overhead: relative on p99, plus an absolute
+#: floor so timer jitter on a quiet-but-shared machine cannot flake.
+P99_RELATIVE_BUDGET = 1.20
+P99_ABSOLUTE_FLOOR_S = 200e-6
+
+_LATENCIES: dict = {}
+
+
+def _serve_stream(state_dir=None):
+    """Per-decision latencies over the standard soak stream."""
+    bundle = default_experts(tiny_training_config())
+    server = PolicyServer(
+        build_policy(bundle), ServeConfig(), state_dir=state_dir
+    )
+    latencies = []
+    for index in range(REQUESTS):
+        decision = server.serve_one(make_request(SPEC, index))
+        latencies.append(decision.latency_s)
+    server.close()
+    return latencies
+
+
+def _stats(latencies):
+    return {
+        "p50": percentile(latencies, 50),
+        "p99": percentile(latencies, 99),
+        "max": max(latencies),
+    }
+
+
+def test_serve_latency_plain(benchmark):
+    latencies = run_once(benchmark, _serve_stream)
+    _LATENCIES["plain"] = latencies
+    stats = _stats(latencies)
+    emit(
+        "overhead_serve_latency_plain",
+        "== Serving decision latency, no journaling ==\n"
+        f"requests {REQUESTS}; p50 {stats['p50'] * 1e6:.1f}us; "
+        f"p99 {stats['p99'] * 1e6:.1f}us; "
+        f"max {stats['max'] * 1e6:.1f}us",
+    )
+    # A decision must stay far below a region's runtime (~100ms
+    # simulated): well under a millisecond of p50 wall time here.
+    assert stats["p50"] < 1e-3
+
+
+def test_serve_latency_journaled(benchmark, tmp_path):
+    latencies = run_once(
+        benchmark, lambda: _serve_stream(tmp_path / "state")
+    )
+    plain = _LATENCIES.get("plain") or _serve_stream()
+    journaled = _stats(latencies)
+    baseline = _stats(plain)
+    overhead = journaled["p99"] / baseline["p99"] - 1.0
+    emit(
+        "overhead_serve_latency_journaled",
+        "== Serving decision latency, write-ahead journaling ==\n"
+        f"requests {REQUESTS}; p50 {journaled['p50'] * 1e6:.1f}us; "
+        f"p99 {journaled['p99'] * 1e6:.1f}us; "
+        f"max {journaled['max'] * 1e6:.1f}us\n"
+        f"p99 overhead vs plain: {overhead:+.1%} "
+        f"(budget {P99_RELATIVE_BUDGET - 1:.0%} + "
+        f"{P99_ABSOLUTE_FLOOR_S * 1e6:.0f}us floor)",
+    )
+    assert journaled["p99"] <= (
+        baseline["p99"] * P99_RELATIVE_BUDGET + P99_ABSOLUTE_FLOOR_S
+    )

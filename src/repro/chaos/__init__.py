@@ -31,6 +31,7 @@ from .sensors import (
     SENSOR_FAULT_MODES,
     SensorFaultPolicy,
     SensorFaultSpec,
+    corrupt_sample,
     sensor_fault_factory,
 )
 from .workload import BurstStormInjector, storm_workload
@@ -44,6 +45,7 @@ __all__ = [
     "SENSOR_FAULT_MODES",
     "SensorFaultPolicy",
     "SensorFaultSpec",
+    "corrupt_sample",
     "sensor_fault_factory",
     "storm_workload",
 ]

@@ -68,6 +68,48 @@ class SensorFaultSpec:
             raise ValueError("magnitude cannot be negative")
 
 
+def corrupt_sample(
+    spec: SensorFaultSpec,
+    consult_index: int,
+    env: EnvironmentSample,
+    previous: Optional[EnvironmentSample],
+) -> EnvironmentSample:
+    """Corrupt one environment sample, statelessly.
+
+    Pure function of (spec, consult_index, env, previous): fault ``k``
+    of a stream is the same whether the stream is generated in one
+    process, across a crash/restart boundary, or replayed from cache —
+    which is what lets the serving soak harness corrupt its *request
+    stream* (rather than wrap the served policy in a stateful
+    :class:`SensorFaultPolicy` whose consult counter would reset on
+    restart).  Returns ``env`` unchanged when the draw says "no fault"
+    (or a ``stale`` fault has no previous sample to replay).
+    """
+    rng = np.random.default_rng([spec.seed, consult_index])
+    if rng.random() >= spec.rate:
+        return env
+    if spec.mode == "nan":
+        changes = {field: float("nan") for field in spec.fields}
+    elif spec.mode == "stale":
+        if previous is None:
+            return env
+        changes = {
+            field: getattr(previous, field) for field in spec.fields
+        }
+    elif spec.mode == "clip":
+        changes = {
+            field: min(getattr(env, field), spec.magnitude)
+            for field in spec.fields
+        }
+    else:  # noise
+        changes = {}
+        for field in spec.fields:
+            value = getattr(env, field)
+            scale = 1.0 + spec.magnitude * rng.standard_normal()
+            changes[field] = max(0.0, value * scale)
+    return dataclasses.replace(env, **changes)
+
+
 class SensorFaultPolicy(ThreadPolicy):
     """Wraps a policy, corrupting its environment readings."""
 
@@ -105,32 +147,9 @@ class SensorFaultPolicy(ThreadPolicy):
     # -- fault synthesis --------------------------------------------------
 
     def _corrupt(self, env: EnvironmentSample) -> EnvironmentSample:
-        spec = self.spec
-        rng = np.random.default_rng([spec.seed, self._consults])
+        consult = self._consults
         self._consults += 1
-        if rng.random() >= spec.rate:
-            return env
-        if spec.mode == "nan":
-            changes = {field: float("nan") for field in spec.fields}
-        elif spec.mode == "stale":
-            if self._previous is None:
-                return env
-            changes = {
-                field: getattr(self._previous, field)
-                for field in spec.fields
-            }
-        elif spec.mode == "clip":
-            changes = {
-                field: min(getattr(env, field), spec.magnitude)
-                for field in spec.fields
-            }
-        else:  # noise
-            changes = {}
-            for field in spec.fields:
-                value = getattr(env, field)
-                scale = 1.0 + spec.magnitude * rng.standard_normal()
-                changes[field] = max(0.0, value * scale)
-        return dataclasses.replace(env, **changes)
+        return corrupt_sample(self.spec, consult, env, self._previous)
 
 
 def sensor_fault_factory(inner_factory, spec: SensorFaultSpec):

@@ -12,6 +12,8 @@ Examples::
     python -m repro profile           # cProfile one simulation run
     python -m repro profile mg --scenario large-high --top 40
     python -m repro profile --stepping fixed --output run.pstats
+    python -m repro serve-soak --tiny # chaos-soak the serving runtime
+    python -m repro serve-soak --tiny --kill-at 5000 --verify-recovery
 """
 
 from __future__ import annotations
@@ -421,12 +423,233 @@ def profile_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def serve_soak_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro serve-soak``: soak the policy-serving runtime under chaos.
+
+    Drives a :class:`~repro.serve.server.PolicyServer` through a long
+    synthetic request stream with composed chaos (sensor faults inside
+    a window, availability flapping, burst arrivals), asserting the
+    serving invariants; optionally kills the server mid-run and
+    verifies the restarted server resumes learning losslessly.
+    See the "Serving failure model" section of docs/robustness.md.
+    """
+    import json as json_module
+
+    from .chaos import SENSOR_FAULT_MODES, SensorFaultSpec
+    from .core.training import default_experts
+    from .serve import (
+        ServeConfig,
+        SoakInvariantError,
+        SoakSpec,
+        run_soak,
+        tiny_training_config,
+        verify_recovery,
+    )
+    from .serve.breaker import BreakerConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-soak",
+        description="Soak the resilient policy-serving runtime under "
+                    "composed chaos injection.",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10_000, metavar="N",
+        help="length of the request stream (default: 10000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="stream seed (default: 0)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="serve experts trained on the miniature configuration "
+             "(seconds to train, disk-cached) instead of the full one",
+    )
+    parser.add_argument(
+        "--sensor", choices=SENSOR_FAULT_MODES, default=None,
+        help="sensor fault mode injected inside the fault window "
+             "(default: none)",
+    )
+    parser.add_argument(
+        "--sensor-rate", type=float, default=1.0, metavar="P",
+        help="per-request sensor fault probability inside the window "
+             "(default: 1.0)",
+    )
+    parser.add_argument(
+        "--fault-window", type=float, nargs=2, default=(0.3, 0.6),
+        metavar=("LO", "HI"),
+        help="sensor-fault window as fractions of the stream "
+             "(default: 0.3 0.6)",
+    )
+    parser.add_argument(
+        "--flap-period", type=float, default=40.0, metavar="SECONDS",
+        help="availability flapping period in simulated seconds "
+             "(default: 40)",
+    )
+    parser.add_argument(
+        "--burst-period", type=int, default=97, metavar="N",
+        help="every N-th request opens a burst batch (default: 97)",
+    )
+    parser.add_argument(
+        "--burst-size", type=int, default=12, metavar="N",
+        help="requests per burst batch (default: 12)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="admission queue capacity per batch (default: 64)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=0.050, metavar="SECONDS",
+        help="per-decision wall-clock budget (default: 0.050)",
+    )
+    parser.add_argument(
+        "--snapshot-interval", type=int, default=256, metavar="N",
+        help="requests between full-state snapshots (default: 256)",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="journal/snapshot directory (default: a temporary "
+             "directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--kill-at", type=int, default=None, metavar="INDEX",
+        help="kill the server before serving request INDEX, then "
+             "restart it from its journal and finish the stream",
+    )
+    parser.add_argument(
+        "--verify-recovery", action="store_true",
+        help="with --kill-at: also run an uninterrupted twin and fail "
+             "unless the restarted server's learning state and "
+             "decisions are bit-identical to it",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if not 0.0 <= args.sensor_rate <= 1.0:
+        parser.error("--sensor-rate must be in [0, 1]")
+    if args.verify_recovery and args.kill_at is None:
+        parser.error("--verify-recovery requires --kill-at")
+    if args.kill_at is not None and not 0 < args.kill_at < args.requests:
+        parser.error("--kill-at must fall inside the stream")
+
+    sensor = None
+    if args.sensor is not None:
+        sensor = SensorFaultSpec(
+            mode=args.sensor, rate=args.sensor_rate, seed=args.seed,
+        )
+    spec = SoakSpec(
+        requests=args.requests,
+        seed=args.seed,
+        sensor=sensor,
+        fault_window=tuple(args.fault_window),
+        flap_period=args.flap_period,
+        burst_period=args.burst_period,
+        burst_size=args.burst_size,
+    )
+    config = ServeConfig(
+        queue_capacity=args.queue_capacity,
+        deadline_s=args.deadline,
+        breaker=BreakerConfig(),
+        snapshot_interval=args.snapshot_interval,
+    )
+    if args.tiny:
+        bundle = default_experts(tiny_training_config())
+    else:
+        bundle = default_experts()
+
+    import tempfile as tempfile_module
+    from pathlib import Path
+
+    def run(state_dir) -> int:
+        state_dir = Path(state_dir)
+        try:
+            if args.verify_recovery:
+                outcome = verify_recovery(
+                    spec, bundle, kill_at=args.kill_at,
+                    state_dir=state_dir / "verify", config=config,
+                )
+                report, _ = run_soak(
+                    spec, bundle, state_dir=state_dir / "soak",
+                    config=config,
+                )
+            else:
+                outcome = None
+                if args.kill_at is not None:
+                    run_soak(spec, bundle,
+                             state_dir=state_dir / "soak",
+                             config=config, kill_at=args.kill_at)
+                report, _ = run_soak(
+                    spec, bundle, state_dir=state_dir / "soak",
+                    config=config,
+                )
+        except SoakInvariantError as error:
+            print(f"SOAK FAILED: {error}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            payload = report.to_jsonable()
+            if outcome is not None:
+                payload["recovery"] = outcome
+            print(json_module.dumps(payload, indent=2))
+        else:
+            print(report.format())
+            if outcome is not None:
+                print(
+                    "recovery: killed before request "
+                    "{kill_at}, resumed at {resumed_from}, "
+                    "{compared_decisions} post-restart decisions "
+                    "bit-identical to the uninterrupted twin".format(
+                        **outcome
+                    )
+                )
+        return 0
+
+    if args.state_dir is not None:
+        return run(args.state_dir)
+    with tempfile_module.TemporaryDirectory() as tmp:
+        return run(tmp)
+
+
+def _exec_footer(before: dict) -> str:
+    """Fault-tolerance footer for one experiment's execution.
+
+    Renders the pool-rebuild and serial-fallback activity (with the
+    triggering causes) that :class:`~repro.exec.executor.ExecutionStats`
+    accumulated since ``before`` — empty when the run was clean, so
+    quiet experiments stay quiet.
+    """
+    from .exec.executor import STATS
+
+    after = STATS.snapshot()
+    parts = []
+    rebuilds = after["pool_rebuilds"] - before.get("pool_rebuilds", 0)
+    if rebuilds:
+        parts.append(f"{rebuilds} pool rebuilds")
+    fallbacks = (
+        after["serial_fallbacks"] - before.get("serial_fallbacks", 0)
+    )
+    if fallbacks:
+        causes = STATS.serial_fallback_causes[-fallbacks:]
+        note = f"{fallbacks} serial fallbacks"
+        if causes:
+            note += " (cause: " + "; ".join(causes) + ")"
+        parts.append(note)
+    if not parts:
+        return ""
+    return f"[exec: {'; '.join(parts)}]"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve-soak":
+        return serve_soak_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,7 +659,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
-             "'lint' / 'profile' subcommands",
+             "'lint' / 'profile' / 'serve-soak' subcommands",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -493,6 +716,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"registry ('repro lint --help')")
         print(f"{'profile':8s} cProfile one simulation run "
               f"('repro profile --help')")
+        print(f"{'serve-soak':8s} chaos-soak the resilient policy-serving "
+              f"runtime ('repro serve-soak --help')")
         return 0
 
     names = (
@@ -505,9 +730,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"unknown experiment {name!r}; try 'list'"
             )
         description, runner = EXPERIMENTS[name]
+        from .exec.executor import STATS
+
+        exec_before = STATS.snapshot()
         started = time.time()
         print(runner(args.quick))
-        print(f"[{name}: {description} — {time.time() - started:.1f}s]\n")
+        print(f"[{name}: {description} — {time.time() - started:.1f}s]")
+        footer = _exec_footer(exec_before)
+        if footer:
+            print(footer)
+        print()
     return 0
 
 

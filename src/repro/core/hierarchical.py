@@ -19,11 +19,16 @@ and hierarchical gates.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .selector import HyperplaneSelector, SelectorStats
+from .selector import (
+    HyperplaneSelector,
+    SelectorJournalSink,
+    SelectorStats,
+    _finite_features,
+)
 from .training import ExpertBundle
 
 
@@ -49,6 +54,8 @@ class HierarchicalSelector:
         self._dim = dim
         self._lr = learning_rate
         self._margin = margin
+        self._journal: Optional[SelectorJournalSink] = None
+        self._initial_state: Optional[dict] = None
         self.reset()
 
     def reset(self) -> None:
@@ -64,6 +71,60 @@ class HierarchicalSelector:
             for group in self._groups
         ]
         self.stats = SelectorStats()
+        if self._initial_state is not None:
+            self.load_state(self._initial_state, as_initial=False)
+
+    # -- crash-safe persistence -------------------------------------------
+
+    def attach_journal(self, sink: SelectorJournalSink) -> None:
+        """Journal at the gate level, not per sub-selector.
+
+        A replayed ``update``/``select`` on this object drives both
+        levels through the exact original code path, so one record per
+        top-level operation reconstructs every sub-selector — and the
+        sub-selectors must not journal individually or each operation
+        would be recorded twice.
+        """
+        self._journal = sink
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
+    def export_state(self) -> dict:
+        """Nested snapshot of both gate levels."""
+        return {
+            "groups": [list(group) for group in self._groups],
+            "top": self._top.export_state(),
+            "inner": [gate.export_state() for gate in self._inner],
+        }
+
+    def load_state(self, state: dict, as_initial: bool = True) -> None:
+        """Install a snapshot; with ``as_initial``, reset() returns to it."""
+        groups = [tuple(group) for group in state["groups"]]
+        if groups != self._groups:
+            raise ValueError(
+                "state group structure does not match this selector"
+            )
+        inner_states = state["inner"]
+        if len(inner_states) != len(self._inner):
+            raise ValueError("state inner-gate count mismatch")
+        self._top.load_state(state["top"], as_initial=False)
+        for gate, gate_state in zip(self._inner, inner_states):
+            gate.load_state(gate_state, as_initial=False)
+        self.stats = SelectorStats()
+        if as_initial:
+            self._initial_state = self.export_state()
+
+    def best_index(self) -> int:
+        """Expert favoured overall: best group's best member.
+
+        Derived from persisted bias terms (see
+        :meth:`HyperplaneSelector.best_index`), so the answer survives a
+        crash/restart unchanged.
+        """
+        group_index = self._top.best_index()
+        local = self._inner[group_index].best_index()
+        return self._groups[group_index][local]
 
     @property
     def num_experts(self) -> int:
@@ -74,6 +135,8 @@ class HierarchicalSelector:
         return list(self._groups)
 
     def select(self, features: np.ndarray) -> int:
+        if self._journal is not None:
+            self._journal.record_select(_finite_features(features))
         group_index = self._top.select(features)
         local = self._inner[group_index].select(features)
         choice = self._groups[group_index][local]
@@ -92,6 +155,8 @@ class HierarchicalSelector:
         # errors and silently corrupt both levels.
         if not all(math.isfinite(float(e)) for e in errors):
             return False
+        if self._journal is not None:
+            self._journal.record_update(_finite_features(features), errors)
         # Top gate: each group is as good as its best member here.
         group_errors = [
             min(errors[index] for index in group)

@@ -1,4 +1,4 @@
-"""JSON persistence for trained experts.
+"""JSON persistence for trained experts and online selector state.
 
 Trained experts are small (two 10-weight linear models plus an
 envelope), so they serialize naturally to JSON — convenient for
@@ -6,14 +6,34 @@ shipping a trained policy to another machine, versioning it, or
 inspecting the Table 1 weights outside Python.  The pickle-based disk
 cache in :mod:`repro.core.training` is an internal speed-up; this
 module is the *public* import/export format.
+
+Beyond the offline bundles, this module supplies the crash-safety
+primitives the serving runtime (:mod:`repro.serve`) builds on:
+
+* :func:`to_jsonable` — lossless conversion of selector state dicts
+  (numpy arrays included) into JSON-serialisable structures.  Python's
+  ``repr``-based float formatting round-trips IEEE-754 doubles exactly,
+  so a state written through JSON restores *bit-identical* hyperplanes;
+* :func:`payload_checksum` / :func:`dump_checked_json` /
+  :func:`load_checked_json` — checksummed, atomically-written JSON
+  documents.  A torn or corrupted file fails the checksum and raises
+  :class:`ChecksumError` instead of silently loading garbage;
+* :func:`resolve_quarantine_keep` / :func:`prune_quarantine` — bounded
+  retention for quarantine directories (corrupt snapshots, journal
+  tails, cache entries), so evidence of corruption survives for
+  post-mortem without accumulating forever.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
+import warnings
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -24,6 +44,10 @@ from .training import ExpertBundle, ScalabilityRecord, TrainingConfig
 
 #: Format version written into every file; bump on breaking changes.
 FORMAT_VERSION = 1
+
+#: Quarantined files kept per directory unless ``REPRO_QUARANTINE_KEEP``
+#: or an explicit argument overrides it.
+DEFAULT_QUARANTINE_KEEP = 8
 
 
 def _model_to_dict(model: LinearModel) -> dict:
@@ -134,3 +158,154 @@ def load_bundle(path: Union[str, Path]) -> ExpertBundle:
     """Read a bundle from a JSON file."""
     with open(path) as fh:
         return bundle_from_dict(json.load(fh))
+
+
+# -- checksummed documents (crash-safe online state) -----------------------
+
+
+class ChecksumError(ValueError):
+    """A checksummed document is torn, truncated or corrupted."""
+
+
+def to_jsonable(value):
+    """Recursively convert ``value`` into JSON-serialisable structures.
+
+    numpy arrays become (nested) lists of Python floats, numpy scalars
+    become their Python equivalents.  Floats survive the JSON round
+    trip bit-identically (``repr`` emits the shortest string that
+    parses back to the same double), which is what lets a restored
+    selector reproduce the exact hyperplanes it crashed with.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def payload_checksum(payload) -> str:
+    """Checksum of a JSON-able payload (canonical form, sha256/16).
+
+    ``allow_nan=False``: non-finite values have no canonical JSON
+    form, and nothing legitimately persisted here may contain one —
+    failing loudly at write time beats a document that cannot verify.
+    """
+    canonical = json.dumps(
+        to_jsonable(payload), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def dump_checked_json(payload, path: Union[str, Path]) -> Path:
+    """Atomically write ``payload`` with an embedded checksum.
+
+    Temp file + ``os.replace``: a crash mid-write can leave a stray
+    temp file, never a half-written document under the real name.
+    """
+    path = Path(path)
+    payload = to_jsonable(payload)
+    document = {
+        "format_version": FORMAT_VERSION,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh, allow_nan=False)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checked_json(path: Union[str, Path]):
+    """Load a checksummed document; raises :class:`ChecksumError` when
+    the file is malformed or its payload fails verification."""
+    path = Path(path)
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as error:
+        raise ChecksumError(f"{path}: unreadable ({error})") from error
+    if not isinstance(document, dict) or "payload" not in document:
+        raise ChecksumError(f"{path}: not a checksummed document")
+    expected = document.get("checksum")
+    actual = payload_checksum(document["payload"])
+    if expected != actual:
+        raise ChecksumError(
+            f"{path}: checksum mismatch "
+            f"(expected {expected!r}, computed {actual!r})"
+        )
+    return document["payload"]
+
+
+# -- quarantine retention --------------------------------------------------
+
+
+def resolve_quarantine_keep(keep: Optional[int] = None) -> int:
+    """Retention: argument > ``REPRO_QUARANTINE_KEEP`` > default (8)."""
+    if keep is not None:
+        return max(0, int(keep))
+    raw = os.environ.get("REPRO_QUARANTINE_KEEP", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_QUARANTINE_KEEP={raw!r}",
+                stacklevel=2,
+            )
+    return DEFAULT_QUARANTINE_KEEP
+
+
+def prune_quarantine(
+    directory: Union[str, Path], keep: Optional[int] = None
+) -> int:
+    """Delete all but the newest ``keep`` files in a quarantine dir.
+
+    Quarantined files exist for post-mortem, not as an archive; without
+    retention a recurring corruption source grows the directory
+    forever.  Newest-first by mtime (ties broken by name so the order
+    is total); returns the number of files removed.  Failures are
+    silent — retention is best-effort housekeeping and must never turn
+    a quarantine into an error.
+    """
+    directory = Path(directory)
+    keep = resolve_quarantine_keep(keep)
+    try:
+        entries = [p for p in directory.iterdir() if p.is_file()]
+    except OSError:
+        return 0
+    if len(entries) <= keep:
+        return 0
+
+    def age_key(path: Path):
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        # Quarantine names carry serial counters / byte offsets, so on
+        # an mtime tie the higher name is the newer file.
+        return (mtime, path.name)
+
+    removed = 0
+    for stale in sorted(entries, key=age_key, reverse=True)[keep:]:
+        try:
+            stale.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -26,6 +26,19 @@ from ..expert import Expert
 from ..features import NUM_FEATURES, sanitize_features
 from ..selector import ExpertSelector, HyperplaneSelector
 from .base import PolicyContext, ThreadPolicy
+
+
+class MixtureJournalSink(Protocol):
+    """Receives mixture-level state transitions the selector can't see.
+
+    Discarding a pending prediction (non-finite observation, degenerate
+    features) mutates no selector state, yet it changes what the *next*
+    request will learn from — so crash recovery has to replay it.  The
+    serving runtime records it alongside the selector operations.
+    """
+
+    def record_clear(self) -> None:
+        ...
 
 
 @dataclass(frozen=True)
@@ -83,6 +96,8 @@ class MixturePolicy(ThreadPolicy):
         #: back to the safe default thread count (surfaced as
         #: ``RunSummary.policy_fallbacks``).
         self.fallback_count = 0
+        #: Optional crash-safety sink (see :class:`MixtureJournalSink`).
+        self.journal: Optional[MixtureJournalSink] = None
 
     @property
     def selector(self) -> ExpertSelector:
@@ -94,6 +109,80 @@ class MixturePolicy(ThreadPolicy):
         self._pending = None
         self.fallback_count = 0
 
+    def _discard_pending(self) -> None:
+        """Drop the pending prediction, journaling the drop if it was
+        real (a no-op drop changes nothing and needs no record)."""
+        if self._pending is not None and self.journal is not None:
+            self.journal.record_clear()
+        self._pending = None
+
+    # -- crash-safe online state ------------------------------------------
+
+    def clear_pending(self) -> None:
+        """Replay hook: drop the pending prediction (no journaling —
+        replay must not re-record what is being replayed)."""
+        self._pending = None
+
+    def restore_pending(self, features: np.ndarray) -> None:
+        """Replay hook: reinstate the pending prediction for ``features``.
+
+        The per-expert predicted norms are a pure function of the
+        (frozen) experts and the features, so they are recomputed rather
+        than persisted.  ``decision_index=-1`` marks that the matching
+        :class:`ExpertDecision` predates this process's decision log and
+        must not be rewritten when the prediction is scored.
+        """
+        features = np.asarray(features, dtype=float)
+        self._pending = _Pending(
+            features=features,
+            predicted_norms=tuple(
+                e.predict_env_norm(features) for e in self.experts
+            ),
+            decision_index=-1,
+        )
+
+    def export_online_state(self) -> dict:
+        """Snapshot of everything online learning has accumulated."""
+        export = getattr(self._selector, "export_state", None)
+        if export is None:
+            raise TypeError(
+                f"selector {type(self._selector).__name__} does not "
+                "support state export"
+            )
+        return {
+            "selector": export(),
+            "pending_features": (
+                None if self._pending is None
+                else [float(v) for v in self._pending.features]
+            ),
+            "fallback_count": self.fallback_count,
+        }
+
+    def load_online_state(self, state: dict) -> None:
+        """Restore a :meth:`export_online_state` snapshot."""
+        self._selector.load_state(state["selector"], as_initial=False)
+        pending = state.get("pending_features")
+        if pending is None:
+            self._pending = None
+        else:
+            self.restore_pending(np.asarray(pending, dtype=float))
+        self.fallback_count = int(state.get("fallback_count", 0))
+        self.decisions = []
+
+    def best_expert_index(self) -> int:
+        """The single expert to fall back on when the mixture is
+        distrusted (the serving runtime's tier-1 degradation target).
+
+        Prefers the selector's persisted notion of its favourite expert
+        (stable across crash recovery); a selector without one falls
+        back to this run's selection counts.
+        """
+        best = getattr(self._selector, "best_index", None)
+        if best is not None:
+            return int(best())
+        counts = self.selection_counts()
+        return max(range(len(counts)), key=counts.__getitem__)
+
     def select(self, ctx: PolicyContext) -> int:
         features, degenerate = sanitize_features(ctx.feature_vector())
         observed_norm = ctx.env.norm
@@ -102,7 +191,7 @@ class MixturePolicy(ThreadPolicy):
             # pending predictions rather than learn from garbage (the
             # paper's last-timestep-only protocol makes this a plain
             # skip, not a backlog).
-            self._pending = None
+            self._discard_pending()
 
         # 1. Score last timestep's predictions and train the selector.
         # Errors combine environment-prediction accuracy with how far
@@ -123,16 +212,21 @@ class MixturePolicy(ThreadPolicy):
                 )
             ]
             self._selector.update(self._pending.features, errors)
-            old = self.decisions[self._pending.decision_index]
-            self.decisions[self._pending.decision_index] = ExpertDecision(
-                time=old.time,
-                loop_name=old.loop_name,
-                expert_index=old.expert_index,
-                threads=old.threads,
-                predicted_norms=old.predicted_norms,
-                predicted_threads=old.predicted_threads,
-                observed_next_norm=observed_norm,
-            )
+            index = self._pending.decision_index
+            # A pending restored from crash recovery points at a
+            # decision made before the restart (index -1): the learning
+            # above still happens, only the log rewrite is skipped.
+            if index >= 0:
+                old = self.decisions[index]
+                self.decisions[index] = ExpertDecision(
+                    time=old.time,
+                    loop_name=old.loop_name,
+                    expert_index=old.expert_index,
+                    threads=old.threads,
+                    predicted_norms=old.predicted_norms,
+                    predicted_threads=old.predicted_threads,
+                    observed_next_norm=observed_norm,
+                )
 
         if degenerate:
             # Safe fallback (see docs/robustness.md): with corrupted
@@ -141,7 +235,7 @@ class MixturePolicy(ThreadPolicy):
             # learn nothing, and leave no pending prediction to score
             # against the next (possibly also corrupt) observation.
             self.fallback_count += 1
-            self._pending = None
+            self._discard_pending()
             return ctx.clamp(ctx.available_processors)
 
         # 2. Select the expert for the current state.

@@ -60,6 +60,26 @@ class ExpertSelector(Protocol):
         ...
 
 
+class SelectorJournalSink(Protocol):
+    """Receives every state-mutating selector operation, in order.
+
+    The serving runtime (:mod:`repro.serve`) attaches a sink that
+    appends these operations to a write-ahead journal; replaying them
+    through the selector's real ``update``/``select`` methods restores
+    bit-identical state after a crash.  Only *sanitized* inputs are
+    recorded — what the selector actually consumed — so a replay never
+    re-runs input validation differently than the original call did.
+    """
+
+    def record_update(
+        self, features: np.ndarray, errors: Sequence[float]
+    ) -> None:
+        ...
+
+    def record_select(self, features: np.ndarray) -> None:
+        ...
+
+
 class _RunningNormalizer:
     """Online per-dimension z-normalisation (Welford)."""
 
@@ -147,7 +167,19 @@ class HyperplaneSelector:
         self._dim = dim
         self._lr = learning_rate
         self._margin = margin
+        self._journal: Optional[SelectorJournalSink] = None
         self.reset()
+
+    def attach_journal(self, sink: SelectorJournalSink) -> None:
+        """Mirror every state-mutating operation into ``sink``.
+
+        Attach *after* any snapshot restore / journal replay, or the
+        replayed operations would be journaled a second time.
+        """
+        self._journal = sink
+
+    def detach_journal(self) -> None:
+        self._journal = None
 
     def reset(self) -> None:
         """Return to the initial partition (even, or a pre-seeded one)."""
@@ -165,7 +197,13 @@ class HyperplaneSelector:
     # -- state snapshot (for offline pre-seeding) --------------------------
 
     def export_state(self) -> dict:
-        """Serializable snapshot of the learned partition."""
+        """Serializable snapshot of the learned partition.
+
+        Includes the round-robin tie-breaker counter: two selectors
+        with identical hyperplanes but different tie-breaker phases
+        diverge on the very next tied selection, so bit-identical
+        crash recovery has to carry it.
+        """
         norm = self._normalizer
         return {
             "V": self._V.copy(),
@@ -173,6 +211,7 @@ class HyperplaneSelector:
             "norm_count": norm._count,
             "norm_mean": norm._mean.copy(),
             "norm_m2": norm._m2.copy(),
+            "tie_breaker": self._tie_breaker,
         }
 
     def load_state(self, state: dict, as_initial: bool = True) -> None:
@@ -191,7 +230,9 @@ class HyperplaneSelector:
         normalizer._mean = np.array(state["norm_mean"], dtype=float)
         normalizer._m2 = np.array(state["norm_m2"], dtype=float)
         self._normalizer = normalizer
-        self._tie_breaker = 0
+        # Pre-serve snapshots (older states) carry no tie-breaker; a
+        # fresh phase is correct for those, required for crash recovery.
+        self._tie_breaker = int(state.get("tie_breaker", 0))
         self.stats = SelectorStats()
         if as_initial:
             self._initial_state = {
@@ -200,7 +241,19 @@ class HyperplaneSelector:
                 "norm_count": normalizer._count,
                 "norm_mean": normalizer._mean.copy(),
                 "norm_m2": normalizer._m2.copy(),
+                "tie_breaker": self._tie_breaker,
             }
+
+    def best_index(self) -> int:
+        """Expert favoured by the learned partition overall.
+
+        The bias term accumulates +lr for every point pulled toward an
+        expert and -lr for every push away, so its argmax is the expert
+        the online feedback has favoured most — and unlike selection
+        counts it is part of persisted state, so the answer is stable
+        across a crash/restart.  Ties resolve to the lowest index.
+        """
+        return int(np.argmax(self._b))
 
     @property
     def num_experts(self) -> int:
@@ -227,6 +280,8 @@ class HyperplaneSelector:
 
     def select(self, features: np.ndarray) -> int:
         features = _finite_features(features)
+        if self._journal is not None:
+            self._journal.record_select(features)
         x = self._normalizer.normalize(features)
         choice = self._choose(x)
         self.stats.selections.append(choice)
@@ -251,6 +306,11 @@ class HyperplaneSelector:
         if not all(math.isfinite(float(e)) for e in errors):
             return False
         features = _finite_features(features)
+        # Journal before mutating: a crash after the record is written
+        # but before the mutation lands replays the op on restart, which
+        # reproduces exactly the state this call was about to produce.
+        if self._journal is not None:
+            self._journal.record_update(features, errors)
         self._normalizer.observe(features)
         x = self._normalizer.normalize(features)
         predicted = self._choose(x)
@@ -285,6 +345,8 @@ class FrozenEvenSelector(HyperplaneSelector):
         if not all(math.isfinite(float(e)) for e in errors):
             return False
         features = _finite_features(features)
+        if self._journal is not None:
+            self._journal.record_update(features, errors)
         self._normalizer.observe(features)
         x = self._normalizer.normalize(features)
         predicted = self._choose(x)

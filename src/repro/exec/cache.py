@@ -27,6 +27,7 @@ import warnings
 from pathlib import Path
 from typing import Optional
 
+from ..core.persistence import prune_quarantine
 from .request import RunSummary
 
 #: On-disk entry format version; bump to orphan all existing entries.
@@ -127,6 +128,10 @@ class RunCache:
             self._discard(path)
             return
         self.quarantined += 1
+        # Post-mortem evidence, not an archive: a recurring corruption
+        # source (bad disk, version skew) must not grow this directory
+        # without bound.
+        prune_quarantine(self.quarantine_dir())
         if not self._warned_quarantine:
             self._warned_quarantine = True
             warnings.warn(

@@ -100,6 +100,10 @@ class ExecutionStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     serial_fallbacks: int = 0
+    #: Cause of each serial fallback, in order.  Kept out of
+    #: :meth:`snapshot` deliberately: the benchmark timing harness
+    #: takes numeric deltas of the snapshot keys.
+    serial_fallback_causes: list = field(default_factory=list)
 
     def snapshot(self) -> dict:
         return {
@@ -365,7 +369,9 @@ class Executor:
     ) -> None:
         self._warn_serial(reason, cause)
         STATS.serial_fallbacks += 1
+        STATS.serial_fallback_causes.append(reason)
         report.serial_fallbacks += 1
+        report.serial_fallback_causes.append(reason)
         self._run_serial(requests, pending, fingerprints, results, report)
 
     def _pump_pool(

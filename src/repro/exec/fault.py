@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..core.persistence import prune_quarantine
 from .request import RunSummary
 
 #: On-disk checkpoint format version; bump to orphan old checkpoints.
@@ -214,6 +215,9 @@ class FailureReport:
     requests: List[RequestReport] = field(default_factory=list)
     pool_rebuilds: int = 0
     serial_fallbacks: int = 0
+    #: Human-readable cause of each serial fallback (mirrors
+    #: :attr:`SerialFallbackWarning.cause`), in occurrence order.
+    serial_fallback_causes: List[str] = field(default_factory=list)
     timeouts: int = 0
     quarantined: int = 0
 
@@ -257,7 +261,13 @@ class FailureReport:
         if self.pool_rebuilds:
             parts.append(f"{self.pool_rebuilds} pool rebuilds")
         if self.serial_fallbacks:
-            parts.append(f"{self.serial_fallbacks} serial fallbacks")
+            note = f"{self.serial_fallbacks} serial fallbacks"
+            if self.serial_fallback_causes:
+                note += (
+                    " (cause: "
+                    + "; ".join(self.serial_fallback_causes) + ")"
+                )
+            parts.append(note)
         if self.quarantined:
             parts.append(f"{self.quarantined} cache quarantines")
         if self.failures:
@@ -350,11 +360,27 @@ class Checkpoint:
         return len(self._entries)
 
     def _move_aside(self) -> None:
-        target = self.path.with_suffix(self.path.suffix + ".corrupt")
+        """Quarantine the corrupt checkpoint with bounded retention.
+
+        Each corrupt file gets a distinct name (the previous behaviour
+        overwrote a single ``.corrupt`` file, destroying the evidence
+        of repeated corruption), and the quarantine directory is pruned
+        to the newest ``REPRO_QUARANTINE_KEEP`` files so a recurring
+        corruption source cannot grow it without bound.
+        """
+        quarantine = self.path.parent / (self.path.name + ".quarantine")
         try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            serial = 0
+            while True:
+                target = quarantine / f"corrupt-{serial:04d}"
+                if not target.exists():
+                    break
+                serial += 1
             os.replace(self.path, target)
         except OSError:
             return
+        prune_quarantine(quarantine)
         warnings.warn(
             f"repro.exec: corrupt checkpoint moved aside to {target}; "
             f"starting fresh",

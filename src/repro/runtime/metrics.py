@@ -2,11 +2,16 @@
 
 The paper reports speedups over the OpenMP-default baseline and averages
 with the harmonic mean "to avoid outliers" (Section 7).
+
+The serving runtime (:mod:`repro.serve`) adds a latency dimension:
+:func:`percentile` and :class:`LatencyLedger` track per-decision
+wall-clock cost, because a mapping decision that arrives after the
+parallel region has already started is worthless however good it is.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def harmonic_mean(values: Sequence[float]) -> float:
@@ -41,6 +46,70 @@ def median(values: Sequence[float]) -> float:
     if len(ordered) % 2:
         return ordered[mid]
     return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]).
+
+    Nearest-rank rather than interpolation: a reported p99 is then an
+    actually-observed latency, not a synthetic value between two
+    samples.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float fuzz
+    return ordered[int(rank) - 1]
+
+
+class LatencyLedger:
+    """Per-decision latency bookkeeping for the serving runtime.
+
+    Samples are kept raw (one float per decision) — a soak run is at
+    most a few hundred thousand requests, and raw samples make the
+    nearest-rank percentiles exact instead of bucketed.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def p50(self) -> float:
+        return percentile(self._samples, 50.0) if self._samples else 0.0
+
+    def p99(self) -> float:
+        return percentile(self._samples, 99.0) if self._samples else 0.0
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict for reports (all values in seconds)."""
+        return {
+            "count": float(self.count),
+            "p50": self.p50(),
+            "p99": self.p99(),
+            "mean": self.mean(),
+            "max": self.max(),
+        }
+
+    def clear(self) -> None:
+        self._samples = []
 
 
 def speedup(baseline_time: float, policy_time: float) -> float:

@@ -1,0 +1,69 @@
+"""Resilient policy serving: the runtime the mapper would ship inside.
+
+The paper's mixture-of-experts mapper is consulted at every parallel-
+region entry of a long-lived process; this package wraps any
+:class:`~repro.core.policies.base.ThreadPolicy` behind the supervised
+decision loop such a deployment needs:
+
+* :mod:`repro.serve.server` — admission with explicit shedding,
+  per-decision deadlines with a p50/p99 latency ledger, and an answer
+  for every admitted request;
+* :mod:`repro.serve.breaker` — a request-counted circuit breaker
+  walking the degradation ladder mixture → best single expert →
+  OpenMP default, with half-open probing back up;
+* :mod:`repro.serve.journal` — a write-ahead journal of selector
+  operations plus checksummed snapshots, so a restart resumes online
+  learning with bit-identical state;
+* :mod:`repro.serve.soak` — the chaos-composed soak harness behind
+  ``repro serve-soak``, including the kill/restart lossless-recovery
+  verifier.
+
+See the "Serving failure model" section of ``docs/robustness.md``.
+"""
+
+from .breaker import BreakerConfig, CircuitBreaker
+from .journal import (
+    SelectorJournal,
+    ServeStateStore,
+    SnapshotStore,
+)
+from .report import ServeReport
+from .server import (
+    PolicyServer,
+    ServeConfig,
+    ServeDecision,
+    ServeRequest,
+    TierFailure,
+)
+from .soak import (
+    SoakInvariantError,
+    SoakSpec,
+    build_policy,
+    make_request,
+    request_batches,
+    run_soak,
+    tiny_training_config,
+    verify_recovery,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "PolicyServer",
+    "SelectorJournal",
+    "ServeConfig",
+    "ServeDecision",
+    "ServeReport",
+    "ServeRequest",
+    "ServeStateStore",
+    "SnapshotStore",
+    "SoakInvariantError",
+    "SoakSpec",
+    "TierFailure",
+    "build_policy",
+    "make_request",
+    "request_batches",
+    "run_soak",
+    "tiny_training_config",
+    "verify_recovery",
+]

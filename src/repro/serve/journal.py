@@ -1,0 +1,346 @@
+"""Crash-safe online-learning state: write-ahead journal + snapshots.
+
+The serving runtime's durability story has two layers, both built on
+the checksummed-document primitives in :mod:`repro.core.persistence`:
+
+* a **journal** (:class:`SelectorJournal`) — one JSON line per served
+  request, carrying the selector/mixture operations that request
+  performed (captured by an :class:`_OpBuffer` attached through
+  :meth:`~repro.core.selector.HyperplaneSelector.attach_journal`) plus
+  the circuit breaker's compact state.  Each line embeds a checksum; a
+  torn tail (the classic crash artifact) is detected, quarantined for
+  post-mortem, and truncated away;
+* periodic **snapshots** (:class:`SnapshotStore`) — checksummed,
+  atomically-written documents of the full online state.  A corrupt
+  snapshot is quarantined and recovery falls back to the previous one.
+
+Recovery = newest good snapshot + replay of journal records with a
+higher request index, driven through the selector's *real*
+``update``/``select`` methods — so the restored hyperplanes, running
+normalizer, and tie-breaker phase are bit-identical to the state at the
+moment of the crash (see ``tests/serve/test_crash_recovery.py``).
+
+Durability model: records are flushed to the OS on every commit, so
+state survives any *process* death (kill -9, unhandled exception, OOM).
+Surviving power loss would additionally need an fsync per record, which
+costs more per decision than the decision itself; a mapping runtime
+restarted after power loss retrains cheaply from the last snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.persistence import (
+    ChecksumError,
+    dump_checked_json,
+    load_checked_json,
+    payload_checksum,
+    prune_quarantine,
+)
+
+#: Snapshots retained on disk.  Two, not one: the newest may be the
+#: crash victim, and then its predecessor is the recovery point.
+SNAPSHOTS_KEPT = 2
+
+
+class _OpBuffer:
+    """Collects one request's state-mutating operations, in order.
+
+    Implements both sink protocols
+    (:class:`~repro.core.selector.SelectorJournalSink` and
+    :class:`~repro.core.policies.mixture.MixtureJournalSink`); the
+    server drains it into one journal record per request.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[list] = []
+
+    def record_update(self, features, errors) -> None:
+        self.ops.append([
+            "update",
+            [float(v) for v in np.asarray(features, dtype=float)],
+            [float(e) for e in errors],
+        ])
+
+    def record_select(self, features) -> None:
+        self.ops.append([
+            "select",
+            [float(v) for v in np.asarray(features, dtype=float)],
+        ])
+
+    def record_clear(self) -> None:
+        self.ops.append(["clear"])
+
+    def drain(self) -> List[list]:
+        ops, self.ops = self.ops, []
+        return ops
+
+
+class SelectorJournal:
+    """Append-only, per-record-checksummed journal of served requests.
+
+    One line per record: ``{"req": k, "ops": [...], "extra": {...},
+    "crc": "..."}`` where ``crc`` covers everything else.  Lines are
+    written whole and flushed; a crash can therefore only damage the
+    final line, which :meth:`replay` detects, quarantines and truncates.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+        self.records_written = 0
+        self.tails_quarantined = 0
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, req: int, ops: Sequence[list],
+               extra: Optional[dict] = None) -> None:
+        record = {"req": int(req), "ops": list(ops),
+                  "extra": extra or {}}
+        record["crc"] = payload_checksum(
+            {"req": record["req"], "ops": record["ops"],
+             "extra": record["extra"]}
+        )
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, allow_nan=False) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def truncate(self) -> None:
+        """Empty the journal (its contents are covered by a snapshot)."""
+        self.close()
+        with open(self.path, "w"):
+            pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- reading ----------------------------------------------------------
+
+    def _quarantine_tail(self, good_bytes: int) -> None:
+        """Move the undecodable tail aside and truncate to the good
+        prefix, so the next append continues a clean journal."""
+        quarantine = self.path.parent / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "rb") as fh:
+            fh.seek(good_bytes)
+            tail = fh.read()
+        target = quarantine / f"{self.path.name}.tail-{good_bytes}"
+        with open(target, "wb") as fh:
+            fh.write(tail)
+        with open(self.path, "rb+") as fh:
+            fh.truncate(good_bytes)
+        self.tails_quarantined += 1
+        prune_quarantine(quarantine)
+
+    def replay(self, after_req: int = -1) -> Iterator[Tuple[int, list, dict]]:
+        """Yield ``(req, ops, extra)`` for good records with
+        ``req > after_req``; stops at (and repairs) a torn tail.
+
+        Materialised eagerly so the tail repair happens even if the
+        caller stops consuming early.
+        """
+        if not self.path.exists():
+            return iter(())
+        records: List[Tuple[int, list, dict]] = []
+        good_bytes = 0
+        damaged = False
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                try:
+                    line = raw.decode("utf-8")
+                    record = json.loads(line)
+                    payload = {"req": record["req"], "ops": record["ops"],
+                               "extra": record.get("extra", {})}
+                    if record.get("crc") != payload_checksum(payload):
+                        raise ValueError("crc mismatch")
+                except (KeyError, TypeError, ValueError,
+                        UnicodeDecodeError):
+                    damaged = True
+                    break
+                good_bytes += len(raw)
+                if payload["req"] > after_req:
+                    records.append((payload["req"], payload["ops"],
+                                    payload["extra"]))
+        if damaged:
+            self._quarantine_tail(good_bytes)
+        return iter(records)
+
+
+class SnapshotStore:
+    """Checksummed full-state snapshots with bounded retention.
+
+    Snapshot files are named by request index
+    (``snapshot-<req>.json``), written atomically; the newest
+    :data:`SNAPSHOTS_KEPT` are retained.  :meth:`load_latest` verifies
+    checksums newest-first, quarantining any corrupt snapshot and
+    falling back to its predecessor.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshots_written = 0
+        self.snapshots_quarantined = 0
+
+    def _snapshot_paths(self) -> List[Path]:
+        return sorted(self.directory.glob("snapshot-*.json"), reverse=True)
+
+    def save(self, req: int, state: dict) -> Path:
+        path = self.directory / f"snapshot-{req:012d}.json"
+        dump_checked_json({"req": int(req), "state": state}, path)
+        self.snapshots_written += 1
+        for stale in self._snapshot_paths()[SNAPSHOTS_KEPT:]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        return path
+
+    def _quarantine(self, path: Path) -> None:
+        quarantine = self.directory / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            return
+        self.snapshots_quarantined += 1
+        prune_quarantine(quarantine)
+
+    def load_latest(self) -> Optional[Tuple[int, dict]]:
+        """Newest verifiable snapshot as ``(req, state)``, or None."""
+        for path in self._snapshot_paths():
+            try:
+                payload = load_checked_json(path)
+                return int(payload["req"]), payload["state"]
+            except (ChecksumError, KeyError, TypeError, ValueError):
+                self._quarantine(path)
+        return None
+
+
+class ServeStateStore:
+    """Everything the server needs to forget nothing across a crash.
+
+    Composes the op buffer, journal and snapshot store around one
+    :class:`~repro.core.policies.mixture.MixturePolicy`:
+
+    * :meth:`recover` — restore policy state (snapshot + journal
+      replay) *before* journaling is attached, returning the index of
+      the next request to serve and any persisted extra state;
+    * :meth:`attach` — wire the op buffer into the selector and the
+      mixture, from which point every mutation is captured;
+    * :meth:`commit` — one journal record per served request (written
+      even when no ops happened, so the resume point and extra state
+      always advance);
+    * :meth:`maybe_snapshot` — every ``snapshot_interval`` requests,
+      write a full snapshot and truncate the journal it covers.
+    """
+
+    def __init__(self, directory: Union[str, Path], policy,
+                 snapshot_interval: int = 256):
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        self.directory = Path(directory)
+        self.policy = policy
+        self.snapshot_interval = snapshot_interval
+        self.journal = SelectorJournal(self.directory / "journal.jsonl")
+        self.snapshots = SnapshotStore(self.directory)
+        self._buffer = _OpBuffer()
+        self.recovered_req = -1
+        self.replayed_records = 0
+
+    # -- recovery ---------------------------------------------------------
+
+    def _apply_ops(self, ops: Sequence[list]) -> None:
+        selector = self.policy.selector
+        for op in ops:
+            kind = op[0]
+            if kind == "update":
+                selector.update(np.asarray(op[1], dtype=float), op[2])
+            elif kind == "select":
+                features = np.asarray(op[1], dtype=float)
+                selector.select(features)
+                # mixture.select() pairs every selector consult with a
+                # fresh pending prediction for the same features.
+                self.policy.restore_pending(features)
+            elif kind == "clear":
+                self.policy.clear_pending()
+            else:
+                raise ChecksumError(
+                    f"journal contains unknown op {kind!r}"
+                )
+
+    def recover(self) -> Tuple[int, dict]:
+        """Restore the policy; returns ``(next_req, extra_state)``.
+
+        Must run before :meth:`attach` — replayed operations would
+        otherwise be journaled a second time.
+        """
+        last_req = -1
+        extra: dict = {}
+        snapshot = self.snapshots.load_latest()
+        if snapshot is not None:
+            last_req, state = snapshot
+            self.policy.load_online_state(state["policy"])
+            extra = state.get("extra", {})
+        for req, ops, record_extra in self.journal.replay(last_req):
+            self._apply_ops(ops)
+            last_req = req
+            extra = record_extra
+            self.replayed_records += 1
+        self.recovered_req = last_req
+        return last_req + 1, extra
+
+    # -- steady state -----------------------------------------------------
+
+    def attach(self) -> None:
+        self.policy.selector.attach_journal(self._buffer)
+        self.policy.journal = self._buffer
+
+    def detach(self) -> None:
+        self.policy.selector.detach_journal()
+        self.policy.journal = None
+
+    def commit(self, req: int, extra: Optional[dict] = None) -> None:
+        self.journal.append(req, self._buffer.drain(), extra)
+
+    def maybe_snapshot(self, req: int,
+                       extra: Optional[dict] = None) -> bool:
+        if (req + 1) % self.snapshot_interval != 0:
+            return False
+        self.snapshot(req, extra)
+        return True
+
+    def snapshot(self, req: int, extra: Optional[dict] = None) -> None:
+        state = {
+            "policy": self.policy.export_online_state(),
+            "extra": extra or {},
+        }
+        # Snapshot first, then truncate: a crash in between leaves the
+        # snapshot plus a journal whose records it already covers —
+        # replay filters them out by request index.
+        self.snapshots.save(req, state)
+        self.journal.truncate()
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def stats(self) -> dict:
+        return {
+            "journal_records": self.journal.records_written,
+            "journal_tails_quarantined": self.journal.tails_quarantined,
+            "snapshots_written": self.snapshots.snapshots_written,
+            "snapshots_quarantined": self.snapshots.snapshots_quarantined,
+            "replayed_records": self.replayed_records,
+            "recovered_req": self.recovered_req,
+        }

@@ -1,0 +1,119 @@
+"""Structured outcome of a serving session.
+
+Everything the soak harness asserts on — and everything an operator
+would want after an incident — in one plain-data object: admission
+(answered/shed/deadline-missed counts), degradation (per-tier decision
+counts, every ladder transition), latency (p50/p99/mean/max), and the
+crash-safety machinery's bookkeeping (journal records, snapshots,
+quarantines, recovery point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..runtime.tracing import TierTransition
+
+
+@dataclass
+class ServeReport:
+    """Summary of one :class:`~repro.serve.server.PolicyServer` session."""
+
+    total: int = 0
+    answered: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    #: Decisions the final guard had to clamp into [1, available].
+    clamped: int = 0
+    #: Failure counts by reason ("exception", "non-finite",
+    #: "out-of-range", "degenerate-features", "deadline") across all
+    #: tier attempts.
+    failures: Dict[str, int] = field(default_factory=dict)
+    #: Answered decisions by serving tier name.
+    tier_decisions: Dict[str, int] = field(default_factory=dict)
+    transitions: List[TierTransition] = field(default_factory=list)
+    trips: int = 0
+    recoveries: int = 0
+    probe_failures: int = 0
+    final_tier: str = ""
+    #: Latency snapshot (seconds): count/p50/p99/mean/max.
+    latency: Dict[str, float] = field(default_factory=dict)
+    #: Journal/snapshot bookkeeping (empty when serving stateless).
+    journal: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def unanswered(self) -> int:
+        return self.total - self.answered - self.shed
+
+    def to_jsonable(self) -> dict:
+        return {
+            "total": self.total,
+            "answered": self.answered,
+            "shed": self.shed,
+            "deadline_misses": self.deadline_misses,
+            "clamped": self.clamped,
+            "failures": dict(self.failures),
+            "tier_decisions": dict(self.tier_decisions),
+            "transitions": [
+                {
+                    "request_index": t.request_index,
+                    "from_tier": t.from_tier,
+                    "to_tier": t.to_tier,
+                    "reason": t.reason,
+                }
+                for t in self.transitions
+            ],
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "probe_failures": self.probe_failures,
+            "final_tier": self.final_tier,
+            "latency": dict(self.latency),
+            "journal": dict(self.journal),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"requests: {self.total} "
+            f"(answered {self.answered}, shed {self.shed}, "
+            f"deadline misses {self.deadline_misses})",
+        ]
+        if self.tier_decisions:
+            tiers = ", ".join(
+                f"{name}={count}"
+                for name, count in self.tier_decisions.items()
+            )
+            lines.append(f"decisions by tier: {tiers}")
+        lines.append(
+            f"ladder: {self.trips} trips, {self.recoveries} recoveries, "
+            f"{self.probe_failures} failed probes; "
+            f"final tier: {self.final_tier or '-'}"
+        )
+        if self.failures:
+            fails = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.failures.items())
+            )
+            lines.append(f"tier failures: {fails}")
+        if self.clamped:
+            lines.append(f"clamped decisions: {self.clamped}")
+        if self.latency:
+            lines.append(
+                "latency: p50 {p50:.1f}us, p99 {p99:.1f}us, "
+                "max {max:.1f}us".format(
+                    p50=self.latency.get("p50", 0.0) * 1e6,
+                    p99=self.latency.get("p99", 0.0) * 1e6,
+                    max=self.latency.get("max", 0.0) * 1e6,
+                )
+            )
+        if self.journal:
+            lines.append(
+                "journal: {journal_records} records, "
+                "{snapshots_written} snapshots, "
+                "{replayed_records} replayed "
+                "(resumed after request {recovered_req})".format(
+                    **self.journal
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,347 @@
+"""Soak harness: drive the server through composed chaos, then assert.
+
+The harness synthesizes a long request stream — bursty arrivals,
+flapping processor availability, a window of sensor faults — and runs a
+:class:`~repro.serve.server.PolicyServer` over it, checking the
+invariants the serving contract promises:
+
+* no unhandled exception escapes the decision loop;
+* every request is answered or explicitly shed, nothing vanishes;
+* every answered thread count lies in ``[1, available]`` for that
+  request's availability;
+* after a mid-run kill, a restarted server resumes from its journal
+  and snapshot with *bit-identical* learning state (verified against
+  an uninterrupted twin run).
+
+Everything about the stream is a pure function of ``(spec, index)`` —
+environment values, burst boundaries, availability, and sensor
+corruption (via the stateless
+:func:`~repro.chaos.sensors.corrupt_sample`) — so the stream a
+restarted server sees from request ``k`` onward is exactly the stream
+the dead server would have seen.  That property is what makes the
+kill/restart comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..chaos.availability import AvailabilityFlap
+from ..chaos.sensors import SensorFaultSpec, corrupt_sample
+from ..compiler.features import CodeFeatures
+from ..core.features import NUM_FEATURES
+from ..core.policies.base import PolicyContext
+from ..core.policies.mixture import MixturePolicy
+from ..core.selector import HyperplaneSelector
+from ..core.training import ExpertBundle, TrainingConfig
+from ..machine.availability import StaticAvailability
+from ..sched.stats import EnvironmentSample
+from .report import ServeReport
+from .server import (
+    PolicyServer,
+    ServeConfig,
+    ServeDecision,
+    ServeRequest,
+)
+
+#: Simulated seconds between consecutive request indices.
+REQUEST_DT = 0.25
+
+#: Synthetic parallel regions the stream cycles through (name, code
+#: features) — a few distinct loops so the feature space has structure.
+_LOOPS: Tuple[Tuple[str, CodeFeatures], ...] = (
+    ("stream_triad", CodeFeatures(0.42, 0.31, 0.02)),
+    ("stencil", CodeFeatures(0.18, 0.44, 0.09)),
+    ("reduction", CodeFeatures(0.07, 0.22, 0.15)),
+    ("spmv", CodeFeatures(0.33, 0.27, 0.05)),
+)
+
+
+def tiny_training_config() -> TrainingConfig:
+    """The miniature training configuration used by ``--tiny`` soaks.
+
+    Mirrors the test suite's tiny fixture: two targets, one
+    single-program workload, shallow sweeps — trains in seconds and is
+    disk-cached by the training pipeline.
+    """
+    return TrainingConfig(
+        target_names=("cg", "ep"),
+        workload_names=("is",),
+        workload_bundles=((), ("is", "ft")),
+        workload_fractions=(0.5,),
+        availability_levels=(0.5, 1.0),
+        iterations_scale=0.05,
+        max_samples_per_run=6,
+    )
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """Deterministic description of one soak run's request stream."""
+
+    requests: int = 10_000
+    seed: int = 0
+    #: Machine size and per-decision thread ceiling.
+    processors: int = 16
+    max_threads: int = 32
+    #: Availability flapping (None = static full machine).
+    flap_period: float = 40.0
+    flap_fraction: float = 0.5
+    #: Sensor faults, active only inside the fault window (fractions of
+    #: the stream, so the ladder can degrade *and* recover).
+    sensor: Optional[SensorFaultSpec] = None
+    fault_window: Tuple[float, float] = (0.3, 0.6)
+    #: Every ``burst_period``-th index arrives in a batch of
+    #: ``burst_size`` requests (storm arrivals exercising admission).
+    burst_period: int = 97
+    burst_size: int = 12
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.processors < 1 or self.max_threads < 1:
+            raise ValueError("processors/max_threads must be >= 1")
+        low, high = self.fault_window
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError("fault_window must satisfy 0 <= lo <= hi <= 1")
+        if self.burst_period < 1 or self.burst_size < 1:
+            raise ValueError("burst_period/burst_size must be >= 1")
+        if self.burst_size > self.burst_period:
+            raise ValueError("bursts may not overlap "
+                             "(burst_size > burst_period)")
+
+    def availability(self) -> AvailabilityFlap:
+        return AvailabilityFlap(
+            base=StaticAvailability(self.processors),
+            period=self.flap_period,
+            surviving_fraction=self.flap_fraction,
+            duty=0.4,
+        )
+
+    def fault_active(self, index: int) -> bool:
+        low, high = self.fault_window
+        return low * self.requests <= index < high * self.requests
+
+
+def _clean_env(spec: SoakSpec, index: int,
+               available: int) -> EnvironmentSample:
+    """The uncorrupted environment sample for one request index."""
+    rng = np.random.default_rng([spec.seed, index, 1])
+    workload = float(rng.uniform(0.0, spec.processors / 2))
+    return EnvironmentSample(
+        time=index * REQUEST_DT,
+        workload_threads=workload,
+        processors=float(available),
+        runq_sz=float(rng.uniform(0.0, spec.processors / 4)),
+        ldavg_1=workload * float(rng.uniform(0.6, 1.1)),
+        ldavg_5=workload * float(rng.uniform(0.5, 1.0)),
+        cached_memory=float(rng.uniform(0.1, 2.0)),
+        pages_free_rate=float(rng.uniform(0.0, 1.0)),
+    )
+
+
+def make_request(spec: SoakSpec, index: int) -> ServeRequest:
+    """The request at stream position ``index`` — a pure function."""
+    schedule = spec.availability()
+    available = schedule.available(index * REQUEST_DT)
+    env = _clean_env(spec, index, available)
+    if spec.sensor is not None and spec.fault_active(index):
+        previous = _clean_env(
+            spec, index - 1,
+            schedule.available((index - 1) * REQUEST_DT),
+        ) if index > 0 else None
+        env = corrupt_sample(spec.sensor, index, env, previous)
+    name, code = _LOOPS[index % len(_LOOPS)]
+    ctx = PolicyContext(
+        time=index * REQUEST_DT,
+        loop_name=name,
+        code=code,
+        env=env,
+        available_processors=available,
+        max_threads=spec.max_threads,
+    )
+    return ServeRequest(index=index, ctx=ctx)
+
+
+def request_batches(
+    spec: SoakSpec, start_index: int = 0
+) -> Iterator[Tuple[int, List[ServeRequest]]]:
+    """``(start_position, batch)`` pairs from ``start_index`` onward.
+
+    Most indices arrive alone; every ``burst_period``-th index opens a
+    storm batch of ``burst_size`` requests.  Burst membership is a pure
+    function of the absolute index, and ``start_position`` says where
+    the batch's first request sits inside its logical burst — so a
+    stream resumed mid-burst sheds exactly the members the
+    uninterrupted stream would have shed (admission is by position in
+    the arrival batch, and positions must survive a restart).
+    """
+    index = start_index
+    while index < spec.requests:
+        burst = (index // spec.burst_period) * spec.burst_period
+        if burst > 0 and index < burst + spec.burst_size:
+            end = min(burst + spec.burst_size, spec.requests)
+            position = index - burst
+        else:
+            end = index + 1
+            position = 0
+        yield position, [
+            make_request(spec, i) for i in range(index, end)
+        ]
+        index = end
+
+
+def build_policy(bundle: ExpertBundle) -> MixturePolicy:
+    """The served policy: the paper's mixture over ``bundle``."""
+    return MixturePolicy(
+        bundle.experts,
+        selector=HyperplaneSelector(
+            num_experts=len(bundle.experts), dim=NUM_FEATURES,
+        ),
+    )
+
+
+class SoakInvariantError(AssertionError):
+    """A serving invariant was violated during the soak."""
+
+
+def _check_decisions(
+    batch: List[ServeRequest], decisions: List[ServeDecision]
+) -> None:
+    if len(decisions) != len(batch):
+        raise SoakInvariantError(
+            f"batch of {len(batch)} produced {len(decisions)} decisions"
+        )
+    for request, decision in zip(batch, decisions):
+        if decision.shed:
+            continue
+        available = request.ctx.available_processors
+        if decision.threads is None or not (
+                1 <= decision.threads <= available):
+            raise SoakInvariantError(
+                f"request {request.index}: threads {decision.threads} "
+                f"outside [1, {available}]"
+            )
+
+
+def run_soak(
+    spec: SoakSpec,
+    bundle: ExpertBundle,
+    *,
+    state_dir: Optional[Union[str, Path]] = None,
+    config: Optional[ServeConfig] = None,
+    kill_at: Optional[int] = None,
+    collect: bool = False,
+) -> Tuple[ServeReport, List[ServeDecision]]:
+    """Drive a server over the spec's stream, checking invariants.
+
+    With ``state_dir``, serving is stateful and resumes from whatever
+    the directory holds.  ``kill_at`` stops the loop the moment the
+    next batch would start at or beyond that index — the server is
+    *abandoned*, not closed, like a process that just died.  Rerunning
+    with the same ``state_dir`` finishes the stream.
+    """
+    policy = build_policy(bundle)
+    server = PolicyServer(policy, config, state_dir=state_dir)
+    decisions: List[ServeDecision] = []
+    killed = False
+    for position, batch in request_batches(spec, server.next_index):
+        if kill_at is not None and batch[0].index >= kill_at:
+            killed = True
+            break
+        batch_decisions = server.offer(batch, start_position=position)
+        _check_decisions(batch, batch_decisions)
+        if collect:
+            decisions.extend(batch_decisions)
+    report = server.report()
+    if not killed:
+        server.close()
+    return report, decisions
+
+
+def verify_recovery(
+    spec: SoakSpec,
+    bundle: ExpertBundle,
+    kill_at: int,
+    state_dir: Union[str, Path],
+    *,
+    config: Optional[ServeConfig] = None,
+) -> dict:
+    """Kill/restart vs uninterrupted twin: lossless-recovery check.
+
+    Runs the stream twice: once straight through (stateless), once
+    with a kill at ``kill_at`` followed by a restart that resumes from
+    ``state_dir``.  Returns a comparison dict; raises
+    :class:`SoakInvariantError` when the restarted run's selector
+    state or post-kill decisions differ from the twin's.
+    """
+    if not 0 < kill_at < spec.requests:
+        raise ValueError("kill_at must fall inside the stream")
+    # Twin A: never crashes.  Serve it statefully too (in a scratch
+    # subdirectory) so both runs pay the same code paths.
+    twin_dir = Path(state_dir) / "twin"
+    twin_policy = build_policy(bundle)
+    twin = PolicyServer(twin_policy, config, state_dir=twin_dir)
+    twin_decisions: List[ServeDecision] = []
+    for position, batch in request_batches(spec, 0):
+        twin_decisions.extend(twin.offer(batch, start_position=position))
+    twin.close()
+
+    # Twin B: killed mid-run, restarted, finishes the stream.
+    crash_dir = Path(state_dir) / "crashed"
+    run_soak(spec, bundle, state_dir=crash_dir, config=config,
+             kill_at=kill_at)
+    resumed_policy = build_policy(bundle)
+    resumed = PolicyServer(resumed_policy, config, state_dir=crash_dir)
+    resumed_from = resumed.next_index
+    resumed_decisions: List[ServeDecision] = []
+    for position, batch in request_batches(spec, resumed.next_index):
+        resumed_decisions.extend(
+            resumed.offer(batch, start_position=position)
+        )
+    resumed.close()
+
+    # Bit-identical learning state ...
+    twin_state = twin_policy.export_online_state()["selector"]
+    resumed_state = resumed_policy.export_online_state()["selector"]
+    mismatches = _state_mismatches(twin_state, resumed_state)
+    if mismatches:
+        raise SoakInvariantError(
+            "selector state diverged after recovery: "
+            + ", ".join(mismatches)
+        )
+    # ... and bit-identical post-restart decisions.
+    by_index = {d.index: d for d in twin_decisions}
+    for decision in resumed_decisions:
+        twin_decision = by_index[decision.index]
+        if (decision.threads, decision.tier, decision.shed) != (
+                twin_decision.threads, twin_decision.tier,
+                twin_decision.shed):
+            raise SoakInvariantError(
+                f"decision {decision.index} diverged after recovery: "
+                f"{decision.threads}@{decision.tier} vs twin "
+                f"{twin_decision.threads}@{twin_decision.tier}"
+            )
+    return {
+        "kill_at": kill_at,
+        "resumed_from": resumed_from,
+        "compared_decisions": len(resumed_decisions),
+        "identical": True,
+    }
+
+
+def _state_mismatches(left: dict, right: dict) -> List[str]:
+    """Field names on which two selector states differ at all."""
+    mismatches = []
+    for key in sorted(set(left) | set(right)):
+        a, b = left.get(key), right.get(key)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if not np.array_equal(np.asarray(a), np.asarray(b)):
+                mismatches.append(key)
+        elif a != b:
+            mismatches.append(key)
+    return mismatches

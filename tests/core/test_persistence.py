@@ -6,12 +6,19 @@ import numpy as np
 import pytest
 
 from repro.core.persistence import (
+    DEFAULT_QUARANTINE_KEEP,
     FORMAT_VERSION,
+    ChecksumError,
     bundle_from_dict,
     bundle_to_dict,
+    dump_checked_json,
     expert_from_dict,
     expert_to_dict,
     load_bundle,
+    load_checked_json,
+    payload_checksum,
+    prune_quarantine,
+    resolve_quarantine_keep,
     save_bundle,
 )
 from tests.core.test_expert import make_samples
@@ -95,3 +102,88 @@ class TestValidation:
         data["feature_names"] = ["other"]
         with pytest.raises(ValueError, match="feature vector"):
             bundle_from_dict(data)
+
+
+class TestCheckedJson:
+    def test_round_trip(self, tmp_path):
+        payload = {"b": [1.0, 2.5], "a": {"nested": [0.1]}}
+        path = tmp_path / "doc.json"
+        dump_checked_json(payload, path)
+        assert load_checked_json(path) == payload
+
+    def test_numpy_values_serialise(self, tmp_path):
+        payload = {"w": np.arange(3, dtype=float), "n": np.float64(0.5)}
+        path = tmp_path / "doc.json"
+        dump_checked_json(payload, path)
+        assert load_checked_json(path) == {"w": [0.0, 1.0, 2.0], "n": 0.5}
+
+    def test_checksum_is_representation_independent(self):
+        # Same logical payload, different key order and container
+        # types: the checksum must not care.
+        assert payload_checksum({"a": 1, "b": [2.0]}) == payload_checksum(
+            {"b": np.array([2.0]), "a": 1}
+        )
+
+    def test_tampering_detected(self, tmp_path):
+        path = tmp_path / "doc.json"
+        dump_checked_json({"value": 1.0}, path)
+        doc = json.loads(path.read_text())
+        doc["payload"]["value"] = 2.0
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ChecksumError):
+            load_checked_json(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "doc.json"
+        dump_checked_json({"value": list(range(100))}, path)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(ChecksumError):
+            load_checked_json(path)
+
+    def test_missing_file_is_a_checksum_error(self, tmp_path):
+        with pytest.raises(ChecksumError):
+            load_checked_json(tmp_path / "never-written.json")
+
+
+class TestQuarantineRetention:
+    def fill(self, directory, count):
+        directory.mkdir(parents=True, exist_ok=True)
+        for i in range(count):
+            (directory / f"corrupt-{i:04d}").write_text(str(i))
+
+    def test_keeps_newest_k(self, tmp_path):
+        self.fill(tmp_path, 12)
+        removed = prune_quarantine(tmp_path, keep=5)
+        assert removed == 7
+        # mtimes tie within the test's resolution; the name order
+        # tie-break keeps the highest-numbered (newest) files.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            f"corrupt-{i:04d}" for i in range(7, 12)
+        ]
+
+    def test_under_limit_is_untouched(self, tmp_path):
+        self.fill(tmp_path, 3)
+        assert prune_quarantine(tmp_path, keep=5) == 0
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert prune_quarantine(tmp_path / "absent") == 0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUARANTINE_KEEP", raising=False)
+        assert resolve_quarantine_keep() == DEFAULT_QUARANTINE_KEEP
+        monkeypatch.setenv("REPRO_QUARANTINE_KEEP", "3")
+        assert resolve_quarantine_keep() == 3
+        # An explicit argument wins over the environment.
+        assert resolve_quarantine_keep(11) == 11
+
+    def test_bad_env_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_KEEP", "not-a-number")
+        with pytest.warns(UserWarning, match="REPRO_QUARANTINE_KEEP"):
+            assert resolve_quarantine_keep() == DEFAULT_QUARANTINE_KEEP
+
+    def test_env_drives_pruning(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_KEEP", "2")
+        self.fill(tmp_path, 6)
+        assert prune_quarantine(tmp_path) == 4
+        assert len(list(tmp_path.iterdir())) == 2

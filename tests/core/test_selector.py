@@ -150,6 +150,149 @@ class TestHyperplaneSelector:
             assert 0 <= choice < num_experts
 
 
+class RecordingSink:
+    """In-memory SelectorJournalSink."""
+
+    def __init__(self):
+        self.ops = []
+
+    def record_update(self, features, errors):
+        self.ops.append(("update", np.array(features), list(errors)))
+
+    def record_select(self, features):
+        self.ops.append(("select", np.array(features)))
+
+
+class TestJournalHooks:
+    def test_operations_are_mirrored_in_order(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        sink = RecordingSink()
+        selector.attach_journal(sink)
+        rng = np.random.default_rng(0)
+        x = regime_point(rng, 0)
+        selector.select(x)
+        selector.update(x, errors_for(0))
+        assert [op[0] for op in sink.ops] == ["select", "update"]
+        assert np.array_equal(sink.ops[1][1], x)
+        assert sink.ops[1][2] == errors_for(0)
+
+    def test_journaled_features_are_sanitized(self):
+        # The journal records what the selector *consumed* — non-finite
+        # entries already zeroed — so replay skips re-validation.
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        sink = RecordingSink()
+        selector.attach_journal(sink)
+        dirty = np.zeros(DIM)
+        dirty[3] = float("nan")
+        selector.update(dirty, [1.0, 2.0])
+        (op,) = sink.ops
+        assert np.isfinite(op[1]).all()
+
+    def test_rejected_update_is_not_journaled(self):
+        # Non-finite errors make update() a no-op; a no-op must leave
+        # no journal trace or replay would diverge.
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        sink = RecordingSink()
+        selector.attach_journal(sink)
+        selector.update(np.zeros(DIM), [float("nan"), 1.0])
+        assert sink.ops == []
+
+    def test_detach_stops_mirroring(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        sink = RecordingSink()
+        selector.attach_journal(sink)
+        selector.detach_journal()
+        selector.select(np.zeros(DIM))
+        assert sink.ops == []
+
+    def test_frozen_selector_journals_updates_too(self):
+        selector = FrozenEvenSelector(num_experts=2, dim=DIM)
+        sink = RecordingSink()
+        selector.attach_journal(sink)
+        selector.update(np.zeros(DIM), [1.0, 2.0])
+        assert [op[0] for op in sink.ops] == ["update"]
+
+    @given(st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=2 ** 32 - 1),
+        ),
+        max_size=25,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_replaying_the_journal_rebuilds_identical_state(self, plan):
+        """The crash-recovery contract at its core: original state ==
+        fresh selector + journal replay, bitwise, for any op mix."""
+        original = HyperplaneSelector(num_experts=3, dim=DIM)
+        sink = RecordingSink()
+        original.attach_journal(sink)
+        for is_update, seed in plan:
+            rng = np.random.default_rng(seed)
+            features = rng.uniform(-5.0, 5.0, DIM)
+            if is_update:
+                original.update(features, list(rng.uniform(0.0, 9.0, 3)))
+            else:
+                original.select(features)
+
+        replayed = HyperplaneSelector(num_experts=3, dim=DIM)
+        for op in sink.ops:
+            if op[0] == "update":
+                replayed.update(op[1], op[2])
+            else:
+                replayed.select(op[1])
+
+        original_state = original.export_state()
+        for key, value in replayed.export_state().items():
+            assert np.array_equal(original_state[key], value), key
+
+
+class TestTieBreakerPersistence:
+    def test_tie_breaker_round_trips(self):
+        selector = HyperplaneSelector(num_experts=4, dim=DIM)
+        # Three tied selections advance the round-robin phase.
+        for _ in range(3):
+            selector.select(np.zeros(DIM))
+        clone = HyperplaneSelector(num_experts=4, dim=DIM)
+        clone.load_state(selector.export_state())
+        # Identical phase: the tied pick sequences stay in lockstep.
+        for _ in range(6):
+            assert clone.select(np.zeros(DIM)) == selector.select(
+                np.zeros(DIM)
+            )
+
+    def test_legacy_state_defaults_to_fresh_phase(self):
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        state = selector.export_state()
+        del state["tie_breaker"]
+        clone = HyperplaneSelector(num_experts=2, dim=DIM)
+        clone.load_state(state)
+        assert clone.select(np.zeros(DIM)) == 0
+
+
+class TestBestIndex:
+    def test_untrained_ties_resolve_low(self):
+        assert HyperplaneSelector(num_experts=3, dim=DIM).best_index() == 0
+
+    def test_follows_accumulated_feedback(self):
+        rng = np.random.default_rng(6)
+        selector = HyperplaneSelector(num_experts=2, dim=DIM)
+        # Expert 1 is consistently the accurate one.
+        for _ in range(80):
+            selector.update(rng.normal(size=DIM), [5.0, 1.0])
+        assert selector.best_index() == 1
+
+    def test_survives_state_round_trip(self):
+        rng = np.random.default_rng(7)
+        selector = HyperplaneSelector(num_experts=3, dim=DIM)
+        for _ in range(120):
+            regime = int(rng.integers(2))
+            selector.update(regime_point(rng, regime),
+                            errors_for(regime, num_experts=3))
+        clone = HyperplaneSelector(num_experts=3, dim=DIM)
+        clone.load_state(selector.export_state())
+        assert clone.best_index() == selector.best_index()
+
+
 class TestFrozenEvenSelector:
     def test_never_moves_hyperplanes(self):
         selector = FrozenEvenSelector(num_experts=2, dim=DIM)

@@ -218,6 +218,25 @@ class TestFailureReport:
         assert victim.ok
         assert not victim.retried
 
+    def test_serial_fallback_cause_is_rendered(self):
+        report = FailureReport(
+            serial_fallbacks=2,
+            serial_fallback_causes=[
+                "pool creation failed: PermissionError",
+                "unserialisable request: TypeError",
+            ],
+        )
+        assert (
+            "2 serial fallbacks (cause: pool creation failed: "
+            "PermissionError; unserialisable request: TypeError)"
+        ) in report.summary()
+
+    def test_fallback_without_recorded_cause_still_renders(self):
+        report = FailureReport(serial_fallbacks=1)
+        summary = report.summary()
+        assert "1 serial fallbacks" in summary
+        assert "cause" not in summary
+
     def test_cached_and_resumed_are_ok_without_attempts(self):
         cached = RequestReport(
             index=0, target="cg", policy="p", cached=True
@@ -265,7 +284,31 @@ class TestCheckpoint:
         with pytest.warns(UserWarning, match="corrupt checkpoint"):
             assert Checkpoint(path).load() == {}
         assert not path.exists()
-        assert path.with_suffix(".pkl.corrupt").exists()
+        quarantined = path.parent / "ck.pkl.quarantine" / "corrupt-0000"
+        assert quarantined.read_bytes() == b"definitely not a pickle"
+
+    def test_repeated_corruption_keeps_distinct_evidence(self, tmp_path):
+        # The old behaviour overwrote one ``.corrupt`` file; repeated
+        # corruption must leave one quarantined file per incident.
+        path = tmp_path / "ck.pkl"
+        for round_ in range(3):
+            path.write_bytes(b"garbage #%d" % round_)
+            with pytest.warns(UserWarning, match="corrupt checkpoint"):
+                Checkpoint(path).load()
+        quarantine = path.parent / "ck.pkl.quarantine"
+        names = sorted(p.name for p in quarantine.iterdir())
+        assert names == ["corrupt-0000", "corrupt-0001", "corrupt-0002"]
+        assert (quarantine / "corrupt-0002").read_bytes() == b"garbage #2"
+
+    def test_quarantine_retention_is_bounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_KEEP", "2")
+        path = tmp_path / "ck.pkl"
+        for round_ in range(5):
+            path.write_bytes(b"garbage #%d" % round_)
+            with pytest.warns(UserWarning, match="corrupt checkpoint"):
+                Checkpoint(path).load()
+        quarantine = path.parent / "ck.pkl.quarantine"
+        assert len(list(quarantine.iterdir())) == 2
 
     def test_alien_payload_moved_aside(self, tmp_path):
         path = tmp_path / "ck.pkl"

@@ -1,0 +1,124 @@
+"""Circuit-breaker ladder mechanics, in isolation.
+
+The breaker is pure request-counted state: the same outcome sequence
+must always produce the same transition sequence, and its state must
+round-trip through :meth:`export_state` losslessly (it rides in every
+journal record).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BreakerConfig, CircuitBreaker
+
+CONFIG = BreakerConfig(
+    trip_threshold=3, cooldown_requests=4, probe_successes=2
+)
+
+
+def make_breaker(tiers: int = 3) -> CircuitBreaker:
+    return CircuitBreaker(tiers, CONFIG)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("field", [
+        "trip_threshold", "cooldown_requests", "probe_successes",
+    ])
+    def test_thresholds_must_be_positive(self, field):
+        with pytest.raises(ValueError):
+            BreakerConfig(**{field: 0})
+
+    def test_needs_a_tier(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+
+
+class TestTrip:
+    def test_consecutive_failures_trip(self):
+        breaker = make_breaker()
+        assert breaker.record_result(False) is None
+        assert breaker.record_result(False) is None
+        assert breaker.record_result(False) == "trip"
+        assert breaker.tier == 1
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker()
+        breaker.record_result(False)
+        breaker.record_result(False)
+        breaker.record_result(True)
+        # The streak restarts: two more failures are not enough.
+        breaker.record_result(False)
+        assert breaker.record_result(False) is None
+        assert breaker.tier == 0
+
+    def test_bottom_tier_never_trips_further(self):
+        breaker = make_breaker(tiers=2)
+        for _ in range(CONFIG.trip_threshold):
+            breaker.record_result(False)
+        assert breaker.tier == 1
+        for _ in range(10):
+            breaker.record_result(False)
+        assert breaker.tier == 1
+        assert breaker.trips == 1
+
+
+class TestProbeRecovery:
+    def tripped(self) -> CircuitBreaker:
+        breaker = make_breaker()
+        for _ in range(CONFIG.trip_threshold):
+            breaker.record_result(False)
+        assert breaker.tier == 1
+        return breaker
+
+    def test_no_probe_during_cooldown(self):
+        breaker = self.tripped()
+        for _ in range(CONFIG.cooldown_requests):
+            assert not breaker.wants_probe()
+            breaker.record_result(True)
+        assert breaker.wants_probe()
+
+    def test_probe_streak_steps_back_up(self):
+        breaker = self.tripped()
+        for _ in range(CONFIG.cooldown_requests):
+            breaker.record_result(True)
+        assert breaker.record_probe(True) is None
+        assert breaker.record_probe(True) == "probe"
+        assert breaker.tier == 0
+        assert breaker.recoveries == 1
+
+    def test_failed_probe_restarts_cooldown(self):
+        breaker = self.tripped()
+        for _ in range(CONFIG.cooldown_requests):
+            breaker.record_result(True)
+        assert breaker.record_probe(False) == "probe-failed"
+        assert breaker.probe_failures == 1
+        assert breaker.tier == 1
+        assert not breaker.wants_probe()
+
+    def test_healthy_top_tier_never_probes(self):
+        breaker = make_breaker()
+        for _ in range(20):
+            assert not breaker.wants_probe()
+            breaker.record_result(True)
+
+
+class TestStatePersistence:
+    def test_round_trip_mid_sequence(self):
+        breaker = make_breaker()
+        outcomes = [False, False, False, True, False, True, True]
+        for ok in outcomes:
+            breaker.record_result(ok)
+        clone = make_breaker()
+        clone.load_state(breaker.export_state())
+        # From identical state, identical futures.
+        future = [False, False, True, False, False, False]
+        for ok in future:
+            assert breaker.record_result(ok) == clone.record_result(ok)
+        assert clone.export_state() == breaker.export_state()
+
+    def test_out_of_range_tier_rejected(self):
+        breaker = make_breaker(tiers=2)
+        with pytest.raises(ValueError):
+            breaker.load_state({"tier": 5})

@@ -1,0 +1,201 @@
+"""Journal and snapshot durability: torn tails, corruption, recovery.
+
+Every failure injected here is a crash artifact the serving runtime
+promises to absorb: a torn final journal line, a flipped byte mid-file,
+a corrupted snapshot.  The contract is always the same — quarantine the
+evidence, fall back to the last good state, keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.persistence import payload_checksum
+from repro.serve import SelectorJournal, SnapshotStore
+from repro.serve.journal import SNAPSHOTS_KEPT, ServeStateStore
+
+
+class TestSelectorJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = SelectorJournal(tmp_path / "journal.jsonl")
+        journal.append(0, [["select", [1.0, 2.0]]], {"breaker": {"tier": 0}})
+        journal.append(1, [["update", [1.0], [0.5, 0.25]], ["clear"]])
+        journal.close()
+        records = list(journal.replay())
+        assert records == [
+            (0, [["select", [1.0, 2.0]]], {"breaker": {"tier": 0}}),
+            (1, [["update", [1.0], [0.5, 0.25]], ["clear"]], {}),
+        ]
+
+    def test_replay_filters_by_request_index(self, tmp_path):
+        journal = SelectorJournal(tmp_path / "journal.jsonl")
+        for req in range(5):
+            journal.append(req, [])
+        journal.close()
+        assert [req for req, _, _ in journal.replay(after_req=2)] == [3, 4]
+
+    def test_torn_tail_quarantined_and_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SelectorJournal(path)
+        journal.append(0, [["clear"]])
+        journal.append(1, [["clear"]])
+        journal.close()
+        # The classic crash artifact: a final line cut mid-write.
+        with open(path, "a") as fh:
+            fh.write('{"req": 2, "ops": [')
+        records = list(journal.replay())
+        assert [req for req, _, _ in records] == [0, 1]
+        assert journal.tails_quarantined == 1
+        (tail,) = (path.parent / "quarantine").iterdir()
+        assert tail.name.startswith("journal.jsonl.tail-")
+        assert tail.read_text() == '{"req": 2, "ops": ['
+        # The journal itself is healed: appends continue cleanly.
+        journal.append(2, [["clear"]])
+        journal.close()
+        assert [req for req, _, _ in journal.replay()] == [0, 1, 2]
+
+    def test_checksum_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SelectorJournal(path)
+        for req in range(3):
+            journal.append(req, [["clear"]])
+        journal.close()
+        lines = path.read_text().splitlines()
+        # Flip the second record's payload without fixing its crc.
+        record = json.loads(lines[1])
+        record["ops"] = [["update", [9.0], [9.0]]]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        records = list(journal.replay())
+        # Replay trusts nothing after the first bad record.
+        assert [req for req, _, _ in records] == [0]
+        assert journal.tails_quarantined == 1
+
+    def test_record_crc_covers_whole_payload(self, tmp_path):
+        journal = SelectorJournal(tmp_path / "journal.jsonl")
+        journal.append(7, [["select", [0.5]]], {"breaker": {"tier": 1}})
+        journal.close()
+        (line,) = (tmp_path / "journal.jsonl").read_text().splitlines()
+        record = json.loads(line)
+        assert record["crc"] == payload_checksum({
+            "req": 7, "ops": [["select", [0.5]]],
+            "extra": {"breaker": {"tier": 1}},
+        })
+
+    def test_truncate_empties_the_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SelectorJournal(path)
+        journal.append(0, [["clear"]])
+        journal.truncate()
+        assert path.read_text() == ""
+        assert list(journal.replay()) == []
+
+
+class TestSnapshotStore:
+    def test_retention_keeps_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for req in (10, 20, 30, 40):
+            store.save(req, {"value": req})
+        names = sorted(p.name for p in tmp_path.glob("snapshot-*.json"))
+        assert len(names) == SNAPSHOTS_KEPT
+        assert store.load_latest() == (40, {"value": 40})
+
+    def test_corrupt_snapshot_falls_back_to_predecessor(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(10, {"value": 10})
+        newest = store.save(20, {"value": 20})
+        newest.write_text("not json at all")
+        assert store.load_latest() == (10, {"value": 10})
+        assert store.snapshots_quarantined == 1
+        (quarantined,) = (tmp_path / "quarantine").iterdir()
+        assert quarantined.name == newest.name
+
+    def test_all_snapshots_corrupt_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for req in (10, 20):
+            store.save(req, {"value": req}).write_text("garbage")
+        assert store.load_latest() is None
+        assert store.snapshots_quarantined == 2
+
+
+class _RecordingPolicy:
+    """Minimal stand-in implementing the store's policy surface."""
+
+    def __init__(self):
+        self.selector = self
+        self.journal = None
+        self.loaded = None
+        self.applied = []
+
+    # selector surface
+    def attach_journal(self, sink):
+        self.sink = sink
+
+    def detach_journal(self):
+        self.sink = None
+
+    def update(self, features, errors):
+        self.applied.append(("update", list(features), list(errors)))
+
+    def select(self, features):
+        self.applied.append(("select", list(features)))
+        return 0
+
+    # policy surface
+    def restore_pending(self, features):
+        self.applied.append(("restore", list(features)))
+
+    def clear_pending(self):
+        self.applied.append(("clear",))
+
+    def load_online_state(self, state):
+        self.loaded = state
+
+    def export_online_state(self):
+        return {"applied": len(self.applied)}
+
+
+class TestServeStateStore:
+    def test_fresh_directory_recovers_to_start(self, tmp_path):
+        store = ServeStateStore(tmp_path, _RecordingPolicy())
+        assert store.recover() == (0, {})
+
+    def test_recovery_replays_ops_through_the_policy(self, tmp_path):
+        journal = SelectorJournal(tmp_path / "journal.jsonl")
+        journal.append(0, [["select", [1.0, 2.0]]], {"breaker": {"tier": 0}})
+        journal.append(1, [["update", [3.0], [0.5]], ["clear"]],
+                       {"breaker": {"tier": 1}})
+        journal.close()
+        policy = _RecordingPolicy()
+        store = ServeStateStore(tmp_path, policy)
+        next_req, extra = store.recover()
+        assert next_req == 2
+        assert extra == {"breaker": {"tier": 1}}
+        assert policy.applied == [
+            ("select", [1.0, 2.0]), ("restore", [1.0, 2.0]),
+            ("update", [3.0], [0.5]), ("clear",),
+        ]
+        assert store.replayed_records == 2
+
+    def test_snapshot_bounds_replay(self, tmp_path):
+        policy = _RecordingPolicy()
+        store = ServeStateStore(tmp_path, policy, snapshot_interval=2)
+        store.attach()
+        for req in range(5):
+            store.commit(req, {"breaker": {"tier": 0}})
+            store.maybe_snapshot(req, {"breaker": {"tier": 0}})
+        store.close()
+        # Snapshots landed at reqs 1 and 3; the journal holds only 4.
+        restarted = _RecordingPolicy()
+        resumed = ServeStateStore(tmp_path, restarted, snapshot_interval=2)
+        next_req, _ = resumed.recover()
+        assert next_req == 5
+        assert restarted.loaded is not None
+        assert resumed.replayed_records == 1
+
+    def test_snapshot_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServeStateStore(tmp_path, _RecordingPolicy(),
+                            snapshot_interval=0)

@@ -1,0 +1,61 @@
+"""The ``repro serve-soak`` subcommand, end to end through the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def soak_args(tmp_path):
+    """A small but complete soak: chaos window, bursts, persistence."""
+    return [
+        "serve-soak", "--tiny", "--requests", "200",
+        "--sensor", "nan", "--fault-window", "0.25", "0.55",
+        "--state-dir", str(tmp_path),
+    ]
+
+
+def test_text_report(tiny_bundle, soak_args, capsys):
+    assert main(soak_args) == 0
+    out = capsys.readouterr().out
+    assert "requests: 200 (answered 200, shed 0" in out
+    assert "decisions by tier:" in out
+    assert "ladder:" in out
+    assert "latency: p50" in out
+    assert "journal:" in out
+
+
+def test_json_report(tiny_bundle, soak_args, capsys):
+    assert main(soak_args + ["--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 200
+    assert payload["answered"] + payload["shed"] == 200
+    assert payload["trips"] >= 1
+    assert payload["journal"]["journal_records"] == 200
+
+
+def test_kill_and_verify_recovery(tiny_bundle, soak_args, capsys):
+    assert main(
+        soak_args + ["--kill-at", "90", "--verify-recovery"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "recovery: killed before request 90" in out
+    assert "bit-identical to the uninterrupted twin" in out
+
+
+def test_listed_alongside_experiments(capsys):
+    assert main(["list"]) == 0
+    assert "serve-soak" in capsys.readouterr().out
+
+
+def test_rejects_bad_arguments(tiny_bundle):
+    with pytest.raises(SystemExit):
+        main(["serve-soak", "--requests", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve-soak", "--verify-recovery"])
+    with pytest.raises(SystemExit):
+        main(["serve-soak", "--requests", "100", "--kill-at", "500"])

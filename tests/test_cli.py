@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, lint_main, main, profile_main
+from repro.cli import _exec_footer, EXPERIMENTS, lint_main, main, profile_main
 
 RACY_TEXT = """
 module racy {
@@ -56,6 +56,48 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 1" in out
         assert "hardware contexts" in out
+
+
+class TestExecFooter:
+    """The fault-tolerance footer printed after each experiment."""
+
+    @pytest.fixture
+    def stats(self):
+        from repro.exec.executor import STATS
+
+        before = (
+            STATS.pool_rebuilds, STATS.serial_fallbacks,
+            list(STATS.serial_fallback_causes),
+        )
+        yield STATS
+        (STATS.pool_rebuilds, STATS.serial_fallbacks) = before[:2]
+        STATS.serial_fallback_causes[:] = before[2]
+
+    def test_quiet_when_nothing_happened(self, stats):
+        assert _exec_footer(stats.snapshot()) == ""
+
+    def test_renders_rebuilds_and_fallback_causes(self, stats):
+        before = stats.snapshot()
+        stats.pool_rebuilds += 2
+        stats.serial_fallbacks += 1
+        stats.serial_fallback_causes.append(
+            "pool creation failed: PermissionError"
+        )
+        assert _exec_footer(before) == (
+            "[exec: 2 pool rebuilds; 1 serial fallbacks "
+            "(cause: pool creation failed: PermissionError)]"
+        )
+
+    def test_counts_are_deltas_not_totals(self, stats):
+        stats.pool_rebuilds += 5  # damage from an earlier experiment
+        before = stats.snapshot()
+        stats.pool_rebuilds += 1
+        assert _exec_footer(before) == "[exec: 1 pool rebuilds]"
+
+    def test_experiment_output_stays_clean(self, capsys):
+        # A healthy run must not grow an [exec: ...] footer.
+        assert main(["fig1"]) == 0
+        assert "[exec:" not in capsys.readouterr().out
 
 
 class TestLint:
