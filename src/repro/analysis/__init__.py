@@ -1,0 +1,84 @@
+"""Whole-repo static analysis: IR dependence/race analysis + sanitizer.
+
+Two layers, one package:
+
+* **Layer 1 — dependence analysis over the compiler IR**
+  (:mod:`~repro.analysis.refs`, :mod:`~repro.analysis.dataflow`,
+  :mod:`~repro.analysis.deps`): a fixed-point dataflow framework
+  (reaching definitions over loop back edges), may-alias resolution of
+  ``%``-register array bases through ``gep`` def chains, and an exact
+  affine (GCD/Diophantine) subscript test that classifies every
+  cross-iteration dependence in every parallel loop as flow / anti /
+  output, CONFIRMED (with a witness iteration pair) or POSSIBLE, and
+  folds them into a per-loop :class:`~repro.analysis.deps.ParallelSafety`
+  verdict (``safe`` / ``ordered`` / ``racy``).  The lint rules R001 /
+  R011 / R012 in :mod:`repro.compiler.analysis.rules` and the opt-in
+  ``Module.validate(check_races=True)`` hook are built on this layer.
+
+* **Layer 2 — determinism sanitizer**
+  (:mod:`~repro.analysis.sanitize`, :mod:`~repro.analysis.determinism`):
+  an AST self-lint over ``src/repro`` (``repro sanitize``) that flags
+  nondeterminism sources — unseeded RNG construction, wall-clock reads
+  in fingerprinted paths, non-atomic writes in persistence paths,
+  iteration-order leaks into fingerprints/journals, unstable ``hash()``
+  — plus the ``REPRO_SANITIZE=1`` runtime hook that digests engine
+  state at event boundaries and cross-checks two interleavings in the
+  executor.
+
+:mod:`~repro.analysis.sarif` renders either layer's findings as SARIF
+2.1.0 for code-scanning upload.
+"""
+
+from __future__ import annotations
+
+from .dataflow import DataflowBlock, Definition, ReachingDefinitions
+from .deps import (
+    AccessSite,
+    Confidence,
+    Dependence,
+    DependenceKind,
+    LoopDependenceReport,
+    ModuleDependenceReport,
+    ParallelSafety,
+    analyze_dependences,
+)
+from .determinism import DeterminismError, StateDigest, sanitize_active
+from .refs import AffineSubscript, MemRef, parse_ref, parse_subscript
+from .sanitize import (
+    SanitizeFinding,
+    all_sanitize_rules,
+    sanitize_findings_failed,
+    sanitize_path,
+    sanitize_source,
+    sanitize_tree,
+)
+from .sarif import SarifResult, render_sarif
+
+__all__ = [
+    "AccessSite",
+    "AffineSubscript",
+    "Confidence",
+    "DataflowBlock",
+    "Definition",
+    "Dependence",
+    "DependenceKind",
+    "DeterminismError",
+    "LoopDependenceReport",
+    "MemRef",
+    "ModuleDependenceReport",
+    "ParallelSafety",
+    "ReachingDefinitions",
+    "SanitizeFinding",
+    "SarifResult",
+    "StateDigest",
+    "all_sanitize_rules",
+    "analyze_dependences",
+    "parse_ref",
+    "parse_subscript",
+    "render_sarif",
+    "sanitize_active",
+    "sanitize_findings_failed",
+    "sanitize_path",
+    "sanitize_source",
+    "sanitize_tree",
+]

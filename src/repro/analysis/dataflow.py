@@ -1,0 +1,153 @@
+"""A small fixed-point dataflow framework over the loop-oriented IR.
+
+The IR has no explicit CFG — a function is a serial preamble plus
+parallel loop regions, and a parallel loop iterates its (flattened)
+region.  For dataflow purposes that *is* a CFG::
+
+    entry -> serial -> region -> exit
+                         ^  |
+                         +--+        (loop back edge)
+
+:func:`solve_forward` runs a classic worklist iteration over such a
+block graph until the facts stop changing; :class:`ReachingDefinitions`
+is the instance the dependence analysis needs — which definition(s) of
+each ``%``-register can reach each instruction, *including* definitions
+flowing around the loop back edge from a previous iteration.  That is
+what lets the alias layer resolve ``%p = gep A; ...; store %p[i]`` to a
+store into ``A`` even when the ``gep`` textually follows the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..compiler.ir import Function, Instruction, Opcode, ParallelLoop
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site of a ``%``-register."""
+
+    name: str
+    block: int
+    index: int
+    opcode: Opcode
+    operands: Tuple[str, ...]
+
+
+#: A dataflow fact: per register, the set of definitions that may reach.
+Facts = Dict[str, FrozenSet[Definition]]
+
+
+@dataclass
+class DataflowBlock:
+    """One straight-line block of the derived CFG."""
+
+    label: str
+    instructions: Sequence[Instruction]
+    successors: List[int] = field(default_factory=list)
+
+
+def function_blocks(
+    function: Function, top: ParallelLoop
+) -> List[DataflowBlock]:
+    """Blocks for ``function``'s serial code plus one top-level region.
+
+    Block 0 is the serial preamble; blocks 1..k are the region's loops
+    in nesting order (outer body first).  The region's last block loops
+    back to its first — the parallel loop's back edge.
+    """
+    blocks: List[DataflowBlock] = [
+        DataflowBlock(label="<serial>", instructions=function.serial)
+    ]
+
+    def add_loop(loop: ParallelLoop, prefix: str) -> None:
+        path = f"{prefix}.{loop.name}" if prefix else loop.name
+        blocks.append(DataflowBlock(label=path, instructions=loop.body))
+        for inner in loop.nested:
+            add_loop(inner, path)
+
+    add_loop(top, "")
+    for number in range(len(blocks) - 1):
+        blocks[number].successors.append(number + 1)
+    if len(blocks) > 1:
+        # Back edge: the region re-enters its first block each iteration.
+        blocks[-1].successors.append(1)
+    return blocks
+
+
+def _transfer(facts: Facts, block: int,
+              instructions: Sequence[Instruction]) -> Facts:
+    out: Facts = dict(facts)
+    for index, inst in enumerate(instructions):
+        if inst.result is not None:
+            out[inst.result] = frozenset({Definition(
+                name=inst.result,
+                block=block,
+                index=index,
+                opcode=inst.opcode,
+                operands=inst.operands,
+            )})
+    return out
+
+
+def _join(left: Facts, right: Facts) -> Facts:
+    merged: Facts = dict(left)
+    for name, defs in right.items():
+        merged[name] = merged.get(name, frozenset()) | defs
+    return merged
+
+
+def solve_forward(blocks: Sequence[DataflowBlock]) -> List[Facts]:
+    """Worklist iteration to a fixed point; returns entry facts per block."""
+    entry: List[Facts] = [{} for _ in blocks]
+    exit_facts: List[Facts] = [{} for _ in blocks]
+    worklist: List[int] = list(range(len(blocks)))
+    while worklist:
+        number = worklist.pop(0)
+        out = _transfer(entry[number], number, blocks[number].instructions)
+        if out == exit_facts[number] and number != 0:
+            continue
+        exit_facts[number] = out
+        for successor in blocks[number].successors:
+            joined = _join(entry[successor], out)
+            if joined != entry[successor]:
+                entry[successor] = joined
+                if successor not in worklist:
+                    worklist.append(successor)
+    return entry
+
+
+class ReachingDefinitions:
+    """Reaching definitions for one function + one top-level region.
+
+    ``at(block, index)`` gives the definitions reaching the instruction
+    *before* it executes — the facts the alias layer queries to resolve
+    a ``%``-register base to its array provenance.
+    """
+
+    def __init__(self, function: Function, top: ParallelLoop):
+        self.blocks = function_blocks(function, top)
+        self._entry = solve_forward(self.blocks)
+
+    def at(self, block: int, index: int) -> Facts:
+        facts: Facts = dict(self._entry[block])
+        instructions = self.blocks[block].instructions
+        for position in range(min(index, len(instructions))):
+            inst = instructions[position]
+            if inst.result is not None:
+                facts[inst.result] = frozenset({Definition(
+                    name=inst.result,
+                    block=block,
+                    index=position,
+                    opcode=inst.opcode,
+                    operands=inst.operands,
+                )})
+        return facts
+
+    def block_number(self, label: str) -> int:
+        for number, block in enumerate(self.blocks):
+            if block.label == label:
+                return number
+        raise KeyError(f"no dataflow block labelled {label!r}")

@@ -1,0 +1,537 @@
+"""Cross-iteration dependence analysis for parallel loops.
+
+For every top-level parallel loop the analysis
+
+1. collects the **access sites** — every ``load``/``store`` operand,
+   parsed through :mod:`~repro.analysis.refs` — across the loop's whole
+   region (nested loops included);
+2. resolves each site's base to a provenance class with the
+   reaching-definitions facts of :mod:`~repro.analysis.dataflow`:
+   a *named* shared array, *private* (per-iteration storage, the
+   builder's ``%mem``/``%base`` handles), or *unknown* (a pointer of
+   unresolvable provenance, which may alias any shared array);
+3. tests every (write, access) pair for a cross-iteration dependence.
+   Affine subscript pairs get the exact test: solve the linear
+   Diophantine system ``a1*i1 + b1 = a2*i2 + b2`` with
+   ``0 <= i1, i2 < N`` and ``i1 != i2``; a solution is a **CONFIRMED**
+   dependence carrying a concrete witness iteration pair.  Opaque
+   subscripts and unknown bases degrade to **POSSIBLE**;
+4. folds the unprotected dependences into a
+   :class:`ParallelSafety` verdict:
+
+   * ``SAFE``    — no cross-iteration dependence survives;
+   * ``ORDERED`` — only CONFIRMED dependences with a constant nonzero
+     distance survive: wrong under an unordered parallel schedule but
+     well-defined under ordered/sequential execution (the legality
+     signal the schedule-kind policy dimension consumes);
+   * ``RACY``    — a POSSIBLE dependence, or a CONFIRMED one whose
+     distance varies per iteration (scalar accumulators, crossing
+     subscripts): no schedule ordering makes the loop well-defined.
+
+Protection mirrors the longstanding R001 semantics: a store is
+protected when ``atomic``/``critical`` immediately precedes it, or
+region-wide when the loop is declared ``reduction`` and contains a
+``reduce`` combine step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..compiler.ir import Function, Module, Opcode, ParallelLoop
+from .dataflow import Facts, ReachingDefinitions
+from .refs import MemRef, parse_ref
+
+#: Opcodes whose presence immediately before a store protects it.
+_PROTECTING = frozenset({Opcode.ATOMIC, Opcode.CRITICAL})
+
+
+class Provenance(enum.Enum):
+    """What a reference's base resolves to."""
+
+    NAMED = "named"      # a specific shared array/scalar
+    PRIVATE = "private"  # thread-private per-iteration storage
+    UNKNOWN = "unknown"  # unresolvable pointer: may alias any shared base
+
+
+class DependenceKind(enum.Enum):
+    FLOW = "flow"      # write in an earlier iteration, read in a later
+    ANTI = "anti"      # read in an earlier iteration, write in a later
+    OUTPUT = "output"  # two writes to the same location
+
+
+class Confidence(enum.Enum):
+    CONFIRMED = "confirmed"  # the Diophantine test found a witness
+    POSSIBLE = "possible"    # opaque subscript or unknown provenance
+
+
+class ParallelSafety(enum.Enum):
+    """Per-loop legality verdict, ordered ``SAFE < ORDERED < RACY``."""
+
+    SAFE = "safe"
+    ORDERED = "ordered"
+    RACY = "racy"
+
+    @property
+    def rank(self) -> int:
+        return _SAFETY_RANK[self]
+
+
+_SAFETY_RANK = {
+    ParallelSafety.SAFE: 0,
+    ParallelSafety.ORDERED: 1,
+    ParallelSafety.RACY: 2,
+}
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One memory access inside a parallel region."""
+
+    function: str
+    loop_path: str   # dotted path of the owning loop ("outer.inner")
+    index: int       # index into the owning loop's body list
+    ref: MemRef
+    is_write: bool
+    protected: bool
+    provenance: Provenance
+    resolved_base: Optional[str]  # the array name for NAMED provenance
+
+    def describe(self) -> str:
+        verb = "store" if self.is_write else "load"
+        return f"{verb} {self.ref.raw!r} at {self.loop_path}#{self.index}"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One cross-iteration dependence between two access sites.
+
+    ``src`` executes in the earlier iteration of the witness pair (for
+    POSSIBLE dependences, in textual order).  ``distance`` is the
+    constant iteration distance when one exists, else ``None``;
+    ``witness`` is a concrete ``(src_iteration, dst_iteration)`` pair
+    for CONFIRMED dependences.
+    """
+
+    kind: DependenceKind
+    confidence: Confidence
+    base: str
+    src: AccessSite
+    dst: AccessSite
+    distance: Optional[int]
+    witness: Optional[Tuple[int, int]]
+
+    @property
+    def protected(self) -> bool:
+        """Whether every write endpoint carries protection."""
+        endpoints = [s for s in (self.src, self.dst) if s.is_write]
+        return bool(endpoints) and all(s.protected for s in endpoints)
+
+    def describe(self) -> str:
+        text = (
+            f"{self.confidence.value} {self.kind.value} dependence on "
+            f"{self.base!r}: {self.src.describe()} vs "
+            f"{self.dst.describe()}"
+        )
+        if self.witness is not None:
+            text += (
+                f" (witness iterations {self.witness[0]} and "
+                f"{self.witness[1]})"
+            )
+        if self.distance is not None:
+            text += f" [distance {self.distance}]"
+        return text
+
+
+@dataclass
+class LoopDependenceReport:
+    """All dependences and the safety verdict for one top-level loop."""
+
+    function: str
+    loop: str
+    trip_count: int
+    access_pattern: str
+    sites: List[AccessSite]
+    dependences: List[Dependence]
+
+    @property
+    def unprotected(self) -> List[Dependence]:
+        return [d for d in self.dependences if not d.protected]
+
+    @property
+    def verdict(self) -> ParallelSafety:
+        verdict = ParallelSafety.SAFE
+        for dep in self.unprotected:
+            if (dep.confidence is Confidence.POSSIBLE
+                    or dep.distance is None):
+                return ParallelSafety.RACY
+            verdict = ParallelSafety.ORDERED
+        return verdict
+
+
+@dataclass
+class ModuleDependenceReport:
+    """Per-loop reports for a whole module, keyed by top-loop name."""
+
+    module: str
+    loops: Dict[str, LoopDependenceReport]
+
+    @property
+    def verdict(self) -> ParallelSafety:
+        """The worst loop verdict (SAFE for a loop-free module)."""
+        worst = ParallelSafety.SAFE
+        for report in self.loops.values():
+            if report.verdict.rank > worst.rank:
+                worst = report.verdict
+        return worst
+
+    def confirmed_races(self) -> List[Dependence]:
+        """Unprotected CONFIRMED dependences with no constant distance."""
+        return [
+            d
+            for report in self.loops.values()
+            for d in report.unprotected
+            if d.confidence is Confidence.CONFIRMED and d.distance is None
+        ]
+
+    def possible_races(self) -> List[Dependence]:
+        return [
+            d
+            for report in self.loops.values()
+            for d in report.unprotected
+            if d.confidence is Confidence.POSSIBLE
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The affine (Diophantine) dependence test
+# ---------------------------------------------------------------------------
+
+def _extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """``(g, x, y)`` with ``a*x + b*y == g`` (``g`` may carry a sign)."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    return old_r, old_x, old_y
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _solve_range(position: int, step: int, upper: int
+                 ) -> Optional[Tuple[int, int]]:
+    """The integer ``t`` interval with ``0 <= position + step*t <= upper``."""
+    if step == 0:
+        return (0, 0) if 0 <= position <= upper else None
+    if step > 0:
+        low = _ceil_div(-position, step)
+        high = (upper - position) // step
+    else:
+        low = _ceil_div(upper - position, step)
+        high = position // (-step)
+    if low > high:
+        return None
+    return low, high
+
+
+def affine_collision(
+    a1: int, b1: int, a2: int, b2: int, trip_count: int
+) -> Optional[Tuple[int, int]]:
+    """Smallest cross-iteration collision of two affine subscripts.
+
+    Finds ``(i1, i2)`` with ``a1*i1 + b1 == a2*i2 + b2``,
+    ``0 <= i1, i2 < trip_count`` and ``i1 != i2``, or ``None`` when the
+    system has no solution.  Exact and O(1) — no iteration-space scan.
+    """
+    upper = trip_count - 1
+    if upper < 1:
+        return None  # fewer than two iterations: nothing can cross
+    if a1 == 0 and a2 == 0:
+        return (0, 1) if b1 == b2 else None
+    if a1 == 0 or a2 == 0:
+        # One side touches a fixed element; the other hits it at most
+        # once.  Pick any distinct partner iteration for the fixed side.
+        if a1 == 0:
+            fixed_value, coeff, offset = b1, a2, b2
+        else:
+            fixed_value, coeff, offset = b2, a1, b1
+        if (fixed_value - offset) % coeff != 0:
+            return None
+        hit = (fixed_value - offset) // coeff
+        if not 0 <= hit <= upper:
+            return None
+        partner = 0 if hit != 0 else 1
+        return (partner, hit) if a1 == 0 else (hit, partner)
+    # General case: a1*i1 - a2*i2 = b2 - b1.
+    c = b2 - b1
+    if c % gcd(abs(a1), abs(a2)) != 0:
+        return None
+    g_signed, x0, y0 = _extended_gcd(a1, -a2)
+    # a1*x0 + (-a2)*y0 == g_signed; scale the particular solution to c.
+    scale = c // g_signed
+    i1_part = x0 * scale
+    i2_part = y0 * scale
+    # General solution: i1 = i1_part + (a2/g)*t, i2 = i2_part + (a1/g)*t.
+    g = abs(g_signed)
+    step1 = a2 // g
+    step2 = a1 // g
+    range1 = _solve_range(i1_part, step1, upper)
+    range2 = _solve_range(i2_part, step2, upper)
+    if range1 is None or range2 is None:
+        return None
+    t_low = max(range1[0], range2[0])
+    t_high = min(range1[1], range2[1])
+    if t_low > t_high:
+        return None
+    # i1 - i2 is affine in t; at most one t makes them equal, so
+    # checking two boundary candidates suffices.
+    for t in range(t_low, min(t_low + 2, t_high + 1)):
+        i1 = i1_part + step1 * t
+        i2 = i2_part + step2 * t
+        if i1 != i2:
+            return i1, i2
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Site collection and base resolution
+# ---------------------------------------------------------------------------
+
+def _resolve_base(
+    base: str, facts: Facts, depth: int = 0
+) -> Tuple[Provenance, Optional[str]]:
+    """Resolve a reference base to its provenance class.
+
+    Non-``%`` names are shared arrays/scalars.  ``%``-names follow
+    their reaching definitions: a ``gep`` chain ending at a shared name
+    resolves to that array; no definition at all is the builder's
+    private-handle convention (``%mem``, ``%base``); a load-defined
+    pointer, a cyclic chain, or conflicting definitions are unknown
+    provenance and may alias anything shared.
+    """
+    if not base.startswith("%"):
+        return Provenance.NAMED, base
+    if depth > 8:
+        return Provenance.UNKNOWN, None
+    definitions = facts.get(base)
+    if not definitions:
+        return Provenance.PRIVATE, None
+    resolved: Set[Tuple[Provenance, Optional[str]]] = set()
+    for definition in definitions:
+        if definition.opcode is not Opcode.GEP or not definition.operands:
+            return Provenance.UNKNOWN, None
+        origin = parse_ref(definition.operands[0], trip_count=1).base
+        provenance, name = _resolve_base(origin, facts, depth + 1)
+        if provenance is Provenance.UNKNOWN:
+            return Provenance.UNKNOWN, None
+        resolved.add((provenance, name))
+    if len(resolved) != 1:
+        return Provenance.UNKNOWN, None
+    return next(iter(resolved))
+
+
+def _walk_region(top: ParallelLoop) -> Iterator[Tuple[ParallelLoop, str]]:
+    """Yield ``(loop, dotted_path)`` across one top-level region."""
+
+    def walk(loop: ParallelLoop, prefix: str
+             ) -> Iterator[Tuple[ParallelLoop, str]]:
+        path = f"{prefix}.{loop.name}" if prefix else loop.name
+        yield loop, path
+        for inner in loop.nested:
+            yield from walk(inner, path)
+
+    yield from walk(top, "")
+
+
+def _collect_sites(
+    function: Function, top: ParallelLoop
+) -> List[AccessSite]:
+    reaching = ReachingDefinitions(function, top)
+    region_reduction = top.has_reduction and any(
+        inst.opcode is Opcode.REDUCE for inst in top.instructions()
+    )
+    sites: List[AccessSite] = []
+    for loop, path in _walk_region(top):
+        block = reaching.block_number(path)
+        for index, inst in enumerate(loop.body):
+            if inst.opcode not in (Opcode.LOAD, Opcode.STORE):
+                continue
+            is_write = inst.opcode is Opcode.STORE
+            protected = is_write and (
+                region_reduction
+                or (index > 0
+                    and loop.body[index - 1].opcode in _PROTECTING)
+            )
+            facts = reaching.at(block, index)
+            for operand in inst.operands:
+                ref = parse_ref(operand, trip_count=top.trip_count)
+                provenance, resolved = _resolve_base(ref.base, facts)
+                if provenance is Provenance.PRIVATE:
+                    continue
+                sites.append(AccessSite(
+                    function=function.name,
+                    loop_path=path,
+                    index=index,
+                    ref=ref,
+                    is_write=is_write,
+                    protected=protected,
+                    provenance=provenance,
+                    resolved_base=resolved,
+                ))
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# Pairwise dependence testing
+# ---------------------------------------------------------------------------
+
+def _may_alias(write: AccessSite, other: AccessSite) -> Optional[str]:
+    """The display base name if the two sites may touch the same array."""
+    if (write.provenance is Provenance.UNKNOWN
+            or other.provenance is Provenance.UNKNOWN):
+        named = write.resolved_base or other.resolved_base
+        return named or write.ref.base
+    if write.resolved_base == other.resolved_base:
+        return write.resolved_base
+    return None
+
+
+def _classify(src: AccessSite, dst: AccessSite) -> DependenceKind:
+    if src.is_write and dst.is_write:
+        return DependenceKind.OUTPUT
+    if src.is_write:
+        return DependenceKind.FLOW
+    return DependenceKind.ANTI
+
+
+def _test_pair(
+    write: AccessSite, other: AccessSite, trip_count: int
+) -> Optional[Dependence]:
+    base = _may_alias(write, other)
+    if base is None:
+        return None
+    exact = (
+        write.provenance is Provenance.NAMED
+        and other.provenance is Provenance.NAMED
+        and write.ref.is_affine
+        and other.ref.is_affine
+    )
+    if not exact:
+        src, dst = write, other
+        if (other.loop_path, other.index) < (write.loop_path, write.index):
+            src, dst = other, write
+        return Dependence(
+            kind=_classify(src, dst),
+            confidence=Confidence.POSSIBLE,
+            base=base,
+            src=src,
+            dst=dst,
+            distance=None,
+            witness=None,
+        )
+    sub_w = write.ref.subscript
+    sub_o = other.ref.subscript
+    assert sub_w is not None and sub_o is not None
+    collision = affine_collision(
+        sub_w.coeff, sub_w.offset, sub_o.coeff, sub_o.offset, trip_count
+    )
+    if collision is None:
+        return None
+    if collision[0] <= collision[1]:
+        src, dst, witness = write, other, collision
+    else:
+        src, dst, witness = other, write, (collision[1], collision[0])
+    # A constant distance needs matching nonzero strides; scalar
+    # accumulators (both coefficients zero) collide at *every*
+    # distance, which no ordering repairs.
+    distance: Optional[int] = None
+    if sub_w.coeff == sub_o.coeff and sub_w.coeff != 0:
+        distance = witness[1] - witness[0]
+    return Dependence(
+        kind=_classify(src, dst),
+        confidence=Confidence.CONFIRMED,
+        base=base,
+        src=src,
+        dst=dst,
+        distance=distance,
+        witness=witness,
+    )
+
+
+def analyze_loop(
+    function: Function, top: ParallelLoop
+) -> LoopDependenceReport:
+    """Dependence report for one top-level parallel loop."""
+    sites = _collect_sites(function, top)
+    dependences: List[Dependence] = []
+    seen: Set[Tuple[object, ...]] = set()
+    for write_pos, write in enumerate(sites):
+        if not write.is_write:
+            continue
+        for other_pos, other in enumerate(sites):
+            if other.is_write and other_pos < write_pos:
+                continue  # write-write pairs are tested once
+            dependence = _test_pair(write, other, top.trip_count)
+            if dependence is None:
+                continue
+            key = (
+                dependence.kind,
+                dependence.confidence,
+                dependence.base,
+                (dependence.src.loop_path, dependence.src.index,
+                 dependence.src.ref.raw, dependence.src.is_write),
+                (dependence.dst.loop_path, dependence.dst.index,
+                 dependence.dst.ref.raw, dependence.dst.is_write),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            dependences.append(dependence)
+    return LoopDependenceReport(
+        function=function.name,
+        loop=top.name,
+        trip_count=top.trip_count,
+        access_pattern=top.access_pattern.value,
+        sites=sites,
+        dependences=dependences,
+    )
+
+
+def analyze_dependences(module: Module) -> ModuleDependenceReport:
+    """Dependence reports for every top-level parallel loop in a module."""
+    loops: Dict[str, LoopDependenceReport] = {}
+    for function in module.functions:
+        for top in function.loops:
+            loops[top.name] = analyze_loop(function, top)
+    return ModuleDependenceReport(module=module.name, loops=loops)
+
+
+def safety_verdicts(module: Module) -> Dict[str, ParallelSafety]:
+    """Per-top-loop :class:`ParallelSafety` verdicts, keyed by loop name."""
+    report = analyze_dependences(module)
+    return {name: loop.verdict for name, loop in report.loops.items()}
+
+
+__all__ = [
+    "AccessSite",
+    "Confidence",
+    "Dependence",
+    "DependenceKind",
+    "LoopDependenceReport",
+    "ModuleDependenceReport",
+    "ParallelSafety",
+    "Provenance",
+    "affine_collision",
+    "analyze_dependences",
+    "analyze_loop",
+    "safety_verdicts",
+]

@@ -1,0 +1,81 @@
+"""Runtime determinism hooks (the ``REPRO_SANITIZE=1`` mode).
+
+Static analysis (:mod:`~repro.analysis.sanitize`) catches the
+*sources* of nondeterminism; this module catches the *symptoms* the
+static layer cannot see.  When the environment variable
+``REPRO_SANITIZE`` is ``1``:
+
+* the co-execution engine folds a :class:`StateDigest` over its state
+  at every event boundary (policy consults and phase completions —
+  exactly the points the event-driven stepping guarantees bit-identical
+  to fixed stepping), exposing ``CoExecutionEngine.state_digest``;
+* :func:`~repro.exec.request.execute_request` executes every request
+  **twice**, once per stepping mode, and raises
+  :class:`DeterminismError` unless both interleavings produce the same
+  result fingerprint and event digest.
+
+The digest hashes a canonical JSON encoding (sorted keys, stable float
+repr), so any container-iteration-order leak in the folded state shows
+up as a digest mismatch between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+#: Environment flag that arms the runtime determinism checks.
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def sanitize_active() -> bool:
+    """Whether the runtime determinism checks are armed."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+class DeterminismError(RuntimeError):
+    """Two interleavings (or two replays) of one request disagreed."""
+
+
+def _stable(value: Any) -> Any:
+    """JSON fallback for non-JSON values (numpy scalars, enums, ...)."""
+    for attribute in ("item", "value", "name"):
+        candidate = getattr(value, attribute, None)
+        if candidate is not None and not callable(candidate):
+            return candidate
+        if callable(candidate) and attribute == "item":
+            return candidate()
+    return repr(value)
+
+
+class StateDigest:
+    """A rolling SHA-256 over labelled state observations.
+
+    ``fold`` canonicalises the payload (sorted keys, ``repr`` fallback
+    for exotic types) before hashing, so two digests agree iff the two
+    runs observed the same state in the same order.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+        self.events = 0
+
+    def fold(self, label: str, payload: Any) -> None:
+        record = json.dumps(
+            [label, payload], sort_keys=True, default=_stable,
+        )
+        self._digest.update(record.encode("utf-8"))
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+__all__ = [
+    "DeterminismError",
+    "ENV_FLAG",
+    "StateDigest",
+    "sanitize_active",
+]

@@ -1,0 +1,162 @@
+"""Memory-reference grammar for the IR dependence analysis.
+
+The IR carries opaque operand strings; the dependence analysis gives
+the memory ones structure.  An operand of a ``load``/``store`` is a
+**memory reference** with the grammar::
+
+    ref       := base | base "[" subscript "]"
+    base      := any operand text without brackets ("A", "sum", "%p")
+    subscript := affine | opaque
+
+A bare base is a **scalar** reference: the same memory location in
+every iteration of a parallel loop (the classic ``sum`` accumulator).
+A subscripted base indexes into an array; when the subscript is an
+**affine** expression of the canonical induction variable ``i`` (with
+``n`` standing for the loop's trip count) the analysis can decide
+exactly which iteration pairs touch the same element.  Anything else
+(``out[idx[i]]``, inner-loop variables) is **opaque** — the analysis
+falls back to may-alias (POSSIBLE) treatment.
+
+Affine subscripts are terms joined by ``+``/``-``; each term is an
+integer constant, ``i``, ``n``, or a ``c*i`` / ``c*n`` product::
+
+    A[i]      A[2*i+1]      A[n-1-i]      hist[0]
+
+Base-name semantics follow the operand convention documented in
+:mod:`repro.compiler.analysis.rules`: names starting with ``%`` are
+thread-private *unless* a reaching definition gives them shared
+provenance (``%p = gep A`` makes ``%p`` an alias of ``A``); any other
+name is a shared location, and distinct shared names denote distinct
+(non-aliasing) allocations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: ``base[subscript]`` — the base holds no brackets, the subscript may
+#: (``in0[idx[i]]`` parses as base ``in0``, subscript ``idx[i]``).
+_REF_RE = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<subscript>.+)\]$")
+
+#: One signed term of an affine expression.
+_TERM_RE = re.compile(r"[+-]?[^+-]+")
+
+#: ``c*i`` / ``i*c`` / ``c*n`` / ``n*c`` products.
+_PRODUCT_RE = re.compile(
+    r"^(?:(?P<c1>\d+)\*(?P<v1>[in])|(?P<v2>[in])\*(?P<c2>\d+))$"
+)
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """``coeff * i + offset`` with ``n`` already substituted.
+
+    A scalar reference is the degenerate ``0 * i + 0`` — the same
+    address in every iteration.
+    """
+
+    coeff: int
+    offset: int
+
+    def at(self, iteration: int) -> int:
+        """The element index touched by ``iteration``."""
+        return self.coeff * iteration + self.offset
+
+    def __str__(self) -> str:
+        if self.coeff == 0:
+            return str(self.offset)
+        head = "i" if self.coeff == 1 else (
+            "-i" if self.coeff == -1 else f"{self.coeff}*i"
+        )
+        if self.offset == 0:
+            return head
+        return f"{head}{self.offset:+d}"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One structured memory reference.
+
+    ``subscript`` is ``None`` for an **opaque** (non-affine) subscript;
+    a scalar reference has ``subscript_text is None`` and an affine
+    ``0*i+0`` subscript.
+    """
+
+    raw: str
+    base: str
+    subscript_text: Optional[str]
+    subscript: Optional[AffineSubscript]
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.subscript_text is None
+
+    @property
+    def is_affine(self) -> bool:
+        return self.subscript is not None
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+def parse_subscript(text: str, trip_count: int) -> Optional[AffineSubscript]:
+    """Parse an affine subscript, substituting ``trip_count`` for ``n``.
+
+    Returns ``None`` when the text falls outside the affine grammar
+    (indirect indices, unknown symbols, nested brackets).
+    """
+    compact = text.replace(" ", "")
+    if not compact:
+        return None
+    coeff = 0
+    offset = 0
+    consumed = 0
+    for match in _TERM_RE.finditer(compact):
+        term = match.group(0)
+        consumed += len(term)
+        sign = 1
+        if term[0] in "+-":
+            sign = -1 if term[0] == "-" else 1
+            term = term[1:]
+        if not term:
+            return None
+        if term == "i":
+            coeff += sign
+        elif term == "n":
+            offset += sign * trip_count
+        elif term.isdigit():
+            offset += sign * int(term)
+        else:
+            product = _PRODUCT_RE.match(term)
+            if product is None:
+                return None
+            constant = int(product.group("c1") or product.group("c2"))
+            variable = product.group("v1") or product.group("v2")
+            if variable == "i":
+                coeff += sign * constant
+            else:
+                offset += sign * constant * trip_count
+    if consumed != len(compact):
+        return None
+    return AffineSubscript(coeff=coeff, offset=offset)
+
+
+def parse_ref(operand: str, trip_count: int) -> MemRef:
+    """Parse one ``load``/``store`` operand into a :class:`MemRef`."""
+    match = _REF_RE.match(operand)
+    if match is None:
+        return MemRef(
+            raw=operand,
+            base=operand,
+            subscript_text=None,
+            subscript=AffineSubscript(coeff=0, offset=0),
+        )
+    subscript_text = match.group("subscript")
+    return MemRef(
+        raw=operand,
+        base=match.group("base"),
+        subscript_text=subscript_text,
+        subscript=parse_subscript(subscript_text, trip_count),
+    )

@@ -1,0 +1,129 @@
+"""SARIF 2.1.0 rendering for lint and sanitizer findings.
+
+One renderer serves both layers: callers adapt their finding type to
+:class:`SarifResult` (``repro lint`` maps IR diagnostics, ``repro
+sanitize`` maps source findings) and :func:`render_sarif` produces the
+static-analysis interchange document GitHub code scanning ingests.
+
+The output is deterministic: rules are sorted by id, results keep the
+caller's (already location-sorted) order, and no timestamps or
+machine-specific paths are embedded — the same findings always render
+to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity -> SARIF result level.
+LEVELS: Dict[str, str] = {
+    "error": "error",
+    "warning": "warning",
+    "info": "note",
+}
+
+
+@dataclass(frozen=True)
+class SarifResult:
+    """One finding in renderer-neutral form."""
+
+    rule_id: str
+    level: str  # "error" | "warning" | "note"
+    message: str
+    uri: str
+    line: int = 1
+    column: int = 1
+
+    def to_sarif(self) -> Dict[str, object]:
+        return {
+            "ruleId": self.rule_id,
+            "level": self.level,
+            "message": {"text": self.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": self.uri,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, self.line),
+                        "startColumn": max(1, self.column),
+                    },
+                },
+            }],
+        }
+
+
+def render_sarif(
+    results: Sequence[SarifResult],
+    tool_name: str,
+    rules: Mapping[str, Mapping[str, str]],
+    information_uri: str = "https://example.invalid/repro",
+) -> Dict[str, object]:
+    """A complete SARIF document as a JSON-ready dict.
+
+    ``rules`` maps rule id to metadata (``name``, ``summary`` and an
+    optional default ``level``); only rules that actually fired are
+    emitted, keeping the document small and the diff stable.
+    """
+    fired = sorted({result.rule_id for result in results})
+    rule_objects: List[Dict[str, object]] = []
+    for rule_id in fired:
+        metadata = rules.get(rule_id, {})
+        rule_object: Dict[str, object] = {"id": rule_id}
+        if "name" in metadata:
+            rule_object["name"] = metadata["name"]
+        if "summary" in metadata:
+            rule_object["shortDescription"] = {
+                "text": metadata["summary"]
+            }
+        if "level" in metadata:
+            rule_object["defaultConfiguration"] = {
+                "level": metadata["level"]
+            }
+        rule_objects.append(rule_object)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": information_uri,
+                    "rules": rule_objects,
+                },
+            },
+            "results": [result.to_sarif() for result in results],
+        }],
+    }
+
+
+def render_sarif_json(
+    results: Sequence[SarifResult],
+    tool_name: str,
+    rules: Mapping[str, Mapping[str, str]],
+) -> str:
+    """The SARIF document serialized with stable key order."""
+    return json.dumps(
+        render_sarif(results, tool_name, rules),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+__all__ = [
+    "LEVELS",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "SarifResult",
+    "render_sarif",
+    "render_sarif_json",
+]

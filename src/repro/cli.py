@@ -250,6 +250,44 @@ def _resolve_lint_targets(parser: argparse.ArgumentParser,
     return modules
 
 
+def _lint_sarif(results) -> str:
+    """Render lint diagnostics as a SARIF 2.1.0 document.
+
+    IR modules have no source files, so registry targets get synthetic
+    ``ir/<module>.ir`` artifact URIs (file targets keep their path) and
+    the precise IR location rides in the message text.
+    """
+    from .analysis.sarif import LEVELS, SarifResult, render_sarif_json
+    from .compiler.analysis import VALIDATION_CODE, all_rules
+
+    sarif_results = []
+    for label, diagnostics in results.items():
+        uri = label if os.path.isfile(label) else f"ir/{label}.ir"
+        for d in diagnostics:
+            instruction = d.location.instruction
+            sarif_results.append(SarifResult(
+                rule_id=d.code,
+                level=LEVELS[d.severity.value],
+                message=f"[{d.location}] {d.message}",
+                uri=uri,
+                line=1 if instruction is None else instruction + 1,
+            ))
+    rules = {
+        r.code: {
+            "name": r.name,
+            "summary": r.summary,
+            "level": LEVELS[r.severity.value],
+        }
+        for r in all_rules()
+    }
+    rules[VALIDATION_CODE] = {
+        "name": "validation-failure",
+        "summary": "structural IR validation failed",
+        "level": "error",
+    }
+    return render_sarif_json(sarif_results, "repro-lint", rules)
+
+
 def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     """``repro lint``: run the IR static analysis and report findings."""
     from .compiler.analysis import (
@@ -281,8 +319,9 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
         help="promote warnings to failures (info never fails)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); 'sarif' emits a SARIF "
+             "2.1.0 document for code-scanning upload",
     )
     parser.add_argument(
         "--select", action="append", metavar="CODES",
@@ -308,12 +347,126 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     }
     if args.format == "json":
         print(render_diagnostics_json(results, strict=args.strict))
+    elif args.format == "sarif":
+        print(_lint_sarif(results))
     else:
         print(render_diagnostics_text(results, strict=args.strict))
     failed = any(
         is_failure(diagnostics, strict=args.strict)
         for diagnostics in results.values()
     )
+    return 1 if failed else 0
+
+
+def sanitize_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro sanitize``: determinism self-lint over Python sources.
+
+    Scans for the determinism hazards catalogued in
+    :mod:`repro.analysis.sanitize` — unseeded RNG, wall-clock reads in
+    fingerprinted paths, non-atomic writes in persistence paths,
+    iteration-order leaks — and reports them like a compiler.  With no
+    paths it scans the installed :mod:`repro` package itself: the
+    repo's own gate is ``repro sanitize --strict``.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from .analysis.sanitize import (
+        SanitizeFinding,
+        all_sanitize_rules,
+        sanitize_findings_failed,
+        sanitize_path,
+        sanitize_tree,
+    )
+    from .analysis.sarif import LEVELS, SarifResult, render_sarif_json
+
+    rule_lines = "\n".join(
+        f"  {r.code}  {r.name:22s} [{r.severity}] {r.summary}"
+        for r in all_sanitize_rules()
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro sanitize",
+        description="Determinism sanitizer (AST self-lint) over Python "
+                    "sources.",
+        epilog=(
+            f"rules:\n{rule_lines}\n\n"
+            "suppress a finding with '# sanitize: ok [CODES]' on the "
+            "flagged line or the line above"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: the installed "
+             "repro package)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings fail the gate too (errors always fail)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); 'sarif' emits a SARIF "
+             "2.1.0 document for code-scanning upload",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.paths or [str(Path(__file__).resolve().parent)]
+    findings: List[SanitizeFinding] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            findings.extend(sanitize_tree(path))
+        elif path.is_file():
+            findings.extend(sanitize_path(path))
+        else:
+            parser.error(f"no such file or directory: {target!r}")
+    findings = list(dict.fromkeys(findings))
+    findings.sort(key=SanitizeFinding.sort_key)
+
+    failed = sanitize_findings_failed(findings, strict=args.strict)
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if args.format == "json":
+        payload = {
+            "findings": [f.as_dict() for f in findings],
+            "summary": {
+                "errors": errors,
+                "warnings": warnings,
+                "failed": failed,
+                "strict": args.strict,
+            },
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        results = [
+            SarifResult(
+                rule_id=f.code,
+                level=LEVELS[f.severity],
+                message=f.message,
+                uri=f.path,
+                line=f.line,
+                column=f.column,
+            )
+            for f in findings
+        ]
+        rules = {
+            r.code: {
+                "name": r.name,
+                "summary": r.summary,
+                "level": LEVELS[r.severity],
+            }
+            for r in all_sanitize_rules()
+        }
+        print(render_sarif_json(results, "repro-sanitize", rules))
+    else:
+        for finding in findings:
+            print(finding)
+        verdict = "FAIL" if failed else "PASS"
+        print(
+            f"sanitize: {errors} error(s), {warnings} warning(s) — "
+            f"verdict {verdict}"
+        )
     return 1 if failed else 0
 
 
@@ -646,6 +799,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "sanitize":
+        return sanitize_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
     if argv and argv[0] == "serve-soak":
@@ -659,7 +814,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
-             "'lint' / 'profile' / 'serve-soak' subcommands",
+             "'lint' / 'sanitize' / 'profile' / 'serve-soak' "
+             "subcommands",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -714,6 +870,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:8s} {description}")
         print(f"{'lint':8s} static IR diagnostics over the benchmark "
               f"registry ('repro lint --help')")
+        print(f"{'sanitize':8s} determinism self-lint over the repro "
+              f"sources ('repro sanitize --help')")
         print(f"{'profile':8s} cProfile one simulation run "
               f"('repro profile --help')")
         print(f"{'serve-soak':8s} chaos-soak the resilient policy-serving "

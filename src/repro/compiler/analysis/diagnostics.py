@@ -125,7 +125,15 @@ class Diagnostic:
         }
 
     def sort_key(self) -> tuple:
-        return (-self.severity.rank, *self.location.sort_key(), self.code)
+        """Location-major ordering: (file-like location, rule code).
+
+        Diagnostics read like a compiler's output — grouped by where
+        they point, not by how bad they are — and two runs over the
+        same module produce byte-identical reports.  Severity is
+        deliberately not part of the key; renderers that want the worst
+        finding first can resort.
+        """
+        return (*self.location.sort_key(), self.code)
 
 
 def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:

@@ -58,7 +58,12 @@ class Linter:
         self.rules: List[LintRule] = rules
 
     def lint(self, module: Module) -> List[Diagnostic]:
-        """All diagnostics for one module, worst severity first."""
+        """All diagnostics for one module, location-major order.
+
+        Exact duplicates are dropped: independent rules backed by the
+        same underlying analysis can legitimately derive the same
+        finding, and reporting it twice adds noise without information.
+        """
         try:
             module.validate()
         except IRValidationError as error:
@@ -71,6 +76,7 @@ class Linter:
         diagnostics: List[Diagnostic] = []
         for lint_rule in self.rules:
             diagnostics.extend(lint_rule.check(module))
+        diagnostics = list(dict.fromkeys(diagnostics))
         diagnostics.sort(key=Diagnostic.sort_key)
         return diagnostics
 

@@ -1,4 +1,4 @@
-"""The built-in lint rule set (R001..R010).
+"""The built-in lint rule set (R001..R012).
 
 Each rule is a generator ``(module) -> Iterator[Diagnostic]`` registered
 with the :func:`rule` decorator.  Rules never mutate the module and are
@@ -14,20 +14,36 @@ convention used throughout :mod:`repro.programs` and documented in
 
 * operands starting with ``%`` are **thread-private**: virtual registers
   (``%v0``) or per-iteration memory handles (``%mem``, the builder's
-  default address, which models a distinct element per iteration);
-* any other operand (``sum``, ``@hist``) names a **shared** memory
-  location — the *same* location in every iteration of a parallel loop.
+  default address, which models a distinct element per iteration) —
+  *unless* a reaching ``gep`` definition gives the register shared
+  provenance (``%p = gep A`` makes ``%p`` an alias of ``A``);
+* any other operand (``sum``, ``A[i]``, ``@hist``) names a **shared**
+  memory location; subscripted operands follow the reference grammar of
+  :mod:`repro.analysis.refs` (affine subscripts of the canonical
+  induction variable ``i``, with ``n`` for the trip count).
 
-A ``store`` to a shared location from inside a parallel loop is a
-write-write data race unless it is protected (see :func:`_racy_stores`).
+The race rules R001/R011/R012 are backed by the cross-iteration
+dependence analysis in :mod:`repro.analysis.deps` (reaching-definition
+dataflow, may-alias base resolution, exact affine subscript tests):
+R001 reports CONFIRMED races with a witness iteration pair, R011
+reports POSSIBLE ones, and R012 reports constant-distance loop-carried
+dependences that are safe only under ordered execution.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+from ...analysis.deps import (
+    AccessSite,
+    Confidence,
+    Dependence,
+    LoopDependenceReport,
+    Provenance,
+    analyze_loop,
+)
 from ..ir import (
     Function,
     Instruction,
@@ -127,63 +143,170 @@ def _diag(registered_code: str, message: str, location: Location,
 
 
 # ---------------------------------------------------------------------------
-# R001 — parallel-loop data races
+# R001 / R011 / R012 — dependence-backed parallel-loop race detection
 # ---------------------------------------------------------------------------
 
-def _region_has_reduce(loop: ParallelLoop) -> bool:
-    return any(i.opcode is Opcode.REDUCE for i in loop.instructions())
+_SiteKey = Tuple[str, int, str]
+
+
+def _loop_reports(
+    module: Module,
+) -> Iterator[Tuple[Function, ParallelLoop, LoopDependenceReport]]:
+    """Yield the dependence report of every top-level parallel region."""
+    for function in module.functions:
+        for top in function.loops:
+            yield function, top, analyze_loop(function, top)
+
+
+def _confirmed_race_sites(
+    report: LoopDependenceReport,
+) -> Dict[_SiteKey, Tuple[AccessSite, Dependence]]:
+    """The unprotected write sites carrying a CONFIRMED race.
+
+    A CONFIRMED dependence with no constant distance is a race no
+    iteration ordering repairs; each such write endpoint is flagged
+    once (the first dependence in analysis order is the evidence).
+    """
+    flagged: Dict[_SiteKey, Tuple[AccessSite, Dependence]] = {}
+    for dep in report.unprotected:
+        if (dep.confidence is not Confidence.CONFIRMED
+                or dep.distance is not None):
+            continue
+        for site in (dep.src, dep.dst):
+            if site.is_write and not site.protected:
+                key = (site.loop_path, site.index, site.ref.raw)
+                flagged.setdefault(key, (site, dep))
+    return flagged
 
 
 @rule(
     "R001", "racy-store", Severity.ERROR,
-    "store to a shared location in a parallel loop without "
-    "atomic/critical/reduction protection",
+    "confirmed cross-iteration data race on a shared location in a "
+    "parallel loop",
 )
 def _racy_stores(module: Module) -> Iterator[Diagnostic]:
-    """Detect unprotected stores to shared locations in parallel loops.
+    """Report stores whose cross-iteration race the analysis *proved*.
 
-    A store to a shared operand (see module docstring) is protected if
+    The dependence analysis (:mod:`repro.analysis.deps`) confirms a
+    race when the affine subscript test finds two distinct iterations
+    touching the same element of a shared base — scalar accumulators
+    (``store sum``) being the degenerate every-iteration case — and no
+    protection applies.  A store is protected when ``atomic`` or
+    ``critical`` immediately precedes it (``#pragma omp atomic`` / a
+    critical section around the update), or region-wide when the
+    enclosing top-level loop is declared ``reduction`` and contains a
+    ``reduce`` combine step.
 
-    * the instruction immediately before it is ``atomic`` or
-      ``critical`` (modelling ``#pragma omp atomic`` / a critical
-      section around the update), or
-    * the enclosing top-level loop is declared ``reduction`` *and* the
-      region contains a ``reduce`` instruction (the update is the
-      combine step of a declared reduction).
-
-    The loop's declared :class:`AccessPattern` is reported alongside:
-    an irregular loop scattering into shared data is the classic race
-    the paper's cg/mg/art codes must avoid.
+    The diagnostic carries the witness iteration pair, and the loop's
+    declared :class:`AccessPattern` is reported alongside: an irregular
+    loop scattering into shared data is the classic race the paper's
+    cg/mg/art codes must avoid.
     """
-    for function in module.functions:
-        for loop, path, top, _depth in _walk_loops(function):
-            reduction_protected = (
-                top.has_reduction and _region_has_reduce(top)
+    for function, top, report in _loop_reports(module):
+        for _key, (site, dep) in sorted(
+            _confirmed_race_sites(report).items()
+        ):
+            assert dep.witness is not None  # CONFIRMED always has one
+            yield _diag(
+                "R001",
+                f"store to shared location {site.ref.raw!r} in parallel "
+                f"loop {top.name!r} "
+                f"(access={top.access_pattern.value}) is a confirmed "
+                f"{dep.kind.value} race: witness iterations "
+                f"{dep.witness[0]} and {dep.witness[1]} touch "
+                f"{dep.base!r} with no constant dependence distance and "
+                f"no atomic/critical/reduction protection",
+                Location(module.name, function.name, site.loop_path,
+                         site.index),
             )
-            for index, inst in enumerate(loop.body):
-                if inst.opcode is not Opcode.STORE:
+
+
+@rule(
+    "R011", "possible-race", Severity.WARNING,
+    "store that may race: opaque subscript or unresolvable pointer "
+    "provenance",
+)
+def _possible_races(module: Module) -> Iterator[Diagnostic]:
+    """Report unprotected stores whose race cannot be *disproved*.
+
+    A dependence degrades to POSSIBLE when a subscript is not affine in
+    the induction variable (``A[idx[i]]``) or when a base resolves to a
+    pointer of unknown provenance that may alias any shared array.
+    Sites already reported by R001 are skipped — the confirmed race
+    subsumes the possible one.
+    """
+    for function, top, report in _loop_reports(module):
+        confirmed = set(_confirmed_race_sites(report))
+        flagged: Dict[_SiteKey, Tuple[AccessSite, Dependence]] = {}
+        for dep in report.unprotected:
+            if dep.confidence is not Confidence.POSSIBLE:
+                continue
+            for site in (dep.src, dep.dst):
+                if not site.is_write or site.protected:
                     continue
-                shared = [op for op in inst.operands
-                          if is_shared_operand(op)]
-                if not shared:
+                key = (site.loop_path, site.index, site.ref.raw)
+                if key in confirmed:
                     continue
-                if reduction_protected:
-                    continue
-                if (index > 0
-                        and loop.body[index - 1].opcode
-                        in PROTECTING_OPCODES):
-                    continue
-                yield _diag(
-                    "R001",
-                    f"store to shared location "
-                    f"{', '.join(repr(s) for s in shared)} in parallel "
-                    f"loop {top.name!r} "
-                    f"(access={top.access_pattern.value}) is a "
-                    f"write-write race: every iteration writes the same "
-                    f"location with no atomic/critical/reduction "
-                    f"protection",
-                    Location(module.name, function.name, path, index),
-                )
+                flagged.setdefault(key, (site, dep))
+        for _key, (site, dep) in sorted(flagged.items()):
+            unknown = Provenance.UNKNOWN in (
+                dep.src.provenance, dep.dst.provenance
+            )
+            reason = (
+                "a pointer of unresolvable provenance may alias it"
+                if unknown
+                else "its subscript is not affine in the induction "
+                     "variable"
+            )
+            yield _diag(
+                "R011",
+                f"store to {site.ref.raw!r} in parallel loop "
+                f"{top.name!r} (access={top.access_pattern.value}) may "
+                f"race on {dep.base!r}: {reason}; the dependence "
+                f"cannot be disproved ({dep.src.describe()} vs "
+                f"{dep.dst.describe()})",
+                Location(module.name, function.name, site.loop_path,
+                         site.index),
+            )
+
+
+@rule(
+    "R012", "loop-carried-dependence", Severity.WARNING,
+    "constant-distance loop-carried dependence: correct only under "
+    "ordered execution",
+)
+def _loop_carried_dependences(module: Module) -> Iterator[Diagnostic]:
+    """Report CONFIRMED dependences with a constant nonzero distance.
+
+    These are not races in the R001 sense — iteration ``i`` and
+    iteration ``i+d`` conflict for a fixed ``d``, so an ordered
+    (sequential) schedule executes them correctly — but they make the
+    loop illegal under any unordered parallel schedule.  This is the
+    legality signal a schedule-kind policy dimension consumes: such a
+    loop's verdict is ``ORDERED``, not ``SAFE``.
+    """
+    for function, top, report in _loop_reports(module):
+        emitted: Set[Tuple[object, ...]] = set()
+        for dep in report.unprotected:
+            if (dep.confidence is not Confidence.CONFIRMED
+                    or dep.distance is None):
+                continue
+            site = dep.src if dep.src.is_write else dep.dst
+            key = (site.loop_path, site.index, dep.base, dep.kind,
+                   dep.distance)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            yield _diag(
+                "R012",
+                f"loop-carried {dep.kind.value} dependence on "
+                f"{dep.base!r} in parallel loop {top.name!r}: "
+                f"{dep.src.describe()} and {dep.dst.describe()} collide "
+                f"at distance {dep.distance}; the loop is correct only "
+                f"under ordered (sequential) iteration execution",
+                Location(module.name, function.name, site.loop_path,
+                         site.index),
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -241,8 +241,18 @@ class Module:
                 return function
         raise KeyError(f"module {self.name!r} has no function {name!r}")
 
-    def validate(self) -> None:
-        """Validate the whole module; raise on malformed IR."""
+    def validate(self, *, check_races: bool = False) -> None:
+        """Validate the whole module; raise on malformed IR.
+
+        With ``check_races=True`` the structural checks are followed by
+        the dependence analysis of :mod:`repro.analysis.deps`: any
+        top-level parallel loop whose :class:`ParallelSafety` verdict is
+        ``RACY`` fails validation, with the confirmed/possible race
+        dependences spelled out in the error message.  ``ORDERED``
+        loops (constant-distance loop-carried dependences) pass — they
+        are legal under sequential iteration order, which is the
+        scheduler's call, not the IR's.
+        """
         if not self.functions:
             raise IRValidationError(f"module {self.name!r} has no functions")
         seen: set[str] = set()
@@ -271,6 +281,32 @@ class Module:
             function.validate()
             for loop in function.loops:
                 check_loop_names(loop)
+
+        if check_races:
+            self._check_races()
+
+    def _check_races(self) -> None:
+        # Imported lazily: repro.analysis.deps imports this module.
+        from ..analysis.deps import ParallelSafety, analyze_dependences
+
+        report = analyze_dependences(self)
+        racy = sorted(
+            name
+            for name, loop in report.loops.items()
+            if loop.verdict is ParallelSafety.RACY
+        )
+        if not racy:
+            return
+        witnesses = "; ".join(
+            dep.describe()
+            for dep in (
+                report.confirmed_races() + report.possible_races()
+            )
+        )
+        raise IRValidationError(
+            f"module {self.name!r}: parallel loop(s) "
+            f"{', '.join(repr(n) for n in racy)} are RACY: {witnesses}"
+        )
 
     def __str__(self) -> str:
         return format_module(self)

@@ -146,11 +146,28 @@ def bundle_from_dict(data: dict) -> ExpertBundle:
 
 def save_bundle(bundle: ExpertBundle,
                 path: Union[str, Path]) -> Path:
-    """Write a bundle to a JSON file; returns the path."""
+    """Write a bundle to a JSON file; returns the path.
+
+    Written atomically (temp file + ``os.replace``) with sorted keys:
+    a crash mid-export can never tear a half-written bundle under the
+    real name, and the same bundle always serializes to the same bytes.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(bundle_to_dict(bundle), fh, indent=2)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(bundle_to_dict(bundle), fh, indent=2,
+                      sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -220,7 +237,7 @@ def dump_checked_json(payload, path: Union[str, Path]) -> Path:
     )
     try:
         with os.fdopen(fd, "w") as fh:
-            json.dump(document, fh, allow_nan=False)
+            json.dump(document, fh, allow_nan=False, sort_keys=True)
         os.replace(tmp, path)
     except BaseException:
         try:

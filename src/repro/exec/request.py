@@ -298,12 +298,13 @@ def _availability(request: RunRequest, topology):
     return StaticAvailability(request.processors or topology.cores)
 
 
-def execute_request(request: RunRequest) -> RunSummary:
-    """Run one simulation described by ``request`` in this process.
+def _simulate(request: RunRequest, stepping: str):
+    """Build and run one engine for ``request`` with fresh policies.
 
-    Deterministic: the same request always yields an identical summary,
-    which is what makes both memoisation and the serial/parallel
-    equivalence guarantee of :class:`repro.exec.executor.Executor` hold.
+    Returns ``(result, engine, recorder)``; separate from
+    :func:`execute_request` so the determinism cross-check can re-run
+    the identical scenario under the other stepping mode with its own
+    freshly-built (stateful) policy objects.
     """
     from ..core.policies.fixed import RecordingPolicy
     from ..core.training import scale_program
@@ -320,7 +321,7 @@ def execute_request(request: RunRequest) -> RunSummary:
         availability=_availability(request, topology),
     )
     policy = request.policy.build()
-    recorder: Optional[RecordingPolicy] = None
+    recorder: Optional["RecordingPolicy"] = None
     if request.record:
         recorder = RecordingPolicy(policy)
         policy = recorder
@@ -353,16 +354,62 @@ def execute_request(request: RunRequest) -> RunSummary:
         machine=machine, jobs=jobs,
         dt=request.dt, max_time=request.max_time,
         timeline_period=None,
-        stepping=request.stepping,
+        stepping=stepping,
     )
     result = engine.run()
+    base_policy = recorder.inner if recorder is not None else policy
+    return result, engine, recorder, base_policy
+
+
+def _sanitize_cross_check(request: RunRequest, engine) -> None:
+    """Replay the run under the other stepping mode and compare digests.
+
+    Under ``REPRO_SANITIZE=1`` every engine folds its decision-relevant
+    event stream (consultations, completions, the final result) into a
+    rolling state digest.  The event-driven and fixed-tick interleavings
+    are specified to make identical decisions at identical simulated
+    times, so differing digests mean hidden nondeterminism — unseeded
+    state, iteration-order dependence, or a stepping-equivalence bug —
+    and the run fails loudly instead of contaminating cached results.
+    """
+    from ..analysis.determinism import DeterminismError
+
+    if engine.state_digest is None:
+        return
+    other = "fixed" if request.stepping == "event" else "event"
+    _result, shadow, _recorder, _policy = _simulate(request, other)
+    ours = engine.state_digest.hexdigest()
+    theirs = shadow.state_digest.hexdigest()
+    if ours != theirs:
+        raise DeterminismError(
+            f"stepping interleavings diverged for {request.target!r} "
+            f"(seed={request.seed}): {request.stepping}-mode digest "
+            f"{ours} != {other}-mode digest {theirs} after "
+            f"{engine.state_digest.events} vs "
+            f"{shadow.state_digest.events} events"
+        )
+
+
+def execute_request(request: RunRequest) -> RunSummary:
+    """Run one simulation described by ``request`` in this process.
+
+    Deterministic: the same request always yields an identical summary,
+    which is what makes both memoisation and the serial/parallel
+    equivalence guarantee of :class:`repro.exec.executor.Executor` hold.
+    Under ``REPRO_SANITIZE=1`` the run is additionally replayed under
+    the other stepping mode and the two engines' state digests are
+    cross-checked (see :func:`_sanitize_cross_check`).
+    """
+    result, engine, recorder, base_policy = _simulate(
+        request, request.stepping
+    )
+    _sanitize_cross_check(request, engine)
     if result.target_time is None:
         scenario = getattr(request.scenario, "name", "static")
         raise RuntimeError(
             f"run timed out: {request.target} / {request.policy.label} / "
             f"{scenario} (seed={request.seed})"
         )
-    base_policy = recorder.inner if recorder is not None else policy
     records: Tuple[RecordedSelection, ...] = ()
     if recorder is not None:
         records = tuple(

@@ -17,6 +17,37 @@ from ..compiler.builder import IRBuilder
 from ..compiler.ir import AccessPattern, Schedule
 
 
+def _load_ref(tag: str, k: int, access: AccessPattern) -> str:
+    """The memory reference of input-array load ``k``.
+
+    Regular codes stream their own element (``in0[i]``), strided codes
+    skip (``in0[2*i]``), irregular codes gather through an index array
+    (``in0[idx[i]]`` — an opaque subscript the dependence analysis
+    cannot, and should not, prove anything about).
+    """
+    base = f"{tag}_in{k}" if tag else f"in{k}"
+    if access is AccessPattern.STRIDED:
+        return f"{base}[2*i]"
+    if access is AccessPattern.IRREGULAR:
+        return f"{base}[idx[i]]"
+    return f"{base}[i]"
+
+
+def _store_ref(tag: str, k: int, access: AccessPattern) -> str:
+    """The memory reference of output-array store ``k``.
+
+    Every iteration writes its *own* element — ``out0[i]`` (or
+    ``out0[2*i]`` for strided codes): the owner-computes discipline
+    that makes these kernels data-race-free, and that the dependence
+    analysis proves SAFE.  Irregular codes gather on the read side but
+    still scatter to their own row (spmv's ``y[row]`` pattern).
+    """
+    base = f"{tag}_out{k}" if tag else f"out{k}"
+    if access is AccessPattern.STRIDED:
+        return f"{base}[2*i]"
+    return f"{base}[i]"
+
+
 def emit_mix(
     b: IRBuilder,
     loads: int = 0,
@@ -35,12 +66,28 @@ def emit_mix(
     criticals: int = 0,
     barriers: int = 0,
     reduces: int = 0,
+    access: Optional[AccessPattern] = None,
+    tag: str = "",
+    acc: Optional[str] = None,
 ) -> None:
-    """Emit one loop-body iteration with the given instruction mix."""
+    """Emit one loop-body iteration with the given instruction mix.
+
+    With ``access`` set, loads and stores carry *shared array
+    references* in the grammar of :mod:`repro.analysis.refs`, shaped by
+    the declared access pattern (see :func:`_load_ref` /
+    :func:`_store_ref`); ``tag`` namespaces the array names per loop.
+    With ``acc`` set (realized reductions), the final store targets
+    that shared scalar — the accumulator combine the region's
+    ``reduce`` instruction protects.  Without ``access`` the legacy
+    thread-private operands (``%mem``) are emitted.
+    """
     for _ in range(geps):
         b.gep()
-    for _ in range(loads):
-        b.load()
+    for k in range(loads):
+        if access is None:
+            b.load()
+        else:
+            b.load(_load_ref(tag, k, access))
     for _ in range(adds):
         b.add()
     for _ in range(muls):
@@ -59,8 +106,13 @@ def emit_mix(
         b.cond_branch()
     for _ in range(calls):
         b.call()
-    for _ in range(stores):
-        b.store()
+    for k in range(stores):
+        if access is None:
+            b.store()
+        elif acc is not None and k == stores - 1:
+            b.store(acc)
+        else:
+            b.store(_store_ref(tag, k, access))
     for _ in range(atomics):
         b.atomic()
     for _ in range(criticals):
@@ -82,6 +134,15 @@ def parallel_region(
 ):
     """Context manager emitting a parallel loop with a body mix."""
 
+    # A declared-and-realized reduction combines into a shared scalar
+    # accumulator; the region's reduce instruction protects it.
+    acc = (
+        "acc"
+        if reduction and mix.get("reduces", 0) > 0
+        and mix.get("stores", 0) > 0
+        else None
+    )
+
     class _Region:
         def __enter__(self):
             self._cm = b.parallel_loop(
@@ -92,7 +153,7 @@ def parallel_region(
                 reduction=reduction,
             )
             loop = self._cm.__enter__()
-            emit_mix(b, **mix)
+            emit_mix(b, access=access, tag=name, acc=acc, **mix)
             return loop
 
         def __exit__(self, *exc):

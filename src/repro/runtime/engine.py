@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 import math
 
+from ..analysis.determinism import StateDigest, sanitize_active
 from ..compiler.features import CodeFeatures, extract_code_features
 from ..compiler.passes import analyze_module
 from ..core.policies.base import PolicyContext, RegionReport, ThreadPolicy
@@ -301,6 +302,15 @@ class CoExecutionEngine:
         self._tracer = tracer
         self._stepping = stepping
         self._dirty = True
+        #: Rolling hash over the decision-relevant event stream (policy
+        #: consultations, run completions, the final result), active
+        #: only under ``REPRO_SANITIZE=1``.  Two runs of the same
+        #: scenario — in particular the event-driven and fixed-tick
+        #: interleavings — must produce identical digests; the executor
+        #: cross-checks them (see ``repro.exec.request``).
+        self.state_digest: Optional[StateDigest] = (
+            StateDigest() if sanitize_active() else None
+        )
 
     def run(self) -> SimulationResult:
         """Execute the co-execution scenario and collect results."""
@@ -454,6 +464,11 @@ class CoExecutionEngine:
                     if state.finish_time is None:
                         state.finish_time = time
                     state.completed_runs += 1
+                    if self.state_digest is not None:
+                        self.state_digest.fold("complete", {
+                            "job": state.spec.job_id,
+                            "runs": state.completed_runs,
+                        })
                     if state.spec.restart and not self._target_done(states):
                         state.instance.restart()
                         state.region = state.instance.current_region
@@ -580,6 +595,15 @@ class CoExecutionEngine:
             if self._target_id is not None and not timed_out
             else None
         )
+        if self.state_digest is not None:
+            self.state_digest.fold("result", {
+                "timed_out": timed_out,
+                "completed_runs": {
+                    job_id: state.completed_runs
+                    for job_id, state in states.items()
+                },
+                "selections": len(selections),
+            })
         return SimulationResult(
             target_id=self._target_id,
             target_time=target_time,
@@ -648,6 +672,17 @@ class CoExecutionEngine:
             loop_name=region.loop_name,
             threads=threads,
         ))
+        if self.state_digest is not None:
+            # Decision stream only — no simulated times or float state:
+            # the two stepping modes guarantee identical decisions in
+            # identical order, while continuous quantities agree only up
+            # to span accumulation order (see tests/runtime/
+            # test_stepping.py), which would make the digest flaky.
+            self.state_digest.fold("consult", {
+                "job": state.spec.job_id,
+                "loop": region.loop_name,
+                "threads": threads,
+            })
 
     def _demands(self, active: List["_JobState"]) -> List[JobDemand]:
         """Demands for the tick's active set (a pre-filtered list)."""

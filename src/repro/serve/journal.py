@@ -110,14 +110,19 @@ class SelectorJournal:
         )
         if self._fh is None:
             self._fh = open(self.path, "a")
-        self._fh.write(json.dumps(record, allow_nan=False) + "\n")
+        self._fh.write(
+            json.dumps(record, allow_nan=False, sort_keys=True) + "\n"
+        )
         self._fh.flush()
         self.records_written += 1
 
     def truncate(self) -> None:
         """Empty the journal (its contents are covered by a snapshot)."""
         self.close()
-        with open(self.path, "w"):
+        # Truncation IS the committed state here: the snapshot written
+        # just before covers every record, so a crash mid-truncate only
+        # leaves records that replay filters out by request index.
+        with open(self.path, "w"):  # sanitize: ok S003
             pass
 
     def close(self) -> None:
@@ -136,7 +141,9 @@ class SelectorJournal:
             fh.seek(good_bytes)
             tail = fh.read()
         target = quarantine / f"{self.path.name}.tail-{good_bytes}"
-        with open(target, "wb") as fh:
+        # Quarantine evidence is best-effort post-mortem material, not
+        # recovery state; a torn quarantine file loses nothing.
+        with open(target, "wb") as fh:  # sanitize: ok S003
             fh.write(tail)
         with open(self.path, "rb+") as fh:
             fh.truncate(good_bytes)

@@ -1,0 +1,322 @@
+"""IR dependence analysis: collision solver, loop reports, verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.deps import (
+    Confidence,
+    DependenceKind,
+    ParallelSafety,
+    Provenance,
+    affine_collision,
+    analyze_dependences,
+    analyze_loop,
+    safety_verdicts,
+)
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import AccessPattern, IRValidationError
+
+
+def build_loop(body, trip_count=8, reduction=False,
+               access=AccessPattern.REGULAR):
+    """One-function one-loop module; returns (module, loop report)."""
+    b = IRBuilder("m")
+    with b.function("f"):
+        with b.parallel_loop("L", trip_count=trip_count, access=access,
+                             reduction=reduction):
+            body(b)
+    module = b.build(validate=False)
+    function = module.functions[0]
+    return module, analyze_loop(function, function.loops[0])
+
+
+def brute_force_collision(a1, b1, a2, b2, trip_count):
+    for i1 in range(trip_count):
+        for i2 in range(trip_count):
+            if i1 != i2 and a1 * i1 + b1 == a2 * i2 + b2:
+                return True
+    return False
+
+
+class TestAffineCollision:
+    def test_matches_brute_force_exhaustively(self):
+        coeffs = range(-3, 4)
+        offsets = range(-4, 5)
+        for trip in (1, 2, 5, 8):
+            for a1 in coeffs:
+                for b1 in offsets:
+                    for a2 in coeffs:
+                        for b2 in offsets:
+                            got = affine_collision(a1, b1, a2, b2, trip)
+                            expect = brute_force_collision(
+                                a1, b1, a2, b2, trip
+                            )
+                            assert (got is not None) == expect, (
+                                (a1, b1, a2, b2, trip, got)
+                            )
+                            if got is not None:
+                                i1, i2 = got
+                                assert 0 <= i1 < trip
+                                assert 0 <= i2 < trip
+                                assert i1 != i2
+                                assert a1 * i1 + b1 == a2 * i2 + b2
+
+    def test_scalar_pair_collides_at_first_two_iterations(self):
+        assert affine_collision(0, 3, 0, 3, 8) == (0, 1)
+        assert affine_collision(0, 3, 0, 4, 8) is None
+
+    def test_single_iteration_loop_cannot_cross(self):
+        assert affine_collision(0, 0, 0, 0, 1) is None
+        assert affine_collision(1, 0, 1, 0, 1) is None
+
+    def test_identical_streams_never_cross(self):
+        # A[i] vs A[i]: same element only at the same iteration.
+        assert affine_collision(1, 0, 1, 0, 1024) is None
+
+    def test_shifted_streams_cross_at_the_shift(self):
+        assert affine_collision(1, 0, 1, 1, 1024) is not None
+
+    def test_gcd_excludes_parity_disjoint_streams(self):
+        # 2*i vs 2*i+1: even vs odd elements, provably disjoint.
+        assert affine_collision(2, 0, 2, 1, 1 << 20) is None
+
+    def test_large_trip_counts_stay_exact(self):
+        n = 1 << 30
+        got = affine_collision(3, 1, 5, 2, n)
+        assert got is not None
+        i1, i2 = got
+        assert 3 * i1 + 1 == 5 * i2 + 2 and i1 != i2
+
+
+class TestLoopReports:
+    def test_owner_computes_loop_is_safe(self):
+        _, report = build_loop(
+            lambda b: (b.load("A[i]"), b.fadd(), b.store("B[i]"))
+        )
+        assert report.dependences == []
+        assert report.verdict is ParallelSafety.SAFE
+
+    def test_distinct_bases_do_not_alias(self):
+        _, report = build_loop(
+            lambda b: (b.load("A[i+1]"), b.store("B[i]"))
+        )
+        assert report.dependences == []
+        assert report.verdict is ParallelSafety.SAFE
+
+    def test_loop_carried_reduction_is_safe(self):
+        # Declared-and-realized reduction: the scalar accumulator store
+        # is region-protected by the reduce combine.
+        def body(b):
+            b.load("x[i]")
+            b.fadd()
+            b.store("acc")
+            b.reduce()
+
+        _, report = build_loop(body, reduction=True)
+        assert report.verdict is ParallelSafety.SAFE
+        assert len(report.dependences) == 1
+        (dep,) = report.dependences
+        assert dep.kind is DependenceKind.OUTPUT
+        assert dep.protected
+        assert report.unprotected == []
+
+    def test_undeclared_reduction_is_racy(self):
+        # The same accumulator without the reduction clause is the
+        # canonical confirmed race: witness iterations 0 and 1.
+        def body(b):
+            b.load("x[i]")
+            b.fadd()
+            b.store("acc")
+
+        _, report = build_loop(body)
+        assert report.verdict is ParallelSafety.RACY
+        (dep,) = report.dependences
+        assert dep.confidence is Confidence.CONFIRMED
+        assert dep.witness == (0, 1)
+        assert dep.distance is None
+        assert not dep.protected
+
+    def test_anti_dependence_with_constant_distance_is_ordered(self):
+        # read A[i+1] / write A[i]: iteration k reads what iteration
+        # k+1 overwrites — anti-dependence, distance 1.
+        _, report = build_loop(
+            lambda b: (b.load("A[i+1]"), b.store("A[i]"))
+        )
+        (dep,) = report.dependences
+        assert dep.kind is DependenceKind.ANTI
+        assert dep.confidence is Confidence.CONFIRMED
+        assert dep.distance == 1
+        assert dep.witness == (0, 1)
+        assert not dep.src.is_write and dep.dst.is_write
+        assert report.verdict is ParallelSafety.ORDERED
+
+    def test_reversed_subscripts_are_a_confirmed_race(self):
+        # read A[i] / write A[n-1-i]: the traversal directions cross,
+        # so the dependence distance varies per pair — no schedule
+        # ordering repairs it.
+        _, report = build_loop(
+            lambda b: (b.load("A[i]"), b.store("A[n-1-i]"))
+        )
+        (dep,) = report.dependences
+        assert dep.confidence is Confidence.CONFIRMED
+        assert dep.distance is None
+        assert dep.witness is not None
+        i1, i2 = dep.witness
+        assert i1 < i2
+        # The witness pair really touches the same element.
+        assert (7 - i1 == i2) or (i1 == 7 - i2)
+        assert report.verdict is ParallelSafety.RACY
+
+    def test_strided_self_overlap_is_a_confirmed_race(self):
+        # write A[2*i] vs write A[i]: iterations 1 and 2 both write
+        # element 2 with no constant distance.
+        _, report = build_loop(
+            lambda b: (b.store("A[2*i]"), b.store("A[i]"))
+        )
+        (dep,) = report.dependences
+        assert dep.kind is DependenceKind.OUTPUT
+        assert dep.confidence is Confidence.CONFIRMED
+        assert dep.distance is None
+        assert dep.witness is not None
+        assert report.verdict is ParallelSafety.RACY
+
+    def test_gep_alias_resolves_to_the_shared_array(self):
+        # %p = gep A makes a store through %p a store to A: the
+        # dependence against the direct A[i+1] read is found through
+        # the alias.
+        def body(b):
+            pointer = b.gep("A")
+            b.store(f"{pointer.result}[i]")
+            b.load("A[i+1]")
+
+        _, report = build_loop(body)
+        (dep,) = report.dependences
+        assert dep.base == "A"
+        assert dep.kind is DependenceKind.ANTI
+        assert dep.confidence is Confidence.CONFIRMED
+        assert dep.distance == 1
+        assert report.verdict is ParallelSafety.ORDERED
+
+    def test_gep_to_distinct_arrays_does_not_alias(self):
+        def body(b):
+            pointer = b.gep("B")
+            b.store(f"{pointer.result}[i]")
+            b.load("A[i]")
+
+        _, report = build_loop(body)
+        assert report.dependences == []
+        assert report.verdict is ParallelSafety.SAFE
+
+    def test_undefined_register_is_thread_private(self):
+        # The builder convention: %mem with no reaching definition is a
+        # private scratch handle, never a shared location.
+        _, report = build_loop(lambda b: (b.load(), b.store()))
+        assert report.dependences == []
+        assert report.verdict is ParallelSafety.SAFE
+
+    def test_load_defined_pointer_may_alias_anything(self):
+        # A pointer loaded from memory has unknown provenance: the
+        # store through it gets a POSSIBLE dependence against A.
+        def body(b):
+            pointer = b.load("table[i]")
+            b.store(f"{pointer.result}[i]")
+            b.load("A[i]")
+
+        _, report = build_loop(body)
+        assert report.verdict is ParallelSafety.RACY
+        possible = [
+            d for d in report.dependences
+            if d.confidence is Confidence.POSSIBLE
+        ]
+        assert possible
+        assert any(
+            Provenance.UNKNOWN in (d.src.provenance, d.dst.provenance)
+            for d in possible
+        )
+
+    def test_opaque_subscript_is_possible_not_confirmed(self):
+        _, report = build_loop(
+            lambda b: (b.load("A[idx[i]]"), b.store("A[i]")),
+            access=AccessPattern.IRREGULAR,
+        )
+        (dep,) = report.dependences
+        assert dep.confidence is Confidence.POSSIBLE
+        assert dep.witness is None
+        assert report.verdict is ParallelSafety.RACY
+
+    def test_atomic_protection_suppresses_the_race(self):
+        def body(b):
+            b.load("x[i]")
+            b.atomic()
+            b.store("acc")
+
+        _, report = build_loop(body)
+        assert report.verdict is ParallelSafety.SAFE
+        assert report.unprotected == []
+
+
+class TestModuleReports:
+    def racy_module(self):
+        b = IRBuilder("racy")
+        with b.function("main"):
+            with b.parallel_loop("histogram", trip_count=64,
+                                 access=AccessPattern.IRREGULAR):
+                b.load("w[i]")
+                b.fadd()
+                b.store("hist[idx[i]]")
+        return b.build(validate=False)
+
+    def crossing_module(self):
+        b = IRBuilder("crossing")
+        with b.function("main"):
+            with b.parallel_loop("reverse_copy", trip_count=32):
+                b.load("A[i]")
+                b.store("A[n-1-i]")
+        return b.build(validate=False)
+
+    def test_module_verdict_is_worst_loop(self):
+        report = analyze_dependences(self.crossing_module())
+        assert report.verdict is ParallelSafety.RACY
+        assert safety_verdicts(self.crossing_module()) == {
+            "reverse_copy": ParallelSafety.RACY
+        }
+
+    def test_confirmed_races_carry_witnesses(self):
+        report = analyze_dependences(self.crossing_module())
+        races = report.confirmed_races()
+        assert races
+        for dep in races:
+            assert dep.witness is not None
+            assert dep.distance is None
+
+    def test_possible_races_for_opaque_scatter(self):
+        report = analyze_dependences(self.racy_module())
+        assert report.verdict is ParallelSafety.RACY
+        assert report.possible_races()
+        assert report.confirmed_races() == []
+
+    def test_validate_check_races_rejects_racy_modules(self):
+        module = self.crossing_module()
+        module.validate()  # structural checks alone pass
+        with pytest.raises(IRValidationError) as excinfo:
+            module.validate(check_races=True)
+        message = str(excinfo.value)
+        assert "reverse_copy" in message
+        assert "RACY" in message
+        assert "witness" in message
+
+    def test_validate_check_races_accepts_ordered_loops(self):
+        b = IRBuilder("ordered")
+        with b.function("main"):
+            with b.parallel_loop("shift", trip_count=32):
+                b.load("A[i+1]")
+                b.store("A[i]")
+        module = b.build(validate=False)
+        module.validate(check_races=True)  # ORDERED is legal IR
+
+    def test_registry_modules_pass_check_races(self):
+        from repro.programs.registry import all_programs
+
+        for program in all_programs():
+            program.module.validate(check_races=True)

@@ -1,0 +1,133 @@
+"""Runtime determinism hooks: StateDigest and the stepping cross-check."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.exec.request as request_module
+from repro.analysis.determinism import (
+    ENV_FLAG,
+    DeterminismError,
+    StateDigest,
+    sanitize_active,
+)
+from repro.exec import PolicySpec, RunRequest, execute_request
+
+SCALE = 0.02
+
+
+def tiny_request(**overrides) -> RunRequest:
+    base = dict(
+        target="cg",
+        policy=PolicySpec.fixed(4),
+        iterations_scale=SCALE,
+    )
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+class TestSanitizeActive:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not sanitize_active()
+
+    def test_armed_only_by_exactly_one(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert sanitize_active()
+        monkeypatch.setenv(ENV_FLAG, "true")
+        assert not sanitize_active()
+
+
+class TestStateDigest:
+    def test_same_observations_same_digest(self):
+        first, second = StateDigest(), StateDigest()
+        for digest in (first, second):
+            digest.fold("consult", {"job": "target", "threads": 8})
+            digest.fold("complete", {"job": "target", "runs": 1})
+        assert first.hexdigest() == second.hexdigest()
+        assert first.events == second.events == 2
+
+    def test_observation_order_matters(self):
+        first, second = StateDigest(), StateDigest()
+        first.fold("a", 1)
+        first.fold("b", 2)
+        second.fold("b", 2)
+        second.fold("a", 1)
+        assert first.hexdigest() != second.hexdigest()
+
+    def test_dict_key_order_does_not_matter(self):
+        first, second = StateDigest(), StateDigest()
+        first.fold("consult", {"job": "target", "threads": 8})
+        second.fold("consult", {"threads": 8, "job": "target"})
+        assert first.hexdigest() == second.hexdigest()
+
+    def test_payload_differences_show_up(self):
+        first, second = StateDigest(), StateDigest()
+        first.fold("consult", {"threads": 8})
+        second.fold("consult", {"threads": 4})
+        assert first.hexdigest() != second.hexdigest()
+
+
+class TestEngineDigest:
+    def test_engine_has_no_digest_when_inactive(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        _result, engine, _recorder, _policy = request_module._simulate(
+            tiny_request(), "event"
+        )
+        assert engine.state_digest is None
+
+    def test_event_and_fixed_digests_agree(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        _r1, event_engine, _, _ = request_module._simulate(
+            tiny_request(), "event"
+        )
+        _r2, fixed_engine, _, _ = request_module._simulate(
+            tiny_request(), "fixed"
+        )
+        assert event_engine.state_digest is not None
+        assert fixed_engine.state_digest is not None
+        assert event_engine.state_digest.events > 0
+        assert (
+            event_engine.state_digest.hexdigest()
+            == fixed_engine.state_digest.hexdigest()
+        )
+
+
+class TestCrossCheck:
+    def test_execute_request_cross_checks_cleanly(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        summary = execute_request(tiny_request())
+        assert summary.target_time is not None
+
+    def test_sanitized_summary_matches_unsanitized(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        plain = execute_request(tiny_request())
+        monkeypatch.setenv(ENV_FLAG, "1")
+        checked = execute_request(tiny_request())
+        assert checked == plain
+
+    def test_divergent_digests_raise(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        request = tiny_request()
+        _result, engine, _, _ = request_module._simulate(request, "event")
+
+        class ShadowEngine:
+            state_digest = StateDigest()
+
+        ShadowEngine.state_digest.fold("tampered", 1)
+
+        def fake_simulate(req, stepping):
+            assert stepping == "fixed"
+            return None, ShadowEngine(), None, None
+
+        monkeypatch.setattr(request_module, "_simulate", fake_simulate)
+        with pytest.raises(DeterminismError, match="diverged"):
+            request_module._sanitize_cross_check(request, engine)
+
+    def test_cross_check_is_a_no_op_without_digest(self):
+        class InactiveEngine:
+            state_digest = None
+
+        request_module._sanitize_cross_check(
+            tiny_request(), InactiveEngine()
+        )

@@ -1,0 +1,79 @@
+"""Memory-reference grammar: parse_ref / parse_subscript."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.refs import AffineSubscript, parse_ref, parse_subscript
+
+
+class TestParseSubscript:
+    @pytest.mark.parametrize(
+        "text,trip,coeff,offset",
+        [
+            ("i", 8, 1, 0),
+            ("-i", 8, -1, 0),
+            ("2*i", 8, 2, 0),
+            ("i*2", 8, 2, 0),
+            ("2*i+1", 8, 2, 1),
+            ("i+1", 8, 1, 1),
+            ("i-1", 8, 1, -1),
+            ("0", 8, 0, 0),
+            ("7", 8, 0, 7),
+            ("n", 8, 0, 8),
+            ("n-1", 8, 0, 7),
+            ("n-1-i", 8, -1, 7),
+            ("2*n-i", 5, -1, 10),
+            ("n*3", 4, 0, 12),
+            ("i + 1", 8, 1, 1),  # whitespace is ignored
+            ("i+i", 8, 2, 0),    # repeated terms accumulate
+        ],
+    )
+    def test_affine_forms(self, text, trip, coeff, offset):
+        sub = parse_subscript(text, trip_count=trip)
+        assert sub == AffineSubscript(coeff=coeff, offset=offset)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["idx[i]", "j", "2i", "i*j", "", "i+", "x+1", "i**2", "3*"],
+    )
+    def test_non_affine_forms(self, text):
+        assert parse_subscript(text, trip_count=8) is None
+
+    def test_at_evaluates_the_subscript(self):
+        sub = parse_subscript("2*i+1", trip_count=8)
+        assert sub is not None
+        assert [sub.at(k) for k in range(3)] == [1, 3, 5]
+
+
+class TestParseRef:
+    def test_scalar_reference(self):
+        ref = parse_ref("sum", trip_count=8)
+        assert ref.base == "sum"
+        assert ref.is_scalar
+        assert ref.is_affine
+        # A scalar is the degenerate 0*i+0: same address every iteration.
+        assert ref.subscript == AffineSubscript(coeff=0, offset=0)
+
+    def test_affine_array_reference(self):
+        ref = parse_ref("A[n-1-i]", trip_count=8)
+        assert ref.base == "A"
+        assert not ref.is_scalar
+        assert ref.subscript == AffineSubscript(coeff=-1, offset=7)
+
+    def test_opaque_subscript(self):
+        # Nested brackets parse as base "in0", subscript "idx[i]" —
+        # present but not affine.
+        ref = parse_ref("in0[idx[i]]", trip_count=8)
+        assert ref.base == "in0"
+        assert ref.subscript_text == "idx[i]"
+        assert not ref.is_scalar
+        assert not ref.is_affine
+
+    def test_private_register_base(self):
+        ref = parse_ref("%mem", trip_count=8)
+        assert ref.base == "%mem"
+        assert ref.is_scalar
+
+    def test_str_roundtrips_raw(self):
+        assert str(parse_ref("A[2*i+1]", trip_count=4)) == "A[2*i+1]"

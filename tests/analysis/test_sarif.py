@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 rendering shared by lint and sanitize."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.sarif import (
+    LEVELS,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    SarifResult,
+    render_sarif,
+    render_sarif_json,
+)
+
+RULES = {
+    "S001": {
+        "name": "unseeded-rng",
+        "summary": "rng without a seed",
+        "level": "error",
+    },
+    "R005": {"name": "wide-loop"},
+}
+
+RESULTS = [
+    SarifResult(
+        rule_id="S001",
+        level="error",
+        message="default_rng() without a seed",
+        uri="src/repro/foo.py",
+        line=12,
+        column=5,
+    ),
+    SarifResult(
+        rule_id="R005",
+        level="note",
+        message="[mod:fn:loop#1] loop is wide",
+        uri="ir/mod.ir",
+        line=2,
+    ),
+]
+
+
+class TestDocumentStructure:
+    def test_top_level_envelope(self):
+        document = render_sarif(RESULTS, "repro-test", RULES)
+        assert document["$schema"] == SARIF_SCHEMA
+        assert document["version"] == SARIF_VERSION == "2.1.0"
+        assert len(document["runs"]) == 1
+
+    def test_driver_carries_fired_rules_sorted(self):
+        document = render_sarif(RESULTS, "repro-test", RULES)
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-test"
+        assert [rule["id"] for rule in driver["rules"]] == [
+            "R005", "S001",
+        ]
+        s001 = driver["rules"][1]
+        assert s001["name"] == "unseeded-rng"
+        assert s001["shortDescription"]["text"] == "rng without a seed"
+        assert s001["defaultConfiguration"]["level"] == "error"
+        # Optional metadata stays optional.
+        assert "shortDescription" not in driver["rules"][0]
+
+    def test_unfired_rules_are_omitted(self):
+        document = render_sarif([RESULTS[0]], "repro-test", RULES)
+        driver = document["runs"][0]["tool"]["driver"]
+        assert [rule["id"] for rule in driver["rules"]] == ["S001"]
+
+    def test_results_keep_caller_order_and_locations(self):
+        document = render_sarif(RESULTS, "repro-test", RULES)
+        results = document["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["S001", "R005"]
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/foo.py"
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert location["region"] == {"startLine": 12, "startColumn": 5}
+
+    def test_line_and_column_are_clamped_to_one(self):
+        result = SarifResult(
+            rule_id="X", level="note", message="m", uri="u",
+            line=0, column=-3,
+        )
+        region = result.to_sarif()["locations"][0][
+            "physicalLocation"]["region"]
+        assert region == {"startLine": 1, "startColumn": 1}
+
+    def test_severity_level_mapping(self):
+        assert LEVELS == {
+            "error": "error", "warning": "warning", "info": "note",
+        }
+
+
+class TestSerialization:
+    def test_json_rendering_is_deterministic(self):
+        first = render_sarif_json(RESULTS, "repro-test", RULES)
+        second = render_sarif_json(list(RESULTS), "repro-test", dict(RULES))
+        assert first == second
+        parsed = json.loads(first)
+        assert parsed["version"] == "2.1.0"
+
+    def test_empty_findings_render_an_empty_run(self):
+        document = render_sarif([], "repro-test", RULES)
+        run = document["runs"][0]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"] == []

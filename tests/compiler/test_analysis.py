@@ -120,6 +120,7 @@ class TestRuleRegistry:
         assert [r.code for r in all_rules()] == [
             "R001", "R002", "R003", "R004", "R005",
             "R006", "R007", "R008", "R009", "R010",
+            "R011", "R012",
         ]
 
     def test_rules_have_summaries_and_names(self):
@@ -412,10 +413,20 @@ class TestLinter:
         with pytest.raises(KeyError, match="R999"):
             Linter(ignore={"R999"})
 
-    def test_diagnostics_sorted_worst_first(self):
+    def test_diagnostics_sorted_by_location_then_code(self):
         diags = lint_module(parse_module(RACY_TEXT))
-        ranks = [d.severity.rank for d in diags]
-        assert ranks == sorted(ranks, reverse=True)
+        keys = [d.sort_key() for d in diags]
+        assert keys == sorted(keys)
+        # Location-major: the rule code is the final tiebreaker, so two
+        # findings at the same location appear in code order.
+        assert keys == [
+            (*d.location.sort_key(), d.code) for d in diags
+        ]
+
+    def test_duplicate_diagnostics_are_dropped(self):
+        module = parse_module(RACY_TEXT)
+        diags = lint_module(module)
+        assert len(diags) == len(set(diags))
 
     def test_invalid_module_yields_r000(self):
         module = Module(name="empty")  # no functions: fails validate()
@@ -556,3 +567,25 @@ class TestRegistryGate:
             assert not is_failure(
                 lint_module(program.module), strict=True
             ), program.name
+
+    def test_every_registry_loop_is_dependence_safe(self):
+        """The dependence analysis must prove every benchmark loop SAFE.
+
+        The registry kernels follow the owner-computes discipline
+        (each iteration writes its own ``out[i]`` element; reductions
+        combine through a protected accumulator), so anything other
+        than a SAFE verdict is a bug in a kernel or in the analysis.
+        """
+        from repro.analysis.deps import ParallelSafety, analyze_dependences
+
+        for program in all_programs():
+            report = analyze_dependences(program.module)
+            assert report.loops, program.name
+            assert not report.confirmed_races(), program.name
+            assert not report.possible_races(), program.name
+            for loop_name, loop_report in report.loops.items():
+                assert loop_report.verdict is ParallelSafety.SAFE, (
+                    f"{program.name}:{loop_name} -> "
+                    f"{loop_report.verdict.value}: "
+                    f"{[d.describe() for d in loop_report.unprotected]}"
+                )

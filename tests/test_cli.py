@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import _exec_footer, EXPERIMENTS, lint_main, main, profile_main
+from repro.cli import (
+    _exec_footer,
+    EXPERIMENTS,
+    lint_main,
+    main,
+    profile_main,
+    sanitize_main,
+)
 
 RACY_TEXT = """
 module racy {
@@ -205,6 +212,105 @@ class TestLint:
     def test_main_dispatches_lint(self, capsys):
         assert main(["lint", "cg"]) == 0
         assert "cg" in capsys.readouterr().out
+
+    def test_sarif_format(self, racy_file, capsys):
+        assert lint_main([racy_file, "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert "R001" in [rule["id"] for rule in driver["rules"]]
+        racy = [
+            result for result in document["runs"][0]["results"]
+            if result["ruleId"] == "R001"
+        ]
+        assert racy and racy[0]["level"] == "error"
+        # File targets keep their real path so code scanning can
+        # anchor the alert.
+        uri = racy[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("racy.ir")
+        assert "racy:main:accumulate#1" in racy[0]["message"]["text"]
+
+    def test_sarif_registry_targets_use_synthetic_uris(self, capsys):
+        assert lint_main(["cg", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        for result in document["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"]
+            assert uri == "ir/cg.ir"
+
+
+class TestSanitize:
+    @pytest.fixture
+    def dirty_tree(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "dirty.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        return str(package)
+
+    @pytest.fixture
+    def warny_file(self, tmp_path):
+        # S004 is a warning: only --strict fails on it.
+        path = tmp_path / "engine.py"  # any non-zone name works for S001
+        path.write_text(
+            "import json\n"
+            "def save(p, h):\n"
+            "    json.dump(p, h)\n"
+        )
+        zone = tmp_path / "runtime"
+        zone.mkdir()
+        target = zone / "engine.py"
+        target.write_text(path.read_text())
+        path.unlink()
+        return str(target)
+
+    def test_default_target_is_the_package_and_clean(self, capsys):
+        assert sanitize_main(["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+        assert "verdict PASS" in out
+
+    def test_dirty_tree_fails_with_location(self, dirty_tree, capsys):
+        assert sanitize_main([dirty_tree]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:2:" in out
+        assert "S001 error:" in out
+        assert "verdict FAIL" in out
+
+    def test_single_file_target(self, dirty_tree, capsys):
+        assert sanitize_main([dirty_tree + "/dirty.py"]) == 1
+        assert "S001" in capsys.readouterr().out
+
+    def test_warnings_fail_only_under_strict(self, warny_file, capsys):
+        assert sanitize_main([warny_file]) == 0
+        capsys.readouterr()
+        assert sanitize_main([warny_file, "--strict"]) == 1
+        assert "S004 warning:" in capsys.readouterr().out
+
+    def test_json_format(self, dirty_tree, capsys):
+        assert sanitize_main([dirty_tree, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["failed"] is True
+        [finding] = payload["findings"]
+        assert finding["code"] == "S001"
+        assert finding["path"] == "dirty.py"
+
+    def test_sarif_format(self, dirty_tree, capsys):
+        assert sanitize_main([dirty_tree, "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-sanitize"
+        [result] = document["runs"][0]["results"]
+        assert result["ruleId"] == "S001"
+        assert result["level"] == "error"
+
+    def test_main_dispatches_sanitize(self, capsys):
+        assert main(["sanitize"]) == 0
+        assert "verdict PASS" in capsys.readouterr().out
 
 
 class TestProfile:
