@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -39,6 +40,26 @@ def split_tag(key: str) -> tuple:
     return key, "run"
 
 
+def scaling_block(variants: dict) -> dict:
+    """Speedups of the ``jN`` variants over the ``j1`` serial leg.
+
+    Variants tagged ``j1``/``j2``/``j4`` (written by the per-jobs
+    bench-gate passes) are cold-cache runs of the same figure at
+    different worker counts; their wall-clock ratio against ``j1`` is
+    the parallel-scaling headline.  Non-``jN`` tags are ignored.
+    """
+    serial = variants.get("j1")
+    if not serial or not serial.get("wall_s"):
+        return {}
+    speedups = {}
+    for tag, entry in variants.items():
+        if re.fullmatch(r"j\d+", tag) and tag != "j1":
+            wall = entry.get("wall_s")
+            if wall:
+                speedups[tag] = round(serial["wall_s"] / wall, 3)
+    return speedups
+
+
 def summarise(ledger: dict) -> dict:
     figures: dict = {}
     for key in sorted(ledger):
@@ -51,6 +72,10 @@ def summarise(ledger: dict) -> dict:
             "cache_hits": int(entry.get("cache_hits", 0)),
             "jobs": entry.get("jobs"),
         }
+    for variants in figures.values():
+        speedups = scaling_block(variants)
+        if speedups:
+            variants["scaling_vs_j1"] = speedups
     totals = {
         "figures": len(figures),
         "entries": len(ledger),

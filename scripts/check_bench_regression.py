@@ -18,6 +18,24 @@ Entries are keyed by pytest nodeid, optionally suffixed ``@<tag>``
 count (``jobs``) is checked for run counts only, since wall clock is
 not comparable across parallelism levels.
 
+Underscore-prefixed baseline keys are directives, not timing entries.
+``_gates`` declares *ratio gates* between two entries of the current
+ledger::
+
+    "_gates": {
+        "fig08 cold j4 vs serial": {
+            "numerator": "<nodeid>@j4",
+            "denominator": "<nodeid>@j1",
+            "max_ratio": 1.10
+        }
+    }
+
+The gate fails when ``numerator.duration_s / denominator.duration_s``
+exceeds ``max_ratio`` — e.g. the parallel cold pass of a figure must
+not be slower than its serial leg beyond the allowed factor.  A gate
+whose entries are absent from the current ledger is skipped with a
+note (partial bench invocations stay usable).
+
 Exit status: 0 clean, 1 regression found, 2 usage/IO error.
 """
 
@@ -59,6 +77,8 @@ def compare(
     failures = []
     compared = 0
     for key in sorted(baseline):
+        if key.startswith("_"):
+            continue  # directive block (e.g. _gates), not an entry
         base = baseline[key]
         now = current.get(key)
         if now is None:
@@ -111,6 +131,40 @@ def compare(
     return failures
 
 
+def check_gates(baseline: dict, current: dict) -> list:
+    """Evaluate the baseline's ``_gates`` ratio directives."""
+    failures = []
+    gates = baseline.get("_gates", {})
+    if not isinstance(gates, dict):
+        return [f"_gates must be an object, got {type(gates).__name__}"]
+    for label in sorted(gates):
+        gate = gates[label]
+        numerator = current.get(gate.get("numerator"))
+        denominator = current.get(gate.get("denominator"))
+        if numerator is None or denominator is None:
+            print(f"  skip  gate {label}: entries absent from current "
+                  f"ledger")
+            continue
+        num_wall = float(numerator.get("duration_s", 0.0))
+        den_wall = float(denominator.get("duration_s", 0.0))
+        if den_wall <= 0.0:
+            print(f"  skip  gate {label}: denominator wall clock is 0")
+            continue
+        max_ratio = float(gate.get("max_ratio", 1.0))
+        ratio = num_wall / den_wall
+        status = "ok" if ratio <= max_ratio else "FAIL"
+        print(
+            f"  {status:4s}  gate {label}: {num_wall:.2f}s / "
+            f"{den_wall:.2f}s = {ratio:.2f} (limit {max_ratio:.2f})"
+        )
+        if ratio > max_ratio:
+            failures.append(
+                f"gate {label}: ratio {ratio:.2f} exceeds "
+                f"{max_ratio:.2f} ({num_wall:.2f}s vs {den_wall:.2f}s)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when benchmark timings regress vs the "
@@ -139,6 +193,7 @@ def main(argv=None) -> int:
     print(f"bench regression gate: {len(baseline)} baseline entries, "
           f"limit {args.max_regression:.0%}")
     failures = compare(baseline, current, args.max_regression)
+    failures += check_gates(baseline, current)
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

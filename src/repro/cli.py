@@ -766,30 +766,61 @@ def serve_soak_main(argv: Optional[Sequence[str]] = None) -> int:
         return run(tmp)
 
 
+def _format_bytes(count: int) -> str:
+    """Human-scale byte count (``512 B`` / ``3.4 KiB`` / ``1.2 MiB``)."""
+    if count < 1024:
+        return f"{count} B"
+    if count < 1024 * 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{count / (1024 * 1024):.1f} MiB"
+
+
 def _exec_footer(before: dict) -> str:
-    """Fault-tolerance footer for one experiment's execution.
+    """Fault-tolerance and transport footer for one experiment.
 
     Renders the pool-rebuild and serial-fallback activity (with the
-    triggering causes) that :class:`~repro.exec.executor.ExecutionStats`
-    accumulated since ``before`` — empty when the run was clean, so
-    quiet experiments stay quiet.
+    triggering causes) plus the batching and result-serialization
+    traffic that :class:`~repro.exec.executor.ExecutionStats`
+    accumulated since ``before`` — empty when the run was clean and
+    nothing was serialized, so quiet experiments stay quiet.
     """
     from .exec.executor import STATS
 
     after = STATS.snapshot()
+
+    def delta(key: str):
+        return after[key] - before.get(key, 0)
+
     parts = []
-    rebuilds = after["pool_rebuilds"] - before.get("pool_rebuilds", 0)
+    rebuilds = delta("pool_rebuilds")
     if rebuilds:
         parts.append(f"{rebuilds} pool rebuilds")
-    fallbacks = (
-        after["serial_fallbacks"] - before.get("serial_fallbacks", 0)
-    )
+    fallbacks = delta("serial_fallbacks")
     if fallbacks:
         causes = STATS.serial_fallback_causes[-fallbacks:]
         note = f"{fallbacks} serial fallbacks"
         if causes:
             note += " (cause: " + "; ".join(causes) + ")"
         parts.append(note)
+    batched = delta("batched_runs")
+    if batched:
+        groups = delta("batched_groups")
+        parts.append(
+            f"{batched} runs batched into {groups} "
+            f"group{'s' if groups != 1 else ''}"
+        )
+    pickled = delta("pickled_bytes")
+    shm = delta("shm_bytes")
+    if pickled or shm:
+        seconds = delta("serialize_seconds")
+        transport = []
+        if pickled:
+            transport.append(f"{_format_bytes(pickled)} pickled")
+        if shm:
+            transport.append(f"{_format_bytes(shm)} via shm")
+        parts.append(
+            f"{' + '.join(transport)} in {seconds * 1000:.0f} ms"
+        )
     if not parts:
         return ""
     return f"[exec: {'; '.join(parts)}]"
@@ -844,6 +875,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "repro-checkpoint.pkl) and resume from it after an "
              "interrupted grid (also: $REPRO_CHECKPOINT)",
     )
+    parser.add_argument(
+        "--batch", nargs="?", const="auto", default=None,
+        choices=["auto", "inproc", "pool", "off"], metavar="MODE",
+        help="batch compatible runs through shared SoA kernel "
+             "invocations: auto, inproc, pool, or off "
+             "(default: $REPRO_BATCH, else off; bare --batch means "
+             "auto; physics stays bit-identical)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -864,6 +903,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ["REPRO_RUN_TIMEOUT"] = str(args.run_timeout)
     if args.resume is not None:
         os.environ["REPRO_CHECKPOINT"] = args.resume
+    if args.batch is not None:
+        # Executors resolve the batching mode from the environment
+        # (repro.exec.resolve_batch), same as the other knobs.
+        os.environ["REPRO_BATCH"] = args.batch
 
     if args.experiment == "list":
         for name, (description, _) in EXPERIMENTS.items():

@@ -13,10 +13,24 @@ checkpointing of completed summaries (:class:`Checkpoint`) so an
 interrupted grid resumes from partial results.  Each run is accounted
 for in a structured :class:`FailureReport`.  See
 ``docs/robustness.md``.
+
+Compatible requests can additionally be *batched*: grouped by scenario
+shape and advanced through shared SoA kernel invocations
+(:mod:`repro.exec.batch`, ``REPRO_BATCH``), with pool results
+transported through shared-memory SoA segments instead of pickles
+(:mod:`repro.exec.shm`, ``REPRO_SHM``).  Physics stays bit-identical
+in every mode.  See ``docs/performance.md``.
 """
 
+from .batch import MemberOutcome, group_key, plan_groups, run_group
 from .cache import RunCache, cache_enabled, default_cache_root
-from .executor import STATS, ExecutionStats, Executor, resolve_jobs
+from .executor import (
+    STATS,
+    ExecutionStats,
+    Executor,
+    resolve_batch,
+    resolve_jobs,
+)
 from .fault import (
     AttemptRecord,
     Checkpoint,
@@ -25,6 +39,7 @@ from .fault import (
     RetryPolicy,
     RunTimeoutError,
     SerialFallbackWarning,
+    ShmLedger,
     resolve_checkpoint,
     resolve_max_pool_rebuilds,
     resolve_retry,
@@ -45,6 +60,7 @@ __all__ = [
     "ExecutionStats",
     "Executor",
     "FailureReport",
+    "MemberOutcome",
     "PolicySpec",
     "RecordedSelection",
     "RequestReport",
@@ -55,13 +71,18 @@ __all__ = [
     "RunTimeoutError",
     "STATS",
     "SerialFallbackWarning",
+    "ShmLedger",
     "WorkloadSpec",
     "cache_enabled",
     "default_cache_root",
     "execute_request",
+    "group_key",
+    "plan_groups",
+    "resolve_batch",
     "resolve_checkpoint",
     "resolve_jobs",
     "resolve_max_pool_rebuilds",
     "resolve_retry",
     "resolve_run_timeout",
+    "run_group",
 ]

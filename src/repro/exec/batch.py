@@ -1,0 +1,227 @@
+"""Cross-run batched SoA execution of compatible run requests.
+
+A paper figure's request grid varies the *policy* and the *seed* far
+more often than the scenario shape: hundreds of requests share one
+(target program, workload set, scenario, topology, tick size) tuple.
+Each of those simulations spends most of its wall clock inside the
+event-free fast-forward spans the SoA kernels advance
+(:mod:`repro.runtime.kernels`), and per-run execution pays the NumPy
+dispatch overhead of every span once *per run*.
+
+This module batches that work across runs.  :func:`plan_groups`
+partitions a request list into vectorizable groups (same scenario
+shape) and per-run stragglers; :func:`run_group` builds one engine per
+member and drives their stepping generators in lock-step rounds:
+
+1. every live member advances to its next event-free span point and
+   yields a :class:`~repro.runtime.kernels.SpanPlan`;
+2. the collected plans are applied through **one** batched kernel
+   invocation (:func:`~repro.runtime.kernels.apply_span_plans`, a
+   leading-batch-axis ``span_rates`` + ``apply_span`` pass);
+3. members whose generator returned drop out with their result;
+   members whose generator raised drop out with the error.
+
+Because every kernel operation is elementwise, a member's simulated
+state after a batched round is bit-identical to what solo execution
+would have produced — the serial/parallel equivalence guarantee of the
+executor extends to batching unchanged, and the ``REPRO_SANITIZE=1``
+state-digest cross-check runs per member exactly as it does per run.
+
+Failure isolation: a member that raises anywhere (engine construction,
+stepping, summary assembly) is reported in its
+:class:`MemberOutcome.error` and **does not** disturb the other
+members; the executor degrades just that member to the proven per-run
+retry path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime import kernels
+from .request import (
+    RunRequest,
+    RunSummary,
+    _build_simulation,
+    _sanitize_cross_check,
+    _summarize,
+)
+
+#: Smallest group worth batching; a singleton gains nothing over the
+#: per-run path and would only add generator bookkeeping.
+MIN_GROUP = 2
+
+
+def group_key(request: RunRequest) -> tuple:
+    """The scenario *shape* a request must share to join a batch.
+
+    Everything physics-relevant except the target policy, the seed and
+    ``record`` — exactly the axes a figure grid sweeps.  Members of a
+    group still run fully independent engines (different seeds draw
+    different availability traces); sharing the shape merely keeps the
+    batch planes tightly packed and the members' span cadence similar.
+    The workload *policy* is also excluded: it only affects the
+    member's own decisions, never another member's arrays.
+    """
+    workload = None
+    if request.workload is not None:
+        workload = (
+            request.workload.program_names,
+            request.workload.start_times,
+            request.workload.restart,
+        )
+    return (
+        request.target,
+        repr(request.scenario),
+        workload,
+        repr(request.resolved_topology()),
+        request.iterations_scale,
+        request.dt,
+        request.max_time,
+        request.processors,
+        repr(request.target_affinity),
+        repr(request.workload_affinity),
+        request.stepping,
+    )
+
+
+def plan_groups(
+    requests: Sequence[RunRequest],
+    indices: Sequence[int],
+    max_group: Optional[int] = None,
+) -> Tuple[List[List[int]], List[int]]:
+    """Partition ``indices`` into vectorizable groups and stragglers.
+
+    Only event-stepping requests batch (the fixed-tick reference mode
+    never fast-forwards, so there is nothing to coalesce).  Buckets
+    smaller than :data:`MIN_GROUP` fall back to the per-run path;
+    ``max_group`` optionally splits large buckets so a worker pool can
+    spread groups across processes.  Index order is preserved within
+    groups and stragglers, so execution remains deterministic.
+    """
+    buckets: Dict[tuple, List[int]] = {}
+    stragglers: List[int] = []
+    for index in indices:
+        request = requests[index]
+        if request.stepping != "event":
+            stragglers.append(index)
+            continue
+        buckets.setdefault(group_key(request), []).append(index)
+    groups: List[List[int]] = []
+    for members in buckets.values():
+        if len(members) < MIN_GROUP:
+            stragglers.extend(members)
+            continue
+        if max_group is not None and max_group >= MIN_GROUP:
+            for start in range(0, len(members), max_group):
+                chunk = members[start:start + max_group]
+                if len(chunk) < MIN_GROUP:
+                    stragglers.extend(chunk)
+                else:
+                    groups.append(chunk)
+        else:
+            groups.append(members)
+    stragglers.sort()
+    return groups, stragglers
+
+
+@dataclass
+class MemberOutcome:
+    """What happened to one member of a batched group."""
+
+    position: int
+    summary: Optional[RunSummary] = None
+    error: Optional[BaseException] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.summary is not None
+
+
+class _Member:
+    """Live bookkeeping for one group member being stepped."""
+
+    __slots__ = (
+        "position", "request", "engine", "recorder", "base_policy",
+        "gen", "result",
+    )
+
+    def __init__(self, position, request, engine, recorder, base_policy):
+        self.position = position
+        self.request = request
+        self.engine = engine
+        self.recorder = recorder
+        self.base_policy = base_policy
+        self.gen = engine.span_steps()
+        self.result = None
+
+
+def run_group(requests: Sequence[RunRequest]) -> List[MemberOutcome]:
+    """Run a group of compatible requests through batched span kernels.
+
+    Returns one :class:`MemberOutcome` per request, in order.  Per-
+    member wall clock is accounted around that member's own generator
+    steps (plus its share of setup and summary assembly), so attempt
+    records stay meaningful.  Any member error is captured in its
+    outcome; the rest of the group always runs to completion.
+    """
+    outcomes = [
+        MemberOutcome(position=position)
+        for position in range(len(requests))
+    ]
+    members: List[_Member] = []
+    for position, request in enumerate(requests):
+        started = time.monotonic()
+        try:
+            engine, recorder, base_policy = _build_simulation(
+                request, request.stepping
+            )
+            members.append(_Member(
+                position, request, engine, recorder, base_policy
+            ))
+        except Exception as error:
+            outcomes[position].error = error
+        outcomes[position].elapsed += time.monotonic() - started
+
+    live = list(members)
+    plans: List[kernels.SpanPlan] = []
+    while live:
+        plans.clear()
+        finished: List[_Member] = []
+        for member in live:
+            started = time.monotonic()
+            try:
+                plans.append(next(member.gen))
+            except StopIteration as stop:
+                member.result = stop.value
+                finished.append(member)
+            except Exception as error:
+                outcomes[member.position].error = error
+                finished.append(member)
+            finally:
+                outcomes[member.position].elapsed += (
+                    time.monotonic() - started
+                )
+        for member in finished:
+            live.remove(member)
+        # One SoA kernel invocation advances every live member's span.
+        kernels.apply_span_plans(plans)
+
+    for member in members:
+        outcome = outcomes[member.position]
+        if outcome.error is not None:
+            continue
+        started = time.monotonic()
+        try:
+            _sanitize_cross_check(member.request, member.engine)
+            outcome.summary = _summarize(
+                member.request, member.result, member.recorder,
+                member.base_policy,
+            )
+        except Exception as error:
+            outcome.error = error
+        outcome.elapsed += time.monotonic() - started
+    return outcomes

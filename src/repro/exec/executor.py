@@ -49,6 +49,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from . import shm
+from .batch import plan_groups, run_group
 from .cache import RunCache, cache_enabled
 from .fault import (
     AttemptRecord,
@@ -57,6 +59,7 @@ from .fault import (
     RetryPolicy,
     RunTimeoutError,
     SerialFallbackWarning,
+    ShmLedger,
     resolve_checkpoint,
     resolve_max_pool_rebuilds,
     resolve_retry,
@@ -90,6 +93,35 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return 1
 
 
+def resolve_batch(batch=None) -> str:
+    """Batch-mode resolution: argument > ``REPRO_BATCH`` > off.
+
+    Returns one of ``"off"``, ``"auto"`` (pick in-process or pool-of-
+    groups from the machine at run time), ``"inproc"`` (coalesce
+    groups in this process) or ``"pool"`` (ship whole groups to
+    workers).  The per-run paths are untouched when off, which is the
+    default — batching is opt-in via ``batch=`` or ``REPRO_BATCH=1``.
+    """
+    if batch is None or batch is False:
+        return "off"
+    if batch is True:
+        return "auto"
+    raw = str(batch).strip().lower()
+    if raw == "default":
+        raw = os.environ.get("REPRO_BATCH", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return "off"
+    if raw in ("1", "on", "auto", "true", "yes"):
+        return "auto"
+    if raw in ("inproc", "pool"):
+        return raw
+    warnings.warn(
+        f"ignoring unknown batch mode {raw!r}; batching disabled",
+        stacklevel=2,
+    )
+    return "off"
+
+
 @dataclass
 class ExecutionStats:
     """Process-wide run counters (read by the benchmark timing harness)."""
@@ -100,6 +132,17 @@ class ExecutionStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     serial_fallbacks: int = 0
+    #: Runs completed through the cross-run batched SoA path, and the
+    #: number of groups they were coalesced into.
+    batched_runs: int = 0
+    batched_groups: int = 0
+    #: Parent-side serialization cost of pool execution: bytes of
+    #: pickled request blobs, wall seconds spent pickling them plus
+    #: decoding results, and bytes moved through shared-memory SoA
+    #: segments instead of the result pipe.
+    pickled_bytes: int = 0
+    serialize_seconds: float = 0.0
+    shm_bytes: int = 0
     #: Cause of each serial fallback, in order.  Kept out of
     #: :meth:`snapshot` deliberately: the benchmark timing harness
     #: takes numeric deltas of the snapshot keys.
@@ -113,6 +156,11 @@ class ExecutionStats:
             "timeouts": self.timeouts,
             "pool_rebuilds": self.pool_rebuilds,
             "serial_fallbacks": self.serial_fallbacks,
+            "batched_runs": self.batched_runs,
+            "batched_groups": self.batched_groups,
+            "pickled_bytes": self.pickled_bytes,
+            "serialize_seconds": self.serialize_seconds,
+            "shm_bytes": self.shm_bytes,
         }
 
 
@@ -159,6 +207,74 @@ def _execute_blob(blob: bytes) -> RunSummary:
     return execute_request(request)
 
 
+def _execute_blob_shm(blob: bytes, shm_name: str):
+    """Worker entry point with shared-memory result transport.
+
+    The summary's decision streams are written into the parent-assigned
+    segment ``shm_name`` as SoA blocks; only the tiny descriptor tuple
+    travels back through the result pipe.  If the segment cannot be
+    written (exotic platform, size race) the summary falls back to the
+    classic pickled return — the parent handles both shapes.
+    """
+    summary = _execute_blob(blob)
+    try:
+        nbytes = shm.encode_summaries([summary], shm_name)
+    except Exception:
+        return summary
+    return ("shm", shm_name, 1, nbytes)
+
+
+def _execute_group_blob(blob: bytes, shm_name: Optional[str]):
+    """Worker entry point for one batched group of requests.
+
+    Chaos exposure is charged once per member (a group of N runs the
+    same worker-crash gauntlet N independent runs would).  Returns
+    ``(transport, meta, payload)`` where ``meta`` lists
+    ``(position, ok, error_class, error_message, elapsed)`` per member
+    and the payload carries the successful summaries — through the
+    shared-memory segment when possible, pickled otherwise.
+    """
+    import cloudpickle
+
+    requests = cloudpickle.loads(blob)
+    for _ in requests:
+        _maybe_chaos_crash()
+    outcomes = run_group(requests)
+    meta = [
+        (
+            outcome.position,
+            outcome.ok,
+            type(outcome.error).__name__ if outcome.error else "",
+            str(outcome.error)[:200] if outcome.error else "",
+            outcome.elapsed,
+        )
+        for outcome in outcomes
+    ]
+    summaries = [o.summary for o in outcomes if o.ok]
+    if shm_name and summaries:
+        try:
+            nbytes = shm.encode_summaries(summaries, shm_name)
+        except Exception:
+            pass
+        else:
+            return ("shm", meta, (shm_name, len(summaries), nbytes))
+    return ("pickle", meta, summaries)
+
+
+def _normalize_outcomes(outcomes) -> list:
+    """Flatten in-process :class:`MemberOutcome`s to transport tuples."""
+    return [
+        (
+            outcome.ok,
+            outcome.summary,
+            type(outcome.error).__name__ if outcome.error else "",
+            str(outcome.error)[:200] if outcome.error else "",
+            outcome.elapsed,
+        )
+        for outcome in outcomes
+    ]
+
+
 class _PoolBroken(Exception):
     """Internal marker: the current pool crashed; rebuild and resume."""
 
@@ -186,10 +302,17 @@ class Executor:
     run_timeout: Union[float, None, str] = "default"
     checkpoint: Union[Checkpoint, str, None] = "default"
     max_pool_rebuilds: Optional[int] = None
+    #: Cross-run batching mode: ``"default"`` honours ``REPRO_BATCH``,
+    #: else ``"off"``/``"auto"``/``"inproc"``/``"pool"`` (see
+    #: :func:`resolve_batch`).  Physics is bit-identical in every mode.
+    batch: Union[str, None, bool] = "default"
     last_report: Optional[FailureReport] = field(
         default=None, init=False, repr=False
     )
     _warned: bool = field(default=False, init=False, repr=False)
+    _shm_ledger: ShmLedger = field(
+        default_factory=ShmLedger, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.jobs = resolve_jobs(self.jobs)
@@ -205,6 +328,7 @@ class Executor:
         self.max_pool_rebuilds = resolve_max_pool_rebuilds(
             self.max_pool_rebuilds
         )
+        self.batch = resolve_batch(self.batch)
 
     def run(self, requests: Sequence[RunRequest]) -> List[RunSummary]:
         """Execute ``requests``; summaries come back in request order."""
@@ -247,6 +371,10 @@ class Executor:
                 pending.append(index)
 
         try:
+            if pending and self.batch != "off":
+                pending = self._run_batched(
+                    requests, pending, fingerprints, results, report
+                )
             if pending:
                 if self.jobs > 1 and len(pending) > 1:
                     self._run_parallel(
@@ -257,6 +385,7 @@ class Executor:
                         requests, pending, fingerprints, results, report
                     )
         finally:
+            self._shm_ledger.sweep()
             if checkpoint is not None:
                 checkpoint.flush()
             if self.cache is not None:
@@ -298,6 +427,211 @@ class Executor:
                 fingerprints[index] or f"#{index}",
             )
             self._complete(index, summary, fingerprints, results)
+
+    # -- cross-run batching ------------------------------------------------
+
+    def _batch_mode(self) -> str:
+        """Concretise ``"auto"``: pool-of-groups only helps with real
+        spare cores; on a single-CPU machine (or a serial executor) the
+        in-process coalesced path is strictly better — no pool setup,
+        no transport, same batched kernels."""
+        if self.batch != "auto":
+            return self.batch
+        if self.jobs > 1 and (os.cpu_count() or 1) > 1:
+            return "pool"
+        return "inproc"
+
+    def _run_batched(
+        self, requests, pending, fingerprints, results, report,
+    ) -> List[int]:
+        """Run vectorizable groups through the batched SoA path.
+
+        Returns the indices still pending afterwards: stragglers that
+        never grouped plus any member whose batch attempt failed —
+        those degrade (alone) to the proven per-run retry machinery.
+        The batch attempt is recorded but never charged against the
+        retry budget.
+        """
+        mode = self._batch_mode()
+        max_group = None
+        if mode == "pool":
+            # Enough groups to occupy every worker, when the buckets
+            # allow it.
+            import math
+
+            max_group = max(2, math.ceil(len(pending) / self.jobs))
+        groups, stragglers = plan_groups(
+            requests, pending, max_group=max_group
+        )
+        if not groups:
+            return pending
+        remaining = list(stragglers)
+        STATS.batched_groups += len(groups)
+        if mode == "pool":
+            group_results = self._run_groups_pool(requests, groups)
+        else:
+            group_results = [
+                (indices,
+                 _normalize_outcomes(run_group(
+                     [requests[i] for i in indices]
+                 )))
+                for indices in groups
+            ]
+        for indices, outcomes in group_results:
+            if outcomes is None:
+                # Whole-group transport/pool failure: every member
+                # degrades to the per-run path, uncharged.
+                remaining.extend(indices)
+                continue
+            for index, outcome in zip(indices, outcomes):
+                ok, summary, error_class, error_message, elapsed = (
+                    outcome
+                )
+                req_report = report.requests[index]
+                if ok:
+                    req_report.attempts.append(AttemptRecord(
+                        attempt=1,
+                        kind="ok",
+                        message=f"batched group of {len(indices)}",
+                        elapsed=elapsed,
+                    ))
+                    STATS.batched_runs += 1
+                    self._complete(
+                        index, summary, fingerprints, results
+                    )
+                else:
+                    req_report.attempts.append(AttemptRecord(
+                        attempt=1,
+                        kind="batch-error",
+                        error=error_class,
+                        message=error_message,
+                        elapsed=elapsed,
+                    ))
+                    remaining.append(index)
+        remaining.sort()
+        return remaining
+
+    def _run_groups_pool(self, requests, groups):
+        """Ship each group to a worker; one shm segment per group.
+
+        Deliberately simpler than :meth:`_pump_pool`: any pool-level
+        failure (crash, timeout, unserialisable group) degrades the
+        affected groups wholesale to the per-run machinery — which owns
+        rebuild budgets and per-run timeouts — instead of duplicating
+        that logic here.  Returns ``(indices, outcomes-or-None)`` per
+        group, where outcomes are normalized member tuples.
+        """
+        import multiprocessing
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures import ProcessPoolExecutor
+
+        results = []
+        use_shm = shm.shm_enabled()
+        try:
+            import cloudpickle
+
+            started_pickle = time.perf_counter()
+            blobs = []
+            for indices in groups:
+                blob = cloudpickle.dumps(
+                    [requests[i] for i in indices], protocol=4
+                )
+                STATS.pickled_bytes += len(blob)
+                blobs.append(blob)
+            STATS.serialize_seconds += (
+                time.perf_counter() - started_pickle
+            )
+            context = multiprocessing.get_context("fork")
+        except Exception:
+            return [(indices, None) for indices in groups]
+
+        workers = min(self.jobs, len(groups))
+        in_flight = {}
+        outcome_map: Dict[int, Optional[list]] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                for position, indices in enumerate(groups):
+                    name = None
+                    if use_shm:
+                        name = self._shm_ledger.issue(
+                            shm.segment_name()
+                        )
+                    future = pool.submit(
+                        _execute_group_blob, blobs[position], name
+                    )
+                    in_flight[future] = (
+                        position, name, time.monotonic(),
+                        len(groups[position]),
+                    )
+                while in_flight:
+                    timeout = None
+                    if self.run_timeout is not None:
+                        deadline = min(
+                            started + self.run_timeout * size
+                            for _, _, started, size in in_flight.values()
+                        )
+                        timeout = max(0.0, deadline - time.monotonic())
+                    done, _ = wait(
+                        set(in_flight), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # A group overran its collective deadline;
+                        # degrade everything still in flight and let
+                        # the per-run path enforce real timeouts.
+                        break
+                    for future in done:
+                        position, name, _, _ = in_flight.pop(future)
+                        outcome_map[position] = self._collect_group(
+                            future, name
+                        )
+        except Exception:
+            pass
+        finally:
+            for future, (position, name, _, _) in in_flight.items():
+                future.cancel()
+                if name is not None:
+                    self._shm_ledger.release(name)
+                outcome_map.setdefault(position, None)
+        for position, indices in enumerate(groups):
+            results.append((indices, outcome_map.get(position)))
+        return results
+
+    def _collect_group(self, future, name):
+        """Decode one finished group future; ``None`` = degrade whole
+        group."""
+        try:
+            transport, meta, payload = future.result()
+            if transport == "shm":
+                shm_name, count, nbytes = payload
+                started = time.perf_counter()
+                summaries = shm.decode_summaries(shm_name)
+                STATS.serialize_seconds += (
+                    time.perf_counter() - started
+                )
+                STATS.shm_bytes += nbytes
+                if len(summaries) != count:
+                    return None
+            else:
+                summaries = payload
+        except Exception:
+            return None
+        finally:
+            if name is not None:
+                self._shm_ledger.release(name)
+        outcomes = []
+        cursor = 0
+        for position, ok, error_class, error_message, elapsed in meta:
+            summary = None
+            if ok:
+                summary = summaries[cursor]
+                cursor += 1
+            outcomes.append(
+                (ok, summary, error_class, error_message, elapsed)
+            )
+        return outcomes
 
     def _run_one_with_retry(self, request, req_report, key: str):
         retry: RetryPolicy = self.retry  # type: ignore[assignment]
@@ -342,10 +676,12 @@ class Executor:
         try:
             import cloudpickle
 
+            started = time.perf_counter()
             for index in pending:
-                blobs[index] = cloudpickle.dumps(
-                    requests[index], protocol=4
-                )
+                blob = cloudpickle.dumps(requests[index], protocol=4)
+                STATS.pickled_bytes += len(blob)
+                blobs[index] = blob
+            STATS.serialize_seconds += time.perf_counter() - started
         except Exception as error:
             self._fall_back_serial(
                 requests, pending, fingerprints, results, report,
@@ -403,6 +739,7 @@ class Executor:
             )
 
         queue = deque(pending)
+        use_shm = shm.shm_enabled()
         #: monotonic instant before which an index must not resubmit
         #: (retry backoff); absent means ready now.
         ready_at: Dict[int, float] = {}
@@ -412,10 +749,19 @@ class Executor:
         rebuilds = 0
         pool = make_pool()
         in_flight: Dict[object, tuple] = {}
+        #: Every worker process ever observed, across rebuilds.  After
+        #: a pool breaks, ``pool._processes`` may already be cleared by
+        #: the manager thread, so teardown joins this snapshot instead:
+        #: a dying worker must be *gone* before the shared-memory sweep
+        #: runs, or it could materialise a segment after the sweep.
+        worker_procs: Dict[int, object] = {}
         clean_exit = False
         try:
             while queue or in_flight:
                 try:
+                    current_procs = getattr(pool, "_processes", None)
+                    if current_procs:
+                        worker_procs.update(current_procs)
                     now = time.monotonic()
                     deferred = []
                     while queue and len(in_flight) < workers:
@@ -424,15 +770,28 @@ class Executor:
                             deferred.append(index)
                             continue
                         attempts[index] += 1
-                        try:
-                            future = pool.submit(
-                                _execute_blob, blobs[index]
+                        shm_name = None
+                        if use_shm:
+                            shm_name = self._shm_ledger.issue(
+                                shm.segment_name()
                             )
+                        try:
+                            if shm_name is not None:
+                                future = pool.submit(
+                                    _execute_blob_shm, blobs[index],
+                                    shm_name,
+                                )
+                            else:
+                                future = pool.submit(
+                                    _execute_blob, blobs[index]
+                                )
                         except _POOL_ERRORS as error:
                             # The pool broke between collections; the
                             # rejected submission is charged like a
                             # crashed future and the rebuild path takes
                             # over.
+                            if shm_name is not None:
+                                self._shm_ledger.release(shm_name)
                             queue.extend(deferred)
                             req_report = report.requests[index]
                             req_report.attempts.append(AttemptRecord(
@@ -446,8 +805,17 @@ class Executor:
                                 error, req_report,
                             )
                             raise _PoolBroken(error) from error
-                        in_flight[future] = (index, time.monotonic())
+                        in_flight[future] = (
+                            index, time.monotonic(), shm_name
+                        )
                     queue.extend(deferred)
+                    # Workers spawn lazily inside submit(); re-snapshot
+                    # after the submission loop so a pool that spawns
+                    # and breaks within one iteration leaves no
+                    # unobserved (hence unreapable) straggler.
+                    current_procs = getattr(pool, "_processes", None)
+                    if current_procs:
+                        worker_procs.update(current_procs)
 
                     if not in_flight:
                         # Everything runnable is backing off; sleep
@@ -464,7 +832,7 @@ class Executor:
                     if self.run_timeout is not None:
                         deadline = min(
                             started + self.run_timeout
-                            for _, started in in_flight.values()
+                            for _, started, _ in in_flight.values()
                         )
                         timeout = max(0.0, deadline - time.monotonic())
                     if queue and len(in_flight) < workers:
@@ -481,13 +849,16 @@ class Executor:
                     )
 
                     for future in done:
-                        index, started = in_flight.pop(future)
+                        index, started, shm_name = in_flight.pop(future)
                         self._collect(
-                            future, index, started, attempts,
+                            future, index, started, shm_name, attempts,
                             ready_at, queue, fingerprints, results,
                             report,
                         )
                 except _PoolBroken as broken:
+                    current_procs = getattr(pool, "_processes", None)
+                    if current_procs:
+                        worker_procs.update(current_procs)
                     rebuilds += 1
                     STATS.pool_rebuilds += 1
                     report.pool_rebuilds += 1
@@ -496,6 +867,7 @@ class Executor:
                         broken.cause,
                     )
                     self._kill_pool(pool)
+                    self._reap_stragglers(worker_procs)
                     if rebuilds > self.max_pool_rebuilds:
                         remaining = [
                             i for i in pending if results[i] is None
@@ -523,17 +895,47 @@ class Executor:
                 pool.shutdown(wait=True)
             else:
                 self._kill_pool(pool)
+            self._reap_stragglers(worker_procs)
 
     def _collect(
+        self, future, index, started, shm_name, attempts, ready_at,
+        queue, fingerprints, results, report,
+    ) -> None:
+        """Fold one finished future into results / retry queue.
+
+        Whatever the outcome — decoded summary, application error,
+        pool crash about to be re-raised — the request's shared-memory
+        segment is released: a resubmission always gets a fresh name.
+        """
+        try:
+            self._collect_result(
+                future, index, started, attempts, ready_at, queue,
+                fingerprints, results, report,
+            )
+        finally:
+            if shm_name is not None:
+                self._shm_ledger.release(shm_name)
+
+    def _collect_result(
         self, future, index, started, attempts, ready_at, queue,
         fingerprints, results, report,
     ) -> None:
-        """Fold one finished future into results / retry queue."""
         retry: RetryPolicy = self.retry  # type: ignore[assignment]
         elapsed = time.monotonic() - started
         req_report = report.requests[index]
         try:
             summary = future.result()
+            if (
+                isinstance(summary, tuple) and len(summary) == 4
+                and summary[0] == "shm"
+            ):
+                _, name, _count, nbytes = summary
+                decode_started = time.perf_counter()
+                summary = shm.decode_summaries(name)[0]
+                STATS.serialize_seconds += (
+                    time.perf_counter() - decode_started
+                )
+                STATS.shm_bytes += nbytes
         except Exception as error:
             if BrokenProcessPool is not None and isinstance(
                 error, BrokenProcessPool
@@ -591,7 +993,11 @@ class Executor:
         self, in_flight, attempts, ready_at, queue, report, cause
     ) -> None:
         """After a pool crash, recycle every in-flight request."""
-        for future, (index, started) in list(in_flight.items()):
+        for future, (index, started, shm_name) in list(
+            in_flight.items()
+        ):
+            if shm_name is not None:
+                self._shm_ledger.release(shm_name)
             elapsed = time.monotonic() - started
             req_report = report.requests[index]
             req_report.attempts.append(AttemptRecord(
@@ -622,14 +1028,16 @@ class Executor:
         """
         now = time.monotonic()
         expired = {
-            future: (index, started)
-            for future, (index, started) in in_flight.items()
-            if now - started >= self.run_timeout
+            future: entry
+            for future, entry in in_flight.items()
+            if now - entry[1] >= self.run_timeout
         }
         if not expired:
             return pool
-        for future, (index, started) in expired.items():
+        for future, (index, started, shm_name) in expired.items():
             del in_flight[future]
+            if shm_name is not None:
+                self._shm_ledger.release(shm_name)
             elapsed = now - started
             req_report = report.requests[index]
             req_report.attempts.append(AttemptRecord(
@@ -654,7 +1062,11 @@ class Executor:
                 attempts[index], f"#{index}"
             )
             queue.append(index)
-        for future, (index, started) in list(in_flight.items()):
+        for future, (index, started, shm_name) in list(
+            in_flight.items()
+        ):
+            if shm_name is not None:
+                self._shm_ledger.release(shm_name)
             req_report = report.requests[index]
             req_report.attempts.append(AttemptRecord(
                 attempt=attempts[index],
@@ -668,12 +1080,52 @@ class Executor:
         return make_pool()
 
     @staticmethod
+    def _reap_stragglers(
+        procs: Dict[int, object], timeout: float = 5.0
+    ) -> None:
+        """SIGKILL any observed worker process still alive.
+
+        When a pool breaks, ``pool._processes`` may already be cleared,
+        so :meth:`_kill_pool` cannot reach the workers — and on a busy
+        machine a descheduled straggler can outlive the whole run and
+        materialise its shared-memory result segment *after* the
+        ledger sweep.  Killing (not terminating: SIGKILL acts even on
+        a descheduled process) every straggler and joining it makes
+        the sweep that follows authoritative.
+        """
+        deadline = time.monotonic() + timeout
+        stragglers = []
+        for process in list(procs.values()):
+            try:
+                if not process.is_alive():
+                    continue
+                process.kill()
+                stragglers.append(process)
+            except Exception:  # pragma: no cover - racing process death
+                pass
+        for process in stragglers:
+            try:
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:  # pragma: no cover - racing process death
+                pass
+
+    @staticmethod
     def _kill_pool(pool) -> None:
-        """Terminate a pool's workers without waiting on hung tasks."""
+        """Terminate a pool's workers without waiting on hung tasks.
+
+        After SIGTERM, each worker gets a short grace join so the
+        shared-memory sweep that follows pool teardown cannot race a
+        dying worker still materialising its result segment.
+        """
         processes = getattr(pool, "_processes", None) or {}
         for process in list(processes.values()):
             try:
                 process.terminate()
+            except Exception:  # pragma: no cover - racing process death
+                pass
+        for process in list(processes.values()):
+            try:
+                process.join(timeout=0.5)
             except Exception:  # pragma: no cover - racing process death
                 pass
         try:

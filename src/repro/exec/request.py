@@ -36,7 +36,13 @@ from typing import Callable, Dict, Optional, Tuple
 #: Version 3: workload specs carry ``start_times``/``restart`` (burst
 #: storms) and summaries carry ``policy_fallbacks``; old entries lack
 #: the new fields, so their fingerprints must never hit.
-RUN_FORMAT_VERSION = 3
+#: Version 4: summaries may be produced by the cross-run batched
+#: execution path and transported through shared-memory SoA blocks
+#: (:mod:`repro.exec.batch` / :mod:`repro.exec.shm`).  Both are
+#: specified bit-identical to per-run pickled execution, but the bump
+#: orphans every pre-batch cache entry so any assembly or transport
+#: drift can never silently replay stale results.
+RUN_FORMAT_VERSION = 4
 
 
 def _stable_token(factory: Callable) -> Optional[str]:
@@ -298,13 +304,14 @@ def _availability(request: RunRequest, topology):
     return StaticAvailability(request.processors or topology.cores)
 
 
-def _simulate(request: RunRequest, stepping: str):
-    """Build and run one engine for ``request`` with fresh policies.
+def _build_simulation(request: RunRequest, stepping: str):
+    """Build one ready-to-run engine for ``request`` with fresh policies.
 
-    Returns ``(result, engine, recorder)``; separate from
-    :func:`execute_request` so the determinism cross-check can re-run
-    the identical scenario under the other stepping mode with its own
-    freshly-built (stateful) policy objects.
+    Returns ``(engine, recorder, base_policy)`` without running the
+    engine, so callers can choose the drive mode: solo
+    (:func:`_simulate` calls ``engine.run()``) or interleaved with
+    other engines through the span-step generator
+    (:mod:`repro.exec.batch`).
     """
     from ..core.policies.fixed import RecordingPolicy
     from ..core.training import scale_program
@@ -356,8 +363,20 @@ def _simulate(request: RunRequest, stepping: str):
         timeline_period=None,
         stepping=stepping,
     )
-    result = engine.run()
     base_policy = recorder.inner if recorder is not None else policy
+    return engine, recorder, base_policy
+
+
+def _simulate(request: RunRequest, stepping: str):
+    """Build and run one engine for ``request`` with fresh policies.
+
+    Returns ``(result, engine, recorder, base_policy)``; separate from
+    :func:`execute_request` so the determinism cross-check can re-run
+    the identical scenario under the other stepping mode with its own
+    freshly-built (stateful) policy objects.
+    """
+    engine, recorder, base_policy = _build_simulation(request, stepping)
+    result = engine.run()
     return result, engine, recorder, base_policy
 
 
@@ -404,6 +423,16 @@ def execute_request(request: RunRequest) -> RunSummary:
         request, request.stepping
     )
     _sanitize_cross_check(request, engine)
+    return _summarize(request, result, recorder, base_policy)
+
+
+def _summarize(request, result, recorder, base_policy) -> RunSummary:
+    """Assemble the :class:`RunSummary` for one finished simulation.
+
+    Shared by solo execution (:func:`execute_request`) and the batch
+    driver (:mod:`repro.exec.batch`), so both produce byte-identical
+    summaries from identical simulation results.
+    """
     if result.target_time is None:
         scenario = getattr(request.scenario, "name", "static")
         raise RuntimeError(

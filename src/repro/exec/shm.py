@@ -1,0 +1,320 @@
+"""Shared-memory SoA transport for run summaries.
+
+The classic process-pool result path pickles every
+:class:`~repro.exec.request.RunSummary` in the worker and unpickles it
+in the parent — byte-copied through a pipe, object-decoded twice.  The
+bulk of a summary is its *decision streams* (the selection log and, on
+recording runs, the feature records), which are homogeneous and pack
+naturally into flat arrays.  This module writes them as
+structure-of-arrays blocks in a ``multiprocessing.shared_memory``
+segment instead: the worker lays the streams out once, the parent maps
+the segment and reconstructs summaries from array views — no pipe
+traffic proportional to the stream length, no second pickling pass.
+
+Layout of a segment::
+
+    [8-byte big-endian header length][pickled header][pad to 8][arrays]
+
+The header carries the per-summary scalars verbatim (pickled, so types
+round-trip exactly), the string vocabulary, the stream lengths and the
+array descriptors ``(key, dtype, count, offset)``.  The streams store
+``float64``/``int64`` columns plus vocabulary indices for the string
+fields; ``float64`` round-trips every IEEE double bit-exactly, so a
+decoded summary compares equal to the pickled original.
+
+Naming and cleanup discipline: the **parent** assigns segment names
+(:func:`segment_name`) *before* submitting work and tracks them in a
+:class:`~repro.exec.fault.ShmLedger`; the worker creates the segment,
+writes, and never unlinks.  Whatever happens to the worker — clean
+return, exception, chaos kill, timeout reaping — the parent can always
+sweep the names it issued (:func:`unlink`), so no segment outlives the
+executor call.  Attach-side resource-tracker registration (a Python <
+3.13 quirk that would otherwise double-unlink) is undone defensively.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Bump when the segment layout changes; decoders reject other versions.
+SHM_FORMAT_VERSION = 1
+
+_HEADER_LEN = struct.Struct(">Q")
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here (memoised).
+
+    Sandboxes without ``/dev/shm`` raise on segment creation; probe
+    once with a minimal segment instead of failing per run.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+def shm_enabled() -> bool:
+    """``REPRO_SHM`` knob (default on) AND platform support."""
+    raw = os.environ.get("REPRO_SHM", "").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return False
+    return shm_available()
+
+
+_COUNTER = 0
+
+
+def segment_name() -> str:
+    """A fresh parent-assigned segment name (``repro-<pid>-<n>``)."""
+    global _COUNTER
+    _COUNTER += 1
+    return f"repro-{os.getpid()}-{_COUNTER}"
+
+
+def _attach(name: str):
+    """Attach to an existing segment without tracker double-counting.
+
+    Python 3.13 made attachments register with the resource tracker by
+    default (``track=True``), which would double-unlink here — the
+    creator's registration, shared through the fork-inherited tracker
+    process, is the one :func:`unlink` consumes.  Pass ``track=False``
+    where supported; earlier versions never tracked attachments.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def _unlink_raw(name: str) -> bool:
+    """Remove segment ``name`` at the POSIX level, bypassing mmap.
+
+    A worker killed between ``shm_open`` and ``ftruncate`` leaves a
+    *torn* zero-byte segment that :class:`SharedMemory` cannot attach
+    to (mapping an empty file raises), so the high-level unlink path
+    would mistake it for a missing segment and leak it forever.
+    """
+    try:
+        import _posixshmem
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return False
+    try:
+        _posixshmem.shm_unlink("/" + name)
+    except FileNotFoundError:
+        return False
+    except Exception:  # pragma: no cover - permission races
+        return False
+    return True
+
+
+def unlink(name: str) -> bool:
+    """Best-effort removal of segment ``name``; True if it existed."""
+    try:
+        segment = _attach(name)
+    except FileNotFoundError:
+        return False
+    except Exception:
+        # Attach failures other than "no such segment" usually mean a
+        # torn segment from a killed worker; remove it raw.
+        return _unlink_raw(name)
+    try:
+        segment.unlink()
+    except Exception:
+        pass
+    finally:
+        try:
+            segment.close()
+        except Exception:
+            pass
+    return True
+
+
+def _pack(summaries: Sequence) -> tuple:
+    """Build the pickled header and the concatenated array section."""
+    vocab: List[str] = []
+    vocab_index = {}
+
+    def intern(text: str) -> int:
+        slot = vocab_index.get(text)
+        if slot is None:
+            slot = len(vocab)
+            vocab_index[text] = slot
+            vocab.append(text)
+        return slot
+
+    sel_time: List[float] = []
+    sel_threads: List[int] = []
+    sel_job: List[int] = []
+    sel_loop: List[int] = []
+    rec_time: List[float] = []
+    rec_threads: List[int] = []
+    rec_loop: List[int] = []
+    rec_feat: List[float] = []
+    rec_feat_off: List[int] = [0]
+    entries = []
+    for summary in summaries:
+        entries.append({
+            "target": summary.target,
+            "policy": summary.policy,
+            "target_time": summary.target_time,
+            "workload_throughput": summary.workload_throughput,
+            "duration": summary.duration,
+            "workload_runs": summary.workload_runs,
+            "policy_fallbacks": summary.policy_fallbacks,
+            "n_selections": len(summary.selections),
+            "n_records": len(summary.records),
+        })
+        for sel in summary.selections:
+            sel_time.append(sel.time)
+            sel_threads.append(sel.threads)
+            sel_job.append(intern(sel.job_id))
+            sel_loop.append(intern(sel.loop_name))
+        for rec in summary.records:
+            rec_time.append(rec.time)
+            rec_threads.append(rec.threads)
+            rec_loop.append(intern(rec.loop_name))
+            rec_feat.extend(rec.features)
+            rec_feat_off.append(len(rec_feat))
+
+    arrays = {
+        "sel_time": np.asarray(sel_time, dtype=np.float64),
+        "sel_threads": np.asarray(sel_threads, dtype=np.int64),
+        "sel_job": np.asarray(sel_job, dtype=np.int64),
+        "sel_loop": np.asarray(sel_loop, dtype=np.int64),
+        "rec_time": np.asarray(rec_time, dtype=np.float64),
+        "rec_threads": np.asarray(rec_threads, dtype=np.int64),
+        "rec_loop": np.asarray(rec_loop, dtype=np.int64),
+        "rec_feat": np.asarray(rec_feat, dtype=np.float64),
+        "rec_feat_off": np.asarray(rec_feat_off, dtype=np.int64),
+    }
+    descriptors = []
+    offset = 0
+    chunks = []
+    for key, array in arrays.items():
+        descriptors.append((key, str(array.dtype), int(array.size),
+                            offset))
+        chunks.append(array.tobytes())
+        offset += array.nbytes
+    header = pickle.dumps({
+        "version": SHM_FORMAT_VERSION,
+        "entries": entries,
+        "vocab": vocab,
+        "arrays": descriptors,
+    }, protocol=4)
+    return header, b"".join(chunks)
+
+
+def encode_summaries(summaries: Sequence, name: str) -> int:
+    """Write ``summaries`` into a fresh segment ``name``; returns bytes.
+
+    Creates the segment (the name must be parent-assigned and fresh),
+    copies the header + SoA blocks in, and closes the local mapping.
+    The segment itself stays alive for the parent to decode and unlink.
+    """
+    from multiprocessing import shared_memory
+
+    header, body = _pack(summaries)
+    prefix = _HEADER_LEN.pack(len(header)) + header
+    pad = (-len(prefix)) % 8
+    prefix += b"\0" * pad
+    total = len(prefix) + len(body)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(total, 1)
+    )
+    try:
+        segment.buf[:len(prefix)] = prefix
+        if body:
+            segment.buf[len(prefix):total] = body
+    finally:
+        segment.close()
+    return total
+
+
+def decode_summaries(name: str) -> List:
+    """Reconstruct the summary list from segment ``name`` (no unlink)."""
+    from ..runtime.engine import Selection
+    from .request import RecordedSelection, RunSummary
+
+    segment = _attach(name)
+    try:
+        (header_len,) = _HEADER_LEN.unpack_from(segment.buf, 0)
+        header = pickle.loads(
+            bytes(segment.buf[8:8 + header_len])
+        )
+        if header.get("version") != SHM_FORMAT_VERSION:
+            raise ValueError(
+                f"shm segment {name!r} has format "
+                f"{header.get('version')!r}, expected "
+                f"{SHM_FORMAT_VERSION}"
+            )
+        base = 8 + header_len + ((-(8 + header_len)) % 8)
+        arrays = {}
+        for key, dtype, count, offset in header["arrays"]:
+            view = np.frombuffer(
+                segment.buf, dtype=np.dtype(dtype), count=count,
+                offset=base + offset,
+            )
+            arrays[key] = view.copy()
+            del view
+    finally:
+        segment.close()
+
+    vocab = header["vocab"]
+    summaries = []
+    sel_cursor = 0
+    rec_cursor = 0
+    for entry in header["entries"]:
+        selections = []
+        for i in range(sel_cursor, sel_cursor + entry["n_selections"]):
+            selections.append(Selection(
+                time=float(arrays["sel_time"][i]),
+                job_id=vocab[int(arrays["sel_job"][i])],
+                loop_name=vocab[int(arrays["sel_loop"][i])],
+                threads=int(arrays["sel_threads"][i]),
+            ))
+        sel_cursor += entry["n_selections"]
+        records = []
+        feat_off = arrays["rec_feat_off"]
+        feat = arrays["rec_feat"]
+        for i in range(rec_cursor, rec_cursor + entry["n_records"]):
+            records.append(RecordedSelection(
+                time=float(arrays["rec_time"][i]),
+                loop_name=vocab[int(arrays["rec_loop"][i])],
+                features=tuple(
+                    float(v)
+                    for v in feat[int(feat_off[i]):int(feat_off[i + 1])]
+                ),
+                threads=int(arrays["rec_threads"][i]),
+            ))
+        rec_cursor += entry["n_records"]
+        summaries.append(RunSummary(
+            target=entry["target"],
+            policy=entry["policy"],
+            target_time=entry["target_time"],
+            workload_throughput=entry["workload_throughput"],
+            duration=entry["duration"],
+            workload_runs=entry["workload_runs"],
+            selections=tuple(selections),
+            records=tuple(records),
+            policy_fallbacks=entry["policy_fallbacks"],
+        ))
+    return summaries

@@ -10,7 +10,15 @@ policies, with only the target's policy varying.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.policies import (
     AnalyticPolicy,
@@ -344,18 +352,21 @@ def compare_policies(
     executor: Optional[Executor] = None,
     jobs: Optional[int] = None,
     stepping: str = "event",
+    batch: Union[str, bool, None] = "default",
 ) -> PolicyComparison:
     """Evaluate all policies on one target in one scenario.
 
-    Runs go through the :mod:`repro.exec` layer: batched over the
-    executor's worker pool (``jobs``/``REPRO_JOBS``; default serial) and
+    Runs go through the :mod:`repro.exec` layer: spread over the
+    executor's worker pool (``jobs``/``REPRO_JOBS``; default serial),
+    optionally batched through shared SoA kernel invocations
+    (``batch``/``REPRO_BATCH``; physics stays bit-identical) and
     memoised on disk, while keeping the paper's protocol — identical
     workload sets, seeds and availability schedules across policies.
     """
     if "default" not in policies:
         raise ValueError("policies must include the 'default' baseline")
     if executor is None:
-        executor = Executor(jobs=resolve_jobs(jobs))
+        executor = Executor(jobs=resolve_jobs(jobs), batch=batch)
     specs = {
         name: PolicySpec.of(factory, label=name)
         for name, factory in policies.items()
@@ -434,18 +445,20 @@ def evaluate_scenario(
     executor: Optional[Executor] = None,
     jobs: Optional[int] = None,
     stepping: str = "event",
+    batch: Union[str, bool, None] = "default",
 ) -> ScenarioTable:
     """One full per-benchmark figure (Figures 7, 9-12).
 
-    All targets' runs are submitted as a single batch so the worker pool
-    stays saturated across row boundaries.
+    All targets' runs are submitted as a single list so the worker pool
+    stays saturated across row boundaries — and so the batch planner
+    sees the whole grid at once when batching is enabled.
     """
     if policies is None:
         policies = standard_policies()
     if "default" not in policies:
         raise ValueError("policies must include the 'default' baseline")
     if executor is None:
-        executor = Executor(jobs=resolve_jobs(jobs))
+        executor = Executor(jobs=resolve_jobs(jobs), batch=batch)
     specs = {
         name: PolicySpec.of(factory, label=name)
         for name, factory in policies.items()

@@ -77,12 +77,12 @@ MAX_SPIN_WASTE = 0.8
 #: Precomputed ``1 - MAX_SPIN_WASTE`` (hot-path constant folding).
 _SPIN_BASE = 1.0 - MAX_SPIN_WASTE
 
-#: Largest active-job count for which a fast-forward span is applied
-#: with scalar Python instead of the NumPy kernels: below this the
-#: array gather in :func:`repro.runtime.kernels.build_span_state` costs
-#: more than the vectorization saves.  Both paths compute the same
-#: products in the same order, so results are bit-identical.
-SCALAR_SPAN_MAX = 12
+#: Largest active-row count for which a fast-forward span is applied
+#: with scalar Python instead of the NumPy kernels (re-exported from
+#: :mod:`repro.runtime.kernels`, where the batch-aware threshold now
+#: lives).  Both paths compute the same products in the same order, so
+#: results are bit-identical.
+SCALAR_SPAN_MAX = kernels.SCALAR_SPAN_MAX
 
 
 def _grid_horizon(limit: float, time: float, dt: float) -> float:
@@ -313,10 +313,34 @@ class CoExecutionEngine:
         )
 
     def run(self) -> SimulationResult:
-        """Execute the co-execution scenario and collect results."""
+        """Execute the co-execution scenario and collect results.
+
+        Drives :meth:`span_steps` to completion, applying each yielded
+        span plan immediately — the solo execution mode.  A batch
+        driver (:mod:`repro.exec.batch`) instead interleaves the
+        generators of several engines and applies their plans together
+        through one batched kernel invocation.
+        """
+        steps = self.span_steps()
+        while True:
+            try:
+                plan = next(steps)
+            except StopIteration as stop:
+                return stop.value
+            plan.apply()
+
+    def span_steps(self):
+        """Generator form of the tick loop for external span drivers.
+
+        Yields a :class:`repro.runtime.kernels.SpanPlan` at every
+        event-free fast-forward point; the caller must apply the plan
+        (solo or batched — bit-identical either way) before resuming
+        the generator.  The generator's return value is the
+        :class:`SimulationResult`.
+        """
         return self._run_loop(event=self._stepping == "event")
 
-    def _run_loop(self, event: bool) -> SimulationResult:
+    def _run_loop(self, event: bool):
         """The tick loop; ``event=True`` adds event-free fast-forwards.
 
         Every tick that *executes* runs the identical code path in both
@@ -555,26 +579,18 @@ class CoExecutionEngine:
                 span_blocked = True
                 continue
             ticks = int(horizon)
-            if len(span_rows) <= SCALAR_SPAN_MAX:
-                # Few jobs: the NumPy gather costs more than it saves,
-                # and the pre-pass already holds every rate.  The math
-                # below is element-for-element the same as apply_span
-                # (same products, same order), so both paths produce
-                # bit-identical state.
-                elapsed = ticks * dt
-                for state, instance, alloc, rate, serial in span_rows:
-                    work = rate * elapsed
-                    state.work_done += work
-                    state.cpu_time += alloc.granted_cpus * elapsed
-                    instance.remaining -= work
-                    if not serial:
-                        state.region_elapsed += elapsed
-            else:
-                span = kernels.build_span_state(
-                    [row[0] for row in span_rows],
-                    allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE,
-                )
-                kernels.apply_span(span, ticks, dt)
+            # Hand the span to the driver instead of applying it here:
+            # `run()` applies it immediately (the historical scalar /
+            # NumPy split lives in SpanPlan.apply), while a cross-run
+            # batch driver coalesces plans from many engines into one
+            # kernel invocation.  Either way the plan is applied before
+            # the generator resumes, so the code below always sees
+            # fully advanced job state.
+            yield kernels.SpanPlan(
+                rows=span_rows, ticks=ticks, dt=dt,
+                allocation=allocation, spin_coeff=SPIN_WASTE_COEFF,
+                max_spin_waste=MAX_SPIN_WASTE,
+            )
             # Accumulate `time` tick by tick: span ticks must leave the
             # float trajectory bit-identical to fixed stepping, or grid
             # predicates (availability periods, arrival comparisons)

@@ -1,0 +1,224 @@
+"""Cross-run batched execution through the executor.
+
+Grouping rules, bit-identity of every batch mode against the serial
+per-run path, the ``REPRO_SANITIZE=1`` digest cross-check under
+batching, and failure isolation (a poisoned member degrades alone to
+the per-run retry path while the rest of its group completes batched).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    Executor,
+    PolicySpec,
+    RunRequest,
+    WorkloadSpec,
+    plan_groups,
+    resolve_batch,
+    run_group,
+)
+from repro.exec.batch import MIN_GROUP, group_key
+from tests.exec.test_fault import SCALE, flaky_factory, tiny_request
+
+
+def grid(policies=(4, 8), seeds=(0, 1), target="cg"):
+    """A small figure-style grid: policies x seeds, one shape."""
+    return [
+        tiny_request(policy=PolicySpec.fixed(threads), seed=seed,
+                     target=target)
+        for threads in policies
+        for seed in seeds
+    ]
+
+
+class TestResolveBatch:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch(None) == "off"
+        assert resolve_batch("default") == "off"
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert resolve_batch("default") == "auto"
+        monkeypatch.setenv("REPRO_BATCH", "inproc")
+        assert resolve_batch("default") == "inproc"
+        monkeypatch.setenv("REPRO_BATCH", "off")
+        assert resolve_batch("default") == "off"
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "pool")
+        assert resolve_batch(True) == "auto"
+        assert resolve_batch(False) == "off"
+        assert resolve_batch("inproc") == "inproc"
+
+    def test_unknown_mode_warns_and_disables(self):
+        with pytest.warns(UserWarning):
+            assert resolve_batch("sideways") == "off"
+
+
+class TestGrouping:
+    def test_same_shape_different_policy_and_seed_share_a_group(self):
+        requests = grid()
+        keys = {group_key(request) for request in requests}
+        assert len(keys) == 1
+        groups, stragglers = plan_groups(requests, range(len(requests)))
+        assert groups == [[0, 1, 2, 3]]
+        assert stragglers == []
+
+    def test_different_targets_split(self):
+        requests = grid(target="cg") + grid(target="ep")
+        groups, stragglers = plan_groups(requests, range(len(requests)))
+        assert sorted(map(sorted, groups)) == [
+            [0, 1, 2, 3], [4, 5, 6, 7],
+        ]
+        assert stragglers == []
+
+    def test_fixed_stepping_never_batches(self):
+        requests = [
+            tiny_request(seed=seed, stepping="fixed") for seed in (0, 1)
+        ]
+        groups, stragglers = plan_groups(requests, range(len(requests)))
+        assert groups == []
+        assert stragglers == [0, 1]
+
+    def test_singleton_buckets_become_stragglers(self):
+        requests = [
+            tiny_request(target="cg"),
+            tiny_request(target="ep"),
+        ]
+        groups, stragglers = plan_groups(requests, range(len(requests)))
+        assert groups == []
+        assert stragglers == [0, 1]
+
+    def test_max_group_chunks_and_reassigns_short_tails(self):
+        requests = grid(policies=(2, 4, 8), seeds=(0,))  # 3 members
+        groups, stragglers = plan_groups(
+            requests, range(len(requests)), max_group=2
+        )
+        assert groups == [[0, 1]]
+        assert stragglers == [2]  # tail of 1 < MIN_GROUP
+        assert MIN_GROUP == 2
+
+    def test_subset_of_indices_respected(self):
+        requests = grid()
+        groups, stragglers = plan_groups(requests, [0, 2])
+        assert groups == [[0, 2]]
+        assert stragglers == []
+
+
+class TestRunGroupBitIdentity:
+    def test_group_matches_serial_per_run(self):
+        requests = grid()
+        serial = Executor(jobs=1, cache=None, checkpoint=None).run(
+            requests
+        )
+        outcomes = run_group(requests)
+        assert all(outcome.ok for outcome in outcomes)
+        assert [outcome.summary for outcome in outcomes] == serial
+
+    def test_workload_scenario_matches_serial(self):
+        workload = WorkloadSpec(
+            program_names=("is", "ft"), start_times=(0.0, 0.4),
+            policy=PolicySpec.fixed(2),
+        )
+        requests = [
+            tiny_request(seed=seed, workload=workload,
+                         processors=8)
+            for seed in (0, 1, 2)
+        ]
+        serial = Executor(jobs=1, cache=None, checkpoint=None).run(
+            requests
+        )
+        outcomes = run_group(requests)
+        assert [outcome.summary for outcome in outcomes] == serial
+
+    def test_sanitize_digest_cross_check_passes(self, monkeypatch):
+        # REPRO_SANITIZE=1 replays every member in the other stepping
+        # mode and compares state digests; batching must not trip it.
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        outcomes = run_group(grid(policies=(4, 8), seeds=(0,)))
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_poisoned_member_fails_alone(self):
+        requests = grid(policies=(4, 8), seeds=(0,))
+        poisoned = tiny_request(
+            policy=PolicySpec.of(flaky_factory(99), label="poison"),
+        )
+        outcomes = run_group([requests[0], poisoned, requests[1]])
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "flaky policy build" in str(outcomes[1].error)
+        # The healthy members' summaries are unaffected by the failure.
+        solo = Executor(jobs=1, cache=None, checkpoint=None).run(requests)
+        assert [outcomes[0].summary, outcomes[2].summary] == solo
+
+
+class TestExecutorBatchModes:
+    @pytest.fixture()
+    def serial(self):
+        return Executor(
+            jobs=1, cache=None, checkpoint=None, batch="off"
+        ).run(grid())
+
+    @pytest.mark.parametrize("mode", ["inproc", "auto", "pool"])
+    def test_mode_matches_serial(self, mode, serial):
+        summaries = Executor(
+            jobs=2, cache=None, checkpoint=None, batch=mode
+        ).run(grid())
+        assert summaries == serial
+
+    def test_env_knob_reaches_executor(self, monkeypatch, serial):
+        monkeypatch.setenv("REPRO_BATCH", "inproc")
+        executor = Executor(jobs=1, cache=None, checkpoint=None)
+        assert executor.batch == "inproc"
+        assert executor.run(grid()) == serial
+
+    def test_batched_runs_counted(self):
+        from repro.exec.executor import STATS
+
+        before = STATS.snapshot()
+        Executor(
+            jobs=1, cache=None, checkpoint=None, batch="inproc"
+        ).run(grid())
+        after = STATS.snapshot()
+        assert after["batched_runs"] - before["batched_runs"] == 4
+        assert after["batched_groups"] - before["batched_groups"] == 1
+
+    def test_poisoned_member_degrades_alone_and_retries(self):
+        # One member fails inside the batch; the executor must charge
+        # it a "batch-error" attempt (uncharged against retries), then
+        # recover it on the per-run path while the rest stay batched.
+        requests = grid(policies=(4, 8), seeds=(0,))
+        poisoned = tiny_request(
+            policy=PolicySpec.of(flaky_factory(1), label="flaky"),
+        )
+        executor = Executor(
+            jobs=1, cache=None, checkpoint=None, batch="inproc"
+        )
+        summaries = executor.run(requests + [poisoned])
+        assert len(summaries) == 3
+        assert summaries[2].target_time is not None
+        report = executor.last_report
+        flaky_report = report.requests[2]
+        kinds = [attempt.kind for attempt in flaky_report.attempts]
+        assert "batch-error" in kinds
+        assert kinds[-1] == "ok"
+
+    def test_cache_and_batching_compose(self, tmp_path):
+        from repro.exec import RunCache
+
+        requests = grid()
+        cache = RunCache(tmp_path)
+        first = Executor(
+            jobs=1, cache=cache, checkpoint=None, batch="inproc"
+        ).run(requests)
+        second = Executor(
+            jobs=1, cache=cache, checkpoint=None, batch="inproc"
+        ).run(requests)
+        assert first == second
+        serial = Executor(jobs=1, cache=None, checkpoint=None).run(
+            requests
+        )
+        assert first == serial

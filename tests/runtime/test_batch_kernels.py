@@ -1,0 +1,353 @@
+"""Leading-batch-axis span kernels vs the per-run kernels.
+
+The batch driver (`repro.exec.batch`) relies on one invariant: a run
+advanced through batched `(B, Jmax)` kernel invocations is bitwise
+indistinguishable from the same run advanced solo.  These tests pin
+that invariant at every level — plane gather, rates, horizons, span
+writeback, the aggregate scalar fallback, and whole engines stepped in
+lock-step.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.policies import FixedPolicy
+from repro.machine.machine import SimMachine
+from repro.machine.topology import XEON_L7555
+from repro.runtime import kernels
+from repro.runtime.engine import (
+    MAX_SPIN_WASTE,
+    SPIN_WASTE_COEFF,
+    CoExecutionEngine,
+    JobSpec,
+)
+from repro.runtime.kernels import (
+    SCALAR_SPAN_MAX,
+    SpanPlan,
+    apply_span,
+    apply_span_plans,
+    build_batch_span_state,
+    build_span_state,
+    completion_horizon,
+)
+from tests.runtime.test_engine import tiny_program
+from tests.runtime.test_kernels import engine_and_states, hand_span
+
+
+def plan_for(states, allocation, ticks=5, dt=0.1):
+    """A SpanPlan over real states, rows gathered like the engine's
+    span pre-pass (rate slots use the vector kernel's own values; the
+    scalar/vector identity is pinned separately in test_kernels)."""
+    span = build_span_state(
+        states, allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE
+    )
+    rows = [
+        (
+            state,
+            state.instance,
+            allocation.allocations[state.spec.job_id],
+            span.rates[row],
+            state.region is None,
+        )
+        for row, state in enumerate(states)
+    ]
+    return SpanPlan(
+        rows=rows, ticks=ticks, dt=dt, allocation=allocation,
+        spin_coeff=SPIN_WASTE_COEFF, max_spin_waste=MAX_SPIN_WASTE,
+    )
+
+
+def ragged_plans(ticks=(5, 3), dt=0.1):
+    """Two plans of different widths (2 and 1 rows) over real states."""
+    _, states_a, alloc_a = engine_and_states([6, 8], available=8)
+    _, states_b, alloc_b = engine_and_states([4], available=8)
+    return [
+        plan_for(states_a, alloc_a, ticks=ticks[0], dt=dt),
+        plan_for(states_b, alloc_b, ticks=ticks[1], dt=dt),
+    ]
+
+
+class TestBuildBatchSpanState:
+    def test_planes_match_per_member_span_state(self):
+        plans = ragged_plans()
+        batch = build_batch_span_state(plans)
+        assert len(batch) == 2
+        for b, plan in enumerate(plans):
+            states = [row[0] for row in plan.rows]
+            solo = build_span_state(
+                states, plan.allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE
+            )
+            width = len(states)
+            np.testing.assert_array_equal(
+                batch.threads[b, :width], solo.threads
+            )
+            np.testing.assert_array_equal(
+                batch.share[b, :width], solo.share
+            )
+            np.testing.assert_array_equal(
+                batch.granted_cpus[b, :width], solo.granted_cpus
+            )
+            np.testing.assert_array_equal(
+                batch.efficiency[b, :width], solo.efficiency
+            )
+            np.testing.assert_array_equal(
+                batch.sync[b, :width], solo.sync
+            )
+            np.testing.assert_array_equal(
+                batch.serial[b, :width], solo.serial
+            )
+            assert batch.members[b] == states
+
+    def test_batched_rates_bit_identical_to_per_member_rates(self):
+        plans = ragged_plans()
+        batch = build_batch_span_state(plans)
+        for b, plan in enumerate(plans):
+            states = [row[0] for row in plan.rows]
+            solo = build_span_state(
+                states, plan.allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE
+            )
+            # Bitwise, not approx: the batched gather must feed the
+            # identical operands through the identical elementwise ops.
+            np.testing.assert_array_equal(
+                batch.rates[b, :len(states)], solo.rates
+            )
+
+    def test_pad_rows_have_rate_exactly_zero(self):
+        batch = build_batch_span_state(ragged_plans())
+        # Member 1 has a single real row; its pad row must be inert.
+        assert batch.rates.shape == (2, 2)
+        assert batch.rates[1, 1] == 0.0
+        assert batch.threads[1, 1] == 0.0
+        assert not batch.serial[1, 1]
+
+    def test_zero_plans_rejected(self):
+        with pytest.raises(ValueError):
+            build_batch_span_state([])
+
+
+class TestBatchedCompletionHorizon:
+    def test_per_member_horizons_match_solo(self):
+        plans = ragged_plans()
+        batch = build_batch_span_state(plans)
+        horizons = completion_horizon(batch, 0.1)
+        assert horizons.shape == (2,)
+        for b, plan in enumerate(plans):
+            states = [row[0] for row in plan.rows]
+            solo = build_span_state(
+                states, plan.allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE
+            )
+            assert horizons[b] == completion_horizon(solo, 0.1)
+
+    def test_pad_rows_impose_no_bound(self):
+        # A hand batch where the only real row of member 1 is stalled:
+        # its horizon must be inf, the pad row contributing nothing.
+        solo_a = hand_span([2.0, 1.0], [2.0 * 0.1 * 8, 1.0 * 0.1 * 30])
+        solo_b = hand_span([0.0], [5.0])
+        batch = kernels.BatchSpanState(
+            members=[solo_a.states, solo_b.states],
+            ticks=np.array([0, 0], dtype=np.int64),
+            dt=0.1,
+            threads=np.array([[4.0, 4.0], [4.0, 0.0]]),
+            share=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            granted_cpus=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            switch_factor=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            memory_factor=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            efficiency=np.ones((2, 2)),
+            sync=np.zeros((2, 2)),
+            serial=np.zeros((2, 2), dtype=bool),
+            remaining=np.array([[2.0 * 0.1 * 8, 1.0 * 0.1 * 30],
+                                [5.0, 0.0]]),
+            rates=np.array([[2.0, 1.0], [0.0, 0.0]]),
+        )
+        horizons = completion_horizon(batch, 0.1)
+        assert horizons[0] == completion_horizon(solo_a, 0.1)
+        assert math.isinf(horizons[1])
+
+    def test_empty_batch_is_unbounded(self):
+        batch = build_batch_span_state(ragged_plans())
+        empty = kernels.BatchSpanState(
+            members=[],
+            ticks=np.empty(0, dtype=np.int64),
+            dt=0.1,
+            threads=np.empty((0, 0)),
+            share=np.empty((0, 0)),
+            granted_cpus=np.empty((0, 0)),
+            switch_factor=np.empty((0, 0)),
+            memory_factor=np.empty((0, 0)),
+            efficiency=np.empty((0, 0)),
+            sync=np.empty((0, 0)),
+            serial=np.empty((0, 0), dtype=bool),
+            remaining=np.empty((0, 0)),
+            rates=np.empty((0, 0)),
+        )
+        assert completion_horizon(empty, 0.1).shape == (0,)
+        assert batch.rates.size  # sanity: the non-empty path above ran
+
+
+class TestBatchedApplySpan:
+    def test_writeback_bit_identical_to_solo_members(self):
+        # Apply the batch, then replay each member solo from identical
+        # starting state and demand bitwise equality of every field.
+        ticks = (7, 3)
+        batch_plans = ragged_plans(ticks=ticks)
+        solo_plans = ragged_plans(ticks=ticks)
+        batch = build_batch_span_state(batch_plans)
+        apply_span(batch, batch.ticks, batch.dt)
+        for plan in solo_plans:
+            states = [row[0] for row in plan.rows]
+            span = build_span_state(
+                states, plan.allocation, SPIN_WASTE_COEFF, MAX_SPIN_WASTE
+            )
+            apply_span(span, plan.ticks, plan.dt)
+        for batch_plan, solo_plan in zip(batch_plans, solo_plans):
+            for (b_state, b_inst, *_), (s_state, s_inst, *_) in zip(
+                batch_plan.rows, solo_plan.rows
+            ):
+                assert b_state.work_done == s_state.work_done
+                assert b_state.cpu_time == s_state.cpu_time
+                assert b_state.region_elapsed == s_state.region_elapsed
+                assert b_inst.remaining == s_inst.remaining
+
+    def test_pad_rows_write_nothing(self):
+        plans = ragged_plans()
+        batch = build_batch_span_state(plans)
+        # members lists hold only real states; the narrow member has 1.
+        assert [len(m) for m in batch.members] == [2, 1]
+        apply_span(batch, batch.ticks, batch.dt)  # must not raise
+
+
+class TestApplySpanPlans:
+    def test_small_aggregate_takes_scalar_path(self):
+        # 3 aggregate rows <= SCALAR_SPAN_MAX: identical to solo apply.
+        assert SCALAR_SPAN_MAX >= 3
+        ticks = (5, 4)
+        grouped = ragged_plans(ticks=ticks)
+        solo = ragged_plans(ticks=ticks)
+        apply_span_plans(grouped)
+        for plan in solo:
+            plan.apply()
+        for g_plan, s_plan in zip(grouped, solo):
+            for (g_state, g_inst, *_), (s_state, s_inst, *_) in zip(
+                g_plan.rows, s_plan.rows
+            ):
+                assert g_state.work_done == s_state.work_done
+                assert g_state.cpu_time == s_state.cpu_time
+                assert g_inst.remaining == s_inst.remaining
+
+    def test_large_aggregate_takes_batched_path(self):
+        # Enough members that aggregate rows exceed SCALAR_SPAN_MAX.
+        count = SCALAR_SPAN_MAX  # 2 rows each -> 2x the threshold
+        grouped, solo = [], []
+        for plans in (grouped, solo):
+            for index in range(count):
+                _, states, alloc = engine_and_states([4, 8], available=8)
+                plans.append(
+                    plan_for(states, alloc, ticks=3 + index % 4)
+                )
+        apply_span_plans(grouped)
+        for plan in solo:
+            plan.apply()
+        for g_plan, s_plan in zip(grouped, solo):
+            for (g_state, g_inst, *_), (s_state, s_inst, *_) in zip(
+                g_plan.rows, s_plan.rows
+            ):
+                assert g_state.work_done == s_state.work_done
+                assert g_state.cpu_time == s_state.cpu_time
+                assert g_inst.remaining == s_inst.remaining
+
+    def test_none_members_and_empty_groups_are_no_ops(self):
+        apply_span_plans([])
+        apply_span_plans([None, None])
+        plan = ragged_plans()[1]
+        before = plan.rows[0][0].work_done
+        apply_span_plans([None, plan, None])
+        assert plan.rows[0][0].work_done != before
+
+
+def build_engine(threads, iterations, seed_name):
+    program = tiny_program(
+        name=seed_name, iterations=iterations, work=2.0,
+        serial_fraction=0.2,
+    )
+    jobs = [JobSpec(
+        program=program, policy=FixedPolicy(threads),
+        job_id="target", is_target=True,
+    )]
+    return CoExecutionEngine(
+        SimMachine(topology=XEON_L7555), jobs, dt=0.1, stepping="event",
+    )
+
+
+class TestLockStepEngines:
+    """Whole engines driven through apply_span_plans stay bit-identical."""
+
+    VARIANTS = [(8, 12, "lk-a"), (4, 9, "lk-b"), (6, 15, "lk-c")]
+
+    def run_solo(self):
+        return [
+            build_engine(*variant).run() for variant in self.VARIANTS
+        ]
+
+    def run_lock_step(self):
+        engines = [build_engine(*variant) for variant in self.VARIANTS]
+        gens = [engine.span_steps() for engine in engines]
+        results = [None] * len(engines)
+        live = list(range(len(engines)))
+        while live:
+            plans = []
+            finished = []
+            for index in live:
+                try:
+                    plans.append(next(gens[index]))
+                except StopIteration as stop:
+                    results[index] = stop.value
+                    finished.append(index)
+            for index in finished:
+                live.remove(index)
+            apply_span_plans(plans)
+        return results
+
+    def test_results_bit_identical(self):
+        solo = self.run_solo()
+        batched = self.run_lock_step()
+        for s, b in zip(solo, batched):
+            assert s.target_time == b.target_time
+            assert s.duration == b.duration
+            assert s.job_times == b.job_times
+            assert s.cpu_time == b.cpu_time
+            assert [
+                (sel.time, sel.job_id, sel.loop_name, sel.threads)
+                for sel in s.selections
+            ] == [
+                (sel.time, sel.job_id, sel.loop_name, sel.threads)
+                for sel in b.selections
+            ]
+
+    def test_state_digests_identical_under_sanitize(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        solo_engines = [build_engine(*v) for v in self.VARIANTS]
+        for engine in solo_engines:
+            engine.run()
+        batch_engines = [build_engine(*v) for v in self.VARIANTS]
+        gens = [engine.span_steps() for engine in batch_engines]
+        live = list(range(len(batch_engines)))
+        while live:
+            plans = []
+            finished = []
+            for index in live:
+                try:
+                    plans.append(next(gens[index]))
+                except StopIteration:
+                    finished.append(index)
+            for index in finished:
+                live.remove(index)
+            apply_span_plans(plans)
+        for solo, batched in zip(solo_engines, batch_engines):
+            assert solo.state_digest is not None
+            assert batched.state_digest is not None
+            assert (
+                solo.state_digest.hexdigest()
+                == batched.state_digest.hexdigest()
+            )

@@ -96,6 +96,15 @@ class TestCompare:
         baseline = {"a.py::t": entry(10.0)}
         assert check.compare(baseline, {}, 0.25) != []
 
+    def test_underscore_keys_are_not_entries(self):
+        baseline = {
+            "b.py::t": entry(10.0),
+            "_gates": {"g": {"numerator": "x", "denominator": "y",
+                             "max_ratio": 1.0}},
+        }
+        current = {"b.py::t": entry(10.0)}
+        assert check.compare(baseline, current, 0.25) == []
+
     def test_main_exit_codes(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
         current = tmp_path / "current.json"
@@ -109,6 +118,56 @@ class TestCompare:
             check.main(["--baseline", str(tmp_path / "missing.json"),
                         "--current", str(current)])
         assert exc.value.code == 2
+
+
+class TestGates:
+    def gate(self, max_ratio=1.35):
+        return {"_gates": {"cold j4 vs j1": {
+            "numerator": "b.py::t@j4",
+            "denominator": "b.py::t@j1",
+            "max_ratio": max_ratio,
+        }}}
+
+    def test_ratio_within_limit_is_clean(self):
+        current = {"b.py::t@j1": entry(18.0),
+                   "b.py::t@j4": entry(21.0, jobs=4)}
+        assert check.check_gates(self.gate(), current) == []
+
+    def test_ratio_beyond_limit_fails(self):
+        current = {"b.py::t@j1": entry(18.0),
+                   "b.py::t@j4": entry(30.0, jobs=4)}
+        failures = check.check_gates(self.gate(), current)
+        assert len(failures) == 1
+        assert "exceeds" in failures[0]
+
+    def test_absent_entries_skip_gate(self):
+        current = {"b.py::t@j1": entry(18.0)}
+        assert check.check_gates(self.gate(), current) == []
+        assert check.check_gates(self.gate(), {}) == []
+
+    def test_zero_denominator_skips_gate(self):
+        current = {"b.py::t@j1": entry(0.0),
+                   "b.py::t@j4": entry(21.0, jobs=4)}
+        assert check.check_gates(self.gate(), current) == []
+
+    def test_no_gates_block_is_clean(self):
+        assert check.check_gates({"b.py::t": entry(1.0)}, {}) == []
+
+    def test_gate_failure_fails_main(self, tmp_path):
+        node = "b.py::t"
+        ledger = {f"{node}@j1": entry(18.0),
+                  f"{node}@j4": entry(21.0, jobs=4)}
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        baseline_path.write_text(json.dumps({**ledger, **self.gate()}))
+        current_path.write_text(json.dumps(ledger))
+        argv = ["--baseline", str(baseline_path),
+                "--current", str(current_path)]
+        assert check.main(argv) == 0
+        slow = dict(ledger)
+        slow[f"{node}@j4"] = entry(30.0, jobs=4)
+        current_path.write_text(json.dumps(slow))
+        assert check.main(argv) == 1
 
 
 class TestReport:
@@ -141,6 +200,23 @@ class TestReport:
         assert totals["entries"] == 3
         assert totals["runs_executed"] == 480
         assert totals["cache_hits"] == 240
+
+    def test_scaling_block_speedups_vs_j1(self):
+        ledger = {
+            "benchmarks/bench_fig08_x.py::t@j1": entry(18.0),
+            "benchmarks/bench_fig08_x.py::t@j2": entry(9.0, jobs=2),
+            "benchmarks/bench_fig08_x.py::t@j4": entry(6.0, jobs=4),
+            "benchmarks/bench_fig08_x.py::t@cold": entry(6.0, jobs=4),
+        }
+        variants = report.summarise(ledger)["figures"]["fig08_x"]
+        assert variants["scaling_vs_j1"] == {"j2": 2.0, "j4": 3.0}
+
+    def test_scaling_block_absent_without_j1(self):
+        ledger = {
+            "benchmarks/bench_fig08_x.py::t@j4": entry(6.0, jobs=4),
+        }
+        variants = report.summarise(ledger)["figures"]["fig08_x"]
+        assert "scaling_vs_j1" not in variants
 
     def test_summarise_empty_ledger(self):
         summary = report.summarise({})
