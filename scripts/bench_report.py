@@ -60,6 +60,44 @@ def scaling_block(variants: dict) -> dict:
     return speedups
 
 
+FLEET_NODE = re.compile(
+    r"bench_serve_fleet_throughput\.py::test_fleet_throughput_"
+    r"(\d+)_shards?$"
+)
+
+
+def serve_fleet_block(ledger: dict) -> dict:
+    """Per-shard-count wall clock for the serving-fleet benchmark.
+
+    The fleet benchmark runs one test per shard count over the same
+    request stream, so the wall-clock ratio of the 1-shard leg to the
+    N-shard leg is the sharding speedup headline (the per-run req/s
+    and p99 live in the ``serve_fleet_throughput_*`` results files).
+    """
+    by_shards = {}
+    for key in ledger:
+        nodeid, _ = split_tag(key)
+        match = FLEET_NODE.search(nodeid)
+        if match:
+            by_shards[int(match.group(1))] = float(
+                ledger[key].get("duration_s", 0.0)
+            )
+    if not by_shards:
+        return {}
+    block = {
+        f"{shards}_shard_wall_s": round(wall, 4)
+        for shards, wall in sorted(by_shards.items())
+    }
+    serial = by_shards.get(1)
+    if serial:
+        for shards, wall in sorted(by_shards.items()):
+            if shards != 1 and wall > 0:
+                block[f"speedup_{shards}_shards"] = round(
+                    serial / wall, 3
+                )
+    return block
+
+
 def summarise(ledger: dict) -> dict:
     figures: dict = {}
     for key in sorted(ledger):
@@ -89,7 +127,11 @@ def summarise(ledger: dict) -> dict:
             int(e.get("cache_hits", 0)) for e in ledger.values()
         ),
     }
-    return {"totals": totals, "figures": figures}
+    summary = {"totals": totals, "figures": figures}
+    fleet = serve_fleet_block(ledger)
+    if fleet:
+        summary["serve_fleet"] = fleet
+    return summary
 
 
 def main(argv=None) -> int:

@@ -34,7 +34,11 @@ The gate fails when ``numerator.duration_s / denominator.duration_s``
 exceeds ``max_ratio`` — e.g. the parallel cold pass of a figure must
 not be slower than its serial leg beyond the allowed factor.  A gate
 whose entries are absent from the current ledger is skipped with a
-note (partial bench invocations stay usable).
+note (partial bench invocations stay usable).  A gate may also declare
+``min_cores``: on hosts with fewer cores than that it is skipped with
+a note instead of failing vacuously — parallel-scaling gates (e.g. the
+serving fleet's shards=2 vs shards=1 throughput floor) cannot hold on
+a single-core machine.
 
 Exit status: 0 clean, 1 regression found, 2 usage/IO error.
 """
@@ -43,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -139,6 +144,15 @@ def check_gates(baseline: dict, current: dict) -> list:
         return [f"_gates must be an object, got {type(gates).__name__}"]
     for label in sorted(gates):
         gate = gates[label]
+        min_cores = int(gate.get("min_cores", 0))
+        if min_cores and (os.cpu_count() or 1) < min_cores:
+            # A parallelism gate on a host too small to exhibit the
+            # parallelism would fail vacuously — skip loudly instead.
+            print(
+                f"  skip  gate {label}: needs >= {min_cores} cores, "
+                f"host has {os.cpu_count() or 1}"
+            )
+            continue
         numerator = current.get(gate.get("numerator"))
         denominator = current.get(gate.get("denominator"))
         if numerator is None or denominator is None:

@@ -14,6 +14,8 @@ Examples::
     python -m repro profile --stepping fixed --output run.pstats
     python -m repro serve-soak --tiny # chaos-soak the serving runtime
     python -m repro serve-soak --tiny --kill-at 5000 --verify-recovery
+    python -m repro serve-fleet --tiny --shards 4   # sharded serving
+    python -m repro serve-fleet --tiny --kill-at 5000 --verify-recovery
 """
 
 from __future__ import annotations
@@ -766,6 +768,200 @@ def serve_soak_main(argv: Optional[Sequence[str]] = None) -> int:
         return run(tmp)
 
 
+def serve_fleet_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro serve-fleet``: drive the sharded serving fleet.
+
+    Routes a synthetic request stream across a consistent-hash ring of
+    shard processes (micro-batched into the vectorized decision path,
+    transported over shared-memory rings), asserting the fleet
+    invariants; optionally SIGKILLs the shard owning a chosen request
+    mid-stream and verifies lossless failover against an uninterrupted
+    inline twin.  See the "Serving fleet" section of
+    docs/performance.md and the failover notes in docs/robustness.md.
+    """
+    import json as json_module
+
+    from .chaos import SENSOR_FAULT_MODES, SensorFaultSpec
+    from .core.training import default_experts
+    from .serve import (
+        FleetConfig,
+        ServeConfig,
+        SoakInvariantError,
+        SoakSpec,
+        run_fleet_soak,
+        tiny_training_config,
+        verify_fleet_recovery,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-fleet",
+        description="Drive the sharded policy-serving fleet over a "
+                    "synthetic request stream.",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10_000, metavar="N",
+        help="length of the request stream (default: 10000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="stream seed (default: 0)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="serve experts trained on the miniature configuration",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard processes on the consistent-hash ring (default: 2)",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=32, metavar="N",
+        help="micro-batch flush threshold (default: 32)",
+    )
+    parser.add_argument(
+        "--batch-linger", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch flush deadline (default: 0.002)",
+    )
+    parser.add_argument(
+        "--ring-slots", type=int, default=4, metavar="N",
+        help="shared-memory ring slots per direction (default: 4)",
+    )
+    parser.add_argument(
+        "--slot-bytes", type=int, default=1 << 16, metavar="BYTES",
+        help="bytes per ring slot (default: 65536)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="per-shard admission queue capacity (default: 64)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=0.050, metavar="SECONDS",
+        help="per-decision wall-clock budget (default: 0.050)",
+    )
+    parser.add_argument(
+        "--snapshot-interval", type=int, default=256, metavar="N",
+        help="requests between full-state snapshots (default: 256)",
+    )
+    parser.add_argument(
+        "--sensor", choices=SENSOR_FAULT_MODES, default=None,
+        help="sensor fault mode injected inside the fault window",
+    )
+    parser.add_argument(
+        "--fault-window", type=float, nargs=2, default=(0.3, 0.6),
+        metavar=("LO", "HI"),
+        help="sensor-fault window as stream fractions (default: 0.3 0.6)",
+    )
+    parser.add_argument(
+        "--inline", action="store_true",
+        help="serve every shard on the caller's thread (deterministic, "
+             "no processes, no shared memory; decisions are identical)",
+    )
+    parser.add_argument(
+        "--state-root", metavar="DIR", default=None,
+        help="root of the per-shard journal/snapshot directories "
+             "(default: a temporary directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--kill-at", type=int, default=None, metavar="INDEX",
+        help="SIGKILL the shard owning request INDEX just before it "
+             "is submitted (process mode only)",
+    )
+    parser.add_argument(
+        "--verify-recovery", action="store_true",
+        help="with --kill-at: also run an uninterrupted inline twin "
+             "and fail unless every shard's learning state and every "
+             "served decision are bit-identical to it",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.verify_recovery and args.kill_at is None:
+        parser.error("--verify-recovery requires --kill-at")
+    if args.kill_at is not None and not 0 < args.kill_at < args.requests:
+        parser.error("--kill-at must fall inside the stream")
+    if args.kill_at is not None and args.inline:
+        parser.error("--kill-at requires process mode (drop --inline)")
+    if args.batch_max > args.queue_capacity:
+        parser.error("--batch-max cannot exceed --queue-capacity "
+                     "(full flushes must always fit the admission "
+                     "queue, or decisions depend on flush timing)")
+
+    sensor = None
+    if args.sensor is not None:
+        sensor = SensorFaultSpec(mode=args.sensor, seed=args.seed)
+    spec = SoakSpec(
+        requests=args.requests,
+        seed=args.seed,
+        sensor=sensor,
+        fault_window=tuple(args.fault_window),
+    )
+    config = FleetConfig(
+        shards=args.shards,
+        batch_max=args.batch_max,
+        batch_linger_s=args.batch_linger,
+        ring_slots=args.ring_slots,
+        slot_bytes=args.slot_bytes,
+        serve=ServeConfig(
+            queue_capacity=args.queue_capacity,
+            deadline_s=args.deadline,
+            snapshot_interval=args.snapshot_interval,
+        ),
+    )
+    if args.tiny:
+        bundle = default_experts(tiny_training_config())
+    else:
+        bundle = default_experts()
+
+    import tempfile as tempfile_module
+    from pathlib import Path
+
+    def run(state_root) -> int:
+        state_root = Path(state_root)
+        try:
+            if args.verify_recovery:
+                outcome = verify_fleet_recovery(
+                    spec, bundle, kill_at=args.kill_at,
+                    state_root=state_root / "verify", config=config,
+                )
+            else:
+                outcome = None
+            report, _, _ = run_fleet_soak(
+                spec, bundle, config=config,
+                state_root=state_root / "fleet",
+                processes=not args.inline,
+                kill_at=None if args.verify_recovery else args.kill_at,
+            )
+        except SoakInvariantError as error:
+            print(f"FLEET SOAK FAILED: {error}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            payload = report.to_jsonable()
+            if outcome is not None:
+                payload["recovery"] = outcome
+            print(json_module.dumps(payload, indent=2))
+        else:
+            print(report.format())
+            if outcome is not None:
+                print(
+                    "failover: shard killed before request {kill_at}, "
+                    "{failovers} failovers, {recovered} re-deliveries "
+                    "deduplicated, {compared_decisions} served "
+                    "decisions bit-identical to the inline twin".format(
+                        **outcome
+                    )
+                )
+        return 0
+
+    if args.state_root is not None:
+        return run(args.state_root)
+    with tempfile_module.TemporaryDirectory() as tmp:
+        return run(tmp)
+
+
 def _format_bytes(count: int) -> str:
     """Human-scale byte count (``512 B`` / ``3.4 KiB`` / ``1.2 MiB``)."""
     if count < 1024:
@@ -836,6 +1032,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "serve-soak":
         return serve_soak_main(argv[1:])
+    if argv and argv[0] == "serve-fleet":
+        return serve_fleet_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -845,8 +1043,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
-             "'lint' / 'sanitize' / 'profile' / 'serve-soak' "
-             "subcommands",
+             "'lint' / 'sanitize' / 'profile' / 'serve-soak' / "
+             "'serve-fleet' subcommands",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -919,6 +1117,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"('repro profile --help')")
         print(f"{'serve-soak':8s} chaos-soak the resilient policy-serving "
               f"runtime ('repro serve-soak --help')")
+        print(f"{'serve-fleet':8s} drive the sharded policy-serving fleet "
+              f"('repro serve-fleet --help')")
         return 0
 
     names = (

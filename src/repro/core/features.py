@@ -55,6 +55,30 @@ def sanitize_features(
     return np.where(mask, features, 0.0), True
 
 
+def sanitize_features_batch(
+    features: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch-axis :func:`sanitize_features` over a ``(B, F)`` matrix.
+
+    Returns ``(clean, degenerate)`` where ``degenerate[i]`` is True iff
+    row ``i`` contained a non-finite entry.  Bit-identical per row to
+    the scalar call: the replacement is purely elementwise (``np.where``
+    against an ``isfinite`` mask), so hoisting it over the batch axis
+    cannot change a single float.  The result is C-contiguous so row
+    slices feed the same contiguous-dot code path the scalar vectors do.
+    """
+    matrix = np.ascontiguousarray(features, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"expected a (B, F) feature matrix, got shape {matrix.shape}"
+        )
+    mask = np.isfinite(matrix)
+    degenerate = ~mask.all(axis=1)
+    if not degenerate.any():
+        return matrix, degenerate
+    return np.where(mask, matrix, 0.0), degenerate
+
+
 def env_part(features: np.ndarray) -> np.ndarray:
     """The environment slice (f^4..f^10) of a feature vector."""
     features = np.asarray(features, dtype=float)

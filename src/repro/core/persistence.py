@@ -269,6 +269,38 @@ def load_checked_json(path: Union[str, Path]):
     return document["payload"]
 
 
+def atomic_copy(source: Union[str, Path],
+                destination: Union[str, Path]) -> Path:
+    """Copy a file so the destination is never observably partial.
+
+    Temp file + ``os.replace`` in the destination directory — the same
+    discipline as :func:`dump_checked_json`, but byte-oriented so it
+    also ships files that are *legitimately* torn (a crashed server's
+    journal tail, which replay quarantines on the receiving side).
+    """
+    source = Path(source)
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=destination.parent, prefix=destination.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as out, open(source, "rb") as src:
+            while True:
+                chunk = src.read(1 << 20)
+                if not chunk:
+                    break
+                out.write(chunk)
+        os.replace(tmp, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return destination
+
+
 # -- quarantine retention --------------------------------------------------
 
 

@@ -23,8 +23,8 @@ from typing import List, Optional, Protocol, Sequence
 import numpy as np
 
 from ..expert import Expert
-from ..features import NUM_FEATURES, sanitize_features
-from ..selector import ExpertSelector, HyperplaneSelector
+from ..features import NUM_FEATURES, sanitize_features, sanitize_features_batch
+from ..selector import SCALAR_BATCH_MAX, ExpertSelector, HyperplaneSelector
 from .base import PolicyContext, ThreadPolicy
 
 
@@ -64,6 +64,32 @@ class _Pending:
     features: np.ndarray
     predicted_norms: tuple[float, ...]
     decision_index: int
+    #: Per-expert domain distances at ``features``, cached when the
+    #: pending was created by a batch plan.  A pure function of the
+    #: frozen experts and the features, so a cache hit and a recompute
+    #: are the same floats — the cache only skips redundant work.
+    domain: Optional[tuple[float, ...]] = None
+
+
+@dataclass(frozen=True)
+class BatchDecisionPlan:
+    """Precomputed pure-function work for a batch of decisions.
+
+    Everything here is a pure function of the (frozen) experts and the
+    feature rows: per-expert environment-norm predictions, thread
+    predictions, and domain distances.  Precomputing them before the
+    sequential learn/select loop therefore cannot observe different
+    state than the scalar path — the loop itself (selector updates,
+    selects, pending bookkeeping) stays strictly in request order.
+    Only valid while no expert learns online (``record_observation``);
+    :meth:`MixturePolicy.plan_batch` returns None otherwise.
+    """
+
+    features: np.ndarray  # (B, F) sanitized feature rows
+    degenerate: np.ndarray  # (B,) bool — row had non-finite entries
+    env_norms: np.ndarray  # (B, K) per-expert predicted ‖ê‖
+    threads: np.ndarray  # (B, K) per-expert thread predictions
+    domain: np.ndarray  # (B, K) per-expert domain distances
 
 
 class MixturePolicy(ThreadPolicy):
@@ -185,6 +211,22 @@ class MixturePolicy(ThreadPolicy):
 
     def select(self, ctx: PolicyContext) -> int:
         features, degenerate = sanitize_features(ctx.feature_vector())
+        return self._decide(ctx, features, degenerate, None)
+
+    def _decide(
+        self,
+        ctx: PolicyContext,
+        features: np.ndarray,
+        degenerate: bool,
+        planned: Optional[tuple],
+    ) -> int:
+        """The per-decision core shared by :meth:`select` and the batch
+        path.  ``planned`` is None (compute per-expert predictions here,
+        the scalar path) or a ``(predicted_norms, predicted_threads,
+        domain_distances)`` triple of pure-function values precomputed
+        by :meth:`plan_batch` — identical floats either way, so the two
+        paths are bit-identical by construction.
+        """
         observed_norm = ctx.env.norm
         if not math.isfinite(observed_norm):
             # A NaN/inf observation cannot score anything; discard the
@@ -203,12 +245,17 @@ class MixturePolicy(ThreadPolicy):
                 record = getattr(expert, "record_observation", None)
                 if record is not None:
                     record(self._pending.features, observed_norm)
+            domains = self._pending.domain
+            if domains is None:
+                domains = tuple(
+                    expert.domain_distance(self._pending.features)
+                    for expert in self.experts
+                )
             errors = [
                 abs(predicted - observed_norm)
-                + self.domain_weight
-                * expert.domain_distance(self._pending.features)
-                for predicted, expert in zip(
-                    self._pending.predicted_norms, self.experts
+                + self.domain_weight * distance
+                for predicted, distance in zip(
+                    self._pending.predicted_norms, domains
                 )
             ]
             self._selector.update(self._pending.features, errors)
@@ -240,20 +287,26 @@ class MixturePolicy(ThreadPolicy):
 
         # 2. Select the expert for the current state.
         choice = self._selector.select(features)
-        expert = self.experts[choice]
 
         # 3. Its thread predictor makes the mapping decision.
-        threads = ctx.snap_to_available(
-            expert.predict_threads(features, ctx.max_threads)
-        )
+        if planned is None:
+            threads = ctx.snap_to_available(
+                self.experts[choice].predict_threads(
+                    features, ctx.max_threads
+                )
+            )
+            predicted_norms = tuple(
+                e.predict_env_norm(features) for e in self.experts
+            )
+            predicted_threads = tuple(
+                e.predict_threads(features, ctx.max_threads)
+                for e in self.experts
+            )
+            domain = None
+        else:
+            predicted_norms, predicted_threads, domain = planned
+            threads = ctx.snap_to_available(predicted_threads[choice])
 
-        predicted_norms = tuple(
-            e.predict_env_norm(features) for e in self.experts
-        )
-        predicted_threads = tuple(
-            e.predict_threads(features, ctx.max_threads)
-            for e in self.experts
-        )
         self.decisions.append(ExpertDecision(
             time=ctx.time,
             loop_name=ctx.loop_name,
@@ -266,8 +319,81 @@ class MixturePolicy(ThreadPolicy):
             features=features,
             predicted_norms=predicted_norms,
             decision_index=len(self.decisions) - 1,
+            domain=domain,
         )
         return threads
+
+    # -- batch decision path ----------------------------------------------
+
+    def plan_batch(
+        self, feature_rows: np.ndarray, max_threads: np.ndarray
+    ) -> Optional[BatchDecisionPlan]:
+        """Precompute the pure per-expert work for a ``(B, F)`` batch.
+
+        Returns None when any expert learns online
+        (``record_observation``): such experts mutate between decisions,
+        so their predictions cannot be hoisted ahead of the sequential
+        loop — callers must fall back to the scalar path.
+        """
+        for expert in self.experts:
+            if getattr(expert, "record_observation", None) is not None:
+                return None
+        matrix, degenerate = sanitize_features_batch(feature_rows)
+        count, num_experts = len(matrix), len(self.experts)
+        env_norms = np.empty((count, num_experts), dtype=float)
+        threads = np.empty((count, num_experts), dtype=np.int64)
+        domain = np.empty((count, num_experts), dtype=float)
+        for k, expert in enumerate(self.experts):
+            env_norms[:, k] = expert.predict_env_norm_batch(matrix)
+            threads[:, k] = expert.predict_threads_batch(
+                matrix, max_threads
+            )
+            domain[:, k] = expert.domain_distance_batch(matrix)
+        return BatchDecisionPlan(
+            features=matrix,
+            degenerate=degenerate,
+            env_norms=env_norms,
+            threads=threads,
+            domain=domain,
+        )
+
+    def _select_planned(
+        self, ctx: PolicyContext, plan: BatchDecisionPlan, row: int
+    ) -> int:
+        """One decision using row ``row`` of a precomputed plan."""
+        planned = (
+            tuple(float(v) for v in plan.env_norms[row]),
+            tuple(int(v) for v in plan.threads[row]),
+            tuple(float(v) for v in plan.domain[row]),
+        )
+        return self._decide(
+            ctx, plan.features[row], bool(plan.degenerate[row]), planned
+        )
+
+    def select_batch(self, ctxs: Sequence[PolicyContext]) -> List[int]:
+        """Batch :meth:`select` — bit-identical to the sequential loop.
+
+        Hoists the per-expert pure work (feature sanitising, envelope
+        clipping, model predictions, domain distances) over the batch
+        axis via :meth:`plan_batch`; the stateful learn/select loop then
+        runs strictly in request order against the plan.  Falls back to
+        the scalar loop for tiny batches (``SCALAR_BATCH_MAX``, the
+        kernels idiom) and for online-learning experts.
+        """
+        ctxs = list(ctxs)
+        if len(ctxs) <= SCALAR_BATCH_MAX:
+            return [self.select(ctx) for ctx in ctxs]
+        rows = np.stack([ctx.feature_vector() for ctx in ctxs])
+        limits = np.array(
+            [ctx.max_threads for ctx in ctxs], dtype=np.int64
+        )
+        plan = self.plan_batch(rows, limits)
+        if plan is None:
+            return [self.select(ctx) for ctx in ctxs]
+        return [
+            self._select_planned(ctx, plan, row)
+            for row, ctx in enumerate(ctxs)
+        ]
 
     # -- analyses ---------------------------------------------------------
 

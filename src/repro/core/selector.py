@@ -32,6 +32,13 @@ from typing import List, Optional, Protocol, Sequence
 import numpy as np
 
 
+#: Below this many rows a ``select_batch`` call falls back to the plain
+#: scalar loop — the same idiom as ``runtime.kernels.SCALAR_SPAN_MAX``:
+#: for tiny batches the array bookkeeping costs more than the hoisted
+#: elementwise work saves, and the scalar path is the reference anyway.
+SCALAR_BATCH_MAX = 8
+
+
 def _finite_features(features: np.ndarray) -> np.ndarray:
     """Float view of ``features`` with non-finite entries zeroed."""
     features = np.asarray(features, dtype=float)
@@ -286,6 +293,48 @@ class HyperplaneSelector:
         choice = self._choose(x)
         self.stats.selections.append(choice)
         return choice
+
+    def select_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`select` over ``(B, F)`` feature rows.
+
+        Bit-identical to ``[self.select(row) for row in matrix]``: a
+        pure select never touches the running normaliser, so the
+        z-normalisation — an elementwise broadcast of the *same*
+        ``(x - mean) / std`` expression — is hoisted into one batch
+        operation, while the score reduction ``V @ z + b`` stays a
+        per-row call on a contiguous row slice (a batched matmul
+        accumulates in a different order and drifts in the last ulp)
+        and the round-robin tie-breaker advances sequentially row by
+        row exactly as the scalar loop would.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected a (B, F) feature matrix, got {matrix.shape}"
+            )
+        if len(matrix) <= SCALAR_BATCH_MAX:
+            return np.array(
+                [self.select(row) for row in matrix], dtype=np.int64
+            )
+        mask = np.isfinite(matrix)
+        if not mask.all():
+            matrix = np.where(mask, matrix, 0.0)
+        if self._journal is not None:
+            for row in matrix:
+                self._journal.record_select(row)
+        norm = self._normalizer
+        if norm._count < 2:
+            normed = np.zeros_like(matrix)
+        else:
+            std = np.sqrt(norm._m2 / (norm._count - 1))
+            std = np.where(std < 1e-9, 1.0, std)
+            normed = np.ascontiguousarray((matrix - norm._mean) / std)
+        choices = np.empty(len(matrix), dtype=np.int64)
+        for i in range(len(matrix)):
+            choice = self._choose(normed[i])
+            self.stats.selections.append(choice)
+            choices[i] = choice
+        return choices
 
     def update(self, features: np.ndarray,
                errors: Sequence[float]) -> bool:

@@ -34,10 +34,11 @@ executor call.  Attach-side resource-tracker registration (a Python <
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import struct
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,12 +81,50 @@ def shm_enabled() -> bool:
 
 _COUNTER = 0
 
+#: ``(pid, token)`` memo — recomputed after fork (pid changes).
+_TOKEN: Optional[Tuple[int, str]] = None
+
+
+def _process_token() -> str:
+    """A per-process random-once token, deterministic per process.
+
+    ``repro-<pid>-<n>`` alone collides once pids are reused: a fleet
+    parent that inherits the pid of a crashed executor would assign
+    names a leaked segment of the dead process already occupies, and
+    segment *creation* (exclusive) would fail — or worse, a concurrent
+    parent with the same recycled pid would sweep the other's segments.
+    Hashing the pid together with the kernel's process start time
+    (field 22 of ``/proc/<pid>/stat``, ticks since boot) yields a token
+    that is stable within a process, differs across pid reuse, and
+    needs no RNG state.  Forked children recompute (their pid differs).
+    """
+    global _TOKEN
+    pid = os.getpid()
+    if _TOKEN is not None and _TOKEN[0] == pid:
+        return _TOKEN[1]
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+        # Field 2 (comm) is parenthesised and may contain spaces;
+        # starttime is the 22nd field overall = 20th after the ')'.
+        fields = stat[stat.rindex(b")") + 2:].split()
+        starttime = fields[19].decode("ascii")
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        # No /proc (non-Linux): fall back to the pid-only discipline,
+        # which is exactly the pre-token behaviour.
+        starttime = "0"
+    token = hashlib.sha256(
+        f"{pid}:{starttime}".encode("ascii")
+    ).hexdigest()[:8]
+    _TOKEN = (pid, token)
+    return token
+
 
 def segment_name() -> str:
-    """A fresh parent-assigned segment name (``repro-<pid>-<n>``)."""
+    """A fresh parent-assigned name (``repro-<pid>-<token>-<n>``)."""
     global _COUNTER
     _COUNTER += 1
-    return f"repro-{os.getpid()}-{_COUNTER}"
+    return f"repro-{os.getpid()}-{_process_token()}-{_COUNTER}"
 
 
 def _attach(name: str):
@@ -146,6 +185,127 @@ def unlink(name: str) -> bool:
         except Exception:
             pass
     return True
+
+
+def pack_block(meta: dict, arrays: dict) -> bytes:
+    """Serialize ``(meta, arrays)`` into the segment block layout.
+
+    Same wire format as the summary segments — ``[8-byte BE header
+    length][pickled header][pad to 8][concatenated arrays]`` — but
+    generic: ``meta`` is any picklable dict of scalars, ``arrays`` a
+    dict of 1-D numpy arrays.  ``float64`` columns round-trip IEEE
+    doubles bit-exactly, which is what lets the fleet move feature
+    vectors through shared memory without perturbing a single ulp.
+    """
+    descriptors = []
+    offset = 0
+    chunks = []
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.ndim != 1:
+            raise ValueError(f"array {key!r} must be 1-D")
+        descriptors.append((key, str(array.dtype), int(array.size),
+                            offset))
+        chunks.append(array.tobytes())
+        offset += array.nbytes
+    header = pickle.dumps({
+        "version": SHM_FORMAT_VERSION,
+        "meta": meta,
+        "arrays": descriptors,
+    }, protocol=4)
+    prefix = _HEADER_LEN.pack(len(header)) + header
+    prefix += b"\0" * ((-len(prefix)) % 8)
+    return prefix + b"".join(chunks)
+
+
+def unpack_block(buffer) -> Tuple[dict, dict]:
+    """Inverse of :func:`pack_block`; arrays are copied out."""
+    (header_len,) = _HEADER_LEN.unpack_from(buffer, 0)
+    header = pickle.loads(bytes(buffer[8:8 + header_len]))
+    if header.get("version") != SHM_FORMAT_VERSION:
+        raise ValueError(
+            f"block has format {header.get('version')!r}, expected "
+            f"{SHM_FORMAT_VERSION}"
+        )
+    base = 8 + header_len + ((-(8 + header_len)) % 8)
+    arrays = {}
+    for key, dtype, count, offset in header["arrays"]:
+        view = np.frombuffer(
+            buffer, dtype=np.dtype(dtype), count=count,
+            offset=base + offset,
+        )
+        arrays[key] = view.copy()
+        del view
+    return header["meta"], arrays
+
+
+class ShmRing:
+    """A fixed-slot shared-memory ring of SoA blocks.
+
+    Bulk transport for the serving fleet: the parent writes request
+    blocks into free slots and the shard worker writes decision blocks
+    back — slot turnover is coordinated entirely out of band (the
+    fleet's control pipes carry ``(slot, nbytes)`` doorbells), so the
+    ring itself needs no locks or atomics.
+
+    Lifetime follows the summary-segment discipline: the side told to
+    ``create`` (the worker, so a worker killed mid-creation leaves at
+    most a torn segment the raw unlink path handles) makes the segment
+    under a parent-assigned, ledger-tracked name; the parent attaches
+    and is the only side that ever unlinks.
+    """
+
+    def __init__(self, name: str, slots: int, slot_bytes: int,
+                 create: bool = False):
+        if slots < 1 or slot_bytes < 64:
+            raise ValueError("need >= 1 slot of >= 64 bytes")
+        from multiprocessing import shared_memory
+
+        self.name = name
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        if create:
+            self._segment = shared_memory.SharedMemory(
+                name=name, create=True, size=slots * slot_bytes
+            )
+        else:
+            self._segment = _attach(name)
+            if self._segment.size < slots * slot_bytes:
+                self._segment.close()
+                raise ValueError(
+                    f"segment {name!r} smaller than "
+                    f"{slots}x{slot_bytes} bytes"
+                )
+
+    def write(self, slot: int, meta: dict, arrays: dict) -> int:
+        """Pack a block into ``slot``; returns the byte count to signal."""
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} out of range")
+        block = pack_block(meta, arrays)
+        if len(block) > self.slot_bytes:
+            raise ValueError(
+                f"block of {len(block)} bytes exceeds slot capacity "
+                f"{self.slot_bytes} (raise slot_bytes or lower "
+                f"batch_max)"
+            )
+        base = slot * self.slot_bytes
+        self._segment.buf[base:base + len(block)] = block
+        return len(block)
+
+    def read(self, slot: int, nbytes: int) -> Tuple[dict, dict]:
+        """Decode the block a doorbell announced for ``slot``."""
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} out of range")
+        if nbytes > self.slot_bytes:
+            raise ValueError("announced block larger than a slot")
+        base = slot * self.slot_bytes
+        return unpack_block(self._segment.buf[base:base + nbytes])
+
+    def close(self) -> None:
+        try:
+            self._segment.close()
+        except Exception:
+            pass
 
 
 def _pack(summaries: Sequence) -> tuple:

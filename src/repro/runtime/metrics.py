@@ -11,7 +11,8 @@ parallel region has already started is worthless however good it is.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 def harmonic_mean(values: Sequence[float]) -> float:
@@ -66,19 +67,144 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[int(rank) - 1]
 
 
+#: Upper bounds (seconds) of the default latency histogram: log2-spaced
+#: from 1µs to ~4s.  Values beyond the last bound land in an implicit
+#: overflow bucket.  Fixed bounds (rather than data-dependent ones) make
+#: histograms from different shards directly mergeable.
+LATENCY_BUCKET_BOUNDS: tuple = tuple(1e-6 * (2.0 ** k) for k in range(23))
+
+
+class FixedBucketHistogram:
+    """Counts over fixed, pre-declared bucket bounds.
+
+    p50/p99 summaries hide batching-induced shapes — a micro-batching
+    server's latency is bimodal (flush-on-full vs flush-on-linger), and
+    only the full distribution shows it.  Bucket ``i`` holds values in
+    ``(bounds[i-1], bounds[i]]``; one extra overflow bucket catches
+    everything beyond the last bound.
+    """
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKET_BOUNDS):
+        self._bounds = tuple(float(b) for b in bounds)
+        if not self._bounds or list(self._bounds) != sorted(self._bounds):
+            raise ValueError("bounds must be non-empty and ascending")
+        self._counts = [0] * (len(self._bounds) + 1)
+
+    def record(self, value: float) -> None:
+        self._counts[bisect.bisect_left(self._bounds, float(value))] += 1
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    def snapshot(self) -> Dict[str, list]:
+        return {
+            "bounds": list(self._bounds),
+            "counts": list(self._counts),
+        }
+
+    def merge(self, snapshot: Mapping[str, list]) -> None:
+        """Fold another histogram's snapshot in (same bounds required).
+
+        This is how the fleet aggregates per-shard latency: fixed
+        shared bounds make the merge a plain elementwise sum.
+        """
+        if list(snapshot["bounds"]) != list(self._bounds):
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        for i, count in enumerate(snapshot["counts"]):
+            self._counts[i] += int(count)
+
+    def nonzero(self) -> List[tuple]:
+        """``(label, count)`` for populated buckets, in bound order."""
+        out = []
+        for i, count in enumerate(self._counts):
+            if not count:
+                continue
+            if i == len(self._bounds):
+                label = f">{_si(self._bounds[-1])}"
+            else:
+                low = 0.0 if i == 0 else self._bounds[i - 1]
+                label = f"{_si(low)}-{_si(self._bounds[i])}"
+            out.append((label, count))
+        return out
+
+
+def _si(seconds: float) -> str:
+    """Compact seconds rendering for histogram bucket labels."""
+    if seconds >= 1.0:
+        return f"{seconds:g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:g}ms"
+    return f"{seconds * 1e6:g}us"
+
+
+class Gauge:
+    """Running min/mean/max/last of an operational quantity.
+
+    Used for queue depth and micro-batch size: a mean alone hides the
+    bursts that cause shedding, a max alone hides the steady state.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._last = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._total += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        self._last = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": float(self._count),
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "mean": self._total / self._count if self._count else 0.0,
+            "last": self._last,
+        }
+
+    def merge(self, snapshot: Mapping[str, float]) -> None:
+        """Fold another gauge's snapshot in (fleet aggregation)."""
+        count = int(snapshot.get("count", 0))
+        if count <= 0:
+            return
+        mean = float(snapshot.get("mean", 0.0))
+        self._total += mean * count
+        self._count += count
+        low, high = float(snapshot["min"]), float(snapshot["max"])
+        self._min = low if self._min is None else min(self._min, low)
+        self._max = high if self._max is None else max(self._max, high)
+        self._last = float(snapshot.get("last", self._last))
+
+
 class LatencyLedger:
     """Per-decision latency bookkeeping for the serving runtime.
 
     Samples are kept raw (one float per decision) — a soak run is at
     most a few hundred thousand requests, and raw samples make the
-    nearest-rank percentiles exact instead of bucketed.
+    nearest-rank percentiles exact instead of bucketed.  A fixed-bucket
+    histogram rides along for distribution-shape reporting and
+    cross-shard merging.
     """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        self.histogram = FixedBucketHistogram()
 
     def record(self, seconds: float) -> None:
         self._samples.append(float(seconds))
+        self.histogram.record(float(seconds))
 
     @property
     def count(self) -> int:
@@ -110,6 +236,7 @@ class LatencyLedger:
 
     def clear(self) -> None:
         self._samples = []
+        self.histogram = FixedBucketHistogram()
 
 
 def speedup(baseline_time: float, policy_time: float) -> float:

@@ -14,20 +14,31 @@ decision loop such a deployment needs:
 * :mod:`repro.serve.journal` — a write-ahead journal of selector
   operations plus checksummed snapshots, so a restart resumes online
   learning with bit-identical state;
+* :mod:`repro.serve.fleet` — the sharded serving fleet: consistent-hash
+  routing by stream id, per-shard micro-batching into the vectorized
+  decision path, shared-memory request/decision rings, and lossless
+  shard failover (snapshot shipping + journal replay);
 * :mod:`repro.serve.soak` — the chaos-composed soak harness behind
-  ``repro serve-soak``, including the kill/restart lossless-recovery
-  verifier.
+  ``repro serve-soak`` and ``repro serve-fleet``, including the
+  kill/restart and shard-kill lossless-recovery verifiers.
 
 See the "Serving failure model" section of ``docs/robustness.md``.
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
+from .fleet import (
+    FleetConfig,
+    PolicyFleet,
+    ShardRouter,
+    ShardWorker,
+)
 from .journal import (
     SelectorJournal,
     ServeStateStore,
     SnapshotStore,
+    ship_state,
 )
-from .report import ServeReport
+from .report import FleetReport, ServeReport
 from .server import (
     PolicyServer,
     ServeConfig,
@@ -41,14 +52,19 @@ from .soak import (
     build_policy,
     make_request,
     request_batches,
+    run_fleet_soak,
     run_soak,
     tiny_training_config,
+    verify_fleet_recovery,
     verify_recovery,
 )
 
 __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
+    "FleetConfig",
+    "FleetReport",
+    "PolicyFleet",
     "PolicyServer",
     "SelectorJournal",
     "ServeConfig",
@@ -56,6 +72,8 @@ __all__ = [
     "ServeReport",
     "ServeRequest",
     "ServeStateStore",
+    "ShardRouter",
+    "ShardWorker",
     "SnapshotStore",
     "SoakInvariantError",
     "SoakSpec",
@@ -63,7 +81,10 @@ __all__ = [
     "build_policy",
     "make_request",
     "request_batches",
+    "run_fleet_soak",
     "run_soak",
+    "ship_state",
     "tiny_training_config",
+    "verify_fleet_recovery",
     "verify_recovery",
 ]

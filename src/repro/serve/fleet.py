@@ -1,0 +1,792 @@
+"""Sharded policy-serving fleet: consistent-hash routing, micro-batching,
+shared-memory transport, and lossless shard failover.
+
+One :class:`~repro.serve.server.PolicyServer` saturates one core — the
+decision loop is pure Python around small numpy kernels.  The fleet
+scales the serving runtime across cores the way the executor scales
+simulations: shard-per-process, with the parent doing nothing per
+decision but routing, batching and bookkeeping.
+
+* **Routing** (:class:`ShardRouter`) — a consistent-hash ring keyed on
+  the request's *stream id* (the loop name by default).  All requests
+  of a stream land on the same shard, so each shard's online learner
+  sees a coherent substream and a shard's state is a pure function of
+  its substream — the property the failover twin check relies on.
+  Hashing is sha256-based: stable across processes and Python runs
+  (builtin ``hash()`` is salted per process).
+* **Micro-batching** — per-shard bounded queues flush on ``batch_max``
+  or a ``batch_linger`` deadline, feeding the vectorized
+  :meth:`~repro.serve.server.PolicyServer.offer_batch` path.  Batch
+  boundaries are wall-clock-dependent; decisions are not: the batch
+  plan is bit-identical to the scalar loop, every flush starts at
+  arrival position 0, and ``batch_max <= queue_capacity`` is enforced
+  so admission never depends on where a linger deadline happened to
+  fall.
+* **Transport** — request and decision blocks travel through
+  :class:`~repro.exec.shm.ShmRing` shared-memory rings as
+  structure-of-arrays columns (``float64`` round-trips every IEEE
+  double bit-exactly); the control pipes carry only tiny
+  ``(slot, nbytes)`` doorbells.  Ring segments follow the executor's
+  cleanup discipline: parent-assigned, ledger-tracked names; the
+  worker creates, the parent attaches and is the only side that
+  unlinks — so a SIGKILLed shard can never leak a segment.
+* **Failover** — a dead shard is detected at the pipe (``EOFError`` /
+  ``BrokenPipeError``), its journal + snapshots are *shipped*
+  (atomically copied, torn tails tolerated) to a fresh generation
+  directory, and a replacement worker recovers from the copy: newest
+  snapshot + journal replay, bit-identical state.  In-flight batches
+  are re-dispatched; the replacement recognises already-journaled
+  requests by index and answers them with a ``"recovered"`` marker
+  instead of serving them twice.  ``verify_fleet_recovery`` (in
+  :mod:`repro.serve.soak`) asserts the whole dance against an
+  uninterrupted inline twin.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..compiler.features import CodeFeatures
+from ..core.policies.base import PolicyContext, ThreadPolicy
+from ..exec import shm
+from ..exec.fault import ShmLedger
+from ..runtime.metrics import FixedBucketHistogram, Gauge
+from ..sched.stats import EnvironmentSample
+from .journal import ship_state
+from .report import FleetReport, ServeReport
+from .server import PolicyServer, ServeConfig, ServeDecision, ServeRequest
+
+#: Tier name of a failover re-delivery the replacement shard recognised
+#: as already journaled (answered with no threads, never served twice).
+RECOVERED_TIER = "recovered"
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping stream ids to shard indices.
+
+    ``replicas`` virtual nodes per shard smooth the key distribution;
+    sha256 keeps the mapping stable across processes, runs and machines
+    (required: the parent, every worker generation, and the verifying
+    twin must all agree on which shard owns a stream).
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1 or replicas < 1:
+            raise ValueError("shards and replicas must be >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                digest = hashlib.sha256(
+                    f"shard-{shard}:{replica}".encode("ascii")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, stream: str) -> int:
+        """The shard owning ``stream`` (first ring point clockwise)."""
+        digest = hashlib.sha256(stream.encode("utf-8")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        i = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[i]
+
+    def assignments(self, streams: Sequence[str]) -> Dict[str, int]:
+        return {stream: self.route(stream) for stream in streams}
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the sharded serving fleet."""
+
+    shards: int = 2
+    #: Micro-batch flush threshold (requests per shard batch).
+    batch_max: int = 32
+    #: Flush deadline for a partially-filled batch, seconds.
+    batch_linger_s: float = 0.002
+    #: Shared-memory ring slots per direction (in-flight window).
+    ring_slots: int = 4
+    #: Bytes per ring slot; must hold one encoded ``batch_max`` block.
+    slot_bytes: int = 1 << 16
+    #: Virtual nodes per shard on the consistent-hash ring.
+    replicas: int = 64
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.batch_max > self.serve.queue_capacity:
+            # Every flush starts at arrival position 0, so a batch
+            # bounded by the queue capacity is never shed — which is
+            # what makes decisions independent of linger timing.
+            raise ValueError(
+                "batch_max must not exceed serve.queue_capacity "
+                "(linger-timed batch boundaries would otherwise "
+                "change admission)"
+            )
+        if self.batch_linger_s < 0:
+            raise ValueError("batch_linger_s cannot be negative")
+        if self.ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        if self.slot_bytes < 64:
+            raise ValueError("slot_bytes must be >= 64")
+
+
+# -- request/decision wire codec -------------------------------------------
+
+#: EnvironmentSample scalar fields, in declaration order.
+_ENV_FIELDS = (
+    "time", "workload_threads", "processors", "runq_sz",
+    "ldavg_1", "ldavg_5", "cached_memory", "pages_free_rate",
+)
+
+
+def encode_requests(
+    batch: Sequence[ServeRequest], start_position: int = 0
+) -> Tuple[dict, dict]:
+    """Flatten requests into SoA columns for one ring block.
+
+    Every float field travels as ``float64`` and therefore round-trips
+    bit-exactly: the feature vector a shard rebuilds is the feature
+    vector the parent held, to the last ulp.
+    """
+    vocab: List[str] = []
+    vocab_index: Dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        slot = vocab_index.get(text)
+        if slot is None:
+            slot = len(vocab)
+            vocab_index[text] = slot
+            vocab.append(text)
+        return slot
+
+    n = len(batch)
+    idx = np.empty(n, dtype=np.int64)
+    times = np.empty(n, dtype=np.float64)
+    loop = np.empty(n, dtype=np.int64)
+    available = np.empty(n, dtype=np.int64)
+    max_threads = np.empty(n, dtype=np.int64)
+    code = np.empty(3 * n, dtype=np.float64)
+    env = np.empty(len(_ENV_FIELDS) * n, dtype=np.float64)
+    for i, request in enumerate(batch):
+        ctx = request.ctx
+        idx[i] = request.index
+        times[i] = ctx.time
+        loop[i] = intern(ctx.loop_name)
+        available[i] = ctx.available_processors
+        max_threads[i] = ctx.max_threads
+        code[3 * i:3 * i + 3] = ctx.code.as_tuple()
+        base = len(_ENV_FIELDS) * i
+        for j, name in enumerate(_ENV_FIELDS):
+            env[base + j] = getattr(ctx.env, name)
+    meta = {"kind": "requests", "n": n, "vocab": vocab,
+            "start_position": int(start_position)}
+    arrays = {"idx": idx, "time": times, "loop": loop,
+              "available": available, "max_threads": max_threads,
+              "code": code, "env": env}
+    return meta, arrays
+
+
+def decode_requests(meta: dict, arrays: dict) -> Tuple[int, List[ServeRequest]]:
+    """Inverse of :func:`encode_requests`."""
+    if meta.get("kind") != "requests":
+        raise ValueError(f"expected a request block, got {meta.get('kind')!r}")
+    vocab = meta["vocab"]
+    width = len(_ENV_FIELDS)
+    batch: List[ServeRequest] = []
+    for i in range(int(meta["n"])):
+        base = width * i
+        env = EnvironmentSample(*(
+            float(arrays["env"][base + j]) for j in range(width)
+        ))
+        ctx = PolicyContext(
+            time=float(arrays["time"][i]),
+            loop_name=vocab[int(arrays["loop"][i])],
+            code=CodeFeatures(*(
+                float(v) for v in arrays["code"][3 * i:3 * i + 3]
+            )),
+            env=env,
+            available_processors=int(arrays["available"][i]),
+            max_threads=int(arrays["max_threads"][i]),
+        )
+        batch.append(ServeRequest(index=int(arrays["idx"][i]), ctx=ctx))
+    return int(meta["start_position"]), batch
+
+
+def encode_decisions(
+    decisions: Sequence[ServeDecision], recovered: int = 0
+) -> Tuple[dict, dict]:
+    """Flatten decisions into SoA columns for the return ring."""
+    vocab: List[str] = []
+    vocab_index: Dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        slot = vocab_index.get(text)
+        if slot is None:
+            slot = len(vocab)
+            vocab_index[text] = slot
+            vocab.append(text)
+        return slot
+
+    n = len(decisions)
+    idx = np.empty(n, dtype=np.int64)
+    threads = np.empty(n, dtype=np.int64)
+    tier = np.empty(n, dtype=np.int64)
+    latency = np.empty(n, dtype=np.float64)
+    flags = np.empty(n, dtype=np.int64)
+    failure = np.empty(n, dtype=np.int64)
+    for i, decision in enumerate(decisions):
+        idx[i] = decision.index
+        threads[i] = -1 if decision.threads is None else decision.threads
+        tier[i] = intern(decision.tier)
+        latency[i] = decision.latency_s
+        flags[i] = (1 if decision.shed else 0) | (
+            2 if decision.deadline_missed else 0
+        )
+        failure[i] = (
+            -1 if decision.failure is None else intern(decision.failure)
+        )
+    meta = {"kind": "decisions", "n": n, "vocab": vocab,
+            "recovered": int(recovered)}
+    arrays = {"idx": idx, "threads": threads, "tier": tier,
+              "latency": latency, "flags": flags, "failure": failure}
+    return meta, arrays
+
+
+def decode_decisions(meta: dict, arrays: dict) -> Tuple[int, List[ServeDecision]]:
+    """Inverse of :func:`encode_decisions`: ``(recovered, decisions)``."""
+    if meta.get("kind") != "decisions":
+        raise ValueError(f"expected a decision block, got {meta.get('kind')!r}")
+    vocab = meta["vocab"]
+    decisions: List[ServeDecision] = []
+    for i in range(int(meta["n"])):
+        threads = int(arrays["threads"][i])
+        failure = int(arrays["failure"][i])
+        flags = int(arrays["flags"][i])
+        decisions.append(ServeDecision(
+            index=int(arrays["idx"][i]),
+            threads=None if threads < 0 else threads,
+            tier=vocab[int(arrays["tier"][i])],
+            latency_s=float(arrays["latency"][i]),
+            shed=bool(flags & 1),
+            deadline_missed=bool(flags & 2),
+            failure=None if failure < 0 else vocab[failure],
+        ))
+    return int(meta.get("recovered", 0)), decisions
+
+
+# -- the shard-side serving core -------------------------------------------
+
+
+class ShardWorker:
+    """One shard's serving core: a stateful server + the dedupe rule.
+
+    Used both inline (deterministic tests, the failover twin) and as
+    the body of a shard process.  The dedupe rule is what makes
+    re-dispatch after failover lossless instead of double-serving:
+    every request — served or shed — advances the journal, so after
+    recovery ``server.next_index`` is exactly the first index the dead
+    shard had *not* durably processed.  Re-delivered requests below it
+    are answered with a :data:`RECOVERED_TIER` marker.
+    """
+
+    def __init__(self, policy: ThreadPolicy, config: ServeConfig,
+                 state_dir: Optional[Union[str, Path]] = None):
+        self.server = PolicyServer(policy, config, state_dir=state_dir)
+        self.recovered = 0
+
+    def serve_batch(
+        self, position: int, batch: Sequence[ServeRequest]
+    ) -> Tuple[List[ServeDecision], int]:
+        """Serve one micro-batch; returns ``(decisions, deduped)``."""
+        batch = list(batch)
+        # A shard's substream has strictly increasing indices, so the
+        # already-journaled part of a re-delivered batch is a prefix.
+        skip = 0
+        while skip < len(batch) and batch[skip].index < self.server.next_index:
+            skip += 1
+        decisions: List[ServeDecision] = [
+            ServeDecision(index=request.index, threads=None,
+                          tier=RECOVERED_TIER, latency_s=0.0)
+            for request in batch[:skip]
+        ]
+        self.recovered += skip
+        if skip < len(batch):
+            decisions.extend(self.server.offer_batch(
+                batch[skip:], start_position=position + skip
+            ))
+        return decisions, skip
+
+    def report(self) -> ServeReport:
+        return self.server.report()
+
+    def state(self) -> dict:
+        return self.server.policy.export_online_state()
+
+    def close(self) -> None:
+        self.server.close()
+
+
+def _shard_worker_main(conn, policy_factory, state_dir, serve_config,
+                       request_name, decision_name, ring_slots,
+                       slot_bytes) -> None:
+    """Shard process body: recover, announce readiness, serve doorbells.
+
+    The worker *creates* both ring segments (under the parent-assigned
+    names), so a worker killed mid-creation leaves at most a torn
+    segment the parent's raw-unlink sweep handles.  Request blocks
+    arrive as ``("req", slot, nbytes)`` doorbells; each is answered
+    with a decision block in the same slot of the return ring.
+    """
+    request_ring = shm.ShmRing(request_name, ring_slots, slot_bytes,
+                               create=True)
+    decision_ring = shm.ShmRing(decision_name, ring_slots, slot_bytes,
+                                create=True)
+    try:
+        worker = ShardWorker(policy_factory(), serve_config, state_dir)
+        conn.send(("ready", worker.server.next_index))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "req":
+                _, slot, nbytes = message
+                meta, arrays = request_ring.read(slot, nbytes)
+                position, batch = decode_requests(meta, arrays)
+                decisions, deduped = worker.serve_batch(position, batch)
+                reply_meta, reply_arrays = encode_decisions(
+                    decisions, recovered=deduped
+                )
+                written = decision_ring.write(slot, reply_meta,
+                                              reply_arrays)
+                conn.send(("dec", slot, written))
+            elif kind == "stop":
+                worker.close()
+                conn.send(("stopped", worker.report(), worker.state()))
+                break
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown fleet message {kind!r}")
+    except (EOFError, OSError, BrokenPipeError, KeyboardInterrupt):
+        # Parent died or tore the pipe down: exit quietly; the parent
+        # (or its ledger sweep) owns segment cleanup.
+        pass
+    finally:
+        request_ring.close()
+        decision_ring.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _InlineShard:
+    """In-process shard: same micro-batching, no transport.
+
+    The deterministic twin for :func:`~repro.serve.soak.verify_fleet_recovery`
+    and the single-core fallback — decisions are bit-identical to the
+    process mode's because both run the same :class:`ShardWorker` over
+    the same substream.
+    """
+
+    def __init__(self, index: int, policy_factory, serve_config,
+                 state_dir):
+        self.index = index
+        self.worker = ShardWorker(policy_factory(), serve_config,
+                                  state_dir)
+        self.pending: List[ServeRequest] = []
+        self.deadline: Optional[float] = None
+
+    def dispatch(self, batch: List[ServeRequest], sink) -> None:
+        decisions, deduped = self.worker.serve_batch(0, batch)
+        sink(self.index, decisions, deduped)
+
+    def collect_one(self, sink, blocking: bool = False) -> bool:
+        return False  # nothing is ever in flight inline
+
+    def stop(self, sink) -> Tuple[ServeReport, dict]:
+        self.worker.close()
+        return self.worker.report(), self.worker.state()
+
+
+class _ProcessShard:
+    """One shard process plus its rings, pipe and in-flight window."""
+
+    def __init__(self, index: int, generation: int, policy_factory,
+                 serve_config, state_dir, fleet_config: FleetConfig,
+                 ledger: ShmLedger, mp_context):
+        self.index = index
+        self.generation = generation
+        self.state_dir = state_dir
+        self.pending: List[ServeRequest] = []
+        self.deadline: Optional[float] = None
+        #: slot -> (position, batch), oldest first (dict is ordered).
+        self.inflight: Dict[int, Tuple[int, List[ServeRequest]]] = {}
+        self.free_slots = list(range(fleet_config.ring_slots))
+        self.request_name = ledger.issue(shm.segment_name())
+        self.decision_name = ledger.issue(shm.segment_name())
+        self.conn, child_conn = mp_context.Pipe()
+        self.process = mp_context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, policy_factory, state_dir, serve_config,
+                  self.request_name, self.decision_name,
+                  fleet_config.ring_slots, fleet_config.slot_bytes),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        # Blocks until the worker has created both rings and finished
+        # recovery; EOFError here means it died during startup.
+        message = self.conn.recv()
+        if message[0] != "ready":  # pragma: no cover - protocol error
+            raise RuntimeError(f"shard sent {message[0]!r} before ready")
+        self.resume_index = int(message[1])
+        self.request_ring = shm.ShmRing(
+            self.request_name, fleet_config.ring_slots,
+            fleet_config.slot_bytes,
+        )
+        self.decision_ring = shm.ShmRing(
+            self.decision_name, fleet_config.ring_slots,
+            fleet_config.slot_bytes,
+        )
+
+    # -- transport ---------------------------------------------------------
+
+    def dispatch(self, batch: List[ServeRequest], sink) -> None:
+        """Ship one micro-batch; blocks for a free slot when the
+        in-flight window is full (ring slots are the backpressure).
+
+        The in-flight record is written only after a successful send:
+        a batch that fails *here* is still owned by the caller (which
+        re-dispatches it after failover), while a batch that fails
+        *after* the send is owned by the in-flight window (which the
+        failover teardown returns for re-dispatch) — each failed batch
+        has exactly one owner, so none is lost or served twice.
+        """
+        while not self.free_slots:
+            self.collect_one(sink, blocking=True)
+        slot = self.free_slots.pop()
+        meta, arrays = encode_requests(batch, start_position=0)
+        nbytes = self.request_ring.write(slot, meta, arrays)
+        self.conn.send(("req", slot, nbytes))
+        self.inflight[slot] = (0, batch)
+
+    def collect_one(self, sink, blocking: bool = False) -> bool:
+        """Receive one decision doorbell; False when none is pending."""
+        if not self.inflight:
+            return False
+        if not blocking and not self.conn.poll():
+            return False
+        message = self.conn.recv()
+        if message[0] == "dec":
+            _, slot, nbytes = message
+            meta, arrays = self.decision_ring.read(slot, nbytes)
+            deduped, decisions = decode_decisions(meta, arrays)
+            self.inflight.pop(slot, None)
+            self.free_slots.append(slot)
+            sink(self.index, decisions, deduped)
+            return True
+        raise RuntimeError(  # pragma: no cover - protocol error
+            f"unexpected fleet message {message[0]!r}"
+        )
+
+    def stop(self, sink) -> Tuple[ServeReport, dict]:
+        while self.inflight:
+            self.collect_one(sink, blocking=True)
+        self.conn.send(("stop",))
+        message = self.conn.recv()
+        report, state = message[1], message[2]
+        self.process.join(timeout=30)
+        return report, state
+
+    # -- failover ----------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the shard process (chaos injection for tests/CI)."""
+        if self.process.pid is not None:
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        self.process.join(timeout=30)
+
+    def teardown(self, ledger: ShmLedger) -> List[Tuple[int, List[ServeRequest]]]:
+        """Release a dead shard's resources; returns unacked batches."""
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.kill()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.request_ring.close()
+        self.decision_ring.close()
+        ledger.release(self.request_name)
+        ledger.release(self.decision_name)
+        return [
+            (position, batch)
+            for position, batch in self.inflight.values()
+        ]
+
+
+class PolicyFleet:
+    """A sharded serving fleet behind one ``submit``/``drain`` surface.
+
+    ``policy_factory`` builds a fresh policy per shard (and per shard
+    *generation* after failover).  With ``processes=True`` each shard
+    runs in its own forked process behind shared-memory rings and a
+    ``state_root`` is mandatory — failover needs a journal to replay.
+    Inline mode serves on the caller's thread with identical decisions.
+    """
+
+    def __init__(
+        self,
+        policy_factory: Callable[[], ThreadPolicy],
+        config: Optional[FleetConfig] = None,
+        *,
+        state_root: Optional[Union[str, Path]] = None,
+        processes: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or FleetConfig()
+        self.router = ShardRouter(self.config.shards,
+                                  self.config.replicas)
+        self.ledger = ShmLedger()
+        self.decisions: List[ServeDecision] = []
+        self.shard_reports: List[ServeReport] = []
+        self.shard_states: List[dict] = []
+        self._policy_factory = policy_factory
+        self._state_root = None if state_root is None else Path(state_root)
+        self._processes = processes
+        self._clock = clock
+        self._recovered = 0
+        self._failovers = 0
+        self._started: Optional[float] = None
+        self._closed = False
+        if processes:
+            if self._state_root is None:
+                raise ValueError(
+                    "process mode requires state_root (failover "
+                    "replays the shard journal)"
+                )
+            if not shm.shm_available():
+                raise RuntimeError(
+                    "shared memory is unavailable; run the fleet "
+                    "inline (processes=False)"
+                )
+            import multiprocessing
+
+            self._mp = multiprocessing.get_context("fork")
+        self._shards: List = [
+            self._spawn(index, generation=0)
+            for index in range(self.config.shards)
+        ]
+
+    # -- shard lifecycle ---------------------------------------------------
+
+    def _shard_dir(self, index: int, generation: int) -> Optional[Path]:
+        if self._state_root is None:
+            return None
+        if generation == 0:
+            return self._state_root / f"shard-{index}"
+        return self._state_root / f"shard-{index}-g{generation}"
+
+    def _spawn(self, index: int, generation: int):
+        state_dir = self._shard_dir(index, generation)
+        if not self._processes:
+            return _InlineShard(index, self._policy_factory,
+                                self.config.serve, state_dir)
+        return _ProcessShard(
+            index, generation, self._policy_factory, self.config.serve,
+            state_dir, self.config, self.ledger, self._mp,
+        )
+
+    def _failover(self, index: int) -> List[List[ServeRequest]]:
+        """Replace a dead shard; returns its unacked batches, in order.
+
+        The replacement recovers from an atomically *shipped* copy of
+        the dead generation's journal + snapshots (exactly as a standby
+        on another machine would); the dead directory survives for
+        post-mortem.  The caller owns re-dispatching the returned
+        batches — the replacement's dedupe rule answers the
+        already-journaled prefix with :data:`RECOVERED_TIER` markers.
+        """
+        dead = self._shards[index]
+        self._failovers += 1
+        unacked = dead.teardown(self.ledger)
+        generation = dead.generation + 1
+        target = self._shard_dir(index, generation)
+        ship_state(dead.state_dir, target)
+        replacement = self._spawn(index, generation)
+        replacement.pending = dead.pending
+        replacement.deadline = dead.deadline
+        self._shards[index] = replacement
+        return [batch for _, batch in unacked]
+
+    _PIPE_ERRORS = (EOFError, BrokenPipeError, OSError)
+
+    def _dispatch(self, index: int, batch: List[ServeRequest]) -> None:
+        """Dispatch with failover: a torn pipe replaces the shard and
+        re-dispatches its unacked batches ahead of this one."""
+        queue = [batch]
+        deaths = 0
+        while queue:
+            shard = self._shards[index]
+            try:
+                shard.dispatch(queue[0], self._sink)
+                queue.pop(0)
+            except self._PIPE_ERRORS:
+                deaths += 1
+                if deaths > 3:
+                    raise RuntimeError(
+                        f"shard {index} died {deaths} times during "
+                        "one dispatch; giving up"
+                    )
+                queue = self._failover(index) + queue
+
+    def _collect(self, index: int, blocking: bool = False) -> bool:
+        shard = self._shards[index]
+        try:
+            return shard.collect_one(self._sink, blocking)
+        except self._PIPE_ERRORS:
+            for batch in self._failover(index):
+                self._dispatch(index, batch)
+            return True
+
+    # -- decision collection -----------------------------------------------
+
+    def _sink(self, shard_index: int, decisions: List[ServeDecision],
+              deduped: int) -> None:
+        self.decisions.extend(decisions)
+        self._recovered += deduped
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, request: ServeRequest,
+               stream: Optional[str] = None) -> None:
+        """Route one request to its stream's shard and micro-batch it.
+
+        ``stream`` defaults to the loop name — the natural stream id of
+        a mapping service, where each parallel region is a recurring
+        decision stream.
+        """
+        if self._closed:
+            raise RuntimeError("fleet is closed")
+        if self._started is None:
+            self._started = self._clock()
+        key = stream if stream is not None else request.ctx.loop_name
+        shard = self._shards[self.router.route(key)]
+        shard.pending.append(request)
+        if len(shard.pending) == 1:
+            shard.deadline = self._clock() + self.config.batch_linger_s
+        if len(shard.pending) >= self.config.batch_max:
+            self._flush(shard.index)
+        else:
+            self.poll()
+
+    def _flush(self, index: int) -> None:
+        shard = self._shards[index]
+        if not shard.pending:
+            return
+        batch, shard.pending = shard.pending, []
+        shard.deadline = None
+        self._dispatch(index, batch)
+
+    def poll(self) -> None:
+        """Opportunistic progress: expired lingers and ready decisions."""
+        now = self._clock()
+        for index in range(len(self._shards)):
+            shard = self._shards[index]
+            if shard.pending and shard.deadline is not None \
+                    and now >= shard.deadline:
+                self._flush(index)
+        for index in range(len(self._shards)):
+            self._collect(index)
+
+    def drain(self) -> List[ServeDecision]:
+        """Flush everything and wait for every in-flight decision."""
+        for index in range(len(self._shards)):
+            self._flush(index)
+        for index in range(len(self._shards)):
+            while getattr(self._shards[index], "inflight", None):
+                self._collect(index, blocking=True)
+        return self.decisions
+
+    def kill_shard(self, index: int) -> int:
+        """SIGKILL one shard process (chaos hook); returns its pid."""
+        shard = self._shards[index]
+        if not isinstance(shard, _ProcessShard):
+            raise RuntimeError("kill_shard requires process mode")
+        pid = shard.process.pid
+        shard.kill()
+        return pid
+
+    def owner(self, stream: str) -> int:
+        return self.router.route(stream)
+
+    def close(self) -> FleetReport:
+        """Drain, stop every shard, sweep segments, aggregate."""
+        if self._closed:
+            raise RuntimeError("fleet is already closed")
+        self.drain()
+        ended = self._clock()
+        for index in range(len(self._shards)):
+            while True:
+                try:
+                    report, state = self._shards[index].stop(self._sink)
+                    break
+                except self._PIPE_ERRORS:
+                    # Died at the finish line: recover one last time so
+                    # the aggregate still reflects the journal.
+                    for batch in self._failover(index):
+                        self._dispatch(index, batch)
+            self.shard_reports.append(report)
+            self.shard_states.append(state)
+        self._closed = True
+        self.ledger.sweep()
+        wall = 0.0
+        if self._started is not None:
+            wall = max(0.0, ended - self._started)
+        return self._aggregate(wall)
+
+    def _aggregate(self, wall_s: float) -> FleetReport:
+        histogram = FixedBucketHistogram()
+        queue_depth = Gauge()
+        batch_sizes = Gauge()
+        for report in self.shard_reports:
+            if report.latency_histogram.get("counts"):
+                histogram.merge(report.latency_histogram)
+            if report.queue_depth.get("count"):
+                queue_depth.merge(report.queue_depth)
+            if report.batch_sizes.get("count"):
+                batch_sizes.merge(report.batch_sizes)
+        answered = sum(
+            1 for d in self.decisions if d.threads is not None
+        )
+        shed = sum(1 for d in self.decisions if d.shed)
+        misses = sum(1 for d in self.decisions if d.deadline_missed)
+        return FleetReport(
+            shards=self.config.shards,
+            total=len(self.decisions),
+            answered=answered,
+            shed=shed,
+            deadline_misses=misses,
+            recovered=self._recovered,
+            failovers=self._failovers,
+            wall_s=wall_s,
+            per_shard=list(self.shard_reports),
+            latency_histogram=histogram.snapshot(),
+            queue_depth=queue_depth.snapshot(),
+            batch_sizes=batch_sizes.snapshot(),
+        )

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.persistence import (
     ChecksumError,
+    atomic_copy,
     dump_checked_json,
     load_checked_json,
     payload_checksum,
@@ -233,6 +234,40 @@ class SnapshotStore:
             except (ChecksumError, KeyError, TypeError, ValueError):
                 self._quarantine(path)
         return None
+
+
+def ship_state(source: Union[str, Path],
+               destination: Union[str, Path]) -> List[Path]:
+    """Ship a serve-state directory to ``destination`` (atomic copy).
+
+    The fleet's failover primitive: the replacement shard recovers
+    from a *copy* of the dead generation's state, exactly as a standby
+    on another machine would, and the original survives for
+    post-mortem.  Ships the retained snapshots plus the journal —
+    each file lands via temp + ``os.replace``, so a crash mid-shipping
+    leaves no observably partial file.  A torn journal tail (the
+    expected artifact of a SIGKILLed shard) is copied byte-for-byte;
+    replay on the receiving side quarantines and truncates it, which
+    is precisely the recovery path an in-place restart takes.
+
+    Returns the shipped destination paths.  Shipping from a directory
+    that never materialised (a shard killed before its first commit)
+    yields an empty destination, from which recovery correctly starts
+    at request 0.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    destination.mkdir(parents=True, exist_ok=True)
+    shipped: List[Path] = []
+    if source.is_dir():
+        for path in sorted(source.glob("snapshot-*.json")):
+            shipped.append(atomic_copy(path, destination / path.name))
+        journal = source / "journal.jsonl"
+        if journal.exists():
+            shipped.append(
+                atomic_copy(journal, destination / journal.name)
+            )
+    return shipped
 
 
 class ServeStateStore:

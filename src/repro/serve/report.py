@@ -11,9 +11,30 @@ quarantines, recovery point).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..runtime.metrics import FixedBucketHistogram
 from ..runtime.tracing import TierTransition
+
+
+def _histogram_line(snapshot: Dict[str, list]) -> Optional[str]:
+    """Render a histogram snapshot's populated buckets, or None."""
+    if not snapshot or not snapshot.get("counts"):
+        return None
+    histogram = FixedBucketHistogram(snapshot["bounds"])
+    histogram.merge(snapshot)
+    populated = histogram.nonzero()
+    if not populated:
+        return None
+    buckets = ", ".join(f"{label}={count}" for label, count in populated)
+    return f"latency histogram: {buckets}"
+
+
+def _gauge_fragment(label: str, snapshot: Dict[str, float]) -> Optional[str]:
+    if not snapshot or not snapshot.get("count"):
+        return None
+    return (f"{label} mean {snapshot['mean']:.1f} "
+            f"max {snapshot['max']:.0f}")
 
 
 @dataclass
@@ -39,6 +60,12 @@ class ServeReport:
     final_tier: str = ""
     #: Latency snapshot (seconds): count/p50/p99/mean/max.
     latency: Dict[str, float] = field(default_factory=dict)
+    #: Fixed-bucket latency histogram snapshot (bounds/counts).
+    latency_histogram: Dict[str, list] = field(default_factory=dict)
+    #: Arrival-group depth gauge snapshot (count/min/max/mean/last).
+    queue_depth: Dict[str, float] = field(default_factory=dict)
+    #: Served micro-batch size gauge snapshot.
+    batch_sizes: Dict[str, float] = field(default_factory=dict)
     #: Journal/snapshot bookkeeping (empty when serving stateless).
     journal: Dict[str, int] = field(default_factory=dict)
 
@@ -69,6 +96,9 @@ class ServeReport:
             "probe_failures": self.probe_failures,
             "final_tier": self.final_tier,
             "latency": dict(self.latency),
+            "latency_histogram": dict(self.latency_histogram),
+            "queue_depth": dict(self.queue_depth),
+            "batch_sizes": dict(self.batch_sizes),
             "journal": dict(self.journal),
         }
 
@@ -107,6 +137,17 @@ class ServeReport:
                     max=self.latency.get("max", 0.0) * 1e6,
                 )
             )
+        histogram = _histogram_line(self.latency_histogram)
+        if histogram:
+            lines.append(histogram)
+        gauges = [
+            fragment for fragment in (
+                _gauge_fragment("queue depth", self.queue_depth),
+                _gauge_fragment("batch size", self.batch_sizes),
+            ) if fragment
+        ]
+        if gauges:
+            lines.append("; ".join(gauges))
         if self.journal:
             lines.append(
                 "journal: {journal_records} records, "
@@ -115,5 +156,118 @@ class ServeReport:
                 "(resumed after request {recovered_req})".format(
                     **self.journal
                 )
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of a sharded serving fleet session.
+
+    Per-shard :class:`ServeReport` objects ride along untouched; the
+    aggregate latency histogram and gauges are exact merges (fixed
+    bucket bounds), while the aggregate p50/p99 are approximated from
+    the merged histogram (bucket upper bounds) — raw samples stay in
+    their shard processes.
+    """
+
+    shards: int = 0
+    total: int = 0
+    answered: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    #: Requests re-delivered after a shard death that the replacement
+    #: recognised as already journaled (deduplicated, not re-served).
+    recovered: int = 0
+    #: Shard deaths detected and replaced mid-session.
+    failovers: int = 0
+    #: Wall-clock seconds of the serving session (0 when unknown).
+    wall_s: float = 0.0
+    per_shard: List[ServeReport] = field(default_factory=list)
+    latency_histogram: Dict[str, list] = field(default_factory=dict)
+    queue_depth: Dict[str, float] = field(default_factory=dict)
+    batch_sizes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.answered / self.wall_s
+
+    def latency_quantile(self, q: float) -> float:
+        """Approximate latency quantile from the merged histogram.
+
+        Returns the upper bound of the bucket containing the q-th
+        sample (conservative: the true quantile is at or below it).
+        """
+        counts = self.latency_histogram.get("counts") or []
+        bounds = self.latency_histogram.get("bounds") or []
+        total = sum(counts)
+        if not total:
+            return 0.0
+        rank = max(1, -(-total * q // 100))
+        seen = 0
+        for i, count in enumerate(counts):
+            seen += count
+            if seen >= rank:
+                return float(bounds[i]) if i < len(bounds) else float(
+                    bounds[-1]
+                )
+        return float(bounds[-1])
+
+    def to_jsonable(self) -> dict:
+        return {
+            "shards": self.shards,
+            "total": self.total,
+            "answered": self.answered,
+            "shed": self.shed,
+            "deadline_misses": self.deadline_misses,
+            "recovered": self.recovered,
+            "failovers": self.failovers,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_histogram": dict(self.latency_histogram),
+            "queue_depth": dict(self.queue_depth),
+            "batch_sizes": dict(self.batch_sizes),
+            "per_shard": [r.to_jsonable() for r in self.per_shard],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"fleet: {self.shards} shards, {self.total} requests "
+            f"(answered {self.answered}, shed {self.shed}, "
+            f"deadline misses {self.deadline_misses})",
+        ]
+        if self.failovers or self.recovered:
+            lines.append(
+                f"failover: {self.failovers} shard deaths, "
+                f"{self.recovered} journaled requests deduplicated"
+            )
+        if self.wall_s > 0.0:
+            lines.append(
+                f"throughput: {self.throughput_rps:,.0f} req/s over "
+                f"{self.wall_s:.2f}s; "
+                f"p99 <= {self.latency_quantile(99.0) * 1e6:.0f}us "
+                f"(histogram bound)"
+            )
+        histogram = _histogram_line(self.latency_histogram)
+        if histogram:
+            lines.append(histogram)
+        gauges = [
+            fragment for fragment in (
+                _gauge_fragment("queue depth", self.queue_depth),
+                _gauge_fragment("batch size", self.batch_sizes),
+            ) if fragment
+        ]
+        if gauges:
+            lines.append("; ".join(gauges))
+        for shard_index, report in enumerate(self.per_shard):
+            tiers = ", ".join(
+                f"{name}={count}"
+                for name, count in report.tier_decisions.items()
+            ) or "-"
+            lines.append(
+                f"  shard {shard_index}: {report.total} requests, "
+                f"tiers [{tiers}], trips {report.trips}"
             )
         return "\n".join(lines)

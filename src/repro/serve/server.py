@@ -34,7 +34,8 @@ import numpy as np
 
 from ..core.features import sanitize_features
 from ..core.policies.base import PolicyContext, ThreadPolicy
-from ..runtime.metrics import LatencyLedger
+from ..core.selector import SCALAR_BATCH_MAX
+from ..runtime.metrics import Gauge, LatencyLedger
 from ..runtime.tracing import ServeTracer
 from .breaker import BreakerConfig, CircuitBreaker
 from .journal import ServeStateStore
@@ -105,9 +106,16 @@ class _PolicyTier:
         self.policy = policy
         self.name = policy.name
 
-    def decide(self, ctx: PolicyContext) -> int:
+    def decide(self, ctx: PolicyContext, planned=None) -> int:
         before = int(getattr(self.policy, "fallback_count", 0) or 0)
-        threads = self.policy.select(ctx)
+        if planned is None:
+            threads = self.policy.select(ctx)
+        else:
+            # Batch path: the pure per-expert work was precomputed by
+            # plan_batch; the sequential learn/select core still runs
+            # here, so the decision is bit-identical to select().
+            plan, row = planned
+            threads = self.policy._select_planned(ctx, plan, row)
         after = int(getattr(self.policy, "fallback_count", 0) or 0)
         if after > before:
             raise TierFailure("degenerate-features")
@@ -128,7 +136,7 @@ class _BestExpertTier:
     def __init__(self, policy):
         self.policy = policy
 
-    def decide(self, ctx: PolicyContext) -> int:
+    def decide(self, ctx: PolicyContext, planned=None) -> int:
         features, degenerate = sanitize_features(ctx.feature_vector())
         if degenerate:
             raise TierFailure("degenerate-features")
@@ -144,7 +152,7 @@ class _DefaultTier:
 
     name = "default"
 
-    def decide(self, ctx: PolicyContext) -> int:
+    def decide(self, ctx: PolicyContext, planned=None) -> int:
         return ctx.clamp(ctx.available_processors)
 
 
@@ -185,6 +193,8 @@ class PolicyServer:
             len(self.tiers), self.config.breaker
         )
         self.latency = LatencyLedger()
+        self.queue_depth = Gauge()
+        self.batch_sizes = Gauge()
         self._failures: dict = {}
         self._tier_decisions: dict = {}
         self._transitions: list = []
@@ -214,10 +224,10 @@ class PolicyServer:
     # -- the decision loop ------------------------------------------------
 
     def _attempt(self, tier, ctx: PolicyContext, start: float,
-                 enforce_deadline: bool):
+                 enforce_deadline: bool, planned=None):
         """One tier's try: ``(threads, None)`` or ``(None, reason)``."""
         try:
-            threads = tier.decide(ctx)
+            threads = tier.decide(ctx, planned)
         except TierFailure as failure:
             return None, failure.reason
         except Exception:
@@ -247,7 +257,8 @@ class PolicyServer:
                 to_tier=to_tier, reason=reason,
             ))
 
-    def _serve(self, request: ServeRequest) -> ServeDecision:
+    def _serve(self, request: ServeRequest,
+               planned=None) -> ServeDecision:
         ctx = request.ctx
         start = self._clock()
         probing = self.breaker.wants_probe()
@@ -260,7 +271,8 @@ class PolicyServer:
             tier = self.tiers[i]
             is_default = i == len(self.tiers) - 1
             threads, reason = self._attempt(
-                tier, ctx, start, enforce_deadline=not is_default
+                tier, ctx, start, enforce_deadline=not is_default,
+                planned=planned if i == 0 else None,
             )
             ok = reason is None
             if i == start_tier:
@@ -325,8 +337,49 @@ class PolicyServer:
         its logical arrival group — non-zero when a restarted stream
         resumes mid-burst, so admission decisions stay identical to the
         uninterrupted stream's."""
+        return self._offer(list(batch), start_position, plan=None)
+
+    def offer_batch(
+        self, batch: Sequence[ServeRequest], start_position: int = 0
+    ) -> List[ServeDecision]:
+        """Vectorized :meth:`offer` — bit-identical decisions.
+
+        The pure per-expert work for the admitted prefix is precomputed
+        in one batch plan (:meth:`MixturePolicy.plan_batch`); admission,
+        breaker walks, journaling and the sequential learn/select core
+        are the exact same code path as :meth:`offer`.  Falls back to
+        the scalar loop for tiny batches, non-mixture policies, and
+        online-learning experts.
+        """
+        batch = list(batch)
+        return self._offer(
+            batch, start_position, plan=self._plan(batch, start_position)
+        )
+
+    def _plan(self, batch: List[ServeRequest], start_position: int):
+        plan_batch = getattr(self.policy, "plan_batch", None)
+        if plan_batch is None:
+            return None
+        capacity = self.config.queue_capacity
+        admitted = batch[:max(0, capacity - start_position)]
+        if len(admitted) <= SCALAR_BATCH_MAX:
+            return None
+        rows = np.stack(
+            [request.ctx.feature_vector() for request in admitted]
+        )
+        limits = np.array(
+            [request.ctx.max_threads for request in admitted],
+            dtype=np.int64,
+        )
+        return plan_batch(rows, limits)
+
+    def _offer(
+        self, batch: List[ServeRequest], start_position: int, plan
+    ) -> List[ServeDecision]:
         decisions: List[ServeDecision] = []
         capacity = self.config.queue_capacity
+        self.queue_depth.record(start_position + len(batch))
+        self.batch_sizes.record(len(batch))
         for offset, request in enumerate(batch):
             position = start_position + offset
             self._total += 1
@@ -337,7 +390,8 @@ class PolicyServer:
                     latency_s=0.0, shed=True,
                 ))
             else:
-                decisions.append(self._serve(request))
+                planned = None if plan is None else (plan, offset)
+                decisions.append(self._serve(request, planned))
             if self.store is not None:
                 extra = {"breaker": self.breaker.export_state()}
                 self.store.commit(request.index, extra)
@@ -370,5 +424,8 @@ class PolicyServer:
             probe_failures=self.breaker.probe_failures,
             final_tier=self.tiers[self.breaker.tier].name,
             latency=self.latency.snapshot(),
+            latency_histogram=self.latency.histogram.snapshot(),
+            queue_depth=self.queue_depth.snapshot(),
+            batch_sizes=self.batch_sizes.snapshot(),
             journal=self.store.stats() if self.store else {},
         )

@@ -40,7 +40,8 @@ from ..core.selector import HyperplaneSelector
 from ..core.training import ExpertBundle, TrainingConfig
 from ..machine.availability import StaticAvailability
 from ..sched.stats import EnvironmentSample
-from .report import ServeReport
+from .fleet import RECOVERED_TIER, FleetConfig, PolicyFleet
+from .report import FleetReport, ServeReport
 from .server import (
     PolicyServer,
     ServeConfig,
@@ -330,6 +331,165 @@ def verify_recovery(
         "kill_at": kill_at,
         "resumed_from": resumed_from,
         "compared_decisions": len(resumed_decisions),
+        "identical": True,
+    }
+
+
+# -- fleet mode -------------------------------------------------------------
+
+
+def _fleet_policy_factory(bundle: ExpertBundle):
+    """A picklable zero-arg policy factory over ``bundle``."""
+    import functools
+
+    return functools.partial(build_policy, bundle)
+
+
+def _check_fleet_decisions(
+    spec: SoakSpec, decisions: List[ServeDecision]
+) -> None:
+    """Fleet-level invariants: nothing vanishes, every answer is legal.
+
+    ``RECOVERED_TIER`` markers (failover re-deliveries the replacement
+    shard recognised as already journaled) are legitimate non-answers:
+    the original decision was already delivered before the crash or is
+    unrecoverable by design, and the marker proves the request was not
+    silently dropped.
+    """
+    seen = {}
+    for decision in decisions:
+        seen[decision.index] = seen.get(decision.index, 0) + 1
+    schedule = spec.availability()
+    for index in range(spec.requests):
+        if seen.get(index, 0) != 1:
+            raise SoakInvariantError(
+                f"request {index} yielded {seen.get(index, 0)} "
+                "decisions (expected exactly 1)"
+            )
+    for decision in decisions:
+        if decision.shed or decision.tier == RECOVERED_TIER:
+            continue
+        available = schedule.available(decision.index * REQUEST_DT)
+        if decision.threads is None or not (
+                1 <= decision.threads <= available):
+            raise SoakInvariantError(
+                f"request {decision.index}: threads {decision.threads} "
+                f"outside [1, {available}]"
+            )
+
+
+def run_fleet_soak(
+    spec: SoakSpec,
+    bundle: ExpertBundle,
+    *,
+    config: Optional[FleetConfig] = None,
+    state_root: Optional[Union[str, Path]] = None,
+    processes: bool = False,
+    kill_at: Optional[int] = None,
+) -> Tuple[FleetReport, List[ServeDecision], List[dict]]:
+    """Drive a sharded fleet over the spec's stream, checking invariants.
+
+    The fleet consumes the stream one request at a time (micro-batching
+    replaces the single-server burst batches); routing keys on the loop
+    name, so each synthetic parallel region is a stream pinned to one
+    shard.  With ``kill_at`` (process mode only), the shard owning the
+    request at that index is SIGKILLed just before it is submitted —
+    the failover machinery must recover and finish the stream.
+    """
+    config = config or FleetConfig()
+    fleet = PolicyFleet(
+        _fleet_policy_factory(bundle), config,
+        state_root=state_root, processes=processes,
+    )
+    killed_shard: Optional[int] = None
+    for index in range(spec.requests):
+        request = make_request(spec, index)
+        if kill_at is not None and index == kill_at:
+            if not processes:
+                raise ValueError("kill_at requires process mode")
+            killed_shard = fleet.owner(request.ctx.loop_name)
+            fleet.kill_shard(killed_shard)
+        fleet.submit(request)
+    report = fleet.close()
+    _check_fleet_decisions(spec, fleet.decisions)
+    if kill_at is not None and report.failovers < 1:
+        raise SoakInvariantError(
+            f"shard {killed_shard} was killed at request {kill_at} "
+            "but no failover was recorded"
+        )
+    return report, list(fleet.decisions), list(fleet.shard_states)
+
+
+def verify_fleet_recovery(
+    spec: SoakSpec,
+    bundle: ExpertBundle,
+    kill_at: int,
+    state_root: Union[str, Path],
+    *,
+    config: Optional[FleetConfig] = None,
+) -> dict:
+    """Shard-kill vs uninterrupted twin: lossless fleet failover check.
+
+    Twin A runs the stream through an *inline* fleet (same sharding,
+    same micro-batch code path, no processes, nothing to kill).  Twin B
+    runs it through a process fleet whose owning shard is SIGKILLed at
+    ``kill_at``.  Afterwards every shard's online-learning state must
+    be bit-identical between the twins, and every decision B actually
+    served (everything except its ``recovered`` re-delivery markers)
+    must equal A's decision for the same request.
+    """
+    if not 0 < kill_at < spec.requests:
+        raise ValueError("kill_at must fall inside the stream")
+    config = config or FleetConfig()
+    state_root = Path(state_root)
+
+    twin_report, twin_decisions, twin_states = run_fleet_soak(
+        spec, bundle, config=config, state_root=state_root / "twin",
+        processes=False,
+    )
+    crash_report, crash_decisions, crash_states = run_fleet_soak(
+        spec, bundle, config=config, state_root=state_root / "crashed",
+        processes=True, kill_at=kill_at,
+    )
+
+    # Bit-identical per-shard learning state ...
+    for shard in range(config.shards):
+        mismatches = _state_mismatches(
+            twin_states[shard]["selector"],
+            crash_states[shard]["selector"],
+        )
+        if mismatches:
+            raise SoakInvariantError(
+                f"shard {shard} selector state diverged after "
+                "failover: " + ", ".join(mismatches)
+            )
+    # ... and bit-identical served decisions.  The crashed run's
+    # ``recovered`` markers stand in for answers that were journaled
+    # but whose delivery died with the shard; everything it actually
+    # served must match the twin.
+    by_index = {d.index: d for d in twin_decisions}
+    compared = 0
+    recovered = 0
+    for decision in crash_decisions:
+        if decision.tier == RECOVERED_TIER:
+            recovered += 1
+            continue
+        twin_decision = by_index[decision.index]
+        if (decision.threads, decision.tier, decision.shed) != (
+                twin_decision.threads, twin_decision.tier,
+                twin_decision.shed):
+            raise SoakInvariantError(
+                f"decision {decision.index} diverged after failover: "
+                f"{decision.threads}@{decision.tier} vs twin "
+                f"{twin_decision.threads}@{twin_decision.tier}"
+            )
+        compared += 1
+    return {
+        "kill_at": kill_at,
+        "shards": config.shards,
+        "failovers": crash_report.failovers,
+        "recovered": recovered,
+        "compared_decisions": compared,
         "identical": True,
     }
 

@@ -1,0 +1,328 @@
+"""Bit-identity of the batch decision path vs the scalar reference.
+
+The serving fleet evaluates micro-batches through ``select_batch`` /
+``plan_batch``; every assertion here is exact (``==`` on floats, no
+tolerances): the batch path hoists only elementwise work and keeps all
+reductions per-row, so a single differing ulp is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.determinism import StateDigest
+from repro.compiler.features import CodeFeatures
+from repro.core.features import (
+    NUM_FEATURES,
+    sanitize_features,
+    sanitize_features_batch,
+)
+from repro.core.hierarchical import HierarchicalSelector
+from repro.core.policies import MixturePolicy
+from repro.core.policies.base import PolicyContext
+from repro.core.selector import SCALAR_BATCH_MAX, HyperplaneSelector
+from repro.sched.stats import EnvironmentSample
+
+BATCH = 32  # > SCALAR_BATCH_MAX so the vector path actually runs
+
+
+def feature_rows(rng, count=BATCH, poison_every=0):
+    rows = rng.normal(size=(count, NUM_FEATURES)) * 10.0
+    if poison_every:
+        for i in range(0, count, poison_every):
+            rows[i, int(rng.integers(NUM_FEATURES))] = math.nan
+    return rows
+
+
+def make_ctx(time=0.0, workload=8.0, available=32, max_threads=32,
+             code=None):
+    env = EnvironmentSample(
+        time=time, workload_threads=workload, processors=float(available),
+        runq_sz=workload, ldavg_1=workload, ldavg_5=workload,
+        cached_memory=8.0, pages_free_rate=1.0,
+    )
+    return PolicyContext(
+        time=time,
+        loop_name="loop",
+        code=code or CodeFeatures(0.1, 0.3, 0.05),
+        env=env,
+        available_processors=available,
+        max_threads=max_threads,
+    )
+
+
+def ctx_stream(count=BATCH):
+    """A varied context stream with degenerate and NaN-norm entries."""
+    ctxs = []
+    for t in range(count):
+        workload = 4.0 + 3.0 * (t % 7)
+        code = CodeFeatures(0.1 + 0.01 * (t % 5), 0.3, 0.05)
+        if t % 11 == 5:
+            # NaN code feature: degenerate features, finite env norm.
+            code = CodeFeatures(math.nan, 0.3, 0.05)
+        if t % 13 == 7:
+            # NaN env field: degenerate features AND NaN observation.
+            workload = math.nan
+        ctxs.append(make_ctx(
+            time=float(t), workload=workload,
+            available=16 if t % 3 else 32, code=code,
+        ))
+    return ctxs
+
+
+class TestSanitizeBatch:
+    def test_matches_scalar_rows(self):
+        rng = np.random.default_rng(0)
+        rows = feature_rows(rng, poison_every=5)
+        clean, degenerate = sanitize_features_batch(rows)
+        for i in range(len(rows)):
+            ref, ref_degenerate = sanitize_features(rows[i])
+            assert bool(degenerate[i]) == ref_degenerate
+            assert np.array_equal(clean[i], ref)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            sanitize_features_batch(np.zeros(NUM_FEATURES))
+
+
+class TestExpertBatch:
+    def test_predictions_bit_identical(self, tiny_bundle):
+        rng = np.random.default_rng(1)
+        rows = feature_rows(rng, poison_every=6)
+        limits = rng.integers(2, 48, size=len(rows))
+        for expert in tiny_bundle.experts:
+            threads = expert.predict_threads_batch(rows, limits)
+            norms = expert.predict_env_norm_batch(rows)
+            distances = expert.domain_distance_batch(rows)
+            for i, row in enumerate(rows):
+                assert threads[i] == expert.predict_threads(
+                    row, int(limits[i])
+                )
+                assert norms[i] == expert.predict_env_norm(row)
+                # equal_nan: a poisoned row is NaN through both paths
+                # (domain_distance never sanitizes — the mixture only
+                # feeds it sanitized features).
+                assert np.array_equal(
+                    distances[i], expert.domain_distance(row),
+                    equal_nan=True,
+                )
+
+    def test_without_envelope(self, tiny_bundle):
+        expert = tiny_bundle.experts[0].without_envelope()
+        rng = np.random.default_rng(2)
+        rows = feature_rows(rng)
+        assert np.array_equal(
+            expert.domain_distance_batch(rows), np.zeros(len(rows))
+        )
+        norms = expert.predict_env_norm_batch(rows)
+        for i, row in enumerate(rows):
+            assert norms[i] == expert.predict_env_norm(row)
+
+    def test_scalar_max_threads_broadcasts(self, tiny_bundle):
+        expert = tiny_bundle.experts[0]
+        rng = np.random.default_rng(3)
+        rows = feature_rows(rng)
+        threads = expert.predict_threads_batch(rows, 16)
+        for i, row in enumerate(rows):
+            assert threads[i] == expert.predict_threads(row, 16)
+
+
+def trained_selector(factory, rng, steps=60):
+    selector = factory()
+    for _ in range(steps):
+        errors = [float(v) for v in rng.uniform(0.5, 5.0,
+                                                selector.num_experts)]
+        selector.update(rng.normal(size=NUM_FEATURES) * 10.0, errors)
+    return selector
+
+
+class RecordingSink:
+    def __init__(self):
+        self.records = []
+
+    def record_update(self, features, errors):
+        self.records.append(
+            ("update", [float(v) for v in features],
+             [float(e) for e in errors])
+        )
+
+    def record_select(self, features):
+        self.records.append(("select", [float(v) for v in features]))
+
+
+class TestHyperplaneSelectBatch:
+    def check_twins(self, factory, rows):
+        rng_a, rng_b = (np.random.default_rng(4) for _ in range(2))
+        batched = trained_selector(factory, rng_a)
+        scalar = trained_selector(factory, rng_b)
+        sink_batched, sink_scalar = RecordingSink(), RecordingSink()
+        batched.attach_journal(sink_batched)
+        scalar.attach_journal(sink_scalar)
+        choices = batched.select_batch(rows)
+        reference = [scalar.select(row) for row in rows]
+        assert list(choices) == reference
+        assert batched.stats.selections == scalar.stats.selections
+        assert sink_batched.records == sink_scalar.records
+        state_a, state_b = batched.export_state(), scalar.export_state()
+        for key in state_a:
+            assert np.array_equal(state_a[key], state_b[key]), key
+
+    def test_trained_selector(self):
+        rows = feature_rows(np.random.default_rng(5), poison_every=7)
+        self.check_twins(
+            lambda: HyperplaneSelector(num_experts=3, dim=NUM_FEATURES),
+            rows,
+        )
+
+    def test_tie_breaker_advances_identically(self):
+        # A fresh selector scores everything 0: every row is a tie, so
+        # the round-robin phase must advance row by row exactly as the
+        # scalar loop advances it.
+        batched = HyperplaneSelector(num_experts=4, dim=NUM_FEATURES)
+        scalar = HyperplaneSelector(num_experts=4, dim=NUM_FEATURES)
+        rows = np.zeros((BATCH, NUM_FEATURES))
+        choices = batched.select_batch(rows)
+        reference = [scalar.select(row) for row in rows]
+        assert list(choices) == reference
+        assert batched._tie_breaker == scalar._tie_breaker
+
+    def test_small_batch_uses_scalar_loop(self):
+        selector = HyperplaneSelector(num_experts=2, dim=NUM_FEATURES)
+        rows = np.zeros((SCALAR_BATCH_MAX, NUM_FEATURES))
+        choices = selector.select_batch(rows)
+        assert len(choices) == SCALAR_BATCH_MAX
+        assert len(selector.stats.selections) == SCALAR_BATCH_MAX
+
+
+class TestHierarchicalSelectBatch:
+    def test_trained_gate(self):
+        def factory():
+            return HierarchicalSelector(
+                groups=[[0, 1], [2, 3], [4]], dim=NUM_FEATURES
+            )
+        rng_a, rng_b = (np.random.default_rng(6) for _ in range(2))
+        batched = trained_selector(factory, rng_a)
+        scalar = trained_selector(factory, rng_b)
+        rows = feature_rows(np.random.default_rng(7), poison_every=9)
+        choices = batched.select_batch(rows)
+        reference = [scalar.select(row) for row in rows]
+        assert list(choices) == reference
+        assert batched.stats.selections == scalar.stats.selections
+        state_a, state_b = batched.export_state(), scalar.export_state()
+        assert state_a["groups"] == state_b["groups"]
+        for level_a, level_b in zip(
+            [state_a["top"], *state_a["inner"]],
+            [state_b["top"], *state_b["inner"]],
+        ):
+            for key in level_a:
+                assert np.array_equal(level_a[key], level_b[key]), key
+
+    def test_fresh_gate_round_robin(self):
+        batched = HierarchicalSelector(groups=[[0, 1], [2]],
+                                       dim=NUM_FEATURES)
+        scalar = HierarchicalSelector(groups=[[0, 1], [2]],
+                                      dim=NUM_FEATURES)
+        rows = np.zeros((BATCH, NUM_FEATURES))
+        assert list(batched.select_batch(rows)) == [
+            scalar.select(row) for row in rows
+        ]
+
+
+def assert_same_decisions(policy_a, policy_b):
+    assert len(policy_a.decisions) == len(policy_b.decisions)
+    for left, right in zip(policy_a.decisions, policy_b.decisions):
+        assert left == right  # dataclass ==: exact floats, exact ints
+
+
+class TestMixtureSelectBatch:
+    def test_bit_identical_to_scalar_loop(self, tiny_bundle):
+        batched = MixturePolicy(tiny_bundle.experts)
+        scalar = MixturePolicy(tiny_bundle.experts)
+        ctxs = ctx_stream()
+        threads = batched.select_batch(ctxs)
+        reference = [scalar.select(ctx) for ctx in ctxs]
+        assert threads == reference
+        assert batched.fallback_count == scalar.fallback_count
+        assert_same_decisions(batched, scalar)
+        state_a = batched.export_online_state()
+        state_b = scalar.export_online_state()
+        for key in state_a["selector"]:
+            assert np.array_equal(
+                state_a["selector"][key], state_b["selector"][key]
+            ), key
+        assert state_a["pending_features"] == state_b["pending_features"]
+
+    def test_carries_pending_across_batches(self, tiny_bundle):
+        batched = MixturePolicy(tiny_bundle.experts)
+        scalar = MixturePolicy(tiny_bundle.experts)
+        ctxs = ctx_stream(3 * BATCH)
+        threads = []
+        for start in range(0, len(ctxs), BATCH):
+            threads.extend(batched.select_batch(ctxs[start:start + BATCH]))
+        reference = [scalar.select(ctx) for ctx in ctxs]
+        assert threads == reference
+        assert_same_decisions(batched, scalar)
+
+    def test_scalar_pending_scored_by_planned_path(self, tiny_bundle):
+        # A pending created by a scalar select (no cached domain
+        # distances) must be scored identically by the batch path.
+        batched = MixturePolicy(tiny_bundle.experts)
+        scalar = MixturePolicy(tiny_bundle.experts)
+        ctxs = ctx_stream()
+        batched.select(ctxs[0])
+        scalar.select(ctxs[0])
+        assert batched.select_batch(ctxs[1:]) == [
+            scalar.select(ctx) for ctx in ctxs[1:]
+        ]
+        assert_same_decisions(batched, scalar)
+
+    def test_online_experts_fall_back_to_scalar(self, tiny_bundle):
+        class OnlineExpert:
+            name = "online"
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.observations = []
+
+            def record_observation(self, features, norm):
+                self.observations.append(norm)
+
+            def __getattr__(self, attribute):
+                return getattr(self.inner, attribute)
+
+        experts = [OnlineExpert(e) for e in tiny_bundle.experts]
+        policy = MixturePolicy(experts)
+        assert policy.plan_batch(
+            np.zeros((BATCH, NUM_FEATURES)), 32
+        ) is None
+        threads = policy.select_batch(ctx_stream(12))
+        assert len(threads) == 12
+        assert experts[0].observations  # scalar path fed the expert
+
+    def test_digest_cross_check(self, tiny_bundle):
+        # The REPRO_SANITIZE-style check: folding both decision streams
+        # into a rolling digest must produce the same hex.
+        digests = []
+        for use_batch in (False, True):
+            policy = MixturePolicy(tiny_bundle.experts)
+            ctxs = ctx_stream(2 * BATCH)
+            if use_batch:
+                threads = policy.select_batch(ctxs)
+            else:
+                threads = [policy.select(ctx) for ctx in ctxs]
+            digest = StateDigest()
+            for index, decision in enumerate(policy.decisions):
+                digest.fold("decision", {
+                    "index": index,
+                    "expert": decision.expert_index,
+                    "threads": decision.threads,
+                    "predicted_norms": list(decision.predicted_norms),
+                    "observed": decision.observed_next_norm,
+                })
+            digest.fold("threads", list(threads))
+            digest.fold("fallbacks", policy.fallback_count)
+            digests.append(digest.hexdigest())
+        assert digests[0] == digests[1]

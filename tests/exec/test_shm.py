@@ -164,6 +164,138 @@ class TestNamingAndCleanup:
         assert leaked == []
 
 
+class TestPidReuseToken:
+    def test_fresh_token_defeats_stale_same_pid_names(self, monkeypatch):
+        """Pid reuse must not let a new process collide with leaked
+        segments of a dead one that had the same pid.
+
+        Forge the stale world: pretend an earlier process with *our*
+        pid (the reuse scenario) had token ``deadbeef``, leak one of
+        its segments, then recompute the real token and check the new
+        names miss the leaked one entirely.
+        """
+        import os
+        from multiprocessing import shared_memory
+
+        monkeypatch.setattr(shm, "_TOKEN", (os.getpid(), "deadbeef"))
+        monkeypatch.setattr(shm, "_COUNTER", 0)
+        stale_name = shm.segment_name()
+        assert "-deadbeef-" in stale_name
+        stale = shared_memory.SharedMemory(
+            name=stale_name, create=True, size=64
+        )
+        stale.close()
+        try:
+            # the reborn process derives its token from /proc starttime,
+            # not the pid alone, so its names cannot alias the leak
+            monkeypatch.setattr(shm, "_TOKEN", None)
+            monkeypatch.setattr(shm, "_COUNTER", 0)
+            fresh_name = shm.segment_name()
+            assert fresh_name != stale_name
+            assert "-deadbeef-" not in fresh_name
+
+            # exclusive creation under the fresh name succeeds even
+            # though the stale segment still occupies the old name
+            fresh = shared_memory.SharedMemory(
+                name=fresh_name, create=True, size=64
+            )
+            fresh.close()
+            ledger = ShmLedger()
+            ledger.issue(fresh_name)
+            assert ledger.sweep() == 1
+            # the sweep removed only what this ledger issued — the
+            # stale segment is another process's to reap
+            assert not segment_exists(fresh_name)
+            assert segment_exists(stale_name)
+        finally:
+            shm.unlink(stale_name)
+
+    def test_token_survives_within_process(self):
+        assert shm._process_token() == shm._process_token()
+
+
+class TestShmRing:
+    def test_round_trip_is_bit_exact(self):
+        import numpy as np
+
+        name = shm.segment_name()
+        writer = shm.ShmRing(name, slots=2, slot_bytes=4096, create=True)
+        try:
+            reader = shm.ShmRing(name, slots=2, slot_bytes=4096)
+            meta = {"kind": "request", "position": 3}
+            arrays = {
+                "idx": np.arange(5, dtype=np.int64),
+                "time": np.array([0.1, 0.2, np.nan, -0.0, 1e-300]),
+            }
+            nbytes = writer.write(1, meta, arrays)
+            got_meta, got_arrays = reader.read(1, nbytes)
+            assert got_meta == meta
+            assert got_arrays["idx"].tobytes() == arrays["idx"].tobytes()
+            assert got_arrays["time"].tobytes() == \
+                arrays["time"].tobytes()
+            reader.close()
+        finally:
+            writer.close()
+            shm.unlink(name)
+
+    def test_slots_are_independent(self):
+        import numpy as np
+
+        name = shm.segment_name()
+        ring = shm.ShmRing(name, slots=3, slot_bytes=1024, create=True)
+        try:
+            sizes = [
+                ring.write(slot, {"slot": slot},
+                           {"v": np.full(4, slot, dtype=np.int64)})
+                for slot in range(3)
+            ]
+            for slot, nbytes in enumerate(sizes):
+                meta, arrays = ring.read(slot, nbytes)
+                assert meta == {"slot": slot}
+                assert list(arrays["v"]) == [slot] * 4
+        finally:
+            ring.close()
+            shm.unlink(name)
+
+    def test_oversized_block_rejected_with_remedy(self):
+        import numpy as np
+
+        name = shm.segment_name()
+        ring = shm.ShmRing(name, slots=1, slot_bytes=64, create=True)
+        try:
+            with pytest.raises(ValueError, match="slot_bytes"):
+                ring.write(0, {}, {"big": np.zeros(1024)})
+        finally:
+            ring.close()
+            shm.unlink(name)
+
+    def test_bad_slot_and_size_rejected(self):
+        name = shm.segment_name()
+        ring = shm.ShmRing(name, slots=2, slot_bytes=64, create=True)
+        try:
+            with pytest.raises(IndexError):
+                ring.write(2, {}, {})
+            with pytest.raises(IndexError):
+                ring.read(-1, 8)
+            with pytest.raises(ValueError, match="larger than a slot"):
+                ring.read(0, 65)
+            with pytest.raises(ValueError):
+                shm.ShmRing(name, slots=0, slot_bytes=64)
+        finally:
+            ring.close()
+            shm.unlink(name)
+
+    def test_attach_checks_segment_size(self):
+        name = shm.segment_name()
+        ring = shm.ShmRing(name, slots=1, slot_bytes=64, create=True)
+        try:
+            with pytest.raises(ValueError, match="smaller"):
+                shm.ShmRing(name, slots=4, slot_bytes=4096)
+        finally:
+            ring.close()
+            shm.unlink(name)
+
+
 class TestKnob:
     def test_default_on(self, monkeypatch):
         monkeypatch.delenv("REPRO_SHM", raising=False)

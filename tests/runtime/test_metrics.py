@@ -83,3 +83,121 @@ class TestSpeedup:
     def test_missing_baseline(self):
         with pytest.raises(KeyError):
             speedups_over_baseline({"a": 1.0}, baseline="default")
+
+
+class TestFixedBucketHistogram:
+    def test_bucket_edges_are_half_open_on_the_left(self):
+        from repro.runtime.metrics import FixedBucketHistogram
+
+        hist = FixedBucketHistogram(bounds=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            hist.record(value)
+        # (.., 1], (1, 2], (2, 4], overflow
+        assert hist.snapshot()["counts"] == [2, 2, 2, 1]
+        assert hist.count == 7
+
+    def test_merge_sums_counts(self):
+        from repro.runtime.metrics import FixedBucketHistogram
+
+        left = FixedBucketHistogram(bounds=[1.0, 2.0])
+        right = FixedBucketHistogram(bounds=[1.0, 2.0])
+        left.record(0.5)
+        right.record(0.5)
+        right.record(5.0)
+        left.merge(right.snapshot())
+        assert left.snapshot()["counts"] == [2, 0, 1]
+
+    def test_merge_rejects_different_bounds(self):
+        from repro.runtime.metrics import FixedBucketHistogram
+
+        left = FixedBucketHistogram(bounds=[1.0, 2.0])
+        right = FixedBucketHistogram(bounds=[1.0, 3.0])
+        with pytest.raises(ValueError, match="bounds"):
+            left.merge(right.snapshot())
+
+    def test_validation(self):
+        from repro.runtime.metrics import FixedBucketHistogram
+
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(bounds=[])
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(bounds=[2.0, 1.0])
+
+    def test_nonzero_labels_only_populated_buckets(self):
+        from repro.runtime.metrics import FixedBucketHistogram
+
+        hist = FixedBucketHistogram(bounds=[1e-6, 1e-3, 1.0])
+        hist.record(5e-7)
+        hist.record(2.0)
+        labels = hist.nonzero()
+        assert len(labels) == 2
+        assert labels[0] == ("0us-1us", 1)
+        assert labels[1] == (">1s", 1)
+
+    def test_default_bounds_cover_microseconds_to_seconds(self):
+        from repro.runtime.metrics import LATENCY_BUCKET_BOUNDS
+
+        assert LATENCY_BUCKET_BOUNDS[0] == 1e-6
+        assert LATENCY_BUCKET_BOUNDS[-1] > 1.0
+        assert list(LATENCY_BUCKET_BOUNDS) == \
+            sorted(LATENCY_BUCKET_BOUNDS)
+
+
+class TestGauge:
+    def test_tracks_min_mean_max_last(self):
+        from repro.runtime.metrics import Gauge
+
+        gauge = Gauge()
+        for value in (4.0, 1.0, 7.0, 2.0):
+            gauge.record(value)
+        snap = gauge.snapshot()
+        assert snap["min"] == 1.0
+        assert snap["max"] == 7.0
+        assert snap["mean"] == pytest.approx(3.5)
+        assert snap["last"] == 2.0
+        assert snap["count"] == 4.0
+
+    def test_empty_snapshot_is_zeros(self):
+        from repro.runtime.metrics import Gauge
+
+        assert Gauge().snapshot() == {
+            "count": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "last": 0.0,
+        }
+
+    def test_merge_weights_means_by_count(self):
+        from repro.runtime.metrics import Gauge
+
+        left, right = Gauge(), Gauge()
+        left.record(2.0)
+        right.record(4.0)
+        right.record(6.0)
+        left.merge(right.snapshot())
+        snap = left.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["mean"] == pytest.approx(4.0)
+        assert snap["min"] == 2.0
+        assert snap["max"] == 6.0
+
+    def test_merging_empty_is_a_no_op(self):
+        from repro.runtime.metrics import Gauge
+
+        gauge = Gauge()
+        gauge.record(5.0)
+        before = gauge.snapshot()
+        gauge.merge(Gauge().snapshot())
+        assert gauge.snapshot() == before
+
+
+class TestLatencyLedgerHistogram:
+    def test_histogram_rides_along_with_samples(self):
+        from repro.runtime.metrics import LatencyLedger
+
+        ledger = LatencyLedger()
+        for seconds in (2e-6, 5e-6, 1e-3):
+            ledger.record(seconds)
+        assert ledger.count == 3
+        assert ledger.histogram.count == 3
+        ledger.clear()
+        assert ledger.count == 0
+        assert ledger.histogram.count == 0

@@ -1,0 +1,381 @@
+"""The sharded serving fleet: routing, transport, failover, isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.sensors import SensorFaultSpec
+from repro.exec import shm
+from repro.serve.fleet import (
+    RECOVERED_TIER,
+    FleetConfig,
+    PolicyFleet,
+    ShardRouter,
+    ShardWorker,
+    decode_decisions,
+    decode_requests,
+    encode_decisions,
+    encode_requests,
+)
+from repro.serve.journal import ship_state
+from repro.serve.server import ServeConfig, ServeDecision
+from repro.serve.soak import (
+    SoakInvariantError,
+    SoakSpec,
+    build_policy,
+    make_request,
+    run_fleet_soak,
+    verify_fleet_recovery,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+SPEC = SoakSpec(requests=240, seed=3)
+
+
+def stream_requests(spec=SPEC):
+    return [make_request(spec, i) for i in range(spec.requests)]
+
+
+class TestShardRouter:
+    def test_routes_are_stable_and_in_range(self):
+        router = ShardRouter(4)
+        streams = [f"loop_{i}" for i in range(100)]
+        first = [router.route(s) for s in streams]
+        again = [ShardRouter(4).route(s) for s in streams]
+        assert first == again  # sha256, not salted builtin hash
+        assert all(0 <= shard < 4 for shard in first)
+
+    def test_replicas_spread_streams(self):
+        router = ShardRouter(4, replicas=64)
+        owners = {router.route(f"stream-{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1)
+        assert {router.route(f"s{i}") for i in range(20)} == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, replicas=0)
+
+
+class TestFleetConfig:
+    def test_batch_max_bounded_by_capacity(self):
+        with pytest.raises(ValueError, match="queue_capacity"):
+            FleetConfig(batch_max=100,
+                        serve=ServeConfig(queue_capacity=64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(shards=0)
+        with pytest.raises(ValueError):
+            FleetConfig(ring_slots=0)
+        with pytest.raises(ValueError):
+            FleetConfig(slot_bytes=8)
+        with pytest.raises(ValueError):
+            FleetConfig(batch_linger_s=-1.0)
+
+
+class TestWireCodec:
+    def test_requests_round_trip_bit_exactly(self):
+        batch = stream_requests()[:40]
+        meta, arrays = encode_requests(batch, start_position=7)
+        position, decoded = decode_requests(meta, arrays)
+        assert position == 7
+        assert len(decoded) == len(batch)
+        for original, copy in zip(batch, decoded):
+            assert copy.index == original.index
+            assert copy.ctx.loop_name == original.ctx.loop_name
+            assert copy.ctx.available_processors == \
+                original.ctx.available_processors
+            assert copy.ctx.max_threads == original.ctx.max_threads
+            # the feature vector must survive to the last ulp — this
+            # is what makes shard decisions equal to inline decisions
+            assert copy.ctx.feature_vector().tobytes() == \
+                original.ctx.feature_vector().tobytes()
+
+    def test_decisions_round_trip_exactly(self):
+        decisions = [
+            ServeDecision(index=1, threads=8, tier="mixture",
+                          latency_s=1.25e-4),
+            ServeDecision(index=2, threads=None, tier="shed",
+                          latency_s=0.0, shed=True),
+            ServeDecision(index=3, threads=4, tier="expert",
+                          latency_s=3.5e-4, deadline_missed=True,
+                          failure="degenerate-features"),
+            ServeDecision(index=4, threads=None, tier=RECOVERED_TIER,
+                          latency_s=0.0),
+        ]
+        meta, arrays = encode_decisions(decisions, recovered=1)
+        deduped, decoded = decode_decisions(meta, arrays)
+        assert deduped == 1
+        assert decoded == decisions
+
+    def test_kind_mismatch_rejected(self):
+        meta, arrays = encode_requests(stream_requests()[:2])
+        with pytest.raises(ValueError, match="decision"):
+            decode_decisions(meta, arrays)
+        meta, arrays = encode_decisions([])
+        with pytest.raises(ValueError, match="request"):
+            decode_requests(meta, arrays)
+
+
+class TestInlineFleet:
+    def test_serves_everything_deterministically(self, tiny_bundle,
+                                                 tmp_path):
+        config = FleetConfig(shards=2, batch_max=16)
+
+        def run(root):
+            report, decisions, states = run_fleet_soak(
+                SPEC, tiny_bundle, config=config, state_root=root,
+            )
+            return report, decisions, states
+
+        report_a, decisions_a, states_a = run(tmp_path / "a")
+        report_b, decisions_b, states_b = run(tmp_path / "b")
+        assert report_a.total == SPEC.requests
+        assert report_a.answered == SPEC.requests
+        key = lambda d: d.index
+        assert [
+            (d.index, d.threads, d.tier)
+            for d in sorted(decisions_a, key=key)
+        ] == [
+            (d.index, d.threads, d.tier)
+            for d in sorted(decisions_b, key=key)
+        ]
+        for left, right in zip(states_a, states_b):
+            assert np.array_equal(left["selector"]["V"],
+                                  right["selector"]["V"])
+
+    def test_streams_are_pinned_to_shards(self, tiny_bundle, tmp_path):
+        config = FleetConfig(shards=2, batch_max=16)
+        report, decisions, _ = run_fleet_soak(
+            SPEC, tiny_bundle, config=config, state_root=tmp_path,
+        )
+        # every shard report covers exactly the requests of its streams
+        router = ShardRouter(2)
+        expected = [0, 0]
+        for request in stream_requests():
+            expected[router.route(request.ctx.loop_name)] += 1
+        assert [r.total for r in report.per_shard] == expected
+
+    def test_batch_max_flushes(self, tiny_bundle, tmp_path):
+        config = FleetConfig(shards=1, batch_max=8,
+                             batch_linger_s=3600.0)
+        report, _, _ = run_fleet_soak(
+            SPEC, tiny_bundle, config=config, state_root=tmp_path,
+        )
+        # with an effectively infinite linger, every full flush is
+        # exactly batch_max and only the final drain flush is short
+        assert report.batch_sizes["max"] == 8.0
+        assert report.total == SPEC.requests
+
+    def test_linger_flushes_partial_batches(self, tiny_bundle,
+                                            tmp_path):
+        ticks = iter(float(i) for i in range(10_000))
+        fleet = PolicyFleet(
+            lambda: build_policy(tiny_bundle),
+            FleetConfig(shards=1, batch_max=32, batch_linger_s=0.5),
+            state_root=tmp_path, clock=lambda: next(ticks),
+        )
+        requests = stream_requests()
+        fleet.submit(requests[0])
+        # each submit advances the fake clock well past the linger
+        # deadline, so the next submit's poll flushes the single
+        # pending request instead of waiting for batch_max
+        fleet.submit(requests[1])
+        assert len(fleet.decisions) >= 1
+        fleet.close()
+
+    def test_closed_fleet_rejects_submits(self, tiny_bundle, tmp_path):
+        fleet = PolicyFleet(
+            lambda: build_policy(tiny_bundle),
+            FleetConfig(shards=1), state_root=tmp_path,
+        )
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            fleet.submit(stream_requests()[0])
+        with pytest.raises(RuntimeError):
+            fleet.close()
+
+
+class TestShardWorkerDedupe:
+    def test_redelivered_prefix_is_marked_recovered(self, tiny_bundle,
+                                                    tmp_path):
+        requests = [
+            r for r in stream_requests()
+            if ShardRouter(1).route(r.ctx.loop_name) == 0
+        ][:24]
+        worker = ShardWorker(build_policy(tiny_bundle), ServeConfig(),
+                             tmp_path / "state")
+        first, deduped = worker.serve_batch(0, requests[:16])
+        assert deduped == 0
+        assert len(first) == 16
+        worker.close()
+
+        # a replacement recovering from the same journal recognises
+        # the already-served prefix of a re-delivered batch
+        replacement = ShardWorker(build_policy(tiny_bundle),
+                                  ServeConfig(), tmp_path / "state")
+        decisions, deduped = replacement.serve_batch(0, requests[8:24])
+        assert deduped == 8
+        assert [d.tier for d in decisions[:8]] == [RECOVERED_TIER] * 8
+        assert all(d.threads is None for d in decisions[:8])
+        assert all(d.tier != RECOVERED_TIER for d in decisions[8:])
+        assert replacement.recovered == 8
+        replacement.close()
+
+
+class TestShipState:
+    def test_ships_snapshots_and_journal(self, tiny_bundle, tmp_path):
+        source = tmp_path / "source"
+        worker = ShardWorker(build_policy(tiny_bundle),
+                             ServeConfig(snapshot_interval=16), source)
+        requests = stream_requests()[:48]
+        worker.serve_batch(0, requests)
+        worker.close()
+        shipped = ship_state(source, tmp_path / "copy")
+        names = {p.name for p in shipped}
+        assert "journal.jsonl" in names
+        assert any(n.startswith("snapshot-") for n in names)
+        # a worker recovering from the copy resumes where the original
+        # stopped — nothing is re-served
+        twin = ShardWorker(build_policy(tiny_bundle), ServeConfig(),
+                           tmp_path / "copy")
+        decisions, deduped = twin.serve_batch(0, requests)
+        assert deduped == len(requests)
+        twin.close()
+
+    def test_empty_source_ships_nothing(self, tmp_path):
+        assert ship_state(tmp_path / "missing", tmp_path / "dest") == []
+        assert (tmp_path / "dest").is_dir()
+
+
+@needs_shm
+class TestProcessFleet:
+    def test_decisions_match_inline_twin(self, tiny_bundle, tmp_path):
+        config = FleetConfig(shards=2, batch_max=16, ring_slots=2)
+        _, inline_decisions, inline_states = run_fleet_soak(
+            SPEC, tiny_bundle, config=config,
+            state_root=tmp_path / "inline",
+        )
+        report, process_decisions, process_states = run_fleet_soak(
+            SPEC, tiny_bundle, config=config,
+            state_root=tmp_path / "proc", processes=True,
+        )
+        assert report.total == SPEC.requests
+        key = lambda d: d.index
+        assert [
+            (d.index, d.threads, d.tier, d.shed)
+            for d in sorted(inline_decisions, key=key)
+        ] == [
+            (d.index, d.threads, d.tier, d.shed)
+            for d in sorted(process_decisions, key=key)
+        ]
+        for left, right in zip(inline_states, process_states):
+            for field in ("V", "b", "norm_mean", "norm_m2"):
+                assert np.array_equal(
+                    np.asarray(left["selector"][field]),
+                    np.asarray(right["selector"][field]),
+                ), field
+
+    def test_requires_state_root(self, tiny_bundle):
+        with pytest.raises(ValueError, match="state_root"):
+            PolicyFleet(lambda: build_policy(tiny_bundle),
+                        FleetConfig(shards=1), processes=True)
+
+    def test_no_segments_leak(self, tiny_bundle, tmp_path):
+        import os
+
+        before = {
+            n for n in os.listdir("/dev/shm") if n.startswith("repro-")
+        }
+        run_fleet_soak(
+            SPEC, tiny_bundle,
+            config=FleetConfig(shards=2, batch_max=16),
+            state_root=tmp_path, processes=True,
+        )
+        after = {
+            n for n in os.listdir("/dev/shm") if n.startswith("repro-")
+        }
+        assert after <= before
+
+
+@needs_shm
+class TestFailover:
+    def test_shard_kill_recovers_losslessly(self, tiny_bundle,
+                                            tmp_path):
+        outcome = verify_fleet_recovery(
+            SPEC, tiny_bundle, kill_at=120, state_root=tmp_path,
+            config=FleetConfig(shards=2, batch_max=16, ring_slots=2),
+        )
+        assert outcome["identical"] is True
+        assert outcome["failovers"] >= 1
+        assert outcome["compared_decisions"] + outcome["recovered"] \
+            == SPEC.requests
+
+    def test_kill_without_failover_is_an_invariant_error(
+            self, tiny_bundle, tmp_path, monkeypatch):
+        # sanity on the harness itself: if the kill hook were a no-op
+        # the soak must fail loudly, not report a hollow pass
+        monkeypatch.setattr(PolicyFleet, "kill_shard",
+                            lambda self, index: 0)
+        with pytest.raises(SoakInvariantError, match="no failover"):
+            run_fleet_soak(
+                SPEC, tiny_bundle,
+                config=FleetConfig(shards=2, batch_max=16),
+                state_root=tmp_path, processes=True, kill_at=120,
+            )
+
+    def test_kill_requires_process_mode(self, tiny_bundle, tmp_path):
+        with pytest.raises(ValueError, match="process mode"):
+            run_fleet_soak(
+                SPEC, tiny_bundle, config=FleetConfig(shards=1),
+                state_root=tmp_path, kill_at=10,
+            )
+
+
+class TestBreakerIsolation:
+    def test_one_shards_trips_do_not_leak_into_siblings(
+            self, tiny_bundle, tmp_path):
+        # Poison exactly the streams owned by one shard: a sensor NaN
+        # window corrupts every request, but we only *submit* corrupted
+        # requests for the victim shard's streams.
+        config = FleetConfig(shards=2, batch_max=16)
+        router = ShardRouter(config.shards)
+        clean = SoakSpec(requests=240, seed=3)
+        dirty = SoakSpec(requests=240, seed=3,
+                         sensor=SensorFaultSpec(mode="nan", rate=1.0,
+                                                seed=3),
+                         fault_window=(0.0, 1.0))
+        victim = router.route(make_request(clean, 0).ctx.loop_name)
+
+        fleet = PolicyFleet(
+            lambda: build_policy(tiny_bundle), config,
+            state_root=tmp_path,
+        )
+        for index in range(clean.requests):
+            stream = make_request(clean, index).ctx.loop_name
+            spec = dirty if router.route(stream) == victim else clean
+            fleet.submit(make_request(spec, index))
+        report = fleet.close()
+
+        victim_report = report.per_shard[victim]
+        sibling = report.per_shard[1 - victim]
+        # the poisoned shard degrades...
+        assert victim_report.trips >= 1
+        assert victim_report.failures.get("degenerate-features", 0) > 0
+        # ...and its siblings never notice: no trips, no failures, and
+        # their journals carry exactly their own requests
+        assert sibling.trips == 0
+        assert sibling.failures == {}
+        assert sibling.tier_decisions == {"mixture": sibling.total}
+        assert sibling.journal["journal_records"] == sibling.total
+        assert victim_report.journal["journal_records"] == \
+            victim_report.total

@@ -1,0 +1,77 @@
+"""The ``repro serve-fleet`` subcommand, end to end through the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec import shm
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def fleet_args(tmp_path):
+    """A small but complete fleet run, inline for determinism."""
+    return [
+        "serve-fleet", "--tiny", "--requests", "200", "--shards", "2",
+        "--batch-max", "16", "--inline",
+        "--state-root", str(tmp_path),
+    ]
+
+
+def test_text_report(tiny_bundle, fleet_args, capsys):
+    assert main(fleet_args) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 shards, 200 requests (answered 200, shed 0" in out
+    assert "throughput:" in out
+    assert "p99 <=" in out
+    assert "shard 0:" in out
+    assert "shard 1:" in out
+
+
+def test_json_report(tiny_bundle, fleet_args, capsys):
+    assert main(fleet_args + ["--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shards"] == 2
+    assert payload["total"] == 200
+    assert payload["answered"] == 200
+    assert payload["failovers"] == 0
+    assert len(payload["per_shard"]) == 2
+    assert sum(r["total"] for r in payload["per_shard"]) == 200
+
+
+@needs_shm
+def test_kill_and_verify_recovery(tiny_bundle, tmp_path, capsys):
+    assert main([
+        "serve-fleet", "--tiny", "--requests", "200", "--shards", "2",
+        "--batch-max", "16", "--state-root", str(tmp_path),
+        "--kill-at", "90", "--verify-recovery",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "failover: shard killed before request 90" in out
+    assert "bit-identical to the inline twin" in out
+
+
+def test_listed_alongside_experiments(capsys):
+    assert main(["list"]) == 0
+    assert "serve-fleet" in capsys.readouterr().out
+
+
+def test_rejects_bad_arguments(tiny_bundle):
+    with pytest.raises(SystemExit):
+        main(["serve-fleet", "--requests", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve-fleet", "--verify-recovery"])
+    with pytest.raises(SystemExit):
+        main(["serve-fleet", "--requests", "100", "--kill-at", "500"])
+    with pytest.raises(SystemExit):
+        main(["serve-fleet", "--requests", "100", "--kill-at", "50",
+              "--inline"])
+    with pytest.raises(SystemExit):
+        main(["serve-fleet", "--batch-max", "100",
+              "--queue-capacity", "64"])
