@@ -98,6 +98,29 @@ def serve_fleet_block(ledger: dict) -> dict:
     return block
 
 
+def serve_resize_block(results_dir: Path) -> dict:
+    """The live-resharding pause headline, if the bench produced it.
+
+    ``bench_serve_resize_pause.py`` writes its metrics sidecar next to
+    the ledger; surface the pause bounds and migration counts so a CI
+    artifact diff shows resize-cost drift at a glance.
+    """
+    path = results_dir / "serve_resize_pause.json"
+    if not path.is_file():
+        return {}
+    try:
+        metrics = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return {}
+    return {
+        key: metrics[key]
+        for key in ("resizes", "streams_migrated",
+                    "resize_pause_p99_s", "resize_pause_max_s",
+                    "throughput_rps")
+        if key in metrics
+    }
+
+
 def summarise(ledger: dict) -> dict:
     figures: dict = {}
     for key in sorted(ledger):
@@ -134,6 +157,13 @@ def summarise(ledger: dict) -> dict:
     return summary
 
 
+def attach_resize_block(summary: dict, results_dir: Path) -> dict:
+    resize = serve_resize_block(results_dir)
+    if resize:
+        summary["serve_resize"] = resize
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Summarise the benchmark timing ledger into "
@@ -161,7 +191,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
-    summary = summarise(ledger)
+    summary = attach_resize_block(summarise(ledger),
+                                  args.ledger.parent)
     args.output.write_text(json.dumps(summary, indent=2, sort_keys=True)
                            + "\n")
     totals = summary["totals"]

@@ -40,6 +40,25 @@ a note instead of failing vacuously — parallel-scaling gates (e.g. the
 serving fleet's shards=2 vs shards=1 throughput floor) cannot hold on
 a single-core machine.
 
+A gate with ``"kind": "absolute"`` bounds a metric a benchmark wrote
+to a results-dir JSON file instead of comparing ledger entries::
+
+    "_gates": {
+        "resize pause p99": {
+            "kind": "absolute",
+            "results_file": "serve_resize_pause.json",
+            "metric": "resize_pause_p99_s",
+            "max_value": 0.5,
+            "min_cores": 2
+        }
+    }
+
+``results_file`` is resolved relative to the current ledger's
+directory; a missing file or metric is skipped with a note, and
+``min_cores`` works as for ratio gates.  The gate fails when the
+metric exceeds ``max_value`` — e.g. a live resize must pause serving
+for at most half a second at p99.
+
 Exit status: 0 clean, 1 regression found, 2 usage/IO error.
 """
 
@@ -136,8 +155,40 @@ def compare(
     return failures
 
 
-def check_gates(baseline: dict, current: dict) -> list:
-    """Evaluate the baseline's ``_gates`` ratio directives."""
+def check_absolute_gate(label: str, gate: dict,
+                        results_dir: Path) -> list:
+    """Evaluate one ``kind: absolute`` metric-bound directive."""
+    path = results_dir / str(gate.get("results_file", ""))
+    if not path.is_file():
+        print(f"  skip  gate {label}: {path.name} not produced")
+        return []
+    try:
+        metrics = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"gate {label}: malformed {path.name}: {exc}"]
+    metric = str(gate.get("metric", ""))
+    if metric not in metrics:
+        print(f"  skip  gate {label}: {path.name} has no "
+              f"{metric!r} metric")
+        return []
+    value = float(metrics[metric])
+    max_value = float(gate["max_value"])
+    status = "ok" if value <= max_value else "FAIL"
+    print(
+        f"  {status:4s}  gate {label}: {metric} = {value:.4f} "
+        f"(limit {max_value:.4f})"
+    )
+    if value > max_value:
+        return [
+            f"gate {label}: {metric} {value:.4f} exceeds bound "
+            f"{max_value:.4f} ({path.name})"
+        ]
+    return []
+
+
+def check_gates(baseline: dict, current: dict,
+                results_dir: Path) -> list:
+    """Evaluate the baseline's ``_gates`` directives."""
     failures = []
     gates = baseline.get("_gates", {})
     if not isinstance(gates, dict):
@@ -152,6 +203,9 @@ def check_gates(baseline: dict, current: dict) -> list:
                 f"  skip  gate {label}: needs >= {min_cores} cores, "
                 f"host has {os.cpu_count() or 1}"
             )
+            continue
+        if gate.get("kind") == "absolute":
+            failures += check_absolute_gate(label, gate, results_dir)
             continue
         numerator = current.get(gate.get("numerator"))
         denominator = current.get(gate.get("denominator"))
@@ -207,7 +261,7 @@ def main(argv=None) -> int:
     print(f"bench regression gate: {len(baseline)} baseline entries, "
           f"limit {args.max_regression:.0%}")
     failures = compare(baseline, current, args.max_regression)
-    failures += check_gates(baseline, current)
+    failures += check_gates(baseline, current, args.current.parent)
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

@@ -13,7 +13,10 @@ evaluation scenario:
   one-shot jobs arriving in waves instead of the steady co-runner mix;
 * **sensor faults** (:mod:`repro.chaos.sensors`) — the environment
   *readings* go bad (NaN, stale, clipped, noisy) while the machine
-  itself behaves, exercising the policy-hardening guarantees.
+  itself behaves, exercising the policy-hardening guarantees;
+* **fleet churn** (:mod:`repro.chaos.churn`) — the serving fleet
+  itself is reshaped mid-stream: scheduled live resizes (and shard
+  kills) exercising the elastic-resharding migration path.
 
 Everything is deterministic given its seed: a chaos run is bit-for-bit
 reproducible, serial or parallel, and every availability injector
@@ -26,6 +29,7 @@ from .availability import (
     CollapseInjector,
     FlapInjector,
 )
+from .churn import ChurnEvent, churn_resize_map, parse_churn_schedule
 from .scenario import ChaosScenario
 from .sensors import (
     SENSOR_FAULT_MODES,
@@ -40,12 +44,15 @@ __all__ = [
     "AvailabilityFlap",
     "BurstStormInjector",
     "ChaosScenario",
+    "ChurnEvent",
     "CollapseInjector",
     "FlapInjector",
     "SENSOR_FAULT_MODES",
     "SensorFaultPolicy",
     "SensorFaultSpec",
+    "churn_resize_map",
     "corrupt_sample",
+    "parse_churn_schedule",
     "sensor_fault_factory",
     "storm_workload",
 ]

@@ -1,0 +1,73 @@
+"""Fleet-churn schedules: live resizes as chaos events.
+
+The availability/workload/sensor injectors attack the *environment*
+the mapper serves; churn attacks the *serving fleet itself* — shards
+are added, removed and killed while the decision stream is live.  A
+schedule is a deterministic list of :class:`ChurnEvent` entries
+(request index → new shard count), parsed from the compact
+``"IDX:SHARDS,IDX:SHARDS"`` form the CLI takes, and handed to the
+soak harness's ``resize_at`` hook.  Like every other injector here it
+is pure data: a churn run is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Union
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled fleet reshape: just before submitting request
+    ``index``, resize the fleet to ``shards`` members."""
+
+    #: Request index the resize precedes.
+    index: int
+    #: Target shard count after the resize.
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("churn index cannot be negative")
+        if self.shards < 1:
+            raise ValueError("churn must leave at least one shard")
+
+
+def parse_churn_schedule(text: str) -> List[ChurnEvent]:
+    """Parse ``"IDX:SHARDS,IDX:SHARDS,..."`` into sorted events.
+
+    Whitespace around entries is ignored; an empty string yields an
+    empty schedule.  Duplicate indices are rejected — two resizes
+    cannot precede the same request.
+    """
+    events: List[ChurnEvent] = []
+    seen: set = set()
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        head, sep, tail = entry.partition(":")
+        if not sep:
+            raise ValueError(
+                f"churn entry {entry!r} is not of the form IDX:SHARDS"
+            )
+        try:
+            index, shards = int(head), int(tail)
+        except ValueError:
+            raise ValueError(
+                f"churn entry {entry!r} is not of the form IDX:SHARDS"
+            ) from None
+        if index in seen:
+            raise ValueError(
+                f"churn schedules two resizes before request {index}"
+            )
+        seen.add(index)
+        events.append(ChurnEvent(index=index, shards=shards))
+    return sorted(events, key=lambda event: event.index)
+
+
+def churn_resize_map(
+    events: Iterable[ChurnEvent],
+) -> Dict[int, int]:
+    """Flatten a schedule into the soak harness's ``resize_at`` form."""
+    return {event.index: event.shards for event in events}

@@ -16,6 +16,7 @@ Examples::
     python -m repro serve-soak --tiny --kill-at 5000 --verify-recovery
     python -m repro serve-fleet --tiny --shards 4   # sharded serving
     python -m repro serve-fleet --tiny --kill-at 5000 --verify-recovery
+    python -m repro serve-resize --tiny --kill-at 5000 --verify-twin
 """
 
 from __future__ import annotations
@@ -962,6 +963,208 @@ def serve_fleet_main(argv: Optional[Sequence[str]] = None) -> int:
         return run(tmp)
 
 
+def serve_resize_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro serve-resize``: chaos-soak live elastic resharding.
+
+    Drives the sharded fleet over a synthetic request stream while a
+    churn schedule live-resizes it (drain barrier → staged state
+    shipping → atomic topology-epoch swap) under a supervising
+    controller, optionally SIGKILLing one shard mid-soak; with
+    ``--verify-twin`` the whole run must be bit-identical to an
+    uninterrupted, never-resized inline twin.  See the "Live
+    resharding & supervision" section of docs/robustness.md.
+    """
+    import json as json_module
+
+    from .chaos import (
+        SENSOR_FAULT_MODES,
+        SensorFaultSpec,
+        churn_resize_map,
+        parse_churn_schedule,
+    )
+    from .core.training import default_experts
+    from .serve import (
+        FleetConfig,
+        ServeConfig,
+        SoakInvariantError,
+        SoakSpec,
+        run_fleet_soak,
+        tiny_training_config,
+        verify_resize,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-resize",
+        description="Live-reshard the policy-serving fleet mid-stream "
+                    "and prove the migration lossless.",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10_000, metavar="N",
+        help="length of the request stream (default: 10000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="stream seed (default: 0)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="serve experts trained on the miniature configuration",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="initial shard processes on the ring (default: 2)",
+    )
+    parser.add_argument(
+        "--resize-at", metavar="IDX:SHARDS,...", default=None,
+        help="churn schedule: resize to SHARDS just before request IDX "
+             "(default: the canonical 2x growth then -1 shrink at the "
+             "stream's third points, e.g. 2→4→3)",
+    )
+    parser.add_argument(
+        "--kill-at", type=int, default=None, metavar="INDEX",
+        help="SIGKILL the shard owning request INDEX just before it "
+             "is submitted (the supervisor must restart or evacuate)",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=32, metavar="N",
+        help="micro-batch flush threshold (default: 32)",
+    )
+    parser.add_argument(
+        "--batch-linger", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch flush deadline (default: 0.002)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="per-shard admission queue capacity (default: 64)",
+    )
+    parser.add_argument(
+        "--snapshot-interval", type=int, default=256, metavar="N",
+        help="requests between full-state snapshots (default: 256)",
+    )
+    parser.add_argument(
+        "--sensor", choices=SENSOR_FAULT_MODES, default=None,
+        help="sensor fault mode injected inside the fault window",
+    )
+    parser.add_argument(
+        "--state-root", metavar="DIR", default=None,
+        help="root of the per-shard journal/snapshot directories "
+             "(default: a temporary directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--no-supervise", action="store_true",
+        help="run without the supervising controller (losses then use "
+             "the plain restart-forever failover path)",
+    )
+    parser.add_argument(
+        "--verify-twin", action="store_true",
+        help="also run an uninterrupted, never-resized inline twin and "
+             "fail unless every stream's learning state and every "
+             "served decision are bit-identical to it",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.kill_at is not None and not 0 < args.kill_at < args.requests:
+        parser.error("--kill-at must fall inside the stream")
+
+    if args.resize_at is None:
+        resize_at = {
+            args.requests // 3: args.shards * 2,
+            (2 * args.requests) // 3: args.shards * 2 - 1,
+        }
+    else:
+        try:
+            resize_at = churn_resize_map(
+                parse_churn_schedule(args.resize_at))
+        except ValueError as error:
+            parser.error(str(error))
+    for index in resize_at:
+        if not 0 <= index < args.requests:
+            parser.error(f"resize at {index} falls outside the stream")
+
+    sensor = None
+    if args.sensor is not None:
+        sensor = SensorFaultSpec(mode=args.sensor, seed=args.seed)
+    spec = SoakSpec(requests=args.requests, seed=args.seed, sensor=sensor)
+    config = FleetConfig(
+        shards=args.shards,
+        batch_max=args.batch_max,
+        batch_linger_s=args.batch_linger,
+        serve=ServeConfig(
+            queue_capacity=args.queue_capacity,
+            snapshot_interval=args.snapshot_interval,
+        ),
+    )
+    if args.tiny:
+        bundle = default_experts(tiny_training_config())
+    else:
+        bundle = default_experts()
+
+    import tempfile as tempfile_module
+    from pathlib import Path
+
+    def run(state_root) -> int:
+        state_root = Path(state_root)
+        try:
+            if args.verify_twin:
+                outcome = verify_resize(
+                    spec, bundle, resize_at,
+                    state_root / "verify",
+                    kill_at=args.kill_at, config=config,
+                )
+                report = None
+            else:
+                outcome = None
+                report, _, _ = run_fleet_soak(
+                    spec, bundle, config=config,
+                    state_root=state_root / "fleet",
+                    processes=True, kill_at=args.kill_at,
+                    resize_at=resize_at,
+                    supervise=not args.no_supervise,
+                )
+        except SoakInvariantError as error:
+            print(f"RESIZE SOAK FAILED: {error}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            payload = report.to_jsonable() if report is not None else {}
+            if outcome is not None:
+                payload["resize_verification"] = outcome
+            print(json_module.dumps(payload, indent=2))
+        elif report is not None:
+            print(report.format())
+        else:
+            schedule = ", ".join(
+                f"{index}→{shards} shards"
+                for index, shards in sorted(resize_at.items())
+            )
+            print(
+                "resize twin check passed: resized [{schedule}]{killed}"
+                ", {resizes} resizes over {epochs} epochs, "
+                "{streams_migrated} stream migrations, {failovers} "
+                "failovers, {recovered} re-deliveries deduplicated, "
+                "{compared_decisions} served decisions and {streams} "
+                "stream states bit-identical to the uninterrupted "
+                "twin".format(
+                    schedule=schedule,
+                    killed=(f" with shard kill at {args.kill_at}"
+                            if args.kill_at is not None else ""),
+                    **outcome,
+                )
+            )
+        return 0
+
+    if args.state_root is not None:
+        return run(args.state_root)
+    with tempfile_module.TemporaryDirectory() as tmp:
+        return run(tmp)
+
+
 def _format_bytes(count: int) -> str:
     """Human-scale byte count (``512 B`` / ``3.4 KiB`` / ``1.2 MiB``)."""
     if count < 1024:
@@ -1034,6 +1237,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return serve_soak_main(argv[1:])
     if argv and argv[0] == "serve-fleet":
         return serve_fleet_main(argv[1:])
+    if argv and argv[0] == "serve-resize":
+        return serve_resize_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1044,7 +1249,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment",
         help="experiment id (fig1..fig17, tab1), 'list' / 'all', or the "
              "'lint' / 'sanitize' / 'profile' / 'serve-soak' / "
-             "'serve-fleet' subcommands",
+             "'serve-fleet' / 'serve-resize' subcommands",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -1119,6 +1324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"runtime ('repro serve-soak --help')")
         print(f"{'serve-fleet':8s} drive the sharded policy-serving fleet "
               f"('repro serve-fleet --help')")
+        print(f"{'serve-resize':8s} live-reshard the fleet mid-stream, "
+              f"supervised ('repro serve-resize --help')")
         return 0
 
     names = (

@@ -301,6 +301,35 @@ def atomic_copy(source: Union[str, Path],
     return destination
 
 
+def move_aside(path: Union[str, Path],
+               quarantine_dir: Union[str, Path],
+               label: str = "") -> Optional[Path]:
+    """Atomically move a file *or directory* into a quarantine dir.
+
+    The serving fleet's migration protocol retires superseded state
+    (a stream's old home after an epoch swap, a torn staging directory
+    left by a crash mid-copy) by renaming it aside rather than deleting
+    it: the rename is atomic, the evidence survives for post-mortem,
+    and :func:`prune_quarantine` bounds the accumulation.  Returns the
+    quarantined path, or None when ``path`` does not exist.  A name
+    collision gets a numeric suffix so nothing is overwritten.
+    """
+    path = Path(path)
+    quarantine_dir = Path(quarantine_dir)
+    if not path.exists():
+        return None
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{path.name}.{label}" if label else path.name
+    target = quarantine_dir / stem
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = quarantine_dir / f"{stem}.{serial}"
+    os.replace(path, target)
+    prune_quarantine(quarantine_dir, include_dirs=True)
+    return target
+
+
 # -- quarantine retention --------------------------------------------------
 
 
@@ -321,21 +350,27 @@ def resolve_quarantine_keep(keep: Optional[int] = None) -> int:
 
 
 def prune_quarantine(
-    directory: Union[str, Path], keep: Optional[int] = None
+    directory: Union[str, Path], keep: Optional[int] = None,
+    include_dirs: bool = False,
 ) -> int:
-    """Delete all but the newest ``keep`` files in a quarantine dir.
+    """Delete all but the newest ``keep`` entries in a quarantine dir.
 
     Quarantined files exist for post-mortem, not as an archive; without
     retention a recurring corruption source grows the directory
     forever.  Newest-first by mtime (ties broken by name so the order
-    is total); returns the number of files removed.  Failures are
+    is total); returns the number of entries removed.  Failures are
     silent — retention is best-effort housekeeping and must never turn
-    a quarantine into an error.
+    a quarantine into an error.  With ``include_dirs`` (used by
+    :func:`move_aside`, which quarantines whole state directories),
+    stale directories are removed recursively.
     """
     directory = Path(directory)
     keep = resolve_quarantine_keep(keep)
     try:
-        entries = [p for p in directory.iterdir() if p.is_file()]
+        entries = [
+            p for p in directory.iterdir()
+            if p.is_file() or (include_dirs and p.is_dir())
+        ]
     except OSError:
         return 0
     if len(entries) <= keep:
@@ -353,7 +388,12 @@ def prune_quarantine(
     removed = 0
     for stale in sorted(entries, key=age_key, reverse=True)[keep:]:
         try:
-            stale.unlink()
+            if stale.is_dir():
+                import shutil
+
+                shutil.rmtree(stale, ignore_errors=True)
+            else:
+                stale.unlink()
             removed += 1
         except OSError:
             continue

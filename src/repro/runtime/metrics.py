@@ -239,6 +239,39 @@ class LatencyLedger:
         self.histogram = FixedBucketHistogram()
 
 
+class Counter:
+    """Monotonic named event counts with mergeable snapshots.
+
+    The fleet's lifecycle bookkeeping (streams migrated, epochs swapped,
+    restarts granted, shards evacuated) flows through one of these so a
+    :class:`~repro.serve.report.FleetReport` aggregates events the same
+    way it aggregates histograms and gauges: by merging snapshots, never
+    by reaching into live objects.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("counters are monotonic; amount must be >= 0")
+        value = self._counts.get(name, 0) + int(amount)
+        self._counts[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def merge(self, snapshot: Mapping[str, int]) -> None:
+        for name, count in snapshot.items():
+            if int(count) < 0:
+                raise ValueError(f"counter {name!r} snapshot is negative")
+            self._counts[name] = self._counts.get(name, 0) + int(count)
+
+
 def speedup(baseline_time: float, policy_time: float) -> float:
     """Speedup of a policy run over the baseline run."""
     if baseline_time <= 0 or policy_time <= 0:

@@ -18,19 +18,30 @@ decision loop such a deployment needs:
   routing by stream id, per-shard micro-batching into the vectorized
   decision path, shared-memory request/decision rings, and lossless
   shard failover (snapshot shipping + journal replay);
+* :mod:`repro.serve.resize` — live elastic resharding: ring-delta
+  planning, drain barriers, staged state shipping, and the atomic
+  topology-epoch swap behind ``PolicyFleet.resize``;
+* :mod:`repro.serve.supervisor` — the supervising fleet controller:
+  heartbeats over the control pipes, deadline liveness verdicts,
+  exponential-backoff restart budgets, and graceful degradation
+  (evacuate / reinstate);
 * :mod:`repro.serve.soak` — the chaos-composed soak harness behind
-  ``repro serve-soak`` and ``repro serve-fleet``, including the
-  kill/restart and shard-kill lossless-recovery verifiers.
+  ``repro serve-soak``, ``repro serve-fleet`` and ``repro
+  serve-resize``, including the kill/restart, shard-kill, and live-
+  resize lossless-recovery verifiers.
 
-See the "Serving failure model" section of ``docs/robustness.md``.
+See the "Serving failure model" and "Live resharding & supervision"
+sections of ``docs/robustness.md``.
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
 from .fleet import (
     FleetConfig,
     PolicyFleet,
+    ShardLostError,
     ShardRouter,
     ShardWorker,
+    stream_dirname,
 )
 from .journal import (
     SelectorJournal,
@@ -38,7 +49,15 @@ from .journal import (
     SnapshotStore,
     ship_state,
 )
-from .report import FleetReport, ServeReport
+from .report import FleetReport, ServeReport, merge_serve_reports
+from .resize import (
+    RESIZE_STEPS,
+    FleetTopology,
+    ResizePlan,
+    execute_resize,
+    plan_resize,
+    sweep_state_root,
+)
 from .server import (
     PolicyServer,
     ServeConfig,
@@ -57,34 +76,48 @@ from .soak import (
     tiny_training_config,
     verify_fleet_recovery,
     verify_recovery,
+    verify_resize,
 )
+from .supervisor import FleetSupervisor, SupervisorConfig
 
 __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "FleetConfig",
     "FleetReport",
+    "FleetSupervisor",
+    "FleetTopology",
     "PolicyFleet",
     "PolicyServer",
+    "RESIZE_STEPS",
+    "ResizePlan",
     "SelectorJournal",
     "ServeConfig",
     "ServeDecision",
     "ServeReport",
     "ServeRequest",
     "ServeStateStore",
+    "ShardLostError",
     "ShardRouter",
     "ShardWorker",
     "SnapshotStore",
     "SoakInvariantError",
     "SoakSpec",
+    "SupervisorConfig",
     "TierFailure",
     "build_policy",
+    "execute_resize",
     "make_request",
+    "merge_serve_reports",
+    "plan_resize",
     "request_batches",
     "run_fleet_soak",
     "run_soak",
     "ship_state",
+    "stream_dirname",
+    "sweep_state_root",
     "tiny_training_config",
     "verify_fleet_recovery",
     "verify_recovery",
+    "verify_resize",
 ]

@@ -51,41 +51,90 @@ import signal
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from ..compiler.features import CodeFeatures
+from ..core.persistence import (ChecksumError, dump_checked_json,
+                                load_checked_json, move_aside)
 from ..core.policies.base import PolicyContext, ThreadPolicy
 from ..exec import shm
-from ..exec.fault import ShmLedger
-from ..runtime.metrics import FixedBucketHistogram, Gauge
+from ..exec.fault import RetryPolicy, ShmLedger
+from ..runtime.metrics import (Counter, FixedBucketHistogram, Gauge,
+                               LatencyLedger)
 from ..sched.stats import EnvironmentSample
 from .journal import ship_state
-from .report import FleetReport, ServeReport
+from .report import FleetReport, ServeReport, merge_serve_reports
 from .server import PolicyServer, ServeConfig, ServeDecision, ServeRequest
 
 #: Tier name of a failover re-delivery the replacement shard recognised
 #: as already journaled (answered with no threads, never served twice).
 RECOVERED_TIER = "recovered"
 
+#: One (stream id, request) routing unit — the fleet's unit of work.
+StreamRequest = Tuple[str, ServeRequest]
+
+
+class ShardLostError(ConnectionError):
+    """A shard process died or went silent past its liveness deadline.
+
+    Raised instead of blocking forever when a worker dies between
+    claiming a ring slot and posting its doorbell.  Subclasses
+    ``ConnectionError`` (hence ``OSError``) so every existing
+    pipe-error failover path catches it without special-casing.
+    """
+
+
+def stream_dirname(stream: str) -> str:
+    """Directory name for one stream's serving state.
+
+    Human-readable prefix for operators, sha256 suffix for uniqueness
+    (stream ids are arbitrary strings; two may sanitise identically).
+    Pure function of the stream id: the parent, every worker
+    generation, and the resize planner all derive the same name.
+    """
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in stream
+    )
+    digest = hashlib.sha256(stream.encode("utf-8")).hexdigest()[:10]
+    return f"stream-{safe[:24]}-{digest}"
+
 
 class ShardRouter:
-    """Consistent-hash ring mapping stream ids to shard indices.
+    """Consistent-hash ring mapping stream ids to shard member ids.
 
     ``replicas`` virtual nodes per shard smooth the key distribution;
     sha256 keeps the mapping stable across processes, runs and machines
     (required: the parent, every worker generation, and the verifying
     twin must all agree on which shard owns a stream).
+
+    ``members`` is either a shard *count* (ring over ``0..n-1``, the
+    original static-fleet form) or an explicit list of member ids — the
+    elastic form, where adding or removing one member moves only the
+    streams whose owning vnode changes hands (the minimal-migration
+    property live resizing relies on).
     """
 
-    def __init__(self, shards: int, replicas: int = 64):
-        if shards < 1 or replicas < 1:
+    def __init__(self, members: Union[int, Sequence[int]],
+                 replicas: int = 64):
+        if isinstance(members, int):
+            if members < 1:
+                raise ValueError("shards and replicas must be >= 1")
+            members = range(members)
+        member_ids = [int(m) for m in members]
+        if not member_ids or replicas < 1:
             raise ValueError("shards and replicas must be >= 1")
-        self.shards = shards
+        if len(set(member_ids)) != len(member_ids):
+            raise ValueError("duplicate shard member ids")
+        if any(m < 0 for m in member_ids):
+            raise ValueError("shard member ids must be >= 0")
+        self.members = tuple(sorted(member_ids))
+        self.shards = len(self.members)
         self.replicas = replicas
         points: List[Tuple[int, int]] = []
-        for shard in range(shards):
+        for shard in self.members:
             for replica in range(replicas):
                 digest = hashlib.sha256(
                     f"shard-{shard}:{replica}".encode("ascii")
@@ -121,6 +170,11 @@ class FleetConfig:
     slot_bytes: int = 1 << 16
     #: Virtual nodes per shard on the consistent-hash ring.
     replicas: int = 64
+    #: Longest the parent waits on a shard's control pipe before
+    #: declaring it lost (:class:`ShardLostError`) — covers the worker
+    #: dying between claiming a ring slot and posting its doorbell.
+    #: The supervisor tightens this per shard to its liveness deadline.
+    doorbell_timeout_s: float = 30.0
     serve: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
@@ -143,6 +197,8 @@ class FleetConfig:
             raise ValueError("ring_slots must be >= 1")
         if self.slot_bytes < 64:
             raise ValueError("slot_bytes must be >= 64")
+        if self.doorbell_timeout_s <= 0:
+            raise ValueError("doorbell_timeout_s must be positive")
 
 
 # -- request/decision wire codec -------------------------------------------
@@ -155,13 +211,16 @@ _ENV_FIELDS = (
 
 
 def encode_requests(
-    batch: Sequence[ServeRequest], start_position: int = 0
+    batch: Sequence[StreamRequest], start_position: int = 0
 ) -> Tuple[dict, dict]:
-    """Flatten requests into SoA columns for one ring block.
+    """Flatten ``(stream, request)`` pairs into SoA ring columns.
 
     Every float field travels as ``float64`` and therefore round-trips
     bit-exactly: the feature vector a shard rebuilds is the feature
-    vector the parent held, to the last ulp.
+    vector the parent held, to the last ulp.  The stream id travels as
+    a vocab-interned column — the shard needs it to pick the stream's
+    server, because per-stream serving state is what makes a single
+    stream migratable during live resharding.
     """
     vocab: List[str] = []
     vocab_index: Dict[str, int] = {}
@@ -177,15 +236,17 @@ def encode_requests(
     n = len(batch)
     idx = np.empty(n, dtype=np.int64)
     times = np.empty(n, dtype=np.float64)
+    stream_col = np.empty(n, dtype=np.int64)
     loop = np.empty(n, dtype=np.int64)
     available = np.empty(n, dtype=np.int64)
     max_threads = np.empty(n, dtype=np.int64)
     code = np.empty(3 * n, dtype=np.float64)
     env = np.empty(len(_ENV_FIELDS) * n, dtype=np.float64)
-    for i, request in enumerate(batch):
+    for i, (stream, request) in enumerate(batch):
         ctx = request.ctx
         idx[i] = request.index
         times[i] = ctx.time
+        stream_col[i] = intern(stream)
         loop[i] = intern(ctx.loop_name)
         available[i] = ctx.available_processors
         max_threads[i] = ctx.max_threads
@@ -195,19 +256,21 @@ def encode_requests(
             env[base + j] = getattr(ctx.env, name)
     meta = {"kind": "requests", "n": n, "vocab": vocab,
             "start_position": int(start_position)}
-    arrays = {"idx": idx, "time": times, "loop": loop,
-              "available": available, "max_threads": max_threads,
-              "code": code, "env": env}
+    arrays = {"idx": idx, "time": times, "stream": stream_col,
+              "loop": loop, "available": available,
+              "max_threads": max_threads, "code": code, "env": env}
     return meta, arrays
 
 
-def decode_requests(meta: dict, arrays: dict) -> Tuple[int, List[ServeRequest]]:
+def decode_requests(
+    meta: dict, arrays: dict
+) -> Tuple[int, List[StreamRequest]]:
     """Inverse of :func:`encode_requests`."""
     if meta.get("kind") != "requests":
         raise ValueError(f"expected a request block, got {meta.get('kind')!r}")
     vocab = meta["vocab"]
     width = len(_ENV_FIELDS)
-    batch: List[ServeRequest] = []
+    batch: List[StreamRequest] = []
     for i in range(int(meta["n"])):
         base = width * i
         env = EnvironmentSample(*(
@@ -223,7 +286,10 @@ def decode_requests(meta: dict, arrays: dict) -> Tuple[int, List[ServeRequest]]:
             available_processors=int(arrays["available"][i]),
             max_threads=int(arrays["max_threads"][i]),
         )
-        batch.append(ServeRequest(index=int(arrays["idx"][i]), ctx=ctx))
+        batch.append((
+            vocab[int(arrays["stream"][i])],
+            ServeRequest(index=int(arrays["idx"][i]), ctx=ctx),
+        ))
     return int(meta["start_position"]), batch
 
 
@@ -293,52 +359,198 @@ def decode_decisions(meta: dict, arrays: dict) -> Tuple[int, List[ServeDecision]
 
 
 class ShardWorker:
-    """One shard's serving core: a stateful server + the dedupe rule.
+    """One shard's serving core: per-stream servers + the dedupe rule.
 
-    Used both inline (deterministic tests, the failover twin) and as
-    the body of a shard process.  The dedupe rule is what makes
-    re-dispatch after failover lossless instead of double-serving:
-    every request — served or shed — advances the journal, so after
-    recovery ``server.next_index`` is exactly the first index the dead
-    shard had *not* durably processed.  Re-delivered requests below it
-    are answered with a :data:`RECOVERED_TIER` marker.
+    Used both inline (deterministic tests, the resize/failover twin)
+    and as the body of a shard process.  Each stream gets its *own*
+    :class:`~repro.serve.server.PolicyServer` with its own journal +
+    snapshot directory, so a stream's decisions are a pure function of
+    that stream's request prefix — independent of which shard hosts it.
+    That placement-independence is what live resharding rests on: one
+    stream's directory can be drained, shipped and re-opened elsewhere
+    without touching its neighbours, and a resized fleet stays
+    bit-identical to a never-resized twin.
+
+    The dedupe rule makes re-dispatch after failover or migration
+    lossless instead of double-serving: every request — served or shed
+    — advances its stream's journal, so after recovery
+    ``server.next_index`` is exactly the first index that stream had
+    *not* durably processed.  Re-delivered requests below it are
+    answered with a :data:`RECOVERED_TIER` marker.
     """
 
-    def __init__(self, policy: ThreadPolicy, config: ServeConfig,
+    def __init__(self, policy_factory: Callable[[], ThreadPolicy],
+                 config: ServeConfig,
                  state_dir: Optional[Union[str, Path]] = None):
-        self.server = PolicyServer(policy, config, state_dir=state_dir)
+        self.policy_factory = policy_factory
+        self.config = config
+        self.state_dir = None if state_dir is None else Path(state_dir)
+        self.servers: Dict[str, PolicyServer] = {}
         self.recovered = 0
+        #: One latency ledger shared by every stream server, so the
+        #: shard-level latency summary is exact (raw samples), not a
+        #: lossy merge of per-stream percentiles.
+        self.latency = LatencyLedger()
+        #: Flush-level gauges: depth/size of whole micro-batches as
+        #: dispatched, regardless of how they split across streams.
+        self.queue_depth = Gauge()
+        self.batch_sizes = Gauge()
+        #: Reports of servers drained away by a migration — their
+        #: served requests still belong in this shard's totals.
+        self._retired_reports: List[ServeReport] = []
+        if self.state_dir is not None and self.state_dir.exists():
+            self._recover_streams()
+
+    # -- stream lifecycle --------------------------------------------------
+
+    def _recover_streams(self) -> None:
+        """Eagerly re-open every stream directory under ``state_dir``.
+
+        A directory is a stream's home iff it carries a readable
+        ``stream.json`` sidecar (the dir name is a hash; the sidecar is
+        the authoritative reverse mapping).  Torn sidecars and staging
+        leftovers (``*.stage``, a crash mid-migration) are quarantined,
+        never opened — recovery must not resurrect half-shipped state.
+        """
+        assert self.state_dir is not None
+        quarantine = self.state_dir / "quarantine"
+        for entry in sorted(self.state_dir.iterdir()):
+            if not entry.is_dir() or entry.name == "quarantine":
+                continue
+            if entry.name.endswith(".stage"):
+                move_aside(entry, quarantine, "stage")
+                continue
+            sidecar = entry / "stream.json"
+            if not sidecar.exists():
+                continue
+            try:
+                doc = load_checked_json(sidecar)
+            except ChecksumError:
+                move_aside(entry, quarantine, "torn-sidecar")
+                continue
+            self._open(str(doc["stream"]), entry)
+
+    def _open(self, stream: str, directory: Optional[Path]) -> PolicyServer:
+        server = PolicyServer(self.policy_factory(), self.config,
+                              state_dir=directory)
+        # Share the shard ledger: per-stream percentiles merge lossily,
+        # raw samples don't.
+        server.latency = self.latency
+        self.servers[stream] = server
+        return server
+
+    def server_for(self, stream: str) -> PolicyServer:
+        """The stream's server, created (and recovered) on first use.
+
+        Creation is lazy so a migrated-in stream whose state was
+        shipped *after* this worker started still recovers from the
+        shipped journal the moment its first request arrives.
+        """
+        server = self.servers.get(stream)
+        if server is not None:
+            return server
+        directory = None
+        if self.state_dir is not None:
+            directory = self.state_dir / stream_dirname(stream)
+            sidecar = directory / "stream.json"
+            if not sidecar.exists():
+                directory.mkdir(parents=True, exist_ok=True)
+                dump_checked_json({"stream": stream}, sidecar)
+        return self._open(stream, directory)
+
+    def resume_map(self) -> Dict[str, int]:
+        """Per-stream first-unjournaled index (the recovery frontier)."""
+        return {stream: server.next_index
+                for stream, server in self.servers.items()}
+
+    def drain_streams(self, streams: Sequence[str]) -> Dict[str, int]:
+        """Migration drain barrier: fsync, close and retire streams.
+
+        Returns each drained stream's resume index.  After this the
+        stream's directory is quiescent on disk — safe to ship — and
+        this worker will never touch it again (the server object is
+        dropped; a stray later request would open a *fresh* server,
+        which the epoch-swap protocol prevents by rerouting first).
+        """
+        resumed: Dict[str, int] = {}
+        for stream in streams:
+            server = self.servers.pop(stream, None)
+            if server is None:
+                continue
+            if server.store is not None:
+                server.store.sync()
+            self._retired_reports.append(server.report())
+            server.close()
+            resumed[stream] = server.next_index
+        return resumed
+
+    # -- serving -----------------------------------------------------------
 
     def serve_batch(
-        self, position: int, batch: Sequence[ServeRequest]
+        self, position: int, batch: Sequence[StreamRequest]
     ) -> Tuple[List[ServeDecision], int]:
-        """Serve one micro-batch; returns ``(decisions, deduped)``."""
+        """Serve one micro-batch of pairs; returns ``(decisions, deduped)``.
+
+        The batch is split by stream; each stream's sub-batch is served
+        by that stream's server from arrival position 0 — so admission
+        and decisions depend only on (stream, prefix), never on which
+        other streams happened to share the flush or the shard.
+        """
         batch = list(batch)
-        # A shard's substream has strictly increasing indices, so the
-        # already-journaled part of a re-delivered batch is a prefix.
-        skip = 0
-        while skip < len(batch) and batch[skip].index < self.server.next_index:
-            skip += 1
-        decisions: List[ServeDecision] = [
-            ServeDecision(index=request.index, threads=None,
-                          tier=RECOVERED_TIER, latency_s=0.0)
-            for request in batch[:skip]
-        ]
-        self.recovered += skip
-        if skip < len(batch):
-            decisions.extend(self.server.offer_batch(
-                batch[skip:], start_position=position + skip
-            ))
-        return decisions, skip
+        groups: Dict[str, List[ServeRequest]] = {}
+        order: List[Tuple[str, int]] = []
+        for stream, request in batch:
+            groups.setdefault(stream, []).append(request)
+            order.append((stream, request.index))
+        answered: Dict[Tuple[str, int], ServeDecision] = {}
+        deduped = 0
+        for stream, requests in groups.items():
+            server = self.server_for(stream)
+            # A stream's substream has strictly increasing indices, so
+            # the already-journaled part of a re-delivery is a prefix.
+            skip = 0
+            while (skip < len(requests)
+                   and requests[skip].index < server.next_index):
+                skip += 1
+            for request in requests[:skip]:
+                answered[(stream, request.index)] = ServeDecision(
+                    index=request.index, threads=None,
+                    tier=RECOVERED_TIER, latency_s=0.0,
+                )
+            deduped += skip
+            if skip < len(requests):
+                decisions = server.offer_batch(
+                    requests[skip:], start_position=position + skip
+                )
+                for request, decision in zip(requests[skip:], decisions):
+                    answered[(stream, request.index)] = decision
+        self.recovered += deduped
+        self.queue_depth.record(float(len(batch)))
+        self.batch_sizes.record(float(len(batch)))
+        return [answered[key] for key in order], deduped
+
+    # -- bookkeeping -------------------------------------------------------
 
     def report(self) -> ServeReport:
-        return self.server.report()
+        reports = [server.report() for server in self.servers.values()]
+        reports.extend(self._retired_reports)
+        return merge_serve_reports(
+            reports,
+            latency=self.latency.snapshot(),
+            latency_histogram=self.latency.histogram.snapshot(),
+            queue_depth=self.queue_depth.snapshot(),
+            batch_sizes=self.batch_sizes.snapshot(),
+        )
 
-    def state(self) -> dict:
-        return self.server.policy.export_online_state()
+    def states(self) -> Dict[str, dict]:
+        """Per-stream online learner state (live streams only —
+        migrated-away streams export wherever they now live)."""
+        return {stream: server.policy.export_online_state()
+                for stream, server in self.servers.items()}
 
     def close(self) -> None:
-        self.server.close()
+        for server in self.servers.values():
+            server.close()
 
 
 def _shard_worker_main(conn, policy_factory, state_dir, serve_config,
@@ -350,15 +562,18 @@ def _shard_worker_main(conn, policy_factory, state_dir, serve_config,
     names), so a worker killed mid-creation leaves at most a torn
     segment the parent's raw-unlink sweep handles.  Request blocks
     arrive as ``("req", slot, nbytes)`` doorbells; each is answered
-    with a decision block in the same slot of the return ring.
+    with a decision block in the same slot of the return ring.  The
+    control pipe also carries supervision traffic: ``("ping", seq)``
+    heartbeats (echoed as ``("pong", seq)``) and ``("drain", streams)``
+    migration barriers (answered ``("drained", resume_map)``).
     """
     request_ring = shm.ShmRing(request_name, ring_slots, slot_bytes,
                                create=True)
     decision_ring = shm.ShmRing(decision_name, ring_slots, slot_bytes,
                                 create=True)
     try:
-        worker = ShardWorker(policy_factory(), serve_config, state_dir)
-        conn.send(("ready", worker.server.next_index))
+        worker = ShardWorker(policy_factory, serve_config, state_dir)
+        conn.send(("ready", worker.resume_map()))
         while True:
             message = conn.recv()
             kind = message[0]
@@ -373,9 +588,13 @@ def _shard_worker_main(conn, policy_factory, state_dir, serve_config,
                 written = decision_ring.write(slot, reply_meta,
                                               reply_arrays)
                 conn.send(("dec", slot, written))
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "drain":
+                conn.send(("drained", worker.drain_streams(message[1])))
             elif kind == "stop":
                 worker.close()
-                conn.send(("stopped", worker.report(), worker.state()))
+                conn.send(("stopped", worker.report(), worker.states()))
                 break
             else:  # pragma: no cover - protocol error
                 raise RuntimeError(f"unknown fleet message {kind!r}")
@@ -395,30 +614,35 @@ def _shard_worker_main(conn, policy_factory, state_dir, serve_config,
 class _InlineShard:
     """In-process shard: same micro-batching, no transport.
 
-    The deterministic twin for :func:`~repro.serve.soak.verify_fleet_recovery`
-    and the single-core fallback — decisions are bit-identical to the
-    process mode's because both run the same :class:`ShardWorker` over
-    the same substream.
+    The deterministic twin for the soak verifiers and the single-core
+    fallback — decisions are bit-identical to the process mode's
+    because both run the same :class:`ShardWorker` over the same
+    per-stream substreams.
     """
 
-    def __init__(self, index: int, policy_factory, serve_config,
-                 state_dir):
+    def __init__(self, index: int, generation: int, policy_factory,
+                 serve_config, state_dir):
         self.index = index
-        self.worker = ShardWorker(policy_factory(), serve_config,
+        self.generation = generation
+        self.state_dir = state_dir
+        self.worker = ShardWorker(policy_factory, serve_config,
                                   state_dir)
-        self.pending: List[ServeRequest] = []
+        self.pending: List[StreamRequest] = []
         self.deadline: Optional[float] = None
 
-    def dispatch(self, batch: List[ServeRequest], sink) -> None:
+    def dispatch(self, batch: List[StreamRequest], sink) -> None:
         decisions, deduped = self.worker.serve_batch(0, batch)
         sink(self.index, decisions, deduped)
 
     def collect_one(self, sink, blocking: bool = False) -> bool:
         return False  # nothing is ever in flight inline
 
-    def stop(self, sink) -> Tuple[ServeReport, dict]:
+    def drain_streams(self, streams: Sequence[str]) -> Dict[str, int]:
+        return self.worker.drain_streams(streams)
+
+    def stop(self, sink) -> Tuple[ServeReport, Dict[str, dict]]:
         self.worker.close()
-        return self.worker.report(), self.worker.state()
+        return self.worker.report(), self.worker.states()
 
 
 class _ProcessShard:
@@ -426,45 +650,115 @@ class _ProcessShard:
 
     def __init__(self, index: int, generation: int, policy_factory,
                  serve_config, state_dir, fleet_config: FleetConfig,
-                 ledger: ShmLedger, mp_context):
+                 ledger: ShmLedger, mp_context,
+                 clock: Callable[[], float] = time.monotonic,
+                 events: Optional[Counter] = None):
         self.index = index
         self.generation = generation
         self.state_dir = state_dir
-        self.pending: List[ServeRequest] = []
+        self.pending: List[StreamRequest] = []
         self.deadline: Optional[float] = None
         #: slot -> (position, batch), oldest first (dict is ordered).
-        self.inflight: Dict[int, Tuple[int, List[ServeRequest]]] = {}
+        self.inflight: Dict[int, Tuple[int, List[StreamRequest]]] = {}
         self.free_slots = list(range(fleet_config.ring_slots))
+        #: Control-pipe deadline; the supervisor tightens this to its
+        #: liveness timeout so a hung worker turns into a verdict, not
+        #: a hang.
+        self.recv_timeout_s = fleet_config.doorbell_timeout_s
+        self._clock = clock
+        self._events = events
+        self.last_activity = clock()
         self.request_name = ledger.issue(shm.segment_name())
         self.decision_name = ledger.issue(shm.segment_name())
-        self.conn, child_conn = mp_context.Pipe()
-        self.process = mp_context.Process(
-            target=_shard_worker_main,
-            args=(child_conn, policy_factory, state_dir, serve_config,
-                  self.request_name, self.decision_name,
-                  fleet_config.ring_slots, fleet_config.slot_bytes),
-            daemon=True,
-        )
-        self.process.start()
-        child_conn.close()
-        # Blocks until the worker has created both rings and finished
-        # recovery; EOFError here means it died during startup.
-        message = self.conn.recv()
-        if message[0] != "ready":  # pragma: no cover - protocol error
-            raise RuntimeError(f"shard sent {message[0]!r} before ready")
-        self.resume_index = int(message[1])
-        self.request_ring = shm.ShmRing(
-            self.request_name, fleet_config.ring_slots,
-            fleet_config.slot_bytes,
-        )
-        self.decision_ring = shm.ShmRing(
-            self.decision_name, fleet_config.ring_slots,
-            fleet_config.slot_bytes,
-        )
+        self.process = None
+        self.conn = None
+        self.request_ring = None
+        self.decision_ring = None
+        try:
+            self.conn, child_conn = mp_context.Pipe()
+            self.process = mp_context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, policy_factory, state_dir, serve_config,
+                      self.request_name, self.decision_name,
+                      fleet_config.ring_slots, fleet_config.slot_bytes),
+                daemon=True,
+            )
+            self.process.start()
+            child_conn.close()
+            # Waits until the worker has created both rings and
+            # finished recovery; a death here surfaces as
+            # ShardLostError/EOFError for the spawn-retry loop.
+            message = self._recv()
+            if message[0] != "ready":  # pragma: no cover - protocol error
+                raise RuntimeError(
+                    f"shard sent {message[0]!r} before ready"
+                )
+            self.resume_map: Dict[str, int] = dict(message[1])
+            self.request_ring = shm.ShmRing(
+                self.request_name, fleet_config.ring_slots,
+                fleet_config.slot_bytes,
+            )
+            self.decision_ring = shm.ShmRing(
+                self.decision_name, fleet_config.ring_slots,
+                fleet_config.slot_bytes,
+            )
+        except BaseException:
+            # Transient fork/shm failures are retried by the fleet's
+            # spawn loop; leave nothing behind for the next attempt.
+            self._abort_partial(ledger)
+            raise
+
+    def _abort_partial(self, ledger: ShmLedger) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.kill()
+        for ring in (self.request_ring, self.decision_ring):
+            if ring is not None:
+                ring.close()
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        ledger.release(self.request_name)
+        ledger.release(self.decision_name)
 
     # -- transport ---------------------------------------------------------
 
-    def dispatch(self, batch: List[ServeRequest], sink) -> None:
+    def _recv(self, timeout_s: Optional[float] = None):
+        """Receive one control message, skimming heartbeat replies.
+
+        Bounded poll loop instead of a bare ``conn.recv()``: a worker
+        that dies (or wedges) between claiming a ring slot and posting
+        its doorbell used to hang the parent forever — now it raises a
+        typed :class:`ShardLostError` the failover path catches.
+        """
+        limit = timeout_s if timeout_s is not None else self.recv_timeout_s
+        deadline = self._clock() + limit
+        while True:
+            if self.conn.poll(0.05):
+                message = self.conn.recv()
+                self.last_activity = self._clock()
+                if message[0] == "pong":
+                    continue
+                return message
+            if not self.process.is_alive():
+                raise ShardLostError(
+                    f"shard {self.index} (gen {self.generation}) died "
+                    "with messages outstanding"
+                )
+            if self._clock() >= deadline:
+                if self._events is not None:
+                    self._events.bump("heartbeat_timeouts")
+                raise ShardLostError(
+                    f"shard {self.index} (gen {self.generation}) "
+                    f"unresponsive for {limit:.1f}s"
+                )
+
+    def ping(self, seq: int) -> None:
+        """Send one heartbeat; the reply is skimmed by any receive."""
+        self.conn.send(("ping", seq))
+
+    def dispatch(self, batch: List[StreamRequest], sink) -> None:
         """Ship one micro-batch; blocks for a free slot when the
         in-flight window is full (ring slots are the backpressure).
 
@@ -487,9 +781,19 @@ class _ProcessShard:
         """Receive one decision doorbell; False when none is pending."""
         if not self.inflight:
             return False
-        if not blocking and not self.conn.poll():
-            return False
-        message = self.conn.recv()
+        if blocking:
+            message = self._recv()
+        else:
+            message = None
+            while self.conn.poll():
+                candidate = self.conn.recv()
+                self.last_activity = self._clock()
+                if candidate[0] == "pong":
+                    continue
+                message = candidate
+                break
+            if message is None:
+                return False
         if message[0] == "dec":
             _, slot, nbytes = message
             meta, arrays = self.decision_ring.read(slot, nbytes)
@@ -502,14 +806,28 @@ class _ProcessShard:
             f"unexpected fleet message {message[0]!r}"
         )
 
-    def stop(self, sink) -> Tuple[ServeReport, dict]:
+    def drain_streams(self, streams: Sequence[str]) -> Dict[str, int]:
+        """Send the migration drain barrier (caller quiesced first)."""
+        self.conn.send(("drain", list(streams)))
+        message = self._recv()
+        if message[0] != "drained":  # pragma: no cover - protocol error
+            raise RuntimeError(
+                f"expected drained reply, got {message[0]!r}"
+            )
+        return dict(message[1])
+
+    def stop(self, sink) -> Tuple[ServeReport, Dict[str, dict]]:
         while self.inflight:
             self.collect_one(sink, blocking=True)
         self.conn.send(("stop",))
-        message = self.conn.recv()
-        report, state = message[1], message[2]
+        message = self._recv()
+        if message[0] != "stopped":  # pragma: no cover - protocol error
+            raise RuntimeError(
+                f"expected stopped reply, got {message[0]!r}"
+            )
+        report, states = message[1], message[2]
         self.process.join(timeout=30)
-        return report, state
+        return report, states
 
     # -- failover ----------------------------------------------------------
 
@@ -522,7 +840,7 @@ class _ProcessShard:
                 pass
         self.process.join(timeout=30)
 
-    def teardown(self, ledger: ShmLedger) -> List[Tuple[int, List[ServeRequest]]]:
+    def teardown(self, ledger: ShmLedger) -> List[Tuple[int, List[StreamRequest]]]:
         """Release a dead shard's resources; returns unacked batches."""
         if self.process.is_alive():  # pragma: no cover - defensive
             self.kill()
@@ -543,11 +861,19 @@ class _ProcessShard:
 class PolicyFleet:
     """A sharded serving fleet behind one ``submit``/``drain`` surface.
 
-    ``policy_factory`` builds a fresh policy per shard (and per shard
-    *generation* after failover).  With ``processes=True`` each shard
-    runs in its own forked process behind shared-memory rings and a
-    ``state_root`` is mandatory — failover needs a journal to replay.
+    ``policy_factory`` builds a fresh policy per stream server (and per
+    shard *generation* after failover).  With ``processes=True`` each
+    shard runs in its own forked process behind shared-memory rings and
+    a ``state_root`` is mandatory — failover needs a journal to replay.
     Inline mode serves on the caller's thread with identical decisions.
+
+    The fleet's shape is *elastic*: membership is a list of shard ids
+    on the consistent-hash ring, persisted (with the routing epoch and
+    per-member generations) in ``state_root/topology.json``.
+    :meth:`resize` adds/removes/replaces members live via
+    :mod:`repro.serve.resize`; a :class:`~repro.serve.supervisor.
+    FleetSupervisor` can layer heartbeats, restart budgets and
+    evacuation on top.
     """
 
     def __init__(
@@ -558,22 +884,38 @@ class PolicyFleet:
         state_root: Optional[Union[str, Path]] = None,
         processes: bool = False,
         clock: Callable[[], float] = time.monotonic,
+        spawn_retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.config = config or FleetConfig()
-        self.router = ShardRouter(self.config.shards,
-                                  self.config.replicas)
         self.ledger = ShmLedger()
         self.decisions: List[ServeDecision] = []
         self.shard_reports: List[ServeReport] = []
-        self.shard_states: List[dict] = []
+        #: Stream id -> exported online-learner state, filled at close.
+        self.stream_states: Dict[str, dict] = {}
+        #: Fleet lifecycle event counts (resizes, restarts, ...).
+        self.events = Counter()
+        #: Seconds each committed resize kept migrating streams paused.
+        self.drain_pause = FixedBucketHistogram()
         self._policy_factory = policy_factory
         self._state_root = None if state_root is None else Path(state_root)
         self._processes = processes
         self._clock = clock
+        self._sleep = sleep
+        self._spawn_retry = (spawn_retry if spawn_retry is not None
+                             else RetryPolicy())
         self._recovered = 0
         self._failovers = 0
         self._started: Optional[float] = None
         self._closed = False
+        self._streams_seen: set = set()
+        #: Stream -> on-disk source dir of state evacuated from a lost
+        #: shard, shipped to the stream's new owner on first arrival.
+        self._pending_ship: Dict[str, str] = {}
+        #: (member id, report) of shards retired by a resize.
+        self._retired: List[Tuple[int, ServeReport]] = []
+        self._report_ids: List[int] = []
+        self._supervisor: Optional[Any] = None
         if processes:
             if self._state_root is None:
                 raise ValueError(
@@ -588,10 +930,61 @@ class PolicyFleet:
             import multiprocessing
 
             self._mp = multiprocessing.get_context("fork")
-        self._shards: List = [
-            self._spawn(index, generation=0)
-            for index in range(self.config.shards)
-        ]
+        self.epoch = 0
+        self.generations: Dict[int, int] = {}
+        members = list(range(self.config.shards))
+        if self._state_root is not None:
+            from .resize import FleetTopology, sweep_state_root
+
+            topology = FleetTopology.load_or_create(
+                self._state_root, members
+            )
+            self.epoch = topology.epoch
+            members = list(topology.members)
+            self.generations = {int(k): int(v)
+                                for k, v in topology.generations.items()}
+            self._pending_ship = {str(s): str(p)
+                                  for s, p in topology.pending.items()}
+            # One reclamation path for planned drains *and* crashes:
+            # quarantine staging leftovers and stream dirs the topology
+            # says their member no longer owns.
+            sweep_state_root(self._state_root, topology,
+                             self.config.replicas)
+        self.members: List[int] = sorted(members)
+        self.router = ShardRouter(self.members, self.config.replicas)
+        self._save_topology()
+        self._shards: Dict[int, Any] = {}
+        for member in self.members:
+            self._shards[member] = self._spawn(
+                member, self.generations.get(member, 0)
+            )
+
+    # -- topology ----------------------------------------------------------
+
+    def _save_topology(self) -> None:
+        """Persist the routing epoch + membership + generations.
+
+        ``topology.json`` is the resize protocol's atomic commit point:
+        a crash *before* the write recovers into the old shape (staged
+        copies quarantined), a crash *after* recovers into the new one
+        (superseded sources quarantined by the ownership sweep).
+        """
+        if self._state_root is None:
+            return
+        from .resize import FleetTopology
+
+        FleetTopology(
+            epoch=self.epoch,
+            members=list(self.members),
+            generations=dict(self.generations),
+            pending=dict(self._pending_ship),
+        ).save(self._state_root)
+
+    @property
+    def quarantine_dir(self) -> Optional[Path]:
+        if self._state_root is None:
+            return None
+        return self._state_root / "quarantine"
 
     # -- shard lifecycle ---------------------------------------------------
 
@@ -602,17 +995,76 @@ class PolicyFleet:
             return self._state_root / f"shard-{index}"
         return self._state_root / f"shard-{index}-g{generation}"
 
-    def _spawn(self, index: int, generation: int):
-        state_dir = self._shard_dir(index, generation)
-        if not self._processes:
-            return _InlineShard(index, self._policy_factory,
-                                self.config.serve, state_dir)
-        return _ProcessShard(
-            index, generation, self._policy_factory, self.config.serve,
-            state_dir, self.config, self.ledger, self._mp,
-        )
+    _SPAWN_ERRORS = (EOFError, OSError)
 
-    def _failover(self, index: int) -> List[List[ServeRequest]]:
+    def _spawn(self, index: int, generation: int):
+        """Start one shard, retrying transient fork/shm failures.
+
+        Backoff comes from the executor's :class:`RetryPolicy` with
+        deterministic jitter keyed on the shard's id + generation, so
+        reruns sleep the same amounts.  Each attempt starts clean: the
+        shard constructor tears down its own partial state on failure.
+        """
+        state_dir = self._shard_dir(index, generation)
+        self.generations[index] = generation
+        if not self._processes:
+            return _InlineShard(index, generation, self._policy_factory,
+                                self.config.serve, state_dir)
+        key = f"shard-{index}-g{generation}"
+        attempt = 0
+        while True:
+            try:
+                return _ProcessShard(
+                    index, generation, self._policy_factory,
+                    self.config.serve, state_dir, self.config,
+                    self.ledger, self._mp, clock=self._clock,
+                    events=self.events,
+                )
+            except self._SPAWN_ERRORS:
+                attempt += 1
+                if attempt > self._spawn_retry.max_retries:
+                    raise
+                self.events.bump("spawn_retries")
+                self._sleep(self._spawn_retry.delay(attempt, key))
+
+    def _ship_shard_state(self, source: Optional[Path],
+                          target: Optional[Path], member: int) -> int:
+        """Ship a dead shard's stream dirs its member still owns.
+
+        The ownership filter is a staleness defense: a stream that
+        migrated away earlier may have left a superseded directory
+        behind, and shipping it into the replacement would resurrect
+        old state.  Only streams the *current* ring routes to this
+        member travel.
+        """
+        if source is None or target is None:
+            return 0
+        source = Path(source)
+        shipped = 0
+        if source.exists():
+            for entry in sorted(source.iterdir()):
+                if (not entry.is_dir() or entry.name == "quarantine"
+                        or entry.name.endswith(".stage")):
+                    continue
+                sidecar = entry / "stream.json"
+                if not sidecar.exists():
+                    continue
+                try:
+                    doc = load_checked_json(sidecar)
+                except ChecksumError:
+                    continue
+                stream = str(doc["stream"])
+                if self.router.route(stream) != member:
+                    continue
+                destination = Path(target) / entry.name
+                ship_state(entry, destination)
+                dump_checked_json({"stream": stream},
+                                  destination / "stream.json")
+                shipped += 1
+        Path(target).mkdir(parents=True, exist_ok=True)
+        return shipped
+
+    def _failover(self, index: int) -> List[List[StreamRequest]]:
         """Replace a dead shard; returns its unacked batches, in order.
 
         The replacement recovers from an atomically *shipped* copy of
@@ -627,41 +1079,130 @@ class PolicyFleet:
         unacked = dead.teardown(self.ledger)
         generation = dead.generation + 1
         target = self._shard_dir(index, generation)
-        ship_state(dead.state_dir, target)
+        self._ship_shard_state(dead.state_dir, target, index)
         replacement = self._spawn(index, generation)
         replacement.pending = dead.pending
         replacement.deadline = dead.deadline
         self._shards[index] = replacement
+        self._save_topology()
         return [batch for _, batch in unacked]
+
+    def _evacuate(self, index: int) -> List[List[StreamRequest]]:
+        """Remove a lost shard from the ring; survivors absorb it.
+
+        Graceful degradation: the consistent-hash ring re-homes the
+        lost member's streams onto survivors automatically, and each
+        stream's on-disk state is registered for ship-on-arrival — it
+        travels to whichever survivor first receives that stream.  A
+        later :meth:`resize` re-adding the member shrinks the overflow
+        back.  The pending-ship map rides in the topology document, so
+        a crash mid-degradation loses nothing.
+        """
+        if len(self.members) <= 1:
+            raise RuntimeError("cannot evacuate the last shard")
+        dead = self._shards.pop(index)
+        unacked = dead.teardown(self.ledger)
+        batches = [batch for _, batch in unacked]
+        if dead.pending:
+            batches.append(dead.pending)
+        if dead.state_dir is not None:
+            source = Path(dead.state_dir)
+            if source.exists():
+                for entry in sorted(source.iterdir()):
+                    sidecar = entry / "stream.json"
+                    if not entry.is_dir() or not sidecar.exists():
+                        continue
+                    try:
+                        doc = load_checked_json(sidecar)
+                    except ChecksumError:
+                        continue
+                    self._pending_ship[str(doc["stream"])] = str(entry)
+        self.members = [m for m in self.members if m != index]
+        self.router = ShardRouter(self.members, self.config.replicas)
+        self.epoch += 1
+        self.events.bump("evacuations")
+        self._save_topology()
+        return batches
 
     _PIPE_ERRORS = (EOFError, BrokenPipeError, OSError)
 
-    def _dispatch(self, index: int, batch: List[ServeRequest]) -> None:
-        """Dispatch with failover: a torn pipe replaces the shard and
-        re-dispatches its unacked batches ahead of this one."""
-        queue = [batch]
-        deaths = 0
-        while queue:
-            shard = self._shards[index]
-            try:
-                shard.dispatch(queue[0], self._sink)
-                queue.pop(0)
-            except self._PIPE_ERRORS:
-                deaths += 1
-                if deaths > 3:
-                    raise RuntimeError(
-                        f"shard {index} died {deaths} times during "
-                        "one dispatch; giving up"
-                    )
-                queue = self._failover(index) + queue
+    def _handle_loss(self, index: int) -> List[List[StreamRequest]]:
+        """A shard is gone: restart it or evacuate it, per verdict.
+
+        Without a supervisor every loss restarts in place (the PR 8
+        behaviour).  With one, the restart budget decides — and an
+        exhausted budget degrades gracefully instead of flapping.
+        """
+        if self._supervisor is not None:
+            if self._supervisor.verdict(index) == "evacuate":
+                return self._evacuate(index)
+        return self._failover(index)
+
+    def _redeliver(self, batches: List[List[StreamRequest]],
+                   deaths: int) -> None:
+        """Re-dispatch orphaned pairs under the *current* routing.
+
+        After a restart the owner is unchanged; after an evacuation the
+        ring has moved — grouping by a fresh ``route()`` covers both,
+        so the loss-handling path is one code path, not two.
+        """
+        for batch in batches:
+            groups: Dict[int, List[StreamRequest]] = {}
+            for stream, request in batch:
+                owner = self.router.route(stream)
+                groups.setdefault(owner, []).append((stream, request))
+            for owner, pairs in groups.items():
+                self._dispatch(owner, pairs, deaths)
+
+    def _ship_on_arrival(self, index: int,
+                         batch: List[StreamRequest]) -> None:
+        """Ship evacuated per-stream state to its new owner lazily."""
+        if not self._pending_ship:
+            return
+        shard = self._shards[index]
+        if shard.state_dir is None:
+            return
+        for stream in {stream for stream, _ in batch}:
+            source = self._pending_ship.pop(stream, None)
+            if source is None:
+                continue
+            target = Path(shard.state_dir) / stream_dirname(stream)
+            ship_state(source, target)
+            dump_checked_json({"stream": stream},
+                              target / "stream.json")
+            self.events.bump("streams_migrated")
+            self._save_topology()
+
+    def _dispatch(self, index: int, batch: List[StreamRequest],
+                  deaths: int = 0) -> None:
+        """Dispatch with failover: a torn pipe replaces (or evacuates)
+        the shard and re-delivers every orphaned pair ahead of this
+        batch, under whatever routing the loss produced."""
+        if deaths > 3:
+            raise RuntimeError(
+                f"shards died {deaths} times while dispatching one "
+                "batch; giving up"
+            )
+        shard = self._shards.get(index)
+        if shard is None:
+            # Owner vanished between routing and dispatch (evacuated).
+            self._redeliver([batch], deaths)
+            return
+        self._ship_on_arrival(index, batch)
+        try:
+            shard.dispatch(batch, self._sink)
+        except self._PIPE_ERRORS:
+            orphans = self._handle_loss(index)
+            self._redeliver(orphans + [batch], deaths + 1)
 
     def _collect(self, index: int, blocking: bool = False) -> bool:
-        shard = self._shards[index]
+        shard = self._shards.get(index)
+        if shard is None:
+            return False
         try:
             return shard.collect_one(self._sink, blocking)
         except self._PIPE_ERRORS:
-            for batch in self._failover(index):
-                self._dispatch(index, batch)
+            self._redeliver(self._handle_loss(index), deaths=1)
             return True
 
     # -- decision collection -----------------------------------------------
@@ -686,42 +1227,85 @@ class PolicyFleet:
         if self._started is None:
             self._started = self._clock()
         key = stream if stream is not None else request.ctx.loop_name
-        shard = self._shards[self.router.route(key)]
-        shard.pending.append(request)
+        self._streams_seen.add(key)
+        owner = self.router.route(key)
+        shard = self._shards[owner]
+        shard.pending.append((key, request))
         if len(shard.pending) == 1:
             shard.deadline = self._clock() + self.config.batch_linger_s
         if len(shard.pending) >= self.config.batch_max:
-            self._flush(shard.index)
+            self._flush(owner)
         else:
             self.poll()
 
     def _flush(self, index: int) -> None:
-        shard = self._shards[index]
-        if not shard.pending:
+        shard = self._shards.get(index)
+        if shard is None or not shard.pending:
             return
         batch, shard.pending = shard.pending, []
         shard.deadline = None
         self._dispatch(index, batch)
 
     def poll(self) -> None:
-        """Opportunistic progress: expired lingers and ready decisions."""
+        """Opportunistic progress: expired lingers, ready decisions,
+        and (when supervised) heartbeats + liveness verdicts."""
         now = self._clock()
-        for index in range(len(self._shards)):
-            shard = self._shards[index]
-            if shard.pending and shard.deadline is not None \
+        for index in list(self._shards):
+            shard = self._shards.get(index)
+            if shard is not None and shard.pending \
+                    and shard.deadline is not None \
                     and now >= shard.deadline:
                 self._flush(index)
-        for index in range(len(self._shards)):
+        for index in list(self._shards):
             self._collect(index)
+        if self._supervisor is not None:
+            self._supervisor.tick()
 
     def drain(self) -> List[ServeDecision]:
         """Flush everything and wait for every in-flight decision."""
-        for index in range(len(self._shards)):
-            self._flush(index)
-        for index in range(len(self._shards)):
-            while getattr(self._shards[index], "inflight", None):
-                self._collect(index, blocking=True)
-        return self.decisions
+        while True:
+            for index in list(self._shards):
+                self._flush(index)
+            for index in list(self._shards):
+                while getattr(self._shards.get(index), "inflight", None):
+                    self._collect(index, blocking=True)
+            if not any(
+                shard.pending or getattr(shard, "inflight", None)
+                for shard in self._shards.values()
+            ):
+                return self.decisions
+
+    def resize(self, shards: Optional[int] = None, *,
+               members: Optional[Sequence[int]] = None,
+               crash_hook: Optional[Callable[[str], None]] = None):
+        """Live-reshard the fleet to a new shard count or member list.
+
+        ``shards=n`` grows by appending fresh member ids (``max+1``
+        upward) or shrinks by dropping the highest ids; ``members=``
+        names the target membership explicitly (replace = remove one id
+        and add another in a single swap).  Returns the executed
+        :class:`~repro.serve.resize.ResizePlan`.
+        """
+        from .resize import execute_resize
+
+        if members is None:
+            if shards is None:
+                raise ValueError("pass shards or members")
+            members = self._members_for_count(int(shards))
+        return execute_resize(self, list(members), crash_hook=crash_hook)
+
+    def _members_for_count(self, count: int) -> List[int]:
+        if count < 1:
+            raise ValueError("shards must be >= 1")
+        current = sorted(self.members)
+        if count <= len(current):
+            return current[:count]
+        members = list(current)
+        next_id = max(current) + 1
+        while len(members) < count:
+            members.append(next_id)
+            next_id += 1
+        return members
 
     def kill_shard(self, index: int) -> int:
         """SIGKILL one shard process (chaos hook); returns its pid."""
@@ -735,30 +1319,61 @@ class PolicyFleet:
     def owner(self, stream: str) -> int:
         return self.router.route(stream)
 
+    def abort(self) -> None:
+        """Kill everything without draining (crash-injection helper).
+
+        Leaves the on-disk state exactly as the crash left it — the
+        next fleet constructed over the same ``state_root`` exercises
+        the recovery path; only shm segments are swept (the ledger
+        discipline: a killed fleet must not leak ``/dev/shm``).
+        """
+        if self._closed:
+            return
+        for shard in self._shards.values():
+            if isinstance(shard, _ProcessShard):
+                shard.kill()
+                shard.teardown(self.ledger)
+        self._shards = {}
+        self.ledger.sweep()
+        self._closed = True
+
     def close(self) -> FleetReport:
         """Drain, stop every shard, sweep segments, aggregate."""
         if self._closed:
             raise RuntimeError("fleet is already closed")
         self.drain()
         ended = self._clock()
-        for index in range(len(self._shards)):
+        reports: List[Tuple[int, ServeReport]] = list(self._retired)
+        for index in sorted(self._shards):
             while True:
                 try:
-                    report, state = self._shards[index].stop(self._sink)
+                    report, states = self._shards[index].stop(self._sink)
                     break
                 except self._PIPE_ERRORS:
                     # Died at the finish line: recover one last time so
-                    # the aggregate still reflects the journal.
-                    for batch in self._failover(index):
-                        self._dispatch(index, batch)
-            self.shard_reports.append(report)
-            self.shard_states.append(state)
+                    # the aggregate still reflects the journal.  Always
+                    # restart (never evacuate) — the shard must yield
+                    # its report and per-stream states.
+                    self._redeliver(self._failover(index), deaths=1)
+            reports.append((index, report))
+            self._merge_states(states)
         self._closed = True
         self.ledger.sweep()
+        self._report_ids = [member for member, _ in reports]
+        self.shard_reports = [report for _, report in reports]
         wall = 0.0
         if self._started is not None:
             wall = max(0.0, ended - self._started)
         return self._aggregate(wall)
+
+    def _merge_states(self, states: Dict[str, dict]) -> None:
+        for stream, state in states.items():
+            if stream in self.stream_states:
+                raise RuntimeError(
+                    f"stream {stream!r} exported state from two shards "
+                    "(epoch-swap invariant violated)"
+                )
+            self.stream_states[stream] = state
 
     def _aggregate(self, wall_s: float) -> FleetReport:
         histogram = FixedBucketHistogram()
@@ -777,7 +1392,7 @@ class PolicyFleet:
         shed = sum(1 for d in self.decisions if d.shed)
         misses = sum(1 for d in self.decisions if d.deadline_missed)
         return FleetReport(
-            shards=self.config.shards,
+            shards=len(self.members),
             total=len(self.decisions),
             answered=answered,
             shed=shed,
@@ -785,6 +1400,16 @@ class PolicyFleet:
             recovered=self._recovered,
             failovers=self._failovers,
             wall_s=wall_s,
+            epochs=self.epoch,
+            resizes=self.events.get("resizes"),
+            streams_migrated=self.events.get("streams_migrated"),
+            restarts=self.events.get("restarts"),
+            evacuations=self.events.get("evacuations"),
+            reinstatements=self.events.get("reinstatements"),
+            heartbeat_timeouts=self.events.get("heartbeat_timeouts"),
+            spawn_retries=self.events.get("spawn_retries"),
+            drain_pause=self.drain_pause.snapshot(),
+            shard_ids=list(self._report_ids),
             per_shard=list(self.shard_reports),
             latency_histogram=histogram.snapshot(),
             queue_depth=queue_depth.snapshot(),

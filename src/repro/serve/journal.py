@@ -117,6 +117,19 @@ class SelectorJournal:
         self._fh.flush()
         self.records_written += 1
 
+    def sync(self) -> None:
+        """fsync the journal file (the migration drain barrier).
+
+        Steady-state appends flush to the OS only (see the module
+        docstring's durability model); a stream about to be *shipped*
+        to another shard is different — the copy must observe every
+        record, so the drain barrier pays one explicit fsync per
+        migrating stream before the hand-off.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
     def truncate(self) -> None:
         """Empty the journal (its contents are covered by a snapshot)."""
         self.close()
@@ -373,6 +386,10 @@ class ServeStateStore:
         # replay filters them out by request index.
         self.snapshots.save(req, state)
         self.journal.truncate()
+
+    def sync(self) -> None:
+        """Journal-barrier fsync (see :meth:`SelectorJournal.sync`)."""
+        self.journal.sync()
 
     def close(self) -> None:
         self.journal.close()

@@ -160,6 +160,93 @@ class ServeReport:
         return "\n".join(lines)
 
 
+#: Tier precedence for merging ``final_tier`` across per-stream servers
+#: (higher = further degraded; unknown tiers sit below "expert").
+_TIER_RANK = {"": 0, "default": 3, "expert": 2}
+
+
+def merge_serve_reports(
+    reports: List["ServeReport"],
+    *,
+    latency: Optional[Dict[str, float]] = None,
+    latency_histogram: Optional[Dict[str, list]] = None,
+    queue_depth: Optional[Dict[str, float]] = None,
+    batch_sizes: Optional[Dict[str, float]] = None,
+) -> "ServeReport":
+    """Fold several :class:`ServeReport` objects into one.
+
+    A shard hosts one :class:`~repro.serve.server.PolicyServer` per
+    stream (that isolation is what makes a single stream's state
+    shippable during resharding), but operators and the fleet aggregate
+    still want *one* report per shard — this is the fold.  Counters and
+    count dicts sum exactly; transitions concatenate in request order;
+    ``final_tier`` takes the most-degraded stream.  The latency and
+    gauge snapshots can't be merged exactly from summaries, so callers
+    that hold shard-level instruments (the shard worker's shared
+    latency ledger and flush-level gauges) pass them in; otherwise the
+    counts-weighted approximation is used.
+    """
+    merged = ServeReport()
+    histogram = FixedBucketHistogram()
+    fallback_latency = {"count": 0.0, "p50": 0.0, "p99": 0.0,
+                        "mean": 0.0, "max": 0.0}
+    for report in reports:
+        merged.total += report.total
+        merged.answered += report.answered
+        merged.shed += report.shed
+        merged.deadline_misses += report.deadline_misses
+        merged.clamped += report.clamped
+        for key, count in report.failures.items():
+            merged.failures[key] = merged.failures.get(key, 0) + count
+        for key, count in report.tier_decisions.items():
+            merged.tier_decisions[key] = (
+                merged.tier_decisions.get(key, 0) + count
+            )
+        merged.transitions.extend(report.transitions)
+        merged.trips += report.trips
+        merged.recoveries += report.recoveries
+        merged.probe_failures += report.probe_failures
+        if _TIER_RANK.get(report.final_tier, 1) >= _TIER_RANK.get(
+                merged.final_tier, 0):
+            if report.final_tier:
+                merged.final_tier = report.final_tier
+        if report.latency_histogram.get("counts"):
+            histogram.merge(report.latency_histogram)
+        count = float(report.latency.get("count", 0.0))
+        if count > 0:
+            fallback_latency["count"] += count
+            fallback_latency["mean"] += report.latency.get("mean", 0.0) * count
+            fallback_latency["max"] = max(
+                fallback_latency["max"], report.latency.get("max", 0.0)
+            )
+            fallback_latency["p50"] = max(
+                fallback_latency["p50"], report.latency.get("p50", 0.0)
+            )
+            fallback_latency["p99"] = max(
+                fallback_latency["p99"], report.latency.get("p99", 0.0)
+            )
+        for key, count in report.journal.items():
+            if key == "recovered_req":
+                merged.journal[key] = max(
+                    merged.journal.get(key, -1), count
+                )
+            else:
+                merged.journal[key] = merged.journal.get(key, 0) + count
+    merged.transitions.sort(key=lambda t: t.request_index)
+    if fallback_latency["count"] > 0:
+        fallback_latency["mean"] /= fallback_latency["count"]
+    merged.latency = latency if latency is not None else fallback_latency
+    merged.latency_histogram = (
+        latency_histogram if latency_histogram is not None
+        else histogram.snapshot()
+    )
+    if queue_depth is not None:
+        merged.queue_depth = queue_depth
+    if batch_sizes is not None:
+        merged.batch_sizes = batch_sizes
+    return merged
+
+
 @dataclass
 class FleetReport:
     """Aggregate outcome of a sharded serving fleet session.
@@ -183,6 +270,31 @@ class FleetReport:
     failovers: int = 0
     #: Wall-clock seconds of the serving session (0 when unknown).
     wall_s: float = 0.0
+    #: Routing epochs swapped (one per committed resize/failover/
+    #: evacuation — the fleet starts at epoch 0).
+    epochs: int = 0
+    #: Live resizes committed during the session.
+    resizes: int = 0
+    #: Streams whose state was shipped to a new owner (resize +
+    #: evacuation ship-on-arrival combined).
+    streams_migrated: int = 0
+    #: Supervisor-granted shard restarts (crash failovers that spent
+    #: restart budget).
+    restarts: int = 0
+    #: Shards evacuated after exhausting their restart budget.
+    evacuations: int = 0
+    #: Evacuated shards brought back by the supervisor.
+    reinstatements: int = 0
+    #: Liveness verdicts reached via heartbeat/doorbell deadline.
+    heartbeat_timeouts: int = 0
+    #: Extra spawn attempts consumed by transient fork/shm failures.
+    spawn_retries: int = 0
+    #: Histogram (seconds) of per-resize drain pauses — the window a
+    #: migrating stream is quiesced between barrier and epoch swap.
+    drain_pause: Dict[str, list] = field(default_factory=dict)
+    #: Member ids for ``per_shard`` rows (positional when empty —
+    #: resizing fleets have non-contiguous member ids).
+    shard_ids: List[int] = field(default_factory=list)
     per_shard: List[ServeReport] = field(default_factory=list)
     latency_histogram: Dict[str, list] = field(default_factory=dict)
     queue_depth: Dict[str, float] = field(default_factory=dict)
@@ -226,6 +338,16 @@ class FleetReport:
             "failovers": self.failovers,
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
+            "epochs": self.epochs,
+            "resizes": self.resizes,
+            "streams_migrated": self.streams_migrated,
+            "restarts": self.restarts,
+            "evacuations": self.evacuations,
+            "reinstatements": self.reinstatements,
+            "heartbeat_timeouts": self.heartbeat_timeouts,
+            "spawn_retries": self.spawn_retries,
+            "drain_pause": dict(self.drain_pause),
+            "shard_ids": list(self.shard_ids),
             "latency_histogram": dict(self.latency_histogram),
             "queue_depth": dict(self.queue_depth),
             "batch_sizes": dict(self.batch_sizes),
@@ -243,6 +365,26 @@ class FleetReport:
                 f"failover: {self.failovers} shard deaths, "
                 f"{self.recovered} journaled requests deduplicated"
             )
+        if self.resizes or self.streams_migrated or self.epochs:
+            lines.append(
+                f"resharding: {self.resizes} resizes, "
+                f"{self.streams_migrated} streams migrated, "
+                f"epoch {self.epochs}"
+            )
+        if (self.restarts or self.evacuations or self.reinstatements
+                or self.heartbeat_timeouts):
+            lines.append(
+                f"supervision: {self.restarts} restarts, "
+                f"{self.evacuations} evacuations, "
+                f"{self.reinstatements} reinstatements, "
+                f"{self.heartbeat_timeouts} heartbeat timeouts"
+            )
+        if self.spawn_retries:
+            lines.append(f"spawn retries: {self.spawn_retries}")
+        pause = _histogram_line(self.drain_pause)
+        if pause:
+            lines.append(pause.replace("latency histogram",
+                                       "drain pause histogram"))
         if self.wall_s > 0.0:
             lines.append(
                 f"throughput: {self.throughput_rps:,.0f} req/s over "
@@ -261,7 +403,11 @@ class FleetReport:
         ]
         if gauges:
             lines.append("; ".join(gauges))
-        for shard_index, report in enumerate(self.per_shard):
+        for position, report in enumerate(self.per_shard):
+            if position < len(self.shard_ids):
+                shard_index = self.shard_ids[position]
+            else:
+                shard_index = position
             tiers = ", ".join(
                 f"{name}={count}"
                 for name, count in report.tier_decisions.items()

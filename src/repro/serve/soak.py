@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import (Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -386,7 +387,9 @@ def run_fleet_soak(
     state_root: Optional[Union[str, Path]] = None,
     processes: bool = False,
     kill_at: Optional[int] = None,
-) -> Tuple[FleetReport, List[ServeDecision], List[dict]]:
+    resize_at: Optional[Mapping[int, Union[int, Sequence[int]]]] = None,
+    supervise: bool = False,
+) -> Tuple[FleetReport, List[ServeDecision], Dict[str, dict]]:
     """Drive a sharded fleet over the spec's stream, checking invariants.
 
     The fleet consumes the stream one request at a time (micro-batching
@@ -394,15 +397,29 @@ def run_fleet_soak(
     name, so each synthetic parallel region is a stream pinned to one
     shard.  With ``kill_at`` (process mode only), the shard owning the
     request at that index is SIGKILLed just before it is submitted —
-    the failover machinery must recover and finish the stream.
+    the failover machinery must recover and finish the stream.  With
+    ``resize_at`` (request index -> shard count or member list), the
+    fleet is live-resized just before that index is submitted; with
+    ``supervise``, a :class:`FleetSupervisor` arbitrates losses
+    (heartbeats, restart budgets, evacuation).
     """
     config = config or FleetConfig()
     fleet = PolicyFleet(
         _fleet_policy_factory(bundle), config,
         state_root=state_root, processes=processes,
     )
+    if supervise:
+        from .supervisor import FleetSupervisor
+        FleetSupervisor(fleet)
+    pending_resizes = dict(resize_at or {})
     killed_shard: Optional[int] = None
     for index in range(spec.requests):
+        target = pending_resizes.pop(index, None)
+        if target is not None:
+            if isinstance(target, int):
+                fleet.resize(target)
+            else:
+                fleet.resize(members=list(target))
         request = make_request(spec, index)
         if kill_at is not None and index == kill_at:
             if not processes:
@@ -417,7 +434,12 @@ def run_fleet_soak(
             f"shard {killed_shard} was killed at request {kill_at} "
             "but no failover was recorded"
         )
-    return report, list(fleet.decisions), list(fleet.shard_states)
+    if resize_at and report.resizes < len(dict(resize_at)):
+        raise SoakInvariantError(
+            f"{len(dict(resize_at))} resizes were scheduled but only "
+            f"{report.resizes} were recorded"
+        )
+    return report, list(fleet.decisions), dict(fleet.stream_states)
 
 
 def verify_fleet_recovery(
@@ -433,7 +455,7 @@ def verify_fleet_recovery(
     Twin A runs the stream through an *inline* fleet (same sharding,
     same micro-batch code path, no processes, nothing to kill).  Twin B
     runs it through a process fleet whose owning shard is SIGKILLed at
-    ``kill_at``.  Afterwards every shard's online-learning state must
+    ``kill_at``.  Afterwards every stream's online-learning state must
     be bit-identical between the twins, and every decision B actually
     served (everything except its ``recovered`` re-delivery markers)
     must equal A's decision for the same request.
@@ -452,38 +474,9 @@ def verify_fleet_recovery(
         processes=True, kill_at=kill_at,
     )
 
-    # Bit-identical per-shard learning state ...
-    for shard in range(config.shards):
-        mismatches = _state_mismatches(
-            twin_states[shard]["selector"],
-            crash_states[shard]["selector"],
-        )
-        if mismatches:
-            raise SoakInvariantError(
-                f"shard {shard} selector state diverged after "
-                "failover: " + ", ".join(mismatches)
-            )
-    # ... and bit-identical served decisions.  The crashed run's
-    # ``recovered`` markers stand in for answers that were journaled
-    # but whose delivery died with the shard; everything it actually
-    # served must match the twin.
-    by_index = {d.index: d for d in twin_decisions}
-    compared = 0
-    recovered = 0
-    for decision in crash_decisions:
-        if decision.tier == RECOVERED_TIER:
-            recovered += 1
-            continue
-        twin_decision = by_index[decision.index]
-        if (decision.threads, decision.tier, decision.shed) != (
-                twin_decision.threads, twin_decision.tier,
-                twin_decision.shed):
-            raise SoakInvariantError(
-                f"decision {decision.index} diverged after failover: "
-                f"{decision.threads}@{decision.tier} vs twin "
-                f"{twin_decision.threads}@{twin_decision.tier}"
-            )
-        compared += 1
+    _compare_stream_states(twin_states, crash_states, "failover")
+    recovered, compared = _compare_decisions(
+        twin_decisions, crash_decisions, "failover")
     return {
         "kill_at": kill_at,
         "shards": config.shards,
@@ -492,6 +485,117 @@ def verify_fleet_recovery(
         "compared_decisions": compared,
         "identical": True,
     }
+
+
+def verify_resize(
+    spec: SoakSpec,
+    bundle: ExpertBundle,
+    resize_at: Mapping[int, Union[int, Sequence[int]]],
+    state_root: Union[str, Path],
+    *,
+    kill_at: Optional[int] = None,
+    config: Optional[FleetConfig] = None,
+) -> dict:
+    """Live resharding vs uninterrupted twin: lossless migration check.
+
+    Twin A runs the stream through an *inline* fleet that never
+    changes shape — no resizes, no processes, nothing to kill.  Twin B
+    runs it through a supervised process fleet that is live-resized at
+    every index in ``resize_at`` (e.g. ``{100: 4, 200: 3}`` for the
+    canonical 2→4→3 walk) and, with ``kill_at``, additionally loses a
+    shard to SIGKILL mid-soak.  Because each stream's decisions depend
+    only on the stream's own request prefix — never on fleet shape or
+    placement — B must end with every stream's selector state
+    bit-identical to A's, and every decision B actually served
+    (excluding ``recovered`` re-delivery markers) must equal A's.
+    """
+    if not resize_at:
+        raise ValueError("resize_at must schedule at least one resize")
+    for index in resize_at:
+        if not 0 <= index < spec.requests:
+            raise ValueError(
+                f"resize at {index} falls outside the stream")
+    config = config or FleetConfig()
+    state_root = Path(state_root)
+
+    twin_report, twin_decisions, twin_states = run_fleet_soak(
+        spec, bundle, config=config, state_root=state_root / "twin",
+        processes=False,
+    )
+    resized_report, resized_decisions, resized_states = run_fleet_soak(
+        spec, bundle, config=config, state_root=state_root / "resized",
+        processes=True, kill_at=kill_at, resize_at=resize_at,
+        supervise=True,
+    )
+
+    _compare_stream_states(twin_states, resized_states, "resharding")
+    recovered, compared = _compare_decisions(
+        twin_decisions, resized_decisions, "resharding")
+    return {
+        "resize_at": {int(k): v for k, v in sorted(resize_at.items())},
+        "kill_at": kill_at,
+        "resizes": resized_report.resizes,
+        "epochs": resized_report.epochs,
+        "final_shards": resized_report.shards,
+        "streams_migrated": resized_report.streams_migrated,
+        "failovers": resized_report.failovers,
+        "restarts": resized_report.restarts,
+        "recovered": recovered,
+        "compared_decisions": compared,
+        "streams": len(twin_states),
+        "identical": True,
+    }
+
+
+def _compare_stream_states(twin_states: Dict[str, dict],
+                           other_states: Dict[str, dict],
+                           what: str) -> None:
+    """Per-stream bit-identity of exported selector state."""
+    if set(twin_states) != set(other_states):
+        raise SoakInvariantError(
+            f"stream sets diverged after {what}: twin "
+            f"{sorted(twin_states)} vs {sorted(other_states)}"
+        )
+    for stream in sorted(twin_states):
+        mismatches = _state_mismatches(
+            twin_states[stream]["selector"],
+            other_states[stream]["selector"],
+        )
+        if mismatches:
+            raise SoakInvariantError(
+                f"stream {stream!r} selector state diverged after "
+                f"{what}: " + ", ".join(mismatches)
+            )
+
+
+def _compare_decisions(twin_decisions: List[ServeDecision],
+                       other_decisions: List[ServeDecision],
+                       what: str) -> Tuple[int, int]:
+    """Bit-identical served decisions, ``recovered`` markers exempt.
+
+    The interrupted run's ``recovered`` markers stand in for answers
+    that were journaled but whose delivery died with a shard;
+    everything it actually served must match the twin.  Returns the
+    (recovered, compared) counts.
+    """
+    by_index = {d.index: d for d in twin_decisions}
+    compared = 0
+    recovered = 0
+    for decision in other_decisions:
+        if decision.tier == RECOVERED_TIER:
+            recovered += 1
+            continue
+        twin_decision = by_index[decision.index]
+        if (decision.threads, decision.tier, decision.shed) != (
+                twin_decision.threads, twin_decision.tier,
+                twin_decision.shed):
+            raise SoakInvariantError(
+                f"decision {decision.index} diverged after {what}: "
+                f"{decision.threads}@{decision.tier} vs twin "
+                f"{twin_decision.threads}@{twin_decision.tier}"
+            )
+        compared += 1
+    return recovered, compared
 
 
 def _state_mismatches(left: dict, right: dict) -> List[str]:

@@ -1,0 +1,53 @@
+"""Churn schedules: the fleet-reshape chaos events."""
+
+import pytest
+
+from repro.chaos import ChurnEvent, churn_resize_map, parse_churn_schedule
+
+
+class TestChurnEvent:
+    def test_validates_index(self):
+        with pytest.raises(ValueError, match="negative"):
+            ChurnEvent(index=-1, shards=2)
+
+    def test_validates_shards(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ChurnEvent(index=10, shards=0)
+
+    def test_frozen(self):
+        event = ChurnEvent(index=10, shards=2)
+        with pytest.raises(AttributeError):
+            event.shards = 3
+
+
+class TestParseChurnSchedule:
+    def test_parses_and_sorts(self):
+        events = parse_churn_schedule("1300:3, 600:4")
+        assert events == [
+            ChurnEvent(index=600, shards=4),
+            ChurnEvent(index=1300, shards=3),
+        ]
+
+    def test_empty_string_is_empty_schedule(self):
+        assert parse_churn_schedule("") == []
+        assert parse_churn_schedule(" , ") == []
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(ValueError, match="IDX:SHARDS"):
+            parse_churn_schedule("600")
+        with pytest.raises(ValueError, match="IDX:SHARDS"):
+            parse_churn_schedule("600:x")
+
+    def test_rejects_duplicate_index(self):
+        with pytest.raises(ValueError, match="request 600"):
+            parse_churn_schedule("600:4,600:3")
+
+    def test_event_validation_propagates(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            parse_churn_schedule("600:0")
+
+
+class TestChurnResizeMap:
+    def test_flattens_to_resize_at(self):
+        events = parse_churn_schedule("600:4,1300:3")
+        assert churn_resize_map(events) == {600: 4, 1300: 3}

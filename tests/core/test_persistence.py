@@ -187,3 +187,37 @@ class TestQuarantineRetention:
         self.fill(tmp_path, 6)
         assert prune_quarantine(tmp_path) == 4
         assert len(list(tmp_path.iterdir())) == 2
+
+
+class TestMoveAside:
+    def test_moves_files_and_directories_with_labels(self, tmp_path):
+        from repro.core.persistence import move_aside
+
+        victim = tmp_path / "stream-abc"
+        victim.mkdir()
+        (victim / "journal.jsonl").write_text("{}\n")
+        quarantine = tmp_path / "quarantine"
+        moved = move_aside(victim, quarantine, "superseded")
+        assert moved == quarantine / "stream-abc.superseded"
+        assert not victim.exists()
+        assert (moved / "journal.jsonl").read_text() == "{}\n"
+
+    def test_collisions_get_serial_suffixes(self, tmp_path):
+        from repro.core.persistence import move_aside
+
+        quarantine = tmp_path / "quarantine"
+        targets = []
+        for _ in range(3):
+            victim = tmp_path / "torn"
+            victim.write_text("x")
+            targets.append(move_aside(victim, quarantine, "stage"))
+        assert [t.name for t in targets] == [
+            "torn.stage", "torn.stage.1", "torn.stage.2"
+        ]
+
+    def test_missing_source_is_a_noop(self, tmp_path):
+        from repro.core.persistence import move_aside
+
+        assert move_aside(tmp_path / "absent",
+                          tmp_path / "quarantine") is None
+        assert not (tmp_path / "quarantine").exists()

@@ -201,3 +201,30 @@ class TestLatencyLedgerHistogram:
         ledger.clear()
         assert ledger.count == 0
         assert ledger.histogram.count == 0
+
+
+class TestCounter:
+    def test_bump_get_and_snapshot(self):
+        from repro.runtime.metrics import Counter
+
+        counter = Counter()
+        counter.bump("restarts")
+        counter.bump("streams_migrated", 3)
+        assert counter.get("restarts") == 1
+        assert counter.get("absent") == 0
+        assert counter.snapshot() == {"restarts": 1,
+                                      "streams_migrated": 3}
+
+    def test_merge_sums_and_rejects_negatives(self):
+        from repro.runtime.metrics import Counter
+
+        left, right = Counter(), Counter()
+        left.bump("a", 2)
+        right.bump("a")
+        right.bump("b", 4)
+        left.merge(right.snapshot())
+        assert left.snapshot() == {"a": 3, "b": 4}
+        with pytest.raises(ValueError):
+            left.bump("a", -1)
+        with pytest.raises(ValueError):
+            left.merge({"a": -2})

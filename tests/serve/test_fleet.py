@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.chaos.sensors import SensorFaultSpec
+from repro.core.persistence import dump_checked_json
 from repro.exec import shm
 from repro.serve.fleet import (
     RECOVERED_TIER,
@@ -17,6 +18,7 @@ from repro.serve.fleet import (
     decode_requests,
     encode_decisions,
     encode_requests,
+    stream_dirname,
 )
 from repro.serve.journal import ship_state
 from repro.serve.server import ServeConfig, ServeDecision
@@ -38,6 +40,11 @@ SPEC = SoakSpec(requests=240, seed=3)
 
 def stream_requests(spec=SPEC):
     return [make_request(spec, i) for i in range(spec.requests)]
+
+
+def stream_pairs(requests):
+    """The wire/worker form: ``(stream, request)`` routing pairs."""
+    return [(r.ctx.loop_name, r) for r in requests]
 
 
 class TestShardRouter:
@@ -84,12 +91,14 @@ class TestFleetConfig:
 
 class TestWireCodec:
     def test_requests_round_trip_bit_exactly(self):
-        batch = stream_requests()[:40]
+        batch = stream_pairs(stream_requests()[:40])
         meta, arrays = encode_requests(batch, start_position=7)
         position, decoded = decode_requests(meta, arrays)
         assert position == 7
         assert len(decoded) == len(batch)
-        for original, copy in zip(batch, decoded):
+        for (stream, original), (copied_stream, copy) in zip(batch,
+                                                             decoded):
+            assert copied_stream == stream
             assert copy.index == original.index
             assert copy.ctx.loop_name == original.ctx.loop_name
             assert copy.ctx.available_processors == \
@@ -118,7 +127,7 @@ class TestWireCodec:
         assert decoded == decisions
 
     def test_kind_mismatch_rejected(self):
-        meta, arrays = encode_requests(stream_requests()[:2])
+        meta, arrays = encode_requests(stream_pairs(stream_requests()[:2]))
         with pytest.raises(ValueError, match="decision"):
             decode_decisions(meta, arrays)
         meta, arrays = encode_decisions([])
@@ -149,9 +158,10 @@ class TestInlineFleet:
             (d.index, d.threads, d.tier)
             for d in sorted(decisions_b, key=key)
         ]
-        for left, right in zip(states_a, states_b):
-            assert np.array_equal(left["selector"]["V"],
-                                  right["selector"]["V"])
+        assert set(states_a) == set(states_b)
+        for stream in states_a:
+            assert np.array_equal(states_a[stream]["selector"]["V"],
+                                  states_b[stream]["selector"]["V"])
 
     def test_streams_are_pinned_to_shards(self, tiny_bundle, tmp_path):
         config = FleetConfig(shards=2, batch_max=16)
@@ -208,22 +218,19 @@ class TestInlineFleet:
 class TestShardWorkerDedupe:
     def test_redelivered_prefix_is_marked_recovered(self, tiny_bundle,
                                                     tmp_path):
-        requests = [
-            r for r in stream_requests()
-            if ShardRouter(1).route(r.ctx.loop_name) == 0
-        ][:24]
-        worker = ShardWorker(build_policy(tiny_bundle), ServeConfig(),
-                             tmp_path / "state")
-        first, deduped = worker.serve_batch(0, requests[:16])
+        pairs = stream_pairs(stream_requests()[:24])
+        worker = ShardWorker(lambda: build_policy(tiny_bundle),
+                             ServeConfig(), tmp_path / "state")
+        first, deduped = worker.serve_batch(0, pairs[:16])
         assert deduped == 0
         assert len(first) == 16
         worker.close()
 
-        # a replacement recovering from the same journal recognises
-        # the already-served prefix of a re-delivered batch
-        replacement = ShardWorker(build_policy(tiny_bundle),
+        # a replacement recovering from the same journals recognises
+        # the already-served per-stream prefixes of a re-delivery
+        replacement = ShardWorker(lambda: build_policy(tiny_bundle),
                                   ServeConfig(), tmp_path / "state")
-        decisions, deduped = replacement.serve_batch(0, requests[8:24])
+        decisions, deduped = replacement.serve_batch(0, pairs[8:24])
         assert deduped == 8
         assert [d.tier for d in decisions[:8]] == [RECOVERED_TIER] * 8
         assert all(d.threads is None for d in decisions[:8])
@@ -233,23 +240,41 @@ class TestShardWorkerDedupe:
 
 
 class TestShipState:
-    def test_ships_snapshots_and_journal(self, tiny_bundle, tmp_path):
+    def test_ships_a_stream_dir_losslessly(self, tiny_bundle, tmp_path):
+        # Migration's unit of shipment is one stream's directory: the
+        # journal + snapshots travel, the destination gets a fresh
+        # sidecar, and a worker over the copy resumes exactly where the
+        # original stopped.
         source = tmp_path / "source"
-        worker = ShardWorker(build_policy(tiny_bundle),
-                             ServeConfig(snapshot_interval=16), source)
-        requests = stream_requests()[:48]
-        worker.serve_batch(0, requests)
+        worker = ShardWorker(lambda: build_policy(tiny_bundle),
+                             ServeConfig(snapshot_interval=4), source)
+        pairs = stream_pairs(stream_requests()[:48])
+        worker.serve_batch(0, pairs)
         worker.close()
-        shipped = ship_state(source, tmp_path / "copy")
+
+        # snapshots key on the stream's own request indices — ship a
+        # stream that actually crossed a snapshot boundary
+        stream = next(
+            s for s in dict(pairs)
+            if any((source / stream_dirname(s)).glob("snapshot-*.json"))
+        )
+        copy = tmp_path / "copy"
+        destination = copy / stream_dirname(stream)
+        shipped = ship_state(source / stream_dirname(stream),
+                             destination)
         names = {p.name for p in shipped}
         assert "journal.jsonl" in names
         assert any(n.startswith("snapshot-") for n in names)
-        # a worker recovering from the copy resumes where the original
-        # stopped — nothing is re-served
-        twin = ShardWorker(build_policy(tiny_bundle), ServeConfig(),
-                           tmp_path / "copy")
-        decisions, deduped = twin.serve_batch(0, requests)
-        assert deduped == len(requests)
+        dump_checked_json({"stream": stream},
+                          destination / "stream.json")
+
+        twin = ShardWorker(lambda: build_policy(tiny_bundle),
+                           ServeConfig(), copy)
+        assert twin.resume_map() == {stream: max(
+            r.index for s, r in pairs if s == stream) + 1}
+        redelivery = [(s, r) for s, r in pairs if s == stream]
+        decisions, deduped = twin.serve_batch(0, redelivery)
+        assert deduped == len(redelivery)
         twin.close()
 
     def test_empty_source_ships_nothing(self, tmp_path):
@@ -278,12 +303,13 @@ class TestProcessFleet:
             (d.index, d.threads, d.tier, d.shed)
             for d in sorted(process_decisions, key=key)
         ]
-        for left, right in zip(inline_states, process_states):
+        assert set(inline_states) == set(process_states)
+        for stream in inline_states:
             for field in ("V", "b", "norm_mean", "norm_m2"):
                 assert np.array_equal(
-                    np.asarray(left["selector"][field]),
-                    np.asarray(right["selector"][field]),
-                ), field
+                    np.asarray(inline_states[stream]["selector"][field]),
+                    np.asarray(process_states[stream]["selector"][field]),
+                ), (stream, field)
 
     def test_requires_state_root(self, tiny_bundle):
         with pytest.raises(ValueError, match="state_root"):

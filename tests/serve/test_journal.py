@@ -199,3 +199,18 @@ class TestServeStateStore:
         with pytest.raises(ValueError):
             ServeStateStore(tmp_path, _RecordingPolicy(),
                             snapshot_interval=0)
+
+
+class TestSync:
+    def test_sync_fsyncs_the_open_journal(self, tmp_path):
+        from repro.serve.journal import SelectorJournal
+
+        journal = SelectorJournal(tmp_path / "journal.jsonl")
+        journal.append(0, [["update", 1]])
+        journal.sync()
+        # the record is durable before close: a reader sees it now
+        twin = SelectorJournal(tmp_path / "journal.jsonl")
+        assert [(req, ops) for req, ops, _ in twin.replay()] == [
+            (0, [["update", 1]])
+        ]
+        journal.close()

@@ -131,27 +131,27 @@ class TestGates:
     def test_ratio_within_limit_is_clean(self):
         current = {"b.py::t@j1": entry(18.0),
                    "b.py::t@j4": entry(21.0, jobs=4)}
-        assert check.check_gates(self.gate(), current) == []
+        assert check.check_gates(self.gate(), current, Path('.')) == []
 
     def test_ratio_beyond_limit_fails(self):
         current = {"b.py::t@j1": entry(18.0),
                    "b.py::t@j4": entry(30.0, jobs=4)}
-        failures = check.check_gates(self.gate(), current)
+        failures = check.check_gates(self.gate(), current, Path('.'))
         assert len(failures) == 1
         assert "exceeds" in failures[0]
 
     def test_absent_entries_skip_gate(self):
         current = {"b.py::t@j1": entry(18.0)}
-        assert check.check_gates(self.gate(), current) == []
-        assert check.check_gates(self.gate(), {}) == []
+        assert check.check_gates(self.gate(), current, Path('.')) == []
+        assert check.check_gates(self.gate(), {}, Path('.')) == []
 
     def test_zero_denominator_skips_gate(self):
         current = {"b.py::t@j1": entry(0.0),
                    "b.py::t@j4": entry(21.0, jobs=4)}
-        assert check.check_gates(self.gate(), current) == []
+        assert check.check_gates(self.gate(), current, Path('.')) == []
 
     def test_no_gates_block_is_clean(self):
-        assert check.check_gates({"b.py::t": entry(1.0)}, {}) == []
+        assert check.check_gates({"b.py::t": entry(1.0)}, {}, Path(".")) == []
 
     def test_gate_failure_fails_main(self, tmp_path):
         node = "b.py::t"
@@ -168,6 +168,55 @@ class TestGates:
         slow[f"{node}@j4"] = entry(30.0, jobs=4)
         current_path.write_text(json.dumps(slow))
         assert check.main(argv) == 1
+
+
+class TestAbsoluteGates:
+    def gate(self, max_value=0.5, **extra):
+        return {"_gates": {"resize pause p99": {
+            "kind": "absolute",
+            "results_file": "serve_resize_pause.json",
+            "metric": "resize_pause_p99_s",
+            "max_value": max_value,
+            **extra,
+        }}}
+
+    def write_metrics(self, directory, value):
+        (directory / "serve_resize_pause.json").write_text(
+            json.dumps({"resize_pause_p99_s": value})
+        )
+
+    def test_within_bound_is_clean(self, tmp_path):
+        self.write_metrics(tmp_path, 0.13)
+        assert check.check_gates(self.gate(), {}, tmp_path) == []
+
+    def test_beyond_bound_fails(self, tmp_path):
+        self.write_metrics(tmp_path, 0.9)
+        failures = check.check_gates(self.gate(), {}, tmp_path)
+        assert len(failures) == 1
+        assert "exceeds bound" in failures[0]
+
+    def test_missing_results_file_skips(self, tmp_path):
+        assert check.check_gates(self.gate(), {}, tmp_path) == []
+
+    def test_missing_metric_skips(self, tmp_path):
+        (tmp_path / "serve_resize_pause.json").write_text(
+            json.dumps({"something_else": 1.0})
+        )
+        assert check.check_gates(self.gate(), {}, tmp_path) == []
+
+    def test_min_cores_skips_on_small_hosts(self, tmp_path,
+                                            monkeypatch):
+        self.write_metrics(tmp_path, 0.9)  # would fail if evaluated
+        monkeypatch.setattr(check.os, "cpu_count", lambda: 1)
+        assert check.check_gates(
+            self.gate(min_cores=2), {}, tmp_path
+        ) == []
+
+    def test_malformed_results_file_fails(self, tmp_path):
+        (tmp_path / "serve_resize_pause.json").write_text("{nope")
+        failures = check.check_gates(self.gate(), {}, tmp_path)
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
 
 
 class TestReport:
@@ -238,3 +287,23 @@ class TestReport:
             ["--ledger", str(tmp_path / "none.json"),
              "--output", str(output)]
         ) == 2
+
+
+class TestResizeBlock:
+    def test_metrics_sidecar_is_surfaced(self, tmp_path):
+        (tmp_path / "serve_resize_pause.json").write_text(json.dumps({
+            "resizes": 2, "streams_migrated": 3,
+            "resize_pause_p99_s": 0.131, "resize_pause_max_s": 0.131,
+            "throughput_rps": 2100.0, "requests": 2000,
+        }))
+        block = report.serve_resize_block(tmp_path)
+        assert block["resizes"] == 2
+        assert block["resize_pause_p99_s"] == 0.131
+        assert "requests" not in block  # only headline keys surface
+        summary = report.attach_resize_block({"totals": {}}, tmp_path)
+        assert summary["serve_resize"] == block
+
+    def test_absent_or_malformed_sidecar_is_silent(self, tmp_path):
+        assert report.serve_resize_block(tmp_path) == {}
+        (tmp_path / "serve_resize_pause.json").write_text("{nope")
+        assert report.serve_resize_block(tmp_path) == {}
